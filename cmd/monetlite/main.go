@@ -1,0 +1,139 @@
+// Command monetlite is an interactive SQL shell over the columnar engine:
+// statements are parsed by the SQL front-end, compiled to MAL, optimized,
+// and executed by the BAT-algebra interpreter — the full Figure-1 stack.
+//
+// Usage:
+//
+//	monetlite            # interactive shell on stdin
+//	monetlite -e 'SQL'   # run one statement and exit
+//	monetlite -f file    # run a script of semicolon-separated statements
+//	monetlite -recycle   # enable the intermediate-result recycler
+//
+// Shell extras: \q quits, \t lists tables, \mal SQL prints the optimized
+// MAL plan instead of running it.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/recycler"
+	"repro/internal/sqlfe"
+)
+
+func main() {
+	exec := flag.String("e", "", "execute one statement and exit")
+	file := flag.String("f", "", "execute a script file")
+	recycle := flag.Bool("recycle", false, "enable the intermediate-result recycler")
+	flag.Parse()
+
+	db := sqlfe.NewDB()
+	if *recycle {
+		db.Recycle = recycler.New(256<<20, recycler.PolicyBenefit)
+	}
+
+	if *exec != "" {
+		if err := run(db, *exec); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *file != "" {
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		for _, stmt := range splitStatements(string(data)) {
+			if err := run(db, stmt); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	fmt.Println("monetlite shell — \\q to quit, \\t for tables, \\mal SQL for plans")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	fmt.Print("sql> ")
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.TrimSpace(line) == `\q`:
+			return
+		case strings.TrimSpace(line) == `\t`:
+			for _, t := range db.Tables() {
+				fmt.Println(" ", t)
+			}
+			fmt.Print("sql> ")
+			continue
+		case strings.HasPrefix(strings.TrimSpace(line), `\mal `):
+			sql := strings.TrimPrefix(strings.TrimSpace(line), `\mal `)
+			if err := showMAL(db, sql); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+			}
+			fmt.Print("sql> ")
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.Contains(line, ";") {
+			for _, stmt := range splitStatements(buf.String()) {
+				if err := run(db, stmt); err != nil {
+					fmt.Fprintln(os.Stderr, "error:", err)
+				}
+			}
+			buf.Reset()
+			fmt.Print("sql> ")
+		}
+	}
+}
+
+func splitStatements(src string) []string {
+	var out []string
+	for _, s := range strings.Split(src, ";") {
+		if strings.TrimSpace(s) != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func run(db *sqlfe.DB, sql string) error {
+	res, err := db.Exec(sql)
+	if err != nil {
+		return err
+	}
+	if len(res.Columns) > 0 {
+		fmt.Print(res.String())
+		fmt.Printf("(%d rows)\n", len(res.Rows))
+	} else if res.Affected > 0 {
+		fmt.Printf("ok, %d rows affected\n", res.Affected)
+	} else {
+		fmt.Println("ok")
+	}
+	return nil
+}
+
+func showMAL(db *sqlfe.DB, sql string) error {
+	st, err := sqlfe.Parse(sql)
+	if err != nil {
+		return err
+	}
+	sel, ok := st.(*sqlfe.Select)
+	if !ok {
+		return fmt.Errorf("\\mal takes a SELECT")
+	}
+	prog, err := db.Snapshot().CompileSelect(sel)
+	if err != nil {
+		return err
+	}
+	fmt.Print(prog.String())
+	return nil
+}

@@ -1,0 +1,7 @@
+// Package repro is a from-scratch Go reproduction of "Database Architecture
+// Evolution: Mammals Flourished long before Dinosaurs became Extinct"
+// (Manegold, Kersten, Boncz; VLDB 2009) — the MonetDB architecture
+// retrospective. See README.md for an overview, DESIGN.md for the system
+// inventory and experiment index, and EXPERIMENTS.md for paper-vs-measured
+// results. The root bench_test.go holds one benchmark per experiment.
+package repro

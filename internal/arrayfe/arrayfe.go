@@ -1,0 +1,159 @@
+// Package arrayfe implements the SRAM direction of §3.2 ([12]): mapping
+// dense (scientific) multi-dimensional arrays onto BATs. The linearized
+// cell index is densely ascending, so it lives in a non-stored void head;
+// cell values form the tail. Comprehension-style operations (slicing,
+// cell-wise maps, aggregation over dimensions) compile to the same bulk
+// BAT operators the relational front-end uses.
+package arrayfe
+
+import (
+	"fmt"
+
+	"repro/internal/bat"
+	"repro/internal/batalg"
+)
+
+// Array is a dense n-dimensional int64 array stored as one BAT.
+type Array struct {
+	Shape []int
+	cells *bat.BAT // tail: cell values; head: void (linearized index)
+}
+
+// New creates a zero-filled array of the given shape.
+func New(shape ...int) (*Array, error) {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			return nil, fmt.Errorf("arrayfe: bad dimension %d", d)
+		}
+		n *= d
+	}
+	return &Array{Shape: append([]int(nil), shape...), cells: bat.FromInts(make([]int64, n))}, nil
+}
+
+// FromSlice wraps values (row-major) as an array of the given shape.
+func FromSlice(vals []int64, shape ...int) (*Array, error) {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(vals) {
+		return nil, fmt.Errorf("arrayfe: %d values for shape %v", len(vals), shape)
+	}
+	return &Array{Shape: append([]int(nil), shape...), cells: bat.FromInts(vals)}, nil
+}
+
+// Size returns the number of cells.
+func (a *Array) Size() int { return a.cells.Len() }
+
+// BAT exposes the underlying value BAT (shared storage).
+func (a *Array) BAT() *bat.BAT { return a.cells }
+
+// linearize maps an index vector to the linear position.
+func (a *Array) linearize(idx []int) (int, error) {
+	if len(idx) != len(a.Shape) {
+		return 0, fmt.Errorf("arrayfe: %d indexes for %d dims", len(idx), len(a.Shape))
+	}
+	pos := 0
+	for d, i := range idx {
+		if i < 0 || i >= a.Shape[d] {
+			return 0, fmt.Errorf("arrayfe: index %d out of range for dim %d (size %d)", i, d, a.Shape[d])
+		}
+		pos = pos*a.Shape[d] + i
+	}
+	return pos, nil
+}
+
+// Get returns the cell at idx — an O(1) positional read via the void head.
+func (a *Array) Get(idx ...int) (int64, error) {
+	p, err := a.linearize(idx)
+	if err != nil {
+		return 0, err
+	}
+	return a.cells.IntAt(p), nil
+}
+
+// Set stores v at idx.
+func (a *Array) Set(v int64, idx ...int) error {
+	p, err := a.linearize(idx)
+	if err != nil {
+		return err
+	}
+	a.cells.Ints()[p] = v
+	return nil
+}
+
+// Slice fixes dimension dim to index i, returning an array of rank-1 lower.
+// The result shares no storage (it is a bulk positional fetch).
+func (a *Array) Slice(dim, i int) (*Array, error) {
+	if dim < 0 || dim >= len(a.Shape) {
+		return nil, fmt.Errorf("arrayfe: bad dim %d", dim)
+	}
+	if i < 0 || i >= a.Shape[dim] {
+		return nil, fmt.Errorf("arrayfe: index %d out of dim %d", i, dim)
+	}
+	outShape := make([]int, 0, len(a.Shape)-1)
+	for d, s := range a.Shape {
+		if d != dim {
+			outShape = append(outShape, s)
+		}
+	}
+	if len(outShape) == 0 {
+		v := a.cells.IntAt(i)
+		return FromSlice([]int64{v}, 1)
+	}
+	// Build the candidate list of positions with idx[dim] == i; positions
+	// are an arithmetic progression pattern, generated then bulk-fetched.
+	stride := 1
+	for d := dim + 1; d < len(a.Shape); d++ {
+		stride *= a.Shape[d]
+	}
+	block := stride * a.Shape[dim]
+	var cand []bat.OID
+	for base := 0; base < a.Size(); base += block {
+		start := base + i*stride
+		for k := 0; k < stride; k++ {
+			cand = append(cand, bat.OID(start+k))
+		}
+	}
+	vals := batalg.LeftFetchJoin(bat.FromOIDs(cand), a.cells)
+	return &Array{Shape: outShape, cells: vals}, nil
+}
+
+// Map applies a cell-wise affine transform v*mul+add in bulk.
+func (a *Array) Map(mul, add int64) *Array {
+	out := batalg.AddScalar(batalg.MulScalar(a.cells, mul), add)
+	return &Array{Shape: append([]int(nil), a.Shape...), cells: out}
+}
+
+// Add returns the cell-wise sum of two equal-shape arrays.
+func (a *Array) Add(b *Array) (*Array, error) {
+	if fmt.Sprint(a.Shape) != fmt.Sprint(b.Shape) {
+		return nil, fmt.Errorf("arrayfe: shape mismatch %v vs %v", a.Shape, b.Shape)
+	}
+	return &Array{Shape: append([]int(nil), a.Shape...), cells: batalg.Add(a.cells, b.cells)}, nil
+}
+
+// Sum folds all cells.
+func (a *Array) Sum() int64 { return batalg.Sum(a.cells) }
+
+// SumOver aggregates away dimension dim: result[j...] = Σ_i a[...,i,...].
+func (a *Array) SumOver(dim int) (*Array, error) {
+	if dim < 0 || dim >= len(a.Shape) {
+		return nil, fmt.Errorf("arrayfe: bad dim %d", dim)
+	}
+	acc, err := a.Slice(dim, 0)
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < a.Shape[dim]; i++ {
+		s, err := a.Slice(dim, i)
+		if err != nil {
+			return nil, err
+		}
+		if acc, err = acc.Add(s); err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}

@@ -1,0 +1,175 @@
+package arrayfe
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndGetSet(t *testing.T) {
+	a, err := New(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Size() != 12 {
+		t.Fatalf("size = %d", a.Size())
+	}
+	if err := a.Set(42, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	v, err := a.Get(2, 3)
+	if err != nil || v != 42 {
+		t.Fatalf("Get = %d, %v", v, err)
+	}
+	if _, err := a.Get(3, 0); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if _, err := a.Get(0); err == nil {
+		t.Fatal("expected rank error")
+	}
+	if _, err := New(0); err == nil {
+		t.Fatal("expected bad-dim error")
+	}
+}
+
+func TestFromSliceValidates(t *testing.T) {
+	if _, err := FromSlice([]int64{1, 2, 3}, 2, 2); err == nil {
+		t.Fatal("expected size error")
+	}
+}
+
+func TestSliceRowsAndCols(t *testing.T) {
+	// 2x3 matrix: [[1,2,3],[4,5,6]]
+	a, err := FromSlice([]int64{1, 2, 3, 4, 5, 6}, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row1, err := a.Slice(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := row1.BAT().Ints(); got[0] != 4 || got[2] != 6 {
+		t.Fatalf("row = %v", got)
+	}
+	col2, err := a.Slice(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := col2.BAT().Ints(); got[0] != 3 || got[1] != 6 {
+		t.Fatalf("col = %v", got)
+	}
+}
+
+func TestSliceTo0D(t *testing.T) {
+	a, _ := FromSlice([]int64{7, 9}, 2)
+	s, err := a.Slice(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Sum() != 9 {
+		t.Fatalf("scalar slice = %d", s.Sum())
+	}
+}
+
+func TestMapAndAdd(t *testing.T) {
+	a, _ := FromSlice([]int64{1, 2, 3, 4}, 2, 2)
+	b := a.Map(2, 10) // 2v+10
+	if got := b.BAT().Ints(); got[0] != 12 || got[3] != 18 {
+		t.Fatalf("map = %v", got)
+	}
+	c, err := a.Add(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.BAT().Ints(); got[0] != 13 {
+		t.Fatalf("add = %v", got)
+	}
+	if _, err := a.Add(mustNew(t, 4)); err == nil {
+		t.Fatal("expected shape mismatch")
+	}
+}
+
+func mustNew(t *testing.T, shape ...int) *Array {
+	t.Helper()
+	a, err := New(shape...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestSumOver(t *testing.T) {
+	// [[1,2,3],[4,5,6]]: sum over dim 0 = [5,7,9]; over dim 1 = [6,15]
+	a, _ := FromSlice([]int64{1, 2, 3, 4, 5, 6}, 2, 3)
+	s0, err := a.SumOver(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s0.BAT().Ints(); got[0] != 5 || got[1] != 7 || got[2] != 9 {
+		t.Fatalf("sum0 = %v", got)
+	}
+	s1, err := a.SumOver(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s1.BAT().Ints(); got[0] != 6 || got[1] != 15 {
+		t.Fatalf("sum1 = %v", got)
+	}
+	if a.Sum() != 21 {
+		t.Fatalf("total = %d", a.Sum())
+	}
+}
+
+func TestSumOver3D(t *testing.T) {
+	vals := make([]int64, 2*3*4)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	a, _ := FromSlice(vals, 2, 3, 4)
+	s, err := a.SumOver(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fmtShape(s.Shape); got != "[2 4]" {
+		t.Fatalf("shape = %s", got)
+	}
+	// Check one cell: result[0][0] = a[0][0][0]+a[0][1][0]+a[0][2][0] = 0+4+8
+	if got := s.BAT().IntAt(0); got != 12 {
+		t.Fatalf("cell = %d", got)
+	}
+}
+
+func fmtShape(s []int) string {
+	out := "["
+	for i, v := range s {
+		if i > 0 {
+			out += " "
+		}
+		out += string(rune('0' + v))
+	}
+	return out + "]"
+}
+
+// Property: SumOver conserves the total sum, any dimension.
+func TestQuickSumOverConserves(t *testing.T) {
+	f := func(raw []int16, dim8 uint8) bool {
+		// shape 3 x 4 x 2 = 24 cells
+		vals := make([]int64, 24)
+		for i := range vals {
+			if i < len(raw) {
+				vals[i] = int64(raw[i])
+			}
+		}
+		a, err := FromSlice(vals, 3, 4, 2)
+		if err != nil {
+			return false
+		}
+		s, err := a.SumOver(int(dim8 % 3))
+		if err != nil {
+			return false
+		}
+		return s.Sum() == a.Sum()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,192 @@
+package batalg
+
+import (
+	"fmt"
+
+	"repro/internal/bat"
+)
+
+// Map-style arithmetic ("batcalc" in MonetDB). Each function is one tight
+// loop over whole columns with zero degrees of freedom, so the Go compiler
+// can eliminate bounds checks and the CPU can pipeline — the property §3 of
+// the paper contrasts with the tuple-at-a-time expression interpreter.
+
+// AddScalar returns tail[i] + v.
+func AddScalar(b *bat.BAT, v int64) *bat.BAT {
+	in := b.Ints()
+	out := make([]int64, len(in))
+	for i, x := range in {
+		out[i] = x + v
+	}
+	return bat.FromInts(out)
+}
+
+// MulScalar returns tail[i] * v.
+func MulScalar(b *bat.BAT, v int64) *bat.BAT {
+	in := b.Ints()
+	out := make([]int64, len(in))
+	for i, x := range in {
+		out[i] = x * v
+	}
+	return bat.FromInts(out)
+}
+
+// Add returns a[i] + b[i]; the BATs must be aligned (same length).
+func Add(a, b *bat.BAT) *bat.BAT {
+	x, y := a.Ints(), b.Ints()
+	checkAligned(len(x), len(y))
+	out := make([]int64, len(x))
+	for i := range x {
+		out[i] = x[i] + y[i]
+	}
+	return bat.FromInts(out)
+}
+
+// Sub returns a[i] - b[i].
+func Sub(a, b *bat.BAT) *bat.BAT {
+	x, y := a.Ints(), b.Ints()
+	checkAligned(len(x), len(y))
+	out := make([]int64, len(x))
+	for i := range x {
+		out[i] = x[i] - y[i]
+	}
+	return bat.FromInts(out)
+}
+
+// Mul returns a[i] * b[i].
+func Mul(a, b *bat.BAT) *bat.BAT {
+	x, y := a.Ints(), b.Ints()
+	checkAligned(len(x), len(y))
+	out := make([]int64, len(x))
+	for i := range x {
+		out[i] = x[i] * y[i]
+	}
+	return bat.FromInts(out)
+}
+
+// AddFloat returns a[i] + b[i] for float tails.
+func AddFloat(a, b *bat.BAT) *bat.BAT {
+	x, y := a.Floats(), b.Floats()
+	checkAligned(len(x), len(y))
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = x[i] + y[i]
+	}
+	return bat.FromFloats(out)
+}
+
+// SubFloatScalar returns v - tail[i] (used for 1-discount style terms).
+func SubFloatScalar(v float64, b *bat.BAT) *bat.BAT {
+	in := b.Floats()
+	out := make([]float64, len(in))
+	for i, x := range in {
+		out[i] = v - x
+	}
+	return bat.FromFloats(out)
+}
+
+// AddFloatScalar returns tail[i] + v for float tails.
+func AddFloatScalar(b *bat.BAT, v float64) *bat.BAT {
+	in := b.Floats()
+	out := make([]float64, len(in))
+	for i, x := range in {
+		out[i] = x + v
+	}
+	return bat.FromFloats(out)
+}
+
+// MulFloatScalar returns tail[i] * v for float tails.
+func MulFloatScalar(b *bat.BAT, v float64) *bat.BAT {
+	in := b.Floats()
+	out := make([]float64, len(in))
+	for i, x := range in {
+		out[i] = x * v
+	}
+	return bat.FromFloats(out)
+}
+
+// SubFloat returns a[i] - b[i] for float tails.
+func SubFloat(a, b *bat.BAT) *bat.BAT {
+	x, y := a.Floats(), b.Floats()
+	checkAligned(len(x), len(y))
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = x[i] - y[i]
+	}
+	return bat.FromFloats(out)
+}
+
+// DivFloat returns a[i] / b[i] for float tails (0 where b[i] == 0).
+func DivFloat(a, b *bat.BAT) *bat.BAT {
+	x, y := a.Floats(), b.Floats()
+	checkAligned(len(x), len(y))
+	out := make([]float64, len(x))
+	for i := range x {
+		if y[i] != 0 {
+			out[i] = x[i] / y[i]
+		}
+	}
+	return bat.FromFloats(out)
+}
+
+// MulFloat returns a[i] * b[i] for float tails.
+func MulFloat(a, b *bat.BAT) *bat.BAT {
+	x, y := a.Floats(), b.Floats()
+	checkAligned(len(x), len(y))
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = x[i] * y[i]
+	}
+	return bat.FromFloats(out)
+}
+
+// IntToFloat converts an int tail to float.
+func IntToFloat(b *bat.BAT) *bat.BAT {
+	in := b.Ints()
+	out := make([]float64, len(in))
+	for i, x := range in {
+		out[i] = float64(x)
+	}
+	return bat.FromFloats(out)
+}
+
+func checkAligned(a, b int) {
+	if a != b {
+		panic(fmt.Sprintf("batalg: unaligned operands: %d vs %d", a, b))
+	}
+}
+
+// AppendBAT appends all of src's tail values to dst (same tail type),
+// returning dst. It is the bulk update primitive the delta-BAT design of
+// the SQL front-end relies on.
+func AppendBAT(dst, src *bat.BAT) *bat.BAT {
+	if dst.TailType() != src.TailType() {
+		panic(fmt.Sprintf("batalg: append %s to %s", src.TailType(), dst.TailType()))
+	}
+	n := src.Len()
+	switch dst.TailType() {
+	case bat.TypeInt:
+		for _, v := range src.Ints() {
+			dst.AppendInt(v)
+		}
+	case bat.TypeFloat:
+		for _, v := range src.Floats() {
+			dst.AppendFloat(v)
+		}
+	case bat.TypeBool:
+		for _, v := range src.Bools() {
+			dst.AppendBool(v)
+		}
+	case bat.TypeStr:
+		for i := 0; i < n; i++ {
+			dst.AppendStr(src.StrAt(i))
+		}
+	case bat.TypeOID:
+		for _, v := range src.OIDs() {
+			dst.AppendOID(v)
+		}
+	default:
+		panic("batalg: append to void tail")
+	}
+	return dst
+}

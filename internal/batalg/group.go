@@ -1,0 +1,308 @@
+package batalg
+
+import (
+	"sort"
+
+	"repro/internal/bat"
+)
+
+// Grouping and aggregation. Group assigns each tuple a dense group id;
+// aggregates then fold tail values per group in a single bulk pass — the
+// operator-at-a-time materializing style whose intermediates the recycler
+// (§6.1) can cache.
+
+// GroupResult is the output of Group/GroupCand.
+type GroupResult struct {
+	// IDs maps each input position to its dense group id (tail: oid).
+	IDs *bat.BAT
+	// Extents holds, per group id, the head OID of the first tuple of the
+	// group (a representative, used to fetch group-by key values).
+	Extents *bat.BAT
+	// Counts holds, per group id, the group cardinality.
+	Counts *bat.BAT
+	// NGroups is the number of distinct groups.
+	NGroups int
+}
+
+// Group computes dense group ids over an int tail.
+func Group(b *bat.BAT) GroupResult {
+	tail := b.Ints()
+	ids := make([]bat.OID, len(tail))
+	var extents []bat.OID
+	var counts []int64
+	lookup := make(map[int64]int, 1024)
+	for i, v := range tail {
+		g, ok := lookup[v]
+		if !ok {
+			g = len(extents)
+			lookup[v] = g
+			extents = append(extents, b.HSeq()+bat.OID(i))
+			counts = append(counts, 0)
+		}
+		ids[i] = bat.OID(g)
+		counts[g]++
+	}
+	return GroupResult{
+		IDs:     bat.FromOIDs(ids),
+		Extents: bat.FromOIDs(extents),
+		Counts:  bat.FromInts(counts),
+		NGroups: len(extents),
+	}
+}
+
+// GroupStr computes dense group ids over a string tail.
+func GroupStr(b *bat.BAT) GroupResult {
+	n := b.Len()
+	ids := make([]bat.OID, n)
+	var extents []bat.OID
+	var counts []int64
+	lookup := make(map[string]int, 1024)
+	for i := 0; i < n; i++ {
+		v := b.StrAt(i)
+		g, ok := lookup[v]
+		if !ok {
+			g = len(extents)
+			lookup[v] = g
+			extents = append(extents, b.HSeq()+bat.OID(i))
+			counts = append(counts, 0)
+		}
+		ids[i] = bat.OID(g)
+		counts[g]++
+	}
+	return GroupResult{
+		IDs:     bat.FromOIDs(ids),
+		Extents: bat.FromOIDs(extents),
+		Counts:  bat.FromInts(counts),
+		NGroups: len(extents),
+	}
+}
+
+// SubGroup refines an existing grouping by an additional int column: tuples
+// stay in the same refined group only if they agree on both the old group
+// and the new column. This is how multi-column GROUP BY chains.
+func SubGroup(prev GroupResult, b *bat.BAT) GroupResult {
+	tail := b.Ints()
+	prevIDs := prev.IDs.OIDs()
+	type key struct {
+		g bat.OID
+		v int64
+	}
+	ids := make([]bat.OID, len(tail))
+	var extents []bat.OID
+	var counts []int64
+	lookup := make(map[key]int, prev.NGroups*2)
+	for i, v := range tail {
+		k := key{prevIDs[i], v}
+		g, ok := lookup[k]
+		if !ok {
+			g = len(extents)
+			lookup[k] = g
+			extents = append(extents, b.HSeq()+bat.OID(i))
+			counts = append(counts, 0)
+		}
+		ids[i] = bat.OID(g)
+		counts[g]++
+	}
+	return GroupResult{
+		IDs:     bat.FromOIDs(ids),
+		Extents: bat.FromOIDs(extents),
+		Counts:  bat.FromInts(counts),
+		NGroups: len(extents),
+	}
+}
+
+// Sum folds an int tail to its total. Nil values are skipped.
+func Sum(b *bat.BAT) int64 {
+	var s int64
+	for _, v := range b.Ints() {
+		if v != bat.NilInt {
+			s += v
+		}
+	}
+	return s
+}
+
+// SumFloat folds a float tail to its total.
+func SumFloat(b *bat.BAT) float64 {
+	var s float64
+	for _, v := range b.Floats() {
+		s += v
+	}
+	return s
+}
+
+// Count returns the number of tuples.
+func Count(b *bat.BAT) int64 { return int64(b.Len()) }
+
+// Min returns the minimum int tail value; ok is false on an empty/all-nil BAT.
+func Min(b *bat.BAT) (int64, bool) {
+	first := true
+	var m int64
+	for _, v := range b.Ints() {
+		if v == bat.NilInt {
+			continue
+		}
+		if first || v < m {
+			m = v
+			first = false
+		}
+	}
+	return m, !first
+}
+
+// Max returns the maximum int tail value; ok is false on an empty/all-nil BAT.
+func Max(b *bat.BAT) (int64, bool) {
+	first := true
+	var m int64
+	for _, v := range b.Ints() {
+		if v == bat.NilInt {
+			continue
+		}
+		if first || v > m {
+			m = v
+			first = false
+		}
+	}
+	return m, !first
+}
+
+// SumPerGroup folds an int tail per group id; the result is aligned with
+// group ids 0..n-1.
+func SumPerGroup(vals *bat.BAT, g GroupResult) *bat.BAT {
+	out := make([]int64, g.NGroups)
+	ids := g.IDs.OIDs()
+	tail := vals.Ints()
+	for i, v := range tail {
+		if v != bat.NilInt {
+			out[ids[i]] += v
+		}
+	}
+	return bat.FromInts(out)
+}
+
+// SumFloatPerGroup folds a float tail per group id.
+func SumFloatPerGroup(vals *bat.BAT, g GroupResult) *bat.BAT {
+	out := make([]float64, g.NGroups)
+	ids := g.IDs.OIDs()
+	tail := vals.Floats()
+	for i, v := range tail {
+		out[ids[i]] += v
+	}
+	return bat.FromFloats(out)
+}
+
+// MinPerGroup folds minimum per group.
+func MinPerGroup(vals *bat.BAT, g GroupResult) *bat.BAT {
+	out := make([]int64, g.NGroups)
+	seen := make([]bool, g.NGroups)
+	ids := g.IDs.OIDs()
+	for i, v := range vals.Ints() {
+		if v == bat.NilInt {
+			continue
+		}
+		gid := ids[i]
+		if !seen[gid] || v < out[gid] {
+			out[gid] = v
+			seen[gid] = true
+		}
+	}
+	return bat.FromInts(out)
+}
+
+// MaxPerGroup folds maximum per group.
+func MaxPerGroup(vals *bat.BAT, g GroupResult) *bat.BAT {
+	out := make([]int64, g.NGroups)
+	seen := make([]bool, g.NGroups)
+	ids := g.IDs.OIDs()
+	for i, v := range vals.Ints() {
+		if v == bat.NilInt {
+			continue
+		}
+		gid := ids[i]
+		if !seen[gid] || v > out[gid] {
+			out[gid] = v
+			seen[gid] = true
+		}
+	}
+	return bat.FromInts(out)
+}
+
+// CountPerGroup returns per-group cardinalities (a copy of g.Counts).
+func CountPerGroup(g GroupResult) *bat.BAT { return g.Counts.Copy() }
+
+// Unique returns a candidate list naming the first occurrence of each
+// distinct int tail value, in head order.
+func Unique(b *bat.BAT) *bat.BAT {
+	tail := b.Ints()
+	seen := make(map[int64]struct{}, 1024)
+	out := make([]bat.OID, 0)
+	for i, v := range tail {
+		if _, ok := seen[v]; !ok {
+			seen[v] = struct{}{}
+			out = append(out, b.HSeq()+bat.OID(i))
+		}
+	}
+	return candList(out)
+}
+
+// Sort returns (sorted values, order) where order is a candidate list such
+// that LeftFetchJoin(order, b) yields the sorted values. The order BAT is
+// the handle other columns are aligned with (ORDER BY on one column drags
+// the projection columns along positionally).
+func Sort(b *bat.BAT) (*bat.BAT, *bat.BAT) {
+	n := b.Len()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	switch b.TailType() {
+	case bat.TypeInt:
+		tail := b.Ints()
+		sort.SliceStable(perm, func(i, j int) bool { return tail[perm[i]] < tail[perm[j]] })
+	case bat.TypeFloat:
+		tail := b.Floats()
+		sort.SliceStable(perm, func(i, j int) bool { return tail[perm[i]] < tail[perm[j]] })
+	case bat.TypeStr:
+		sort.SliceStable(perm, func(i, j int) bool { return b.StrAt(perm[i]) < b.StrAt(perm[j]) })
+	case bat.TypeOID:
+		tail := b.OIDs()
+		sort.SliceStable(perm, func(i, j int) bool { return tail[perm[i]] < tail[perm[j]] })
+	case bat.TypeVoid:
+		// already sorted
+	}
+	order := make([]bat.OID, n)
+	for i, p := range perm {
+		order[i] = b.HSeq() + bat.OID(p)
+	}
+	orderBAT := bat.FromOIDs(order)
+	sorted := LeftFetchJoin(orderBAT, b)
+	p := sorted.Props()
+	p.Sorted = true
+	sorted.SetProps(p)
+	return sorted, orderBAT
+}
+
+// SortDesc is Sort with descending order.
+func SortDesc(b *bat.BAT) (*bat.BAT, *bat.BAT) {
+	sorted, order := Sort(b)
+	n := sorted.Len()
+	ro := make([]bat.OID, n)
+	ord := order.OIDs()
+	for i := range ro {
+		ro[i] = ord[n-1-i]
+	}
+	orderBAT := bat.FromOIDs(ro)
+	rs := LeftFetchJoin(orderBAT, b)
+	p := rs.Props()
+	p.RevSorted = true
+	rs.SetProps(p)
+	return rs, orderBAT
+}
+
+// Head returns the first k entries of a candidate list (LIMIT).
+func Head(cand *bat.BAT, k int) *bat.BAT {
+	if k > cand.Len() {
+		k = cand.Len()
+	}
+	return cand.Slice(0, k)
+}

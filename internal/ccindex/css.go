@@ -1,0 +1,178 @@
+package ccindex
+
+import "sort"
+
+// CSSTree is a read-only Cache-Sensitive Search tree [31] over a sorted
+// key array: a directory of pointer-free nodes (each holding the maximum
+// key of a block of the level below), sized so one node fills a cache
+// line. Children are located arithmetically, eliminating pointer storage
+// and halving the cache lines touched per lookup versus a B+-tree.
+type CSSTree struct {
+	keys   []int64   // the sorted leaf array (not owned)
+	levels [][]int64 // levels[0] is directly above the leaves; last is root
+	fanout int
+}
+
+// BuildCSS builds a CSS-tree over sorted (ascending, duplicate-free is not
+// required). fanout is keys per directory node; 8 keys = one 64-byte line.
+func BuildCSS(sorted []int64, fanout int) *CSSTree {
+	if fanout < 2 {
+		fanout = 2
+	}
+	t := &CSSTree{keys: sorted, fanout: fanout}
+	cur := sorted
+	for len(cur) > fanout {
+		next := make([]int64, 0, (len(cur)+fanout-1)/fanout)
+		for i := 0; i < len(cur); i += fanout {
+			hi := i + fanout
+			if hi > len(cur) {
+				hi = len(cur)
+			}
+			next = append(next, cur[hi-1]) // max of block
+		}
+		t.levels = append(t.levels, next)
+		cur = next
+	}
+	return t
+}
+
+// Search returns the position of k in the sorted array (or the insertion
+// point) and whether k is present.
+func (t *CSSTree) Search(k int64) (int, bool) {
+	// Descend from the root level: at each level, find the first block max
+	// >= k within the current node's block, then narrow.
+	blockAt := 0 // index of the current block within the current level
+	for li := len(t.levels) - 1; li >= 0; li-- {
+		level := t.levels[li]
+		lo := blockAt * t.fanout
+		hi := lo + t.fanout
+		if hi > len(level) {
+			hi = len(level)
+		}
+		if lo >= len(level) {
+			blockAt = lo
+			continue
+		}
+		j := lo
+		for j < hi && level[j] < k {
+			j++
+		}
+		if j == hi {
+			j = hi - 1
+		}
+		blockAt = j
+	}
+	lo := blockAt * t.fanout
+	hi := lo + t.fanout
+	if hi > len(t.keys) {
+		hi = len(t.keys)
+	}
+	if lo > len(t.keys) {
+		lo = len(t.keys)
+	}
+	i := lo
+	for i < hi && t.keys[i] < k {
+		i++
+	}
+	return i, i < len(t.keys) && t.keys[i] == k
+}
+
+// Levels returns the number of directory levels (0 for tiny arrays).
+func (t *CSSTree) Levels() int { return len(t.levels) }
+
+// CSBTree is a CSB+-tree [32]: a search tree whose node stores keys plus a
+// single first-child index; all children of a node are stored contiguously
+// in one array, so sibling pointers are implicit.
+type CSBTree struct {
+	nodes  []csbNode
+	keys   []int64 // sorted leaf array (not owned)
+	fanout int
+	root   int
+}
+
+type csbNode struct {
+	keys       []int64
+	firstChild int // index of first child node; -1 at the lowest level
+	leafBlock  int // block index into keys at the lowest level
+}
+
+// BuildCSB builds a CSB+-tree over a sorted array.
+func BuildCSB(sorted []int64, fanout int) *CSBTree {
+	if fanout < 2 {
+		fanout = 2
+	}
+	t := &CSBTree{keys: sorted, fanout: fanout}
+	// Lowest directory level: one node per leaf block.
+	nblocks := (len(sorted) + fanout - 1) / fanout
+	if nblocks == 0 {
+		nblocks = 1
+	}
+	level := make([]int, 0, nblocks)
+	for b := 0; b < nblocks; b++ {
+		hi := (b + 1) * fanout
+		if hi > len(sorted) {
+			hi = len(sorted)
+		}
+		var maxKey int64
+		if hi > b*fanout {
+			maxKey = sorted[hi-1]
+		}
+		t.nodes = append(t.nodes, csbNode{keys: []int64{maxKey}, firstChild: -1, leafBlock: b})
+		level = append(level, len(t.nodes)-1)
+	}
+	// Build upper levels; children of each node are contiguous by
+	// construction order.
+	for len(level) > 1 {
+		var next []int
+		for i := 0; i < len(level); i += fanout {
+			hi := i + fanout
+			if hi > len(level) {
+				hi = len(level)
+			}
+			n := csbNode{firstChild: level[i], leafBlock: -1}
+			for _, ci := range level[i:hi] {
+				ks := t.nodes[ci].keys
+				n.keys = append(n.keys, ks[len(ks)-1])
+			}
+			t.nodes = append(t.nodes, n)
+			next = append(next, len(t.nodes)-1)
+		}
+		level = next
+	}
+	t.root = level[0]
+	return t
+}
+
+// Search returns the position of k in the sorted array (or insertion
+// point) and whether it is present.
+func (t *CSBTree) Search(k int64) (int, bool) {
+	ni := t.root
+	for {
+		n := &t.nodes[ni]
+		if n.firstChild < 0 {
+			lo := n.leafBlock * t.fanout
+			hi := lo + t.fanout
+			if hi > len(t.keys) {
+				hi = len(t.keys)
+			}
+			i := lo
+			for i < hi && t.keys[i] < k {
+				i++
+			}
+			return i, i < len(t.keys) && t.keys[i] == k
+		}
+		j := 0
+		for j < len(n.keys)-1 && n.keys[j] < k {
+			j++
+		}
+		// children are contiguous: arithmetic addressing
+		ni = n.firstChild + j
+	}
+}
+
+// BinarySearch is the baseline: position of k in sorted (or insertion
+// point), plus presence.
+func BinarySearch(sorted []int64, k int64) (int, bool) {
+	i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= k })
+	return i, i < len(sorted) && sorted[i] == k
+}

@@ -1,0 +1,128 @@
+package ccindex
+
+import (
+	"repro/internal/simhw"
+)
+
+// Instrumented lookup-pattern replays for experiment E11 (and the B-tree
+// side of E1): per-structure memory reference streams fed to the simulated
+// hierarchy. n is the number of keys; lookups the number of point queries.
+
+const keyBytes = 8
+
+func mix(i uint64) uint64 {
+	i ^= i >> 33
+	i *= 0xFF51AFD7ED558CCD
+	i ^= i >> 33
+	i *= 0xC4CEB9FE1A85EC53
+	i ^= i >> 33
+	return i
+}
+
+// TracePositional replays array-positional lookups (the void-head BAT O(1)
+// access of §3): one read per lookup.
+func TracePositional(sim *simhw.Sim, n, lookups int) simhw.Stats {
+	before := sim.Stats()
+	base := sim.Alloc(n * keyBytes)
+	for i := 0; i < lookups; i++ {
+		pos := mix(uint64(i)) % uint64(n)
+		sim.Read(base+pos*keyBytes, keyBytes)
+	}
+	return deltaStats(before, sim.Stats())
+}
+
+// TraceBinarySearch replays binary searches over a sorted array of n keys.
+func TraceBinarySearch(sim *simhw.Sim, n, lookups int) simhw.Stats {
+	before := sim.Stats()
+	base := sim.Alloc(n * keyBytes)
+	for i := 0; i < lookups; i++ {
+		target := mix(uint64(i)) % uint64(n)
+		lo, hi := 0, n
+		for lo < hi {
+			mid := (lo + hi) / 2
+			sim.Read(base+uint64(mid)*keyBytes, keyBytes)
+			if uint64(mid) < target {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+	}
+	return deltaStats(before, sim.Stats())
+}
+
+// TraceBTree replays B+-tree lookups: per level, one node (two cache
+// lines: keys + child pointers in separate arrays) at a random address —
+// the pointer-chasing pattern of slotted-page indexes.
+func TraceBTree(sim *simhw.Sim, n, fanout, lookups int) simhw.Stats {
+	before := sim.Stats()
+	depth := 1
+	for c := fanout; c < n; c *= fanout {
+		depth++
+	}
+	nodeBytes := fanout * (keyBytes + 8) // keys + pointers
+	nnodes := 2 * n / fanout
+	if nnodes < 1 {
+		nnodes = 1
+	}
+	base := sim.Alloc(nnodes * nodeBytes)
+	for i := 0; i < lookups; i++ {
+		for d := 0; d < depth; d++ {
+			node := mix(uint64(i)*31+uint64(d)) % uint64(nnodes)
+			addr := base + node*uint64(nodeBytes)
+			// touch the key area (binary search within node: ~2 lines)
+			sim.Read(addr, 64)
+			sim.Read(addr+uint64(nodeBytes)/2, 64)
+		}
+	}
+	return deltaStats(before, sim.Stats())
+}
+
+// TraceCSS replays CSS-tree lookups: per level one pointer-free node of
+// exactly one cache line, plus the final leaf block; directory levels are
+// small and stay cache resident.
+func TraceCSS(sim *simhw.Sim, n, fanout, lookups int) simhw.Stats {
+	before := sim.Stats()
+	// Level sizes, bottom-up.
+	var levels []int
+	for cur := n; cur > fanout; cur = (cur + fanout - 1) / fanout {
+		levels = append(levels, (cur+fanout-1)/fanout)
+	}
+	bases := make([]uint64, len(levels))
+	for i, sz := range levels {
+		bases[i] = sim.Alloc(sz * keyBytes)
+	}
+	leaf := sim.Alloc(n * keyBytes)
+	for i := 0; i < lookups; i++ {
+		target := mix(uint64(i)) % uint64(n)
+		// Directory descent: one node (cache line) per level, address
+		// determined arithmetically from the target block.
+		for li := len(levels) - 1; li >= 0; li-- {
+			blk := target
+			for j := 0; j <= li; j++ {
+				blk /= uint64(fanout)
+			}
+			sim.Read(bases[li]+blk*keyBytes, 64)
+		}
+		// Leaf block: one line.
+		sim.Read(leaf+(target/uint64(fanout))*uint64(fanout)*keyBytes, 64)
+	}
+	return deltaStats(before, sim.Stats())
+}
+
+func deltaStats(a, b simhw.Stats) simhw.Stats {
+	d := simhw.Stats{
+		Accesses:  b.Accesses - a.Accesses,
+		TLBMisses: b.TLBMisses - a.TLBMisses,
+		TimeNS:    b.TimeNS - a.TimeNS,
+	}
+	d.Levels = make([]simhw.LevelStats, len(b.Levels))
+	for i := range b.Levels {
+		d.Levels[i] = simhw.LevelStats{
+			Hits:       b.Levels[i].Hits - a.Levels[i].Hits,
+			SeqMisses:  b.Levels[i].SeqMisses - a.Levels[i].SeqMisses,
+			RandMisses: b.Levels[i].RandMisses - a.Levels[i].RandMisses,
+		}
+	}
+	return d
+}

@@ -1,0 +1,277 @@
+// Package costmodel implements the generic database cost model for
+// hierarchical memory systems of §4.4 (Manegold, Boncz, Kersten [26, 24]).
+//
+// Data structures are abstracted as data regions; algorithm behaviour is
+// described as compounds of a few basic access patterns (sequential
+// traversal, random traversal, multi-cursor scatter/gather). For each
+// pattern, per-level cost functions estimate the number and kind (seq vs
+// random) of cache and TLB misses; the total memory cost is then
+//
+//	TMem = Σ_levels ( Ms·ls + Mr·lr )
+//
+// exactly as in the paper. Estimates are validated against the simulated
+// hierarchy in internal/simhw (experiment E5).
+package costmodel
+
+import (
+	"math"
+
+	"repro/internal/simhw"
+)
+
+// Miss is a per-level miss estimate, split by kind.
+type Miss struct {
+	Seq  float64
+	Rand float64
+}
+
+// Total returns combined misses.
+func (m Miss) Total() float64 { return m.Seq + m.Rand }
+
+// Pattern is one basic (or compound) data access pattern. Implementations
+// report expected misses against a single cache level of the given capacity
+// and line size. The TLB is treated as just another level whose "line" is
+// the page and whose capacity is entries×pagesize, following the paper's
+// "treat all cache levels individually, though equally" approach.
+type Pattern interface {
+	// Misses estimates misses against a cache of capacity cap bytes with
+	// line size line bytes.
+	Misses(cap, line int) Miss
+	// Accesses returns the number of logical accesses the pattern makes
+	// (used to charge the L1 hit time).
+	Accesses() float64
+}
+
+// SeqTraverse is s_trav: one sequential pass over a region of Bytes bytes,
+// touching every byte via N accesses.
+type SeqTraverse struct {
+	Bytes int
+	N     int
+}
+
+// Misses implements Pattern: one compulsory miss per line, all streamed.
+func (p SeqTraverse) Misses(cap, line int) Miss {
+	lines := math.Ceil(float64(p.Bytes) / float64(line))
+	if lines < 1 {
+		lines = 1
+	}
+	return Miss{Seq: lines - 1, Rand: 1}
+}
+
+// Accesses implements Pattern.
+func (p SeqTraverse) Accesses() float64 { return float64(p.N) }
+
+// RepeatSeq is repeated sequential traversal: Passes passes over the region.
+// Passes beyond the first hit only if the region fits the level.
+type RepeatSeq struct {
+	Bytes  int
+	N      int // accesses per pass
+	Passes int
+}
+
+// Misses implements Pattern.
+func (p RepeatSeq) Misses(cap, line int) Miss {
+	one := SeqTraverse{Bytes: p.Bytes, N: p.N}.Misses(cap, line)
+	if p.Bytes <= cap {
+		return one // compulsory only; later passes hit
+	}
+	return Miss{Seq: one.Seq * float64(p.Passes), Rand: one.Rand * float64(p.Passes)}
+}
+
+// Accesses implements Pattern.
+func (p RepeatSeq) Accesses() float64 { return float64(p.N * p.Passes) }
+
+// RandTraverse is r_trav: N accesses uniformly distributed over a region of
+// Bytes bytes.
+type RandTraverse struct {
+	Bytes int
+	N     int
+}
+
+// Misses implements Pattern: expected distinct lines touched (compulsory)
+// plus steady-state capacity misses when the region exceeds the level.
+func (p RandTraverse) Misses(cap, line int) Miss {
+	L := float64(p.Bytes) / float64(line)
+	if L < 1 {
+		L = 1
+	}
+	n := float64(p.N)
+	// Expected distinct lines touched by n uniform accesses.
+	distinct := L * (1 - math.Pow(1-1/L, n))
+	m := distinct
+	if p.Bytes > cap {
+		pMiss := 1 - float64(cap)/float64(p.Bytes)
+		m += (n - distinct) * pMiss
+	}
+	if m > n {
+		m = n
+	}
+	return Miss{Rand: m}
+}
+
+// Accesses implements Pattern.
+func (p RandTraverse) Accesses() float64 { return float64(p.N) }
+
+// Scatter models N writes distributed over Regions concurrently active
+// cursors that together cover Bytes bytes, each cursor advancing
+// sequentially — the inner pattern of a radix-cluster pass (§4.1–4.2).
+// While the cursor working set (one line per region) fits the level, cost
+// degenerates to a sequential traversal; once Regions exceeds the level's
+// line (or TLB entry) count, every access misses: the thrashing cliff of
+// the paper.
+type Scatter struct {
+	Regions int
+	Bytes   int
+	N       int
+}
+
+// Misses implements Pattern.
+func (p Scatter) Misses(cap, line int) Miss {
+	lines := math.Ceil(float64(p.Bytes) / float64(line))
+	if lines < 1 {
+		lines = 1
+	}
+	capLines := float64(cap) / float64(line)
+	h := float64(p.Regions)
+	if h < 1 {
+		h = 1
+	}
+	// Probability a cursor's current line is still resident when the next
+	// write to its region arrives. Set associativity and the interleaved
+	// read stream steal roughly half the nominal capacity, so pressure
+	// starts at h > capLines/2 (calibrated against simhw, experiment E5).
+	resident := 1.0
+	if 2*h > capLines {
+		resident = capLines / (2 * h)
+	}
+	compulsory := Miss{Seq: lines - h, Rand: h}
+	if compulsory.Seq < 0 {
+		compulsory.Seq = 0
+	}
+	extra := (float64(p.N) - lines) * (1 - resident)
+	if extra < 0 {
+		extra = 0
+	}
+	// Evicted-and-refetched cursor lines are random fetches.
+	return Miss{Seq: compulsory.Seq * resident, Rand: compulsory.Rand + compulsory.Seq*(1-resident) + extra}
+}
+
+// Accesses implements Pattern.
+func (p Scatter) Accesses() float64 { return float64(p.N) }
+
+// Gather is the read-direction Scatter (e.g. the decluster merge phase with
+// Regions concurrent sequential read cursors). Cost symmetric to Scatter.
+type Gather Scatter
+
+// Misses implements Pattern.
+func (p Gather) Misses(cap, line int) Miss { return Scatter(p).Misses(cap, line) }
+
+// Accesses implements Pattern.
+func (p Gather) Accesses() float64 { return float64(p.N) }
+
+// Sequence is the compound pattern "p1 then p2 then ...", with costs
+// summed. Cache state carry-over between sub-patterns is ignored, the
+// paper's ⊕ combination for non-overlapping phases.
+type Sequence []Pattern
+
+// Misses implements Pattern.
+func (s Sequence) Misses(cap, line int) Miss {
+	var out Miss
+	for _, p := range s {
+		m := p.Misses(cap, line)
+		out.Seq += m.Seq
+		out.Rand += m.Rand
+	}
+	return out
+}
+
+// Accesses implements Pattern.
+func (s Sequence) Accesses() float64 {
+	var n float64
+	for _, p := range s {
+		n += p.Accesses()
+	}
+	return n
+}
+
+// Concurrent is the compound pattern of interleaved sub-patterns competing
+// for the same level. The paper's ⊙ operator divides the effective capacity
+// among the sub-patterns by footprint; we approximate with an even split.
+type Concurrent []Pattern
+
+// Misses implements Pattern.
+func (c Concurrent) Misses(cap, line int) Miss {
+	if len(c) == 0 {
+		return Miss{}
+	}
+	share := cap / len(c)
+	var out Miss
+	for _, p := range c {
+		m := p.Misses(share, line)
+		out.Seq += m.Seq
+		out.Rand += m.Rand
+	}
+	return out
+}
+
+// Accesses implements Pattern.
+func (c Concurrent) Accesses() float64 {
+	var n float64
+	for _, p := range c {
+		n += p.Accesses()
+	}
+	return n
+}
+
+// LevelPrediction is the per-level output of Predict.
+type LevelPrediction struct {
+	Name string
+	Miss Miss
+}
+
+// Prediction is the full model output for one pattern on one hierarchy.
+type Prediction struct {
+	Levels    []LevelPrediction // cache levels (excluding memory)
+	TLBMisses float64
+	TimeNS    float64
+}
+
+// Predict evaluates pattern p against hierarchy h, returning per-level miss
+// estimates and the total memory access time TMem = Σ Ms·ls + Mr·lr (plus
+// the L1 hit charge per access, mirroring simhw's accounting).
+func Predict(h simhw.Hierarchy, p Pattern) Prediction {
+	var out Prediction
+	out.TimeNS = p.Accesses() * h.Levels[0].LatSeqNS
+	for i := 0; i < len(h.Levels)-1; i++ {
+		lv := h.Levels[i]
+		m := p.Misses(lv.Capacity, lv.LineSize)
+		out.Levels = append(out.Levels, LevelPrediction{Name: lv.Name, Miss: m})
+		next := h.Levels[i+1]
+		out.TimeNS += m.Seq*next.LatSeqNS + m.Rand*next.LatRandNS
+	}
+	tlb := p.Misses(h.TLB.Entries*h.TLB.PageSize, h.TLB.PageSize)
+	out.TLBMisses = tlb.Total()
+	out.TimeNS += out.TLBMisses * h.TLB.MissNS
+	return out
+}
+
+// RadixClusterPattern returns the compound pattern of a P-pass
+// radix-cluster of n tuples of tupleBytes bytes with the given per-pass bit
+// counts: per pass, a sequential read of the relation interleaved with a
+// scatter to 2^bits regions.
+func RadixClusterPattern(n, tupleBytes int, passBits []int) Pattern {
+	var seq Sequence
+	for _, b := range passBits {
+		if b == 0 {
+			continue
+		}
+		seq = append(seq, Concurrent{
+			SeqTraverse{Bytes: n * tupleBytes, N: n},
+			Scatter{Regions: 1 << b, Bytes: n * tupleBytes, N: n},
+		})
+	}
+	if len(seq) == 0 {
+		return Sequence{}
+	}
+	return seq
+}

@@ -1,0 +1,271 @@
+// Package crack implements database cracking (paper §6.1, [22, 18]): a
+// self-organizing, knob-free alternative to upfront index building. The
+// first query on a column copies it into a cracker column; every subsequent
+// range query physically reorganizes ("cracks") the pieces it touches, so
+// the column gradually approaches sorted order exactly where the workload
+// cares — index maintenance inside the critical path of query processing.
+package crack
+
+import (
+	"sort"
+
+	"repro/internal/bat"
+)
+
+// bound records that positions < Pos hold values < Val and positions >= Pos
+// hold values >= Val. Bounds are kept sorted by Val (hence also by Pos).
+type bound struct {
+	Val int64
+	Pos int
+}
+
+// Index is a cracker index over one integer column.
+type Index struct {
+	vals []int64   // the cracker column (physically reorganized)
+	oids []bat.OID // original head OIDs, moved alongside vals
+	bnds []bound
+
+	// Pending inserts ripple into the cracked array on Insert; deletes are
+	// tombstones filtered at query time.
+	deleted map[bat.OID]bool
+
+	// CrackInThree enables three-way cracking when both range bounds fall
+	// into one piece (the E9 ablation knob).
+	CrackInThree bool
+
+	// Cracks counts physical reorganization operations, for the harness.
+	Cracks int
+}
+
+// New builds a cracker index by copying the column (the one-time cost the
+// first query pays).
+func New(col *bat.BAT) *Index {
+	src := col.Ints()
+	ix := &Index{
+		vals:    append([]int64(nil), src...),
+		oids:    make([]bat.OID, len(src)),
+		deleted: make(map[bat.OID]bool),
+	}
+	h := col.HSeq()
+	for i := range ix.oids {
+		ix.oids[i] = h + bat.OID(i)
+	}
+	return ix
+}
+
+// Len returns the number of values in the cracker column.
+func (ix *Index) Len() int { return len(ix.vals) }
+
+// NumPieces returns the number of cracked pieces.
+func (ix *Index) NumPieces() int { return len(ix.bnds) + 1 }
+
+// pieceOf returns the index range [lo,hi) of the piece that must contain
+// value v, per the current bounds.
+func (ix *Index) pieceOf(v int64) (lo, hi int) {
+	// First bound with Val > v ends the piece; the previous starts it.
+	i := sort.Search(len(ix.bnds), func(i int) bool { return ix.bnds[i].Val > v })
+	lo, hi = 0, len(ix.vals)
+	if i > 0 {
+		lo = ix.bnds[i-1].Pos
+	}
+	if i < len(ix.bnds) {
+		hi = ix.bnds[i].Pos
+	}
+	return lo, hi
+}
+
+// crackAt partitions so that values < v precede position p and values >= v
+// follow, returning p. Only the single piece containing v is touched.
+func (ix *Index) crackAt(v int64) int {
+	// Existing bound?
+	i := sort.Search(len(ix.bnds), func(i int) bool { return ix.bnds[i].Val >= v })
+	if i < len(ix.bnds) && ix.bnds[i].Val == v {
+		return ix.bnds[i].Pos
+	}
+	lo, hi := ix.pieceOf(v)
+	p := ix.partition(lo, hi, v)
+	ix.insertBound(bound{Val: v, Pos: p})
+	ix.Cracks++
+	return p
+}
+
+// partition reorders vals[lo:hi] so values < v come first; returns the
+// split position.
+func (ix *Index) partition(lo, hi int, v int64) int {
+	i, j := lo, hi-1
+	for i <= j {
+		for i <= j && ix.vals[i] < v {
+			i++
+		}
+		for i <= j && ix.vals[j] >= v {
+			j--
+		}
+		if i < j {
+			ix.swap(i, j)
+			i++
+			j--
+		}
+	}
+	return i
+}
+
+func (ix *Index) swap(i, j int) {
+	ix.vals[i], ix.vals[j] = ix.vals[j], ix.vals[i]
+	ix.oids[i], ix.oids[j] = ix.oids[j], ix.oids[i]
+}
+
+func (ix *Index) insertBound(b bound) {
+	i := sort.Search(len(ix.bnds), func(i int) bool { return ix.bnds[i].Val > b.Val })
+	ix.bnds = append(ix.bnds, bound{})
+	copy(ix.bnds[i+1:], ix.bnds[i:])
+	ix.bnds[i] = b
+}
+
+// crackThree three-way partitions piece [lo,hi) around [a,b): <a, [a,b), >=b.
+func (ix *Index) crackThree(lo, hi int, a, b int64) (p1, p2 int) {
+	p1 = ix.partition(lo, hi, a)
+	p2 = ix.partition(p1, hi, b)
+	ix.insertBound(bound{Val: a, Pos: p1})
+	ix.insertBound(bound{Val: b, Pos: p2})
+	ix.Cracks++
+	return p1, p2
+}
+
+// RangeOIDs returns the head OIDs of tuples with lo <= value < hi, cracking
+// the touched pieces as a side effect. The result order follows the cracker
+// column's physical order.
+func (ix *Index) RangeOIDs(lo, hi int64) []bat.OID {
+	if lo >= hi || len(ix.vals) == 0 {
+		return nil
+	}
+	var p1, p2 int
+	if ix.CrackInThree {
+		plo1, phi1 := ix.pieceOf(lo)
+		plo2, phi2 := ix.pieceOf(hi)
+		if plo1 == plo2 && phi1 == phi2 && !ix.hasBound(lo) && !ix.hasBound(hi) {
+			p1, p2 = ix.crackThree(plo1, phi1, lo, hi)
+		} else {
+			p1 = ix.crackAt(lo)
+			p2 = ix.crackAt(hi)
+		}
+	} else {
+		p1 = ix.crackAt(lo)
+		p2 = ix.crackAt(hi)
+	}
+	out := make([]bat.OID, 0, p2-p1)
+	for i := p1; i < p2; i++ {
+		if !ix.deleted[ix.oids[i]] {
+			out = append(out, ix.oids[i])
+		}
+	}
+	return out
+}
+
+func (ix *Index) hasBound(v int64) bool {
+	i := sort.Search(len(ix.bnds), func(i int) bool { return ix.bnds[i].Val >= v })
+	return i < len(ix.bnds) && ix.bnds[i].Val == v
+}
+
+// RangeSelect is RangeOIDs with the result delivered as a sorted candidate
+// BAT, interchangeable with batalg.RangeSelect output.
+func (ix *Index) RangeSelect(lo, hi int64) *bat.BAT {
+	oids := ix.RangeOIDs(lo, hi)
+	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+	b := bat.FromOIDs(oids)
+	b.SetProps(bat.Props{Sorted: true, RevSorted: len(oids) <= 1, Key: true, NoNil: true})
+	return b
+}
+
+// Insert adds a value with the given OID, rippling it into the correct
+// piece: one element moves per piece boundary crossed — the merge-ripple
+// mechanism that keeps cracking cheap under updates [18].
+func (ix *Index) Insert(v int64, oid bat.OID) {
+	// Target piece index: first bound with Val > v.
+	t := sort.Search(len(ix.bnds), func(i int) bool { return ix.bnds[i].Val > v })
+	// Open a hole at the end, then ripple it left to the end of piece t:
+	// each piece after t donates its first element to its own tail.
+	ix.vals = append(ix.vals, 0)
+	ix.oids = append(ix.oids, 0)
+	hole := len(ix.vals) - 1
+	for j := len(ix.bnds) - 1; j >= t; j-- {
+		first := ix.bnds[j].Pos
+		ix.vals[hole] = ix.vals[first]
+		ix.oids[hole] = ix.oids[first]
+		hole = first
+		ix.bnds[j].Pos++
+	}
+	ix.vals[hole] = v
+	ix.oids[hole] = oid
+}
+
+// Delete tombstones the tuple with the given OID.
+func (ix *Index) Delete(oid bat.OID) { ix.deleted[oid] = true }
+
+// CheckInvariants verifies that every piece respects its bounds; tests and
+// the property harness call it after random operation sequences.
+func (ix *Index) CheckInvariants() bool {
+	for bi, b := range ix.bnds {
+		if b.Pos < 0 || b.Pos > len(ix.vals) {
+			return false
+		}
+		if bi > 0 && (ix.bnds[bi-1].Val >= b.Val || ix.bnds[bi-1].Pos > b.Pos) {
+			return false
+		}
+	}
+	for i, v := range ix.vals {
+		for _, b := range ix.bnds {
+			if i < b.Pos && v >= b.Val {
+				return false
+			}
+			if i >= b.Pos && v < b.Val {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// --- baselines for experiment E9 ---
+
+// ScanBaseline answers a range query by a full scan (no index at all).
+func ScanBaseline(col *bat.BAT, lo, hi int64) []bat.OID {
+	var out []bat.OID
+	h := col.HSeq()
+	for i, v := range col.Ints() {
+		if v >= lo && v < hi {
+			out = append(out, h+bat.OID(i))
+		}
+	}
+	return out
+}
+
+// SortedIndex is the "complete table sorting upfront" baseline the paper
+// says cracking is competitive with.
+type SortedIndex struct {
+	vals []int64
+	oids []bat.OID
+}
+
+// NewSorted pays the full sort cost immediately.
+func NewSorted(col *bat.BAT) *SortedIndex {
+	src := col.Ints()
+	idx := make([]int, len(src))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return src[idx[i]] < src[idx[j]] })
+	s := &SortedIndex{vals: make([]int64, len(src)), oids: make([]bat.OID, len(src))}
+	h := col.HSeq()
+	for i, p := range idx {
+		s.vals[i] = src[p]
+		s.oids[i] = h + bat.OID(p)
+	}
+	return s
+}
+
+// RangeOIDs answers by binary search on the fully sorted copy.
+func (s *SortedIndex) RangeOIDs(lo, hi int64) []bat.OID {
+	p1 := sort.Search(len(s.vals), func(i int) bool { return s.vals[i] >= lo })
+	p2 := sort.Search(len(s.vals), func(i int) bool { return s.vals[i] >= hi })
+	return s.oids[p1:p2]
+}

@@ -1,0 +1,181 @@
+// Package datacell implements the DataCell stream engine experiment (paper
+// §6.2, [21, 23]): a data stream management solution built on the complete
+// relational stack. Its salient feature is incremental *bulk*-event
+// processing: incoming events are collected into baskets (bound to BATs)
+// and each continuous query is evaluated once per basket with the bulk
+// relational operators, instead of once per event. Predicate-based window
+// processing comes for free from ordinary relational selection.
+package datacell
+
+import (
+	"fmt"
+
+	"repro/internal/bat"
+	"repro/internal/batalg"
+)
+
+// Event is one stream tuple.
+type Event struct {
+	TS  int64 // logical timestamp (monotone)
+	Key int64
+	Val int64
+}
+
+// Query is a continuous aggregation: per tumbling window of Window events,
+// emit the sum and count of Val over events with Lo <= Key < Hi.
+type Query struct {
+	ID     int
+	Lo, Hi int64
+	Window int
+}
+
+// WindowResult is one emitted window aggregate.
+type WindowResult struct {
+	QueryID int
+	Window  int // window ordinal
+	Sum     int64
+	Count   int64
+}
+
+// Engine is the basket-based (bulk) stream engine.
+type Engine struct {
+	queries []Query
+	basket  []Event
+	// BasketSize is the number of events per processing batch; it must
+	// divide (or be divided by) each query window for aligned emission, so
+	// windows are required to be multiples of BasketSize.
+	BasketSize int
+
+	seen    int
+	partial map[int]*WindowResult
+	out     []WindowResult
+
+	// reused basket column buffers
+	keyBuf, valBuf []int64
+}
+
+// NewEngine returns a bulk engine with the given basket size.
+func NewEngine(basketSize int, queries []Query) (*Engine, error) {
+	if basketSize < 1 {
+		return nil, fmt.Errorf("datacell: basket size %d", basketSize)
+	}
+	for _, q := range queries {
+		if q.Window%basketSize != 0 {
+			return nil, fmt.Errorf("datacell: query %d window %d not a multiple of basket %d",
+				q.ID, q.Window, basketSize)
+		}
+	}
+	return &Engine{queries: queries, BasketSize: basketSize, partial: map[int]*WindowResult{}}, nil
+}
+
+// Push appends an event; full baskets are processed in bulk.
+func (e *Engine) Push(ev Event) {
+	e.basket = append(e.basket, ev)
+	if len(e.basket) >= e.BasketSize {
+		e.processBasket()
+	}
+}
+
+// Flush processes any buffered partial basket (ending the stream).
+func (e *Engine) Flush() {
+	if len(e.basket) > 0 {
+		e.processBasket()
+	}
+	// Emit dangling partials.
+	for _, q := range e.queries {
+		if p, ok := e.partial[q.ID]; ok && p.Count >= 0 && e.seen%q.Window != 0 {
+			e.out = append(e.out, *p)
+			delete(e.partial, q.ID)
+		}
+	}
+}
+
+// processBasket evaluates every continuous query against the basket using
+// the bulk BAT algebra, then folds results into window accumulators.
+func (e *Engine) processBasket() {
+	n := len(e.basket)
+	if cap(e.keyBuf) < n {
+		e.keyBuf = make([]int64, n)
+		e.valBuf = make([]int64, n)
+	}
+	keys := e.keyBuf[:n]
+	vals := e.valBuf[:n]
+	for i, ev := range e.basket {
+		keys[i] = ev.Key
+		vals[i] = ev.Val
+	}
+	kb := bat.WrapInts(keys)
+	vb := bat.WrapInts(vals)
+	for _, q := range e.queries {
+		cand := batalg.RangeSelect(kb, q.Lo, q.Hi, true, false)
+		matched := batalg.LeftFetchJoin(cand, vb)
+		sum := batalg.Sum(matched)
+		cnt := int64(matched.Len())
+
+		p, ok := e.partial[q.ID]
+		if !ok {
+			p = &WindowResult{QueryID: q.ID, Window: e.seen / q.Window}
+			e.partial[q.ID] = p
+		}
+		p.Sum += sum
+		p.Count += cnt
+		if (e.seen+n)%q.Window == 0 {
+			e.out = append(e.out, *p)
+			delete(e.partial, q.ID)
+		}
+	}
+	e.seen += n
+	e.basket = e.basket[:0]
+}
+
+// Results returns the emitted windows so far.
+func (e *Engine) Results() []WindowResult { return e.out }
+
+// --- per-event baseline ---
+
+// PerEventEngine processes every event against every query immediately:
+// the tuple-at-a-time stream processing DataCell's basket model replaces.
+type PerEventEngine struct {
+	queries []Query
+	seen    int
+	partial map[int]*WindowResult
+	out     []WindowResult
+}
+
+// NewPerEventEngine returns the baseline engine.
+func NewPerEventEngine(queries []Query) *PerEventEngine {
+	return &PerEventEngine{queries: queries, partial: map[int]*WindowResult{}}
+}
+
+// Push processes one event through every query.
+func (e *PerEventEngine) Push(ev Event) {
+	for _, q := range e.queries {
+		p, ok := e.partial[q.ID]
+		if !ok {
+			p = &WindowResult{QueryID: q.ID, Window: e.seen / q.Window}
+			e.partial[q.ID] = p
+		}
+		if ev.Key >= q.Lo && ev.Key < q.Hi {
+			p.Sum += ev.Val
+			p.Count++
+		}
+		if (e.seen+1)%q.Window == 0 {
+			e.out = append(e.out, *p)
+			delete(e.partial, q.ID)
+		}
+	}
+	e.seen++
+}
+
+// Flush emits dangling partial windows.
+func (e *PerEventEngine) Flush() {
+	for _, q := range e.queries {
+		if p, ok := e.partial[q.ID]; ok && e.seen%q.Window != 0 {
+			e.out = append(e.out, *p)
+			delete(e.partial, q.ID)
+		}
+	}
+}
+
+// Results returns the emitted windows so far.
+func (e *PerEventEngine) Results() []WindowResult { return e.out }

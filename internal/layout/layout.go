@@ -1,0 +1,328 @@
+// Package layout implements the three record-layout schemes the paper
+// discusses (§5, §7): NSM (slotted n-ary rows), DSM (one array per column),
+// and PAX (NSM-sized pages holding per-column minipages). Experiment E12
+// measures the two access shapes that separate them: full-column scans
+// touching few columns (DSM/PAX win) and row-wise random access touching
+// many columns (NSM wins), reproducing the DSM-vs-NSM block-processing
+// tradeoff of [46].
+package layout
+
+import (
+	"repro/internal/simhw"
+)
+
+// Relation is the abstract interface the experiment drives: a table of
+// int64 cells addressed by (row, col).
+type Relation interface {
+	Rows() int
+	Cols() int
+	// Get returns the cell value.
+	Get(row, col int) int64
+	// ScanSum sums the given columns over all rows, in the layout's most
+	// natural order.
+	ScanSum(cols []int) int64
+	// GatherSum sums the given columns over the given rows (random access).
+	GatherSum(rows []int, cols []int) int64
+}
+
+// NSM stores rows contiguously: cell (r,c) at data[r*C+c].
+type NSM struct {
+	data []int64
+	cols int
+}
+
+// NewNSM builds an NSM relation from row-major data.
+func NewNSM(rows, cols int, fill func(r, c int) int64) *NSM {
+	n := &NSM{data: make([]int64, rows*cols), cols: cols}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			n.data[r*cols+c] = fill(r, c)
+		}
+	}
+	return n
+}
+
+// Rows implements Relation.
+func (n *NSM) Rows() int { return len(n.data) / n.cols }
+
+// Cols implements Relation.
+func (n *NSM) Cols() int { return n.cols }
+
+// Get implements Relation.
+func (n *NSM) Get(r, c int) int64 { return n.data[r*n.cols+c] }
+
+// ScanSum implements Relation: row-major traversal (strided per column).
+func (n *NSM) ScanSum(cols []int) int64 {
+	var s int64
+	nr := n.Rows()
+	for r := 0; r < nr; r++ {
+		base := r * n.cols
+		for _, c := range cols {
+			s += n.data[base+c]
+		}
+	}
+	return s
+}
+
+// GatherSum implements Relation.
+func (n *NSM) GatherSum(rows []int, cols []int) int64 {
+	var s int64
+	for _, r := range rows {
+		base := r * n.cols
+		for _, c := range cols {
+			s += n.data[base+c]
+		}
+	}
+	return s
+}
+
+// DSM stores each column in its own array.
+type DSM struct {
+	colData [][]int64
+}
+
+// NewDSM builds a DSM relation.
+func NewDSM(rows, cols int, fill func(r, c int) int64) *DSM {
+	d := &DSM{colData: make([][]int64, cols)}
+	for c := 0; c < cols; c++ {
+		d.colData[c] = make([]int64, rows)
+		for r := 0; r < rows; r++ {
+			d.colData[c][r] = fill(r, c)
+		}
+	}
+	return d
+}
+
+// Rows implements Relation.
+func (d *DSM) Rows() int { return len(d.colData[0]) }
+
+// Cols implements Relation.
+func (d *DSM) Cols() int { return len(d.colData) }
+
+// Get implements Relation.
+func (d *DSM) Get(r, c int) int64 { return d.colData[c][r] }
+
+// ScanSum implements Relation: column-major, only touched columns read.
+func (d *DSM) ScanSum(cols []int) int64 {
+	var s int64
+	for _, c := range cols {
+		for _, v := range d.colData[c] {
+			s += v
+		}
+	}
+	return s
+}
+
+// GatherSum implements Relation: per row, one random access per column —
+// k separate cache lines, the DSM random-access penalty.
+func (d *DSM) GatherSum(rows []int, cols []int) int64 {
+	var s int64
+	for _, r := range rows {
+		for _, c := range cols {
+			s += d.colData[c][r]
+		}
+	}
+	return s
+}
+
+// PAX stores pages of pageRows rows; within a page, each column has a
+// contiguous minipage. I/O granularity is the page (like NSM); cache
+// behaviour within a page is columnar (like DSM).
+type PAX struct {
+	pages    [][]int64 // each page: cols * pageRows cells, minipage-major
+	cols     int
+	pageRows int
+	rows     int
+}
+
+// NewPAX builds a PAX relation with the given rows-per-page.
+func NewPAX(rows, cols, pageRows int, fill func(r, c int) int64) *PAX {
+	p := &PAX{cols: cols, pageRows: pageRows, rows: rows}
+	for base := 0; base < rows; base += pageRows {
+		n := pageRows
+		if base+n > rows {
+			n = rows - base
+		}
+		page := make([]int64, cols*pageRows)
+		for c := 0; c < cols; c++ {
+			for i := 0; i < n; i++ {
+				page[c*pageRows+i] = fill(base+i, c)
+			}
+		}
+		p.pages = append(p.pages, page)
+	}
+	return p
+}
+
+// Rows implements Relation.
+func (p *PAX) Rows() int { return p.rows }
+
+// Cols implements Relation.
+func (p *PAX) Cols() int { return p.cols }
+
+// Get implements Relation.
+func (p *PAX) Get(r, c int) int64 {
+	return p.pages[r/p.pageRows][c*p.pageRows+r%p.pageRows]
+}
+
+// ScanSum implements Relation: per page, touched minipages sequentially.
+func (p *PAX) ScanSum(cols []int) int64 {
+	var s int64
+	left := p.rows
+	for _, page := range p.pages {
+		n := p.pageRows
+		if left < n {
+			n = left
+		}
+		for _, c := range cols {
+			mp := page[c*p.pageRows : c*p.pageRows+n]
+			for _, v := range mp {
+				s += v
+			}
+		}
+		left -= n
+	}
+	return s
+}
+
+// GatherSum implements Relation.
+func (p *PAX) GatherSum(rows []int, cols []int) int64 {
+	var s int64
+	for _, r := range rows {
+		page := p.pages[r/p.pageRows]
+		off := r % p.pageRows
+		for _, c := range cols {
+			s += page[c*p.pageRows+off]
+		}
+	}
+	return s
+}
+
+// --- instrumented variants (miss counting on the simulated hierarchy) ---
+
+// Layout selects a scheme for the trace functions.
+type Layout uint8
+
+// Layout codes.
+const (
+	LNSM Layout = iota
+	LDSM
+	LPAX
+)
+
+// String names the layout.
+func (l Layout) String() string {
+	switch l {
+	case LNSM:
+		return "NSM"
+	case LDSM:
+		return "DSM"
+	default:
+		return "PAX"
+	}
+}
+
+// TraceScan replays a full scan of k touched columns (out of cols) over
+// rows rows into sim and returns the stats delta.
+func TraceScan(sim *simhw.Sim, l Layout, rows, cols, touched int) simhw.Stats {
+	before := sim.Stats()
+	const cell = 8
+	switch l {
+	case LNSM:
+		base := sim.Alloc(rows * cols * cell)
+		for r := 0; r < rows; r++ {
+			for c := 0; c < touched; c++ {
+				sim.Read(base+uint64((r*cols+c)*cell), cell)
+			}
+		}
+	case LDSM:
+		bases := make([]uint64, touched)
+		for c := range bases {
+			bases[c] = sim.Alloc(rows * cell)
+		}
+		for c := 0; c < touched; c++ {
+			for r := 0; r < rows; r++ {
+				sim.Read(bases[c]+uint64(r*cell), cell)
+			}
+		}
+	case LPAX:
+		pageRows := 512
+		npages := (rows + pageRows - 1) / pageRows
+		base := sim.Alloc(npages * cols * pageRows * cell)
+		for p := 0; p < npages; p++ {
+			pb := base + uint64(p*cols*pageRows*cell)
+			for c := 0; c < touched; c++ {
+				for i := 0; i < pageRows; i++ {
+					sim.Read(pb+uint64((c*pageRows+i)*cell), cell)
+				}
+			}
+		}
+	}
+	return deltaStats(before, sim.Stats())
+}
+
+// TraceGather replays n random row lookups touching k columns each.
+func TraceGather(sim *simhw.Sim, l Layout, rows, cols, touched, n int) simhw.Stats {
+	before := sim.Stats()
+	const cell = 8
+	switch l {
+	case LNSM:
+		base := sim.Alloc(rows * cols * cell)
+		for i := 0; i < n; i++ {
+			r := int(mix(uint64(i)) % uint64(rows))
+			for c := 0; c < touched; c++ {
+				sim.Read(base+uint64((r*cols+c)*cell), cell)
+			}
+		}
+	case LDSM:
+		bases := make([]uint64, touched)
+		for c := range bases {
+			bases[c] = sim.Alloc(rows * cell)
+		}
+		for i := 0; i < n; i++ {
+			r := int(mix(uint64(i)) % uint64(rows))
+			for c := 0; c < touched; c++ {
+				sim.Read(bases[c]+uint64(r*cell), cell)
+			}
+		}
+	case LPAX:
+		pageRows := 512
+		npages := (rows + pageRows - 1) / pageRows
+		base := sim.Alloc(npages * cols * pageRows * cell)
+		for i := 0; i < n; i++ {
+			r := int(mix(uint64(i)) % uint64(rows))
+			pb := base + uint64((r/pageRows)*cols*pageRows*cell)
+			off := r % pageRows
+			for c := 0; c < touched; c++ {
+				sim.Read(pb+uint64((c*pageRows+off)*cell), cell)
+			}
+		}
+	}
+	return deltaStats(before, sim.Stats())
+}
+
+func mix(i uint64) uint64 {
+	i ^= i >> 33
+	i *= 0xFF51AFD7ED558CCD
+	i ^= i >> 33
+	i *= 0xC4CEB9FE1A85EC53
+	i ^= i >> 33
+	return i
+}
+
+func deltaStats(a, b simhw.Stats) simhw.Stats {
+	d := simhw.Stats{
+		Accesses:  b.Accesses - a.Accesses,
+		TLBMisses: b.TLBMisses - a.TLBMisses,
+		TimeNS:    b.TimeNS - a.TimeNS,
+	}
+	d.Levels = make([]simhw.LevelStats, len(b.Levels))
+	for i := range b.Levels {
+		d.Levels[i] = simhw.LevelStats{
+			Hits:       b.Levels[i].Hits - a.Levels[i].Hits,
+			SeqMisses:  b.Levels[i].SeqMisses - a.Levels[i].SeqMisses,
+			RandMisses: b.Levels[i].RandMisses - a.Levels[i].RandMisses,
+		}
+	}
+	return d
+}

@@ -1,0 +1,196 @@
+// Package mal implements a miniature MonetDB Assembler Language: the
+// intermediate plan language front-ends compile to (paper §3, Figure 1).
+// A MAL program is a straight-line sequence of instructions over typed
+// variables; each instruction maps to exactly one bulk BAT-algebra
+// operator with zero degrees of freedom.
+//
+// The package also provides the middle optimizer tier of §3.1 — symbolic
+// optimizer modules assembled into pipelines (common-subexpression
+// elimination, dead-code elimination, recycler injection) — and the
+// bottom-tier interpreter that dispatches into internal/batalg.
+package mal
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bat"
+)
+
+// Kind tags a runtime value.
+type Kind uint8
+
+// Value kinds.
+const (
+	KBAT Kind = iota
+	KInt
+	KFloat
+	KStr
+	KBool
+)
+
+// Val is a runtime value: a BAT or a scalar.
+type Val struct {
+	Kind Kind
+	B    *bat.BAT
+	I    int64
+	F    float64
+	S    string
+	Bool bool
+}
+
+// IntVal wraps an int constant.
+func IntVal(v int64) Val { return Val{Kind: KInt, I: v} }
+
+// FloatVal wraps a float constant.
+func FloatVal(v float64) Val { return Val{Kind: KFloat, F: v} }
+
+// StrVal wraps a string constant.
+func StrVal(v string) Val { return Val{Kind: KStr, S: v} }
+
+// BATVal wraps a BAT.
+func BATVal(b *bat.BAT) Val { return Val{Kind: KBAT, B: b} }
+
+// String renders the value for diagnostics.
+func (v Val) String() string {
+	switch v.Kind {
+	case KBAT:
+		if v.B == nil {
+			return "nil:bat"
+		}
+		return v.B.String()
+	case KInt:
+		return fmt.Sprintf("%d:int", v.I)
+	case KFloat:
+		return fmt.Sprintf("%g:flt", v.F)
+	case KStr:
+		return fmt.Sprintf("%q:str", v.S)
+	case KBool:
+		return fmt.Sprintf("%v:bit", v.Bool)
+	}
+	return "?"
+}
+
+// Arg is an instruction argument: a variable reference (Var >= 0) or an
+// inline constant.
+type Arg struct {
+	Var   int
+	Const Val
+}
+
+// V references variable i.
+func V(i int) Arg { return Arg{Var: i} }
+
+// C wraps a constant argument.
+func C(v Val) Arg { return Arg{Var: -1, Const: v} }
+
+// CI wraps an int constant argument.
+func CI(v int64) Arg { return C(IntVal(v)) }
+
+// CS wraps a string constant argument.
+func CS(v string) Arg { return C(StrVal(v)) }
+
+// CF wraps a float constant argument.
+func CF(v float64) Arg { return C(FloatVal(v)) }
+
+// Instr is one MAL instruction: Rets := Op(Args).
+type Instr struct {
+	Op   string
+	Args []Arg
+	Rets []int
+}
+
+// String renders the instruction in MAL-ish syntax.
+func (in Instr) String() string {
+	var sb strings.Builder
+	for i, r := range in.Rets {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "X_%d", r)
+	}
+	if len(in.Rets) > 0 {
+		sb.WriteString(" := ")
+	}
+	sb.WriteString(in.Op)
+	sb.WriteByte('(')
+	for i, a := range in.Args {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		if a.Var >= 0 {
+			fmt.Fprintf(&sb, "X_%d", a.Var)
+		} else {
+			sb.WriteString(a.Const.String())
+		}
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// Program is a straight-line MAL program. Results lists the variables the
+// caller receives, ResultNames their external labels.
+type Program struct {
+	NVars       int
+	Instrs      []Instr
+	Results     []int
+	ResultNames []string
+}
+
+// String renders the whole program.
+func (p *Program) String() string {
+	var sb strings.Builder
+	for _, in := range p.Instrs {
+		sb.WriteString("    ")
+		sb.WriteString(in.String())
+		sb.WriteString(";\n")
+	}
+	fmt.Fprintf(&sb, "    return %v;\n", p.Results)
+	return sb.String()
+}
+
+// Builder incrementally constructs a Program.
+type Builder struct {
+	p Program
+}
+
+// NewBuilder returns an empty program builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// NewVar allocates a fresh variable.
+func (b *Builder) NewVar() int {
+	v := b.p.NVars
+	b.p.NVars++
+	return v
+}
+
+// Emit appends an instruction returning one fresh variable, which it
+// returns.
+func (b *Builder) Emit(op string, args ...Arg) int {
+	r := b.NewVar()
+	b.p.Instrs = append(b.p.Instrs, Instr{Op: op, Args: args, Rets: []int{r}})
+	return r
+}
+
+// Emit2 appends an instruction with two return variables.
+func (b *Builder) Emit2(op string, args ...Arg) (int, int) {
+	r1, r2 := b.NewVar(), b.NewVar()
+	b.p.Instrs = append(b.p.Instrs, Instr{Op: op, Args: args, Rets: []int{r1, r2}})
+	return r1, r2
+}
+
+// Emit3 appends an instruction with three return variables.
+func (b *Builder) Emit3(op string, args ...Arg) (int, int, int) {
+	r1, r2, r3 := b.NewVar(), b.NewVar(), b.NewVar()
+	b.p.Instrs = append(b.p.Instrs, Instr{Op: op, Args: args, Rets: []int{r1, r2, r3}})
+	return r1, r2, r3
+}
+
+// Return declares the program results.
+func (b *Builder) Return(names []string, vars ...int) {
+	b.p.Results = vars
+	b.p.ResultNames = names
+}
+
+// Program finalizes and returns the built program.
+func (b *Builder) Program() *Program { return &b.p }

@@ -1,0 +1,389 @@
+package mal
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/bat"
+	"repro/internal/batalg"
+	"repro/internal/recycler"
+)
+
+func figure1Catalog() *MapCatalog {
+	cat := NewMapCatalog()
+	cat.Put("people_name", bat.FromStrings([]string{"John Wayne", "Roger Moore", "Bob Fosse", "Will Smith"}))
+	cat.Put("people_age", bat.FromInts([]int64{1907, 1927, 1927, 1968}))
+	return cat
+}
+
+// figure1Program builds the MAL plan of Figure 1:
+// bind age; select 1927; fetch names.
+func figure1Program() *Program {
+	b := NewBuilder()
+	age := b.Emit("bind", CS("people_age"))
+	cand := b.Emit("select", V(age), CI(1927))
+	name := b.Emit("bind", CS("people_name"))
+	res := b.Emit("fetch", V(cand), V(name))
+	b.Return([]string{"name"}, res)
+	return b.Program()
+}
+
+func TestInterpFigure1(t *testing.T) {
+	ip := &Interp{Cat: figure1Catalog()}
+	out, err := ip.Run(figure1Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Kind != KBAT {
+		t.Fatalf("out = %v", out)
+	}
+	res := out[0].B
+	if res.Len() != 2 || res.StrAt(0) != "Roger Moore" || res.StrAt(1) != "Bob Fosse" {
+		t.Fatalf("result = %v", res)
+	}
+}
+
+func TestInterpAggregates(t *testing.T) {
+	cat := NewMapCatalog()
+	cat.Put("t_v", bat.FromInts([]int64{5, 2, 9, 2}))
+	b := NewBuilder()
+	v := b.Emit("bind", CS("t_v"))
+	s := b.Emit("sum", V(v))
+	c := b.Emit("count", V(v))
+	mn := b.Emit("min", V(v))
+	mx := b.Emit("max", V(v))
+	b.Return([]string{"s", "c", "mn", "mx"}, s, c, mn, mx)
+	out, err := (&Interp{Cat: cat}).Run(b.Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].I != 18 || out[1].I != 4 || out[2].I != 2 || out[3].I != 9 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestInterpGroupAggregate(t *testing.T) {
+	cat := NewMapCatalog()
+	cat.Put("t_k", bat.FromInts([]int64{1, 2, 1}))
+	cat.Put("t_v", bat.FromInts([]int64{10, 20, 30}))
+	b := NewBuilder()
+	k := b.Emit("bind", CS("t_k"))
+	v := b.Emit("bind", CS("t_v"))
+	ids, ext, cnt := b.Emit3("group", V(k))
+	sums := b.Emit("sum_per_group", V(v), V(ids), V(ext))
+	keys := b.Emit("fetch", V(ext), V(k))
+	b.Return([]string{"k", "sum", "n"}, keys, sums, cnt)
+	out, err := (&Interp{Cat: cat}).Run(b.Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out[0].B.Ints(), []int64{1, 2}) {
+		t.Fatalf("keys = %v", out[0].B.Ints())
+	}
+	if !reflect.DeepEqual(out[1].B.Ints(), []int64{40, 20}) {
+		t.Fatalf("sums = %v", out[1].B.Ints())
+	}
+	if !reflect.DeepEqual(out[2].B.Ints(), []int64{2, 1}) {
+		t.Fatalf("counts = %v", out[2].B.Ints())
+	}
+}
+
+func TestInterpJoin(t *testing.T) {
+	cat := NewMapCatalog()
+	cat.Put("l", bat.FromInts([]int64{1, 2, 3}))
+	cat.Put("r", bat.FromInts([]int64{2, 3, 4}))
+	b := NewBuilder()
+	l := b.Emit("bind", CS("l"))
+	r := b.Emit("bind", CS("r"))
+	lo, ro := b.Emit2("join", V(l), V(r))
+	b.Return([]string{"lo", "ro"}, lo, ro)
+	out, err := (&Interp{Cat: cat}).Run(b.Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].B.Len() != 2 || out[1].B.Len() != 2 {
+		t.Fatalf("join lens = %d,%d", out[0].B.Len(), out[1].B.Len())
+	}
+}
+
+func TestInterpErrors(t *testing.T) {
+	ip := &Interp{Cat: NewMapCatalog()}
+	b := NewBuilder()
+	x := b.Emit("bind", CS("missing"))
+	b.Return(nil, x)
+	if _, err := ip.Run(b.Program()); err == nil {
+		t.Fatal("expected unknown-BAT error")
+	}
+	b2 := NewBuilder()
+	y := b2.Emit("frobnicate")
+	b2.Return(nil, y)
+	if _, err := ip.Run(b2.Program()); err == nil {
+		t.Fatal("expected unknown-op error")
+	}
+	b3 := NewBuilder()
+	z := b3.Emit("sum", CI(3))
+	b3.Return(nil, z)
+	if _, err := ip.Run(b3.Program()); err == nil {
+		t.Fatal("expected type error")
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	in := Instr{Op: "select", Args: []Arg{V(0), CI(1927)}, Rets: []int{1}}
+	if got := in.String(); got != "X_1 := select(X_0, 1927:int)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestCSEMergesDuplicates(t *testing.T) {
+	b := NewBuilder()
+	age := b.Emit("bind", CS("people_age"))
+	c1 := b.Emit("select", V(age), CI(1927))
+	c2 := b.Emit("select", V(age), CI(1927)) // duplicate
+	name := b.Emit("bind", CS("people_name"))
+	f1 := b.Emit("fetch", V(c1), V(name))
+	f2 := b.Emit("fetch", V(c2), V(name)) // becomes duplicate after rewrite
+	b.Return([]string{"a", "b"}, f1, f2)
+	p := CSE{}.Optimize(b.Program())
+	nsel := 0
+	nfetch := 0
+	for _, in := range p.Instrs {
+		switch in.Op {
+		case "select":
+			nsel++
+		case "fetch":
+			nfetch++
+		}
+	}
+	if nsel != 1 || nfetch != 1 {
+		t.Fatalf("after CSE: %d selects, %d fetches; want 1,1\n%s", nsel, nfetch, p)
+	}
+	// Program must still run and both results be identical.
+	out, err := (&Interp{Cat: figure1Catalog()}).Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].B != out[1].B {
+		t.Fatal("CSE results should alias")
+	}
+}
+
+func TestDeadCodeRemovesUnused(t *testing.T) {
+	b := NewBuilder()
+	age := b.Emit("bind", CS("people_age"))
+	_ = b.Emit("select", V(age), CI(1907)) // dead
+	keep := b.Emit("select", V(age), CI(1927))
+	b.Return([]string{"r"}, keep)
+	p := DeadCode{}.Optimize(b.Program())
+	if len(p.Instrs) != 2 {
+		t.Fatalf("instrs = %d, want 2\n%s", len(p.Instrs), p)
+	}
+	out, err := (&Interp{Cat: figure1Catalog()}).Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].B.Len() != 2 {
+		t.Fatalf("result len = %d", out[0].B.Len())
+	}
+}
+
+func TestDefaultPipelinePreservesSemantics(t *testing.T) {
+	ip := &Interp{Cat: figure1Catalog()}
+	raw, err := ip.Run(figure1Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := ip.Run(DefaultPipeline().Run(figure1Program()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw[0].B.Len() != opt[0].B.Len() {
+		t.Fatal("optimized program changed results")
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	s := figure1Program().String()
+	if !strings.Contains(s, "select(") || !strings.Contains(s, "bind(") {
+		t.Fatalf("program rendering missing ops:\n%s", s)
+	}
+}
+
+func TestRecyclerHitsAcrossRuns(t *testing.T) {
+	cat := figure1Catalog()
+	rc := recycler.New(1<<20, recycler.PolicyLRU)
+	ip := &Interp{Cat: cat, Recycler: rc}
+	for i := 0; i < 3; i++ {
+		if _, err := ip.Run(figure1Program()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := rc.Stats()
+	// Two recyclable instrs (select, fetch) x 3 runs = 6 lookups, 4 hits.
+	if st.Hits != 4 {
+		t.Fatalf("hits = %d, want 4 (stats: %+v)", st.Hits, st)
+	}
+}
+
+func TestRecyclerInvalidatedByCatalogVersion(t *testing.T) {
+	cat := figure1Catalog()
+	rc := recycler.New(1<<20, recycler.PolicyLRU)
+	ip := &Interp{Cat: cat, Recycler: rc}
+	out1, err := ip.Run(figure1Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1[0].B.Len() != 2 {
+		t.Fatal("bad first run")
+	}
+	// Update the base BAT: version bump changes bind signatures, so stale
+	// cached results must not be returned.
+	cat.Put("people_age", bat.FromInts([]int64{1927, 1, 1, 1}))
+	rc.Invalidate("people_age")
+	out2, err := ip.Run(figure1Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2[0].B.Len() != 1 || out2[0].B.StrAt(0) != "John Wayne" {
+		t.Fatalf("post-update result wrong: %v", out2[0].B)
+	}
+}
+
+func TestRecycledMatchesUnrecycled(t *testing.T) {
+	cat := NewMapCatalog()
+	cat.Put("v", bat.FromInts([]int64{3, 1, 4, 1, 5, 9, 2, 6}))
+	build := func() *Program {
+		b := NewBuilder()
+		v := b.Emit("bind", CS("v"))
+		cand := b.Emit("theta_select", V(v), CI(int64(batalg.CmpGT)), CI(2))
+		vals := b.Emit("fetch", V(cand), V(v))
+		s := b.Emit("sum", V(vals))
+		b.Return([]string{"s"}, s)
+		return b.Program()
+	}
+	plain, err := (&Interp{Cat: cat}).Run(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := recycler.New(1<<20, recycler.PolicyBenefit)
+	ipr := &Interp{Cat: cat, Recycler: rc}
+	for i := 0; i < 2; i++ {
+		rec, err := ipr.Run(build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec[0].I != plain[0].I {
+			t.Fatalf("recycled %d != plain %d", rec[0].I, plain[0].I)
+		}
+	}
+}
+
+func TestJoinRoutesThroughRadixForLargeInputs(t *testing.T) {
+	// Above the threshold the interpreter must use the partitioned hash
+	// join and produce the same multiset of pairs as the small-join path.
+	n := 1 << 16
+	lv := make([]int64, n)
+	rv := make([]int64, n)
+	for i := range lv {
+		lv[i] = int64((i * 7) % 1000)
+		rv[i] = int64((i * 13) % 1000)
+	}
+	cat := NewMapCatalog()
+	cat.Put("l", bat.FromInts(lv))
+	cat.Put("r", bat.FromInts(rv))
+	b := NewBuilder()
+	l := b.Emit("bind", CS("l"))
+	r := b.Emit("bind", CS("r"))
+	lo, ro := b.Emit2("join", V(l), V(r))
+	cl := b.Emit("count", V(lo))
+	cr := b.Emit("count", V(ro))
+	b.Return([]string{"cl", "cr"}, cl, cr)
+	out, err := (&Interp{Cat: cat}).Run(b.Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected match count: per distinct value v, count_l(v)*count_r(v).
+	lc := map[int64]int64{}
+	rc := map[int64]int64{}
+	for _, v := range lv {
+		lc[v]++
+	}
+	for _, v := range rv {
+		rc[v]++
+	}
+	var want int64
+	for v, c := range lc {
+		want += c * rc[v]
+	}
+	if out[0].I != want || out[1].I != want {
+		t.Fatalf("join count = %d/%d, want %d", out[0].I, out[1].I, want)
+	}
+}
+
+func TestScalarFloatOps(t *testing.T) {
+	cat := NewMapCatalog()
+	cat.Put("f", bat.FromFloats([]float64{1, 2, 4}))
+	b := NewBuilder()
+	f := b.Emit("bind", CS("f"))
+	add := b.Emit("add_scalar_flt", V(f), CF(0.5))
+	mul := b.Emit("mul_scalar_flt", V(f), CF(2))
+	div := b.Emit("div_flt", V(mul), V(f))
+	sc := b.Emit("div_scalar", CI(7), CF(2))
+	b.Return([]string{"a", "m", "d", "s"}, add, mul, div, sc)
+	out, err := (&Interp{Cat: cat}).Run(b.Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].B.FloatAt(0) != 1.5 || out[1].B.FloatAt(2) != 8 || out[2].B.FloatAt(1) != 2 {
+		t.Fatalf("float ops wrong: %v %v %v", out[0].B.Floats(), out[1].B.Floats(), out[2].B.Floats())
+	}
+	if out[3].F != 3.5 {
+		t.Fatalf("div_scalar = %v", out[3].F)
+	}
+}
+
+func TestDivScalarByZero(t *testing.T) {
+	b := NewBuilder()
+	d := b.Emit("div_scalar", CI(7), CI(0))
+	b.Return([]string{"d"}, d)
+	out, err := (&Interp{Cat: NewMapCatalog()}).Run(b.Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].F != 0 {
+		t.Fatalf("div by zero = %v, want 0", out[0].F)
+	}
+}
+
+func TestCSEMergesMultiReturnInstr(t *testing.T) {
+	cat := NewMapCatalog()
+	cat.Put("l", bat.FromInts([]int64{1, 2}))
+	cat.Put("r", bat.FromInts([]int64{2, 3}))
+	b := NewBuilder()
+	l := b.Emit("bind", CS("l"))
+	r := b.Emit("bind", CS("r"))
+	lo1, _ := b.Emit2("join", V(l), V(r))
+	lo2, ro2 := b.Emit2("join", V(l), V(r)) // duplicate
+	b.Return([]string{"a", "b", "c"}, lo1, lo2, ro2)
+	p := CSE{}.Optimize(b.Program())
+	njoin := 0
+	for _, in := range p.Instrs {
+		if in.Op == "join" {
+			njoin++
+		}
+	}
+	if njoin != 1 {
+		t.Fatalf("joins after CSE = %d, want 1\n%s", njoin, p)
+	}
+	out, err := (&Interp{Cat: cat}).Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].B != out[1].B {
+		t.Fatal("CSE multi-ret results should alias")
+	}
+	if out[2].B.Len() != 1 {
+		t.Fatalf("ro len = %d", out[2].B.Len())
+	}
+}

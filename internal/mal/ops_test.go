@@ -1,0 +1,328 @@
+package mal
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bat"
+	"repro/internal/batalg"
+)
+
+// runOne executes a single-instruction program over the catalog.
+func runOne(t *testing.T, cat Catalog, op string, nret int, args ...Arg) []Val {
+	t.Helper()
+	b := NewBuilder()
+	var rets []int
+	switch nret {
+	case 1:
+		rets = []int{b.Emit(op, args...)}
+	case 2:
+		r1, r2 := b.Emit2(op, args...)
+		rets = []int{r1, r2}
+	case 3:
+		r1, r2, r3 := b.Emit3(op, args...)
+		rets = []int{r1, r2, r3}
+	}
+	b.Return(nil, rets...)
+	out, err := (&Interp{Cat: cat}).Run(b.Program())
+	if err != nil {
+		t.Fatalf("%s: %v", op, err)
+	}
+	return out
+}
+
+func opsCatalog() *MapCatalog {
+	cat := NewMapCatalog()
+	cat.Put("i", bat.FromInts([]int64{4, 1, 3, 1}))
+	cat.Put("i2", bat.FromInts([]int64{10, 20, 30, 40}))
+	cat.Put("f", bat.FromFloats([]float64{1, 2, 3, 4}))
+	cat.Put("s", bat.FromStrings([]string{"a", "b", "a", "c"}))
+	return cat
+}
+
+func bind(v string) Arg { return CS(v) }
+
+func TestOpThetaSelectCand(t *testing.T) {
+	cat := opsCatalog()
+	b := NewBuilder()
+	i := b.Emit("bind", bind("i"))
+	c1 := b.Emit("theta_select", V(i), CI(int64(batalg.CmpGE)), CI(1))
+	c2 := b.Emit("theta_select_cand", V(i), V(c1), CI(int64(batalg.CmpLE)), CI(3))
+	b.Return(nil, c2)
+	out, err := (&Interp{Cat: cat}).Run(b.Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out[0].B.OIDs(); !reflect.DeepEqual(got, []bat.OID{1, 2, 3}) {
+		t.Fatalf("cand = %v", got)
+	}
+}
+
+func TestOpThetaSelectFlt(t *testing.T) {
+	cat := opsCatalog()
+	b := NewBuilder()
+	f := b.Emit("bind", bind("f"))
+	c := b.Emit("theta_select_flt", V(f), CI(int64(batalg.CmpGT)), CF(2.5))
+	b.Return(nil, c)
+	out, err := (&Interp{Cat: cat}).Run(b.Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].B.Len() != 2 {
+		t.Fatalf("len = %d", out[0].B.Len())
+	}
+}
+
+func TestOpSelectStrAndJoinStr(t *testing.T) {
+	cat := opsCatalog()
+	out := runOne(t, cat, "bind", 1, bind("s"))
+	_ = out
+	b := NewBuilder()
+	s := b.Emit("bind", bind("s"))
+	c := b.Emit("select_str", V(s), CI(int64(batalg.CmpEQ)), CS("a"))
+	lo, ro := b.Emit2("join_str", V(s), V(s))
+	b.Return(nil, c, lo, ro)
+	res, err := (&Interp{Cat: cat}).Run(b.Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].B.Len() != 2 {
+		t.Fatalf("select_str = %d", res[0].B.Len())
+	}
+	// self-join on strings: a,a each match twice + b + c = 2*2+1+1 = 6
+	if res[1].B.Len() != 6 || res[2].B.Len() != 6 {
+		t.Fatalf("join_str = %d", res[1].B.Len())
+	}
+}
+
+func TestOpRangeSelect(t *testing.T) {
+	cat := opsCatalog()
+	b := NewBuilder()
+	i := b.Emit("bind", bind("i"))
+	c := b.Emit("range_select", V(i), CI(1), CI(4))
+	b.Return(nil, c)
+	out, err := (&Interp{Cat: cat}).Run(b.Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out[0].B.OIDs(); !reflect.DeepEqual(got, []bat.OID{1, 2, 3}) {
+		t.Fatalf("range = %v", got)
+	}
+}
+
+func TestOpMirrorHeadUnique(t *testing.T) {
+	cat := opsCatalog()
+	b := NewBuilder()
+	i := b.Emit("bind", bind("i"))
+	m := b.Emit("mirror", V(i))
+	h := b.Emit("head", V(m), CI(2))
+	u := b.Emit("unique", V(i))
+	b.Return(nil, m, h, u)
+	out, err := (&Interp{Cat: cat}).Run(b.Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].B.Len() != 4 || out[1].B.Len() != 2 || out[2].B.Len() != 3 {
+		t.Fatalf("lens = %d,%d,%d", out[0].B.Len(), out[1].B.Len(), out[2].B.Len())
+	}
+}
+
+func TestOpSetOps(t *testing.T) {
+	cat := NewMapCatalog()
+	cat.Put("a", bat.FromOIDs([]bat.OID{0, 1, 2}))
+	cat.Put("b", bat.FromOIDs([]bat.OID{1, 3}))
+	b := NewBuilder()
+	a := b.Emit("bind", bind("a"))
+	bb := b.Emit("bind", bind("b"))
+	d := b.Emit("diff", V(a), V(bb))
+	ix := b.Emit("intersect", V(a), V(bb))
+	un := b.Emit("union", V(a), V(bb))
+	b.Return(nil, d, ix, un)
+	out, err := (&Interp{Cat: cat}).Run(b.Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].B.Len() != 2 || out[1].B.Len() != 1 || out[2].B.Len() != 4 {
+		t.Fatalf("set ops = %d,%d,%d", out[0].B.Len(), out[1].B.Len(), out[2].B.Len())
+	}
+}
+
+func TestOpSortDescAndSubgroup(t *testing.T) {
+	cat := opsCatalog()
+	b := NewBuilder()
+	i := b.Emit("bind", bind("i"))
+	i2 := b.Emit("bind", bind("i2"))
+	sorted, order := b.Emit2("sort_desc", V(i))
+	ids, ext, cnt := b.Emit3("group", V(i))
+	ids2, ext2, cnt2 := b.Emit3("subgroup", V(ids), V(ext), V(cnt), V(i2))
+	b.Return(nil, sorted, order, ids2, ext2, cnt2)
+	out, err := (&Interp{Cat: cat}).Run(b.Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].B.IntAt(0) != 4 {
+		t.Fatalf("sort_desc head = %d", out[0].B.IntAt(0))
+	}
+	// i has groups {4},{1,1},{3}; refining by i2 splits the 1s: 4 groups.
+	if out[3].B.Len() != 4 {
+		t.Fatalf("subgroups = %d", out[3].B.Len())
+	}
+}
+
+func TestOpArithmetic(t *testing.T) {
+	cat := opsCatalog()
+	b := NewBuilder()
+	i := b.Emit("bind", bind("i"))
+	i2 := b.Emit("bind", bind("i2"))
+	add := b.Emit("add", V(i), V(i2))
+	sub := b.Emit("sub", V(i2), V(i))
+	mul := b.Emit("mul", V(i), V(i))
+	as := b.Emit("add_scalar", V(i), CI(100))
+	ms := b.Emit("mul_scalar", V(i), CI(3))
+	b.Return(nil, add, sub, mul, as, ms)
+	out, err := (&Interp{Cat: cat}).Run(b.Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].B.IntAt(0) != 14 || out[1].B.IntAt(0) != 6 || out[2].B.IntAt(0) != 16 {
+		t.Fatal("int arith wrong")
+	}
+	if out[3].B.IntAt(1) != 101 || out[4].B.IntAt(2) != 9 {
+		t.Fatal("scalar arith wrong")
+	}
+}
+
+func TestOpFloatArithmetic(t *testing.T) {
+	cat := opsCatalog()
+	b := NewBuilder()
+	f := b.Emit("bind", bind("f"))
+	i := b.Emit("bind", bind("i"))
+	fi := b.Emit("int_to_flt", V(i))
+	mf := b.Emit("mul_flt", V(f), V(fi))
+	af := b.Emit("add_flt", V(f), V(f))
+	sf := b.Emit("sub_flt", V(af), V(f))
+	sc := b.Emit("sub_const_flt", CF(10), V(f))
+	sm := b.Emit("sum", V(f))
+	b.Return(nil, mf, af, sf, sc, sm)
+	out, err := (&Interp{Cat: cat}).Run(b.Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].B.FloatAt(0) != 4 || out[1].B.FloatAt(1) != 4 || out[2].B.FloatAt(2) != 3 {
+		t.Fatal("float arith wrong")
+	}
+	if out[3].B.FloatAt(0) != 9 || out[4].F != 10 {
+		t.Fatal("const float ops wrong")
+	}
+}
+
+func TestOpMinMaxPerGroupAndEmpty(t *testing.T) {
+	cat := opsCatalog()
+	b := NewBuilder()
+	i := b.Emit("bind", bind("i"))
+	i2 := b.Emit("bind", bind("i2"))
+	ids, ext, _ := b.Emit3("group", V(i))
+	mn := b.Emit("min_per_group", V(i2), V(ids), V(ext))
+	mx := b.Emit("max_per_group", V(i2), V(ids), V(ext))
+	b.Return(nil, mn, mx)
+	out, err := (&Interp{Cat: cat}).Run(b.Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// groups in first-seen order: 4 -> {10}, 1 -> {20,40}, 3 -> {30}
+	if !reflect.DeepEqual(out[0].B.Ints(), []int64{10, 20, 30}) {
+		t.Fatalf("min/group = %v", out[0].B.Ints())
+	}
+	if !reflect.DeepEqual(out[1].B.Ints(), []int64{10, 40, 30}) {
+		t.Fatalf("max/group = %v", out[1].B.Ints())
+	}
+	// min/max of empty BAT yield nil sentinel.
+	cat.Put("empty", bat.FromInts(nil))
+	b2 := NewBuilder()
+	e := b2.Emit("bind", bind("empty"))
+	mne := b2.Emit("min", V(e))
+	mxe := b2.Emit("max", V(e))
+	b2.Return(nil, mne, mxe)
+	out2, err := (&Interp{Cat: cat}).Run(b2.Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2[0].I != bat.NilInt || out2[1].I != bat.NilInt {
+		t.Fatal("empty min/max should be nil")
+	}
+}
+
+func TestOpGroupStrDispatch(t *testing.T) {
+	cat := opsCatalog()
+	b := NewBuilder()
+	s := b.Emit("bind", bind("s"))
+	_, ext, cnt := b.Emit3("group", V(s))
+	b.Return(nil, ext, cnt)
+	out, err := (&Interp{Cat: cat}).Run(b.Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].B.Len() != 3 {
+		t.Fatalf("string groups = %d", out[0].B.Len())
+	}
+}
+
+func TestOpErrorBranches(t *testing.T) {
+	cat := opsCatalog()
+	bad := []struct {
+		op   string
+		nret int
+		args []Arg
+	}{
+		{"select", 1, []Arg{CI(1), CI(2)}},                               // not a BAT
+		{"theta_select", 1, []Arg{bindVar(t, cat, "i"), CS("x"), CI(0)}}, // bad code type
+		{"fetch", 1, []Arg{CI(1), CI(2)}},
+		{"sum", 1, []Arg{CS("z")}},
+		{"div_scalar", 1, []Arg{CS("z"), CI(1)}},
+		{"sub_const_flt", 1, []Arg{CI(3), CI(2)}},
+		{"add_scalar_flt", 1, []Arg{CI(3), CI(2)}},
+		{"theta_select_flt", 1, []Arg{CI(3), CI(2), CI(1)}},
+	}
+	for _, c := range bad {
+		b := NewBuilder()
+		var rets []int
+		rets = append(rets, b.Emit(c.op, c.args...))
+		b.Return(nil, rets...)
+		if _, err := (&Interp{Cat: cat}).Run(b.Program()); err == nil {
+			t.Errorf("%s with bad args: expected error", c.op)
+		}
+	}
+}
+
+// bindVar pre-binds a BAT into a fresh program's first variable; used to
+// pass BAT args to error-branch probes.
+func bindVar(t *testing.T, cat Catalog, name string) Arg {
+	t.Helper()
+	b, err := cat.BindBAT(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return C(BATVal(b))
+}
+
+func TestValStringForms(t *testing.T) {
+	cases := []Val{IntVal(3), FloatVal(1.5), StrVal("x"), {Kind: KBool, Bool: true}, BATVal(bat.FromInts(nil)), {Kind: KBAT}}
+	for _, v := range cases {
+		if v.String() == "" {
+			t.Fatalf("empty rendering for %v", v.Kind)
+		}
+	}
+}
+
+func TestUnsetVariableError(t *testing.T) {
+	p := &Program{NVars: 2, Instrs: []Instr{
+		{Op: "sum", Args: []Arg{V(1)}, Rets: []int{0}},
+	}, Results: []int{0}}
+	if _, err := (&Interp{Cat: NewMapCatalog()}).Run(p); err == nil {
+		t.Fatal("expected unset-variable error")
+	}
+	p2 := &Program{NVars: 1, Results: []int{0}}
+	if _, err := (&Interp{Cat: NewMapCatalog()}).Run(p2); err == nil {
+		t.Fatal("expected unset-result error")
+	}
+}

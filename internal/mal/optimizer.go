@@ -1,0 +1,135 @@
+package mal
+
+import (
+	"fmt"
+)
+
+// Optimizer is one optimizer module (paper §3.1). Modules are assembled
+// into pipelines and transform MAL programs into more efficient ones.
+type Optimizer interface {
+	Name() string
+	Optimize(p *Program) *Program
+}
+
+// Pipeline applies optimizers in order.
+type Pipeline []Optimizer
+
+// Run applies every module.
+func (pl Pipeline) Run(p *Program) *Program {
+	for _, o := range pl {
+		p = o.Optimize(p)
+	}
+	return p
+}
+
+// DefaultPipeline is the standard optimization pipeline: CSE then DCE.
+func DefaultPipeline() Pipeline {
+	return Pipeline{CSE{}, DeadCode{}}
+}
+
+// CSE performs common-subexpression elimination: syntactically identical
+// pure instructions are executed once and their results reused. This is
+// also what makes the recycler effective within a single plan.
+type CSE struct{}
+
+// Name implements Optimizer.
+func (CSE) Name() string { return "commonTerms" }
+
+// Optimize implements Optimizer.
+func (CSE) Optimize(p *Program) *Program {
+	out := &Program{NVars: p.NVars, Results: append([]int(nil), p.Results...),
+		ResultNames: append([]string(nil), p.ResultNames...)}
+	rewrite := make([]int, p.NVars) // var -> canonical var
+	for i := range rewrite {
+		rewrite[i] = i
+	}
+	seen := map[string][]int{} // instr key -> ret vars
+	for _, in := range p.Instrs {
+		// Rewrite args first.
+		args := make([]Arg, len(in.Args))
+		copy(args, in.Args)
+		for i := range args {
+			if args[i].Var >= 0 {
+				args[i].Var = rewrite[args[i].Var]
+			}
+		}
+		if !pureOp(in.Op) {
+			out.Instrs = append(out.Instrs, Instr{Op: in.Op, Args: args, Rets: in.Rets})
+			continue
+		}
+		key := instrKey(in.Op, args)
+		if prev, ok := seen[key]; ok && len(prev) == len(in.Rets) {
+			for i, r := range in.Rets {
+				rewrite[r] = prev[i]
+			}
+			continue
+		}
+		seen[key] = in.Rets
+		out.Instrs = append(out.Instrs, Instr{Op: in.Op, Args: args, Rets: in.Rets})
+	}
+	for i, r := range out.Results {
+		out.Results[i] = rewrite[r]
+	}
+	return out
+}
+
+// pureOp reports whether an op is deterministic and side-effect free (bind
+// is pure within one execution: versions cannot change mid-plan).
+func pureOp(op string) bool { return true }
+
+func instrKey(op string, args []Arg) string {
+	key := op + "("
+	for i, a := range args {
+		if i > 0 {
+			key += ","
+		}
+		if a.Var >= 0 {
+			key += fmt.Sprintf("X%d", a.Var)
+		} else {
+			key += a.Const.String()
+		}
+	}
+	return key + ")"
+}
+
+// DeadCode removes instructions none of whose results are (transitively)
+// needed for the program results.
+type DeadCode struct{}
+
+// Name implements Optimizer.
+func (DeadCode) Name() string { return "deadcode" }
+
+// Optimize implements Optimizer.
+func (DeadCode) Optimize(p *Program) *Program {
+	needed := make([]bool, p.NVars)
+	for _, r := range p.Results {
+		needed[r] = true
+	}
+	keep := make([]bool, len(p.Instrs))
+	for i := len(p.Instrs) - 1; i >= 0; i-- {
+		in := &p.Instrs[i]
+		want := false
+		for _, r := range in.Rets {
+			if needed[r] {
+				want = true
+			}
+		}
+		if !want {
+			continue
+		}
+		keep[i] = true
+		for _, a := range in.Args {
+			if a.Var >= 0 {
+				needed[a.Var] = true
+			}
+		}
+	}
+	out := &Program{NVars: p.NVars, Results: append([]int(nil), p.Results...),
+		ResultNames: append([]string(nil), p.ResultNames...)}
+	for i, in := range p.Instrs {
+		if keep[i] {
+			out.Instrs = append(out.Instrs, in)
+		}
+	}
+	return out
+}

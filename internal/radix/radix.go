@@ -1,0 +1,315 @@
+// Package radix implements the cache-conscious join machinery of §4 of the
+// paper: multi-pass Radix-Cluster, Partitioned Hash-Join (Figure 2),
+// Radix-Decluster projection, and the straightforward bucket-chained hash
+// join they are measured against.
+package radix
+
+import (
+	"repro/internal/bat"
+)
+
+// Tuple is a <oid,value> pair, the unit the join operators shuffle. It is
+// the in-flight form of one BUN of an int-tailed BAT.
+type Tuple struct {
+	OID bat.OID
+	Val int64
+}
+
+// FromBAT flattens an int BAT into tuples.
+func FromBAT(b *bat.BAT) []Tuple {
+	ints := b.Ints()
+	out := make([]Tuple, len(ints))
+	h := b.HSeq()
+	for i, v := range ints {
+		out[i] = Tuple{OID: h + bat.OID(i), Val: v}
+	}
+	return out
+}
+
+// Hash is the integer hash whose lower bits radix-clustering buckets on.
+// Per [25] it is division-free and inlineable.
+func Hash(v int64) uint64 { return uint64(v) * 0x9E3779B97F4A7C15 }
+
+// SplitBits divides B total radix bits over P passes, leftmost (highest of
+// the lower-B window) first, as in Figure 2 where pass 1 takes 2 bits and
+// pass 2 the remaining 1.
+func SplitBits(totalBits, passes int) []int {
+	if passes < 1 {
+		passes = 1
+	}
+	if passes > totalBits && totalBits > 0 {
+		passes = totalBits
+	}
+	if totalBits == 0 {
+		return []int{0}
+	}
+	out := make([]int, passes)
+	base := totalBits / passes
+	rem := totalBits % passes
+	for i := range out {
+		out[i] = base
+		if i < rem {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// Clustered is the result of radix-clustering: the reordered tuples plus
+// the boundaries of the 2^B clusters (Bounds[i] is the start offset of
+// cluster i; a final entry holds len(Tuples)).
+type Clustered struct {
+	Tuples []Tuple
+	Bounds []int
+	Bits   int
+}
+
+// Cluster radix-clusters tuples on the lower totalBits bits of the hash of
+// their value, using the given per-pass bit counts (see SplitBits). With a
+// single pass it degenerates into the straightforward scatter algorithm of
+// Shatdal et al. that thrashes TLB and cache for large H (§4.1); multiple
+// passes keep the number of concurrently written regions small (§4.2).
+func Cluster(tuples []Tuple, passBits []int) Clustered {
+	totalBits := 0
+	for _, b := range passBits {
+		totalBits += b
+	}
+	if totalBits == 0 {
+		bounds := []int{0, len(tuples)}
+		return Clustered{Tuples: tuples, Bounds: bounds, Bits: 0}
+	}
+
+	cur := tuples
+	buf := make([]Tuple, len(tuples))
+	// Clusters existing before the current pass, as offsets into cur.
+	bounds := []int{0, len(tuples)}
+	bitsDone := 0
+	for _, bp := range passBits {
+		if bp == 0 {
+			continue
+		}
+		bitsDone += bp
+		shift := uint(totalBits - bitsDone) // leftmost remaining bits
+		mask := uint64(1<<bp) - 1
+		newBounds := make([]int, 0, (len(bounds)-1)*(1<<bp)+1)
+		// Each existing cluster is sub-divided independently.
+		for c := 0; c+1 < len(bounds); c++ {
+			lo, hi := bounds[c], bounds[c+1]
+			counts := make([]int32, 1<<bp)
+			for i := lo; i < hi; i++ {
+				counts[(Hash(cur[i].Val)>>shift)&mask]++
+			}
+			// prefix sums -> write cursors
+			cursors := make([]int32, 1<<bp)
+			var acc int32
+			for i, n := range counts {
+				cursors[i] = acc
+				acc += n
+			}
+			for i := lo; i < hi; i++ {
+				h := (Hash(cur[i].Val) >> shift) & mask
+				buf[lo+int(cursors[h])] = cur[i]
+				cursors[h]++
+			}
+			for i := 0; i < 1<<bp; i++ {
+				newBounds = append(newBounds, lo+int(cursors[i])-int(counts[i]))
+			}
+		}
+		newBounds = append(newBounds, len(tuples))
+		cur, buf = buf, cur
+		bounds = newBounds
+	}
+	return Clustered{Tuples: cur, Bounds: bounds, Bits: totalBits}
+}
+
+// NumClusters returns the number of clusters.
+func (c Clustered) NumClusters() int { return len(c.Bounds) - 1 }
+
+// ClusterSlice returns the tuples of cluster i.
+func (c Clustered) ClusterSlice(i int) []Tuple {
+	return c.Tuples[c.Bounds[i]:c.Bounds[i+1]]
+}
+
+// OIDPair is one join-index entry (§4.3): matching left and right OIDs.
+type OIDPair struct {
+	L, R bat.OID
+}
+
+// SimpleHashJoin is the baseline bucket-chained hash join of §4.1: build on
+// l, probe with r, random access across the whole build table. For build
+// sides larger than the cache this is the algorithm radix partitioning
+// beats by an order of magnitude.
+func SimpleHashJoin(l, r []Tuple) []OIDPair {
+	return bucketJoin(l, r, 0, nil)
+}
+
+// bucketJoin joins l (build) with r (probe); out is appended to and
+// returned. shift skips the low hash bits already consumed by radix
+// clustering — within one cluster those bits are constant, so bucketing on
+// them would collapse the table into 2^B-long chains.
+func bucketJoin(l, r []Tuple, shift uint, out []OIDPair) []OIDPair {
+	if len(l) == 0 || len(r) == 0 {
+		return out
+	}
+	nb := 8
+	for nb < len(l) {
+		nb <<= 1
+	}
+	mask := uint64(nb - 1)
+	head := make([]int32, nb)
+	next := make([]int32, len(l))
+	for i := range l {
+		h := (Hash(l[i].Val) >> shift) & mask
+		next[i] = head[h]
+		head[h] = int32(i + 1)
+	}
+	for j := range r {
+		h := (Hash(r[j].Val) >> shift) & mask
+		for e := head[h]; e != 0; e = next[e-1] {
+			if l[e-1].Val == r[j].Val {
+				out = append(out, OIDPair{L: l[e-1].OID, R: r[j].OID})
+			}
+		}
+	}
+	return out
+}
+
+// PartitionedHashJoin implements Figure 2: both relations are
+// radix-clustered on the same lower bits (passBits per pass), then the
+// corresponding cluster pairs are joined with the bucket-chained hash join,
+// whose working set now fits the cache.
+func PartitionedHashJoin(l, r []Tuple, passBits []int) []OIDPair {
+	lc := Cluster(l, passBits)
+	rc := Cluster(r, passBits)
+	var out []OIDPair
+	for i := 0; i < lc.NumClusters(); i++ {
+		out = bucketJoin(lc.ClusterSlice(i), rc.ClusterSlice(i), uint(lc.Bits), out)
+	}
+	return out
+}
+
+// JoinBATs joins two int BATs via radix-clustered partitioned hash join,
+// returning aligned candidate BATs like batalg.Join. cacheBytes tunes the
+// cluster size (see JoinBits); the MAL interpreter routes large joins here
+// (§3.1's property-driven algorithm selection).
+func JoinBATs(l, r *bat.BAT, cacheBytes int) (*bat.BAT, *bat.BAT) {
+	lt := FromBAT(l)
+	rt := FromBAT(r)
+	n := len(lt)
+	if len(rt) > n {
+		n = len(rt)
+	}
+	bits := JoinBits(n, cacheBytes)
+	pairs := PartitionedHashJoin(lt, rt, SplitBits(bits, 2))
+	lo := make([]bat.OID, len(pairs))
+	ro := make([]bat.OID, len(pairs))
+	for i, p := range pairs {
+		lo[i] = p.L
+		ro[i] = p.R
+	}
+	return bat.FromOIDs(lo), bat.FromOIDs(ro)
+}
+
+// JoinBits picks a number of radix bits such that the average build cluster
+// of a relation of n tuples — tuples plus bucket-chain overhead — fits in
+// half a cache of cacheBytes (a simple cost-model-driven tuning knob; §4.4
+// motivates automating this).
+func JoinBits(n int, cacheBytes int) int {
+	const bytesPerTuple = 16 + 8 // tuple + head/next chain entries
+	bits := 0
+	for (n>>uint(bits))*bytesPerTuple > cacheBytes/2 && bits < 24 {
+		bits++
+	}
+	return bits
+}
+
+// Decluster performs Radix-Decluster projection (§4.3): given a join index
+// whose right positions point randomly into col, fetch col values for every
+// entry while keeping every memory stream cache-conscious. It is the
+// single-pass algorithm of [28]:
+//
+//  1. cluster the positions (stably) on their high bits into at most
+//     maxClusters contiguous regions of col;
+//  2. drain each cluster, fetching values with random access confined to
+//     one cache-resident region, into a per-cluster value buffer;
+//  3. decluster: re-walk the join index in output order, pulling each value
+//     from its cluster's buffer cursor — all cursors advance sequentially,
+//     and the output is written strictly sequentially.
+//
+// Step 3 works because step 1 is stable: within a cluster, buffered values
+// appear in ascending output order. The concurrent sequential cursors of
+// step 3 are what bound maxClusters (by cache lines / TLB entries), giving
+// the paper's quadratic-in-cache-size scalability limit.
+//
+// The returned slice is aligned with pairs: out[i] = col[pairs[i].R-hseq].
+func Decluster(pairs []OIDPair, col *bat.BAT, maxClusters int) []int64 {
+	vals := col.Ints()
+	hseq := col.HSeq()
+	n := len(pairs)
+	out := make([]int64, n)
+	if n == 0 {
+		return out
+	}
+	if maxClusters < 1 {
+		maxClusters = 1
+	}
+	// Region size per cluster, as a power of two over positions.
+	region := 1
+	for region*maxClusters < len(vals) {
+		region <<= 1
+	}
+	nclusters := (len(vals) + region - 1) / region
+	if nclusters < 1 {
+		nclusters = 1
+	}
+
+	// Phase 1: stable scatter of positions into per-cluster runs.
+	counts := make([]int32, nclusters)
+	for i := range pairs {
+		counts[int(pairs[i].R-hseq)/region]++
+	}
+	starts := make([]int32, nclusters+1)
+	var acc int32
+	for i, c := range counts {
+		starts[i] = acc
+		acc += c
+	}
+	starts[nclusters] = acc
+	cursors := append([]int32(nil), starts[:nclusters]...)
+	poss := make([]int32, n)
+	for i := range pairs {
+		p := int32(pairs[i].R - hseq)
+		c := int(p) / region
+		poss[cursors[c]] = p
+		cursors[c]++
+	}
+
+	// Phase 2: fetch values per cluster; col access confined to one region.
+	valbuf := make([]int64, n)
+	for c := 0; c < nclusters; c++ {
+		for k := starts[c]; k < starts[c+1]; k++ {
+			valbuf[k] = vals[poss[k]]
+		}
+	}
+
+	// Phase 3: decluster-merge into sequential output.
+	copy(cursors, starts[:nclusters])
+	for i := range pairs {
+		c := int(pairs[i].R-hseq) / region
+		out[i] = valbuf[cursors[c]]
+		cursors[c]++
+	}
+	return out
+}
+
+// NaiveFetch is the baseline projection: fetch col values in join-index
+// order, with unconstrained random access (what Decluster improves on).
+func NaiveFetch(pairs []OIDPair, col *bat.BAT) []int64 {
+	vals := col.Ints()
+	hseq := col.HSeq()
+	out := make([]int64, len(pairs))
+	for i := range pairs {
+		out[i] = vals[pairs[i].R-hseq]
+	}
+	return out
+}

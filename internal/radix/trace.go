@@ -1,0 +1,235 @@
+package radix
+
+import (
+	"repro/internal/simhw"
+)
+
+// Instrumented variants: these replay the exact memory reference stream of
+// the clustering/join algorithms into a simhw.Sim, producing the per-level
+// cache and TLB miss counts the paper's §4 figures are drawn from. The
+// tuple payloads are irrelevant to the access pattern, so a deterministic
+// mixer stands in for the data-dependent hash values.
+
+const traceTupleBytes = 16 // <oid,value> pair
+
+// mix is a deterministic 64-bit mixer standing in for Hash(value) of the
+// i-th input tuple.
+func mix(i uint64) uint64 {
+	i ^= i >> 33
+	i *= 0xFF51AFD7ED558CCD
+	i ^= i >> 33
+	i *= 0xC4CEB9FE1A85EC53
+	i ^= i >> 33
+	return i
+}
+
+// TraceCluster replays a P-pass radix-cluster of n tuples on the given
+// per-pass bits into sim, and returns the simulator stats delta. Each pass
+// reads the input sequentially and writes each tuple to one of 2^bp cluster
+// cursors — the randomly accessed regions whose count must stay below the
+// TLB entry and cache line budgets (§4.1–4.2).
+func TraceCluster(sim *simhw.Sim, n int, passBits []int) simhw.Stats {
+	before := sim.Stats()
+	totalBits := 0
+	for _, b := range passBits {
+		totalBits += b
+	}
+	in := sim.Alloc(n * traceTupleBytes)
+	out := sim.Alloc(n * traceTupleBytes)
+
+	// Cluster boundaries before the current pass (tuple indexes).
+	bounds := []int{0, n}
+	bitsDone := 0
+	for _, bp := range passBits {
+		if bp == 0 {
+			continue
+		}
+		bitsDone += bp
+		shift := uint(totalBits - bitsDone)
+		mask := uint64(1<<bp) - 1
+		newBounds := make([]int, 0, (len(bounds)-1)*(1<<bp)+1)
+		// Positions of tuples are tracked only as counts per sub-cluster;
+		// the access pattern (sequential read, cursor write) is what we
+		// replay. Within one parent cluster:
+		for c := 0; c+1 < len(bounds); c++ {
+			lo, hi := bounds[c], bounds[c+1]
+			counts := make([]int, 1<<bp)
+			for i := lo; i < hi; i++ {
+				counts[(mix(uint64(i))>>shift)&mask]++
+			}
+			cursors := make([]int, 1<<bp)
+			acc := lo
+			for i, cnt := range counts {
+				cursors[i] = acc
+				newBounds = append(newBounds, acc)
+				acc += cnt
+			}
+			for i := lo; i < hi; i++ {
+				h := (mix(uint64(i)) >> shift) & mask
+				sim.Read(in+uint64(i*traceTupleBytes), traceTupleBytes)
+				sim.Write(out+uint64(cursors[h]*traceTupleBytes), traceTupleBytes)
+				cursors[h]++
+			}
+		}
+		newBounds = append(newBounds, n)
+		in, out = out, in
+		bounds = newBounds
+	}
+	return deltaStats(before, sim.Stats())
+}
+
+// TracePartitionedHashJoin replays cluster(l) + cluster(r) + per-cluster
+// hash join of two n-tuple relations and returns the stats delta.
+func TracePartitionedHashJoin(sim *simhw.Sim, n int, passBits []int) simhw.Stats {
+	before := sim.Stats()
+	TraceCluster(sim, n, passBits)
+	TraceCluster(sim, n, passBits)
+	totalBits := 0
+	for _, b := range passBits {
+		totalBits += b
+	}
+	h := 1 << totalBits
+	per := n / h
+	if per < 1 {
+		per = 1
+	}
+	// Per cluster pair: build a hash table over the cluster (random writes
+	// within a cluster-sized region), then probe it (random reads within
+	// the same region). Cluster data itself is read sequentially.
+	for c := 0; c < h; c++ {
+		traceHashJoinRegion(sim, per, per)
+	}
+	return deltaStats(before, sim.Stats())
+}
+
+// TraceSimpleHashJoin replays the baseline bucket-chained hash join of two
+// n-tuple relations: one build table spanning the entire inner relation,
+// randomly accessed by every probe.
+func TraceSimpleHashJoin(sim *simhw.Sim, n int) simhw.Stats {
+	before := sim.Stats()
+	traceHashJoinRegion(sim, n, n)
+	return deltaStats(before, sim.Stats())
+}
+
+// traceHashJoinRegion replays build (nb tuples) + probe (np tuples) against
+// a fresh hash table region sized for nb.
+func traceHashJoinRegion(sim *simhw.Sim, nb, np int) {
+	build := sim.Alloc(nb * traceTupleBytes)
+	probe := sim.Alloc(np * traceTupleBytes)
+	// head array: 4 bytes per bucket, one bucket per build tuple (rounded);
+	// next array folded into the tuple region for simplicity.
+	heads := sim.Alloc(nb * 4)
+	for i := 0; i < nb; i++ {
+		sim.Read(build+uint64(i*traceTupleBytes), traceTupleBytes)
+		b := mix(uint64(i)) % uint64(nb)
+		sim.Write(heads+b*4, 4)
+	}
+	for j := 0; j < np; j++ {
+		sim.Read(probe+uint64(j*traceTupleBytes), traceTupleBytes)
+		b := mix(uint64(j)*31+7) % uint64(nb)
+		sim.Read(heads+b*4, 4)
+		// chase one chain link: a random tuple read in the build region
+		sim.Read(build+(mix(b)%uint64(nb))*traceTupleBytes, traceTupleBytes)
+	}
+}
+
+// TraceDecluster replays the three-phase radix-decluster projection of n
+// join-index entries against a column of n values, using at most
+// maxClusters regions, and returns the stats delta. Compare with
+// TraceNaiveFetch.
+func TraceDecluster(sim *simhw.Sim, n int, maxClusters int) simhw.Stats {
+	before := sim.Stats()
+	col := sim.Alloc(n * 8)
+	idx := sim.Alloc(n * 8)    // the join index (read twice, sequentially)
+	poss := sim.Alloc(n * 4)   // clustered positions
+	valbuf := sim.Alloc(n * 8) // per-cluster fetched values
+	out := sim.Alloc(n * 8)
+
+	if maxClusters < 1 {
+		maxClusters = 1
+	}
+	region := 1
+	for region*maxClusters < n {
+		region <<= 1
+	}
+	nclusters := (n + region - 1) / region
+
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = int(mix(uint64(i)) % uint64(n))
+	}
+	counts := make([]int, nclusters)
+	for i := 0; i < n; i++ {
+		counts[pos[i]/region]++
+	}
+	starts := make([]int, nclusters+1)
+	acc := 0
+	for i, cnt := range counts {
+		starts[i] = acc
+		acc += cnt
+	}
+	starts[nclusters] = acc
+
+	// Phase 1: read index sequentially, scatter positions to cluster
+	// cursors (nclusters concurrently written regions).
+	cursors := append([]int(nil), starts[:nclusters]...)
+	clustered := make([]int, n)
+	for i := 0; i < n; i++ {
+		sim.Read(idx+uint64(i*8), 8)
+		c := pos[i] / region
+		sim.Write(poss+uint64(cursors[c]*4), 4)
+		clustered[cursors[c]] = pos[i]
+		cursors[c]++
+	}
+	// Phase 2: per cluster, fetch values; col access confined to region.
+	for c := 0; c < nclusters; c++ {
+		for k := starts[c]; k < starts[c+1]; k++ {
+			sim.Read(poss+uint64(k*4), 4)
+			sim.Read(col+uint64(clustered[k]*8), 8)
+			sim.Write(valbuf+uint64(k*8), 8)
+		}
+	}
+	// Phase 3: decluster-merge — nclusters sequential read cursors over
+	// valbuf, strictly sequential output writes.
+	copy(cursors, starts[:nclusters])
+	for i := 0; i < n; i++ {
+		sim.Read(idx+uint64(i*8), 8)
+		c := pos[i] / region
+		sim.Read(valbuf+uint64(cursors[c]*8), 8)
+		cursors[c]++
+		sim.Write(out+uint64(i*8), 8)
+	}
+	return deltaStats(before, sim.Stats())
+}
+
+// TraceNaiveFetch replays the baseline post-projection: sequential read of
+// the join index, fully random fetches into the column, sequential output.
+func TraceNaiveFetch(sim *simhw.Sim, n int) simhw.Stats {
+	before := sim.Stats()
+	col := sim.Alloc(n * 8)
+	idx := sim.Alloc(n * 8)
+	out := sim.Alloc(n * 8)
+	for i := 0; i < n; i++ {
+		sim.Read(idx+uint64(i*8), 8)
+		sim.Read(col+(mix(uint64(i))%uint64(n))*8, 8)
+		sim.Write(out+uint64(i*8), 8)
+	}
+	return deltaStats(before, sim.Stats())
+}
+
+func deltaStats(a, b simhw.Stats) simhw.Stats {
+	d := simhw.Stats{
+		Accesses:  b.Accesses - a.Accesses,
+		TLBMisses: b.TLBMisses - a.TLBMisses,
+		TimeNS:    b.TimeNS - a.TimeNS,
+	}
+	d.Levels = make([]simhw.LevelStats, len(b.Levels))
+	for i := range b.Levels {
+		d.Levels[i] = simhw.LevelStats{
+			Hits:       b.Levels[i].Hits - a.Levels[i].Hits,
+			SeqMisses:  b.Levels[i].SeqMisses - a.Levels[i].SeqMisses,
+			RandMisses: b.Levels[i].RandMisses - a.Levels[i].RandMisses,
+		}
+	}
+	return d
+}

@@ -1,0 +1,263 @@
+// Package rdfstore implements the SPARQL front-end direction of §3.2 ([36]):
+// RDF triples dictionary-encoded into three aligned int BATs (subject,
+// predicate, object) over a dense void head, with basic graph pattern
+// matching compiled into selections and hash joins on the shared variables
+// — the same columnar back-end machinery as every other front-end.
+package rdfstore
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bat"
+	"repro/internal/batalg"
+)
+
+// Store holds dictionary-encoded triples.
+type Store struct {
+	dict    map[string]int64
+	terms   []string
+	S, P, O *bat.BAT
+}
+
+// NewStore returns an empty triple store.
+func NewStore() *Store {
+	return &Store{
+		dict: map[string]int64{},
+		S:    bat.New(bat.TypeInt),
+		P:    bat.New(bat.TypeInt),
+		O:    bat.New(bat.TypeInt),
+	}
+}
+
+// Encode interns a term, returning its dictionary id.
+func (st *Store) Encode(term string) int64 {
+	if id, ok := st.dict[term]; ok {
+		return id
+	}
+	id := int64(len(st.terms))
+	st.dict[term] = id
+	st.terms = append(st.terms, term)
+	return id
+}
+
+// Decode returns the term for an id.
+func (st *Store) Decode(id int64) string {
+	if id < 0 || int(id) >= len(st.terms) {
+		return fmt.Sprintf("?bad:%d", id)
+	}
+	return st.terms[id]
+}
+
+// Add inserts one triple.
+func (st *Store) Add(s, p, o string) {
+	st.S.AppendInt(st.Encode(s))
+	st.P.AppendInt(st.Encode(p))
+	st.O.AppendInt(st.Encode(o))
+}
+
+// Len returns the number of triples.
+func (st *Store) Len() int { return st.S.Len() }
+
+// Term is a pattern position: a constant term or a variable ("?x").
+type Term struct {
+	Var   string // non-empty for variables
+	Const string // used when Var == ""
+}
+
+// V makes a variable term.
+func V(name string) Term { return Term{Var: name} }
+
+// C makes a constant term.
+func C(value string) Term { return Term{Const: value} }
+
+// Pattern is one triple pattern of a basic graph pattern.
+type Pattern struct {
+	S, P, O Term
+}
+
+// Binding maps variable names to decoded terms.
+type Binding map[string]string
+
+// Query evaluates a basic graph pattern, returning all variable bindings.
+// Each pattern is first reduced to its candidate triples via selections on
+// the constant positions; patterns are then combined left to right,
+// joining on shared variables.
+func (st *Store) Query(patterns []Pattern) ([]Binding, error) {
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("rdf: empty pattern")
+	}
+	// rows: current bindings as columns of dictionary ids.
+	varCols := map[string][]int64{}
+	var varOrder []string
+	nrows := -1
+
+	for _, pat := range patterns {
+		cand, err := st.candidates(pat)
+		if err != nil {
+			return nil, err
+		}
+		// Pattern variable columns over the candidates.
+		patVars := map[string][]int64{}
+		var patOrder []string
+		addVar := func(t Term, col *bat.BAT) {
+			if t.Var == "" {
+				return
+			}
+			if _, dup := patVars[t.Var]; dup {
+				return
+			}
+			patVars[t.Var] = batalg.LeftFetchJoin(cand, col).Ints()
+			patOrder = append(patOrder, t.Var)
+		}
+		addVar(pat.S, st.S)
+		addVar(pat.P, st.P)
+		addVar(pat.O, st.O)
+		// Same-pattern repeated variable (e.g. ?x :p ?x): filter.
+		if pat.S.Var != "" && pat.S.Var == pat.O.Var {
+			sv := batalg.LeftFetchJoin(cand, st.S).Ints()
+			ov := batalg.LeftFetchJoin(cand, st.O).Ints()
+			keep := make([]int, 0, len(sv))
+			for i := range sv {
+				if sv[i] == ov[i] {
+					keep = append(keep, i)
+				}
+			}
+			for v := range patVars {
+				filtered := make([]int64, len(keep))
+				for j, i := range keep {
+					filtered[j] = patVars[v][i]
+				}
+				patVars[v] = filtered
+			}
+		}
+
+		if nrows == -1 {
+			// First pattern: adopt its bindings.
+			for _, v := range patOrder {
+				varCols[v] = patVars[v]
+				varOrder = append(varOrder, v)
+			}
+			nrows = cand.Len()
+			if len(patOrder) > 0 {
+				nrows = len(patVars[patOrder[0]])
+			}
+			continue
+		}
+		// Join with accumulated bindings on shared variables.
+		var shared []string
+		for _, v := range patOrder {
+			if _, ok := varCols[v]; ok {
+				shared = append(shared, v)
+			}
+		}
+		patRows := cand.Len()
+		if len(patOrder) > 0 {
+			patRows = len(patVars[patOrder[0]])
+		}
+		var li, ri []int
+		if len(shared) == 0 {
+			// Cross product.
+			for l := 0; l < nrows; l++ {
+				for r := 0; r < patRows; r++ {
+					li = append(li, l)
+					ri = append(ri, r)
+				}
+			}
+		} else {
+			// Hash join on the composite shared key.
+			type key [3]int64
+			mk := func(cols map[string][]int64, row int) key {
+				var k key
+				for i, v := range shared {
+					if i < 3 {
+						k[i] = cols[v][row]
+					}
+				}
+				return k
+			}
+			idx := map[key][]int{}
+			for r := 0; r < patRows; r++ {
+				k := mk(patVars, r)
+				idx[k] = append(idx[k], r)
+			}
+			for l := 0; l < nrows; l++ {
+				for _, r := range idx[mk(varCols, l)] {
+					li = append(li, l)
+					ri = append(ri, r)
+				}
+			}
+		}
+		// Materialize the joined binding columns.
+		next := map[string][]int64{}
+		for _, v := range varOrder {
+			col := make([]int64, len(li))
+			for j, l := range li {
+				col[j] = varCols[v][l]
+			}
+			next[v] = col
+		}
+		for _, v := range patOrder {
+			if _, ok := next[v]; ok {
+				continue
+			}
+			col := make([]int64, len(ri))
+			for j, r := range ri {
+				col[j] = patVars[v][r]
+			}
+			next[v] = col
+			varOrder = append(varOrder, v)
+		}
+		varCols = next
+		nrows = len(li)
+	}
+
+	out := make([]Binding, 0, nrows)
+	for r := 0; r < nrows; r++ {
+		b := Binding{}
+		for _, v := range varOrder {
+			b[v] = st.Decode(varCols[v][r])
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// candidates returns the positions matching a pattern's constant fields.
+func (st *Store) candidates(pat Pattern) (*bat.BAT, error) {
+	cand := batalg.Mirror(st.S)
+	restrict := func(t Term, col *bat.BAT, cur *bat.BAT) (*bat.BAT, error) {
+		if t.Var != "" {
+			return cur, nil
+		}
+		id, ok := st.dict[t.Const]
+		if !ok {
+			return bat.FromOIDs(nil), nil // unknown term: empty
+		}
+		sel := batalg.Select(col, id)
+		return batalg.Intersect(cur, sel), nil
+	}
+	var err error
+	if cand, err = restrict(pat.S, st.S, cand); err != nil {
+		return nil, err
+	}
+	if cand, err = restrict(pat.P, st.P, cand); err != nil {
+		return nil, err
+	}
+	if cand, err = restrict(pat.O, st.O, cand); err != nil {
+		return nil, err
+	}
+	return cand, nil
+}
+
+// SortBindings orders bindings deterministically for tests and display.
+func SortBindings(bs []Binding, vars ...string) {
+	sort.Slice(bs, func(i, j int) bool {
+		for _, v := range vars {
+			if bs[i][v] != bs[j][v] {
+				return bs[i][v] < bs[j][v]
+			}
+		}
+		return false
+	})
+}

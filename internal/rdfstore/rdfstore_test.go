@@ -1,0 +1,176 @@
+package rdfstore
+
+import (
+	"reflect"
+	"testing"
+)
+
+func socialGraph() *Store {
+	st := NewStore()
+	st.Add("alice", "knows", "bob")
+	st.Add("alice", "knows", "carol")
+	st.Add("bob", "knows", "carol")
+	st.Add("carol", "knows", "dave")
+	st.Add("alice", "age", "30")
+	st.Add("bob", "age", "25")
+	st.Add("carol", "likes", "carol")
+	return st
+}
+
+func TestDictionaryRoundTrip(t *testing.T) {
+	st := NewStore()
+	id1 := st.Encode("x")
+	id2 := st.Encode("x")
+	if id1 != id2 {
+		t.Fatal("interning broken")
+	}
+	if st.Decode(id1) != "x" {
+		t.Fatal("decode broken")
+	}
+	if st.Decode(999) == "x" {
+		t.Fatal("bad id should not decode to a term")
+	}
+}
+
+func TestSinglePatternConstPredicate(t *testing.T) {
+	st := socialGraph()
+	bs, err := st.Query([]Pattern{{S: V("who"), P: C("knows"), O: V("whom")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 4 {
+		t.Fatalf("bindings = %v", bs)
+	}
+	SortBindings(bs, "who", "whom")
+	if bs[0]["who"] != "alice" || bs[0]["whom"] != "bob" {
+		t.Fatalf("bindings = %v", bs)
+	}
+}
+
+func TestFullyConstantPattern(t *testing.T) {
+	st := socialGraph()
+	bs, err := st.Query([]Pattern{{S: C("alice"), P: C("knows"), O: C("bob")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 1 {
+		t.Fatalf("bindings = %v", bs)
+	}
+	bs, err = st.Query([]Pattern{{S: C("alice"), P: C("knows"), O: C("dave")}})
+	if err != nil || len(bs) != 0 {
+		t.Fatalf("bindings = %v err=%v", bs, err)
+	}
+}
+
+func TestUnknownTermEmpty(t *testing.T) {
+	st := socialGraph()
+	bs, err := st.Query([]Pattern{{S: C("nobody"), P: V("p"), O: V("o")}})
+	if err != nil || len(bs) != 0 {
+		t.Fatalf("bindings = %v err=%v", bs, err)
+	}
+}
+
+func TestTwoPatternJoin(t *testing.T) {
+	// friends-of-friends: ?a knows ?b . ?b knows ?c
+	st := socialGraph()
+	bs, err := st.Query([]Pattern{
+		{S: V("a"), P: C("knows"), O: V("b")},
+		{S: V("b"), P: C("knows"), O: V("c")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	SortBindings(bs, "a", "b", "c")
+	want := []Binding{
+		{"a": "alice", "b": "bob", "c": "carol"},
+		{"a": "alice", "b": "carol", "c": "dave"},
+		{"a": "bob", "b": "carol", "c": "dave"},
+	}
+	if !reflect.DeepEqual(bs, want) {
+		t.Fatalf("bindings = %v", bs)
+	}
+}
+
+func TestJoinOnMultipleVars(t *testing.T) {
+	// people who know someone AND have an age: ?p knows ?x . ?p age ?a
+	st := socialGraph()
+	bs, err := st.Query([]Pattern{
+		{S: V("p"), P: C("knows"), O: V("x")},
+		{S: V("p"), P: C("age"), O: V("a")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 3 { // alice-bob, alice-carol, bob-carol
+		t.Fatalf("bindings = %v", bs)
+	}
+}
+
+func TestRepeatedVariableInPattern(t *testing.T) {
+	// self-likes: ?x likes ?x
+	st := socialGraph()
+	bs, err := st.Query([]Pattern{{S: V("x"), P: C("likes"), O: V("x")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 1 || bs[0]["x"] != "carol" {
+		t.Fatalf("bindings = %v", bs)
+	}
+}
+
+func TestCrossProductWhenNoSharedVars(t *testing.T) {
+	st := socialGraph()
+	bs, err := st.Query([]Pattern{
+		{S: C("alice"), P: C("age"), O: V("aa")},
+		{S: C("bob"), P: C("age"), O: V("ba")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 1 || bs[0]["aa"] != "30" || bs[0]["ba"] != "25" {
+		t.Fatalf("bindings = %v", bs)
+	}
+}
+
+func TestEmptyPatternRejected(t *testing.T) {
+	if _, err := socialGraph().Query(nil); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestThreePatternChain(t *testing.T) {
+	st := socialGraph()
+	bs, err := st.Query([]Pattern{
+		{S: V("a"), P: C("knows"), O: V("b")},
+		{S: V("b"), P: C("knows"), O: V("c")},
+		{S: V("c"), P: C("knows"), O: V("d")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 1 || bs[0]["a"] != "alice" || bs[0]["d"] != "dave" {
+		t.Fatalf("bindings = %v", bs)
+	}
+}
+
+func BenchmarkBGPJoin(b *testing.B) {
+	st := NewStore()
+	// A chain graph with some fan-out.
+	for i := 0; i < 10000; i++ {
+		st.Add(name(i), "knows", name((i*7+1)%10000))
+	}
+	pats := []Pattern{
+		{S: V("a"), P: C("knows"), O: V("b")},
+		{S: V("b"), P: C("knows"), O: V("c")},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Query(pats); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func name(i int) string {
+	return "n" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+(i/676)%26)) + string(rune('a'+(i/17576)%26))
+}

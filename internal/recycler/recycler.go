@@ -1,0 +1,191 @@
+// Package recycler implements recycling of intermediate results (paper
+// §6.1, [19]): because the operator-at-a-time paradigm materializes every
+// intermediate as a BAT, those results can be kept in a cache, aware of
+// their dependencies on base tables, and reused by later queries — an
+// alternative to DBA-designed materialized views that needs no knobs.
+package recycler
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/bat"
+)
+
+// Key identifies an instruction instance: operator plus transitively
+// resolved argument identities. Equal keys mean equal results (as long as
+// no base dependency changed).
+type Key string
+
+// Policy selects the eviction policy.
+type Policy uint8
+
+// Eviction policies. PolicyLRU evicts least-recently-used entries;
+// PolicyBenefit weighs saved cost per byte (the [19] "cherry picking").
+const (
+	PolicyLRU Policy = iota
+	PolicyBenefit
+)
+
+type entry struct {
+	key     Key
+	result  *bat.BAT
+	bytes   int
+	costNS  float64 // cost to recompute (what a hit saves)
+	deps    []string
+	lastUse int64
+	hits    int
+}
+
+// Stats reports cache effectiveness.
+type Stats struct {
+	Lookups   int
+	Hits      int
+	SavedNS   float64
+	Evictions int
+	Bytes     int
+	Entries   int
+}
+
+// Cache is a recycler cache. Safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int // bytes
+	policy   Policy
+	entries  map[Key]*entry
+	clock    int64
+	bytes    int
+	stats    Stats
+}
+
+// New returns a cache bounded to capacityBytes with the given policy.
+func New(capacityBytes int, policy Policy) *Cache {
+	return &Cache{
+		capacity: capacityBytes,
+		policy:   policy,
+		entries:  make(map[Key]*entry),
+	}
+}
+
+// Lookup returns the cached result for k, if present.
+func (c *Cache) Lookup(k Key) (*bat.BAT, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Lookups++
+	e, ok := c.entries[k]
+	if !ok {
+		return nil, false
+	}
+	c.clock++
+	e.lastUse = c.clock
+	e.hits++
+	c.stats.Hits++
+	c.stats.SavedNS += e.costNS
+	return e.result, true
+}
+
+// Add inserts a result computed in costNS nanoseconds that depends on the
+// named base BATs. Oversized results are not admitted.
+func (c *Cache) Add(k Key, result *bat.BAT, costNS float64, deps []string) {
+	size := result.HeapBytes() + 64
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if size > c.capacity {
+		return
+	}
+	if _, dup := c.entries[k]; dup {
+		return
+	}
+	for c.bytes+size > c.capacity {
+		if !c.evictOne() {
+			return
+		}
+	}
+	c.clock++
+	c.entries[k] = &entry{
+		key: k, result: result, bytes: size, costNS: costNS,
+		deps: append([]string(nil), deps...), lastUse: c.clock,
+	}
+	c.bytes += size
+}
+
+// evictOne removes the lowest-value entry per the policy; reports whether
+// anything was evicted.
+func (c *Cache) evictOne() bool {
+	if len(c.entries) == 0 {
+		return false
+	}
+	var victim *entry
+	for _, e := range c.entries {
+		if victim == nil {
+			victim = e
+			continue
+		}
+		switch c.policy {
+		case PolicyLRU:
+			if e.lastUse < victim.lastUse {
+				victim = e
+			}
+		case PolicyBenefit:
+			// benefit density: recompute cost per byte, recency-weighted
+			if benefit(e) < benefit(victim) {
+				victim = e
+			}
+		}
+	}
+	delete(c.entries, victim.key)
+	c.bytes -= victim.bytes
+	c.stats.Evictions++
+	return true
+}
+
+func benefit(e *entry) float64 {
+	return e.costNS * float64(e.hits+1) / float64(e.bytes)
+}
+
+// Invalidate drops every entry depending on the named base BAT (called on
+// updates to that base).
+func (c *Cache) Invalidate(base string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var victims []Key
+	for k, e := range c.entries {
+		for _, d := range e.deps {
+			if d == base {
+				victims = append(victims, k)
+				break
+			}
+		}
+	}
+	for _, k := range victims {
+		c.bytes -= c.entries[k].bytes
+		delete(c.entries, k)
+	}
+	return len(victims)
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Bytes = c.bytes
+	s.Entries = len(c.entries)
+	return s
+}
+
+// Contents lists cached keys sorted by descending benefit, for inspection.
+func (c *Cache) Contents() []Key {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	es := make([]*entry, 0, len(c.entries))
+	for _, e := range c.entries {
+		es = append(es, e)
+	}
+	sort.Slice(es, func(i, j int) bool { return benefit(es[i]) > benefit(es[j]) })
+	out := make([]Key, len(es))
+	for i, e := range es {
+		out[i] = e.key
+	}
+	return out
+}

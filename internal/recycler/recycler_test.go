@@ -1,0 +1,137 @@
+package recycler
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bat"
+)
+
+func mkBAT(n int) *bat.BAT {
+	v := make([]int64, n)
+	return bat.FromInts(v)
+}
+
+func TestLookupMiss(t *testing.T) {
+	c := New(1<<20, PolicyLRU)
+	if _, ok := c.Lookup("nope"); ok {
+		t.Fatal("unexpected hit")
+	}
+	if st := c.Stats(); st.Lookups != 1 || st.Hits != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAddAndHit(t *testing.T) {
+	c := New(1<<20, PolicyLRU)
+	b := mkBAT(10)
+	c.Add("k1", b, 1000, []string{"t"})
+	got, ok := c.Lookup("k1")
+	if !ok || got != b {
+		t.Fatal("expected hit with same BAT")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.SavedNS != 1000 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestOversizedNotAdmitted(t *testing.T) {
+	c := New(100, PolicyLRU)
+	c.Add("big", mkBAT(1000), 1, nil)
+	if _, ok := c.Lookup("big"); ok {
+		t.Fatal("oversized entry admitted")
+	}
+}
+
+func TestDuplicateAddIgnored(t *testing.T) {
+	c := New(1<<20, PolicyLRU)
+	b1, b2 := mkBAT(5), mkBAT(5)
+	c.Add("k", b1, 1, nil)
+	c.Add("k", b2, 1, nil)
+	got, _ := c.Lookup("k")
+	if got != b1 {
+		t.Fatal("duplicate add replaced entry")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Each 100-int BAT is 800+64 bytes; capacity fits two.
+	c := New(1800, PolicyLRU)
+	c.Add("a", mkBAT(100), 1, nil)
+	c.Add("b", mkBAT(100), 1, nil)
+	c.Lookup("a") // make "b" the LRU
+	c.Add("c", mkBAT(100), 1, nil)
+	if _, ok := c.Lookup("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.Lookup("a"); !ok {
+		t.Fatal("a should have survived")
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d", st.Evictions)
+	}
+}
+
+func TestBenefitEvictionPrefersCheapResults(t *testing.T) {
+	c := New(1800, PolicyBenefit)
+	c.Add("cheap", mkBAT(100), 10, nil)      // low recompute cost
+	c.Add("expensive", mkBAT(100), 1e9, nil) // very high recompute cost
+	c.Add("newcomer", mkBAT(100), 1000, nil) // forces one eviction
+	if _, ok := c.Lookup("expensive"); !ok {
+		t.Fatal("high-benefit entry evicted")
+	}
+	if _, ok := c.Lookup("cheap"); ok {
+		t.Fatal("low-benefit entry survived")
+	}
+}
+
+func TestInvalidateByDependency(t *testing.T) {
+	c := New(1<<20, PolicyLRU)
+	c.Add("q1", mkBAT(10), 1, []string{"lineitem"})
+	c.Add("q2", mkBAT(10), 1, []string{"orders"})
+	c.Add("q3", mkBAT(10), 1, []string{"lineitem", "orders"})
+	n := c.Invalidate("lineitem")
+	if n != 2 {
+		t.Fatalf("invalidated = %d, want 2", n)
+	}
+	if _, ok := c.Lookup("q2"); !ok {
+		t.Fatal("q2 should survive")
+	}
+	if _, ok := c.Lookup("q1"); ok {
+		t.Fatal("q1 should be gone")
+	}
+}
+
+func TestContentsSortedByBenefit(t *testing.T) {
+	c := New(1<<20, PolicyBenefit)
+	c.Add("low", mkBAT(100), 10, nil)
+	c.Add("high", mkBAT(100), 100000, nil)
+	got := c.Contents()
+	if len(got) != 2 || got[0] != "high" {
+		t.Fatalf("contents = %v", got)
+	}
+}
+
+func TestStatsBytesTracked(t *testing.T) {
+	c := New(1<<20, PolicyLRU)
+	c.Add("a", mkBAT(100), 1, nil)
+	st := c.Stats()
+	if st.Bytes != 864 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestManyEntriesChurn(t *testing.T) {
+	c := New(10_000, PolicyBenefit)
+	for i := 0; i < 200; i++ {
+		c.Add(Key(fmt.Sprintf("k%d", i)), mkBAT(50), float64(i), nil)
+	}
+	st := c.Stats()
+	if st.Bytes > 10_000 {
+		t.Fatalf("capacity exceeded: %d", st.Bytes)
+	}
+	if st.Entries == 0 {
+		t.Fatal("cache empty after churn")
+	}
+}

@@ -1,0 +1,177 @@
+package simhw
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSequentialScanMissesOncePerLine(t *testing.T) {
+	s := NewSim(Small())
+	base := s.Alloc(64 * 100) // 100 lines
+	for i := 0; i < 6400; i += 8 {
+		s.Read(base+uint64(i), 8)
+	}
+	st := s.Stats()
+	// L1 sees exactly one (compulsory) miss per 64-byte line.
+	if got := st.Levels[0].Misses(); got != 100 {
+		t.Fatalf("L1 misses = %d, want 100", got)
+	}
+	// Those misses are sequential after the first.
+	if st.Levels[0].SeqMisses < 98 {
+		t.Fatalf("seq misses = %d, want >= 98", st.Levels[0].SeqMisses)
+	}
+}
+
+func TestRepeatedScanOfFittingRegionHits(t *testing.T) {
+	s := NewSim(Small()) // L1 = 1KB = 16 lines
+	base := s.Alloc(64 * 8)
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < 8*64; i += 8 {
+			s.Read(base+uint64(i), 8)
+		}
+	}
+	st := s.Stats()
+	if got := st.Levels[0].Misses(); got != 8 {
+		t.Fatalf("L1 misses = %d, want 8 (compulsory only)", got)
+	}
+}
+
+func TestCapacityThrashing(t *testing.T) {
+	// Region 4x the L1 capacity, scanned twice: second pass misses too.
+	s := NewSim(Small())
+	n := 4 * 1024
+	base := s.Alloc(n)
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < n; i += 64 {
+			s.Read(base+uint64(i), 8)
+		}
+	}
+	st := s.Stats()
+	lines := uint64(n / 64)
+	if got := st.Levels[0].Misses(); got != 2*lines {
+		t.Fatalf("L1 misses = %d, want %d (thrash both passes)", got, 2*lines)
+	}
+}
+
+func TestTLBMisses(t *testing.T) {
+	// Small TLB: 8 entries of 1KB pages. Touch 16 pages round-robin twice:
+	// every access is a TLB miss.
+	s := NewSim(Small())
+	base := s.Alloc(16 * 1024)
+	for pass := 0; pass < 2; pass++ {
+		for p := 0; p < 16; p++ {
+			s.Read(base+uint64(p*1024), 8)
+		}
+	}
+	st := s.Stats()
+	if st.TLBMisses != 32 {
+		t.Fatalf("TLB misses = %d, want 32", st.TLBMisses)
+	}
+}
+
+func TestTLBHitsWithinFewPages(t *testing.T) {
+	s := NewSim(Small())
+	base := s.Alloc(4 * 1024)
+	for pass := 0; pass < 10; pass++ {
+		for p := 0; p < 4; p++ {
+			s.Read(base+uint64(p*1024), 8)
+		}
+	}
+	if st := s.Stats(); st.TLBMisses != 4 {
+		t.Fatalf("TLB misses = %d, want 4 (compulsory)", st.TLBMisses)
+	}
+}
+
+func TestRandomAccessesCostMoreThanSequential(t *testing.T) {
+	n := 256 << 10 // much larger than L2
+	seq := NewSim(Small())
+	base := seq.Alloc(n)
+	for i := 0; i < n; i += 64 {
+		seq.Read(base+uint64(i), 8)
+	}
+	rnd := NewSim(Small())
+	base2 := rnd.Alloc(n)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < n/64; i++ {
+		rnd.Read(base2+uint64(r.Intn(n)), 8)
+	}
+	ts, tr := seq.Stats().TimeNS, rnd.Stats().TimeNS
+	if tr <= ts {
+		t.Fatalf("random (%f) should cost more than sequential (%f)", tr, ts)
+	}
+}
+
+func TestAccessSpanningTwoLines(t *testing.T) {
+	s := NewSim(Small())
+	base := s.Alloc(128)
+	s.Read(base+60, 8) // crosses the line boundary at 64
+	if st := s.Stats(); st.Accesses != 2 {
+		t.Fatalf("accesses = %d, want 2 (two lines touched)", st.Accesses)
+	}
+}
+
+func TestAllocPageAligned(t *testing.T) {
+	s := NewSim(Small())
+	a := s.Alloc(100)
+	b := s.Alloc(100)
+	ps := uint64(Small().TLB.PageSize)
+	if a%ps != 0 || b%ps != 0 {
+		t.Fatalf("allocations not page aligned: %d %d", a, b)
+	}
+	if b <= a {
+		t.Fatal("allocations must not overlap")
+	}
+}
+
+func TestResetKeepsCacheContents(t *testing.T) {
+	s := NewSim(Small())
+	base := s.Alloc(64 * 4)
+	for i := 0; i < 4; i++ {
+		s.Read(base+uint64(i*64), 8)
+	}
+	s.Reset()
+	for i := 0; i < 4; i++ {
+		s.Read(base+uint64(i*64), 8)
+	}
+	if st := s.Stats(); st.Levels[0].Misses() != 0 {
+		t.Fatalf("post-reset misses = %d, want 0 (cache stays warm)", st.Levels[0].Misses())
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := NewSim(Small())
+	s.Read(s.Alloc(64), 8)
+	if s.Stats().String() == "" {
+		t.Fatal("empty stats string")
+	}
+}
+
+func TestDefaultHierarchyShape(t *testing.T) {
+	h := Default()
+	if len(h.Levels) != 3 {
+		t.Fatalf("levels = %d", len(h.Levels))
+	}
+	if h.Levels[0].Capacity >= h.Levels[1].Capacity {
+		t.Fatal("L1 must be smaller than L2")
+	}
+	if h.Levels[1].LatRandNS >= h.Levels[2].LatRandNS {
+		t.Fatal("RAM must be slower than L2")
+	}
+}
+
+func TestSetAssociativeConflictMisses(t *testing.T) {
+	// 2-way 1KB cache with 64B lines = 8 sets. Three lines mapping to the
+	// same set, accessed round robin, must always miss (conflict misses).
+	s := NewSim(Small())
+	base := s.Alloc(64 * 64)
+	stride := uint64(8 * 64) // 8 sets apart -> same set
+	for pass := 0; pass < 5; pass++ {
+		for i := uint64(0); i < 3; i++ {
+			s.Read(base+i*stride, 8)
+		}
+	}
+	st := s.Stats()
+	if st.Levels[0].Misses() != 15 {
+		t.Fatalf("conflict misses = %d, want 15", st.Levels[0].Misses())
+	}
+}

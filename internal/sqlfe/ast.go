@@ -1,0 +1,129 @@
+package sqlfe
+
+// ColType is a SQL column type.
+type ColType uint8
+
+// SQL column types.
+const (
+	TInt ColType = iota
+	TFloat
+	TText
+)
+
+// String returns the SQL spelling.
+func (t ColType) String() string {
+	switch t {
+	case TInt:
+		return "INT"
+	case TFloat:
+		return "FLOAT"
+	case TText:
+		return "TEXT"
+	}
+	return "?"
+}
+
+// Stmt is any parsed statement.
+type Stmt interface{ stmt() }
+
+// CreateTable is CREATE TABLE name (col type, ...).
+type CreateTable struct {
+	Name  string
+	Cols  []string
+	Types []ColType
+}
+
+func (*CreateTable) stmt() {}
+
+// DropTable is DROP TABLE name.
+type DropTable struct{ Name string }
+
+func (*DropTable) stmt() {}
+
+// Insert is INSERT INTO name VALUES (...), (...).
+type Insert struct {
+	Table string
+	Rows  [][]Lit
+}
+
+func (*Insert) stmt() {}
+
+// Delete is DELETE FROM name [WHERE preds].
+type Delete struct {
+	Table string
+	Where []Pred
+}
+
+func (*Delete) stmt() {}
+
+// Update is UPDATE name SET col = lit [, ...] [WHERE preds].
+type Update struct {
+	Table string
+	Set   map[string]Lit
+	Where []Pred
+}
+
+func (*Update) stmt() {}
+
+// Select is the query statement.
+type Select struct {
+	Items   []SelItem
+	From    string
+	Join    *JoinClause
+	Where   []Pred
+	GroupBy string // column name, "" if none
+	OrderBy string // column or alias, "" if none
+	Desc    bool
+	Limit   int // -1 if none
+}
+
+func (*Select) stmt() {}
+
+// JoinClause is JOIN table ON left = right.
+type JoinClause struct {
+	Table string
+	LCol  string // column of the FROM table
+	RCol  string // column of the joined table
+}
+
+// SelItem is one select-list item: an expression, optionally wrapped in an
+// aggregate, optionally aliased. Star is the * item.
+type SelItem struct {
+	Star  bool
+	Agg   string // "", "sum", "count", "min", "max", "avg"
+	Expr  Expr   // nil for count(*)
+	Alias string
+}
+
+// Expr is a scalar expression over columns and literals.
+type Expr interface{ expr() }
+
+// ColRef names a column (possibly qualified table.col).
+type ColRef struct{ Name string }
+
+func (ColRef) expr() {}
+
+// Lit is a literal value.
+type Lit struct {
+	Kind ColType
+	I    int64
+	F    float64
+	S    string
+}
+
+func (Lit) expr() {}
+
+// BinExpr is arithmetic: l op r with op in + - * .
+type BinExpr struct {
+	Op   byte // '+', '-', '*'
+	L, R Expr
+}
+
+func (BinExpr) expr() {}
+
+// Pred is one conjunct of the WHERE clause: col op lit.
+type Pred struct {
+	Col string
+	Op  string // "=", "<>", "<", "<=", ">", ">="
+	Val Lit
+}

@@ -1,0 +1,543 @@
+package sqlfe
+
+import (
+	"fmt"
+
+	"repro/internal/batalg"
+	"repro/internal/mal"
+)
+
+// compiler translates one SELECT into a MAL program against a Snapshot.
+// It follows the MonetDB/SQL strategy: build a candidate list per table
+// (WHERE conjuncts chained over candidates, deleted positions subtracted),
+// then positional fetches for every needed column, then bulk arithmetic,
+// grouping, aggregation, sorting.
+type compiler struct {
+	b    *mal.Builder
+	snap *Snapshot
+	sel  *Select
+
+	left  *Table // FROM table
+	right *Table // JOIN table, nil if none
+
+	leftCand  int // var: candidate list into left's positions
+	rightCand int // var: candidate list into right's positions (join only)
+}
+
+// CompileSelect compiles a SELECT statement to MAL.
+func (s *Snapshot) CompileSelect(sel *Select) (*mal.Program, error) {
+	c := &compiler{b: mal.NewBuilder(), snap: s, sel: sel}
+	var err error
+	if c.left, err = s.Table(sel.From); err != nil {
+		return nil, err
+	}
+	if sel.Join != nil {
+		if c.right, err = s.Table(sel.Join.Table); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.buildCandidates(); err != nil {
+		return nil, err
+	}
+	if err := c.buildOutput(); err != nil {
+		return nil, err
+	}
+	return mal.DefaultPipeline().Run(c.b.Program()), nil
+}
+
+// resolve finds which table owns a column; returns the table and its index.
+func (c *compiler) resolve(name string) (*Table, int, error) {
+	if tbl, col, ok := splitQualified(name); ok {
+		switch {
+		case tbl == c.left.Name:
+			i, err := c.left.colIndex(col)
+			return c.left, i, err
+		case c.right != nil && tbl == c.right.Name:
+			i, err := c.right.colIndex(col)
+			return c.right, i, err
+		default:
+			return nil, 0, fmt.Errorf("sql: unknown table %q in %q", tbl, name)
+		}
+	}
+	if i, err := c.left.colIndex(name); err == nil {
+		return c.left, i, nil
+	}
+	if c.right != nil {
+		if i, err := c.right.colIndex(name); err == nil {
+			return c.right, i, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("sql: unknown column %q", name)
+}
+
+// bindCol emits bind of a table column.
+func (c *compiler) bindCol(t *Table, i int) int {
+	return c.b.Emit("bind", mal.CS(t.Name+"."+t.ColNames[i]))
+}
+
+// liveCand emits the candidate list of live (non-deleted) positions.
+func (c *compiler) liveCand(t *Table) int {
+	anyCol := c.bindCol(t, 0)
+	all := c.b.Emit("mirror", mal.V(anyCol))
+	del := c.b.Emit("bind", mal.CS(t.Name+".%del"))
+	return c.b.Emit("diff", mal.V(all), mal.V(del))
+}
+
+func cmpCode(op string) (batalg.CmpOp, error) {
+	switch op {
+	case "=":
+		return batalg.CmpEQ, nil
+	case "<>":
+		return batalg.CmpNE, nil
+	case "<":
+		return batalg.CmpLT, nil
+	case "<=":
+		return batalg.CmpLE, nil
+	case ">":
+		return batalg.CmpGT, nil
+	case ">=":
+		return batalg.CmpGE, nil
+	}
+	return 0, fmt.Errorf("sql: bad operator %q", op)
+}
+
+// predCand emits the candidate list for one predicate over a full column.
+func (c *compiler) predCand(t *Table, p Pred) (int, error) {
+	ci, err := t.colIndex(p.Col)
+	if err != nil {
+		return 0, err
+	}
+	col := c.bindCol(t, ci)
+	code, err := cmpCode(p.Op)
+	if err != nil {
+		return 0, err
+	}
+	switch t.ColTypes[ci] {
+	case TInt:
+		if p.Val.Kind != TInt {
+			return 0, fmt.Errorf("sql: comparing int column %q with %v", p.Col, p.Val.Kind)
+		}
+		return c.b.Emit("theta_select", mal.V(col), mal.CI(int64(code)), mal.CI(p.Val.I)), nil
+	case TFloat:
+		f := p.Val.F
+		if p.Val.Kind == TInt {
+			f = float64(p.Val.I)
+		} else if p.Val.Kind != TFloat {
+			return 0, fmt.Errorf("sql: comparing float column %q with %v", p.Col, p.Val.Kind)
+		}
+		return c.b.Emit("theta_select_flt", mal.V(col), mal.CI(int64(code)), mal.CF(f)), nil
+	default:
+		if p.Val.Kind != TText {
+			return 0, fmt.Errorf("sql: comparing text column %q with %v", p.Col, p.Val.Kind)
+		}
+		return c.b.Emit("select_str", mal.V(col), mal.CI(int64(code)), mal.CS(p.Val.S)), nil
+	}
+}
+
+// buildCandidates computes leftCand (and rightCand with a join), applying
+// WHERE conjuncts and the deleted filter, then the join itself.
+func (c *compiler) buildCandidates() error {
+	ownerOf := func(p Pred) (*Table, error) {
+		t, _, err := c.resolve(p.Col)
+		return t, err
+	}
+	cand := map[*Table]int{c.left: c.liveCand(c.left)}
+	if c.right != nil {
+		cand[c.right] = c.liveCand(c.right)
+	}
+	for _, p := range c.sel.Where {
+		t, err := ownerOf(p)
+		if err != nil {
+			return err
+		}
+		pc, err := c.predCand(t, p)
+		if err != nil {
+			return err
+		}
+		cand[t] = c.b.Emit("intersect", mal.V(cand[t]), mal.V(pc))
+	}
+	c.leftCand = cand[c.left]
+	if c.right == nil {
+		return nil
+	}
+	// Join: fetch the join columns through the candidates, join, and map
+	// positions back to original TIDs.
+	lt, li, err := c.resolve(qualify(c.sel.Join.LCol, c.left, c.right))
+	if err != nil {
+		return err
+	}
+	rt, ri, err := c.resolve(qualify(c.sel.Join.RCol, c.right, c.left))
+	if err != nil {
+		return err
+	}
+	// Normalize: lt must be the FROM table.
+	if lt != c.left {
+		lt, li, rt, ri = rt, ri, lt, li
+	}
+	if lt != c.left || rt != c.right {
+		return fmt.Errorf("sql: join ON must reference both tables")
+	}
+	lvals := c.b.Emit("fetch", mal.V(cand[c.left]), mal.V(c.bindCol(c.left, li)))
+	rvals := c.b.Emit("fetch", mal.V(cand[c.right]), mal.V(c.bindCol(c.right, ri)))
+	var lo, ro int
+	if c.left.ColTypes[li] == TText {
+		lo, ro = c.b.Emit2("join_str", mal.V(lvals), mal.V(rvals))
+	} else {
+		lo, ro = c.b.Emit2("join", mal.V(lvals), mal.V(rvals))
+	}
+	c.leftCand = c.b.Emit("fetch", mal.V(lo), mal.V(cand[c.left]))
+	c.rightCand = c.b.Emit("fetch", mal.V(ro), mal.V(cand[c.right]))
+	return nil
+}
+
+// qualify prefers interpreting name against preferred's schema when
+// unqualified and ambiguous.
+func qualify(name string, preferred, other *Table) string {
+	if _, _, ok := splitQualified(name); ok {
+		return name
+	}
+	if _, err := preferred.colIndex(name); err == nil {
+		return preferred.Name + "." + name
+	}
+	return name
+}
+
+// candFor returns the candidate variable for the table owning a column.
+func (c *compiler) candFor(t *Table) int {
+	if c.right != nil && t == c.right {
+		return c.rightCand
+	}
+	return c.leftCand
+}
+
+// evalExpr emits MAL computing expr as a column aligned with the candidate
+// lists; it returns the variable and result type.
+func (c *compiler) evalExpr(e Expr) (int, ColType, error) {
+	switch x := e.(type) {
+	case ColRef:
+		t, i, err := c.resolve(x.Name)
+		if err != nil {
+			return 0, 0, err
+		}
+		col := c.bindCol(t, i)
+		return c.b.Emit("fetch", mal.V(c.candFor(t)), mal.V(col)), t.ColTypes[i], nil
+	case Lit:
+		return 0, 0, fmt.Errorf("sql: bare literals in the select list are not supported")
+	case BinExpr:
+		// Column-vs-literal arithmetic compiles to scalar map primitives.
+		if lit, ok := x.R.(Lit); ok {
+			if _, also := x.L.(Lit); !also {
+				return c.evalScalarArith(x.L, x.Op, lit, false)
+			}
+		}
+		if lit, ok := x.L.(Lit); ok {
+			return c.evalScalarArith(x.R, x.Op, lit, true)
+		}
+		lv, lt, err := c.evalExpr(x.L)
+		if err != nil {
+			return 0, 0, err
+		}
+		rv, rt, err := c.evalExpr(x.R)
+		if err != nil {
+			return 0, 0, err
+		}
+		if lt == TText || rt == TText {
+			return 0, 0, fmt.Errorf("sql: arithmetic on text column")
+		}
+		if lt == TFloat || rt == TFloat {
+			if lt == TInt {
+				lv = c.b.Emit("int_to_flt", mal.V(lv))
+			}
+			if rt == TInt {
+				rv = c.b.Emit("int_to_flt", mal.V(rv))
+			}
+			op := map[byte]string{'+': "add_flt", '-': "sub_flt", '*': "mul_flt"}[x.Op]
+			return c.b.Emit(op, mal.V(lv), mal.V(rv)), TFloat, nil
+		}
+		op := map[byte]string{'+': "add", '-': "sub", '*': "mul"}[x.Op]
+		return c.b.Emit(op, mal.V(lv), mal.V(rv)), TInt, nil
+	}
+	return 0, 0, fmt.Errorf("sql: unsupported expression %T", e)
+}
+
+// evalScalarArith emits col-vs-literal arithmetic. litOnLeft matters only
+// for subtraction (lit - col).
+func (c *compiler) evalScalarArith(other Expr, op byte, lit Lit, litOnLeft bool) (int, ColType, error) {
+	ov, ot, err := c.evalExpr(other)
+	if err != nil {
+		return 0, 0, err
+	}
+	if ot == TText || lit.Kind == TText {
+		return 0, 0, fmt.Errorf("sql: arithmetic on text operand")
+	}
+	if ot == TInt && lit.Kind == TInt {
+		switch op {
+		case '+':
+			return c.b.Emit("add_scalar", mal.V(ov), mal.CI(lit.I)), TInt, nil
+		case '*':
+			return c.b.Emit("mul_scalar", mal.V(ov), mal.CI(lit.I)), TInt, nil
+		case '-':
+			if !litOnLeft {
+				return c.b.Emit("add_scalar", mal.V(ov), mal.CI(-lit.I)), TInt, nil
+			}
+			neg := c.b.Emit("mul_scalar", mal.V(ov), mal.CI(-1))
+			return c.b.Emit("add_scalar", mal.V(neg), mal.CI(lit.I)), TInt, nil
+		}
+		return 0, 0, fmt.Errorf("sql: bad operator %q", op)
+	}
+	// Float path.
+	f := lit.F
+	if lit.Kind == TInt {
+		f = float64(lit.I)
+	}
+	if ot == TInt {
+		ov = c.b.Emit("int_to_flt", mal.V(ov))
+	}
+	switch op {
+	case '+':
+		return c.b.Emit("add_scalar_flt", mal.V(ov), mal.CF(f)), TFloat, nil
+	case '*':
+		return c.b.Emit("mul_scalar_flt", mal.V(ov), mal.CF(f)), TFloat, nil
+	case '-':
+		if litOnLeft {
+			return c.b.Emit("sub_const_flt", mal.CF(f), mal.V(ov)), TFloat, nil
+		}
+		return c.b.Emit("add_scalar_flt", mal.V(ov), mal.CF(-f)), TFloat, nil
+	}
+	return 0, 0, fmt.Errorf("sql: bad operator %q", op)
+}
+
+// expandStar replaces * items with explicit column refs.
+func (c *compiler) expandStar() []SelItem {
+	var out []SelItem
+	for _, it := range c.sel.Items {
+		if !it.Star {
+			out = append(out, it)
+			continue
+		}
+		for _, t := range []*Table{c.left, c.right} {
+			if t == nil {
+				continue
+			}
+			for _, cn := range t.ColNames {
+				out = append(out, SelItem{Expr: ColRef{Name: t.Name + "." + cn}, Alias: cn})
+			}
+		}
+	}
+	return out
+}
+
+// itemName returns the output column label for an item.
+func itemName(it SelItem, idx int) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if cr, ok := it.Expr.(ColRef); ok {
+		if it.Agg != "" {
+			return it.Agg + "(" + cr.Name + ")"
+		}
+		return cr.Name
+	}
+	if it.Agg == "count" && it.Expr == nil {
+		return "count(*)"
+	}
+	return fmt.Sprintf("col%d", idx)
+}
+
+// buildOutput emits projection / aggregation / ordering / limit and the
+// final return.
+func (c *compiler) buildOutput() error {
+	items := c.expandStar()
+	hasAgg := false
+	for _, it := range items {
+		if it.Agg != "" {
+			hasAgg = true
+		}
+	}
+	names := make([]string, len(items))
+	for i, it := range items {
+		names[i] = itemName(it, i)
+	}
+
+	switch {
+	case c.sel.GroupBy != "":
+		return c.buildGrouped(items, names)
+	case hasAgg:
+		return c.buildGlobalAggs(items, names)
+	default:
+		return c.buildPlain(items, names)
+	}
+}
+
+func (c *compiler) buildPlain(items []SelItem, names []string) error {
+	// Early LIMIT without ORDER BY: cut the candidate list first.
+	if c.sel.Limit >= 0 && c.sel.OrderBy == "" {
+		c.leftCand = c.b.Emit("head", mal.V(c.leftCand), mal.CI(int64(c.sel.Limit)))
+		if c.right != nil {
+			c.rightCand = c.b.Emit("head", mal.V(c.rightCand), mal.CI(int64(c.sel.Limit)))
+		}
+	}
+	vars := make([]int, len(items))
+	for i, it := range items {
+		v, _, err := c.evalExpr(it.Expr)
+		if err != nil {
+			return err
+		}
+		vars[i] = v
+	}
+	if c.sel.OrderBy != "" {
+		keyIdx := -1
+		for i, it := range items {
+			if names[i] == c.sel.OrderBy {
+				keyIdx = i
+			} else if cr, ok := it.Expr.(ColRef); ok && cr.Name == c.sel.OrderBy {
+				keyIdx = i
+			}
+		}
+		var keyVar int
+		if keyIdx >= 0 {
+			keyVar = vars[keyIdx]
+		} else {
+			v, _, err := c.evalExpr(ColRef{Name: c.sel.OrderBy})
+			if err != nil {
+				return err
+			}
+			keyVar = v
+		}
+		op := "sort"
+		if c.sel.Desc {
+			op = "sort_desc"
+		}
+		_, order := c.b.Emit2(op, mal.V(keyVar))
+		if c.sel.Limit >= 0 {
+			order = c.b.Emit("head", mal.V(order), mal.CI(int64(c.sel.Limit)))
+		}
+		for i := range vars {
+			vars[i] = c.b.Emit("fetch", mal.V(order), mal.V(vars[i]))
+		}
+	}
+	c.b.Return(names, vars...)
+	return nil
+}
+
+func (c *compiler) buildGlobalAggs(items []SelItem, names []string) error {
+	vars := make([]int, len(items))
+	for i, it := range items {
+		if it.Agg == "" {
+			return fmt.Errorf("sql: mixing aggregates and plain columns requires GROUP BY")
+		}
+		switch it.Agg {
+		case "count":
+			arg := c.leftCand
+			if it.Expr != nil {
+				v, _, err := c.evalExpr(it.Expr)
+				if err != nil {
+					return err
+				}
+				arg = v
+			}
+			vars[i] = c.b.Emit("count", mal.V(arg))
+		case "avg":
+			v, _, err := c.evalExpr(it.Expr)
+			if err != nil {
+				return err
+			}
+			s := c.b.Emit("sum", mal.V(v))
+			n := c.b.Emit("count", mal.V(v))
+			vars[i] = c.b.Emit("div_scalar", mal.V(s), mal.V(n))
+		default:
+			v, _, err := c.evalExpr(it.Expr)
+			if err != nil {
+				return err
+			}
+			vars[i] = c.b.Emit(it.Agg, mal.V(v))
+		}
+	}
+	c.b.Return(names, vars...)
+	return nil
+}
+
+func (c *compiler) buildGrouped(items []SelItem, names []string) error {
+	keyT, keyI, err := c.resolve(c.sel.GroupBy)
+	if err != nil {
+		return err
+	}
+	keyVals := c.b.Emit("fetch", mal.V(c.candFor(keyT)), mal.V(c.bindCol(keyT, keyI)))
+	ids, ext, cnt := c.b.Emit3("group", mal.V(keyVals))
+
+	vars := make([]int, len(items))
+	for i, it := range items {
+		switch {
+		case it.Agg == "count":
+			vars[i] = cnt
+		case it.Agg == "avg":
+			v, vt, err := c.evalExpr(it.Expr)
+			if err != nil {
+				return err
+			}
+			s := c.b.Emit("sum_per_group", mal.V(v), mal.V(ids), mal.V(ext))
+			if vt == TInt {
+				s = c.b.Emit("int_to_flt", mal.V(s))
+			}
+			nf := c.b.Emit("int_to_flt", mal.V(cnt))
+			vars[i] = c.b.Emit("div_flt", mal.V(s), mal.V(nf))
+		case it.Agg != "":
+			v, _, err := c.evalExpr(it.Expr)
+			if err != nil {
+				return err
+			}
+			vars[i] = c.b.Emit(it.Agg+"_per_group", mal.V(v), mal.V(ids), mal.V(ext))
+		default:
+			// A plain column in a grouped query must be the group key.
+			cr, ok := it.Expr.(ColRef)
+			if !ok {
+				return fmt.Errorf("sql: non-aggregate expression in GROUP BY query")
+			}
+			t, i2, err := c.resolve(cr.Name)
+			if err != nil {
+				return err
+			}
+			if t != keyT || i2 != keyI {
+				return fmt.Errorf("sql: column %q not in GROUP BY", cr.Name)
+			}
+			vars[i] = c.b.Emit("fetch", mal.V(ext), mal.V(keyVals))
+		}
+	}
+	if c.sel.OrderBy != "" {
+		keyIdx := -1
+		for i := range items {
+			if names[i] == c.sel.OrderBy {
+				keyIdx = i
+			}
+		}
+		if keyIdx < 0 && c.sel.OrderBy == c.sel.GroupBy {
+			for i, it := range items {
+				if cr, ok := it.Expr.(ColRef); ok && it.Agg == "" && cr.Name == c.sel.GroupBy {
+					keyIdx = i
+				}
+			}
+		}
+		if keyIdx < 0 {
+			return fmt.Errorf("sql: ORDER BY %q must name an output column", c.sel.OrderBy)
+		}
+		op := "sort"
+		if c.sel.Desc {
+			op = "sort_desc"
+		}
+		_, order := c.b.Emit2(op, mal.V(vars[keyIdx]))
+		if c.sel.Limit >= 0 {
+			order = c.b.Emit("head", mal.V(order), mal.CI(int64(c.sel.Limit)))
+		}
+		for i := range vars {
+			vars[i] = c.b.Emit("fetch", mal.V(order), mal.V(vars[i]))
+		}
+	} else if c.sel.Limit >= 0 {
+		for i := range vars {
+			lim := c.b.Emit("mirror", mal.V(vars[i]))
+			lim = c.b.Emit("head", mal.V(lim), mal.CI(int64(c.sel.Limit)))
+			vars[i] = c.b.Emit("fetch", mal.V(lim), mal.V(vars[i]))
+		}
+	}
+	c.b.Return(names, vars...)
+	return nil
+}

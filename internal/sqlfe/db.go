@@ -1,0 +1,349 @@
+package sqlfe
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/bat"
+	"repro/internal/mal"
+	"repro/internal/recycler"
+)
+
+// DB is a tiny MonetDB-shaped SQL database: tables decomposed into BATs,
+// queries compiled to MAL and run by the bulk interpreter, updates routed
+// through delta BATs, reads through snapshots.
+type DB struct {
+	mu      sync.Mutex
+	tables  map[string]*Table
+	Recycle *recycler.Cache // optional intermediate-result recycling (§6.1)
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB { return &DB{tables: map[string]*Table{}} }
+
+// Result is a query result in row form.
+type Result struct {
+	Columns []string
+	Rows    [][]any
+	// Affected counts rows touched by DML.
+	Affected int
+}
+
+// String renders the result as an aligned text table.
+func (r *Result) String() string {
+	var sb strings.Builder
+	widths := make([]int, len(r.Columns))
+	cells := make([][]string, len(r.Rows))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := fmt.Sprint(v)
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	for i, c := range r.Columns {
+		fmt.Fprintf(&sb, "| %-*s ", widths[i], c)
+	}
+	sb.WriteString("|\n")
+	for i := range r.Columns {
+		sb.WriteString("+")
+		sb.WriteString(strings.Repeat("-", widths[i]+2))
+	}
+	sb.WriteString("+\n")
+	for _, row := range cells {
+		for ci, v := range row {
+			fmt.Fprintf(&sb, "| %-*s ", widths[ci], v)
+		}
+		sb.WriteString("|\n")
+	}
+	return sb.String()
+}
+
+// Exec parses and executes one statement.
+func (db *DB) Exec(sql string) (*Result, error) {
+	st, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.ExecStmt(st)
+}
+
+// ExecStmt executes a parsed statement.
+func (db *DB) ExecStmt(st Stmt) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	switch s := st.(type) {
+	case *CreateTable:
+		return db.execCreate(s)
+	case *DropTable:
+		if _, ok := db.tables[s.Name]; !ok {
+			return nil, fmt.Errorf("sql: unknown table %q", s.Name)
+		}
+		delete(db.tables, s.Name)
+		db.invalidate(s.Name)
+		return &Result{}, nil
+	case *Insert:
+		return db.execInsert(s)
+	case *Delete:
+		return db.execDelete(s)
+	case *Update:
+		return db.execUpdate(s)
+	case *Select:
+		return db.runSelect(s, db.snapshotLocked())
+	}
+	return nil, fmt.Errorf("sql: unhandled statement %T", st)
+}
+
+// Query is Exec restricted to SELECT.
+func (db *DB) Query(sql string) (*Result, error) {
+	st, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*Select)
+	if !ok {
+		return nil, fmt.Errorf("sql: Query requires SELECT")
+	}
+	db.mu.Lock()
+	snap := db.snapshotLocked()
+	db.mu.Unlock()
+	return db.runSelect(sel, snap)
+}
+
+// Snapshot returns an isolated consistent view of all tables: main columns
+// shared, delta BATs copied.
+func (db *DB) Snapshot() *Snapshot {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.snapshotLocked()
+}
+
+func (db *DB) snapshotLocked() *Snapshot {
+	s := &Snapshot{tables: map[string]*Table{}}
+	for n, t := range db.tables {
+		s.tables[n] = t.snapshot()
+	}
+	return s
+}
+
+// QuerySnapshot runs a SELECT against a previously taken snapshot.
+func (db *DB) QuerySnapshot(snap *Snapshot, sql string) (*Result, error) {
+	st, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*Select)
+	if !ok {
+		return nil, fmt.Errorf("sql: QuerySnapshot requires SELECT")
+	}
+	return db.runSelect(sel, snap)
+}
+
+func (db *DB) execCreate(s *CreateTable) (*Result, error) {
+	if _, dup := db.tables[s.Name]; dup {
+		return nil, fmt.Errorf("sql: table %q exists", s.Name)
+	}
+	for i, c := range s.Cols {
+		for j := 0; j < i; j++ {
+			if s.Cols[j] == c {
+				return nil, fmt.Errorf("sql: duplicate column %q", c)
+			}
+		}
+	}
+	db.tables[s.Name] = newTable(s.Name, s.Cols, s.Types)
+	return &Result{}, nil
+}
+
+func (db *DB) execInsert(s *Insert) (*Result, error) {
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return nil, fmt.Errorf("sql: unknown table %q", s.Table)
+	}
+	for _, row := range s.Rows {
+		if err := t.appendRow(row); err != nil {
+			return nil, err
+		}
+	}
+	db.invalidate(s.Table)
+	return &Result{Affected: len(s.Rows)}, nil
+}
+
+// matchPositions evaluates WHERE conjuncts on the current table state and
+// returns matching live physical positions.
+func (db *DB) matchPositions(t *Table, where []Pred) ([]bat.OID, error) {
+	snap := &Snapshot{tables: map[string]*Table{t.Name: t}}
+	sel := &Select{Items: []SelItem{{Star: true}}, From: t.Name, Where: where, Limit: -1}
+	c := &compiler{b: mal.NewBuilder(), snap: snap, sel: sel, left: t}
+	if err := c.buildCandidates(); err != nil {
+		return nil, err
+	}
+	c.b.Return([]string{"cand"}, c.leftCand)
+	ip := &mal.Interp{Cat: snap}
+	out, err := ip.Run(c.b.Program())
+	if err != nil {
+		return nil, err
+	}
+	return out[0].B.OIDs(), nil
+}
+
+func (db *DB) execDelete(s *Delete) (*Result, error) {
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return nil, fmt.Errorf("sql: unknown table %q", s.Table)
+	}
+	pos, err := db.matchPositions(t, s.Where)
+	if err != nil {
+		return nil, err
+	}
+	t.deletePositions(pos)
+	db.invalidate(s.Table)
+	return &Result{Affected: len(pos)}, nil
+}
+
+func (db *DB) execUpdate(s *Update) (*Result, error) {
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return nil, fmt.Errorf("sql: unknown table %q", s.Table)
+	}
+	pos, err := db.matchPositions(t, s.Where)
+	if err != nil {
+		return nil, err
+	}
+	if len(pos) == 0 {
+		return &Result{}, nil
+	}
+	// Updates are delete + re-insert with modified values: read the old
+	// rows first (through the effective columns), then apply.
+	newRows := make([][]Lit, 0, len(pos))
+	for _, p := range pos {
+		row := make([]Lit, len(t.ColNames))
+		for ci := range t.ColNames {
+			if lit, isSet := s.Set[t.ColNames[ci]]; isSet {
+				row[ci] = lit
+				continue
+			}
+			col := t.effectiveCol(ci)
+			switch t.ColTypes[ci] {
+			case TInt:
+				row[ci] = Lit{Kind: TInt, I: col.IntAt(int(p))}
+			case TFloat:
+				row[ci] = Lit{Kind: TFloat, F: col.FloatAt(int(p))}
+			default:
+				row[ci] = Lit{Kind: TText, S: col.StrAt(int(p))}
+			}
+		}
+		newRows = append(newRows, row)
+	}
+	t.deletePositions(pos)
+	for _, row := range newRows {
+		if err := t.appendRow(row); err != nil {
+			return nil, err
+		}
+	}
+	db.invalidate(s.Table)
+	return &Result{Affected: len(pos)}, nil
+}
+
+// invalidate drops recycled intermediates depending on a table.
+func (db *DB) invalidate(table string) {
+	if db.Recycle == nil {
+		return
+	}
+	// Recycler dependencies are recorded as "table.col" / "table.%del".
+	if t, ok := db.tables[table]; ok {
+		for _, c := range t.ColNames {
+			db.Recycle.Invalidate(table + "." + c)
+		}
+	}
+	db.Recycle.Invalidate(table + ".%del")
+}
+
+// runSelect compiles, optimizes, executes, and renders a SELECT.
+func (db *DB) runSelect(sel *Select, snap *Snapshot) (*Result, error) {
+	prog, err := snap.CompileSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	ip := &mal.Interp{Cat: snap, Recycler: db.Recycle}
+	vals, err := ip.Run(prog)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Columns: prog.ResultNames}
+	// Scalars → one row; BATs → aligned columns.
+	allScalar := true
+	n := 0
+	for _, v := range vals {
+		if v.Kind == mal.KBAT {
+			allScalar = false
+			if v.B.Len() > n {
+				n = v.B.Len()
+			}
+		}
+	}
+	if allScalar {
+		row := make([]any, len(vals))
+		for i, v := range vals {
+			row[i] = scalarValue(v)
+		}
+		res.Rows = [][]any{row}
+		return res, nil
+	}
+	for r := 0; r < n; r++ {
+		row := make([]any, len(vals))
+		for i, v := range vals {
+			if v.Kind == mal.KBAT {
+				row[i] = v.B.Value(r)
+			} else {
+				row[i] = scalarValue(v)
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func scalarValue(v mal.Val) any {
+	switch v.Kind {
+	case mal.KInt:
+		return v.I
+	case mal.KFloat:
+		return v.F
+	case mal.KStr:
+		return v.S
+	case mal.KBool:
+		return v.Bool
+	}
+	return nil
+}
+
+// Tables lists table names, sorted.
+func (db *DB) Tables() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Table exposes a table for direct (test/benchmark) access.
+func (db *DB) Table(name string) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("sql: unknown table %q", name)
+	}
+	return t, nil
+}

@@ -1,0 +1,144 @@
+package sqlfe
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bat"
+	"repro/internal/batalg"
+)
+
+// On-disk layout: <dir>/catalog.json lists tables and schemas;
+// <dir>/<table>.<col>.bat holds each column in the BAT binary format.
+// Saving vacuums: deltas are merged and deleted positions dropped, so the
+// persisted form is a clean set of main columns — the same state MonetDB
+// reaches after delta propagation.
+
+type diskCatalog struct {
+	Tables []diskTable `json:"tables"`
+}
+
+type diskTable struct {
+	Name  string   `json:"name"`
+	Cols  []string `json:"cols"`
+	Types []string `json:"types"`
+	Rows  int      `json:"rows"`
+}
+
+// Save persists the database into dir (created if needed).
+func (db *DB) Save(dir string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var cat diskCatalog
+	for _, name := range db.tablesSortedLocked() {
+		t := db.tables[name]
+		dt := diskTable{Name: t.Name, Rows: t.NumRows()}
+		live := liveCand(t)
+		for i, cn := range t.ColNames {
+			dt.Cols = append(dt.Cols, cn)
+			dt.Types = append(dt.Types, t.ColTypes[i].String())
+			col := batalg.LeftFetchJoin(live, t.effectiveCol(i))
+			if err := writeBATFile(filepath.Join(dir, t.Name+"."+cn+".bat"), col); err != nil {
+				return err
+			}
+		}
+		cat.Tables = append(cat.Tables, dt)
+	}
+	blob, err := json.MarshalIndent(cat, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "catalog.json"), blob, 0o644)
+}
+
+// liveCand returns the candidate list of live positions of t.
+func liveCand(t *Table) *bat.BAT {
+	all := bat.NewVoid(0, t.TotalPositions())
+	return batalg.Diff(all, t.deletedBAT())
+}
+
+func writeBATFile(path string, b *bat.BAT) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := b.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a database previously written by Save.
+func Load(dir string) (*DB, error) {
+	blob, err := os.ReadFile(filepath.Join(dir, "catalog.json"))
+	if err != nil {
+		return nil, err
+	}
+	var cat diskCatalog
+	if err := json.Unmarshal(blob, &cat); err != nil {
+		return nil, fmt.Errorf("sql: corrupt catalog: %w", err)
+	}
+	db := NewDB()
+	for _, dt := range cat.Tables {
+		types := make([]ColType, len(dt.Types))
+		for i, ts := range dt.Types {
+			switch ts {
+			case "INT":
+				types[i] = TInt
+			case "FLOAT":
+				types[i] = TFloat
+			case "TEXT":
+				types[i] = TText
+			default:
+				return nil, fmt.Errorf("sql: unknown column type %q", ts)
+			}
+		}
+		t := newTable(dt.Name, dt.Cols, types)
+		for i, cn := range dt.Cols {
+			col, err := readBATFile(filepath.Join(dir, dt.Name+"."+cn+".bat"))
+			if err != nil {
+				return nil, err
+			}
+			if col.Len() != dt.Rows {
+				return nil, fmt.Errorf("sql: table %q column %q has %d rows, catalog says %d",
+					dt.Name, cn, col.Len(), dt.Rows)
+			}
+			if col.TailType() != batType(types[i]) {
+				return nil, fmt.Errorf("sql: table %q column %q type mismatch", dt.Name, cn)
+			}
+			t.main[i] = col
+		}
+		t.version = 1
+		db.tables[dt.Name] = t
+	}
+	return db, nil
+}
+
+func readBATFile(path string) (*bat.BAT, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return bat.ReadFrom(f)
+}
+
+func (db *DB) tablesSortedLocked() []string {
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	// small n; insertion sort avoids importing sort twice
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

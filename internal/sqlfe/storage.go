@@ -1,0 +1,235 @@
+package sqlfe
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bat"
+	"repro/internal/batalg"
+)
+
+// Table stores one relation decomposed by column into BATs with dense
+// (non-stored) TID heads, plus the update machinery of §3.2: per-column
+// insert delta BATs and a BAT of deleted positions. Updates only touch the
+// deltas; the main columns stay immutable until a (not yet needed)
+// vacuum/merge, which is what makes snapshots cheap.
+type Table struct {
+	Name     string
+	ColNames []string
+	ColTypes []ColType
+
+	main []*bat.BAT // immutable main columns
+	ins  []*bat.BAT // insert deltas, aligned across columns
+	del  []bat.OID  // deleted positions (into main++ins), sorted
+
+	version int64
+
+	// effective-column cache, invalidated by version
+	effCols []*bat.BAT
+	effVer  int64
+}
+
+func newTable(name string, cols []string, types []ColType) *Table {
+	t := &Table{Name: name, ColNames: cols, ColTypes: types}
+	for _, ct := range types {
+		t.main = append(t.main, bat.New(batType(ct)))
+		t.ins = append(t.ins, bat.New(batType(ct)))
+	}
+	return t
+}
+
+func batType(ct ColType) bat.Type {
+	switch ct {
+	case TInt:
+		return bat.TypeInt
+	case TFloat:
+		return bat.TypeFloat
+	default:
+		return bat.TypeStr
+	}
+}
+
+// colIndex resolves a (possibly table-qualified) column name.
+func (t *Table) colIndex(name string) (int, error) {
+	name = unqualify(name, t.Name)
+	for i, c := range t.ColNames {
+		if c == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("sql: no column %q in table %q", name, t.Name)
+}
+
+func unqualify(name, table string) string {
+	prefix := table + "."
+	if len(name) > len(prefix) && name[:len(prefix)] == prefix {
+		return name[len(prefix):]
+	}
+	return name
+}
+
+// TotalPositions is the number of physical positions (main + inserts),
+// including deleted ones.
+func (t *Table) TotalPositions() int { return t.main[0].Len() + t.ins[0].Len() }
+
+// NumRows is the number of live rows.
+func (t *Table) NumRows() int { return t.TotalPositions() - len(t.del) }
+
+// appendRow adds one row to the insert deltas.
+func (t *Table) appendRow(row []Lit) error {
+	if len(row) != len(t.ColNames) {
+		return fmt.Errorf("sql: %d values for %d columns of %q", len(row), len(t.ColNames), t.Name)
+	}
+	for i, lit := range row {
+		v, err := coerce(lit, t.ColTypes[i])
+		if err != nil {
+			return fmt.Errorf("sql: column %q: %w", t.ColNames[i], err)
+		}
+		if err := t.ins[i].Append(v); err != nil {
+			return err
+		}
+	}
+	t.version++
+	return nil
+}
+
+// coerce converts a literal to the Go value for a column type.
+func coerce(lit Lit, ct ColType) (any, error) {
+	switch ct {
+	case TInt:
+		if lit.Kind == TInt {
+			return lit.I, nil
+		}
+	case TFloat:
+		switch lit.Kind {
+		case TFloat:
+			return lit.F, nil
+		case TInt:
+			return float64(lit.I), nil
+		}
+	case TText:
+		if lit.Kind == TText {
+			return lit.S, nil
+		}
+	}
+	return nil, fmt.Errorf("cannot store %v literal in %s column", lit.Kind, ct)
+}
+
+// deletePositions tombstones the given physical positions.
+func (t *Table) deletePositions(pos []bat.OID) {
+	if len(pos) == 0 {
+		return
+	}
+	seen := make(map[bat.OID]bool, len(t.del))
+	for _, d := range t.del {
+		seen[d] = true
+	}
+	for _, p := range pos {
+		if !seen[p] {
+			t.del = append(t.del, p)
+			seen[p] = true
+		}
+	}
+	sort.Slice(t.del, func(i, j int) bool { return t.del[i] < t.del[j] })
+	t.version++
+}
+
+// effectiveCol returns column i as one BAT: main ++ insert delta. Deleted
+// positions remain present (they are filtered via the deleted candidate
+// list) so that physical positions are stable.
+func (t *Table) effectiveCol(i int) *bat.BAT {
+	if t.effVer != t.version || t.effCols == nil {
+		t.effCols = make([]*bat.BAT, len(t.main))
+		t.effVer = t.version
+	}
+	if t.effCols[i] == nil {
+		if t.ins[i].Len() == 0 {
+			t.effCols[i] = t.main[i]
+		} else {
+			merged := t.main[i].Copy()
+			batalg.AppendBAT(merged, t.ins[i])
+			t.effCols[i] = merged
+		}
+	}
+	return t.effCols[i]
+}
+
+// deletedBAT returns the sorted deleted-position candidate list.
+func (t *Table) deletedBAT() *bat.BAT {
+	b := bat.FromOIDs(append([]bat.OID(nil), t.del...))
+	b.SetProps(bat.Props{Sorted: true, Key: true, NoNil: true, RevSorted: len(t.del) <= 1})
+	return b
+}
+
+// snapshot returns an isolated copy: main columns shared, deltas copied —
+// the paper's "relatively cheap snapshot isolation mechanism".
+func (t *Table) snapshot() *Table {
+	s := &Table{
+		Name:     t.Name,
+		ColNames: t.ColNames,
+		ColTypes: t.ColTypes,
+		main:     t.main, // shared: immutable
+		del:      append([]bat.OID(nil), t.del...),
+		version:  t.version,
+	}
+	for _, d := range t.ins {
+		s.ins = append(s.ins, d.Copy())
+	}
+	return s
+}
+
+// Snapshot is a consistent view of a set of tables; it implements
+// mal.Catalog with names "table.col" and "table.%del".
+type Snapshot struct {
+	tables map[string]*Table
+}
+
+// BindBAT implements mal.Catalog.
+func (s *Snapshot) BindBAT(name string) (*bat.BAT, error) {
+	tbl, col, ok := splitQualified(name)
+	if !ok {
+		return nil, fmt.Errorf("sql: bad BAT name %q", name)
+	}
+	t, okT := s.tables[tbl]
+	if !okT {
+		return nil, fmt.Errorf("sql: unknown table %q", tbl)
+	}
+	if col == "%del" {
+		return t.deletedBAT(), nil
+	}
+	i, err := t.colIndex(col)
+	if err != nil {
+		return nil, err
+	}
+	return t.effectiveCol(i), nil
+}
+
+// Version implements mal.Catalog.
+func (s *Snapshot) Version(name string) int64 {
+	tbl, _, ok := splitQualified(name)
+	if !ok {
+		return 0
+	}
+	if t, okT := s.tables[tbl]; okT {
+		return t.version
+	}
+	return 0
+}
+
+// Table returns the snapshot's view of a table.
+func (s *Snapshot) Table(name string) (*Table, error) {
+	t, ok := s.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("sql: unknown table %q", name)
+	}
+	return t, nil
+}
+
+func splitQualified(name string) (table, col string, ok bool) {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '.' {
+			return name[:i], name[i+1:], true
+		}
+	}
+	return "", "", false
+}

@@ -1,0 +1,184 @@
+package vector
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// HashJoinOp is a vectorized equi-join on int64 keys: the build child is
+// drained into a hash table, then probe batches stream through, emitting
+// joined batches of probe payload columns ++ build payload columns.
+//
+// The build-side payload can be kept in two in-execution layouts (paper §5,
+// [46]): columnar (DSM — one array per column, so fetching a match touches
+// one cache line *per column*) or row-wise re-grouped (NSM — matched
+// payloads contiguous, one line per match). The layout choice is exactly
+// the "tuple-layout planning" the paper proposes as a new query-optimizer
+// task; benchmark BenchmarkJoinLayout measures the tradeoff.
+type HashJoinOp struct {
+	Build, Probe Operator
+	BuildKey     int // key column index in build batches
+	ProbeKey     int // key column index in probe batches
+	// BuildPayload lists build columns to carry into the output.
+	BuildPayload []int
+	// RowLayout re-groups build payloads row-wise (NSM) instead of
+	// keeping them columnar (DSM).
+	RowLayout bool
+
+	table map[int64][]int32 // key -> build row ids
+	// DSM payload storage: one slice per payload column.
+	cols  []Col
+	kinds []Kind
+	// NSM payload storage: rows[i*ncols .. i*ncols+ncols) holds row i
+	// (int64 cells; float bits stored via the column kind).
+	rows []int64
+
+	out Batch
+}
+
+// Open implements Operator: drains the build side into the hash table.
+func (j *HashJoinOp) Open() error {
+	if err := j.Build.Open(); err != nil {
+		return err
+	}
+	if err := j.Probe.Open(); err != nil {
+		return err
+	}
+	j.table = make(map[int64][]int32)
+	j.cols = make([]Col, len(j.BuildPayload))
+	j.kinds = make([]Kind, len(j.BuildPayload))
+	j.rows = j.rows[:0]
+	nrows := int32(0)
+	for {
+		b, err := j.Build.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		if j.BuildKey >= len(b.Cols) {
+			return fmt.Errorf("vector: build key column %d out of range", j.BuildKey)
+		}
+		keys := b.Cols[j.BuildKey].Ints
+		var innerErr error
+		b.ForEach(func(i int32) {
+			if innerErr != nil {
+				return
+			}
+			j.table[keys[i]] = append(j.table[keys[i]], nrows)
+			for pi, pc := range j.BuildPayload {
+				if pc >= len(b.Cols) {
+					innerErr = fmt.Errorf("vector: build payload column %d out of range", pc)
+					return
+				}
+				c := &b.Cols[pc]
+				j.kinds[pi] = c.Kind
+				var cell int64
+				switch c.Kind {
+				case KindInt:
+					cell = c.Ints[i]
+				case KindFloat:
+					cell = int64(floatBits(c.Floats[i]))
+				default:
+					innerErr = errors.New("vector: join payload must be int or float")
+					return
+				}
+				if j.RowLayout {
+					j.rows = append(j.rows, cell)
+				} else {
+					col := &j.cols[pi]
+					col.Kind = c.Kind
+					switch c.Kind {
+					case KindInt:
+						col.Ints = append(col.Ints, cell)
+					case KindFloat:
+						col.Floats = append(col.Floats, c.Floats[i])
+					}
+				}
+			}
+			nrows++
+		})
+		if innerErr != nil {
+			return innerErr
+		}
+	}
+	return nil
+}
+
+// Next implements Operator: pulls probe batches until one produces output.
+func (j *HashJoinOp) Next() (*Batch, error) {
+	np := len(j.BuildPayload)
+	for {
+		b, err := j.Probe.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		keys := b.Cols[j.ProbeKey].Ints
+		// Output: probe columns gathered per match + build payloads.
+		outCols := make([]Col, len(b.Cols)+np)
+		for c := range b.Cols {
+			outCols[c].Kind = b.Cols[c].Kind
+		}
+		for pi := range j.BuildPayload {
+			outCols[len(b.Cols)+pi].Kind = j.kinds[pi]
+		}
+		n := 0
+		b.ForEach(func(i int32) {
+			for _, bid := range j.table[keys[i]] {
+				for c := range b.Cols {
+					appendCell(&outCols[c], &b.Cols[c], i)
+				}
+				for pi := range j.BuildPayload {
+					oc := &outCols[len(b.Cols)+pi]
+					if j.RowLayout {
+						cell := j.rows[int(bid)*np+pi]
+						switch j.kinds[pi] {
+						case KindInt:
+							oc.Ints = append(oc.Ints, cell)
+						case KindFloat:
+							oc.Floats = append(oc.Floats, floatFromBits(uint64(cell)))
+						}
+					} else {
+						switch j.kinds[pi] {
+						case KindInt:
+							oc.Ints = append(oc.Ints, j.cols[pi].Ints[bid])
+						case KindFloat:
+							oc.Floats = append(oc.Floats, j.cols[pi].Floats[bid])
+						}
+					}
+				}
+				n++
+			}
+		})
+		if n == 0 {
+			continue
+		}
+		j.out = Batch{N: n, Cols: outCols}
+		return &j.out, nil
+	}
+}
+
+// Close implements Operator.
+func (j *HashJoinOp) Close() error {
+	if err := j.Build.Close(); err != nil {
+		return err
+	}
+	return j.Probe.Close()
+}
+
+func appendCell(dst *Col, src *Col, i int32) {
+	switch src.Kind {
+	case KindInt:
+		dst.Ints = append(dst.Ints, src.Ints[i])
+	case KindFloat:
+		dst.Floats = append(dst.Floats, src.Floats[i])
+	case KindBool:
+		dst.Bools = append(dst.Bools, src.Bools[i])
+	}
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }

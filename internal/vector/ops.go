@@ -1,0 +1,406 @@
+package vector
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Filter evaluates a conjunction of simple predicates per batch, refining
+// the selection vector. Predicates are pre-compiled to primitive calls —
+// the per-vector (not per-tuple) interpretation X100 relies on.
+type Filter struct {
+	Child Operator
+	Preds []Pred
+	sel   []int32
+	tmp   []int32
+}
+
+// PredOp is a comparison code for vectorized predicates.
+type PredOp uint8
+
+// Predicate operator codes.
+const (
+	PredGe PredOp = iota
+	PredLt
+	PredEq
+	PredLeF
+	PredGeF
+)
+
+// Pred is one predicate: column ColIdx compared against a constant.
+type Pred struct {
+	ColIdx int
+	Op     PredOp
+	IntVal int64
+	FltVal float64
+}
+
+// Open implements Operator.
+func (f *Filter) Open() error { return f.Child.Open() }
+
+// Next implements Operator.
+func (f *Filter) Next() (*Batch, error) {
+	for {
+		b, err := f.Child.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		sel := b.Sel
+		for pi := range f.Preds {
+			p := &f.Preds[pi]
+			out := f.sel[:0]
+			if out == nil {
+				// nil means "all rows" to the primitives; an empty
+				// selection must stay a non-nil empty slice.
+				out = make([]int32, 0, b.N)
+			}
+			c := &b.Cols[p.ColIdx]
+			switch p.Op {
+			case PredGe:
+				out = SelGeInt(c.Ints, sel, p.IntVal, out)
+			case PredLt:
+				out = SelLtInt(c.Ints, sel, p.IntVal, out)
+			case PredEq:
+				out = SelEqInt(c.Ints, sel, p.IntVal, out)
+			case PredLeF:
+				out = SelLeFloat(c.Floats, sel, p.FltVal, out)
+			case PredGeF:
+				out = SelGeFloat(c.Floats, sel, p.FltVal, out)
+			default:
+				return nil, fmt.Errorf("vector: bad predicate op %d", p.Op)
+			}
+			f.sel, f.tmp = f.tmp, out
+			sel = out
+		}
+		if len(sel) == 0 {
+			continue // fully filtered batch; pull the next one
+		}
+		b.Sel = sel
+		return b, nil
+	}
+}
+
+// Close implements Operator.
+func (f *Filter) Close() error { return f.Child.Close() }
+
+// --- expressions for Project ---
+
+// Expr is a vectorized expression compiled over batch columns.
+type Expr interface {
+	// eval computes the expression into a full-length column for batch b,
+	// touching only qualifying rows.
+	eval(b *Batch, scratch *scratch) (Col, error)
+	// kind reports the result kind given input columns.
+	kind(cols []Col) Kind
+}
+
+type scratch struct {
+	ints [][]int64
+	flts [][]float64
+}
+
+func (s *scratch) intBuf(n int) []int64 {
+	for i := range s.ints {
+		if cap(s.ints[i]) >= n {
+			buf := s.ints[i][:n]
+			s.ints = append(s.ints[:i], s.ints[i+1:]...)
+			return buf
+		}
+	}
+	return make([]int64, n)
+}
+
+func (s *scratch) fltBuf(n int) []float64 {
+	for i := range s.flts {
+		if cap(s.flts[i]) >= n {
+			buf := s.flts[i][:n]
+			s.flts = append(s.flts[:i], s.flts[i+1:]...)
+			return buf
+		}
+	}
+	return make([]float64, n)
+}
+
+// ColRef references batch column i.
+type ColRef struct{ Idx int }
+
+func (c ColRef) eval(b *Batch, _ *scratch) (Col, error) {
+	if c.Idx < 0 || c.Idx >= len(b.Cols) {
+		return Col{}, fmt.Errorf("vector: column %d out of range", c.Idx)
+	}
+	return b.Cols[c.Idx], nil
+}
+
+func (c ColRef) kind(cols []Col) Kind { return cols[c.Idx].Kind }
+
+// ExprOp enumerates vectorized expression operators.
+type ExprOp uint8
+
+// Expression operator codes.
+const (
+	EAddInt ExprOp = iota
+	EMulInt
+	EAddIntConst
+	EMulFloat
+	EAddFloat
+	ESubConstFloat // const - expr
+)
+
+// Bin is a binary vectorized expression.
+type Bin struct {
+	Op       ExprOp
+	L, R     Expr
+	IntConst int64
+	FltConst float64
+}
+
+func (e Bin) kind(cols []Col) Kind {
+	switch e.Op {
+	case EMulFloat, EAddFloat, ESubConstFloat:
+		return KindFloat
+	}
+	return KindInt
+}
+
+func (e Bin) eval(b *Batch, s *scratch) (Col, error) {
+	switch e.Op {
+	case EAddIntConst:
+		l, err := e.L.eval(b, s)
+		if err != nil {
+			return Col{}, err
+		}
+		out := s.intBuf(b.N)
+		MapAddIntConst(l.Ints, e.IntConst, b.Sel, out)
+		return Col{Kind: KindInt, Ints: out}, nil
+	case ESubConstFloat:
+		l, err := e.L.eval(b, s)
+		if err != nil {
+			return Col{}, err
+		}
+		out := s.fltBuf(b.N)
+		MapSubConstFloat(e.FltConst, l.Floats, b.Sel, out)
+		return Col{Kind: KindFloat, Floats: out}, nil
+	}
+	l, err := e.L.eval(b, s)
+	if err != nil {
+		return Col{}, err
+	}
+	r, err := e.R.eval(b, s)
+	if err != nil {
+		return Col{}, err
+	}
+	switch e.Op {
+	case EAddInt:
+		out := s.intBuf(b.N)
+		MapAddInt(l.Ints, r.Ints, b.Sel, out)
+		return Col{Kind: KindInt, Ints: out}, nil
+	case EMulInt:
+		out := s.intBuf(b.N)
+		MapMulInt(l.Ints, r.Ints, b.Sel, out)
+		return Col{Kind: KindInt, Ints: out}, nil
+	case EMulFloat:
+		out := s.fltBuf(b.N)
+		MapMulFloat(l.Floats, r.Floats, b.Sel, out)
+		return Col{Kind: KindFloat, Floats: out}, nil
+	case EAddFloat:
+		out := s.fltBuf(b.N)
+		MapAddFloat(l.Floats, r.Floats, b.Sel, out)
+		return Col{Kind: KindFloat, Floats: out}, nil
+	}
+	return Col{}, fmt.Errorf("vector: bad expression op %d", e.Op)
+}
+
+// Project computes expressions per batch, emitting batches whose columns
+// are the expression results (selection vector carried through).
+type Project struct {
+	Child Operator
+	Exprs []Expr
+	s     scratch
+	out   Batch
+}
+
+// Open implements Operator.
+func (p *Project) Open() error { return p.Child.Open() }
+
+// Next implements Operator.
+func (p *Project) Next() (*Batch, error) {
+	b, err := p.Child.Next()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	// Recycle previous output columns as scratch.
+	for _, c := range p.out.Cols {
+		switch c.Kind {
+		case KindInt:
+			if c.Ints != nil {
+				p.s.ints = append(p.s.ints, c.Ints)
+			}
+		case KindFloat:
+			if c.Floats != nil {
+				p.s.flts = append(p.s.flts, c.Floats)
+			}
+		}
+	}
+	cols := make([]Col, len(p.Exprs))
+	for i, e := range p.Exprs {
+		cols[i], err = e.eval(b, &p.s)
+		if err != nil {
+			return nil, err
+		}
+	}
+	p.out = Batch{N: b.N, Sel: b.Sel, Cols: cols}
+	return &p.out, nil
+}
+
+// Close implements Operator.
+func (p *Project) Close() error { return p.Child.Close() }
+
+// --- aggregation ---
+
+// AggKind enumerates aggregate functions.
+type AggKind uint8
+
+// Aggregate kinds.
+const (
+	AggSumInt AggKind = iota
+	AggSumFloat
+	AggCount
+)
+
+// AggSpec is one aggregate over batch column Col.
+type AggSpec struct {
+	Kind AggKind
+	Col  int
+}
+
+// Agg drains its child, aggregating per group of the int key column
+// (KeyCol < 0 means a single global group). It emits one final batch with
+// columns: key (if any) followed by one column per aggregate.
+type Agg struct {
+	Child  Operator
+	KeyCol int
+	Aggs   []AggSpec
+
+	done bool
+}
+
+// Open implements Operator.
+func (a *Agg) Open() error { a.done = false; return a.Child.Open() }
+
+// Next implements Operator.
+func (a *Agg) Next() (*Batch, error) {
+	if a.done {
+		return nil, nil
+	}
+	a.done = true
+
+	groups := make(map[int64]int32)
+	var gids []int32
+	intAccs := make([][]int64, len(a.Aggs))
+	fltAccs := make([][]float64, len(a.Aggs))
+	ngroups := int32(1)
+
+	for {
+		b, err := a.Child.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		if a.KeyCol >= 0 {
+			if cap(gids) < b.N {
+				gids = make([]int32, b.N)
+			}
+			gids = gids[:b.N]
+			ngroups = HashGroupInt(b.Cols[a.KeyCol].Ints, b.Sel, groups, gids)
+		} else {
+			if cap(gids) < b.N {
+				gids = make([]int32, b.N)
+			}
+			gids = gids[:b.N]
+			for i := range gids {
+				gids[i] = 0
+			}
+		}
+		for ai, spec := range a.Aggs {
+			switch spec.Kind {
+			case AggSumInt:
+				intAccs[ai] = SumIntPerGroup(b.Cols[spec.Col].Ints, b.Sel, gids, intAccs[ai], ngroups)
+			case AggSumFloat:
+				fltAccs[ai] = SumFloatPerGroup(b.Cols[spec.Col].Floats, b.Sel, gids, fltAccs[ai], ngroups)
+			case AggCount:
+				intAccs[ai] = CountPerGroup(b.Sel, b.N, gids, intAccs[ai], ngroups)
+			default:
+				return nil, errors.New("vector: bad aggregate kind")
+			}
+		}
+	}
+
+	n := int(ngroups)
+	if a.KeyCol < 0 {
+		n = 1
+	}
+	var cols []Col
+	if a.KeyCol >= 0 {
+		keys := make([]int64, n)
+		for k, g := range groups {
+			keys[g] = k
+		}
+		cols = append(cols, Col{Kind: KindInt, Ints: keys})
+	}
+	for ai, spec := range a.Aggs {
+		switch spec.Kind {
+		case AggSumFloat:
+			acc := fltAccs[ai]
+			for len(acc) < n {
+				acc = append(acc, 0)
+			}
+			cols = append(cols, Col{Kind: KindFloat, Floats: acc})
+		default:
+			acc := intAccs[ai]
+			for len(acc) < n {
+				acc = append(acc, 0)
+			}
+			cols = append(cols, Col{Kind: KindInt, Ints: acc})
+		}
+	}
+	return &Batch{N: n, Cols: cols}, nil
+}
+
+// Close implements Operator.
+func (a *Agg) Close() error { return a.Child.Close() }
+
+// Drain pulls an operator tree to completion, returning all batches fully
+// materialized (selection vectors applied). Intended for tests and result
+// delivery, not inner loops.
+func Drain(op Operator) ([][]any, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var rows [][]any
+	for {
+		b, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return rows, nil
+		}
+		b.ForEach(func(i int32) {
+			row := make([]any, len(b.Cols))
+			for c := range b.Cols {
+				switch b.Cols[c].Kind {
+				case KindInt:
+					row[c] = b.Cols[c].Ints[i]
+				case KindFloat:
+					row[c] = b.Cols[c].Floats[i]
+				case KindBool:
+					row[c] = b.Cols[c].Bools[i]
+				}
+			}
+			rows = append(rows, row)
+		})
+	}
+}

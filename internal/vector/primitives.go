@@ -1,0 +1,291 @@
+package vector
+
+// Vectorized primitives: each is one tight loop over a vector, optionally
+// driven by a selection vector. These are the X100 equivalents of the BAT
+// algebra's bulk operators; all per-tuple interpretation decisions are
+// hoisted out of these loops.
+
+// SelGeInt appends to out the indexes i (drawn from sel, or 0..n-1) with
+// col[i] >= v, returning the filled slice.
+func SelGeInt(col []int64, sel []int32, v int64, out []int32) []int32 {
+	if sel == nil {
+		for i, x := range col {
+			if x >= v {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for _, i := range sel {
+		if col[i] >= v {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SelLtInt appends indexes with col[i] < v.
+func SelLtInt(col []int64, sel []int32, v int64, out []int32) []int32 {
+	if sel == nil {
+		for i, x := range col {
+			if x < v {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for _, i := range sel {
+		if col[i] < v {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SelEqInt appends indexes with col[i] == v.
+func SelEqInt(col []int64, sel []int32, v int64, out []int32) []int32 {
+	if sel == nil {
+		for i, x := range col {
+			if x == v {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for _, i := range sel {
+		if col[i] == v {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SelLeFloat appends indexes with col[i] <= v.
+func SelLeFloat(col []float64, sel []int32, v float64, out []int32) []int32 {
+	if sel == nil {
+		for i, x := range col {
+			if x <= v {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for _, i := range sel {
+		if col[i] <= v {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SelGeFloat appends indexes with col[i] >= v.
+func SelGeFloat(col []float64, sel []int32, v float64, out []int32) []int32 {
+	if sel == nil {
+		for i, x := range col {
+			if x >= v {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for _, i := range sel {
+		if col[i] >= v {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// MapAddInt computes out[i] = a[i] + b[i] for qualifying i.
+func MapAddInt(a, b []int64, sel []int32, out []int64) {
+	if sel == nil {
+		for i := range a {
+			out[i] = a[i] + b[i]
+		}
+		return
+	}
+	for _, i := range sel {
+		out[i] = a[i] + b[i]
+	}
+}
+
+// MapMulInt computes out[i] = a[i] * b[i].
+func MapMulInt(a, b []int64, sel []int32, out []int64) {
+	if sel == nil {
+		for i := range a {
+			out[i] = a[i] * b[i]
+		}
+		return
+	}
+	for _, i := range sel {
+		out[i] = a[i] * b[i]
+	}
+}
+
+// MapAddIntConst computes out[i] = a[i] + v.
+func MapAddIntConst(a []int64, v int64, sel []int32, out []int64) {
+	if sel == nil {
+		for i := range a {
+			out[i] = a[i] + v
+		}
+		return
+	}
+	for _, i := range sel {
+		out[i] = a[i] + v
+	}
+}
+
+// MapMulFloat computes out[i] = a[i] * b[i].
+func MapMulFloat(a, b []float64, sel []int32, out []float64) {
+	if sel == nil {
+		for i := range a {
+			out[i] = a[i] * b[i]
+		}
+		return
+	}
+	for _, i := range sel {
+		out[i] = a[i] * b[i]
+	}
+}
+
+// MapSubConstFloat computes out[i] = v - a[i].
+func MapSubConstFloat(v float64, a []float64, sel []int32, out []float64) {
+	if sel == nil {
+		for i := range a {
+			out[i] = v - a[i]
+		}
+		return
+	}
+	for _, i := range sel {
+		out[i] = v - a[i]
+	}
+}
+
+// MapAddFloat computes out[i] = a[i] + b[i].
+func MapAddFloat(a, b []float64, sel []int32, out []float64) {
+	if sel == nil {
+		for i := range a {
+			out[i] = a[i] + b[i]
+		}
+		return
+	}
+	for _, i := range sel {
+		out[i] = a[i] + b[i]
+	}
+}
+
+// SumInt folds qualifying values of col into a scalar.
+func SumInt(col []int64, sel []int32) int64 {
+	var s int64
+	if sel == nil {
+		for _, x := range col {
+			s += x
+		}
+		return s
+	}
+	for _, i := range sel {
+		s += col[i]
+	}
+	return s
+}
+
+// SumFloat folds qualifying values of col into a scalar.
+func SumFloat(col []float64, sel []int32) float64 {
+	var s float64
+	if sel == nil {
+		for _, x := range col {
+			s += x
+		}
+		return s
+	}
+	for _, i := range sel {
+		s += col[i]
+	}
+	return s
+}
+
+// CountSel returns the number of qualifying rows.
+func CountSel(n int, sel []int32) int64 {
+	if sel == nil {
+		return int64(n)
+	}
+	return int64(len(sel))
+}
+
+// HashGroupInt maps each qualifying key to a dense group id via the shared
+// groups map, writing ids into gids (full-length, indexed by row).
+func HashGroupInt(keys []int64, sel []int32, groups map[int64]int32, gids []int32) int32 {
+	next := int32(len(groups))
+	do := func(i int32) {
+		k := keys[i]
+		g, ok := groups[k]
+		if !ok {
+			g = next
+			groups[k] = g
+			next++
+		}
+		gids[i] = g
+	}
+	if sel == nil {
+		for i := range keys {
+			do(int32(i))
+		}
+	} else {
+		for _, i := range sel {
+			do(i)
+		}
+	}
+	return next
+}
+
+// SumIntPerGroup folds col values into accs[gids[i]] for qualifying rows,
+// growing accs to ngroups first. It returns accs.
+func SumIntPerGroup(col []int64, sel []int32, gids []int32, accs []int64, ngroups int32) []int64 {
+	for int32(len(accs)) < ngroups {
+		accs = append(accs, 0)
+	}
+	if sel == nil {
+		for i := range col {
+			accs[gids[i]] += col[i]
+		}
+		return accs
+	}
+	for _, i := range sel {
+		accs[gids[i]] += col[i]
+	}
+	return accs
+}
+
+// SumFloatPerGroup folds float col values per group.
+func SumFloatPerGroup(col []float64, sel []int32, gids []int32, accs []float64, ngroups int32) []float64 {
+	for int32(len(accs)) < ngroups {
+		accs = append(accs, 0)
+	}
+	if sel == nil {
+		for i := range col {
+			accs[gids[i]] += col[i]
+		}
+		return accs
+	}
+	for _, i := range sel {
+		accs[gids[i]] += col[i]
+	}
+	return accs
+}
+
+// CountPerGroup increments counts[gids[i]] for qualifying rows.
+func CountPerGroup(sel []int32, n int, gids []int32, counts []int64, ngroups int32) []int64 {
+	for int32(len(counts)) < ngroups {
+		counts = append(counts, 0)
+	}
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			counts[gids[i]]++
+		}
+		return counts
+	}
+	for _, i := range sel {
+		counts[gids[i]]++
+	}
+	return counts
+}

@@ -1,0 +1,256 @@
+// Package xmlstore implements the MonetDB/XQuery storage scheme (paper
+// §3.2, Pathfinder [8]): XML trees shredded into relational form using
+// <pre, size, level> node coordinates (equivalent to the pre/post plane:
+// post = pre + size). The pre numbers are densely ascending, so they live
+// in a non-stored void head — O(1) node lookup for free — and XPath axis
+// steps become relational range predicates, accelerated by the staircase
+// join family of region joins.
+package xmlstore
+
+import (
+	"encoding/xml"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bat"
+)
+
+// NodeKind distinguishes elements and text nodes.
+type NodeKind uint8
+
+// Node kinds.
+const (
+	KindElem NodeKind = iota
+	KindText
+)
+
+// Doc is a shredded XML document: aligned BATs over dense pre numbers.
+type Doc struct {
+	Size  *bat.BAT // int: number of descendants
+	Level *bat.BAT // int: depth (root = 0)
+	Kind  []NodeKind
+	Name  *bat.BAT // str: element name, "" for text
+	Text  *bat.BAT // str: text content, "" for elements
+}
+
+// NumNodes returns the node count.
+func (d *Doc) NumNodes() int { return d.Size.Len() }
+
+// Shred parses an XML document into pre/size/level form.
+func Shred(src string) (*Doc, error) {
+	dec := xml.NewDecoder(strings.NewReader(src))
+	d := &Doc{Size: bat.New(bat.TypeInt), Level: bat.New(bat.TypeInt),
+		Name: bat.New(bat.TypeStr), Text: bat.New(bat.TypeStr)}
+	type open struct{ pre int }
+	var stack []open
+	level := 0
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			break
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			pre := d.NumNodes()
+			d.Size.AppendInt(0) // fixed at EndElement
+			d.Level.AppendInt(int64(level))
+			d.Kind = append(d.Kind, KindElem)
+			d.Name.AppendStr(t.Name.Local)
+			d.Text.AppendStr("")
+			stack = append(stack, open{pre: pre})
+			level++
+		case xml.EndElement:
+			level--
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			d.Size.Ints()[top.pre] = int64(d.NumNodes() - top.pre - 1)
+		case xml.CharData:
+			txt := strings.TrimSpace(string(t))
+			if txt == "" || level == 0 {
+				continue
+			}
+			d.Size.AppendInt(0)
+			d.Level.AppendInt(int64(level))
+			d.Kind = append(d.Kind, KindText)
+			d.Name.AppendStr("")
+			d.Text.AppendStr(txt)
+		}
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmlstore: unbalanced document")
+	}
+	if d.NumNodes() == 0 {
+		return nil, fmt.Errorf("xmlstore: empty document")
+	}
+	return d, nil
+}
+
+// Post returns the post-order rank of node pre (pre + size), showing the
+// equivalence with the pre/post plane.
+func (d *Doc) Post(pre int) int {
+	return pre + int(d.Size.IntAt(pre))
+}
+
+// NameIs reports whether node pre is an element with the given name.
+func (d *Doc) NameIs(pre int, name string) bool {
+	return d.Kind[pre] == KindElem && d.Name.StrAt(pre) == name
+}
+
+// --- axis steps ---
+
+// DescendantsNaive returns all descendants of each context node by
+// scanning each context's region independently — the baseline the
+// staircase join improves on (duplicated work when contexts nest).
+func DescendantsNaive(d *Doc, ctx []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, c := range ctx {
+		hi := c + int(d.Size.IntAt(c))
+		for p := c + 1; p <= hi; p++ {
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// StaircaseDescendant performs the descendant-axis staircase join: the
+// context (sorted by pre) is pruned so covered nodes are skipped, then one
+// strictly forward scan over the document emits each result exactly once
+// — no duplicates, no post-sort (paper §3.2's "region joins").
+func StaircaseDescendant(d *Doc, ctx []int) []int {
+	if len(ctx) == 0 {
+		return nil
+	}
+	sorted := append([]int(nil), ctx...)
+	sort.Ints(sorted)
+	// Prune: drop contexts contained in a previous context's region.
+	pruned := sorted[:0]
+	coveredTo := -1
+	for _, c := range sorted {
+		if c <= coveredTo {
+			continue
+		}
+		pruned = append(pruned, c)
+		hi := c + int(d.Size.IntAt(c))
+		if hi > coveredTo {
+			coveredTo = hi
+		}
+	}
+	var out []int
+	for _, c := range pruned {
+		hi := c + int(d.Size.IntAt(c))
+		for p := c + 1; p <= hi; p++ {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// StaircaseAncestor returns the distinct ancestors of the context nodes:
+// node a is an ancestor of c iff a < c <= a+size(a). One backward sweep
+// with pruning of shared ancestor chains.
+func StaircaseAncestor(d *Doc, ctx []int) []int {
+	if len(ctx) == 0 {
+		return nil
+	}
+	sorted := append([]int(nil), ctx...)
+	sort.Ints(sorted)
+	seen := map[int]bool{}
+	var out []int
+	for _, c := range sorted {
+		// Walk up via level-directed backward scan: the ancestor at each
+		// smaller level is the closest preceding node whose region covers c.
+		for p := c - 1; p >= 0; p-- {
+			if p+int(d.Size.IntAt(p)) >= c {
+				if seen[p] {
+					break // shared ancestor chain already emitted
+				}
+				seen[p] = true
+				out = append(out, p)
+				c = p // continue from the ancestor
+				p = c
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Children returns the child nodes of pre.
+func Children(d *Doc, pre int) []int {
+	var out []int
+	lvl := d.Level.IntAt(pre)
+	hi := pre + int(d.Size.IntAt(pre))
+	for p := pre + 1; p <= hi; p++ {
+		if d.Level.IntAt(p) == lvl+1 {
+			out = append(out, p)
+		}
+		// Skip the subtree below a child for efficiency.
+		p += int(d.Size.IntAt(p))
+	}
+	return out
+}
+
+// SelectName returns the pre numbers of elements with the given name, in
+// document order (a plain relational selection over the name BAT).
+func SelectName(d *Doc, name string) []int {
+	var out []int
+	for p := 0; p < d.NumNodes(); p++ {
+		if d.NameIs(p, name) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// PathQuery evaluates a simple //a//b//c descendant-or-self path from the
+// root, returning matching pre numbers in document order.
+func PathQuery(d *Doc, path string) ([]int, error) {
+	steps := strings.Split(strings.Trim(path, "/"), "//")
+	if len(steps) == 1 {
+		steps = strings.Split(strings.Trim(path, "/"), "/")
+	}
+	ctx := []int{0}
+	first := true
+	for _, s := range steps {
+		if s == "" {
+			return nil, fmt.Errorf("xmlstore: empty step in %q", path)
+		}
+		var region []int
+		if first && d.NameIs(0, s) {
+			// Root test: the root itself may match the first step.
+			region = []int{0}
+		} else {
+			region = StaircaseDescendant(d, ctx)
+		}
+		var next []int
+		for _, p := range region {
+			if d.NameIs(p, s) {
+				next = append(next, p)
+			}
+		}
+		ctx = next
+		first = false
+		if len(ctx) == 0 {
+			return nil, nil
+		}
+	}
+	return ctx, nil
+}
+
+// TextOf returns the concatenated text of the subtree rooted at pre.
+func TextOf(d *Doc, pre int) string {
+	var sb strings.Builder
+	hi := pre + int(d.Size.IntAt(pre))
+	for p := pre; p <= hi; p++ {
+		if d.Kind[p] == KindText {
+			sb.WriteString(d.Text.StrAt(p))
+		}
+	}
+	return sb.String()
+}

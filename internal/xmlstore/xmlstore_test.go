@@ -1,0 +1,228 @@
+package xmlstore
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+const sample = `<a><b><c>one</c><c>two</c></b><b><d>three</d></b><c>four</c></a>`
+
+func TestShredPreSizeLevel(t *testing.T) {
+	d, err := Shred(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// nodes: a b c "one" c "two" b d "three" c "four" = 11
+	if d.NumNodes() != 11 {
+		t.Fatalf("nodes = %d", d.NumNodes())
+	}
+	if d.Size.IntAt(0) != 10 { // root spans everything
+		t.Fatalf("size(root) = %d", d.Size.IntAt(0))
+	}
+	if d.Level.IntAt(0) != 0 || d.Level.IntAt(1) != 1 {
+		t.Fatalf("levels wrong")
+	}
+	if !d.NameIs(0, "a") || !d.NameIs(1, "b") {
+		t.Fatal("names wrong")
+	}
+	// post = pre + size is monotone with subtree nesting: root has max post.
+	if d.Post(0) != 10 {
+		t.Fatalf("post(root) = %d", d.Post(0))
+	}
+}
+
+func TestShredErrors(t *testing.T) {
+	if _, err := Shred(""); err == nil {
+		t.Fatal("expected empty-document error")
+	}
+}
+
+func TestSelectName(t *testing.T) {
+	d, _ := Shred(sample)
+	cs := SelectName(d, "c")
+	if len(cs) != 3 {
+		t.Fatalf("c elements = %v", cs)
+	}
+}
+
+func TestChildren(t *testing.T) {
+	d, _ := Shred(sample)
+	kids := Children(d, 0)
+	if len(kids) != 3 { // b, b, c
+		t.Fatalf("children of root = %v", kids)
+	}
+	if !d.NameIs(kids[0], "b") || !d.NameIs(kids[2], "c") {
+		t.Fatal("child names wrong")
+	}
+}
+
+func TestStaircaseEqualsNaive(t *testing.T) {
+	d, _ := Shred(sample)
+	// Context with nested nodes: root and a b inside it (pruning case).
+	ctx := []int{0, 1}
+	got := StaircaseDescendant(d, ctx)
+	want := DescendantsNaive(d, ctx)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("staircase %v != naive %v", got, want)
+	}
+	// Must be duplicate-free and sorted even with overlapping contexts.
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatal("staircase output not strictly ascending")
+		}
+	}
+}
+
+func randomDoc(depth, fanout int, r *rand.Rand) string {
+	var build func(d int) string
+	names := []string{"x", "y", "z", "w"}
+	build = func(d int) string {
+		if d == 0 {
+			return fmt.Sprintf("<leaf>%d</leaf>", r.Intn(100))
+		}
+		var sb strings.Builder
+		name := names[r.Intn(len(names))]
+		sb.WriteString("<" + name + ">")
+		for i := 0; i < 1+r.Intn(fanout); i++ {
+			sb.WriteString(build(d - 1))
+		}
+		sb.WriteString("</" + name + ">")
+		return sb.String()
+	}
+	return "<root>" + build(depth) + build(depth) + "</root>"
+}
+
+func TestStaircaseEqualsNaiveRandomDocs(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		d, err := Shred(randomDoc(4, 3, r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Random overlapping context.
+		var ctx []int
+		for i := 0; i < 5; i++ {
+			ctx = append(ctx, r.Intn(d.NumNodes()))
+		}
+		got := StaircaseDescendant(d, ctx)
+		want := DescendantsNaive(d, ctx)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: staircase != naive", trial)
+		}
+	}
+}
+
+func TestStaircaseAncestor(t *testing.T) {
+	d, _ := Shred(sample)
+	// Ancestors of "one"'s text node (pre 3): c (2), b (1), a (0).
+	anc := StaircaseAncestor(d, []int{3})
+	if !reflect.DeepEqual(anc, []int{0, 1, 2}) {
+		t.Fatalf("ancestors = %v", anc)
+	}
+	// Shared chains not duplicated.
+	anc = StaircaseAncestor(d, []int{3, 5})
+	if !reflect.DeepEqual(anc, []int{0, 1, 2, 4}) {
+		t.Fatalf("ancestors = %v", anc)
+	}
+}
+
+func TestPathQuery(t *testing.T) {
+	d, _ := Shred(sample)
+	got, err := PathQuery(d, "//a//b//c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 { // the two c under b
+		t.Fatalf("path result = %v", got)
+	}
+	got, err = PathQuery(d, "//a//c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("path result = %v", got)
+	}
+	got, err = PathQuery(d, "//nosuch")
+	if err != nil || got != nil {
+		t.Fatalf("missing path = %v, %v", got, err)
+	}
+}
+
+func TestTextOf(t *testing.T) {
+	d, _ := Shred(sample)
+	if got := TextOf(d, 0); got != "onetwothreefour" {
+		t.Fatalf("text = %q", got)
+	}
+	cs := SelectName(d, "d")
+	if got := TextOf(d, cs[0]); got != "three" {
+		t.Fatalf("text = %q", got)
+	}
+}
+
+func TestVoidHeadLookupO1(t *testing.T) {
+	// The pre column is virtual: looking up node k touches only arrays.
+	d, _ := Shred(sample)
+	if d.Size.Len() != d.Level.Len() || d.Size.Len() != len(d.Kind) {
+		t.Fatal("BATs not aligned")
+	}
+}
+
+func TestStaircasePruningReducesWork(t *testing.T) {
+	// With deeply nested contexts, the staircase scan length is the pruned
+	// region; naive touches nested regions repeatedly.
+	r := rand.New(rand.NewSource(3))
+	d, err := Shred(randomDoc(6, 3, r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Context = a chain: root + its first child + grandchild...
+	ctx := []int{0}
+	p := 0
+	for i := 0; i < 4; i++ {
+		kids := Children(d, p)
+		if len(kids) == 0 {
+			break
+		}
+		p = kids[0]
+		ctx = append(ctx, p)
+	}
+	got := StaircaseDescendant(d, ctx)
+	want := DescendantsNaive(d, ctx)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("pruned result differs")
+	}
+	// All results must be the root's descendants exactly once.
+	if len(got) != int(d.Size.IntAt(0)) {
+		t.Fatalf("descendants = %d, want %d", len(got), d.Size.IntAt(0))
+	}
+	if !sort.IntsAreSorted(got) {
+		t.Fatal("not sorted")
+	}
+}
+
+func BenchmarkStaircaseVsNaive(b *testing.B) {
+	r := rand.New(rand.NewSource(9))
+	doc := randomDoc(8, 4, r)
+	d, err := Shred(doc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := []int{0}
+	for i := 0; i < 200; i++ {
+		ctx = append(ctx, r.Intn(d.NumNodes()))
+	}
+	b.Run("staircase", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			StaircaseDescendant(d, ctx)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			DescendantsNaive(d, ctx)
+		}
+	})
+}
