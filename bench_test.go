@@ -205,6 +205,58 @@ func BenchmarkE6VectorSize(b *testing.B) {
 	}
 }
 
+// --- join build structures: GC'd Go map vs flat open-addressing table ---
+
+// BenchmarkJoinTable isolates the build+probe cost the hash-join rides
+// on: the old map[int64][]int32 (one slice header + backing array per
+// distinct key, pointer chase per bucket) against vector.HashTable
+// (three flat arrays, linear probing, no per-key allocations).
+func BenchmarkJoinTable(b *testing.B) {
+	n := 1 << 20
+	keys := workload.UniformInts(n, int64(n), 21)
+	probes := workload.UniformInts(n, int64(n), 22)
+	b.Run("gomap/build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m := make(map[int64][]int32)
+			for r, k := range keys {
+				m[k] = append(m[k], int32(r))
+			}
+		}
+	})
+	b.Run("openaddr/build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			vector.BuildHashTable(keys)
+		}
+	})
+	m := make(map[int64][]int32)
+	for r, k := range keys {
+		m[k] = append(m[k], int32(r))
+	}
+	ht := vector.BuildHashTable(keys)
+	b.Run("gomap/probe", func(b *testing.B) {
+		var sink int64
+		for i := 0; i < b.N; i++ {
+			for _, k := range probes {
+				for _, r := range m[k] {
+					sink += int64(r)
+				}
+			}
+		}
+		_ = sink
+	})
+	b.Run("openaddr/probe", func(b *testing.B) {
+		var sink int64
+		for i := 0; i < b.N; i++ {
+			for _, k := range probes {
+				for r := ht.First(k); r >= 0; r = ht.Next(r) {
+					sink += int64(r)
+				}
+			}
+		}
+		_ = sink
+	})
+}
+
 // --- E7: compression ---
 
 func BenchmarkE7Compression(b *testing.B) {
@@ -428,6 +480,59 @@ func BenchmarkE13DataCell(b *testing.B) {
 			e.Flush()
 		}
 	})
+}
+
+// --- E15: morsel-parallel pipeline scaling ---
+
+// BenchmarkE15ParallelScaling measures the morsel-driven Exchange: TPC-H
+// Q6 and a shared-build join probe at 1/2/4/8 workers. rows/sec is the
+// headline metric; on a single-core host the >1 worker runs only pay
+// the exchange overhead (see BENCH_pr1.json for recorded numbers).
+func BenchmarkE15ParallelScaling(b *testing.B) {
+	n := 1 << 20
+	li := workload.GenLineItem(n, 20)
+	q6src, err := vector.NewSource([]string{"q", "p", "d"}, []vector.Col{
+		{Kind: vector.KindInt, Ints: li.Quantity},
+		{Kind: vector.KindFloat, Floats: li.Price},
+		{Kind: vector.KindFloat, Floats: li.Discount}})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	nb := 1 << 18
+	build, err := vector.NewSource([]string{"k"},
+		[]vector.Col{{Kind: vector.KindInt, Ints: workload.UniformInts(nb, int64(nb), 23)}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	probe, err := vector.NewSource([]string{"k"},
+		[]vector.Col{{Kind: vector.KindInt, Ints: workload.UniformInts(n, int64(nb), 24)}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	jb, err := vector.BuildJoinTable(vector.NewScan(build, 0), 0, nil, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("q6/workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := vector.ParallelQ6(q6src, w, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "rows/sec")
+		})
+		b.Run(fmt.Sprintf("join/workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := vector.ParallelJoinCount(jb, probe, 0, w, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "rows/sec")
+		})
+	}
 }
 
 // --- E14: DataCyclotron ---

@@ -27,7 +27,7 @@ func Select(b *bat.BAT, v int64) *bat.BAT {
 		return selectSortedEq(b, v)
 	}
 	tail := b.Ints()
-	out := make([]bat.OID, 0, 64)
+	out := make([]bat.OID, 0, selCap(b))
 	hseq := b.HSeq()
 	for i, x := range tail {
 		if x == v {
@@ -36,6 +36,11 @@ func Select(b *bat.BAT, v int64) *bat.BAT {
 	}
 	return candList(out)
 }
+
+// selCap estimates a candidate-list capacity from the input size: 1/8
+// selectivity plus slack, so typical selections do one allocation
+// instead of log2(hits) grow-and-copy rounds from a fixed tiny cap.
+func selCap(b *bat.BAT) int { return b.Len()/8 + 16 }
 
 func selectSortedEq(b *bat.BAT, v int64) *bat.BAT {
 	lo, ok := b.FindSorted(v)
@@ -60,7 +65,19 @@ func selectSortedEq(b *bat.BAT, v int64) *bat.BAT {
 func RangeSelect(b *bat.BAT, lo, hi int64, loIncl, hiIncl bool) *bat.BAT {
 	tail := b.Ints()
 	hseq := b.HSeq()
-	out := make([]bat.OID, 0, len(tail)/8+16)
+	out := make([]bat.OID, 0, selCap(b))
+	if b.Props().NoNil {
+		// Nil-free tails (the common case, tracked by the property
+		// system of §3.1) skip the per-tuple nil test entirely.
+		for i, x := range tail {
+			if x > lo || (loIncl && x == lo) {
+				if x < hi || (hiIncl && x == hi) {
+					out = append(out, hseq+bat.OID(i))
+				}
+			}
+		}
+		return candList(out)
+	}
 	for i, x := range tail {
 		if x == bat.NilInt {
 			continue
@@ -110,23 +127,48 @@ func (c CmpOp) String() string {
 func ThetaSelect(b *bat.BAT, op CmpOp, v int64) *bat.BAT {
 	tail := b.Ints()
 	hseq := b.HSeq()
-	out := make([]bat.OID, 0, 64)
+	out := make([]bat.OID, 0, selCap(b))
+	noNil := b.Props().NoNil
 	switch op {
 	case CmpEQ:
 		return Select(b, v)
 	case CmpNE:
+		if noNil {
+			for i, x := range tail {
+				if x != v {
+					out = append(out, hseq+bat.OID(i))
+				}
+			}
+			break
+		}
 		for i, x := range tail {
 			if x != v && x != bat.NilInt {
 				out = append(out, hseq+bat.OID(i))
 			}
 		}
 	case CmpLT:
+		if noNil {
+			for i, x := range tail {
+				if x < v {
+					out = append(out, hseq+bat.OID(i))
+				}
+			}
+			break
+		}
 		for i, x := range tail {
 			if x < v && x != bat.NilInt {
 				out = append(out, hseq+bat.OID(i))
 			}
 		}
 	case CmpLE:
+		if noNil {
+			for i, x := range tail {
+				if x <= v {
+					out = append(out, hseq+bat.OID(i))
+				}
+			}
+			break
+		}
 		for i, x := range tail {
 			if x <= v && x != bat.NilInt {
 				out = append(out, hseq+bat.OID(i))
@@ -152,7 +194,7 @@ func ThetaSelect(b *bat.BAT, op CmpOp, v int64) *bat.BAT {
 func ThetaSelectFloat(b *bat.BAT, op CmpOp, v float64) *bat.BAT {
 	tail := b.Floats()
 	hseq := b.HSeq()
-	out := make([]bat.OID, 0, 64)
+	out := make([]bat.OID, 0, selCap(b))
 	for i, x := range tail {
 		keep := false
 		switch op {
@@ -180,7 +222,7 @@ func ThetaSelectFloat(b *bat.BAT, op CmpOp, v float64) *bat.BAT {
 func SelectStr(b *bat.BAT, op CmpOp, v string) *bat.BAT {
 	n := b.Len()
 	hseq := b.HSeq()
-	out := make([]bat.OID, 0, 64)
+	out := make([]bat.OID, 0, selCap(b))
 	for i := 0; i < n; i++ {
 		x := b.StrAt(i)
 		keep := false
@@ -209,7 +251,7 @@ func SelectStr(b *bat.BAT, op CmpOp, v string) *bat.BAT {
 func SelectBool(b *bat.BAT, v bool) *bat.BAT {
 	tail := b.Bools()
 	hseq := b.HSeq()
-	out := make([]bat.OID, 0, 64)
+	out := make([]bat.OID, 0, selCap(b))
 	for i, x := range tail {
 		if x == v {
 			out = append(out, hseq+bat.OID(i))
@@ -224,7 +266,7 @@ func SelectBool(b *bat.BAT, v bool) *bat.BAT {
 func SelectCand(b *bat.BAT, cand *bat.BAT, op CmpOp, v int64) *bat.BAT {
 	tail := b.Ints()
 	hseq := b.HSeq()
-	out := make([]bat.OID, 0, 64)
+	out := make([]bat.OID, 0, selCap(cand)) // output is bounded by the candidates
 	n := cand.Len()
 	for i := 0; i < n; i++ {
 		o := cand.OIDAt(i)

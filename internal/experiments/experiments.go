@@ -8,6 +8,7 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
 	"time"
 
@@ -718,15 +719,73 @@ func E14() Table {
 	return t
 }
 
+// E15 measures morsel-driven parallel scaling of the vectorized engine:
+// TPC-H Q6 and a shared-build hash-join probe across worker counts.
+// Speedups track the host's core count — on a single-core machine the
+// extra workers only pay the exchange overhead.
+func E15() Table {
+	t := Table{ID: "E15", Title: "morsel-parallel pipelines: Q6 + join probe scaling",
+		Header: []string{"workers", "q6 ms", "q6 speedup", "join ms", "join speedup"}}
+	n := 1 << 20
+	li := workload.GenLineItem(n, 20)
+	q6src, err := vector.NewSource([]string{"q", "p", "d"}, []vector.Col{
+		{Kind: vector.KindInt, Ints: li.Quantity},
+		{Kind: vector.KindFloat, Floats: li.Price},
+		{Kind: vector.KindFloat, Floats: li.Discount}})
+	if err != nil {
+		panic(err)
+	}
+	nb := 1 << 18
+	build, err := vector.NewSource([]string{"k"},
+		[]vector.Col{{Kind: vector.KindInt, Ints: workload.UniformInts(nb, int64(nb), 23)}})
+	if err != nil {
+		panic(err)
+	}
+	probe, err := vector.NewSource([]string{"k"},
+		[]vector.Col{{Kind: vector.KindInt, Ints: workload.UniformInts(n, int64(nb), 24)}})
+	if err != nil {
+		panic(err)
+	}
+	jb, err := vector.BuildJoinTable(vector.NewScan(build, 0), 0, nil, false)
+	if err != nil {
+		panic(err)
+	}
+	var q6Base, joinBase time.Duration
+	for _, w := range []int{1, 2, 4, 8} {
+		q6T := minRun(3, func() {
+			if _, err := vector.ParallelQ6(q6src, w, 0); err != nil {
+				panic(err)
+			}
+		})
+		joinT := minRun(3, func() {
+			if _, err := vector.ParallelJoinCount(jb, probe, 0, w, 0); err != nil {
+				panic(err)
+			}
+		})
+		if w == 1 {
+			q6Base, joinBase = q6T, joinT
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", w),
+			fmt.Sprintf("%.1f", float64(q6T.Microseconds())/1000),
+			fmt.Sprintf("%.2fx", float64(q6Base)/float64(q6T)),
+			fmt.Sprintf("%.1f", float64(joinT.Microseconds())/1000),
+			fmt.Sprintf("%.2fx", float64(joinBase)/float64(joinT))})
+	}
+	t.Notes = fmt.Sprintf("morsel-driven exchange over %d-row source; GOMAXPROCS=%d on this host", n, runtime.GOMAXPROCS(0))
+	return t
+}
+
 // All returns every experiment constructor keyed by id.
 func All() map[string]func() Table {
 	return map[string]func() Table{
 		"E1": E1, "E2": E2, "E3": E3, "E4": E4, "E5": E5, "E6": E6, "E7": E7,
 		"E8": E8, "E9": E9, "E10": E10, "E11": E11, "E12": E12, "E13": E13, "E14": E14,
+		"E15": E15,
 	}
 }
 
 // Order lists experiment ids in presentation order.
 func Order() []string {
-	return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"}
+	return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"}
 }

@@ -22,8 +22,8 @@ func TestTableString(t *testing.T) {
 func TestAllExperimentsRegistered(t *testing.T) {
 	all := All()
 	order := Order()
-	if len(all) != 14 || len(order) != 14 {
-		t.Fatalf("expected 14 experiments, got %d/%d", len(all), len(order))
+	if len(all) != 15 || len(order) != 15 {
+		t.Fatalf("expected 15 experiments, got %d/%d", len(all), len(order))
 	}
 	for _, id := range order {
 		if all[id] == nil {

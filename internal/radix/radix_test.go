@@ -218,9 +218,10 @@ func TestJoinBits(t *testing.T) {
 		t.Fatalf("small relation should need 0 bits, got %d", got)
 	}
 	got := JoinBits(1<<20, 64<<10)
-	// 1M tuples * 24B = 24MB; clusters must fit 32KB -> 1024 clusters -> 10 bits.
-	if got != 10 {
-		t.Fatalf("JoinBits = %d, want 10", got)
+	// 1M tuples * 44B (tuple + ½-load open-addressing slots + chain entry)
+	// = 44MB; clusters must fit 32KB -> 2048 clusters -> 11 bits.
+	if got != 11 {
+		t.Fatalf("JoinBits = %d, want 11", got)
 	}
 }
 

@@ -1,0 +1,241 @@
+package vector
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bat"
+	"repro/internal/radix"
+)
+
+func chainRows(t *HashTable, key int64) []int32 {
+	var rows []int32
+	for r := t.First(key); r >= 0; r = t.Next(r) {
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+func TestHashTableBasic(t *testing.T) {
+	ht := BuildHashTable([]int64{10, 20, 10, 30})
+	if ht.Len() != 4 {
+		t.Fatalf("Len = %d", ht.Len())
+	}
+	got := chainRows(ht, 10)
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if !reflect.DeepEqual(got, []int32{0, 2}) {
+		t.Fatalf("rows(10) = %v", got)
+	}
+	if r := ht.First(99); r != -1 {
+		t.Fatalf("First(absent) = %d", r)
+	}
+	if got := chainRows(ht, 30); !reflect.DeepEqual(got, []int32{3}) {
+		t.Fatalf("rows(30) = %v", got)
+	}
+}
+
+func TestHashTableGrow(t *testing.T) {
+	// Insert past the pre-sized capacity to force rehashing.
+	ht := NewHashTable(2)
+	n := 1000
+	for i := 0; i < n; i++ {
+		ht.Insert(int64(i%100), int32(i))
+	}
+	if ht.Len() != n {
+		t.Fatalf("Len = %d", ht.Len())
+	}
+	for k := 0; k < 100; k++ {
+		if got := len(chainRows(ht, int64(k))); got != 10 {
+			t.Fatalf("key %d: %d rows, want 10", k, got)
+		}
+	}
+}
+
+// refRows is the map-based build the HashTable replaces, kept as the
+// property-test oracle.
+func refRows(keys []int64) map[int64][]int32 {
+	m := make(map[int64][]int32)
+	for i, k := range keys {
+		m[k] = append(m[k], int32(i))
+	}
+	return m
+}
+
+// Property: for arbitrary keys (including duplicates), the chain of every
+// key matches the map-based oracle as a set, and absent keys miss.
+func TestQuickHashTableMatchesMap(t *testing.T) {
+	f := func(raw []int64, skew8 uint8) bool {
+		keys := make([]int64, len(raw))
+		for i, v := range raw {
+			// Narrow the domain so duplicates are common; skew8 biases a
+			// hot key to exercise long chains.
+			keys[i] = v % 16
+			if uint8(i)%4 < skew8%4 {
+				keys[i] = 7
+			}
+		}
+		ht := BuildHashTable(keys)
+		ref := refRows(keys)
+		for k, want := range ref {
+			got := chainRows(ht, k)
+			sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+			if !reflect.DeepEqual(got, want) {
+				return false
+			}
+		}
+		return ht.First(12345) == -1 || ref[12345] != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the radix-partitioned table yields the same match sets as the
+// flat table for arbitrary keys and partition bit counts.
+func TestQuickPartitionedTableMatchesFlat(t *testing.T) {
+	f := func(raw []int64, bits8 uint8) bool {
+		keys := make([]int64, len(raw))
+		for i, v := range raw {
+			keys[i] = v % 64
+		}
+		bits := int(bits8%6) + 1
+		pt := BuildPartitionedTable(keys, bits)
+		ht := BuildHashTable(keys)
+		for _, k := range keys {
+			var got []int32
+			pt.ForEach(k, func(r int32) { got = append(got, r) })
+			want := chainRows(ht, k)
+			sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			if !reflect.DeepEqual(got, want) {
+				return false
+			}
+		}
+		var miss []int32
+		pt.ForEach(1<<40, func(r int32) { miss = append(miss, r) })
+		return len(miss) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// joinPairs runs HashJoinOp over the given keys (payload = build row id)
+// and returns (build row, probe row) pairs.
+func joinPairs(t *testing.T, bk, pk []int64, size int) []radix.OIDPair {
+	t.Helper()
+	rowIDs := make([]int64, len(bk))
+	for i := range rowIDs {
+		rowIDs[i] = int64(i)
+	}
+	build, err := NewSource([]string{"k", "row"}, []Col{
+		{Kind: KindInt, Ints: bk}, {Kind: KindInt, Ints: rowIDs}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probeIDs := make([]int64, len(pk))
+	for i := range probeIDs {
+		probeIDs[i] = int64(i)
+	}
+	probe, err := NewSource([]string{"k", "row"}, []Col{
+		{Kind: KindInt, Ints: pk}, {Kind: KindInt, Ints: probeIDs}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := &HashJoinOp{
+		Build: NewScan(build, size), Probe: NewScan(probe, size),
+		BuildKey: 0, ProbeKey: 0, BuildPayload: []int{1},
+	}
+	rows, err := Drain(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := make([]radix.OIDPair, len(rows))
+	for i, r := range rows {
+		pairs[i] = radix.OIDPair{L: bat.OID(r[2].(int64)), R: bat.OID(r[1].(int64))}
+	}
+	return pairs
+}
+
+func sortPairs(p []radix.OIDPair) {
+	sort.Slice(p, func(i, j int) bool {
+		if p[i].L != p[j].L {
+			return p[i].L < p[j].L
+		}
+		return p[i].R < p[j].R
+	})
+}
+
+// Property: the table-backed HashJoinOp agrees with radix.SimpleHashJoin
+// on random keys, including duplicate-heavy and skewed distributions.
+func TestQuickJoinMatchesSimpleHashJoin(t *testing.T) {
+	f := func(bk8, pk8 []uint8, mode uint8) bool {
+		if len(bk8) > 60 {
+			bk8 = bk8[:60]
+		}
+		if len(pk8) > 60 {
+			pk8 = pk8[:60]
+		}
+		conv := func(raw []uint8) ([]int64, []radix.Tuple) {
+			keys := make([]int64, len(raw))
+			tuples := make([]radix.Tuple, len(raw))
+			for i, v := range raw {
+				k := int64(v % 16)
+				if mode%3 == 1 && i%2 == 0 {
+					k = 3 // heavy skew: half the rows share one key
+				}
+				keys[i] = k
+				tuples[i] = radix.Tuple{OID: bat.OID(i), Val: k}
+			}
+			return keys, tuples
+		}
+		bk, bt := conv(bk8)
+		pk, pt := conv(pk8)
+		got := joinPairs(t, bk, pk, int(mode%7)+1)
+		want := radix.SimpleHashJoin(bt, pt)
+		sortPairs(got)
+		sortPairs(want)
+		if len(got) == 0 && len(want) == 0 {
+			return true
+		}
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The partitioned build path only triggers past partitionRows rows; cover
+// it once with a deterministic large-ish join checked against the oracle.
+func TestJoinPartitionedBuildPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large build in -short mode")
+	}
+	n := partitionRows + 1000
+	r := rand.New(rand.NewSource(99))
+	bk := make([]int64, n)
+	for i := range bk {
+		bk[i] = r.Int63n(int64(n))
+	}
+	pk := make([]int64, 2000)
+	for i := range pk {
+		pk[i] = r.Int63n(int64(n))
+	}
+	got := joinPairs(t, bk, pk, 1024)
+
+	ref := refRows(bk)
+	var want []radix.OIDPair
+	for j, k := range pk {
+		for _, i := range ref[k] {
+			want = append(want, radix.OIDPair{L: bat.OID(i), R: bat.OID(j)})
+		}
+	}
+	sortPairs(got)
+	sortPairs(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("partitioned join: %d pairs, want %d", len(got), len(want))
+	}
+}

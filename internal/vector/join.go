@@ -4,10 +4,124 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"repro/internal/radix"
 )
 
+// JoinBuild is a fully-built, read-only build side of a hash join: the
+// key table plus the payload columns, safe to share across concurrent
+// probe pipelines (it is never mutated after BuildJoinTable returns).
+// Small builds use the flat open-addressing HashTable; builds past
+// partitionRows are radix-partitioned so each probe stays inside one
+// cache-sized cluster (§4.2).
+type JoinBuild struct {
+	ht *HashTable
+	pt *PartitionedTable
+
+	// DSM payload storage: one slice per payload column.
+	cols  []Col
+	kinds []Kind
+	// NSM payload storage: rows[i*np .. i*np+np) holds row i (int64
+	// cells; float bits stored via the column kind).
+	rows      []int64
+	np        int
+	rowLayout bool
+	nrows     int
+}
+
+// Rows returns the number of build rows.
+func (jb *JoinBuild) Rows() int { return jb.nrows }
+
+// BuildJoinTable drains op (opening and closing it) into a JoinBuild:
+// key column key, payload columns carried into join output, laid out
+// row-wise when rowLayout is set.
+func BuildJoinTable(op Operator, key int, payload []int, rowLayout bool) (*JoinBuild, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+
+	jb := &JoinBuild{
+		cols:      make([]Col, len(payload)),
+		kinds:     make([]Kind, len(payload)),
+		np:        len(payload),
+		rowLayout: rowLayout,
+	}
+	var keys []int64
+	for {
+		b, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		if key >= len(b.Cols) {
+			return nil, fmt.Errorf("vector: build key column %d out of range", key)
+		}
+		kcol := b.Cols[key].Ints
+		var innerErr error
+		b.ForEach(func(i int32) {
+			if innerErr != nil {
+				return
+			}
+			keys = append(keys, kcol[i])
+			for pi, pc := range payload {
+				if pc >= len(b.Cols) {
+					innerErr = fmt.Errorf("vector: build payload column %d out of range", pc)
+					return
+				}
+				c := &b.Cols[pc]
+				jb.kinds[pi] = c.Kind
+				var cell int64
+				switch c.Kind {
+				case KindInt:
+					cell = c.Ints[i]
+				case KindFloat:
+					cell = int64(floatBits(c.Floats[i]))
+				default:
+					innerErr = errors.New("vector: join payload must be int or float")
+					return
+				}
+				if rowLayout {
+					jb.rows = append(jb.rows, cell)
+				} else {
+					col := &jb.cols[pi]
+					col.Kind = c.Kind
+					switch c.Kind {
+					case KindInt:
+						col.Ints = append(col.Ints, cell)
+					case KindFloat:
+						col.Floats = append(col.Floats, c.Floats[i])
+					}
+				}
+			}
+		})
+		if innerErr != nil {
+			return nil, innerErr
+		}
+	}
+	jb.nrows = len(keys)
+	if len(keys) >= partitionRows {
+		bits := radix.JoinBits(len(keys), partitionCacheBytes)
+		jb.pt = BuildPartitionedTable(keys, bits)
+	} else {
+		jb.ht = BuildHashTable(keys)
+	}
+	return jb, nil
+}
+
+// ForEach calls f with each build row id matching key.
+func (jb *JoinBuild) ForEach(key int64, f func(row int32)) {
+	if jb.pt != nil {
+		jb.pt.ForEach(key, f)
+		return
+	}
+	jb.ht.ForEach(key, f)
+}
+
 // HashJoinOp is a vectorized equi-join on int64 keys: the build child is
-// drained into a hash table, then probe batches stream through, emitting
+// drained into a JoinBuild, then probe batches stream through, emitting
 // joined batches of probe payload columns ++ build payload columns.
 //
 // The build-side payload can be kept in two in-execution layouts (paper §5,
@@ -25,91 +139,37 @@ type HashJoinOp struct {
 	// RowLayout re-groups build payloads row-wise (NSM) instead of
 	// keeping them columnar (DSM).
 	RowLayout bool
+	// Shared, when set, is a pre-built build side (from BuildJoinTable);
+	// Build is then ignored. This is how morsel-parallel probe pipelines
+	// share one read-only table (see parallel.go).
+	Shared *JoinBuild
 
-	table map[int64][]int32 // key -> build row ids
-	// DSM payload storage: one slice per payload column.
-	cols  []Col
-	kinds []Kind
-	// NSM payload storage: rows[i*ncols .. i*ncols+ncols) holds row i
-	// (int64 cells; float bits stored via the column kind).
-	rows []int64
-
+	jb  *JoinBuild
 	out Batch
 }
 
-// Open implements Operator: drains the build side into the hash table.
+// Open implements Operator: drains the build side into the hash table
+// (unless a Shared build was injected).
 func (j *HashJoinOp) Open() error {
-	if err := j.Build.Open(); err != nil {
-		return err
-	}
 	if err := j.Probe.Open(); err != nil {
 		return err
 	}
-	j.table = make(map[int64][]int32)
-	j.cols = make([]Col, len(j.BuildPayload))
-	j.kinds = make([]Kind, len(j.BuildPayload))
-	j.rows = j.rows[:0]
-	nrows := int32(0)
-	for {
-		b, err := j.Build.Next()
-		if err != nil {
-			return err
-		}
-		if b == nil {
-			break
-		}
-		if j.BuildKey >= len(b.Cols) {
-			return fmt.Errorf("vector: build key column %d out of range", j.BuildKey)
-		}
-		keys := b.Cols[j.BuildKey].Ints
-		var innerErr error
-		b.ForEach(func(i int32) {
-			if innerErr != nil {
-				return
-			}
-			j.table[keys[i]] = append(j.table[keys[i]], nrows)
-			for pi, pc := range j.BuildPayload {
-				if pc >= len(b.Cols) {
-					innerErr = fmt.Errorf("vector: build payload column %d out of range", pc)
-					return
-				}
-				c := &b.Cols[pc]
-				j.kinds[pi] = c.Kind
-				var cell int64
-				switch c.Kind {
-				case KindInt:
-					cell = c.Ints[i]
-				case KindFloat:
-					cell = int64(floatBits(c.Floats[i]))
-				default:
-					innerErr = errors.New("vector: join payload must be int or float")
-					return
-				}
-				if j.RowLayout {
-					j.rows = append(j.rows, cell)
-				} else {
-					col := &j.cols[pi]
-					col.Kind = c.Kind
-					switch c.Kind {
-					case KindInt:
-						col.Ints = append(col.Ints, cell)
-					case KindFloat:
-						col.Floats = append(col.Floats, c.Floats[i])
-					}
-				}
-			}
-			nrows++
-		})
-		if innerErr != nil {
-			return innerErr
-		}
+	if j.Shared != nil {
+		j.jb = j.Shared
+		return nil
 	}
+	jb, err := BuildJoinTable(j.Build, j.BuildKey, j.BuildPayload, j.RowLayout)
+	if err != nil {
+		return err
+	}
+	j.jb = jb
 	return nil
 }
 
 // Next implements Operator: pulls probe batches until one produces output.
 func (j *HashJoinOp) Next() (*Batch, error) {
-	np := len(j.BuildPayload)
+	jb := j.jb
+	np := jb.np
 	for {
 		b, err := j.Probe.Next()
 		if err != nil || b == nil {
@@ -121,37 +181,47 @@ func (j *HashJoinOp) Next() (*Batch, error) {
 		for c := range b.Cols {
 			outCols[c].Kind = b.Cols[c].Kind
 		}
-		for pi := range j.BuildPayload {
-			outCols[len(b.Cols)+pi].Kind = j.kinds[pi]
+		for pi := range outCols[len(b.Cols):] {
+			outCols[len(b.Cols)+pi].Kind = jb.kinds[pi]
 		}
 		n := 0
-		b.ForEach(func(i int32) {
-			for _, bid := range j.table[keys[i]] {
-				for c := range b.Cols {
-					appendCell(&outCols[c], &b.Cols[c], i)
-				}
-				for pi := range j.BuildPayload {
-					oc := &outCols[len(b.Cols)+pi]
-					if j.RowLayout {
-						cell := j.rows[int(bid)*np+pi]
-						switch j.kinds[pi] {
-						case KindInt:
-							oc.Ints = append(oc.Ints, cell)
-						case KindFloat:
-							oc.Floats = append(oc.Floats, floatFromBits(uint64(cell)))
-						}
-					} else {
-						switch j.kinds[pi] {
-						case KindInt:
-							oc.Ints = append(oc.Ints, j.cols[pi].Ints[bid])
-						case KindFloat:
-							oc.Floats = append(oc.Floats, j.cols[pi].Floats[bid])
-						}
+		emit := func(i, bid int32) {
+			for c := range b.Cols {
+				appendCell(&outCols[c], &b.Cols[c], i)
+			}
+			for pi := 0; pi < np; pi++ {
+				oc := &outCols[len(b.Cols)+pi]
+				if jb.rowLayout {
+					cell := jb.rows[int(bid)*np+pi]
+					switch jb.kinds[pi] {
+					case KindInt:
+						oc.Ints = append(oc.Ints, cell)
+					case KindFloat:
+						oc.Floats = append(oc.Floats, floatFromBits(uint64(cell)))
+					}
+				} else {
+					switch jb.kinds[pi] {
+					case KindInt:
+						oc.Ints = append(oc.Ints, jb.cols[pi].Ints[bid])
+					case KindFloat:
+						oc.Floats = append(oc.Floats, jb.cols[pi].Floats[bid])
 					}
 				}
-				n++
 			}
-		})
+			n++
+		}
+		if jb.pt != nil {
+			b.ForEach(func(i int32) {
+				jb.pt.ForEach(keys[i], func(bid int32) { emit(i, bid) })
+			})
+		} else {
+			ht := jb.ht
+			b.ForEach(func(i int32) {
+				for bid := ht.First(keys[i]); bid >= 0; bid = ht.next[bid] {
+					emit(i, bid)
+				}
+			})
+		}
 		if n == 0 {
 			continue
 		}
@@ -160,11 +230,9 @@ func (j *HashJoinOp) Next() (*Batch, error) {
 	}
 }
 
-// Close implements Operator.
+// Close implements Operator. The build child is not closed here:
+// BuildJoinTable already closed it when Open drained it.
 func (j *HashJoinOp) Close() error {
-	if err := j.Build.Close(); err != nil {
-		return err
-	}
 	return j.Probe.Close()
 }
 

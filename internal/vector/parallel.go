@@ -1,0 +1,325 @@
+package vector
+
+// Morsel-driven parallelism for the vectorized engine: a Source is cut
+// into fixed-size row ranges ("morsels") handed out by an atomic
+// cursor; each worker runs its own copy of the per-batch pipeline
+// (filters, projections, join probes against a shared read-only
+// JoinBuild, partial aggregates) over the morsels it claims, and an
+// Exchange operator funnels the workers' output batches back into the
+// single-threaded consumer. This is the NUMA-oblivious core of
+// morsel-driven scheduling grafted onto X100-style pipelines: the
+// degree of parallelism is fixed at Open, but work distribution is
+// dynamic, so skewed morsels do not stall the other workers.
+//
+// Aggregation parallelizes by re-aggregation: each worker's pipeline
+// ends in its own Agg (partial sums/counts over the morsels it saw) and
+// the consumer runs a final Agg over the Exchange that sums the partial
+// columns. Sums of sums and sums of counts are exact; AggCount at the
+// top level would count partial rows and is the caller's mistake.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultMorselSize is the default morsel length in rows: big enough
+// that claiming one costs a single atomic add per ~64K rows, small
+// enough that GOMAXPROCS workers load-balance on skewed pipelines.
+const DefaultMorselSize = 1 << 16
+
+// MorselCursor hands out disjoint [lo,hi) row ranges of a Source to any
+// number of concurrent claimants.
+type MorselCursor struct {
+	src  *Source
+	size int
+	pos  atomic.Int64
+}
+
+// NewMorselCursor returns a cursor over src with the given morsel size
+// (DefaultMorselSize if <= 0).
+func NewMorselCursor(src *Source, morselSize int) *MorselCursor {
+	if morselSize <= 0 {
+		morselSize = DefaultMorselSize
+	}
+	return &MorselCursor{src: src, size: morselSize}
+}
+
+// claim returns the next unclaimed morsel, or ok=false at end of input.
+func (m *MorselCursor) claim() (lo, hi int, ok bool) {
+	for {
+		cur := m.pos.Load()
+		if int(cur) >= m.src.n {
+			return 0, 0, false
+		}
+		end := cur + int64(m.size)
+		if int(end) > m.src.n {
+			end = int64(m.src.n)
+		}
+		if m.pos.CompareAndSwap(cur, end) {
+			return int(cur), int(end), true
+		}
+	}
+}
+
+// MorselScan is the per-worker scan: an Operator that claims morsels
+// from a shared cursor and emits zero-copy vectors of at most Size rows
+// from within each, exactly like Scan but over dynamically assigned
+// ranges.
+type MorselScan struct {
+	Cur  *MorselCursor
+	Size int // vector size (DefaultSize if <= 0)
+
+	pos, hi int
+	b       Batch
+}
+
+// Open implements Operator.
+func (s *MorselScan) Open() error {
+	if s.Size <= 0 {
+		s.Size = DefaultSize
+	}
+	s.pos, s.hi = 0, 0
+	return nil
+}
+
+// Next implements Operator.
+func (s *MorselScan) Next() (*Batch, error) {
+	if s.pos >= s.hi {
+		lo, hi, ok := s.Cur.claim()
+		if !ok {
+			return nil, nil
+		}
+		s.pos, s.hi = lo, hi
+	}
+	end := s.pos + s.Size
+	if end > s.hi {
+		end = s.hi
+	}
+	src := s.Cur.src
+	cols := make([]Col, len(src.Cols))
+	for i := range src.Cols {
+		c := &src.Cols[i]
+		cols[i] = Col{Kind: c.Kind}
+		switch c.Kind {
+		case KindInt:
+			cols[i].Ints = c.Ints[s.pos:end]
+		case KindFloat:
+			cols[i].Floats = c.Floats[s.pos:end]
+		case KindBool:
+			cols[i].Bools = c.Bools[s.pos:end]
+		}
+	}
+	s.b = Batch{N: end - s.pos, Cols: cols}
+	s.pos = end
+	return &s.b, nil
+}
+
+// Close implements Operator.
+func (s *MorselScan) Close() error { return nil }
+
+// Exchange is the parallelizing operator: it runs Workers copies of the
+// pipeline fragment built by Plan — each on its own MorselScan over
+// Source — and funnels their output batches to the caller. Batches are
+// deep-copied before crossing the channel (workers recycle their
+// buffers batch-to-batch), so downstream operators own what Next
+// returns.
+type Exchange struct {
+	Source     *Source
+	Workers    int // <= 0 means runtime.GOMAXPROCS(0)
+	MorselSize int // <= 0 means DefaultMorselSize
+	VectorSize int // <= 0 means DefaultSize
+	// Plan builds one worker's pipeline fragment on top of its scan.
+	// It is called once per worker and must not share mutable state
+	// between the fragments it returns.
+	Plan func(scan Operator) Operator
+
+	ch      chan *Batch
+	errs    chan error
+	stop    chan struct{}
+	stopped sync.Once
+	wg      sync.WaitGroup
+}
+
+// NewParallelScan returns an Exchange that just scans src in parallel:
+// the identity Plan. Useful as a building block and in tests.
+func NewParallelScan(src *Source, workers int) *Exchange {
+	return &Exchange{Source: src, Workers: workers, Plan: func(scan Operator) Operator { return scan }}
+}
+
+// Open implements Operator: spawns the workers.
+func (e *Exchange) Open() error {
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cursor := NewMorselCursor(e.Source, e.MorselSize)
+	e.ch = make(chan *Batch, workers)
+	e.errs = make(chan error, workers)
+	e.stop = make(chan struct{})
+	e.stopped = sync.Once{}
+	for w := 0; w < workers; w++ {
+		e.wg.Add(1)
+		go e.worker(cursor)
+	}
+	go func() {
+		e.wg.Wait()
+		close(e.ch)
+	}()
+	return nil
+}
+
+func (e *Exchange) worker(cursor *MorselCursor) {
+	defer e.wg.Done()
+	op := e.Plan(&MorselScan{Cur: cursor, Size: e.VectorSize})
+	if err := op.Open(); err != nil {
+		e.errs <- err
+		return
+	}
+	defer op.Close()
+	for {
+		b, err := op.Next()
+		if err != nil {
+			e.errs <- err
+			return
+		}
+		if b == nil {
+			return
+		}
+		select {
+		case e.ch <- cloneBatch(b):
+		case <-e.stop:
+			return
+		}
+	}
+}
+
+// Next implements Operator: returns the next worker batch, or the first
+// worker error once all workers have exited.
+func (e *Exchange) Next() (*Batch, error) {
+	b, ok := <-e.ch
+	if !ok {
+		select {
+		case err := <-e.errs:
+			return nil, err
+		default:
+			return nil, nil
+		}
+	}
+	return b, nil
+}
+
+// Close implements Operator: stops and joins the workers.
+func (e *Exchange) Close() error {
+	e.stopped.Do(func() { close(e.stop) })
+	for range e.ch { // drain until the closer goroutine closes it
+	}
+	select {
+	case err := <-e.errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// --- canned morsel-parallel plans (benchmarks, experiments, tests) ---
+
+// Q6Preds are the TPC-H Q6 predicates over columns (qty, price, disc).
+func q6WorkerPlan(scan Operator) Operator {
+	return &Agg{
+		Child: &Project{
+			Child: &Filter{Child: scan, Preds: []Pred{
+				{ColIdx: 0, Op: PredLt, IntVal: 24},
+				{ColIdx: 2, Op: PredGeF, FltVal: 0.05},
+				{ColIdx: 2, Op: PredLeF, FltVal: 0.07}}},
+			Exprs: []Expr{Bin{Op: EMulFloat, L: ColRef{1}, R: Bin{Op: ESubConstFloat, FltConst: 1, L: ColRef{2}}}},
+		},
+		KeyCol: -1, Aggs: []AggSpec{{Kind: AggSumFloat, Col: 0}}}
+}
+
+// ParallelQ6 is the morsel-parallel TPC-H Q6 plan over a (qty, price,
+// disc) source: per-worker filter+project+partial-sum fragments under an
+// Exchange, re-aggregated by a final sum. Used by the root benchmarks
+// and experiment E15.
+func ParallelQ6(src *Source, workers, morselSize int) (float64, error) {
+	final := &Agg{
+		Child:  &Exchange{Source: src, Workers: workers, MorselSize: morselSize, Plan: q6WorkerPlan},
+		KeyCol: -1, Aggs: []AggSpec{{Kind: AggSumFloat, Col: 0}},
+	}
+	rows, err := Drain(final)
+	if err != nil {
+		return 0, err
+	}
+	return rows[0][0].(float64), nil
+}
+
+// ParallelJoinCount probes a shared read-only JoinBuild from `workers`
+// morsel-parallel pipelines and returns the total number of matches:
+// each worker counts its own matches, the final Agg sums the counts.
+func ParallelJoinCount(jb *JoinBuild, probe *Source, probeKey, workers, morselSize int) (int64, error) {
+	plan := func(scan Operator) Operator {
+		return &Agg{
+			Child:  &HashJoinOp{Probe: scan, ProbeKey: probeKey, Shared: jb},
+			KeyCol: -1, Aggs: []AggSpec{{Kind: AggCount}},
+		}
+	}
+	final := &Agg{
+		Child:  &Exchange{Source: probe, Workers: workers, MorselSize: morselSize, Plan: plan},
+		KeyCol: -1, Aggs: []AggSpec{{Kind: AggSumInt, Col: 0}},
+	}
+	rows, err := Drain(final)
+	if err != nil {
+		return 0, err
+	}
+	return rows[0][0].(int64), nil
+}
+
+// cloneBatch deep-copies a batch so it survives the producing worker's
+// buffer recycling. Batches with a selection vector are compacted to
+// just the qualifying rows, so the bytes crossing the exchange are
+// proportional to the fragment's output, not its input.
+func cloneBatch(b *Batch) *Batch {
+	if b.Sel == nil {
+		nb := &Batch{N: b.N, Cols: make([]Col, len(b.Cols))}
+		for i := range b.Cols {
+			c := &b.Cols[i]
+			nb.Cols[i] = Col{Kind: c.Kind}
+			switch c.Kind {
+			case KindInt:
+				nb.Cols[i].Ints = append([]int64(nil), c.Ints...)
+			case KindFloat:
+				nb.Cols[i].Floats = append([]float64(nil), c.Floats...)
+			case KindBool:
+				nb.Cols[i].Bools = append([]bool(nil), c.Bools...)
+			}
+		}
+		return nb
+	}
+	n := len(b.Sel)
+	nb := &Batch{N: n, Cols: make([]Col, len(b.Cols))}
+	for i := range b.Cols {
+		c := &b.Cols[i]
+		nb.Cols[i] = Col{Kind: c.Kind}
+		switch c.Kind {
+		case KindInt:
+			out := make([]int64, n)
+			for k, idx := range b.Sel {
+				out[k] = c.Ints[idx]
+			}
+			nb.Cols[i].Ints = out
+		case KindFloat:
+			out := make([]float64, n)
+			for k, idx := range b.Sel {
+				out[k] = c.Floats[idx]
+			}
+			nb.Cols[i].Floats = out
+		case KindBool:
+			out := make([]bool, n)
+			for k, idx := range b.Sel {
+				out[k] = c.Bools[idx]
+			}
+			nb.Cols[i].Bools = out
+		}
+	}
+	return nb
+}

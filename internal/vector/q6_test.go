@@ -49,6 +49,23 @@ func TestQ6SizeInvariance(t *testing.T) {
 	}
 }
 
+// TestQ6MorselSizeInvariance runs the morsel-parallel Q6 plan across
+// morsel sizes (including sizes that don't divide n, and one smaller
+// than the vector size) and checks the sum against the serial oracle.
+func TestQ6MorselSizeInvariance(t *testing.T) {
+	n := 20000
+	src, want := q6Source(t, n, 43)
+	for _, morsel := range []int{100, 1023, 4096, n, 2 * n} {
+		got, err := ParallelQ6(src, 4, morsel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < want-0.01 || got > want+0.01 {
+			t.Errorf("morsel %d: got %.2f want %.2f", morsel, got, want)
+		}
+	}
+}
+
 func TestEmptySelectionStaysEmpty(t *testing.T) {
 	// First batch fails the first predicate entirely; the second predicate
 	// must see an empty (not nil) selection.
