@@ -1,0 +1,46 @@
+package repro_test
+
+// MAL-level join benchmarks: the path a compiled SQL SELECT's equi-join
+// actually takes (bind -> join), measured across the size threshold where
+// the interpreter's property-driven selection switches from the in-cache
+// join to the radix-clustered partitioned join.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bat"
+	"repro/internal/mal"
+	"repro/internal/workload"
+)
+
+// malJoinProg builds the two-BAT join program over catalog names l and r.
+func malJoinProg() *mal.Program {
+	b := mal.NewBuilder()
+	l := b.Emit("bind", mal.CS("l"))
+	r := b.Emit("bind", mal.CS("r"))
+	lo, ro := b.Emit2("join", mal.V(l), mal.V(r))
+	b.Return([]string{"lo", "ro"}, lo, ro)
+	return b.Program()
+}
+
+// BenchmarkMALJoin measures the MAL "join" op on unsorted int BATs: 50K
+// rows stays under the radix threshold (the batalg hash-join path SQL
+// point joins take), 1M rows goes through the radix-partitioned path.
+func BenchmarkMALJoin(b *testing.B) {
+	for _, n := range []int{50_000, 1 << 20} {
+		b.Run(fmt.Sprintf("rows=%d", n), func(b *testing.B) {
+			cat := mal.NewMapCatalog()
+			cat.Put("l", bat.FromInts(workload.UniformInts(n, int64(n), 31)))
+			cat.Put("r", bat.FromInts(workload.UniformInts(n, int64(n), 32)))
+			prog := malJoinProg()
+			ip := &mal.Interp{Cat: cat}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ip.Run(prog); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

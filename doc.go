@@ -11,14 +11,18 @@
 // pipelines over columnar batches. Two layers make it cache-conscious
 // and multi-core:
 //
-//   - Hash joins build into vector.HashTable, an open-addressing int64
-//     table (Fibonacci hashing via radix.Hash, power-of-two slots,
-//     linear probing) whose duplicate chains live in one flat []int32 —
-//     no Go map, no per-key allocations. Builds larger than the cache
-//     are radix-partitioned (vector.PartitionedTable) with the
-//     multi-pass Radix-Cluster of internal/radix, so every probe stays
-//     inside one cache-sized cluster (paper §4.2). BenchmarkJoinTable
-//     measures ~7x faster builds than the Go-map layout at 1M rows.
+//   - Every equi-join path — batalg.Join's hash/semi/anti joins, the
+//     radix partitioned join, vector.HashTable/JoinBuild, and the MAL
+//     `join` op behind compiled SQL — builds into ONE open-addressing
+//     table, radix.Table: Fibonacci hashing on the high hash bits,
+//     power-of-two 16-byte key+head slots, duplicate chains in one flat
+//     []int32, no Go map, no per-key allocations. Builds larger than
+//     the cache are radix-partitioned (radix.PartitionedTable) with the
+//     multi-pass Radix-Cluster, so every probe stays inside one
+//     cache-sized cluster (paper §4.2). bat.NilInt keys never match —
+//     SQL NULL semantics enforced once, inherited by every front-end.
+//     BenchmarkJoinTable measures ~8x faster builds than the Go-map
+//     layout at 1M rows; BENCH_pr2.json records the MAL-join numbers.
 //
 //   - Pipelines parallelize morsel-driven: vector.Exchange splits a
 //     Source into fixed-size morsels handed out by an atomic cursor,

@@ -1,6 +1,7 @@
 package batalg
 
 import (
+	"math"
 	"sort"
 
 	"repro/internal/bat"
@@ -113,26 +114,72 @@ func SubGroup(prev GroupResult, b *bat.BAT) GroupResult {
 
 // Sum folds an int tail to its total. Nil values are skipped.
 func Sum(b *bat.BAT) int64 {
-	var s int64
+	s, _ := SumCount(b)
+	return s
+}
+
+// SumCount folds an int tail to its total and the number of non-nil
+// values folded, in one pass — SQL SUM needs the count to distinguish a
+// real zero total from "no values" (NULL).
+func SumCount(b *bat.BAT) (int64, int64) {
+	var s, n int64
 	for _, v := range b.Ints() {
 		if v != bat.NilInt {
 			s += v
+			n++
 		}
 	}
-	return s
+	return s, n
 }
 
-// SumFloat folds a float tail to its total.
+// SumFloat folds a float tail to its total. NaN — the float nil
+// stand-in (see batalg.DivFloatNil) — is skipped, like NilInt in Sum;
+// the check is v == v, one predictable compare per element.
 func SumFloat(b *bat.BAT) float64 {
-	var s float64
-	for _, v := range b.Floats() {
-		s += v
-	}
+	s, _ := SumFloatCount(b)
 	return s
 }
 
-// Count returns the number of tuples.
+// SumFloatCount is SumCount for float tails (NaN = nil).
+func SumFloatCount(b *bat.BAT) (float64, int64) {
+	var s float64
+	var n int64
+	for _, v := range b.Floats() {
+		if v == v {
+			s += v
+			n++
+		}
+	}
+	return s, n
+}
+
+// Count returns the number of tuples, nil or not (SQL count(*)).
 func Count(b *bat.BAT) int64 { return int64(b.Len()) }
+
+// CountNonNil returns the number of non-nil tuples — SQL count(col).
+// The nil representations are bat.NilInt for int tails and NaN for
+// float tails (produced by IntToFloat/DivFloatNil over nil inputs);
+// other tail types count fully.
+func CountNonNil(b *bat.BAT) int64 {
+	var n int64
+	switch {
+	case b.TailType() == bat.TypeInt && !b.Props().NoNil:
+		for _, v := range b.Ints() {
+			if v != bat.NilInt {
+				n++
+			}
+		}
+	case b.TailType() == bat.TypeFloat:
+		for _, v := range b.Floats() {
+			if v == v {
+				n++
+			}
+		}
+	default:
+		n = int64(b.Len())
+	}
+	return n
+}
 
 // Min returns the minimum int tail value; ok is false on an empty/all-nil BAT.
 func Min(b *bat.BAT) (int64, bool) {
@@ -167,31 +214,50 @@ func Max(b *bat.BAT) (int64, bool) {
 }
 
 // SumPerGroup folds an int tail per group id; the result is aligned with
-// group ids 0..n-1.
+// group ids 0..n-1. A group with no non-nil contribution sums to nil,
+// not 0 (SQL).
 func SumPerGroup(vals *bat.BAT, g GroupResult) *bat.BAT {
 	out := make([]int64, g.NGroups)
+	seen := make([]bool, g.NGroups)
 	ids := g.IDs.OIDs()
 	tail := vals.Ints()
 	for i, v := range tail {
 		if v != bat.NilInt {
 			out[ids[i]] += v
+			seen[ids[i]] = true
+		}
+	}
+	for gid, ok := range seen {
+		if !ok {
+			out[gid] = bat.NilInt
 		}
 	}
 	return bat.FromInts(out)
 }
 
-// SumFloatPerGroup folds a float tail per group id.
+// SumFloatPerGroup folds a float tail per group id, skipping NaN (the
+// float nil stand-in). A group with no non-nil contribution sums to
+// NaN, not 0.
 func SumFloatPerGroup(vals *bat.BAT, g GroupResult) *bat.BAT {
 	out := make([]float64, g.NGroups)
+	seen := make([]bool, g.NGroups)
 	ids := g.IDs.OIDs()
 	tail := vals.Floats()
 	for i, v := range tail {
-		out[ids[i]] += v
+		if v == v {
+			out[ids[i]] += v
+			seen[ids[i]] = true
+		}
+	}
+	for gid, ok := range seen {
+		if !ok {
+			out[gid] = math.NaN()
+		}
 	}
 	return bat.FromFloats(out)
 }
 
-// MinPerGroup folds minimum per group.
+// MinPerGroup folds minimum per group; an all-nil group yields nil.
 func MinPerGroup(vals *bat.BAT, g GroupResult) *bat.BAT {
 	out := make([]int64, g.NGroups)
 	seen := make([]bool, g.NGroups)
@@ -206,10 +272,15 @@ func MinPerGroup(vals *bat.BAT, g GroupResult) *bat.BAT {
 			seen[gid] = true
 		}
 	}
+	for gid, ok := range seen {
+		if !ok {
+			out[gid] = bat.NilInt
+		}
+	}
 	return bat.FromInts(out)
 }
 
-// MaxPerGroup folds maximum per group.
+// MaxPerGroup folds maximum per group; an all-nil group yields nil.
 func MaxPerGroup(vals *bat.BAT, g GroupResult) *bat.BAT {
 	out := make([]int64, g.NGroups)
 	seen := make([]bool, g.NGroups)
@@ -224,11 +295,44 @@ func MaxPerGroup(vals *bat.BAT, g GroupResult) *bat.BAT {
 			seen[gid] = true
 		}
 	}
+	for gid, ok := range seen {
+		if !ok {
+			out[gid] = bat.NilInt
+		}
+	}
 	return bat.FromInts(out)
 }
 
 // CountPerGroup returns per-group cardinalities (a copy of g.Counts).
 func CountPerGroup(g GroupResult) *bat.BAT { return g.Counts.Copy() }
+
+// CountNonNilPerGroup counts the non-nil values of vals per group — the
+// denominator of a grouped AVG and SQL's grouped count(col). Nil is
+// bat.NilInt for int tails, NaN for float tails; other tail types
+// degenerate to the group sizes.
+func CountNonNilPerGroup(vals *bat.BAT, g GroupResult) *bat.BAT {
+	out := make([]int64, g.NGroups)
+	ids := g.IDs.OIDs()
+	switch {
+	case vals.TailType() == bat.TypeInt && !vals.Props().NoNil:
+		for i, v := range vals.Ints() {
+			if v != bat.NilInt {
+				out[ids[i]]++
+			}
+		}
+	case vals.TailType() == bat.TypeFloat:
+		for i, v := range vals.Floats() {
+			if v == v {
+				out[ids[i]]++
+			}
+		}
+	default:
+		for _, id := range ids {
+			out[id]++
+		}
+	}
+	return bat.FromInts(out)
+}
 
 // Unique returns a candidate list naming the first occurrence of each
 // distinct int tail value, in head order.
@@ -261,7 +365,16 @@ func Sort(b *bat.BAT) (*bat.BAT, *bat.BAT) {
 		sort.SliceStable(perm, func(i, j int) bool { return tail[perm[i]] < tail[perm[j]] })
 	case bat.TypeFloat:
 		tail := b.Floats()
-		sort.SliceStable(perm, func(i, j int) bool { return tail[perm[i]] < tail[perm[j]] })
+		// NaN is the float nil stand-in; < is false both ways for it, so
+		// order NULLs explicitly first — matching int tails, where nil
+		// (NilInt = MinInt64) also sorts first.
+		sort.SliceStable(perm, func(i, j int) bool {
+			x, y := tail[perm[i]], tail[perm[j]]
+			if x != x {
+				return y == y
+			}
+			return x < y
+		})
 	case bat.TypeStr:
 		sort.SliceStable(perm, func(i, j int) bool { return b.StrAt(perm[i]) < b.StrAt(perm[j]) })
 	case bat.TypeOID:

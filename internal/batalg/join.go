@@ -2,14 +2,18 @@ package batalg
 
 import (
 	"repro/internal/bat"
+	"repro/internal/radix"
 )
 
 // Join computes the natural equi-join of two int-tailed BATs on their tail
 // values. It returns two aligned candidate BATs (left head OIDs, right head
 // OIDs) — the join index of §4.3. The implementation picks merge join when
-// both inputs are sorted, otherwise a bucket-chained hash join on the
-// smaller input; front-ends that know the join is large route it through
-// internal/radix's partitioned hash join instead.
+// both inputs are sorted, otherwise a hash join on the smaller input
+// through the shared open-addressing core (radix.Table), which
+// auto-partitions builds past radix.PartitionRows rows.
+//
+// Nil tail values (bat.NilInt) never match on either side, in any path —
+// the SQL NULL rule, enforced once inside radix.Table.
 func Join(l, r *bat.BAT) (lo, ro *bat.BAT) {
 	if l.Props().Sorted && r.Props().Sorted {
 		return mergeJoin(l, r)
@@ -22,12 +26,20 @@ func Join(l, r *bat.BAT) (lo, ro *bat.BAT) {
 	return a, b
 }
 
-// mergeJoin joins two sorted int BATs positionally.
+// mergeJoin joins two sorted int BATs positionally. Nil values sort to
+// the front (bat.NilInt is the smallest int64) and are skipped: nil
+// never equals nil.
 func mergeJoin(l, r *bat.BAT) (*bat.BAT, *bat.BAT) {
 	lt, rt := l.Ints(), r.Ints()
 	lh, rh := l.HSeq(), r.HSeq()
 	var lout, rout []bat.OID
 	i, j := 0, 0
+	for i < len(lt) && lt[i] == bat.NilInt {
+		i++
+	}
+	for j < len(rt) && rt[j] == bat.NilInt {
+		j++
+	}
 	for i < len(lt) && j < len(rt) {
 		switch {
 		case lt[i] < rt[j]:
@@ -50,48 +62,32 @@ func mergeJoin(l, r *bat.BAT) (*bat.BAT, *bat.BAT) {
 	return bat.FromOIDs(lout), bat.FromOIDs(rout)
 }
 
-// hashJoin builds a bucket-chained hash table on build (the smaller side)
-// and probes with probe. This is the paper's "simple hash join" baseline:
-// the random access pattern into the hash table is exactly what
-// radix-partitioning fixes for large inputs (§4.1).
+// hashJoin builds the shared open-addressing table (radix.Table) on build
+// (the smaller side) and probes with probe. Small builds stay flat and
+// cache-resident; past radix.PartitionRows rows the build is
+// radix-partitioned (§4.2) so each probe touches one cache-sized cluster.
 func hashJoin(build, probe *bat.BAT) (*bat.BAT, *bat.BAT) {
 	bt, pt := build.Ints(), probe.Ints()
 	bh, ph := build.HSeq(), probe.HSeq()
-
-	nbuckets := 1
-	for nbuckets < len(bt) {
-		nbuckets <<= 1
-	}
-	if nbuckets < 8 {
-		nbuckets = 8
-	}
-	mask := uint64(nbuckets - 1)
-	head := make([]int32, nbuckets) // 0 = empty; else index+1 into next
-	next := make([]int32, len(bt))
-	for i, v := range bt {
-		h := hashInt(v) & mask
-		next[i] = head[h]
-		head[h] = int32(i + 1)
-	}
-
+	jt := radix.NewJoinTable(bt)
 	var bout, pout []bat.OID
-	for j, v := range pt {
-		h := hashInt(v) & mask
-		for e := head[h]; e != 0; e = next[e-1] {
-			if bt[e-1] == v {
-				bout = append(bout, bh+bat.OID(e-1))
+	if ht := jt.Flat(); ht != nil {
+		// Flat build: probe First/Next inline, no per-match closure.
+		for j, v := range pt {
+			for e := ht.First(v); e >= 0; e = ht.Next(e) {
+				bout = append(bout, bh+bat.OID(e))
 				pout = append(pout, ph+bat.OID(j))
 			}
 		}
+	} else {
+		for j, v := range pt {
+			jt.ForEach(v, func(i int32) {
+				bout = append(bout, bh+bat.OID(i))
+				pout = append(pout, ph+bat.OID(j))
+			})
+		}
 	}
 	return bat.FromOIDs(bout), bat.FromOIDs(pout)
-}
-
-// hashInt is the integer hash used across the engine. Following §4 (and
-// [25]), it avoids divisions and function-call overhead in inner loops:
-// callers inline the masking. Fibonacci hashing spreads consecutive keys.
-func hashInt(v int64) uint64 {
-	return uint64(v) * 0x9E3779B97F4A7C15
 }
 
 // JoinStr equi-joins two string-tailed BATs via a dictionary map (strings
@@ -114,34 +110,30 @@ func JoinStr(l, r *bat.BAT) (*bat.BAT, *bat.BAT) {
 	return bat.FromOIDs(lout), bat.FromOIDs(rout)
 }
 
-// SemiJoin returns the left head OIDs with at least one match in r.
+// SemiJoin returns the left head OIDs with at least one match in r. Nil
+// left values never match and are excluded.
 func SemiJoin(l, r *bat.BAT) *bat.BAT {
-	rt := r.Ints()
-	set := make(map[int64]struct{}, len(rt))
-	for _, v := range rt {
-		set[v] = struct{}{}
-	}
+	jt := radix.NewJoinTable(r.Ints())
 	lt := l.Ints()
 	out := make([]bat.OID, 0)
 	for i, v := range lt {
-		if _, ok := set[v]; ok {
+		if jt.Contains(v) {
 			out = append(out, l.HSeq()+bat.OID(i))
 		}
 	}
 	return candList(out)
 }
 
-// AntiJoin returns the left head OIDs with no match in r.
+// AntiJoin returns the left head OIDs with no match in r. Because nil
+// never matches, nil left values always qualify (BAT-algebra anti-join
+// complements SemiJoin; SQL NOT IN's three-valued logic is the
+// front-end's concern).
 func AntiJoin(l, r *bat.BAT) *bat.BAT {
-	rt := r.Ints()
-	set := make(map[int64]struct{}, len(rt))
-	for _, v := range rt {
-		set[v] = struct{}{}
-	}
+	jt := radix.NewJoinTable(r.Ints())
 	lt := l.Ints()
 	out := make([]bat.OID, 0)
 	for i, v := range lt {
-		if _, ok := set[v]; !ok {
+		if !jt.Contains(v) {
 			out = append(out, l.HSeq()+bat.OID(i))
 		}
 	}

@@ -27,7 +27,11 @@ func Select(b *bat.BAT, v int64) *bat.BAT {
 		return selectSortedEq(b, v)
 	}
 	tail := b.Ints()
-	out := make([]bat.OID, 0, selCap(b))
+	// Point equality is usually highly selective (often a key lookup):
+	// start small and grow, instead of selCap's 1/8-of-input estimate —
+	// recyclable candidate lists would otherwise retain the oversized
+	// backing array across queries.
+	out := make([]bat.OID, 0, 64)
 	hseq := b.HSeq()
 	for i, x := range tail {
 		if x == v {

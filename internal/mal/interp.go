@@ -174,7 +174,9 @@ func opRecyclable(op string) bool {
 	case "select", "theta_select", "range_select", "select_str", "fetch",
 		"add", "sub", "mul", "add_scalar", "mul_scalar", "mirror",
 		"sum_per_group", "min_per_group", "max_per_group",
+		"count_nn_per_group",
 		"int_to_flt", "mul_flt", "add_flt", "sub_flt", "div_flt",
+		"div_flt_nil",
 		"add_scalar_flt", "mul_scalar_flt", "sub_const_flt", "unique":
 		return true
 	}
@@ -336,9 +338,12 @@ func (ip *Interp) exec(op string, args []Val) ([]Val, error) {
 		if err != nil {
 			return nil, err
 		}
-		// Property-driven algorithm selection (§3.1): small or sorted
-		// inputs use merge/bucket join; large unsorted int joins go
-		// through the radix-clustered partitioned hash join of §4.
+		// Property-driven algorithm selection (§3.1): sorted inputs
+		// merge-join; everything else goes through the one shared
+		// open-addressing core (radix.Table, nil keys never matching).
+		// Large unsorted int joins additionally radix-cluster BOTH
+		// sides (radix.JoinBATs, the Figure-2 partitioned hash join);
+		// smaller ones build flat via batalg.Join.
 		const radixThreshold = 1 << 16
 		if l.TailType() == bat.TypeInt && r.TailType() == bat.TypeInt &&
 			l.Len() >= radixThreshold && r.Len() >= radixThreshold &&
@@ -400,10 +405,21 @@ func (ip *Interp) exec(op string, args []Val) ([]Val, error) {
 		if err != nil {
 			return nil, err
 		}
+		// SQL: the sum of zero (non-nil) values is NULL, not 0 — a
+		// fabricated 0 is indistinguishable from a real zero total. The
+		// fused fold keeps this a single pass over the tail.
 		if b.TailType() == bat.TypeFloat {
-			return []Val{FloatVal(batalg.SumFloat(b))}, nil
+			s, n := batalg.SumFloatCount(b)
+			if n == 0 {
+				return []Val{NilVal()}, nil
+			}
+			return []Val{FloatVal(s)}, nil
 		}
-		return []Val{IntVal(batalg.Sum(b))}, nil
+		s, n := batalg.SumCount(b)
+		if n == 0 {
+			return []Val{NilVal()}, nil
+		}
+		return []Val{IntVal(s)}, nil
 
 	case "count":
 		b, err := wantBAT(args[0], op, 0)
@@ -412,6 +428,13 @@ func (ip *Interp) exec(op string, args []Val) ([]Val, error) {
 		}
 		return []Val{IntVal(batalg.Count(b))}, nil
 
+	case "count_nn": // count(col): nil values do not count
+		b, err := wantBAT(args[0], op, 0)
+		if err != nil {
+			return nil, err
+		}
+		return []Val{IntVal(batalg.CountNonNil(b))}, nil
+
 	case "min":
 		b, err := wantBAT(args[0], op, 0)
 		if err != nil {
@@ -419,7 +442,7 @@ func (ip *Interp) exec(op string, args []Val) ([]Val, error) {
 		}
 		m, ok := batalg.Min(b)
 		if !ok {
-			m = bat.NilInt
+			return []Val{NilVal()}, nil
 		}
 		return []Val{IntVal(m)}, nil
 
@@ -430,11 +453,11 @@ func (ip *Interp) exec(op string, args []Val) ([]Val, error) {
 		}
 		m, ok := batalg.Max(b)
 		if !ok {
-			m = bat.NilInt
+			return []Val{NilVal()}, nil
 		}
 		return []Val{IntVal(m)}, nil
 
-	case "sum_per_group", "min_per_group", "max_per_group":
+	case "sum_per_group", "min_per_group", "max_per_group", "count_nn_per_group":
 		vals, err := wantBAT(args[0], op, 0)
 		if err != nil {
 			return nil, err
@@ -456,6 +479,8 @@ func (ip *Interp) exec(op string, args []Val) ([]Val, error) {
 			return one(batalg.SumPerGroup(vals, g)), nil
 		case "min_per_group":
 			return one(batalg.MinPerGroup(vals, g)), nil
+		case "count_nn_per_group":
+			return one(batalg.CountNonNilPerGroup(vals, g)), nil
 		default:
 			return one(batalg.MaxPerGroup(vals, g)), nil
 		}
@@ -492,7 +517,7 @@ func (ip *Interp) exec(op string, args []Val) ([]Val, error) {
 		}
 		return one(batalg.MulScalar(a, v)), nil
 
-	case "mul_flt", "add_flt", "sub_flt", "div_flt":
+	case "mul_flt", "add_flt", "sub_flt", "div_flt", "div_flt_nil":
 		a, err := wantBAT(args[0], op, 0)
 		if err != nil {
 			return nil, err
@@ -508,6 +533,8 @@ func (ip *Interp) exec(op string, args []Val) ([]Val, error) {
 			return one(batalg.AddFloat(a, b)), nil
 		case "sub_flt":
 			return one(batalg.SubFloat(a, b)), nil
+		case "div_flt_nil":
+			return one(batalg.DivFloatNil(a, b)), nil
 		default:
 			return one(batalg.DivFloat(a, b)), nil
 		}
@@ -522,6 +549,10 @@ func (ip *Interp) exec(op string, args []Val) ([]Val, error) {
 			}
 			return 0, fmt.Errorf("div_scalar: want scalar, got %s", v)
 		}
+		// A nil operand (e.g. sum over an all-nil column) propagates.
+		if args[0].Kind == KNil || args[1].Kind == KNil {
+			return []Val{NilVal()}, nil
+		}
 		a, err := toF(args[0])
 		if err != nil {
 			return nil, err
@@ -531,7 +562,9 @@ func (ip *Interp) exec(op string, args []Val) ([]Val, error) {
 			return nil, err
 		}
 		if b == 0 {
-			return []Val{FloatVal(0)}, nil
+			// Division by a zero count is SQL's avg over no rows: NULL,
+			// not 0.
+			return []Val{NilVal()}, nil
 		}
 		return []Val{FloatVal(a / b)}, nil
 

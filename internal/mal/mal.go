@@ -27,6 +27,9 @@ const (
 	KFloat
 	KStr
 	KBool
+	// KNil is the scalar SQL NULL: what an aggregate over zero (non-nil)
+	// inputs returns.
+	KNil
 )
 
 // Val is a runtime value: a BAT or a scalar.
@@ -51,6 +54,9 @@ func StrVal(v string) Val { return Val{Kind: KStr, S: v} }
 // BATVal wraps a BAT.
 func BATVal(b *bat.BAT) Val { return Val{Kind: KBAT, B: b} }
 
+// NilVal is the scalar NULL value.
+func NilVal() Val { return Val{Kind: KNil} }
+
 // String renders the value for diagnostics.
 func (v Val) String() string {
 	switch v.Kind {
@@ -67,6 +73,8 @@ func (v Val) String() string {
 		return fmt.Sprintf("%q:str", v.S)
 	case KBool:
 		return fmt.Sprintf("%v:bit", v.Bool)
+	case KNil:
+		return "nil"
 	}
 	return "?"
 }

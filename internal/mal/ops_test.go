@@ -236,7 +236,7 @@ func TestOpMinMaxPerGroupAndEmpty(t *testing.T) {
 	if !reflect.DeepEqual(out[1].B.Ints(), []int64{10, 40, 30}) {
 		t.Fatalf("max/group = %v", out[1].B.Ints())
 	}
-	// min/max of empty BAT yield nil sentinel.
+	// min/max of empty BAT yield the scalar NULL.
 	cat.Put("empty", bat.FromInts(nil))
 	b2 := NewBuilder()
 	e := b2.Emit("bind", bind("empty"))
@@ -247,8 +247,8 @@ func TestOpMinMaxPerGroupAndEmpty(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out2[0].I != bat.NilInt || out2[1].I != bat.NilInt {
-		t.Fatal("empty min/max should be nil")
+	if out2[0].Kind != KNil || out2[1].Kind != KNil {
+		t.Fatal("empty min/max should be the scalar NULL")
 	}
 }
 

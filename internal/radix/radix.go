@@ -1,7 +1,8 @@
 // Package radix implements the cache-conscious join machinery of §4 of the
 // paper: multi-pass Radix-Cluster, Partitioned Hash-Join (Figure 2),
-// Radix-Decluster projection, and the straightforward bucket-chained hash
-// join they are measured against.
+// Radix-Decluster projection, and the whole-relation hash join they are
+// measured against. It also hosts Table (table.go), the single
+// open-addressing join hash table every front-end path shares.
 package radix
 
 import (
@@ -135,78 +136,28 @@ type OIDPair struct {
 	L, R bat.OID
 }
 
-// SimpleHashJoin is the baseline bucket-chained hash join of §4.1: build on
-// l, probe with r, random access across the whole build table. For build
-// sides larger than the cache this is the algorithm radix partitioning
-// beats by an order of magnitude.
+// SimpleHashJoin is the baseline whole-relation hash join of §4.1: build
+// on l, probe with r, random access across the whole build table. For
+// build sides larger than the cache this is the algorithm radix
+// partitioning beats by an order of magnitude.
 func SimpleHashJoin(l, r []Tuple) []OIDPair {
-	return bucketJoin(l, r, 0, nil)
+	return tableJoin(l, r, nil)
 }
 
-// bucketJoin joins l (build) with r (probe); out is appended to and
-// returned. shift skips the low hash bits already consumed by radix
-// clustering — within one cluster those bits are constant, so hashing on
-// them would collapse the table into 2^B-long chains.
-//
-// The table is open-addressing with linear probing at load factor <= ½
-// (a combined key+chain-head slot array, duplicate rows linked through
-// next): unlike the classic bucket-chained layout, a probe for a unique
-// key resolves within one or two adjacent cache lines instead of
-// chasing a chain of colliding-but-unequal entries, and absent keys
-// terminate at the first empty slot. Heads and links are stored +1 so
-// the zero-initialized allocation is already "all empty". The wider
-// slots cost footprint on a whole-relation build — which only the
-// SimpleHashJoin baseline does — and win inside cache-resident clusters,
-// the case Figure 2 actually exercises.
-func bucketJoin(l, r []Tuple, shift uint, out []OIDPair) []OIDPair {
+// tableJoin joins l (build) with r (probe) through the shared
+// open-addressing Table; out is appended to and returned. Because Table
+// slots on the high (well-mixed) bits of the multiplicative hash, the
+// same code serves the whole-relation baseline and the per-cluster joins
+// of Figure 2: within one radix cluster the low hash bits are constant,
+// but the high bits stay distributed. Nil keys never match (see Table).
+func tableJoin(l, r []Tuple, out []OIDPair) []OIDPair {
 	if len(l) == 0 || len(r) == 0 {
 		return out
 	}
-	nb := 8
-	for nb < 2*len(l) {
-		nb <<= 1
-	}
-	mask := uint64(nb - 1)
-	// Key and chain head share one 16-byte slot so every probe step
-	// costs a single cache line, not one per array.
-	type slot struct {
-		key  int64
-		head int32 // build index + 1; 0 = empty slot
-	}
-	slots := make([]slot, nb)
-	next := make([]int32, len(l)) // build index + 1; 0 = end of chain
-	for i := range l {
-		v := l[i].Val
-		s := (Hash(v) >> shift) & mask
-		for {
-			h := slots[s].head
-			if h == 0 {
-				slots[s] = slot{key: v, head: int32(i + 1)}
-				break
-			}
-			if slots[s].key == v {
-				next[i] = h
-				slots[s].head = int32(i + 1)
-				break
-			}
-			s = (s + 1) & mask
-		}
-	}
+	t := buildFromTuples(l)
 	for j := range r {
-		v := r[j].Val
-		s := (Hash(v) >> shift) & mask
-		for {
-			h := slots[s].head
-			if h == 0 {
-				break
-			}
-			if slots[s].key == v {
-				for e := h; e != 0; e = next[e-1] {
-					out = append(out, OIDPair{L: l[e-1].OID, R: r[j].OID})
-				}
-				break
-			}
-			s = (s + 1) & mask
+		for e := t.First(r[j].Val); e >= 0; e = t.Next(e) {
+			out = append(out, OIDPair{L: l[e].OID, R: r[j].OID})
 		}
 	}
 	return out
@@ -214,14 +165,14 @@ func bucketJoin(l, r []Tuple, shift uint, out []OIDPair) []OIDPair {
 
 // PartitionedHashJoin implements Figure 2: both relations are
 // radix-clustered on the same lower bits (passBits per pass), then the
-// corresponding cluster pairs are joined with the bucket-chained hash join,
-// whose working set now fits the cache.
+// corresponding cluster pairs are joined through the shared Table, whose
+// working set now fits the cache.
 func PartitionedHashJoin(l, r []Tuple, passBits []int) []OIDPair {
 	lc := Cluster(l, passBits)
 	rc := Cluster(r, passBits)
 	var out []OIDPair
 	for i := 0; i < lc.NumClusters(); i++ {
-		out = bucketJoin(lc.ClusterSlice(i), rc.ClusterSlice(i), uint(lc.Bits), out)
+		out = tableJoin(lc.ClusterSlice(i), rc.ClusterSlice(i), out)
 	}
 	return out
 }
@@ -253,9 +204,9 @@ func JoinBATs(l, r *bat.BAT, cacheBytes int) (*bat.BAT, *bat.BAT) {
 // half a cache of cacheBytes (a simple cost-model-driven tuning knob; §4.4
 // motivates automating this).
 func JoinBits(n int, cacheBytes int) int {
-	// tuple + open-addressing slots (2 per tuple at load <= ½: key8+head4)
-	// + one chain entry
-	const bytesPerTuple = 16 + 24 + 4
+	// tuple + open-addressing slots (2 per tuple at load <= ½, 16 B
+	// each after padding: key8+head4+pad4) + one chain entry
+	const bytesPerTuple = 16 + 32 + 4
 	bits := 0
 	for (n>>uint(bits))*bytesPerTuple > cacheBytes/2 && bits < 24 {
 		bits++

@@ -218,8 +218,8 @@ func TestJoinBits(t *testing.T) {
 		t.Fatalf("small relation should need 0 bits, got %d", got)
 	}
 	got := JoinBits(1<<20, 64<<10)
-	// 1M tuples * 44B (tuple + ½-load open-addressing slots + chain entry)
-	// = 44MB; clusters must fit 32KB -> 2048 clusters -> 11 bits.
+	// 1M tuples * 52B (tuple + ½-load 16B open-addressing slots + chain
+	// entry); clusters must fit 32KB -> 512-tuple clusters -> 11 bits.
 	if got != 11 {
 		t.Fatalf("JoinBits = %d, want 11", got)
 	}

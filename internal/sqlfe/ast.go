@@ -103,12 +103,14 @@ type ColRef struct{ Name string }
 
 func (ColRef) expr() {}
 
-// Lit is a literal value.
+// Lit is a literal value. Null marks the NULL literal, which carries no
+// value; Kind is then meaningless.
 type Lit struct {
 	Kind ColType
 	I    int64
 	F    float64
 	S    string
+	Null bool
 }
 
 func (Lit) expr() {}

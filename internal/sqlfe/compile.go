@@ -103,6 +103,12 @@ func cmpCode(op string) (batalg.CmpOp, error) {
 
 // predCand emits the candidate list for one predicate over a full column.
 func (c *compiler) predCand(t *Table, p Pred) (int, error) {
+	if p.Val.Null {
+		// col = NULL is three-valued-logic unknown for every row; refuse
+		// it loudly rather than comparing against a zero value (IS NULL
+		// is not supported yet).
+		return 0, fmt.Errorf("sql: comparison with NULL is always unknown; cannot filter %q with %s NULL", p.Col, p.Op)
+	}
 	ci, err := t.colIndex(p.Col)
 	if err != nil {
 		return 0, err
@@ -263,6 +269,9 @@ func (c *compiler) evalExpr(e Expr) (int, ColType, error) {
 // evalScalarArith emits col-vs-literal arithmetic. litOnLeft matters only
 // for subtraction (lit - col).
 func (c *compiler) evalScalarArith(other Expr, op byte, lit Lit, litOnLeft bool) (int, ColType, error) {
+	if lit.Null {
+		return 0, 0, fmt.Errorf("sql: NULL literals are only supported in INSERT/UPDATE values")
+	}
 	ov, ot, err := c.evalExpr(other)
 	if err != nil {
 		return 0, 0, err
@@ -386,12 +395,22 @@ func (c *compiler) buildPlain(items []SelItem, names []string) error {
 		vars[i] = v
 	}
 	if c.sel.OrderBy != "" {
+		// Resolve the sort key against output labels first, then bare
+		// column refs — taking the FIRST match in each pass, so a
+		// duplicated alias orders by the leftmost item carrying it.
 		keyIdx := -1
-		for i, it := range items {
+		for i := range items {
 			if names[i] == c.sel.OrderBy {
 				keyIdx = i
-			} else if cr, ok := it.Expr.(ColRef); ok && cr.Name == c.sel.OrderBy {
-				keyIdx = i
+				break
+			}
+		}
+		if keyIdx < 0 {
+			for i, it := range items {
+				if cr, ok := it.Expr.(ColRef); ok && cr.Name == c.sel.OrderBy {
+					keyIdx = i
+					break
+				}
 			}
 		}
 		var keyVar int
@@ -428,22 +447,25 @@ func (c *compiler) buildGlobalAggs(items []SelItem, names []string) error {
 		}
 		switch it.Agg {
 		case "count":
-			arg := c.leftCand
-			if it.Expr != nil {
-				v, _, err := c.evalExpr(it.Expr)
-				if err != nil {
-					return err
-				}
-				arg = v
+			// count(*) counts candidate rows; count(col) skips nils.
+			if it.Expr == nil {
+				vars[i] = c.b.Emit("count", mal.V(c.leftCand))
+				break
 			}
-			vars[i] = c.b.Emit("count", mal.V(arg))
+			v, _, err := c.evalExpr(it.Expr)
+			if err != nil {
+				return err
+			}
+			vars[i] = c.b.Emit("count_nn", mal.V(v))
 		case "avg":
+			// avg = sum / non-nil count; div_scalar yields NULL when the
+			// count is zero (empty or all-nil input), per SQL.
 			v, _, err := c.evalExpr(it.Expr)
 			if err != nil {
 				return err
 			}
 			s := c.b.Emit("sum", mal.V(v))
-			n := c.b.Emit("count", mal.V(v))
+			n := c.b.Emit("count_nn", mal.V(v))
 			vars[i] = c.b.Emit("div_scalar", mal.V(s), mal.V(n))
 		default:
 			v, _, err := c.evalExpr(it.Expr)
@@ -469,8 +491,20 @@ func (c *compiler) buildGrouped(items []SelItem, names []string) error {
 	for i, it := range items {
 		switch {
 		case it.Agg == "count":
-			vars[i] = cnt
+			// count(*) is the group size; count(col) skips nils.
+			if it.Expr == nil {
+				vars[i] = cnt
+				break
+			}
+			v, _, err := c.evalExpr(it.Expr)
+			if err != nil {
+				return err
+			}
+			vars[i] = c.b.Emit("count_nn_per_group", mal.V(v), mal.V(ids), mal.V(ext))
 		case it.Agg == "avg":
+			// Per-group avg divides by the group's NON-nil count, not its
+			// cardinality; an all-nil group has a zero count and
+			// div_flt_nil yields the float nil (NaN, rendered as NULL).
 			v, vt, err := c.evalExpr(it.Expr)
 			if err != nil {
 				return err
@@ -479,8 +513,9 @@ func (c *compiler) buildGrouped(items []SelItem, names []string) error {
 			if vt == TInt {
 				s = c.b.Emit("int_to_flt", mal.V(s))
 			}
-			nf := c.b.Emit("int_to_flt", mal.V(cnt))
-			vars[i] = c.b.Emit("div_flt", mal.V(s), mal.V(nf))
+			nn := c.b.Emit("count_nn_per_group", mal.V(v), mal.V(ids), mal.V(ext))
+			nf := c.b.Emit("int_to_flt", mal.V(nn))
+			vars[i] = c.b.Emit("div_flt_nil", mal.V(s), mal.V(nf))
 		case it.Agg != "":
 			v, _, err := c.evalExpr(it.Expr)
 			if err != nil {
@@ -508,12 +543,14 @@ func (c *compiler) buildGrouped(items []SelItem, names []string) error {
 		for i := range items {
 			if names[i] == c.sel.OrderBy {
 				keyIdx = i
+				break
 			}
 		}
 		if keyIdx < 0 && c.sel.OrderBy == c.sel.GroupBy {
 			for i, it := range items {
 				if cr, ok := it.Expr.(ColRef); ok && it.Agg == "" && cr.Name == c.sel.GroupBy {
 					keyIdx = i
+					break
 				}
 			}
 		}

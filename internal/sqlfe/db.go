@@ -2,6 +2,7 @@ package sqlfe
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -167,10 +168,18 @@ func (db *DB) execInsert(s *Insert) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("sql: unknown table %q", s.Table)
 	}
+	// Coerce the whole statement before appending anything: a bad
+	// literal in row k must not leave rows 0..k-1 half-committed.
+	rows := make([][]any, 0, len(s.Rows))
 	for _, row := range s.Rows {
-		if err := t.appendRow(row); err != nil {
+		vals, err := t.coerceRow(row)
+		if err != nil {
 			return nil, err
 		}
+		rows = append(rows, vals)
+	}
+	for _, vals := range rows {
+		t.appendVals(vals)
 	}
 	db.invalidate(s.Table)
 	return &Result{Affected: len(s.Rows)}, nil
@@ -221,8 +230,10 @@ func (db *DB) execUpdate(s *Update) (*Result, error) {
 		return &Result{}, nil
 	}
 	// Updates are delete + re-insert with modified values: read the old
-	// rows first (through the effective columns), then apply.
-	newRows := make([][]Lit, 0, len(pos))
+	// rows first (through the effective columns) and coerce every
+	// replacement row BEFORE tombstoning the originals —
+	// update-as-delete+insert must not lose rows to a bad SET literal.
+	newRows := make([][]any, 0, len(pos))
 	for _, p := range pos {
 		row := make([]Lit, len(t.ColNames))
 		for ci := range t.ColNames {
@@ -240,13 +251,15 @@ func (db *DB) execUpdate(s *Update) (*Result, error) {
 				row[ci] = Lit{Kind: TText, S: col.StrAt(int(p))}
 			}
 		}
-		newRows = append(newRows, row)
-	}
-	t.deletePositions(pos)
-	for _, row := range newRows {
-		if err := t.appendRow(row); err != nil {
+		vals, err := t.coerceRow(row)
+		if err != nil {
 			return nil, err
 		}
+		newRows = append(newRows, vals)
+	}
+	t.deletePositions(pos)
+	for _, vals := range newRows {
+		t.appendVals(vals)
 	}
 	db.invalidate(s.Table)
 	return &Result{Affected: len(pos)}, nil
@@ -301,7 +314,7 @@ func (db *DB) runSelect(sel *Select, snap *Snapshot) (*Result, error) {
 		row := make([]any, len(vals))
 		for i, v := range vals {
 			if v.Kind == mal.KBAT {
-				row[i] = v.B.Value(r)
+				row[i] = cellValue(v.B.Value(r))
 			} else {
 				row[i] = scalarValue(v)
 			}
@@ -311,6 +324,25 @@ func (db *DB) runSelect(sel *Select, snap *Snapshot) (*Result, error) {
 	return res, nil
 }
 
+// cellValue maps the stored nil sentinels to SQL NULL (a Go nil cell):
+// bat.NilInt for int columns, NaN for floats (the engine only produces
+// NaN as div_flt_nil's nil, e.g. avg over an all-nil group).
+func cellValue(v any) any {
+	switch x := v.(type) {
+	case int64:
+		if x == bat.NilInt {
+			return nil
+		}
+	case float64:
+		if math.IsNaN(x) {
+			return nil
+		}
+	}
+	return v
+}
+
+// scalarValue unboxes a scalar result; KNil (e.g. avg over no rows)
+// becomes a nil cell.
 func scalarValue(v mal.Val) any {
 	switch v.Kind {
 	case mal.KInt:

@@ -1,0 +1,238 @@
+package sqlfe
+
+import (
+	"reflect"
+	"testing"
+)
+
+func nullDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE t (g INT, x INT)")
+	mustExec(t, db, "INSERT INTO t VALUES (1, 10), (1, NULL), (2, NULL), (2, 30), (1, 20), (2, NULL)")
+	// A deleted row must count for nothing, nil or not.
+	mustExec(t, db, "INSERT INTO t VALUES (1, 100), (2, NULL)")
+	mustExec(t, db, "DELETE FROM t WHERE x = 100")
+	mustExec(t, db, "DELETE FROM t WHERE g = 2 AND x > 100") // no-op: nil x never matches >
+	return db
+}
+
+func TestGlobalCountAvgWithNulls(t *testing.T) {
+	db := nullDB(t)
+	r := mustExec(t, db, "SELECT count(*) AS n, count(x) AS nx, avg(x) AS a FROM t")
+	// 7 live rows (one deleted), 3 non-nil x values 10+30+20.
+	want := [][]any{{int64(7), int64(3), 20.0}}
+	if !reflect.DeepEqual(r.Rows, want) {
+		t.Fatalf("rows = %v, want %v", r.Rows, want)
+	}
+}
+
+func TestGroupedCountAvgWithNulls(t *testing.T) {
+	db := nullDB(t)
+	r := mustExec(t, db, "SELECT g, count(*) AS n, count(x) AS nx, avg(x) AS a FROM t GROUP BY g ORDER BY g")
+	want := [][]any{
+		{int64(1), int64(3), int64(2), 15.0},
+		{int64(2), int64(4), int64(1), 30.0},
+	}
+	if !reflect.DeepEqual(r.Rows, want) {
+		t.Fatalf("rows = %v, want %v", r.Rows, want)
+	}
+}
+
+func TestAvgOverEmptyAndAllNullIsNull(t *testing.T) {
+	db := nullDB(t)
+	// Empty input: avg is NULL, not 0.
+	r := mustExec(t, db, "SELECT avg(x) AS a, count(x) AS nx FROM t WHERE g = 99")
+	if !reflect.DeepEqual(r.Rows, [][]any{{nil, int64(0)}}) {
+		t.Fatalf("empty avg = %v", r.Rows)
+	}
+	// All-nil input: same.
+	mustExec(t, db, "CREATE TABLE an (x INT)")
+	mustExec(t, db, "INSERT INTO an VALUES (NULL), (NULL)")
+	r = mustExec(t, db, "SELECT avg(x) AS a, count(x) AS nx, count(*) AS n FROM an")
+	if !reflect.DeepEqual(r.Rows, [][]any{{nil, int64(0), int64(2)}}) {
+		t.Fatalf("all-nil avg = %v", r.Rows)
+	}
+}
+
+func TestNullRendersAsNilCell(t *testing.T) {
+	db := nullDB(t)
+	r := mustExec(t, db, "SELECT x FROM t WHERE g = 2")
+	want := [][]any{{nil}, {int64(30)}, {nil}, {nil}}
+	if !reflect.DeepEqual(r.Rows, want) {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+}
+
+func TestJoinSkipsNullKeys(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE l (lk INT, a INT)")
+	mustExec(t, db, "CREATE TABLE r (rk INT, b INT)")
+	mustExec(t, db, "INSERT INTO l VALUES (1, 100), (NULL, 200), (2, 300), (NULL, 400)")
+	mustExec(t, db, "INSERT INTO r VALUES (NULL, 111), (2, 222), (1, 333), (NULL, 444)")
+	res := mustExec(t, db, "SELECT a, b FROM l JOIN r ON lk = rk ORDER BY a")
+	// Only the non-NULL keys 1 and 2 pair up; the NULL-keyed rows on
+	// either side must never meet.
+	want := [][]any{{int64(100), int64(333)}, {int64(300), int64(222)}}
+	if !reflect.DeepEqual(res.Rows, want) {
+		t.Fatalf("rows = %v, want %v", res.Rows, want)
+	}
+}
+
+func TestUpdateSetNull(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE u (k INT, x INT)")
+	mustExec(t, db, "INSERT INTO u VALUES (1, 5), (2, 6)")
+	mustExec(t, db, "UPDATE u SET x = NULL WHERE k = 1")
+	r := mustExec(t, db, "SELECT count(x) AS nx, avg(x) AS a FROM u")
+	if !reflect.DeepEqual(r.Rows, [][]any{{int64(1), 6.0}}) {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+}
+
+func TestNullPropagatesThroughArithmetic(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE e (x INT, y INT)")
+	mustExec(t, db, "INSERT INTO e VALUES (1, 4), (NULL, 5), (3, NULL)")
+	// NilInt must ride through +/*, not wrap into a garbage value that
+	// sum/count would then include.
+	r := mustExec(t, db, "SELECT sum(x + 1) AS s, count(x + 1) AS c, avg(x * 2) AS a FROM e")
+	if !reflect.DeepEqual(r.Rows, [][]any{{int64(6), int64(2), 4.0}}) {
+		t.Fatalf("scalar arith rows = %v", r.Rows)
+	}
+	// Column-vs-column arithmetic: nil on either side nils the cell.
+	r = mustExec(t, db, "SELECT x + y AS s FROM e")
+	if !reflect.DeepEqual(r.Rows, [][]any{{int64(5)}, {nil}, {nil}}) {
+		t.Fatalf("col+col rows = %v", r.Rows)
+	}
+	r = mustExec(t, db, "SELECT count(x + y) AS c, avg(x + y) AS a FROM e")
+	if !reflect.DeepEqual(r.Rows, [][]any{{int64(1), 5.0}}) {
+		t.Fatalf("agg over col+col = %v", r.Rows)
+	}
+	// Mixed int/float expressions: the nil int becomes the float nil
+	// (NaN), rendered as NULL and excluded from aggregates.
+	r = mustExec(t, db, "SELECT count(x * 1.5) AS c, sum(x * 1.5) AS s FROM e")
+	if !reflect.DeepEqual(r.Rows, [][]any{{int64(2), 6.0}}) {
+		t.Fatalf("float expr agg = %v", r.Rows)
+	}
+}
+
+func TestInsertAtomicOnBadRow(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE t (x INT, f FLOAT)")
+	// Row 2 is invalid (NULL into FLOAT): the whole statement must be
+	// rejected with no partial append.
+	if _, err := db.Exec("INSERT INTO t VALUES (1, 1.5), (2, NULL)"); err == nil {
+		t.Fatal("NULL into FLOAT column should error")
+	}
+	r := mustExec(t, db, "SELECT count(*) AS n FROM t")
+	if !reflect.DeepEqual(r.Rows, [][]any{{int64(0)}}) {
+		t.Fatalf("failed INSERT left rows behind: %v", r.Rows)
+	}
+}
+
+func TestNullOnlyInIntColumns(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE s (name TEXT)")
+	if _, err := db.Exec("INSERT INTO s VALUES (NULL)"); err == nil {
+		t.Fatal("NULL into TEXT column should error")
+	}
+}
+
+func TestGroupedAggsAllNullGroupAreNull(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE g (k INT, v INT)")
+	mustExec(t, db, "INSERT INTO g VALUES (1, NULL), (2, 10), (1, NULL), (2, 30)")
+	r := mustExec(t, db, "SELECT k, avg(v) AS a, count(v) AS nv, sum(v) AS s, min(v) AS lo, max(v) AS hi FROM g GROUP BY k ORDER BY k")
+	want := [][]any{
+		{int64(1), nil, int64(0), nil, nil, nil},
+		{int64(2), 20.0, int64(2), int64(40), int64(10), int64(30)},
+	}
+	if !reflect.DeepEqual(r.Rows, want) {
+		t.Fatalf("rows = %v, want %v", r.Rows, want)
+	}
+}
+
+func TestOrderByNullAvgSortsFirst(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE o (k INT, v INT)")
+	mustExec(t, db, "INSERT INTO o VALUES (1, 10), (2, NULL), (3, 5), (2, NULL)")
+	r := mustExec(t, db, "SELECT k, avg(v) AS a FROM o GROUP BY k ORDER BY a")
+	// The all-NULL group sorts first (as nil ints do), not at an
+	// arbitrary position.
+	want := [][]any{
+		{int64(2), nil},
+		{int64(3), 5.0},
+		{int64(1), 10.0},
+	}
+	if !reflect.DeepEqual(r.Rows, want) {
+		t.Fatalf("rows = %v, want %v", r.Rows, want)
+	}
+}
+
+func TestGlobalSumMinMaxAllNullAreNull(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE an2 (x INT)")
+	mustExec(t, db, "INSERT INTO an2 VALUES (NULL), (NULL)")
+	r := mustExec(t, db, "SELECT sum(x) AS s, min(x) AS lo, max(x) AS hi FROM an2")
+	if !reflect.DeepEqual(r.Rows, [][]any{{nil, nil, nil}}) {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	// A real zero total must stay 0, not NULL.
+	mustExec(t, db, "INSERT INTO an2 VALUES (-5), (5)")
+	r = mustExec(t, db, "SELECT sum(x) AS s FROM an2")
+	if !reflect.DeepEqual(r.Rows, [][]any{{int64(0)}}) {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+}
+
+func TestUpdateSetNullOnFloatColumnAtomic(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE t (x INT, f FLOAT)")
+	mustExec(t, db, "INSERT INTO t VALUES (1, 1.5), (2, 2.5)")
+	if _, err := db.Exec("UPDATE t SET f = NULL WHERE x = 1"); err == nil {
+		t.Fatal("NULL into FLOAT column should error")
+	}
+	// The failed update must not have deleted the row or skewed the
+	// column deltas.
+	r := mustExec(t, db, "SELECT x, f FROM t ORDER BY x")
+	want := [][]any{{int64(1), 1.5}, {int64(2), 2.5}}
+	if !reflect.DeepEqual(r.Rows, want) {
+		t.Fatalf("table corrupted by failed UPDATE: rows = %v", r.Rows)
+	}
+}
+
+func TestComparisonWithNullRejected(t *testing.T) {
+	db := nullDB(t)
+	for _, q := range []string{
+		"SELECT g FROM t WHERE x = NULL",
+		"SELECT g FROM t WHERE x <> NULL",
+		"DELETE FROM t WHERE x = NULL",
+		"SELECT x + NULL AS y FROM t",
+	} {
+		if _, err := db.Exec(q); err == nil {
+			t.Errorf("%s: should be rejected, not compared against zero", q)
+		}
+	}
+	// ... and nothing was deleted by the rejected DELETE.
+	r := mustExec(t, db, "SELECT count(*) AS n FROM t")
+	if !reflect.DeepEqual(r.Rows, [][]any{{int64(7)}}) {
+		t.Fatalf("rows after rejected DELETE = %v", r.Rows)
+	}
+}
+
+func TestOrderByDuplicateAliasPrefersFirst(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE d (a INT, b INT)")
+	// a ascending, b descending: ordering by the wrong item reverses rows.
+	mustExec(t, db, "INSERT INTO d VALUES (2, 5), (1, 9), (3, 1)")
+	r := mustExec(t, db, "SELECT a AS k, b AS k FROM d ORDER BY k")
+	want := [][]any{
+		{int64(1), int64(9)},
+		{int64(2), int64(5)},
+		{int64(3), int64(1)},
+	}
+	if !reflect.DeepEqual(r.Rows, want) {
+		t.Fatalf("ORDER BY picked the wrong duplicate alias: rows = %v", r.Rows)
+	}
+}

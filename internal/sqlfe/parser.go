@@ -417,6 +417,10 @@ func (p *parser) parseFactor() (Expr, error) {
 
 func (p *parser) parseLit() (Lit, error) {
 	t := p.cur()
+	if t.kind == tokKeyword && t.text == "NULL" {
+		p.pos++
+		return Lit{Null: true}, nil
+	}
 	switch t.kind {
 	case tokNumber:
 		p.pos++

@@ -75,26 +75,57 @@ func (t *Table) TotalPositions() int { return t.main[0].Len() + t.ins[0].Len() }
 // NumRows is the number of live rows.
 func (t *Table) NumRows() int { return t.TotalPositions() - len(t.del) }
 
-// appendRow adds one row to the insert deltas.
+// appendRow adds one row to the insert deltas. The whole row is coerced
+// before anything is appended, so a bad literal cannot leave the
+// aligned column deltas at different lengths.
 func (t *Table) appendRow(row []Lit) error {
-	if len(row) != len(t.ColNames) {
-		return fmt.Errorf("sql: %d values for %d columns of %q", len(row), len(t.ColNames), t.Name)
+	vals, err := t.coerceRow(row)
+	if err != nil {
+		return err
 	}
-	for i, lit := range row {
-		v, err := coerce(lit, t.ColTypes[i])
-		if err != nil {
-			return fmt.Errorf("sql: column %q: %w", t.ColNames[i], err)
-		}
+	t.appendVals(vals)
+	return nil
+}
+
+// appendVals appends one row of pre-coerced values (from coerceRow).
+func (t *Table) appendVals(vals []any) {
+	for i, v := range vals {
 		if err := t.ins[i].Append(v); err != nil {
-			return err
+			// coerceRow already matched every value to its column type;
+			// a failure here would desync the deltas, so it is a bug.
+			panic(err)
 		}
 	}
 	t.version++
-	return nil
+}
+
+// coerceRow validates and converts one row of literals without touching
+// table state.
+func (t *Table) coerceRow(row []Lit) ([]any, error) {
+	if len(row) != len(t.ColNames) {
+		return nil, fmt.Errorf("sql: %d values for %d columns of %q", len(row), len(t.ColNames), t.Name)
+	}
+	vals := make([]any, len(row))
+	for i, lit := range row {
+		v, err := coerce(lit, t.ColTypes[i])
+		if err != nil {
+			return nil, fmt.Errorf("sql: column %q: %w", t.ColNames[i], err)
+		}
+		vals[i] = v
+	}
+	return vals, nil
 }
 
 // coerce converts a literal to the Go value for a column type.
 func coerce(lit Lit, ct ColType) (any, error) {
+	if lit.Null {
+		// Only int columns have a nil representation (bat.NilInt, the
+		// MonetDB convention of reserving the domain minimum).
+		if ct == TInt {
+			return bat.NilInt, nil
+		}
+		return nil, fmt.Errorf("NULL is only supported in INT columns, not %s", ct)
+	}
 	switch ct {
 	case TInt:
 		if lit.Kind == TInt {

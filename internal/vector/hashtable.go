@@ -1,218 +1,37 @@
 package vector
 
-// Cache-conscious join hash tables (paper §4, §5): an open-addressing
-// int64 table with flat []int32 row-id storage replacing the
-// map[int64][]int32 the first HashJoinOp hung off. The Go map costs a
-// pointer chase per bucket plus one slice header + backing array
-// allocation per distinct key; the layouts here are three flat arrays
-// (slot keys, slot heads, a row-id chain) sized once, so a build is a
-// single pass with no per-key allocations and a probe touches at most
-// two cache lines for a unique key.
-//
-// For build sides whose working set exceeds the cache, the same table is
-// used per-partition after a radix-cluster pass (PartitionedTable),
-// reusing the multi-pass machinery of internal/radix — the Figure-2
-// partitioned hash join transplanted into the vectorized engine.
+// The vectorized engine's join hash table IS the shared open-addressing
+// core of internal/radix (paper §4, §5): radix.Table — Fibonacci
+// hashing, power-of-two slots, flat []int32 duplicate chains, no per-key
+// allocations, bat.NilInt keys never matching. Builds whose working set
+// exceeds the cache are radix-partitioned (radix.PartitionedTable) with
+// the multi-pass machinery of internal/radix — the Figure-2 partitioned
+// hash join transplanted into the vectorized engine. The aliases below
+// keep the engine's historical names; there is no second table layout.
 
 import (
-	"repro/internal/bat"
 	"repro/internal/radix"
 )
 
-// HashTable maps int64 keys to chains of int32 row ids with linear
-// probing over a power-of-two slot array. Hashing is the Fibonacci
-// multiplicative hash of radix.Hash; slots are taken from the *high*
-// bits (the well-mixed end of a multiplicative hash).
-//
-// Duplicate keys share one slot: first[slot] holds the most recent row,
-// and next[row] links to the previous row with the same key (-1 ends
-// the chain). Iteration is therefore LIFO in insertion order.
-type HashTable struct {
-	keys  []int64 // slot -> key (valid where first[slot] >= 0)
-	first []int32 // slot -> head row id, -1 = empty slot
-	next  []int32 // row id -> previous row with same key, -1 = end
-	shift uint    // 64 - log2(len(first)); Fibonacci slot = hash >> shift
-	n     int     // rows inserted
-}
+// HashTable is the shared open-addressing table (see radix.Table).
+type HashTable = radix.Table
 
 // NewHashTable returns a table pre-sized for n rows at load factor <= ½.
-func NewHashTable(n int) *HashTable {
-	nslots := 8
-	for nslots < 2*n {
-		nslots <<= 1
-	}
-	shift := uint(64)
-	for s := nslots; s > 1; s >>= 1 {
-		shift--
-	}
-	t := &HashTable{
-		keys:  make([]int64, nslots),
-		first: make([]int32, nslots),
-		next:  make([]int32, 0, n),
-		shift: shift,
-	}
-	for i := range t.first {
-		t.first[i] = -1
-	}
-	return t
-}
+func NewHashTable(n int) *HashTable { return radix.NewTable(n) }
 
 // BuildHashTable builds a table over keys, with row id i for keys[i].
-func BuildHashTable(keys []int64) *HashTable {
-	t := NewHashTable(len(keys))
-	for i, k := range keys {
-		t.Insert(k, int32(i))
-	}
-	return t
-}
+func BuildHashTable(keys []int64) *HashTable { return radix.BuildTable(keys) }
 
-// Len returns the number of rows inserted.
-func (t *HashTable) Len() int { return t.n }
+// PartitionedTable is the radix-partitioned variant (see
+// radix.PartitionedTable).
+type PartitionedTable = radix.PartitionedTable
 
-// Insert adds (key, row). Rows must be inserted with ids 0,1,2,... (the
-// chain array grows densely); inserting beyond the pre-sized capacity
-// grows the slot array by rehashing.
-func (t *HashTable) Insert(key int64, row int32) {
-	if 2*(t.n+1) > len(t.first) {
-		t.grow()
-	}
-	for int(row) >= len(t.next) {
-		t.next = append(t.next, -1)
-	}
-	s := radix.Hash(key) >> t.shift
-	mask := uint64(len(t.first) - 1)
-	for {
-		f := t.first[s]
-		if f < 0 {
-			t.keys[s] = key
-			t.first[s] = row
-			t.next[row] = -1
-			t.n++
-			return
-		}
-		if t.keys[s] == key {
-			t.next[row] = f
-			t.first[s] = row
-			t.n++
-			return
-		}
-		s = (s + 1) & mask
-	}
-}
-
-func (t *HashTable) grow() {
-	old := t.first
-	oldKeys := t.keys
-	nslots := 2 * len(old)
-	t.keys = make([]int64, nslots)
-	t.first = make([]int32, nslots)
-	for i := range t.first {
-		t.first[i] = -1
-	}
-	t.shift--
-	mask := uint64(nslots - 1)
-	for os, f := range old {
-		if f < 0 {
-			continue
-		}
-		k := oldKeys[os]
-		s := radix.Hash(k) >> t.shift
-		for t.first[s] >= 0 {
-			s = (s + 1) & mask
-		}
-		t.keys[s] = k
-		t.first[s] = f
-	}
-}
-
-// First returns the head row id of key's chain, or -1 if absent.
-func (t *HashTable) First(key int64) int32 {
-	s := radix.Hash(key) >> t.shift
-	mask := uint64(len(t.first) - 1)
-	for {
-		f := t.first[s]
-		if f < 0 {
-			return -1
-		}
-		if t.keys[s] == key {
-			return f
-		}
-		s = (s + 1) & mask
-	}
-}
-
-// Next returns the row after row in its key chain, or -1 at the end.
-func (t *HashTable) Next(row int32) int32 { return t.next[row] }
-
-// ForEach calls f for every row id matching key.
-func (t *HashTable) ForEach(key int64, f func(row int32)) {
-	for r := t.First(key); r >= 0; r = t.next[r] {
-		f(r)
-	}
-}
-
-// --- radix-partitioned build ---
-
-// partitionRows is the build-side size (in rows) beyond which JoinBuild
-// switches to a radix-partitioned table: past ~2^18 rows the flat
-// table's slot array leaves the L2 cache and every probe becomes a TLB
-// and cache miss, which is exactly the regime §4.2's multi-pass
-// radix-cluster fixes.
-const partitionRows = 1 << 18
-
-// partitionCacheBytes is the cache budget one partition's table should
-// fit in (half of it, per radix.JoinBits).
-const partitionCacheBytes = 1 << 21
-
-// PartitionedTable is a radix-partitioned HashTable: build rows are
-// radix-clustered on the low bits of their key hash (reusing
-// radix.Cluster / radix.SplitBits), then one small HashTable is built
-// per cluster over cluster-local positions. Each probe touches exactly
-// one cache-sized cluster.
-type PartitionedTable struct {
-	clustered radix.Clustered
-	tables    []*HashTable
-	mask      uint64 // low-bit mask selecting the cluster
-}
-
-// BuildPartitionedTable radix-clusters (row, key) pairs on `bits` low
-// hash bits in two passes and builds a per-cluster table. Row id i
-// corresponds to keys[i].
+// BuildPartitionedTable radix-clusters keys on `bits` low hash bits and
+// builds one cache-sized table per cluster.
 func BuildPartitionedTable(keys []int64, bits int) *PartitionedTable {
-	tuples := make([]radix.Tuple, len(keys))
-	for i, k := range keys {
-		// The OID carries the build row id through the shuffle.
-		tuples[i] = radix.Tuple{OID: bat.OID(i), Val: k}
-	}
-	c := radix.Cluster(tuples, radix.SplitBits(bits, 2))
-	p := &PartitionedTable{
-		clustered: c,
-		tables:    make([]*HashTable, c.NumClusters()),
-		mask:      uint64(1<<c.Bits) - 1,
-	}
-	for i := 0; i < c.NumClusters(); i++ {
-		cl := c.ClusterSlice(i)
-		if len(cl) == 0 {
-			continue
-		}
-		t := NewHashTable(len(cl))
-		for j := range cl {
-			t.Insert(cl[j].Val, int32(j))
-		}
-		p.tables[i] = t
-	}
-	return p
+	return radix.BuildPartitionedTable(keys, bits)
 }
 
-// ForEach calls f with the global build row id of every match for key.
-func (p *PartitionedTable) ForEach(key int64, f func(row int32)) {
-	ci := int(radix.Hash(key) & p.mask)
-	t := p.tables[ci]
-	if t == nil {
-		return
-	}
-	cl := p.clustered.ClusterSlice(ci)
-	for r := t.First(key); r >= 0; r = t.next[r] {
-		f(int32(cl[r].OID))
-	}
-}
+// partitionRows re-exports the build size beyond which JoinBuild's table
+// radix-partitions.
+const partitionRows = radix.PartitionRows

@@ -11,12 +11,12 @@ import (
 // JoinBuild is a fully-built, read-only build side of a hash join: the
 // key table plus the payload columns, safe to share across concurrent
 // probe pipelines (it is never mutated after BuildJoinTable returns).
-// Small builds use the flat open-addressing HashTable; builds past
-// partitionRows are radix-partitioned so each probe stays inside one
-// cache-sized cluster (§4.2).
+// The key table is the shared open-addressing core (radix.JoinTable):
+// flat for small builds, radix-partitioned past partitionRows rows so
+// each probe stays inside one cache-sized cluster (§4.2), and nil keys
+// (bat.NilInt) never matching.
 type JoinBuild struct {
-	ht *HashTable
-	pt *PartitionedTable
+	table *radix.JoinTable
 
 	// DSM payload storage: one slice per payload column.
 	cols  []Col
@@ -102,22 +102,13 @@ func BuildJoinTable(op Operator, key int, payload []int, rowLayout bool) (*JoinB
 		}
 	}
 	jb.nrows = len(keys)
-	if len(keys) >= partitionRows {
-		bits := radix.JoinBits(len(keys), partitionCacheBytes)
-		jb.pt = BuildPartitionedTable(keys, bits)
-	} else {
-		jb.ht = BuildHashTable(keys)
-	}
+	jb.table = radix.NewJoinTable(keys)
 	return jb, nil
 }
 
 // ForEach calls f with each build row id matching key.
 func (jb *JoinBuild) ForEach(key int64, f func(row int32)) {
-	if jb.pt != nil {
-		jb.pt.ForEach(key, f)
-		return
-	}
-	jb.ht.ForEach(key, f)
+	jb.table.ForEach(key, f)
 }
 
 // HashJoinOp is a vectorized equi-join on int64 keys: the build child is
@@ -210,16 +201,17 @@ func (j *HashJoinOp) Next() (*Batch, error) {
 			}
 			n++
 		}
-		if jb.pt != nil {
+		if ht := jb.table.Flat(); ht != nil {
+			// Flat build: iterate First/Next inline instead of paying a
+			// nested closure call per match in the hottest probe loop.
 			b.ForEach(func(i int32) {
-				jb.pt.ForEach(keys[i], func(bid int32) { emit(i, bid) })
-			})
-		} else {
-			ht := jb.ht
-			b.ForEach(func(i int32) {
-				for bid := ht.First(keys[i]); bid >= 0; bid = ht.next[bid] {
+				for bid := ht.First(keys[i]); bid >= 0; bid = ht.Next(bid) {
 					emit(i, bid)
 				}
+			})
+		} else {
+			b.ForEach(func(i int32) {
+				jb.table.ForEach(keys[i], func(bid int32) { emit(i, bid) })
 			})
 		}
 		if n == 0 {

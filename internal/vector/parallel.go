@@ -209,8 +209,14 @@ func (e *Exchange) Next() (*Batch, error) {
 	return b, nil
 }
 
-// Close implements Operator: stops and joins the workers.
+// Close implements Operator: stops and joins the workers. It is
+// idempotent, and a no-op when Open was never called (e.ch is then nil:
+// closing the nil e.stop would panic and ranging over a nil channel
+// would block forever).
 func (e *Exchange) Close() error {
+	if e.ch == nil {
+		return nil
+	}
 	e.stopped.Do(func() { close(e.stop) })
 	for range e.ch { // drain until the closer goroutine closes it
 	}
