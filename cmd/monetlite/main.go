@@ -1,63 +1,87 @@
-// Command monetlite is an interactive SQL shell over the columnar engine:
-// statements are parsed by the SQL front-end, compiled to MAL, optimized,
-// and executed by the BAT-algebra interpreter — the full Figure-1 stack.
+// Command monetlite is an interactive SQL shell over the public engine
+// API: statements are prepared (parsed + compiled once), results stream
+// through a cursor, and a running query can be canceled with Ctrl-C.
 //
 // Usage:
 //
 //	monetlite            # interactive shell on stdin
 //	monetlite -e 'SQL'   # run one statement and exit
 //	monetlite -f file    # run a script of semicolon-separated statements
+//	monetlite -d dir     # persist the database in dir (load + save)
 //	monetlite -recycle   # enable the intermediate-result recycler
 //
-// Shell extras: \q quits, \t lists tables, \mal SQL prints the optimized
-// MAL plan instead of running it.
+// Shell extras: \q quits, \t lists tables, \plan SQL shows how a SELECT
+// would execute (vectorized pipeline or MAL program).
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
-	"repro/internal/recycler"
-	"repro/internal/sqlfe"
+	"repro/engine"
 )
 
 func main() {
+	// All exits funnel through realMain's return so the deferred
+	// db.Close() (which SAVES a -d database) always runs — os.Exit in
+	// the middle of main would silently drop the session's writes.
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	exec := flag.String("e", "", "execute one statement and exit")
 	file := flag.String("f", "", "execute a script file")
+	dir := flag.String("d", "", "persist the database in this directory")
 	recycle := flag.Bool("recycle", false, "enable the intermediate-result recycler")
 	flag.Parse()
 
-	db := sqlfe.NewDB()
-	if *recycle {
-		db.Recycle = recycler.New(256<<20, recycler.PolicyBenefit)
+	var opts []engine.Option
+	if *dir != "" {
+		opts = append(opts, engine.WithDir(*dir))
 	}
+	if *recycle {
+		opts = append(opts, engine.WithRecycler(256<<20))
+	}
+	db, err := engine.Open(opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return 1
+	}
+	defer db.Close()
+	conn := db.Conn()
 
 	if *exec != "" {
-		if err := run(db, *exec); err != nil {
+		if err := run(conn, *exec); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	if *file != "" {
 		data, err := os.ReadFile(*file)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+			return 1
 		}
 		for _, stmt := range splitStatements(string(data)) {
-			if err := run(db, stmt); err != nil {
+			if err := run(conn, stmt); err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
-				os.Exit(1)
+				return 1
 			}
 		}
-		return
+		return 0
 	}
 
-	fmt.Println("monetlite shell — \\q to quit, \\t for tables, \\mal SQL for plans")
+	// Interactive: ignore SIGINT at the idle prompt (a stray Ctrl-C
+	// must not kill the shell before the deferred Close saves a -d
+	// database); run() re-arms it per statement to cancel the query.
+	signal.Ignore(os.Interrupt)
+	fmt.Println("monetlite shell — \\q to quit, \\t for tables, \\plan SQL for plans; Ctrl-C cancels the running query")
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -66,17 +90,20 @@ func main() {
 		line := sc.Text()
 		switch {
 		case strings.TrimSpace(line) == `\q`:
-			return
+			return 0
 		case strings.TrimSpace(line) == `\t`:
 			for _, t := range db.Tables() {
 				fmt.Println(" ", t)
 			}
 			fmt.Print("sql> ")
 			continue
-		case strings.HasPrefix(strings.TrimSpace(line), `\mal `):
-			sql := strings.TrimPrefix(strings.TrimSpace(line), `\mal `)
-			if err := showMAL(db, sql); err != nil {
+		case strings.HasPrefix(strings.TrimSpace(line), `\plan `):
+			sql := strings.TrimPrefix(strings.TrimSpace(line), `\plan `)
+			plan, err := conn.Plan(sql)
+			if err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
+			} else {
+				fmt.Println(plan)
 			}
 			fmt.Print("sql> ")
 			continue
@@ -85,7 +112,7 @@ func main() {
 		buf.WriteByte('\n')
 		if strings.Contains(line, ";") {
 			for _, stmt := range splitStatements(buf.String()) {
-				if err := run(db, stmt); err != nil {
+				if err := run(conn, stmt); err != nil {
 					fmt.Fprintln(os.Stderr, "error:", err)
 				}
 			}
@@ -93,6 +120,7 @@ func main() {
 			fmt.Print("sql> ")
 		}
 	}
+	return 0
 }
 
 func splitStatements(src string) []string {
@@ -105,35 +133,64 @@ func splitStatements(src string) []string {
 	return out
 }
 
-func run(db *sqlfe.DB, sql string) error {
-	res, err := db.Exec(sql)
-	if err != nil {
-		return err
-	}
-	if len(res.Columns) > 0 {
-		fmt.Print(res.String())
-		fmt.Printf("(%d rows)\n", len(res.Rows))
-	} else if res.Affected > 0 {
-		fmt.Printf("ok, %d rows affected\n", res.Affected)
-	} else {
-		fmt.Println("ok")
-	}
-	return nil
-}
+// run prepares and executes one statement; SELECT results stream
+// through the cursor row by row. Ctrl-C cancels the statement (checked
+// at morsel boundaries in the parallel pipeline) without killing the
+// shell.
+func run(conn *engine.Conn, sql string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
-func showMAL(db *sqlfe.DB, sql string) error {
-	st, err := sqlfe.Parse(sql)
+	stmt, err := conn.Prepare(sql)
 	if err != nil {
 		return err
 	}
-	sel, ok := st.(*sqlfe.Select)
-	if !ok {
-		return fmt.Errorf("\\mal takes a SELECT")
+	defer stmt.Close()
+
+	if !stmt.IsQuery() {
+		res, err := stmt.Exec(ctx)
+		if err != nil {
+			return err
+		}
+		if res.RowsAffected > 0 {
+			fmt.Printf("ok, %d rows affected\n", res.RowsAffected)
+		} else {
+			fmt.Println("ok")
+		}
+		return nil
 	}
-	prog, err := db.Snapshot().CompileSelect(sel)
+
+	rows, err := stmt.Query(ctx)
 	if err != nil {
 		return err
 	}
-	fmt.Print(prog.String())
+	defer rows.Close()
+	cols := rows.Columns()
+	fmt.Println("| " + strings.Join(cols, " | ") + " |")
+	n := 0
+	cells := make([]any, len(cols))
+	ptrs := make([]any, len(cols))
+	for i := range cells {
+		ptrs[i] = &cells[i]
+	}
+	for rows.Next() {
+		parts := make([]string, len(cols))
+		if err := rows.Scan(ptrs...); err != nil {
+			return err
+		}
+		for i, v := range cells {
+			if v == nil {
+				parts[i] = "<nil>"
+			} else {
+				parts[i] = fmt.Sprint(v)
+			}
+		}
+		fmt.Println("| " + strings.Join(parts, " | ") + " |")
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("(%d rows)\n", n)
 	return nil
 }

@@ -1,15 +1,26 @@
-// Package repro is a from-scratch Go reproduction of "Database Architecture
-// Evolution: Mammals Flourished long before Dinosaurs became Extinct"
-// (Manegold, Kersten, Boncz; VLDB 2009) — the MonetDB architecture
-// retrospective. See README.md for an overview, DESIGN.md for the system
-// inventory and experiment index, and EXPERIMENTS.md for paper-vs-measured
-// results. The root bench_test.go holds one benchmark per experiment.
+// Package repro is a from-scratch Go reproduction of "Database
+// Architecture Evolution: Mammals Flourished long before Dinosaurs
+// became Extinct" (Boncz, Manegold, Kersten; VLDB 2009) — the MonetDB
+// architecture retrospective — grown into an embeddable columnar
+// engine. See README.md for an overview and the API guide.
+//
+// # Public API
+//
+// Applications import repro/engine and nothing else: Open a database
+// (in-memory or persisted), open Conn sessions over shared snapshots,
+// Prepare statements whose ? placeholders compile into typed bind
+// slots of a MAL plan compiled exactly once, and Query streaming Rows
+// cursors with context cancellation checked at morsel boundaries. The
+// engine lowers simple scan/filter/project/aggregate SELECTs onto the
+// morsel-parallel vectorized pipeline and falls back to the MAL
+// interpreter for everything else. internal/sqlfe.DB is the internal
+// layer underneath; it is not a supported entry point.
 //
 // # Execution layer
 //
-// The vectorized engine (internal/vector) executes X100-style pull-based
-// pipelines over columnar batches. Two layers make it cache-conscious
-// and multi-core:
+// The vectorized engine (internal/vector) executes X100-style
+// pull-based pipelines over columnar batches. Three layers make it
+// cache-conscious and multi-core:
 //
 //   - Every equi-join path — batalg.Join's hash/semi/anti joins, the
 //     radix partitioned join, vector.HashTable/JoinBuild, and the MAL
@@ -21,14 +32,24 @@
 //     multi-pass Radix-Cluster, so every probe stays inside one
 //     cache-sized cluster (paper §4.2). bat.NilInt keys never match —
 //     SQL NULL semantics enforced once, inherited by every front-end.
-//     BenchmarkJoinTable measures ~8x faster builds than the Go-map
-//     layout at 1M rows; BENCH_pr2.json records the MAL-join numbers.
+//
+//   - Whether a MAL join radix-clusters BOTH sides (Figure 2) or stays
+//     flat is decided by the §4.4 cost model (radix.ShouldCluster on a
+//     calibrated hierarchy with an LLC level), not a fixed threshold;
+//     BENCH_pr3.json records the A/B sweep the calibration reproduces.
 //
 //   - Pipelines parallelize morsel-driven: vector.Exchange splits a
 //     Source into fixed-size morsels handed out by an atomic cursor,
 //     runs one pipeline fragment per worker (filters, projections,
 //     probes against a shared read-only vector.JoinBuild, partial
-//     aggregates), and re-aggregates the partials. Experiment E15 and
-//     BenchmarkE15ParallelScaling measure the scaling; BENCH_pr1.json
-//     records reference numbers.
+//     aggregates), and re-aggregates the partials. A context on the
+//     Exchange cancels at morsel boundaries. Experiment E15 and
+//     BenchmarkE15ParallelScaling measure the scaling.
+//
+// # NULL representation
+//
+// INT columns reserve the domain minimum (bat.NilInt), FLOAT columns
+// the canonical NaN (bat.NilFloat) — stored by INSERT/UPDATE NULL,
+// skipped by aggregates, never matched by comparisons (including <>),
+// and rendered as SQL NULL by the engine API and shell.
 package repro

@@ -1,0 +1,482 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+
+	"repro/internal/mal"
+	"repro/internal/sqlfe"
+	"repro/internal/vector"
+)
+
+// The sqlfe→vector bridge lowers simple SELECTs onto the morsel-parallel
+// vectorized pipeline instead of the MAL interpreter: a single table
+// scanned through Exchange workers, vectorized filters for the WHERE
+// conjuncts, column projections or re-aggregated global sum/count/avg.
+// Lowering happens in two stages with different lifetimes:
+//
+//   - lowerSelect runs at Prepare time and is purely structural: it
+//     decides whether the statement SHAPE fits the pipeline (one table,
+//     no join/group/order, int/float columns, supported aggregates) and
+//     builds a reusable template with unresolved predicate slots.
+//
+//   - vecTemplate.execute runs per Query and is data-dependent: it
+//     checks the snapshot qualifies (no tombstoned rows; nil-free
+//     columns where the vectorized primitives don't nil-check), binds
+//     the ? slots, and instantiates the Exchange over zero-copy column
+//     slices of the snapshot. If the data disqualifies, the caller falls
+//     back to the compiled MAL program — same results, different engine.
+type vecTemplate struct {
+	table string
+	// srcCols are the referenced table column indexes, in Source order.
+	srcCols []int
+	types   []sqlfe.ColType // per source column
+	// needNoNil marks source columns that must be nil-free to run
+	// vectorized: int filter columns (the Sel primitives do not
+	// nil-check) and every aggregated column (the partial sums do not
+	// skip sentinels).
+	needNoNil []bool
+
+	preds []vecPred
+	outs  []int // plain mode: projection as source positions
+	aggs  []vecAgg
+	accs  []accSpec
+	agg   bool
+	limit int
+	names []string // output labels (from the compiled program)
+}
+
+// vecPred is one WHERE conjunct over a source column; the comparison
+// value is a literal or a ? slot resolved at execution time.
+type vecPred struct {
+	src   int
+	op    string
+	ct    sqlfe.ColType
+	lit   sqlfe.Lit
+	param int
+}
+
+// accSpec is one per-worker accumulator (a partial-aggregate column).
+type accSpec struct {
+	kind vector.AggKind
+	src  int // source column; unused for AggCount
+}
+
+// vecAgg maps one output item onto accumulators.
+type vecAgg struct {
+	fn     string // "sum", "count", "avg"
+	sumAcc int    // index into accs; -1 for count
+	cntAcc int    // shared filtered-row count; -1 when not needed
+	flt    bool   // float-typed result
+}
+
+// lowerSelect builds a template if the statement shape fits, else nil.
+func lowerSelect(sel *sqlfe.Select, snap *sqlfe.Snapshot) *vecTemplate {
+	if sel.Join != nil || sel.GroupBy != "" || sel.OrderBy != "" {
+		return nil
+	}
+	t, err := snap.Table(sel.From)
+	if err != nil {
+		return nil
+	}
+	vt := &vecTemplate{table: sel.From, limit: sel.Limit}
+
+	colPos := func(name string) int {
+		name = strings.TrimPrefix(name, t.Name+".")
+		for i, c := range t.ColNames {
+			if c == name {
+				return i
+			}
+		}
+		return -1
+	}
+	// source returns the Source position of a table column, adding it on
+	// first use; only int/float columns can cross the bridge.
+	source := func(tableCol int) int {
+		if t.ColTypes[tableCol] != sqlfe.TInt && t.ColTypes[tableCol] != sqlfe.TFloat {
+			return -1
+		}
+		for i, c := range vt.srcCols {
+			if c == tableCol {
+				return i
+			}
+		}
+		vt.srcCols = append(vt.srcCols, tableCol)
+		vt.types = append(vt.types, t.ColTypes[tableCol])
+		vt.needNoNil = append(vt.needNoNil, false)
+		return len(vt.srcCols) - 1
+	}
+
+	// Select list: all plain column refs, or all global aggregates the
+	// re-aggregation scheme supports.
+	hasAgg, hasPlain := false, false
+	for _, it := range sel.Items {
+		if it.Agg != "" {
+			hasAgg = true
+		} else {
+			hasPlain = true
+		}
+	}
+	if hasAgg && hasPlain {
+		return nil // MAL compile rejects this anyway
+	}
+	vt.agg = hasAgg
+
+	countAcc := -1
+	needCount := func() int {
+		if countAcc < 0 {
+			vt.accs = append(vt.accs, accSpec{kind: vector.AggCount})
+			countAcc = len(vt.accs) - 1
+		}
+		return countAcc
+	}
+	for _, it := range sel.Items {
+		switch {
+		case it.Star:
+			for ci, ct := range t.ColTypes {
+				if ct != sqlfe.TInt && ct != sqlfe.TFloat {
+					return nil // text column in *: fall back
+				}
+				vt.outs = append(vt.outs, source(ci))
+			}
+		case it.Agg == "":
+			cr, ok := it.Expr.(sqlfe.ColRef)
+			if !ok {
+				return nil
+			}
+			ci := colPos(cr.Name)
+			if ci < 0 {
+				return nil
+			}
+			pos := source(ci)
+			if pos < 0 {
+				return nil
+			}
+			vt.outs = append(vt.outs, pos)
+		case it.Agg == "count" && it.Expr == nil: // count(*)
+			vt.aggs = append(vt.aggs, vecAgg{fn: "count", sumAcc: -1, cntAcc: needCount()})
+		case it.Agg == "count" || it.Agg == "sum" || it.Agg == "avg":
+			cr, ok := it.Expr.(sqlfe.ColRef)
+			if !ok {
+				return nil
+			}
+			ci := colPos(cr.Name)
+			if ci < 0 {
+				return nil
+			}
+			pos := source(ci)
+			if pos < 0 {
+				return nil
+			}
+			// The vectorized accumulators don't skip nil sentinels, so a
+			// nil-free column is an execution-time requirement; with it,
+			// count(col) degenerates to count(*).
+			vt.needNoNil[pos] = true
+			switch it.Agg {
+			case "count":
+				vt.aggs = append(vt.aggs, vecAgg{fn: "count", sumAcc: -1, cntAcc: needCount()})
+			default:
+				kind := vector.AggSumInt
+				flt := false
+				if vt.types[pos] == sqlfe.TFloat {
+					kind, flt = vector.AggSumFloat, true
+				}
+				vt.accs = append(vt.accs, accSpec{kind: kind, src: pos})
+				a := vecAgg{fn: it.Agg, sumAcc: len(vt.accs) - 1, cntAcc: needCount(), flt: flt}
+				if it.Agg == "avg" {
+					a.flt = true
+				}
+				vt.aggs = append(vt.aggs, a)
+			}
+		default:
+			return nil // min/max etc: MAL fallback
+		}
+	}
+
+	// WHERE conjuncts: typed comparisons over int/float columns.
+	for _, p := range sel.Where {
+		ci := colPos(p.Col)
+		if ci < 0 {
+			return nil
+		}
+		pos := source(ci)
+		if pos < 0 {
+			return nil
+		}
+		if p.Val.Null {
+			return nil // MAL compile rejects with the proper error
+		}
+		ct := vt.types[pos]
+		if p.Val.Param == 0 {
+			// Literal type check mirrors the MAL compiler's rules; on
+			// mismatch fall back so the error surfaces there.
+			if ct == sqlfe.TInt && p.Val.Kind != sqlfe.TInt {
+				return nil
+			}
+			if ct == sqlfe.TFloat && p.Val.Kind == sqlfe.TText {
+				return nil
+			}
+		}
+		if ct == sqlfe.TInt {
+			// Sel*Int primitives don't nil-check; bat.NilInt is the
+			// domain minimum and would satisfy <, <=, <>.
+			vt.needNoNil[pos] = true
+		}
+		vt.preds = append(vt.preds, vecPred{src: pos, op: p.Op, ct: ct, lit: p.Val, param: p.Val.Param})
+	}
+	return vt
+}
+
+// predOp maps a SQL comparison to the vectorized primitive code.
+func predOp(op string, ct sqlfe.ColType) (vector.PredOp, bool) {
+	if ct == sqlfe.TInt {
+		switch op {
+		case "=":
+			return vector.PredEq, true
+		case "<>":
+			return vector.PredNe, true
+		case "<":
+			return vector.PredLt, true
+		case "<=":
+			return vector.PredLe, true
+		case ">":
+			return vector.PredGt, true
+		case ">=":
+			return vector.PredGe, true
+		}
+		return 0, false
+	}
+	switch op {
+	case "=":
+		return vector.PredEqF, true
+	case "<>":
+		return vector.PredNeF, true
+	case "<":
+		return vector.PredLtF, true
+	case "<=":
+		return vector.PredLeF, true
+	case ">":
+		return vector.PredGtF, true
+	case ">=":
+		return vector.PredGeF, true
+	}
+	return 0, false
+}
+
+// bindPreds resolves the template predicates against bound arguments,
+// through the same coerceParam rules as the MAL path.
+func (vt *vecTemplate) bindPreds(args []any) ([]vector.Pred, error) {
+	out := make([]vector.Pred, 0, len(vt.preds))
+	for _, p := range vt.preds {
+		op, ok := predOp(p.op, p.ct)
+		if !ok {
+			return nil, fmt.Errorf("engine: unsupported operator %q", p.op)
+		}
+		lit := p.lit
+		if p.param > 0 {
+			var err error
+			if lit, err = coerceParam(args[p.param-1], p.ct, p.param); err != nil {
+				return nil, err
+			}
+		}
+		vp := vector.Pred{ColIdx: p.src, Op: op}
+		if p.ct == sqlfe.TInt {
+			vp.IntVal = lit.I
+		} else {
+			vp.FltVal = lit.F
+			if lit.Kind == sqlfe.TInt { // literal (unbound) int against float col
+				vp.FltVal = float64(lit.I)
+			}
+		}
+		out = append(out, vp)
+	}
+	return out, nil
+}
+
+// execute instantiates the template over a snapshot. ok=false means the
+// data disqualified the vector path (fall back to MAL); a non-nil error
+// is a real binding error that would fail either way.
+func (vt *vecTemplate) execute(ctx context.Context, snap *sqlfe.Snapshot, args []any, opts *Options) (*Rows, bool, error) {
+	t, err := snap.Table(vt.table)
+	if err != nil {
+		return nil, false, nil
+	}
+	if t.HasDeletes() {
+		// Tombstoned positions would need the deleted filter; the
+		// positional scan has no notion of it.
+		return nil, false, nil
+	}
+	names := make([]string, len(vt.srcCols))
+	cols := make([]vector.Col, len(vt.srcCols))
+	for i, ci := range vt.srcCols {
+		b := t.ColumnBAT(ci)
+		if vt.needNoNil[i] && !b.Props().NoNil {
+			return nil, false, nil
+		}
+		names[i] = t.ColNames[ci]
+		switch vt.types[i] {
+		case sqlfe.TInt:
+			cols[i] = vector.Col{Kind: vector.KindInt, Ints: b.Ints()}
+		case sqlfe.TFloat:
+			cols[i] = vector.Col{Kind: vector.KindFloat, Floats: b.Floats()}
+		default:
+			return nil, false, nil
+		}
+	}
+	preds, err := vt.bindPreds(args)
+	if err != nil {
+		return nil, false, err
+	}
+	// NumRows == total positions here (no deletes), so a column-free
+	// count(*) still scans the right number of rows.
+	src, err := vector.NewSourceWithLen(names, cols, t.NumRows())
+	if err != nil {
+		return nil, false, fmt.Errorf("engine: %w", err)
+	}
+
+	identity := len(vt.outs) == len(vt.srcCols)
+	for i, o := range vt.outs {
+		if o != i {
+			identity = false
+		}
+	}
+	plan := func(scan vector.Operator) vector.Operator {
+		op := scan
+		if len(preds) > 0 {
+			op = &vector.Filter{Child: op, Preds: preds}
+		}
+		switch {
+		case vt.agg:
+			specs := make([]vector.AggSpec, len(vt.accs))
+			for i, a := range vt.accs {
+				specs[i] = vector.AggSpec{Kind: a.kind, Col: a.src}
+			}
+			op = &vector.Agg{Child: op, KeyCol: -1, Aggs: specs}
+		case !identity:
+			exprs := make([]vector.Expr, len(vt.outs))
+			for i, o := range vt.outs {
+				exprs[i] = vector.ColRef{Idx: o}
+			}
+			op = &vector.Project{Child: op, Exprs: exprs}
+		}
+		return op
+	}
+	ex := &vector.Exchange{
+		Source:     src,
+		Workers:    vt.workers(opts),
+		MorselSize: opts.MorselSize,
+		VectorSize: opts.VectorSize,
+		Plan:       plan,
+		Ctx:        ctx,
+	}
+
+	if !vt.agg {
+		if err := ex.Open(); err != nil {
+			return nil, false, err
+		}
+		return newVecRows(ctx, vt.names, ex, vt.limit), true, nil
+	}
+
+	// Aggregate mode: re-aggregate the workers' partials, then shape the
+	// single result row with SQL NULL semantics (sum/avg over zero rows
+	// is NULL, not 0).
+	finals := make([]vector.AggSpec, len(vt.accs))
+	for i, a := range vt.accs {
+		if a.kind == vector.AggSumFloat {
+			finals[i] = vector.AggSpec{Kind: vector.AggSumFloat, Col: i}
+		} else {
+			finals[i] = vector.AggSpec{Kind: vector.AggSumInt, Col: i}
+		}
+	}
+	final := &vector.Agg{Child: ex, KeyCol: -1, Aggs: finals}
+	row, err := drainOne(final)
+	if err != nil {
+		return nil, false, err
+	}
+	vals := make([]mal.Val, len(vt.aggs))
+	for i, a := range vt.aggs {
+		cnt := int64(0)
+		if a.cntAcc >= 0 {
+			cnt = row.Cols[a.cntAcc].Ints[0]
+		}
+		switch a.fn {
+		case "count":
+			vals[i] = mal.IntVal(cnt)
+		case "sum":
+			if cnt == 0 {
+				vals[i] = mal.NilVal()
+			} else if a.flt {
+				vals[i] = mal.FloatVal(row.Cols[a.sumAcc].Floats[0])
+			} else {
+				vals[i] = mal.IntVal(row.Cols[a.sumAcc].Ints[0])
+			}
+		case "avg":
+			if cnt == 0 {
+				vals[i] = mal.NilVal()
+			} else {
+				s := 0.0
+				if row.Cols[a.sumAcc].Kind == vector.KindFloat {
+					s = row.Cols[a.sumAcc].Floats[0]
+				} else {
+					s = float64(row.Cols[a.sumAcc].Ints[0])
+				}
+				vals[i] = mal.FloatVal(s / float64(cnt))
+			}
+		}
+	}
+	return newMALRows(ctx, vt.names, vals), true, nil
+}
+
+func (vt *vecTemplate) workers(opts *Options) int {
+	if opts.Workers > 0 {
+		return opts.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// drainOne runs an operator tree expected to produce exactly one batch.
+func drainOne(op vector.Operator) (*vector.Batch, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	// The final Agg fully drains its child inside this one Next call
+	// (worker errors surface here), then emits its single batch.
+	out, err := op.Next()
+	if err != nil {
+		return nil, err
+	}
+	if out == nil {
+		return nil, fmt.Errorf("engine: aggregate pipeline produced no batch")
+	}
+	return out, nil
+}
+
+// describe renders the lowered pipeline for Conn.Plan.
+func (vt *vecTemplate) describe() string {
+	var sb strings.Builder
+	sb.WriteString("vectorized pipeline (morsel-parallel exchange):\n")
+	fmt.Fprintf(&sb, "    scan %s", vt.table)
+	if len(vt.preds) > 0 {
+		sb.WriteString(" -> filter[")
+		for i, p := range vt.preds {
+			if i > 0 {
+				sb.WriteString(" AND ")
+			}
+			if p.param > 0 {
+				fmt.Fprintf(&sb, "col%d %s ?%d", p.src, p.op, p.param)
+			} else {
+				fmt.Fprintf(&sb, "col%d %s lit", p.src, p.op)
+			}
+		}
+		sb.WriteString("]")
+	}
+	if vt.agg {
+		sb.WriteString(" -> partial-agg -> exchange -> re-agg")
+	} else {
+		sb.WriteString(" -> project -> exchange")
+	}
+	return sb.String()
+}

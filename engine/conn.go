@@ -1,0 +1,149 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/sqlfe"
+)
+
+// Conn is one session over the shared store. Queries normally run
+// against a fresh snapshot taken at execution time (writers never block
+// readers); Freeze pins the current snapshot so subsequent queries on
+// this session observe one consistent state — the paper's cheap
+// snapshot isolation (§3.2: main columns shared, only delta BATs
+// copied) surfaced as a session mode.
+//
+// A Conn is safe for concurrent use; Close only invalidates the
+// session, it does not affect the database.
+type Conn struct {
+	db *DB
+
+	mu     sync.Mutex
+	frozen *sqlfe.Snapshot
+	closed bool
+}
+
+// Close invalidates the session. Idempotent.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	c.frozen = nil
+	return nil
+}
+
+// Freeze pins the session to the database state as of now: subsequent
+// queries on this Conn see that state regardless of later writes.
+// Writes through a frozen Conn still apply to the live database (and
+// are not visible to the frozen view until Thaw).
+func (c *Conn) Freeze() {
+	snap := c.db.sdb.Snapshot()
+	// The snapshot will be shared by every query on this session, so the
+	// lazy column merges must happen once, now, not racily later.
+	snap.Materialize()
+	c.mu.Lock()
+	c.frozen = snap
+	c.mu.Unlock()
+}
+
+// Thaw unpins the session; queries see live data again.
+func (c *Conn) Thaw() {
+	c.mu.Lock()
+	c.frozen = nil
+	c.mu.Unlock()
+}
+
+// snapshot returns the view queries on this session read from.
+func (c *Conn) snapshot() *sqlfe.Snapshot {
+	c.mu.Lock()
+	f := c.frozen
+	c.mu.Unlock()
+	if f != nil {
+		return f
+	}
+	return c.db.sdb.Snapshot()
+}
+
+func (c *Conn) checkUsable() error {
+	if err := c.db.checkOpen(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return fmt.Errorf("engine: connection is closed")
+	}
+	return nil
+}
+
+// Prepare parses sql and, for SELECTs, compiles it once to an optimized
+// plan with typed bind slots for every ? placeholder. The returned
+// statement re-executes without re-parsing or re-compiling; it is
+// automatically re-planned if the schema changes underneath it.
+func (c *Conn) Prepare(sql string) (*Stmt, error) {
+	if err := c.checkUsable(); err != nil {
+		return nil, err
+	}
+	st, err := sqlfe.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	s := &Stmt{conn: c, sql: sql, st: st, nparams: sqlfe.NumParams(st)}
+	if sel, ok := st.(*sqlfe.Select); ok {
+		s.sel = sel
+		// Compile eagerly: surfaces unknown tables/columns and illegal
+		// placeholder positions at Prepare time, not first execution.
+		if _, _, _, err := s.plan(c.snapshot()); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Query runs a SELECT, returning a streaming cursor over the result.
+// The one-shot form parses and compiles per call; use Prepare for
+// repeated statements. ctx cancels the query at morsel granularity.
+func (c *Conn) Query(ctx context.Context, sql string, args ...any) (*Rows, error) {
+	s, err := c.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.Query(ctx, args...)
+}
+
+// Exec runs a statement that returns no rows (DDL or DML).
+func (c *Conn) Exec(ctx context.Context, sql string, args ...any) (Result, error) {
+	s, err := c.Prepare(sql)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Exec(ctx, args...)
+}
+
+// Plan returns a human-readable description of how a SELECT would
+// execute on this session: the vectorized pipeline if the bridge can
+// lower it, otherwise the optimized MAL program.
+func (c *Conn) Plan(sql string) (string, error) {
+	if err := c.checkUsable(); err != nil {
+		return "", err
+	}
+	st, err := sqlfe.Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	sel, ok := st.(*sqlfe.Select)
+	if !ok {
+		return "", fmt.Errorf("engine: Plan takes a SELECT")
+	}
+	snap := c.snapshot()
+	prog, _, err := snap.CompileSelectBound(sel)
+	if err != nil {
+		return "", err
+	}
+	if vt := lowerSelect(sel, snap); vt != nil {
+		return vt.describe() + "\nMAL fallback:\n" + prog.String(), nil
+	}
+	return prog.String(), nil
+}

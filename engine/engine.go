@@ -1,0 +1,214 @@
+// Package engine is the public, embeddable door into the columnar
+// engine: the co-designed front-end API the underlying paper (Boncz,
+// Manegold, Kersten, VLDB 2009) argues a column store needs. Everything
+// below it — the SQL front-end, MAL plans, the BAT algebra, and the
+// morsel-parallel vectorized executor — is internal; applications
+// import only this package.
+//
+// The API follows the database/sql shape without depending on it:
+//
+//	db, _ := engine.Open()
+//	defer db.Close()
+//	conn := db.Conn()
+//	db.Exec(ctx, `CREATE TABLE t (x INT, f FLOAT)`)
+//	stmt, _ := conn.Prepare(`SELECT x, f FROM t WHERE x >= ?`)
+//	rows, _ := stmt.Query(ctx, 10)
+//	for rows.Next() {
+//	    var x int64
+//	    var f float64
+//	    rows.Scan(&x, &f)
+//	}
+//	rows.Close()
+//
+// Three properties distinguish it from a convenience wrapper:
+//
+//   - Prepare compiles once. A SELECT is parsed and compiled to an
+//     optimized MAL program a single time; ? placeholders become typed
+//     bind slots in the plan, re-bound per execution. The bound values
+//     also key the intermediate-result recycler, so repeated executions
+//     with equal arguments hit recycled intermediates.
+//
+//   - Query streams. Rows is a cursor pulling vector-sized batches, not
+//     a materialized [][]any: simple scan/filter/project (and global
+//     sum/count/avg) SELECTs run directly on the morsel-parallel
+//     vectorized pipeline, and peak result-side allocation stays
+//     proportional to one vector, not to the result. Queries the bridge
+//     cannot lower fall back to the MAL interpreter transparently.
+//
+//   - Cancellation is bounded. The context passed to Query/Exec is
+//     checked at morsel boundaries inside the parallel pipeline, so a
+//     long scan aborts within one morsel's worth of work.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/recycler"
+	"repro/internal/sqlfe"
+)
+
+// Options configure Open. The zero value is a fresh in-memory database.
+type Options struct {
+	// Dir, when non-empty, makes the database persistent: Open loads the
+	// catalog from Dir if one exists, and Close vacuums and saves back.
+	Dir string
+	// RecyclerBytes enables the intermediate-result recycler (§6.1 of
+	// the paper) with the given capacity. 0 disables recycling.
+	RecyclerBytes int
+	// Workers is the degree of parallelism for vectorized queries
+	// (<= 0 means GOMAXPROCS).
+	Workers int
+	// MorselSize is the scheduling granule, in rows, of the parallel
+	// pipeline — and therefore the cancellation latency bound
+	// (<= 0 means the engine default of 64K rows).
+	MorselSize int
+	// VectorSize is the batch length of the vectorized pipeline
+	// (<= 0 means the engine default of 1024).
+	VectorSize int
+}
+
+// Option mutates Options.
+type Option func(*Options)
+
+// WithDir makes the database persistent in dir (see Options.Dir).
+func WithDir(dir string) Option { return func(o *Options) { o.Dir = dir } }
+
+// WithRecycler enables the intermediate-result recycler with the given
+// byte capacity.
+func WithRecycler(bytes int) Option { return func(o *Options) { o.RecyclerBytes = bytes } }
+
+// WithWorkers sets the degree of parallelism for vectorized queries.
+func WithWorkers(n int) Option { return func(o *Options) { o.Workers = n } }
+
+// WithMorselSize sets the parallel scheduling granule in rows.
+func WithMorselSize(rows int) Option { return func(o *Options) { o.MorselSize = rows } }
+
+// WithVectorSize sets the vectorized batch length.
+func WithVectorSize(rows int) Option { return func(o *Options) { o.VectorSize = rows } }
+
+// DB is an embedded database handle, safe for concurrent use. All
+// sessions (Conn) share its storage; reads run against snapshots, so
+// writers never block readers mid-query.
+type DB struct {
+	opts Options
+
+	mu     sync.Mutex
+	sdb    *sqlfe.DB
+	closed bool
+
+	defConn *Conn // lazily created backing for the DB-level helpers
+}
+
+// Open creates (or, with WithDir, loads) a database.
+func Open(opts ...Option) (*DB, error) {
+	var o Options
+	for _, f := range opts {
+		f(&o)
+	}
+	var sdb *sqlfe.DB
+	if o.Dir != "" {
+		switch _, err := os.Stat(filepath.Join(o.Dir, "catalog.json")); {
+		case err == nil:
+			loaded, err := sqlfe.Load(o.Dir)
+			if err != nil {
+				return nil, fmt.Errorf("engine: load %s: %w", o.Dir, err)
+			}
+			sdb = loaded
+		case !os.IsNotExist(err):
+			// A stat failure that is NOT "no such file" (permissions, IO)
+			// must not be read as "fresh database": opening empty and
+			// saving on Close would overwrite the real one.
+			return nil, fmt.Errorf("engine: open %s: %w", o.Dir, err)
+		}
+	}
+	if sdb == nil {
+		sdb = sqlfe.NewDB()
+	}
+	if o.RecyclerBytes > 0 {
+		sdb.Recycle = recycler.New(o.RecyclerBytes, recycler.PolicyBenefit)
+	}
+	return &DB{opts: o, sdb: sdb}, nil
+}
+
+// Close releases the handle; with WithDir it first vacuums and saves
+// the database to disk. Close is idempotent.
+func (d *DB) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	if d.opts.Dir != "" {
+		if err := d.sdb.Save(d.opts.Dir); err != nil {
+			return fmt.Errorf("engine: save %s: %w", d.opts.Dir, err)
+		}
+	}
+	return nil
+}
+
+// Save persists the database to dir without closing it. With WithDir
+// and an empty dir argument, the configured directory is used.
+func (d *DB) Save(dir string) error {
+	if dir == "" {
+		dir = d.opts.Dir
+	}
+	if dir == "" {
+		return fmt.Errorf("engine: Save needs a directory (none configured)")
+	}
+	if err := d.checkOpen(); err != nil {
+		return err
+	}
+	return d.sdb.Save(dir)
+}
+
+func (d *DB) checkOpen() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return fmt.Errorf("engine: database is closed")
+	}
+	return nil
+}
+
+// Conn opens a new session. Sessions are cheap (no sockets, no
+// goroutines): they carry per-session state — prepared statements and
+// an optional pinned snapshot — over the shared store.
+func (d *DB) Conn() *Conn {
+	return &Conn{db: d}
+}
+
+// Tables lists the table names, sorted.
+func (d *DB) Tables() []string { return d.sdb.Tables() }
+
+// conn returns the DB-level default session.
+func (d *DB) conn() *Conn {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.defConn == nil {
+		d.defConn = &Conn{db: d}
+	}
+	return d.defConn
+}
+
+// Exec runs one non-returning statement (DDL or DML) on the default
+// session. Placeholders bind the args in order.
+func (d *DB) Exec(ctx context.Context, sql string, args ...any) (Result, error) {
+	return d.conn().Exec(ctx, sql, args...)
+}
+
+// Query runs a SELECT on the default session, returning a streaming
+// cursor. Placeholders bind the args in order.
+func (d *DB) Query(ctx context.Context, sql string, args ...any) (*Rows, error) {
+	return d.conn().Query(ctx, sql, args...)
+}
+
+// Prepare compiles a statement on the default session for repeated
+// execution.
+func (d *DB) Prepare(sql string) (*Stmt, error) {
+	return d.conn().Prepare(sql)
+}

@@ -1,0 +1,364 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/bat"
+	"repro/internal/mal"
+	"repro/internal/vector"
+)
+
+// Rows is a streaming result cursor:
+//
+//	rows, err := stmt.Query(ctx, args...)
+//	defer rows.Close()
+//	for rows.Next() {
+//	    if err := rows.Scan(&a, &b); err != nil { ... }
+//	}
+//	if err := rows.Err(); err != nil { ... }
+//
+// On the vectorized path, Next pulls vector-sized batches from the
+// morsel-parallel pipeline as the cursor advances — the result is never
+// materialized whole. On the MAL fallback path the interpreter has
+// materialized result columns; the cursor walks them without building
+// per-row slices. NULL cells scan as nil into *any destinations and
+// error into typed ones.
+//
+// A Rows is not safe for concurrent use. Close is idempotent and stops
+// the producing pipeline; abandoning a cursor without Close leaks
+// worker goroutines until the query drains.
+type Rows struct {
+	cols []string
+	ctx  context.Context
+	err  error
+
+	closed bool
+	limit  int // remaining row budget; -1 = unlimited
+
+	// Vectorized-path state: op streams batches; b/bi/cur iterate the
+	// current one.
+	op  vector.Operator
+	b   *vector.Batch
+	bi  int
+	cur int32
+
+	// Materialized-path state (MAL fallback): result columns, or the
+	// single all-scalar row.
+	vals   []mal.Val
+	n      int
+	scalar bool
+	pos    int
+	seen   bool // a current row exists (Next returned true)
+}
+
+// newVecRows wraps an opened operator pipeline.
+func newVecRows(ctx context.Context, cols []string, op vector.Operator, limit int) *Rows {
+	return &Rows{cols: cols, ctx: ctx, op: op, limit: limit}
+}
+
+// newMALRows wraps an executed MAL program's result values.
+func newMALRows(ctx context.Context, cols []string, vals []mal.Val) *Rows {
+	r := &Rows{cols: cols, ctx: ctx, vals: vals, limit: -1, scalar: true}
+	for _, v := range vals {
+		if v.Kind == mal.KBAT {
+			r.scalar = false
+			if v.B.Len() > r.n {
+				r.n = v.B.Len()
+			}
+		}
+	}
+	if r.scalar {
+		r.n = 1
+	}
+	return r
+}
+
+// Columns returns the result column labels.
+func (r *Rows) Columns() []string { return append([]string(nil), r.cols...) }
+
+// Next advances to the next row, returning false at the end of the
+// result or on error (check Err). Cancellation is observed at batch
+// granularity — one ctx check per vector, not per row (taking the
+// context's mutex a million times on a 1M-row scan would tax exactly
+// the hot path streaming exists for); the parallel pipeline itself
+// additionally stops at morsel boundaries.
+func (r *Rows) Next() bool {
+	r.seen = false
+	if r.closed || r.err != nil {
+		return false
+	}
+	if r.limit == 0 {
+		r.Close()
+		return false
+	}
+	if r.op != nil {
+		for r.b == nil || r.bi >= r.b.Rows() {
+			if err := r.ctx.Err(); err != nil {
+				r.fail(err)
+				return false
+			}
+			b, err := r.op.Next()
+			if err != nil {
+				r.fail(err)
+				return false
+			}
+			if b == nil {
+				r.Close()
+				return false
+			}
+			r.b, r.bi = b, 0
+		}
+		if r.b.Sel != nil {
+			r.cur = r.b.Sel[r.bi]
+		} else {
+			r.cur = int32(r.bi)
+		}
+		r.bi++
+	} else {
+		if r.pos&1023 == 0 {
+			if err := r.ctx.Err(); err != nil {
+				r.fail(err)
+				return false
+			}
+		}
+		if r.pos >= r.n {
+			r.Close()
+			return false
+		}
+		r.pos++
+	}
+	if r.limit > 0 {
+		r.limit--
+	}
+	r.seen = true
+	return true
+}
+
+// fail records the first error and shuts the cursor down.
+func (r *Rows) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+	r.Close()
+}
+
+// cell returns column c of the current row with the engine's nil
+// sentinels (bat.NilInt, NaN, scalar NULL) mapped to Go nil.
+func (r *Rows) cell(c int) any {
+	if r.op != nil {
+		col := &r.b.Cols[c]
+		switch col.Kind {
+		case vector.KindInt:
+			v := col.Ints[r.cur]
+			if v == bat.NilInt {
+				return nil
+			}
+			return v
+		case vector.KindFloat:
+			v := col.Floats[r.cur]
+			if math.IsNaN(v) {
+				return nil
+			}
+			return v
+		case vector.KindBool:
+			return col.Bools[r.cur]
+		}
+		return nil
+	}
+	v := r.vals[c]
+	if v.Kind != mal.KBAT {
+		switch v.Kind {
+		case mal.KInt:
+			return v.I
+		case mal.KFloat:
+			return v.F
+		case mal.KStr:
+			return v.S
+		case mal.KBool:
+			return v.Bool
+		}
+		return nil // KNil
+	}
+	i := r.pos - 1
+	if i >= v.B.Len() {
+		return nil
+	}
+	switch x := v.B.Value(i).(type) {
+	case int64:
+		if x == bat.NilInt {
+			return nil
+		}
+		return x
+	case float64:
+		if math.IsNaN(x) {
+			return nil
+		}
+		return x
+	default:
+		return x
+	}
+}
+
+// Scan copies the current row into dest: one pointer per column, each
+// *int64, *int, *float64, *string, *bool, or *any. NULL scans as nil
+// only into *any. Typed destinations are filled without boxing, so a
+// streamed scan allocates O(vector), not O(rows).
+func (r *Rows) Scan(dest ...any) error {
+	if !r.seen {
+		return fmt.Errorf("engine: Scan called without a successful Next")
+	}
+	if len(dest) != len(r.cols) {
+		return fmt.Errorf("engine: Scan got %d destinations for %d columns", len(dest), len(r.cols))
+	}
+	for c, d := range dest {
+		if err := r.scanCol(c, d); err != nil {
+			return fmt.Errorf("engine: column %q: %w", r.cols[c], err)
+		}
+	}
+	return nil
+}
+
+// scanCol fills one destination, taking an allocation-free path for
+// typed pointers on numeric columns.
+func (r *Rows) scanCol(c int, dest any) error {
+	if r.op != nil {
+		col := &r.b.Cols[c]
+		switch col.Kind {
+		case vector.KindInt:
+			v := col.Ints[r.cur]
+			switch p := dest.(type) {
+			case *int64:
+				if v == bat.NilInt {
+					return fmt.Errorf("NULL value; scan into *any to accept NULLs")
+				}
+				*p = v
+				return nil
+			case *int:
+				if v == bat.NilInt {
+					return fmt.Errorf("NULL value; scan into *any to accept NULLs")
+				}
+				*p = int(v)
+				return nil
+			case *float64:
+				if v == bat.NilInt {
+					return fmt.Errorf("NULL value; scan into *any to accept NULLs")
+				}
+				*p = float64(v)
+				return nil
+			}
+		case vector.KindFloat:
+			v := col.Floats[r.cur]
+			if p, ok := dest.(*float64); ok {
+				if math.IsNaN(v) {
+					return fmt.Errorf("NULL value; scan into *any to accept NULLs")
+				}
+				*p = v
+				return nil
+			}
+		}
+		return assign(dest, r.cell(c))
+	}
+	// MAL path: read through the typed BAT accessors where possible.
+	v := r.vals[c]
+	if v.Kind == mal.KBAT {
+		i := r.pos - 1
+		if i < v.B.Len() {
+			switch v.B.TailType() {
+			case bat.TypeInt:
+				x := v.B.IntAt(i)
+				if p, ok := dest.(*int64); ok {
+					if x == bat.NilInt {
+						return fmt.Errorf("NULL value; scan into *any to accept NULLs")
+					}
+					*p = x
+					return nil
+				}
+			case bat.TypeFloat:
+				x := v.B.FloatAt(i)
+				if p, ok := dest.(*float64); ok {
+					if math.IsNaN(x) {
+						return fmt.Errorf("NULL value; scan into *any to accept NULLs")
+					}
+					*p = x
+					return nil
+				}
+			case bat.TypeStr:
+				if p, ok := dest.(*string); ok {
+					*p = v.B.StrAt(i)
+					return nil
+				}
+			}
+		}
+	}
+	return assign(dest, r.cell(c))
+}
+
+func assign(dest, v any) error {
+	if p, ok := dest.(*any); ok {
+		*p = v
+		return nil
+	}
+	if v == nil {
+		return fmt.Errorf("NULL value; scan into *any to accept NULLs")
+	}
+	switch p := dest.(type) {
+	case *int64:
+		x, ok := v.(int64)
+		if !ok {
+			return fmt.Errorf("cannot scan %T into *int64", v)
+		}
+		*p = x
+	case *int:
+		x, ok := v.(int64)
+		if !ok {
+			return fmt.Errorf("cannot scan %T into *int", v)
+		}
+		*p = int(x)
+	case *float64:
+		switch x := v.(type) {
+		case float64:
+			*p = x
+		case int64:
+			*p = float64(x)
+		default:
+			return fmt.Errorf("cannot scan %T into *float64", v)
+		}
+	case *string:
+		x, ok := v.(string)
+		if !ok {
+			return fmt.Errorf("cannot scan %T into *string", v)
+		}
+		*p = x
+	case *bool:
+		x, ok := v.(bool)
+		if !ok {
+			return fmt.Errorf("cannot scan %T into *bool", v)
+		}
+		*p = x
+	default:
+		return fmt.Errorf("unsupported Scan destination %T", dest)
+	}
+	return nil
+}
+
+// Err returns the first error encountered while iterating, including
+// context cancellation. It never reports the benign end of the result.
+func (r *Rows) Err() error { return r.err }
+
+// Close stops the cursor and releases the producing pipeline. It is
+// idempotent and safe after the cursor is drained.
+func (r *Rows) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	r.seen = false
+	if r.op != nil {
+		if err := r.op.Close(); err != nil && r.err == nil {
+			r.err = err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,304 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/mal"
+	"repro/internal/sqlfe"
+)
+
+// Result reports the outcome of a non-returning statement.
+type Result struct {
+	// RowsAffected counts rows touched by DML; 0 for DDL.
+	RowsAffected int64
+}
+
+// Stmt is a prepared statement. For SELECTs the MAL plan is compiled
+// once (per schema version) with typed bind slots for the ?
+// placeholders; Query re-binds and re-executes it without re-parsing.
+// A Stmt is safe for concurrent use.
+type Stmt struct {
+	conn    *Conn
+	sql     string
+	st      sqlfe.Stmt
+	sel     *sqlfe.Select // nil unless SELECT
+	nparams int
+
+	mu        sync.Mutex
+	prog      *mal.Program
+	ptypes    []sqlfe.ColType
+	vt        *vecTemplate // nil when the bridge cannot lower the query
+	schemaVer int64
+	closed    bool
+}
+
+// IsQuery reports whether the statement returns rows (a SELECT).
+func (s *Stmt) IsQuery() bool { return s.sel != nil }
+
+// SQL returns the statement text.
+func (s *Stmt) SQL() string { return s.sql }
+
+// NumParams returns the number of ? placeholders.
+func (s *Stmt) NumParams() int { return s.nparams }
+
+// Close releases the statement. Idempotent.
+func (s *Stmt) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.prog, s.vt = nil, nil
+	return nil
+}
+
+// plan (re)compiles the SELECT against snap, rebuilds the vector
+// template, caches both, and returns them. The plan is stamped with
+// the SNAPSHOT's schema version — not the live one, which may have
+// moved on (or, on a frozen session, be ahead of the pinned catalog
+// the plan was actually compiled for). It RETURNS the compiled
+// artifacts rather than letting the caller re-read the cache: with
+// sessions at different schema versions racing to replan, the cache
+// holds whichever compile finished last, and executing another
+// version's plan against this caller's snapshot would address the
+// wrong columns.
+func (s *Stmt) plan(snap *sqlfe.Snapshot) (*mal.Program, []sqlfe.ColType, *vecTemplate, error) {
+	prog, ptypes, err := snap.CompileSelectBound(s.sel)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	vt := lowerSelect(s.sel, snap)
+	if vt != nil {
+		vt.names = prog.ResultNames
+	}
+	s.mu.Lock()
+	s.prog, s.ptypes = prog, ptypes
+	s.vt = vt
+	s.schemaVer = snap.SchemaVersion()
+	s.mu.Unlock()
+	return prog, ptypes, vt, nil
+}
+
+// currentPlan returns a plan valid for the executing snapshot's
+// catalog version: the cached one when it matches, a fresh compile
+// otherwise.
+func (s *Stmt) currentPlan(snap *sqlfe.Snapshot) (*mal.Program, []sqlfe.ColType, *vecTemplate, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, nil, nil, fmt.Errorf("engine: statement is closed")
+	}
+	if s.prog != nil && s.schemaVer == snap.SchemaVersion() {
+		defer s.mu.Unlock()
+		return s.prog, s.ptypes, s.vt, nil
+	}
+	s.mu.Unlock()
+	return s.plan(snap)
+}
+
+// Query executes a prepared SELECT with the given placeholder
+// arguments, returning a streaming cursor. The caller must Close the
+// cursor (or drain it) to release pipeline resources.
+func (s *Stmt) Query(ctx context.Context, args ...any) (*Rows, error) {
+	if err := s.conn.checkUsable(); err != nil {
+		return nil, err
+	}
+	if s.sel == nil {
+		return nil, fmt.Errorf("engine: Query requires a SELECT; use Exec")
+	}
+	if len(args) != s.nparams {
+		return nil, fmt.Errorf("engine: statement has %d parameters, got %d arguments", s.nparams, len(args))
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	snap := s.conn.snapshot()
+	prog, ptypes, vt, err := s.currentPlan(snap)
+	if err != nil {
+		return nil, err
+	}
+
+	// Vectorized path: stream batches straight off the morsel-parallel
+	// pipeline when the bridge lowered the query and this snapshot's
+	// data qualifies.
+	if vt != nil {
+		rows, ok, err := vt.execute(ctx, snap, args, &s.conn.db.opts)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return rows, nil
+		}
+	}
+
+	// MAL fallback: bind the slots and run the compiled program. The
+	// result columns are materialized by the interpreter, but the cursor
+	// still hands them out row-at-a-time.
+	params, err := bindMALParams(args, ptypes)
+	if err != nil {
+		return nil, err
+	}
+	ip := &mal.Interp{Cat: snap, Recycler: s.conn.db.sdb.Recycle, Params: params}
+	vals, err := ip.Run(prog)
+	if err != nil {
+		return nil, err
+	}
+	return newMALRows(ctx, prog.ResultNames, vals), nil
+}
+
+// Exec executes a prepared DDL/DML statement (or drains a SELECT for
+// its side effects, reporting 0 rows).
+func (s *Stmt) Exec(ctx context.Context, args ...any) (Result, error) {
+	if err := s.conn.checkUsable(); err != nil {
+		return Result{}, err
+	}
+	if len(args) != s.nparams {
+		return Result{}, fmt.Errorf("engine: statement has %d parameters, got %d arguments", s.nparams, len(args))
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	if s.sel != nil {
+		rows, err := s.Query(ctx, args...)
+		if err != nil {
+			return Result{}, err
+		}
+		defer rows.Close()
+		for rows.Next() {
+		}
+		return Result{}, rows.Err()
+	}
+	st := s.st
+	if s.nparams > 0 {
+		lits, err := litsFromArgs(args)
+		if err != nil {
+			return Result{}, err
+		}
+		if st, err = sqlfe.BindParams(st, lits); err != nil {
+			return Result{}, err
+		}
+	}
+	res, err := s.conn.db.sdb.ExecStmt(st)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{RowsAffected: int64(res.Affected)}, nil
+}
+
+// litFromArg converts one Go argument to a SQL literal. Supported:
+// nil (NULL), Go integers, float32/64, string.
+func litFromArg(a any) (sqlfe.Lit, error) {
+	switch v := a.(type) {
+	case nil:
+		return sqlfe.Lit{Null: true}, nil
+	case int64:
+		return sqlfe.Lit{Kind: sqlfe.TInt, I: v}, nil
+	case int:
+		return sqlfe.Lit{Kind: sqlfe.TInt, I: int64(v)}, nil
+	case int32:
+		return sqlfe.Lit{Kind: sqlfe.TInt, I: int64(v)}, nil
+	case int16:
+		return sqlfe.Lit{Kind: sqlfe.TInt, I: int64(v)}, nil
+	case int8:
+		return sqlfe.Lit{Kind: sqlfe.TInt, I: int64(v)}, nil
+	case uint8:
+		return sqlfe.Lit{Kind: sqlfe.TInt, I: int64(v)}, nil
+	case uint16:
+		return sqlfe.Lit{Kind: sqlfe.TInt, I: int64(v)}, nil
+	case uint32:
+		return sqlfe.Lit{Kind: sqlfe.TInt, I: int64(v)}, nil
+	case uint64:
+		if v > math.MaxInt64 {
+			return sqlfe.Lit{}, fmt.Errorf("engine: uint64 argument %d overflows INT", v)
+		}
+		return sqlfe.Lit{Kind: sqlfe.TInt, I: int64(v)}, nil
+	case uint:
+		if uint64(v) > math.MaxInt64 {
+			return sqlfe.Lit{}, fmt.Errorf("engine: uint argument %d overflows INT", v)
+		}
+		return sqlfe.Lit{Kind: sqlfe.TInt, I: int64(v)}, nil
+	case float64:
+		return sqlfe.Lit{Kind: sqlfe.TFloat, F: v}, nil
+	case float32:
+		return sqlfe.Lit{Kind: sqlfe.TFloat, F: float64(v)}, nil
+	case string:
+		return sqlfe.Lit{Kind: sqlfe.TText, S: v}, nil
+	}
+	return sqlfe.Lit{}, fmt.Errorf("engine: unsupported argument type %T", a)
+}
+
+func litsFromArgs(args []any) ([]sqlfe.Lit, error) {
+	out := make([]sqlfe.Lit, len(args))
+	for i, a := range args {
+		l, err := litFromArg(a)
+		if err != nil {
+			return nil, fmt.Errorf("argument %d: %w", i+1, err)
+		}
+		out[i] = l
+	}
+	return out, nil
+}
+
+// coerceParam converts one bound argument to the column type its slot
+// compares against. It is the single definition of the comparison
+// binding rules — the MAL path and the vectorized bridge both go
+// through it, so the two executors of one prepared statement can never
+// drift: int columns take int arguments, float columns widen ints,
+// text columns take strings, and NULL is rejected (the comparison
+// would be unknown for every row; IS NULL is not supported yet).
+func coerceParam(a any, want sqlfe.ColType, pos int) (sqlfe.Lit, error) {
+	lit, err := litFromArg(a)
+	if err != nil {
+		return sqlfe.Lit{}, fmt.Errorf("argument %d: %w", pos, err)
+	}
+	if lit.Null {
+		return sqlfe.Lit{}, fmt.Errorf("engine: argument %d: comparison with NULL is always unknown", pos)
+	}
+	switch want {
+	case sqlfe.TInt:
+		if lit.Kind != sqlfe.TInt {
+			return sqlfe.Lit{}, fmt.Errorf("engine: argument %d: int column compared with %s", pos, lit.Kind)
+		}
+	case sqlfe.TFloat:
+		switch lit.Kind {
+		case sqlfe.TFloat:
+		case sqlfe.TInt:
+			lit = sqlfe.Lit{Kind: sqlfe.TFloat, F: float64(lit.I)}
+		default:
+			return sqlfe.Lit{}, fmt.Errorf("engine: argument %d: float column compared with %s", pos, lit.Kind)
+		}
+	default:
+		if lit.Kind != sqlfe.TText {
+			return sqlfe.Lit{}, fmt.Errorf("engine: argument %d: text column compared with %s", pos, lit.Kind)
+		}
+	}
+	return lit, nil
+}
+
+// bindMALParams coerces arguments to the column types their bind slots
+// compare against.
+func bindMALParams(args []any, ptypes []sqlfe.ColType) ([]mal.Val, error) {
+	out := make([]mal.Val, len(args))
+	for i, a := range args {
+		lit, err := coerceParam(a, ptypes[i], i+1)
+		if err != nil {
+			return nil, err
+		}
+		switch ptypes[i] {
+		case sqlfe.TInt:
+			out[i] = mal.IntVal(lit.I)
+		case sqlfe.TFloat:
+			out[i] = mal.FloatVal(lit.F)
+		default:
+			out[i] = mal.StrVal(lit.S)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,94 @@
+// Example dbapi is the database/sql-style smoke test of the public
+// engine API: open, migrate, batch-insert through a prepared statement,
+// stream an analytical query off the morsel-parallel vectorized
+// pipeline, and cancel a scan mid-flight.
+//
+// Run with: go run ./examples/dbapi
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+
+	"repro/engine"
+)
+
+func main() {
+	ctx := context.Background()
+
+	db, err := engine.Open(engine.WithWorkers(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// DDL, database/sql-style.
+	if _, err := db.Exec(ctx, `CREATE TABLE orders (id INT, qty INT, price FLOAT)`); err != nil {
+		log.Fatal(err)
+	}
+
+	// Prepared DML: parse once, bind per execution.
+	ins, err := db.Prepare(`INSERT INTO orders VALUES (?, ?, ?)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 100000; i++ {
+		if _, err := ins.Exec(ctx, i, i%50, float64(i%997)/10); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ins.Close()
+
+	// Prepared query with placeholders: compiled once to a plan with
+	// typed bind slots; simple scan/filter/project/aggregate shapes run
+	// on the morsel-parallel vectorized pipeline.
+	conn := db.Conn()
+	stmt, err := conn.Prepare(`SELECT count(*), sum(price) FROM orders WHERE qty >= ? AND price < ?`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stmt.Close()
+	for _, minQty := range []int64{10, 40} {
+		rows, err := stmt.Query(ctx, minQty, 50.0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for rows.Next() {
+			var n any
+			var total any
+			if err := rows.Scan(&n, &total); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("qty >= %2d: %v orders, sum(price) = %.1f\n", minQty, n, total)
+		}
+		if err := rows.Err(); err != nil {
+			log.Fatal(err)
+		}
+		rows.Close()
+	}
+
+	// Streaming cursor: rows arrive batch-at-a-time; stopping early
+	// (Close) or canceling the context shuts the pipeline down at the
+	// next morsel boundary.
+	cctx, cancel := context.WithCancel(ctx)
+	rows, err := conn.Query(cctx, `SELECT id, price FROM orders WHERE qty = ?`, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seen := 0
+	for rows.Next() {
+		seen++
+		if seen == 3 {
+			cancel() // pretend the client went away
+		}
+	}
+	if err := rows.Err(); errors.Is(err, context.Canceled) {
+		fmt.Printf("canceled mid-stream after %d rows (as intended)\n", seen)
+	} else if err != nil {
+		log.Fatal(err)
+	}
+	rows.Close()
+	cancel()
+}

@@ -1,6 +1,6 @@
-// Quickstart walks the exact Figure-1 scenario of the paper at every layer
-// of the stack: raw BATs and the BAT algebra, the MAL plan language, and
-// the SQL front-end — all answering the same query,
+// Quickstart walks the Figure-1 scenario of the paper at every layer of
+// the stack: raw BATs and the BAT algebra, the MAL plan language, and —
+// at the top — the public engine API, all answering the same query,
 //
 //	SELECT name FROM people WHERE age = 1927
 //
@@ -8,16 +8,19 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"repro/engine"
 	"repro/internal/bat"
 	"repro/internal/batalg"
 	"repro/internal/mal"
-	"repro/internal/sqlfe"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// --- Layer 1: BATs and the BAT algebra (paper §3, Figure 1) ---
 	// Two BATs with virtual (void) heads: positions 0..3 are not stored.
 	name := bat.FromStrings([]string{"John Wayne", "Roger Moore", "Bob Fosse", "Will Smith"}).SetName("name")
@@ -56,28 +59,73 @@ func main() {
 	}
 	fmt.Printf("MAL result: %d rows\n", out[0].B.Len())
 
-	// --- Layer 3: SQL front-end over delta-BAT storage ---
-	db := sqlfe.NewDB()
-	mustExec(db, "CREATE TABLE people (name TEXT, age INT)")
-	mustExec(db, "INSERT INTO people VALUES ('John Wayne', 1907), ('Roger Moore', 1927), ('Bob Fosse', 1927), ('Will Smith', 1968)")
-	res, err := db.Query("SELECT name FROM people WHERE age = 1927")
+	// --- Layer 3: the public engine API ---
+	// Open an in-memory database, load the same data through SQL.
+	db, err := engine.Open()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("\nSQL:")
-	fmt.Print(res.String())
+	defer db.Close()
+	mustExec(ctx, db, "CREATE TABLE people (name TEXT, age INT)")
+	mustExec(ctx, db, "INSERT INTO people VALUES ('John Wayne', 1907), ('Roger Moore', 1927), ('Bob Fosse', 1927), ('Will Smith', 1968)")
 
-	// Updates go to delta BATs; snapshots copy only the deltas (§3.2).
-	snap := db.Snapshot()
-	mustExec(db, "DELETE FROM people WHERE name = 'Bob Fosse'")
-	live, _ := db.Query("SELECT count(*) FROM people")
-	old, _ := db.QuerySnapshot(snap, "SELECT count(*) FROM people")
-	fmt.Printf("\nsnapshot isolation: live count=%v, snapshot count=%v\n",
-		live.Rows[0][0], old.Rows[0][0])
+	// Prepare once: the SELECT is compiled to an optimized MAL plan with
+	// a typed bind slot for the ? placeholder. Each Query re-binds the
+	// slot — no re-parsing, no re-compiling.
+	conn := db.Conn()
+	stmt, err := conn.Prepare("SELECT name FROM people WHERE age = ?")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stmt.Close()
+
+	fmt.Println("\nSQL (prepared, streaming):")
+	for _, year := range []int64{1927, 1968} {
+		rows, err := stmt.Query(ctx, year)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for rows.Next() {
+			var who string
+			if err := rows.Scan(&who); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  born %d: %s\n", year, who)
+		}
+		if err := rows.Err(); err != nil {
+			log.Fatal(err)
+		}
+		rows.Close()
+	}
+
+	// Snapshot isolation as a session mode: freeze one connection, keep
+	// writing through another — the frozen session sees the old state
+	// (§3.2: main columns shared, only delta BATs copied).
+	frozen := db.Conn()
+	frozen.Freeze()
+	mustExec(ctx, db, "DELETE FROM people WHERE name = 'Bob Fosse'")
+	live := countPeople(ctx, db.Conn())
+	old := countPeople(ctx, frozen)
+	fmt.Printf("\nsnapshot isolation: live count=%d, frozen count=%d\n", live, old)
 }
 
-func mustExec(db *sqlfe.DB, sql string) {
-	if _, err := db.Exec(sql); err != nil {
+func mustExec(ctx context.Context, db *engine.DB, sql string) {
+	if _, err := db.Exec(ctx, sql); err != nil {
 		log.Fatalf("%s: %v", sql, err)
 	}
+}
+
+func countPeople(ctx context.Context, conn *engine.Conn) int64 {
+	rows, err := conn.Query(ctx, "SELECT count(*) FROM people")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rows.Close()
+	var n int64
+	for rows.Next() {
+		if err := rows.Scan(&n); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return n
 }

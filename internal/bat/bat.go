@@ -28,6 +28,18 @@ const NilOID = OID(math.MaxUint64)
 // NilInt marks a missing integer tail value.
 const NilInt = int64(math.MinInt64)
 
+// NilFloat returns the missing float tail value: the canonical quiet NaN
+// (the bit pattern math.NaN() produces). MonetDB reserves a domain
+// sentinel per type; for floats the natural reserved value is NaN, which
+// no arithmetic result representable in SQL produces and which compares
+// unequal to everything — three-valued logic for free.
+func NilFloat() float64 { return math.NaN() }
+
+// IsNilFloat reports whether f is the float nil. Any NaN counts: nil
+// floats flow through arithmetic (where IEEE 754 propagates them with
+// arbitrary payload bits), so the payload is not significant.
+func IsNilFloat(f float64) bool { return f != f }
+
 // Type enumerates tail column types.
 type Type uint8
 
@@ -136,7 +148,14 @@ func FromOIDs(v []OID) *BAT {
 func FromFloats(v []float64) *BAT {
 	b := New(TypeFloat)
 	b.floats = v
-	b.props = Props{NoNil: true}
+	noNil := true
+	for _, x := range v {
+		if IsNilFloat(x) {
+			noNil = false
+			break
+		}
+	}
+	b.props = Props{NoNil: noNil}
 	return b
 }
 
@@ -396,19 +415,33 @@ func (b *BAT) AppendOID(v OID) {
 	b.oids = append(b.oids, v)
 }
 
-// AppendFloat appends a float tail value.
+// AppendFloat appends a float tail value. NaN is the float nil (see
+// NilFloat): it clears NoNil, and ordering/uniqueness flags degrade
+// conservatively (nil sorts first, so a nil after real values breaks
+// Sorted; two nils are duplicates).
 func (b *BAT) AppendFloat(v float64) {
 	n := len(b.floats)
-	if n > 0 {
-		last := b.floats[n-1]
-		if v < last {
+	if IsNilFloat(v) {
+		b.props.NoNil = false
+		if n > 0 {
 			b.props.Sorted = false
-		}
-		if v > last {
-			b.props.RevSorted = false
-		}
-		if v == last || (!b.props.Sorted && !b.props.RevSorted) {
 			b.props.Key = false
+		}
+	} else if n > 0 {
+		last := b.floats[n-1]
+		if IsNilFloat(last) {
+			// A real value after nil keeps nil-first ascending order.
+			b.props.RevSorted = false
+		} else {
+			if v < last {
+				b.props.Sorted = false
+			}
+			if v > last {
+				b.props.RevSorted = false
+			}
+			if v == last || (!b.props.Sorted && !b.props.RevSorted) {
+				b.props.Key = false
+			}
 		}
 	}
 	b.floats = append(b.floats, v)

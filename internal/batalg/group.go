@@ -303,6 +303,88 @@ func MaxPerGroup(vals *bat.BAT, g GroupResult) *bat.BAT {
 	return bat.FromInts(out)
 }
 
+// MinFloat returns the minimum non-nil float tail value; ok is false on
+// an empty or all-nil BAT. NaN (the float nil) is skipped.
+func MinFloat(b *bat.BAT) (float64, bool) {
+	first := true
+	var m float64
+	for _, v := range b.Floats() {
+		if v != v {
+			continue
+		}
+		if first || v < m {
+			m = v
+			first = false
+		}
+	}
+	return m, !first
+}
+
+// MaxFloat returns the maximum non-nil float tail value; ok is false on
+// an empty or all-nil BAT.
+func MaxFloat(b *bat.BAT) (float64, bool) {
+	first := true
+	var m float64
+	for _, v := range b.Floats() {
+		if v != v {
+			continue
+		}
+		if first || v > m {
+			m = v
+			first = false
+		}
+	}
+	return m, !first
+}
+
+// MinFloatPerGroup folds the float minimum per group, skipping NaN; an
+// all-nil group yields the float nil.
+func MinFloatPerGroup(vals *bat.BAT, g GroupResult) *bat.BAT {
+	out := make([]float64, g.NGroups)
+	seen := make([]bool, g.NGroups)
+	ids := g.IDs.OIDs()
+	for i, v := range vals.Floats() {
+		if v != v {
+			continue
+		}
+		gid := ids[i]
+		if !seen[gid] || v < out[gid] {
+			out[gid] = v
+			seen[gid] = true
+		}
+	}
+	for gid, ok := range seen {
+		if !ok {
+			out[gid] = math.NaN()
+		}
+	}
+	return bat.FromFloats(out)
+}
+
+// MaxFloatPerGroup folds the float maximum per group, skipping NaN; an
+// all-nil group yields the float nil.
+func MaxFloatPerGroup(vals *bat.BAT, g GroupResult) *bat.BAT {
+	out := make([]float64, g.NGroups)
+	seen := make([]bool, g.NGroups)
+	ids := g.IDs.OIDs()
+	for i, v := range vals.Floats() {
+		if v != v {
+			continue
+		}
+		gid := ids[i]
+		if !seen[gid] || v > out[gid] {
+			out[gid] = v
+			seen[gid] = true
+		}
+	}
+	for gid, ok := range seen {
+		if !ok {
+			out[gid] = math.NaN()
+		}
+	}
+	return bat.FromFloats(out)
+}
+
 // CountPerGroup returns per-group cardinalities (a copy of g.Counts).
 func CountPerGroup(g GroupResult) *bat.BAT { return g.Counts.Copy() }
 

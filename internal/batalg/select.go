@@ -205,7 +205,10 @@ func ThetaSelectFloat(b *bat.BAT, op CmpOp, v float64) *bat.BAT {
 		case CmpEQ:
 			keep = x == v
 		case CmpNE:
-			keep = x != v
+			// NaN is the float nil; x != v would keep it, but NULL <> v
+			// is unknown, not true. The other comparisons exclude NaN
+			// naturally (IEEE 754 orders nothing against it).
+			keep = x != v && x == x
 		case CmpLT:
 			keep = x < v
 		case CmpLE:

@@ -51,9 +51,12 @@ func (c *MapCatalog) BindBAT(name string) (*bat.BAT, error) {
 func (c *MapCatalog) Version(name string) int64 { return c.Versions[name] }
 
 // Interp executes MAL programs. A nil Recycler disables recycling.
+// Params holds the values for the program's bind slots (mal.P): slot ?i
+// reads Params[i-1]. A program without bind slots ignores Params.
 type Interp struct {
 	Cat      Catalog
 	Recycler *recycler.Cache
+	Params   []Val
 }
 
 // Run executes p and returns its result values.
@@ -66,6 +69,12 @@ func (ip *Interp) Run(p *Program) ([]Val, error) {
 	deps := make([][]string, p.NVars)
 
 	getArg := func(a Arg) (Val, error) {
+		if a.Param > 0 {
+			if a.Param > len(ip.Params) {
+				return Val{}, fmt.Errorf("mal: unbound parameter ?%d (%d bound)", a.Param, len(ip.Params))
+			}
+			return ip.Params[a.Param-1], nil
+		}
 		if a.Var < 0 {
 			return a.Const, nil
 		}
@@ -147,6 +156,16 @@ func (ip *Interp) signature(in *Instr, sigs []string, deps [][]string) (string, 
 					seen[d] = true
 					dps = append(dps, d)
 				}
+			}
+		} else if a.Param > 0 {
+			// Bind slots sign with their bound VALUE: one cached plan
+			// yields a distinct recycler identity per parameter binding,
+			// so re-running with the same arguments hits the recycler and
+			// different arguments never alias.
+			if a.Param <= len(ip.Params) {
+				sb = append(sb, ip.Params[a.Param-1].String()...)
+			} else {
+				sb = append(sb, fmt.Sprintf("?%d", a.Param)...)
 			}
 		} else if in.Op == "bind" && a.Const.Kind == KStr {
 			name := a.Const.S
@@ -341,13 +360,17 @@ func (ip *Interp) exec(op string, args []Val) ([]Val, error) {
 		// Property-driven algorithm selection (§3.1): sorted inputs
 		// merge-join; everything else goes through the one shared
 		// open-addressing core (radix.Table, nil keys never matching).
-		// Large unsorted int joins additionally radix-cluster BOTH
-		// sides (radix.JoinBATs, the Figure-2 partitioned hash join);
-		// smaller ones build flat via batalg.Join.
-		const radixThreshold = 1 << 16
+		// Whether to additionally radix-cluster BOTH sides (the Figure-2
+		// partitioned hash join) is decided by the §4.4 cost model
+		// (radix.ShouldCluster), not a fixed row threshold: clustering
+		// pays only once the flat table outgrows the last-level cache.
+		nb, np := l.Len(), r.Len()
+		if nb > np {
+			nb, np = np, nb // batalg.Join builds on the smaller side
+		}
 		if l.TailType() == bat.TypeInt && r.TailType() == bat.TypeInt &&
-			l.Len() >= radixThreshold && r.Len() >= radixThreshold &&
-			!(l.Props().Sorted && r.Props().Sorted) {
+			!(l.Props().Sorted && r.Props().Sorted) &&
+			radix.ShouldCluster(nb, np, radixCacheBytes) {
 			lo, ro := radix.JoinBATs(l, r, radixCacheBytes)
 			return []Val{BATVal(lo), BATVal(ro)}, nil
 		}
@@ -440,6 +463,13 @@ func (ip *Interp) exec(op string, args []Val) ([]Val, error) {
 		if err != nil {
 			return nil, err
 		}
+		if b.TailType() == bat.TypeFloat {
+			m, ok := batalg.MinFloat(b)
+			if !ok {
+				return []Val{NilVal()}, nil
+			}
+			return []Val{FloatVal(m)}, nil
+		}
 		m, ok := batalg.Min(b)
 		if !ok {
 			return []Val{NilVal()}, nil
@@ -450,6 +480,13 @@ func (ip *Interp) exec(op string, args []Val) ([]Val, error) {
 		b, err := wantBAT(args[0], op, 0)
 		if err != nil {
 			return nil, err
+		}
+		if b.TailType() == bat.TypeFloat {
+			m, ok := batalg.MaxFloat(b)
+			if !ok {
+				return []Val{NilVal()}, nil
+			}
+			return []Val{FloatVal(m)}, nil
 		}
 		m, ok := batalg.Max(b)
 		if !ok {
@@ -478,10 +515,16 @@ func (ip *Interp) exec(op string, args []Val) ([]Val, error) {
 			}
 			return one(batalg.SumPerGroup(vals, g)), nil
 		case "min_per_group":
+			if vals.TailType() == bat.TypeFloat {
+				return one(batalg.MinFloatPerGroup(vals, g)), nil
+			}
 			return one(batalg.MinPerGroup(vals, g)), nil
 		case "count_nn_per_group":
 			return one(batalg.CountNonNilPerGroup(vals, g)), nil
 		default:
+			if vals.TailType() == bat.TypeFloat {
+				return one(batalg.MaxFloatPerGroup(vals, g)), nil
+			}
 			return one(batalg.MaxPerGroup(vals, g)), nil
 		}
 

@@ -79,11 +79,16 @@ func (v Val) String() string {
 	return "?"
 }
 
-// Arg is an instruction argument: a variable reference (Var >= 0) or an
-// inline constant.
+// Arg is an instruction argument: a variable reference (Var >= 0), an
+// inline constant, or a typed bind slot (Param > 0) — a placeholder a
+// prepared statement fills in at execution time via Interp.Params. Bind
+// slots let one compiled program be executed many times with different
+// parameter values: the plan is compiled and optimized once, only the
+// slot values change per execution.
 type Arg struct {
 	Var   int
 	Const Val
+	Param int // 1-based ? placeholder ordinal; 0 = not a bind slot
 }
 
 // V references variable i.
@@ -91,6 +96,9 @@ func V(i int) Arg { return Arg{Var: i} }
 
 // C wraps a constant argument.
 func C(v Val) Arg { return Arg{Var: -1, Const: v} }
+
+// P is a typed bind slot for the i-th (1-based) statement parameter.
+func P(i int) Arg { return Arg{Var: -1, Param: i} }
 
 // CI wraps an int constant argument.
 func CI(v int64) Arg { return C(IntVal(v)) }
@@ -126,9 +134,12 @@ func (in Instr) String() string {
 		if i > 0 {
 			sb.WriteString(", ")
 		}
-		if a.Var >= 0 {
+		switch {
+		case a.Var >= 0:
 			fmt.Fprintf(&sb, "X_%d", a.Var)
-		} else {
+		case a.Param > 0:
+			fmt.Fprintf(&sb, "?%d", a.Param)
+		default:
 			sb.WriteString(a.Const.String())
 		}
 	}

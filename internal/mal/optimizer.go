@@ -83,9 +83,13 @@ func instrKey(op string, args []Arg) string {
 		if i > 0 {
 			key += ","
 		}
-		if a.Var >= 0 {
+		switch {
+		case a.Var >= 0:
 			key += fmt.Sprintf("X%d", a.Var)
-		} else {
+		case a.Param > 0:
+			// Distinct bind slots must not CSE-merge; identical ones may.
+			key += fmt.Sprintf("?%d", a.Param)
+		default:
 			key += a.Const.String()
 		}
 	}

@@ -104,13 +104,16 @@ type ColRef struct{ Name string }
 func (ColRef) expr() {}
 
 // Lit is a literal value. Null marks the NULL literal, which carries no
-// value; Kind is then meaningless.
+// value; Kind is then meaningless. Param > 0 marks a ? placeholder (the
+// 1-based ordinal of the statement's bind slot); its Kind and value are
+// meaningless until bound.
 type Lit struct {
-	Kind ColType
-	I    int64
-	F    float64
-	S    string
-	Null bool
+	Kind  ColType
+	I     int64
+	F     float64
+	S     string
+	Null  bool
+	Param int
 }
 
 func (Lit) expr() {}

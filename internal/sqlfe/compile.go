@@ -22,27 +22,63 @@ type compiler struct {
 
 	leftCand  int // var: candidate list into left's positions
 	rightCand int // var: candidate list into right's positions (join only)
+
+	// params maps ? placeholder ordinals to the column type each slot
+	// compares against; a prepared statement coerces its arguments to
+	// these types before execution.
+	params map[int]ColType
 }
 
 // CompileSelect compiles a SELECT statement to MAL.
 func (s *Snapshot) CompileSelect(sel *Select) (*mal.Program, error) {
+	prog, _, err := s.CompileSelectBound(sel)
+	return prog, err
+}
+
+// CompileSelectBound compiles a SELECT that may contain ? placeholders.
+// Placeholders become typed MAL bind slots (mal.P): the program is
+// compiled and optimized once, and each execution supplies values via
+// mal.Interp.Params. The returned slice gives the expected column type
+// of each slot, in ordinal order.
+func (s *Snapshot) CompileSelectBound(sel *Select) (*mal.Program, []ColType, error) {
 	c := &compiler{b: mal.NewBuilder(), snap: s, sel: sel}
 	var err error
 	if c.left, err = s.Table(sel.From); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if sel.Join != nil {
 		if c.right, err = s.Table(sel.Join.Table); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	if err := c.buildCandidates(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := c.buildOutput(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return mal.DefaultPipeline().Run(c.b.Program()), nil
+	n := NumParams(sel)
+	ptypes := make([]ColType, n)
+	for i := 1; i <= n; i++ {
+		t, ok := c.params[i]
+		if !ok {
+			return nil, nil, fmt.Errorf("sql: parameter ?%d: SELECT placeholders are only supported as WHERE comparison values", i)
+		}
+		ptypes[i-1] = t
+	}
+	return mal.DefaultPipeline().Run(c.b.Program()), ptypes, nil
+}
+
+// noteParam records the column type placeholder ord compares against.
+func (c *compiler) noteParam(ord int, t ColType) error {
+	if c.params == nil {
+		c.params = map[int]ColType{}
+	}
+	if prev, ok := c.params[ord]; ok && prev != t {
+		return fmt.Errorf("sql: parameter ?%d used as both %s and %s", ord, prev, t)
+	}
+	c.params[ord] = t
+	return nil
 }
 
 // resolve finds which table owns a column; returns the table and its index.
@@ -103,6 +139,31 @@ func cmpCode(op string) (batalg.CmpOp, error) {
 
 // predCand emits the candidate list for one predicate over a full column.
 func (c *compiler) predCand(t *Table, p Pred) (int, error) {
+	if p.Val.Param > 0 {
+		// A placeholder compiles to a typed bind slot: the comparison op
+		// is chosen by the column's type now, the value arrives at
+		// execution time through Interp.Params.
+		ci, err := t.colIndex(p.Col)
+		if err != nil {
+			return 0, err
+		}
+		code, err := cmpCode(p.Op)
+		if err != nil {
+			return 0, err
+		}
+		if err := c.noteParam(p.Val.Param, t.ColTypes[ci]); err != nil {
+			return 0, err
+		}
+		col := c.bindCol(t, ci)
+		switch t.ColTypes[ci] {
+		case TInt:
+			return c.b.Emit("theta_select", mal.V(col), mal.CI(int64(code)), mal.P(p.Val.Param)), nil
+		case TFloat:
+			return c.b.Emit("theta_select_flt", mal.V(col), mal.CI(int64(code)), mal.P(p.Val.Param)), nil
+		default:
+			return c.b.Emit("select_str", mal.V(col), mal.CI(int64(code)), mal.P(p.Val.Param)), nil
+		}
+	}
 	if p.Val.Null {
 		// col = NULL is three-valued-logic unknown for every row; refuse
 		// it loudly rather than comparing against a zero value (IS NULL
@@ -183,13 +244,22 @@ func (c *compiler) buildCandidates() error {
 	if lt != c.left || rt != c.right {
 		return fmt.Errorf("sql: join ON must reference both tables")
 	}
+	if c.left.ColTypes[li] != c.right.ColTypes[ri] {
+		return fmt.Errorf("sql: join ON compares %s with %s", c.left.ColTypes[li], c.right.ColTypes[ri])
+	}
 	lvals := c.b.Emit("fetch", mal.V(cand[c.left]), mal.V(c.bindCol(c.left, li)))
 	rvals := c.b.Emit("fetch", mal.V(cand[c.right]), mal.V(c.bindCol(c.right, ri)))
 	var lo, ro int
-	if c.left.ColTypes[li] == TText {
+	switch c.left.ColTypes[li] {
+	case TText:
 		lo, ro = c.b.Emit2("join_str", mal.V(lvals), mal.V(rvals))
-	} else {
+	case TInt:
 		lo, ro = c.b.Emit2("join", mal.V(lvals), mal.V(rvals))
+	default:
+		// The MAL join op is int/text only; a float key would panic the
+		// interpreter's bulk path (equality joins on floats are a
+		// modeling smell anyway).
+		return fmt.Errorf("sql: JOIN on %s keys is not supported", c.left.ColTypes[li])
 	}
 	c.leftCand = c.b.Emit("fetch", mal.V(lo), mal.V(cand[c.left]))
 	c.rightCand = c.b.Emit("fetch", mal.V(ro), mal.V(cand[c.right]))
@@ -228,6 +298,9 @@ func (c *compiler) evalExpr(e Expr) (int, ColType, error) {
 		col := c.bindCol(t, i)
 		return c.b.Emit("fetch", mal.V(c.candFor(t)), mal.V(col)), t.ColTypes[i], nil
 	case Lit:
+		if x.Param > 0 {
+			return 0, 0, fmt.Errorf("sql: parameter ?%d: SELECT placeholders are only supported as WHERE comparison values", x.Param)
+		}
 		return 0, 0, fmt.Errorf("sql: bare literals in the select list are not supported")
 	case BinExpr:
 		// Column-vs-literal arithmetic compiles to scalar map primitives.
@@ -269,6 +342,9 @@ func (c *compiler) evalExpr(e Expr) (int, ColType, error) {
 // evalScalarArith emits col-vs-literal arithmetic. litOnLeft matters only
 // for subtraction (lit - col).
 func (c *compiler) evalScalarArith(other Expr, op byte, lit Lit, litOnLeft bool) (int, ColType, error) {
+	if lit.Param > 0 {
+		return 0, 0, fmt.Errorf("sql: parameter ?%d: SELECT placeholders are only supported as WHERE comparison values", lit.Param)
+	}
 	if lit.Null {
 		return 0, 0, fmt.Errorf("sql: NULL literals are only supported in INSERT/UPDATE values")
 	}

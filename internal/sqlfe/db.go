@@ -18,6 +18,7 @@ import (
 type DB struct {
 	mu      sync.Mutex
 	tables  map[string]*Table
+	schema  int64           // bumped on CREATE/DROP; snapshots carry it (SchemaVersion)
 	Recycle *recycler.Cache // optional intermediate-result recycling (§6.1)
 }
 
@@ -88,8 +89,9 @@ func (db *DB) ExecStmt(st Stmt) (*Result, error) {
 		if _, ok := db.tables[s.Name]; !ok {
 			return nil, fmt.Errorf("sql: unknown table %q", s.Name)
 		}
-		delete(db.tables, s.Name)
 		db.invalidate(s.Name)
+		delete(db.tables, s.Name)
+		db.schema++
 		return &Result{}, nil
 	case *Insert:
 		return db.execInsert(s)
@@ -128,7 +130,7 @@ func (db *DB) Snapshot() *Snapshot {
 }
 
 func (db *DB) snapshotLocked() *Snapshot {
-	s := &Snapshot{tables: map[string]*Table{}}
+	s := &Snapshot{tables: map[string]*Table{}, schema: db.schema}
 	for n, t := range db.tables {
 		s.tables[n] = t.snapshot()
 	}
@@ -160,6 +162,7 @@ func (db *DB) execCreate(s *CreateTable) (*Result, error) {
 		}
 	}
 	db.tables[s.Name] = newTable(s.Name, s.Cols, s.Types)
+	db.schema++
 	return &Result{}, nil
 }
 
@@ -325,8 +328,9 @@ func (db *DB) runSelect(sel *Select, snap *Snapshot) (*Result, error) {
 }
 
 // cellValue maps the stored nil sentinels to SQL NULL (a Go nil cell):
-// bat.NilInt for int columns, NaN for floats (the engine only produces
-// NaN as div_flt_nil's nil, e.g. avg over an all-nil group).
+// bat.NilInt for int columns, NaN (bat.NilFloat) for floats — stored by
+// INSERT/UPDATE NULL or produced in flight (int_to_flt over nil,
+// div_flt_nil, e.g. avg over an all-nil group).
 func cellValue(v any) any {
 	switch x := v.(type) {
 	case int64:

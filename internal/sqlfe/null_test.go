@@ -119,11 +119,11 @@ func TestNullPropagatesThroughArithmetic(t *testing.T) {
 
 func TestInsertAtomicOnBadRow(t *testing.T) {
 	db := NewDB()
-	mustExec(t, db, "CREATE TABLE t (x INT, f FLOAT)")
-	// Row 2 is invalid (NULL into FLOAT): the whole statement must be
+	mustExec(t, db, "CREATE TABLE t (x INT, f TEXT)")
+	// Row 2 is invalid (NULL into TEXT): the whole statement must be
 	// rejected with no partial append.
-	if _, err := db.Exec("INSERT INTO t VALUES (1, 1.5), (2, NULL)"); err == nil {
-		t.Fatal("NULL into FLOAT column should error")
+	if _, err := db.Exec("INSERT INTO t VALUES (1, 'a'), (2, NULL)"); err == nil {
+		t.Fatal("NULL into TEXT column should error")
 	}
 	r := mustExec(t, db, "SELECT count(*) AS n FROM t")
 	if !reflect.DeepEqual(r.Rows, [][]any{{int64(0)}}) {
@@ -186,19 +186,69 @@ func TestGlobalSumMinMaxAllNullAreNull(t *testing.T) {
 	}
 }
 
-func TestUpdateSetNullOnFloatColumnAtomic(t *testing.T) {
+func TestFloatStoredNull(t *testing.T) {
 	db := NewDB()
 	mustExec(t, db, "CREATE TABLE t (x INT, f FLOAT)")
-	mustExec(t, db, "INSERT INTO t VALUES (1, 1.5), (2, 2.5)")
-	if _, err := db.Exec("UPDATE t SET f = NULL WHERE x = 1"); err == nil {
-		t.Fatal("NULL into FLOAT column should error")
-	}
-	// The failed update must not have deleted the row or skewed the
-	// column deltas.
+	mustExec(t, db, "INSERT INTO t VALUES (1, 1.5), (2, 2.5), (3, NULL)")
+	mustExec(t, db, "UPDATE t SET f = NULL WHERE x = 1")
+	// Stored float NULLs render as nil cells.
 	r := mustExec(t, db, "SELECT x, f FROM t ORDER BY x")
-	want := [][]any{{int64(1), 1.5}, {int64(2), 2.5}}
+	want := [][]any{{int64(1), nil}, {int64(2), 2.5}, {int64(3), nil}}
+	if !reflect.DeepEqual(r.Rows, want) {
+		t.Fatalf("rows = %v, want %v", r.Rows, want)
+	}
+	// Aggregates skip the float nil: count(f) and avg(f) see one value.
+	r = mustExec(t, db, "SELECT count(f) AS n, avg(f) AS a, min(f) AS lo, max(f) AS hi, sum(f) AS s FROM t")
+	want = [][]any{{int64(1), 2.5, 2.5, 2.5, 2.5}}
+	if !reflect.DeepEqual(r.Rows, want) {
+		t.Fatalf("aggregates = %v, want %v", r.Rows, want)
+	}
+	// Comparisons never match the float nil, including <>.
+	r = mustExec(t, db, "SELECT count(*) AS n FROM t WHERE f <> 2.5")
+	if !reflect.DeepEqual(r.Rows, [][]any{{int64(0)}}) {
+		t.Fatalf("f <> 2.5 matched a NULL: %v", r.Rows)
+	}
+	r = mustExec(t, db, "SELECT count(*) AS n FROM t WHERE f >= 0.0")
+	if !reflect.DeepEqual(r.Rows, [][]any{{int64(1)}}) {
+		t.Fatalf("f >= 0 = %v", r.Rows)
+	}
+	// All-NULL float column: every aggregate is NULL, count is 0.
+	mustExec(t, db, "DELETE FROM t WHERE x = 2")
+	r = mustExec(t, db, "SELECT sum(f) AS s, min(f) AS lo, max(f) AS hi, avg(f) AS a, count(f) AS n FROM t")
+	want = [][]any{{nil, nil, nil, nil, int64(0)}}
+	if !reflect.DeepEqual(r.Rows, want) {
+		t.Fatalf("all-NULL aggregates = %v, want %v", r.Rows, want)
+	}
+}
+
+func TestUpdateAtomicOnBadSetLiteral(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE t (x INT, s TEXT)")
+	mustExec(t, db, "INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+	// NULL into a TEXT column is still invalid: the whole UPDATE must be
+	// rejected before any row is tombstoned or re-appended, or the
+	// delete+insert rewrite would lose rows / desync the column deltas.
+	if _, err := db.Exec("UPDATE t SET s = NULL WHERE x = 1"); err == nil {
+		t.Fatal("NULL into TEXT column should error")
+	}
+	r := mustExec(t, db, "SELECT x, s FROM t ORDER BY x")
+	want := [][]any{{int64(1), "a"}, {int64(2), "b"}}
 	if !reflect.DeepEqual(r.Rows, want) {
 		t.Fatalf("table corrupted by failed UPDATE: rows = %v", r.Rows)
+	}
+}
+
+func TestFloatNullGrouped(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE g (k INT, f FLOAT)")
+	mustExec(t, db, "INSERT INTO g VALUES (1, 1.0), (1, NULL), (1, 3.0), (2, NULL), (2, NULL)")
+	r := mustExec(t, db, "SELECT k, sum(f) AS s, min(f) AS lo, max(f) AS hi, count(f) AS n FROM g GROUP BY k ORDER BY k")
+	want := [][]any{
+		{int64(1), 4.0, 1.0, 3.0, int64(2)},
+		{int64(2), nil, nil, nil, int64(0)},
+	}
+	if !reflect.DeepEqual(r.Rows, want) {
+		t.Fatalf("grouped = %v, want %v", r.Rows, want)
 	}
 }
 

@@ -24,8 +24,9 @@ func Parse(src string) (Stmt, error) {
 }
 
 type parser struct {
-	toks []token
-	pos  int
+	toks    []token
+	pos     int
+	nparams int // ? placeholders seen so far; ordinals are lexical
 }
 
 func (p *parser) cur() token { return p.toks[p.pos] }
@@ -399,7 +400,14 @@ func (p *parser) parseFactor() (Expr, error) {
 		return ColRef{Name: t.text}, nil
 	case tokNumber, tokFloat, tokString:
 		return p.parseLit()
+	case tokKeyword:
+		if t.text == "NULL" {
+			return p.parseLit()
+		}
 	case tokSymbol:
+		if t.text == "?" {
+			return p.parseLit()
+		}
 		if t.text == "(" {
 			p.pos++
 			e, err := p.parseExpr()
@@ -420,6 +428,11 @@ func (p *parser) parseLit() (Lit, error) {
 	if t.kind == tokKeyword && t.text == "NULL" {
 		p.pos++
 		return Lit{Null: true}, nil
+	}
+	if t.kind == tokSymbol && t.text == "?" {
+		p.pos++
+		p.nparams++
+		return Lit{Param: p.nparams}, nil
 	}
 	switch t.kind {
 	case tokNumber:

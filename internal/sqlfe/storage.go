@@ -118,13 +118,21 @@ func (t *Table) coerceRow(row []Lit) ([]any, error) {
 
 // coerce converts a literal to the Go value for a column type.
 func coerce(lit Lit, ct ColType) (any, error) {
+	if lit.Param > 0 {
+		return nil, fmt.Errorf("parameter ?%d not bound", lit.Param)
+	}
 	if lit.Null {
-		// Only int columns have a nil representation (bat.NilInt, the
-		// MonetDB convention of reserving the domain minimum).
-		if ct == TInt {
+		// Int and float columns have stored nil representations, following
+		// the MonetDB convention of reserving a domain sentinel: the
+		// minimum for ints (bat.NilInt), the canonical NaN for floats
+		// (bat.NilFloat). Text columns still have none.
+		switch ct {
+		case TInt:
 			return bat.NilInt, nil
+		case TFloat:
+			return bat.NilFloat(), nil
 		}
-		return nil, fmt.Errorf("NULL is only supported in INT columns, not %s", ct)
+		return nil, fmt.Errorf("NULL is not supported in %s columns", ct)
 	}
 	switch ct {
 	case TInt:
@@ -185,6 +193,16 @@ func (t *Table) effectiveCol(i int) *bat.BAT {
 	return t.effCols[i]
 }
 
+// ColumnBAT returns column i as one effective BAT (main ++ insert
+// delta, deleted positions still present). Read-only: callers must not
+// mutate the returned BAT. This is the bridge the vectorized engine
+// scans through.
+func (t *Table) ColumnBAT(i int) *bat.BAT { return t.effectiveCol(i) }
+
+// HasDeletes reports whether any position is tombstoned. A table with
+// deletes cannot be scanned positionally without the deleted filter.
+func (t *Table) HasDeletes() bool { return len(t.del) > 0 }
+
 // deletedBAT returns the sorted deleted-position candidate list.
 func (t *Table) deletedBAT() *bat.BAT {
 	b := bat.FromOIDs(append([]bat.OID(nil), t.del...))
@@ -213,7 +231,14 @@ func (t *Table) snapshot() *Table {
 // mal.Catalog with names "table.col" and "table.%del".
 type Snapshot struct {
 	tables map[string]*Table
+	schema int64 // the DB's schema version when the snapshot was taken
 }
+
+// SchemaVersion returns the catalog version this snapshot was taken
+// at. A plan compiled against a snapshot is valid exactly for
+// snapshots of the same version — comparing against the LIVE version
+// instead would mis-stamp plans compiled on pinned (frozen) snapshots.
+func (s *Snapshot) SchemaVersion() int64 { return s.schema }
 
 // BindBAT implements mal.Catalog.
 func (s *Snapshot) BindBAT(name string) (*bat.BAT, error) {
@@ -245,6 +270,17 @@ func (s *Snapshot) Version(name string) int64 {
 		return t.version
 	}
 	return 0
+}
+
+// Materialize warms every effective-column cache. A snapshot that will
+// be shared by concurrent readers must be materialized first: the lazy
+// main++delta merge in ColumnBAT/BindBAT is not synchronized.
+func (s *Snapshot) Materialize() {
+	for _, t := range s.tables {
+		for i := range t.ColNames {
+			t.effectiveCol(i)
+		}
+	}
 }
 
 // Table returns the snapshot's view of a table.

@@ -25,6 +25,13 @@ const (
 	PredEq
 	PredLeF
 	PredGeF
+	PredLe
+	PredGt
+	PredNe
+	PredLtF
+	PredGtF
+	PredEqF
+	PredNeF
 )
 
 // Pred is one predicate: column ColIdx compared against a constant.
@@ -62,10 +69,24 @@ func (f *Filter) Next() (*Batch, error) {
 				out = SelLtInt(c.Ints, sel, p.IntVal, out)
 			case PredEq:
 				out = SelEqInt(c.Ints, sel, p.IntVal, out)
+			case PredLe:
+				out = SelLeInt(c.Ints, sel, p.IntVal, out)
+			case PredGt:
+				out = SelGtInt(c.Ints, sel, p.IntVal, out)
+			case PredNe:
+				out = SelNeInt(c.Ints, sel, p.IntVal, out)
 			case PredLeF:
 				out = SelLeFloat(c.Floats, sel, p.FltVal, out)
 			case PredGeF:
 				out = SelGeFloat(c.Floats, sel, p.FltVal, out)
+			case PredLtF:
+				out = SelLtFloat(c.Floats, sel, p.FltVal, out)
+			case PredGtF:
+				out = SelGtFloat(c.Floats, sel, p.FltVal, out)
+			case PredEqF:
+				out = SelEqFloat(c.Floats, sel, p.FltVal, out)
+			case PredNeF:
+				out = SelNeFloat(c.Floats, sel, p.FltVal, out)
 			default:
 				return nil, fmt.Errorf("vector: bad predicate op %d", p.Op)
 			}

@@ -18,6 +18,7 @@ package vector
 // top level would count partial rows and is the caller's mistake.
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -29,10 +30,16 @@ import (
 const DefaultMorselSize = 1 << 16
 
 // MorselCursor hands out disjoint [lo,hi) row ranges of a Source to any
-// number of concurrent claimants.
+// number of concurrent claimants. An optional context cancels it: a
+// canceled cursor stops handing out morsels, so every worker winds down
+// at its next morsel boundary — in-flight morsels finish, new ones are
+// never started. This bounds cancellation latency to one morsel's worth
+// of work without any per-tuple (or even per-vector) check in the hot
+// loops.
 type MorselCursor struct {
 	src  *Source
 	size int
+	ctx  context.Context // nil = never canceled
 	pos  atomic.Int64
 }
 
@@ -45,8 +52,12 @@ func NewMorselCursor(src *Source, morselSize int) *MorselCursor {
 	return &MorselCursor{src: src, size: morselSize}
 }
 
-// claim returns the next unclaimed morsel, or ok=false at end of input.
+// claim returns the next unclaimed morsel, or ok=false at end of input
+// or after cancellation.
 func (m *MorselCursor) claim() (lo, hi int, ok bool) {
+	if m.ctx != nil && m.ctx.Err() != nil {
+		return 0, 0, false
+	}
 	for {
 		cur := m.pos.Load()
 		if int(cur) >= m.src.n {
@@ -133,6 +144,10 @@ type Exchange struct {
 	// It is called once per worker and must not share mutable state
 	// between the fragments it returns.
 	Plan func(scan Operator) Operator
+	// Ctx, when non-nil, cancels the exchange: workers observe it at
+	// morsel boundaries (see MorselCursor) and Next reports ctx.Err()
+	// once the workers have wound down.
+	Ctx context.Context
 
 	ch      chan *Batch
 	errs    chan error
@@ -154,6 +169,7 @@ func (e *Exchange) Open() error {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	cursor := NewMorselCursor(e.Source, e.MorselSize)
+	cursor.ctx = e.Ctx
 	e.ch = make(chan *Batch, workers)
 	e.errs = make(chan error, workers)
 	e.stop = make(chan struct{})
@@ -184,6 +200,12 @@ func (e *Exchange) worker(cursor *MorselCursor) {
 			return
 		}
 		if b == nil {
+			// End of stream — or a canceled cursor that stopped handing
+			// out morsels. Report the cancellation so the consumer can
+			// distinguish a complete result from an aborted one.
+			if e.Ctx != nil && e.Ctx.Err() != nil {
+				e.errs <- e.Ctx.Err()
+			}
 			return
 		}
 		select {

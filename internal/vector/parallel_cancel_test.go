@@ -1,0 +1,95 @@
+package vector
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func cancelSource(n int) *Source {
+	ints := make([]int64, n)
+	for i := range ints {
+		ints[i] = int64(i)
+	}
+	src, err := NewSource([]string{"x"}, []Col{{Kind: KindInt, Ints: ints}})
+	if err != nil {
+		panic(err)
+	}
+	return src
+}
+
+// A canceled context aborts the exchange at a morsel boundary: Next
+// eventually returns the context error, and the workers never claim
+// the remaining morsels.
+func TestExchangeContextCancel(t *testing.T) {
+	src := cancelSource(1 << 16)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ex := &Exchange{Source: src, Workers: 2, MorselSize: 1024, VectorSize: 256,
+		Plan: func(scan Operator) Operator { return scan }, Ctx: ctx}
+	if err := ex.Open(); err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Close()
+
+	rows := 0
+	canceled := false
+	for {
+		b, err := ex.Next()
+		if err != nil {
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("Next error = %v, want context.Canceled", err)
+			}
+			canceled = true
+			break
+		}
+		if b == nil {
+			break
+		}
+		rows += b.Rows()
+		if !cancelWasCalled(cancel, rows) {
+			continue
+		}
+	}
+	if !canceled {
+		t.Fatalf("exchange drained %d rows without reporting cancellation", rows)
+	}
+	if rows >= src.Len() {
+		t.Fatalf("cancellation did not abort early: saw all %d rows", rows)
+	}
+}
+
+// cancelWasCalled cancels after the first batch and reports it did.
+func cancelWasCalled(cancel context.CancelFunc, rows int) bool {
+	if rows > 0 {
+		cancel()
+		return true
+	}
+	return false
+}
+
+// A context canceled before Open yields no batches, only the error.
+func TestExchangeContextCancelBeforeOpen(t *testing.T) {
+	src := cancelSource(4096)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ex := &Exchange{Source: src, Workers: 2, MorselSize: 256,
+		Plan: func(scan Operator) Operator { return scan }, Ctx: ctx}
+	if err := ex.Open(); err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Close()
+	for {
+		b, err := ex.Next()
+		if err != nil {
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("Next error = %v", err)
+			}
+			return
+		}
+		if b == nil {
+			t.Fatal("pre-canceled exchange ended without an error")
+		}
+		t.Fatalf("pre-canceled exchange produced a batch of %d rows", b.Rows())
+	}
+}

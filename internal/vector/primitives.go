@@ -96,6 +96,134 @@ func SelGeFloat(col []float64, sel []int32, v float64, out []int32) []int32 {
 	return out
 }
 
+// SelLeInt appends indexes with col[i] <= v.
+func SelLeInt(col []int64, sel []int32, v int64, out []int32) []int32 {
+	if sel == nil {
+		for i, x := range col {
+			if x <= v {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for _, i := range sel {
+		if col[i] <= v {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SelGtInt appends indexes with col[i] > v.
+func SelGtInt(col []int64, sel []int32, v int64, out []int32) []int32 {
+	if sel == nil {
+		for i, x := range col {
+			if x > v {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for _, i := range sel {
+		if col[i] > v {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SelNeInt appends indexes with col[i] != v.
+func SelNeInt(col []int64, sel []int32, v int64, out []int32) []int32 {
+	if sel == nil {
+		for i, x := range col {
+			if x != v {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for _, i := range sel {
+		if col[i] != v {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SelLtFloat appends indexes with col[i] < v.
+func SelLtFloat(col []float64, sel []int32, v float64, out []int32) []int32 {
+	if sel == nil {
+		for i, x := range col {
+			if x < v {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for _, i := range sel {
+		if col[i] < v {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SelGtFloat appends indexes with col[i] > v.
+func SelGtFloat(col []float64, sel []int32, v float64, out []int32) []int32 {
+	if sel == nil {
+		for i, x := range col {
+			if x > v {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for _, i := range sel {
+		if col[i] > v {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SelEqFloat appends indexes with col[i] == v (never NaN, the float nil).
+func SelEqFloat(col []float64, sel []int32, v float64, out []int32) []int32 {
+	if sel == nil {
+		for i, x := range col {
+			if x == v {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for _, i := range sel {
+		if col[i] == v {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SelNeFloat appends indexes with col[i] != v, excluding NaN (the float
+// nil: NULL <> v is unknown, not true).
+func SelNeFloat(col []float64, sel []int32, v float64, out []int32) []int32 {
+	if sel == nil {
+		for i, x := range col {
+			if x != v && x == x {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for _, i := range sel {
+		x := col[i]
+		if x != v && x == x {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
 // MapAddInt computes out[i] = a[i] + b[i] for qualifying i.
 func MapAddInt(a, b []int64, sel []int32, out []int64) {
 	if sel == nil {

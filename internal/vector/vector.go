@@ -117,6 +117,21 @@ func NewSource(names []string, cols []Col) (*Source, error) {
 	return &Source{Names: names, Cols: cols, n: n}, nil
 }
 
+// NewSourceWithLen builds a source of exactly n rows; cols may be empty
+// (a pure row-count scan, e.g. count(*) touching no columns), otherwise
+// every column's length must equal n.
+func NewSourceWithLen(names []string, cols []Col, n int) (*Source, error) {
+	src, err := NewSource(names, cols)
+	if err != nil {
+		return nil, err
+	}
+	if len(cols) > 0 && src.n != n {
+		return nil, fmt.Errorf("vector: source length %d != declared %d", src.n, n)
+	}
+	src.n = n
+	return src, nil
+}
+
 // Len returns the number of rows in the source.
 func (s *Source) Len() int { return s.n }
 
