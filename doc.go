@@ -11,10 +11,11 @@
 // Prepare statements whose ? placeholders compile into typed bind
 // slots of a MAL plan compiled exactly once, and Query streaming Rows
 // cursors with context cancellation checked at morsel boundaries. The
-// engine lowers simple scan/filter/project/aggregate SELECTs onto the
-// morsel-parallel vectorized pipeline and falls back to the MAL
-// interpreter for everything else. internal/sqlfe.DB is the internal
-// layer underneath; it is not a supported entry point.
+// engine lowers simple scan/filter/project SELECTs, global aggregates
+// (sum/count/avg/min/max), and single-table GROUP BY over an INT key
+// onto the morsel-parallel vectorized pipeline and falls back to the
+// MAL interpreter for everything else. internal/sqlfe.DB is the
+// internal layer underneath; it is not a supported entry point.
 //
 // # Execution layer
 //
@@ -45,6 +46,18 @@
 //     aggregates), and re-aggregates the partials. A context on the
 //     Exchange cancels at morsel boundaries. Experiment E15 and
 //     BenchmarkE15ParallelScaling measure the scaling.
+//
+//   - Grouping shares the same hash-table discipline: radix.GroupTable
+//     (and PairGroupTable for composite keys) assigns dense group ids
+//     with Fibonacci-hashed flat slots and no per-key allocations; it
+//     backs batalg.Group/GroupStr/SubGroup, the MAL group ops, and the
+//     vectorized Agg. Parallel GROUP BY runs per-worker partial tables
+//     merged by key (vector.ParallelGroupAgg) or — when the cost model
+//     radix.ShouldPartitionGroup predicts the grouping table outgrows
+//     the LLC — a shared-nothing plan over the parallel Radix-Cluster
+//     (vector.PartitionedGroupAgg), where each worker owns disjoint key
+//     ranges and the merge is concatenation. BENCH_pr4.json records the
+//     cardinality sweep.
 //
 // # NULL representation
 //

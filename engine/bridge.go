@@ -3,10 +3,13 @@ package engine
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"strings"
 
+	"repro/internal/bat"
 	"repro/internal/mal"
+	"repro/internal/radix"
 	"repro/internal/sqlfe"
 	"repro/internal/vector"
 )
@@ -14,29 +17,38 @@ import (
 // The sqlfe→vector bridge lowers simple SELECTs onto the morsel-parallel
 // vectorized pipeline instead of the MAL interpreter: a single table
 // scanned through Exchange workers, vectorized filters for the WHERE
-// conjuncts, column projections or re-aggregated global sum/count/avg.
-// Lowering happens in two stages with different lifetimes:
+// conjuncts, column projections, re-aggregated global aggregates, or
+// parallel grouped aggregation (per-worker open-addressing grouping
+// tables merged by key — or, at high key cardinality, the shared-nothing
+// radix-partitioned plan). Lowering happens in two stages with different
+// lifetimes:
 //
 //   - lowerSelect runs at Prepare time and is purely structural: it
 //     decides whether the statement SHAPE fits the pipeline (one table,
-//     no join/group/order, int/float columns, supported aggregates) and
-//     builds a reusable template with unresolved predicate slots.
+//     no join/order, int/float columns, supported aggregates, int GROUP
+//     BY key) and builds a reusable template with unresolved predicate
+//     slots.
 //
 //   - vecTemplate.execute runs per Query and is data-dependent: it
-//     checks the snapshot qualifies (no tombstoned rows; nil-free
-//     columns where the vectorized primitives don't nil-check), binds
+//     checks the snapshot qualifies (no tombstoned rows; nil-free INT
+//     filter columns — the Sel*Int primitives don't nil-check), binds
 //     the ? slots, and instantiates the Exchange over zero-copy column
 //     slices of the snapshot. If the data disqualifies, the caller falls
 //     back to the compiled MAL program — same results, different engine.
+//
+// Aggregates are nil-aware end to end: the partial folds skip the nil
+// sentinels (bat.NilInt / NaN), per-column non-nil counts shape SQL's
+// NULL results (sum/avg over zero non-nil inputs, min/max over all-NULL
+// groups), so nil-bearing aggregate columns no longer disqualify the
+// vector path.
 type vecTemplate struct {
 	table string
 	// srcCols are the referenced table column indexes, in Source order.
 	srcCols []int
 	types   []sqlfe.ColType // per source column
 	// needNoNil marks source columns that must be nil-free to run
-	// vectorized: int filter columns (the Sel primitives do not
-	// nil-check) and every aggregated column (the partial sums do not
-	// skip sentinels).
+	// vectorized: int filter columns (the Sel*Int primitives do not
+	// nil-check; bat.NilInt is the domain minimum and would satisfy <).
 	needNoNil []bool
 
 	preds []vecPred
@@ -44,8 +56,11 @@ type vecTemplate struct {
 	aggs  []vecAgg
 	accs  []accSpec
 	agg   bool
-	limit int
-	names []string // output labels (from the compiled program)
+	// keyPos is the Source position of the GROUP BY key column; -1 when
+	// the query is not grouped.
+	keyPos int
+	limit  int
+	names  []string // output labels (from the compiled program)
 }
 
 // vecPred is one WHERE conjunct over a source column; the comparison
@@ -61,27 +76,31 @@ type vecPred struct {
 // accSpec is one per-worker accumulator (a partial-aggregate column).
 type accSpec struct {
 	kind vector.AggKind
-	src  int // source column; unused for AggCount
+	src  int // source column; -1 for AggCount
 }
 
-// vecAgg maps one output item onto accumulators.
+// vecAgg maps one select-list item onto accumulators (aggregate modes:
+// global and grouped).
 type vecAgg struct {
-	fn     string // "sum", "count", "avg"
-	sumAcc int    // index into accs; -1 for count
-	cntAcc int    // shared filtered-row count; -1 when not needed
+	key    bool   // grouped mode: this item IS the group key column
+	fn     string // "sum", "count", "avg", "min", "max"
+	acc    int    // main accumulator (sum / count / min / max); -1 for key
+	cntAcc int    // non-nil count shaping sum/avg NULL; -1 when unused
 	flt    bool   // float-typed result
 }
 
 // lowerSelect builds a template if the statement shape fits, else nil.
+// Anything MAL cannot compile never reaches this point (Prepare compiles
+// the MAL program first), so the shape checks here only decide routing.
 func lowerSelect(sel *sqlfe.Select, snap *sqlfe.Snapshot) *vecTemplate {
-	if sel.Join != nil || sel.GroupBy != "" || sel.OrderBy != "" {
+	if sel.Join != nil || sel.OrderBy != "" {
 		return nil
 	}
 	t, err := snap.Table(sel.From)
 	if err != nil {
 		return nil
 	}
-	vt := &vecTemplate{table: sel.From, limit: sel.Limit}
+	vt := &vecTemplate{table: sel.From, limit: sel.Limit, keyPos: -1}
 
 	colPos := func(name string) int {
 		name = strings.TrimPrefix(name, t.Name+".")
@@ -109,8 +128,21 @@ func lowerSelect(sel *sqlfe.Select, snap *sqlfe.Snapshot) *vecTemplate {
 		return len(vt.srcCols) - 1
 	}
 
-	// Select list: all plain column refs, or all global aggregates the
-	// re-aggregation scheme supports.
+	grouped := sel.GroupBy != ""
+	if grouped {
+		// The grouping core assigns dense ids over int64 keys; text keys
+		// fall back to MAL's string grouping. (NULL keys are fine: the
+		// GroupTable treats bat.NilInt as the one NULL group.)
+		ci := colPos(sel.GroupBy)
+		if ci < 0 || t.ColTypes[ci] != sqlfe.TInt {
+			return nil
+		}
+		vt.keyPos = source(ci)
+	}
+
+	// Select list: all plain column refs, or aggregates the
+	// re-aggregation scheme supports — plus, when grouped, the group key
+	// as a plain item.
 	hasAgg, hasPlain := false, false
 	for _, it := range sel.Items {
 		if it.Agg != "" {
@@ -119,28 +151,92 @@ func lowerSelect(sel *sqlfe.Select, snap *sqlfe.Snapshot) *vecTemplate {
 			hasPlain = true
 		}
 	}
-	if hasAgg && hasPlain {
+	if !grouped && hasAgg && hasPlain {
 		return nil // MAL compile rejects this anyway
 	}
-	vt.agg = hasAgg
+	vt.agg = hasAgg || grouped
 
-	countAcc := -1
-	needCount := func() int {
-		if countAcc < 0 {
-			vt.accs = append(vt.accs, accSpec{kind: vector.AggCount})
-			countAcc = len(vt.accs) - 1
+	// needAcc registers an accumulator column once per (kind, source).
+	needAcc := func(kind vector.AggKind, src int) int {
+		for i, a := range vt.accs {
+			if a.kind == kind && a.src == src {
+				return i
+			}
 		}
-		return countAcc
+		vt.accs = append(vt.accs, accSpec{kind: kind, src: src})
+		return len(vt.accs) - 1
 	}
+
+	// aggItem lowers one aggregate select item; ok=false disqualifies.
+	aggItem := func(it sqlfe.SelItem) bool {
+		if it.Agg == "count" && it.Expr == nil { // count(*)
+			vt.aggs = append(vt.aggs, vecAgg{fn: "count", acc: needAcc(vector.AggCount, -1), cntAcc: -1})
+			return true
+		}
+		cr, ok := it.Expr.(sqlfe.ColRef)
+		if !ok {
+			return false
+		}
+		ci := colPos(cr.Name)
+		if ci < 0 {
+			return false
+		}
+		pos := source(ci)
+		if pos < 0 {
+			return false
+		}
+		isFlt := vt.types[pos] == sqlfe.TFloat
+		cntKind := vector.AggCountNNInt
+		if isFlt {
+			cntKind = vector.AggCountNNFloat
+		}
+		switch it.Agg {
+		case "count": // count(col): non-nil count
+			vt.aggs = append(vt.aggs, vecAgg{fn: "count", acc: needAcc(cntKind, pos), cntAcc: -1})
+		case "sum", "avg":
+			sumKind := vector.AggSumIntNil
+			if isFlt {
+				sumKind = vector.AggSumFloatNil
+			}
+			a := vecAgg{fn: it.Agg, acc: needAcc(sumKind, pos), cntAcc: needAcc(cntKind, pos), flt: isFlt}
+			if it.Agg == "avg" {
+				a.flt = true
+			}
+			vt.aggs = append(vt.aggs, a)
+		case "min", "max":
+			var kind vector.AggKind
+			switch {
+			case it.Agg == "min" && isFlt:
+				kind = vector.AggMinFloat
+			case it.Agg == "min":
+				kind = vector.AggMinInt
+			case isFlt:
+				kind = vector.AggMaxFloat
+			default:
+				kind = vector.AggMaxInt
+			}
+			vt.aggs = append(vt.aggs, vecAgg{fn: it.Agg, acc: needAcc(kind, pos), cntAcc: -1, flt: isFlt})
+		default:
+			return false
+		}
+		return true
+	}
+
 	for _, it := range sel.Items {
 		switch {
 		case it.Star:
+			if grouped {
+				return nil
+			}
 			for ci, ct := range t.ColTypes {
 				if ct != sqlfe.TInt && ct != sqlfe.TFloat {
 					return nil // text column in *: fall back
 				}
 				vt.outs = append(vt.outs, source(ci))
 			}
+		case it.Agg == "" && grouped:
+			// MAL already enforced this is the group key.
+			vt.aggs = append(vt.aggs, vecAgg{key: true, acc: -1, cntAcc: -1})
 		case it.Agg == "":
 			cr, ok := it.Expr.(sqlfe.ColRef)
 			if !ok {
@@ -155,43 +251,10 @@ func lowerSelect(sel *sqlfe.Select, snap *sqlfe.Snapshot) *vecTemplate {
 				return nil
 			}
 			vt.outs = append(vt.outs, pos)
-		case it.Agg == "count" && it.Expr == nil: // count(*)
-			vt.aggs = append(vt.aggs, vecAgg{fn: "count", sumAcc: -1, cntAcc: needCount()})
-		case it.Agg == "count" || it.Agg == "sum" || it.Agg == "avg":
-			cr, ok := it.Expr.(sqlfe.ColRef)
-			if !ok {
-				return nil
-			}
-			ci := colPos(cr.Name)
-			if ci < 0 {
-				return nil
-			}
-			pos := source(ci)
-			if pos < 0 {
-				return nil
-			}
-			// The vectorized accumulators don't skip nil sentinels, so a
-			// nil-free column is an execution-time requirement; with it,
-			// count(col) degenerates to count(*).
-			vt.needNoNil[pos] = true
-			switch it.Agg {
-			case "count":
-				vt.aggs = append(vt.aggs, vecAgg{fn: "count", sumAcc: -1, cntAcc: needCount()})
-			default:
-				kind := vector.AggSumInt
-				flt := false
-				if vt.types[pos] == sqlfe.TFloat {
-					kind, flt = vector.AggSumFloat, true
-				}
-				vt.accs = append(vt.accs, accSpec{kind: kind, src: pos})
-				a := vecAgg{fn: it.Agg, sumAcc: len(vt.accs) - 1, cntAcc: needCount(), flt: flt}
-				if it.Agg == "avg" {
-					a.flt = true
-				}
-				vt.aggs = append(vt.aggs, a)
-			}
 		default:
-			return nil // min/max etc: MAL fallback
+			if !aggItem(it) {
+				return nil
+			}
 		}
 	}
 
@@ -336,6 +399,10 @@ func (vt *vecTemplate) execute(ctx context.Context, snap *sqlfe.Snapshot, args [
 		return nil, false, fmt.Errorf("engine: %w", err)
 	}
 
+	if vt.keyPos >= 0 {
+		return vt.executeGrouped(ctx, src, preds, opts)
+	}
+
 	identity := len(vt.outs) == len(vt.srcCols)
 	for i, o := range vt.outs {
 		if o != i {
@@ -379,16 +446,13 @@ func (vt *vecTemplate) execute(ctx context.Context, snap *sqlfe.Snapshot, args [
 		return newVecRows(ctx, vt.names, ex, vt.limit), true, nil
 	}
 
-	// Aggregate mode: re-aggregate the workers' partials, then shape the
-	// single result row with SQL NULL semantics (sum/avg over zero rows
-	// is NULL, not 0).
+	// Global aggregate mode: re-aggregate the workers' partials (sums
+	// and counts add, min/max re-fold nil-aware), then shape the single
+	// result row with SQL NULL semantics — sum/avg over zero non-nil
+	// inputs is NULL, as is min/max over none.
 	finals := make([]vector.AggSpec, len(vt.accs))
 	for i, a := range vt.accs {
-		if a.kind == vector.AggSumFloat {
-			finals[i] = vector.AggSpec{Kind: vector.AggSumFloat, Col: i}
-		} else {
-			finals[i] = vector.AggSpec{Kind: vector.AggSumInt, Col: i}
-		}
+		finals[i] = vector.AggSpec{Kind: vector.MergeKind(a.kind), Col: i}
 	}
 	final := &vector.Agg{Child: ex, KeyCol: -1, Aggs: finals}
 	row, err := drainOne(final)
@@ -403,31 +467,157 @@ func (vt *vecTemplate) execute(ctx context.Context, snap *sqlfe.Snapshot, args [
 		}
 		switch a.fn {
 		case "count":
-			vals[i] = mal.IntVal(cnt)
+			vals[i] = mal.IntVal(row.Cols[a.acc].Ints[0])
 		case "sum":
 			if cnt == 0 {
 				vals[i] = mal.NilVal()
 			} else if a.flt {
-				vals[i] = mal.FloatVal(row.Cols[a.sumAcc].Floats[0])
+				vals[i] = mal.FloatVal(row.Cols[a.acc].Floats[0])
 			} else {
-				vals[i] = mal.IntVal(row.Cols[a.sumAcc].Ints[0])
+				vals[i] = mal.IntVal(row.Cols[a.acc].Ints[0])
 			}
 		case "avg":
 			if cnt == 0 {
 				vals[i] = mal.NilVal()
 			} else {
 				s := 0.0
-				if row.Cols[a.sumAcc].Kind == vector.KindFloat {
-					s = row.Cols[a.sumAcc].Floats[0]
+				if row.Cols[a.acc].Kind == vector.KindFloat {
+					s = row.Cols[a.acc].Floats[0]
 				} else {
-					s = float64(row.Cols[a.sumAcc].Ints[0])
+					s = float64(row.Cols[a.acc].Ints[0])
 				}
 				vals[i] = mal.FloatVal(s / float64(cnt))
+			}
+		case "min", "max":
+			if a.flt {
+				v := row.Cols[a.acc].Floats[0]
+				if math.IsNaN(v) {
+					vals[i] = mal.NilVal()
+				} else {
+					vals[i] = mal.FloatVal(v)
+				}
+			} else {
+				v := row.Cols[a.acc].Ints[0]
+				if v == bat.NilInt {
+					vals[i] = mal.NilVal()
+				} else {
+					vals[i] = mal.IntVal(v)
+				}
 			}
 		}
 	}
 	return newMALRows(ctx, vt.names, vals), true, nil
 }
+
+// executeGrouped runs the parallel GROUP BY plans: merge-based by
+// default, shared-nothing radix-partitioned when the key cardinality
+// estimate says the grouping tables would outgrow the cache and the
+// query has no filter (the partitioned plan consumes raw positions).
+func (vt *vecTemplate) executeGrouped(ctx context.Context, src *vector.Source, preds []vector.Pred, opts *Options) (*Rows, bool, error) {
+	specs := make([]vector.AggSpec, len(vt.accs))
+	for i, a := range vt.accs {
+		specs[i] = vector.AggSpec{Kind: a.kind, Col: a.src}
+	}
+	workers := vt.workers(opts)
+
+	var merged *vector.Batch
+	var err error
+	keys := src.Cols[vt.keyPos].Ints
+	est := 0
+	if len(preds) == 0 {
+		est = vector.EstimateGroups(keys)
+	}
+	if len(preds) == 0 && radix.ShouldPartitionGroup(len(keys), est, workers) {
+		merged, err = vector.PartitionedGroupAgg(ctx, src, vt.keyPos, specs, workers, radix.GroupBits(est))
+	} else {
+		merged, err = vector.ParallelGroupAgg(ctx, src, vt.keyPos, specs, preds, workers, opts.MorselSize, opts.VectorSize)
+	}
+	if err != nil {
+		return nil, false, err
+	}
+
+	// Shape the merged [key, accs...] batch into the select-list columns
+	// with SQL NULL semantics (nil sentinels render as NULL cells).
+	n := merged.N
+	accCol := func(i int) *vector.Col { return &merged.Cols[i+1] }
+	out := make([]vector.Col, len(vt.aggs))
+	for i, a := range vt.aggs {
+		switch {
+		case a.key:
+			out[i] = merged.Cols[0]
+		case a.fn == "count":
+			out[i] = *accCol(a.acc)
+		case a.fn == "sum" && !a.flt:
+			sums := accCol(a.acc).Ints
+			cnts := accCol(a.cntAcc).Ints
+			vals := make([]int64, n)
+			for g := 0; g < n; g++ {
+				if cnts[g] == 0 {
+					vals[g] = bat.NilInt // all-NULL group
+				} else {
+					vals[g] = sums[g]
+				}
+			}
+			out[i] = vector.Col{Kind: vector.KindInt, Ints: vals}
+		case a.fn == "sum":
+			sums := accCol(a.acc).Floats
+			cnts := accCol(a.cntAcc).Ints
+			vals := make([]float64, n)
+			for g := 0; g < n; g++ {
+				if cnts[g] == 0 {
+					vals[g] = math.NaN()
+				} else {
+					vals[g] = sums[g]
+				}
+			}
+			out[i] = vector.Col{Kind: vector.KindFloat, Floats: vals}
+		case a.fn == "avg":
+			cnts := accCol(a.cntAcc).Ints
+			vals := make([]float64, n)
+			sc := accCol(a.acc)
+			for g := 0; g < n; g++ {
+				if cnts[g] == 0 {
+					vals[g] = math.NaN()
+					continue
+				}
+				s := 0.0
+				if sc.Kind == vector.KindFloat {
+					s = sc.Floats[g]
+				} else {
+					s = float64(sc.Ints[g])
+				}
+				vals[g] = s / float64(cnts[g])
+			}
+			out[i] = vector.Col{Kind: vector.KindFloat, Floats: vals}
+		default: // min/max: the accumulators already carry nil sentinels
+			out[i] = *accCol(a.acc)
+		}
+	}
+	op := &batchOp{b: &vector.Batch{N: n, Cols: out}}
+	if err := op.Open(); err != nil {
+		return nil, false, err
+	}
+	return newVecRows(ctx, vt.names, op, vt.limit), true, nil
+}
+
+// batchOp adapts one materialized batch to the Operator interface so the
+// grouped result streams through the same Rows cursor as a pipeline.
+type batchOp struct {
+	b    *vector.Batch
+	done bool
+}
+
+func (o *batchOp) Open() error { o.done = false; return nil }
+
+func (o *batchOp) Next() (*vector.Batch, error) {
+	if o.done {
+		return nil, nil
+	}
+	o.done = true
+	return o.b, nil
+}
+
+func (o *batchOp) Close() error { return nil }
 
 func (vt *vecTemplate) workers(opts *Options) int {
 	if opts.Workers > 0 {
@@ -473,9 +663,15 @@ func (vt *vecTemplate) describe() string {
 		}
 		sb.WriteString("]")
 	}
-	if vt.agg {
+	switch {
+	case vt.keyPos >= 0:
+		fmt.Fprintf(&sb, " -> group-by[col%d] partial-agg -> exchange -> merge by key", vt.keyPos)
+		if len(vt.preds) == 0 {
+			sb.WriteString("\n    (radix-partitioned shared-nothing plan at high key cardinality)")
+		}
+	case vt.agg:
 		sb.WriteString(" -> partial-agg -> exchange -> re-agg")
-	} else {
+	default:
 		sb.WriteString(" -> project -> exchange")
 	}
 	return sb.String()

@@ -5,12 +5,20 @@ import (
 	"sort"
 
 	"repro/internal/bat"
+	"repro/internal/radix"
 )
 
 // Grouping and aggregation. Group assigns each tuple a dense group id;
 // aggregates then fold tail values per group in a single bulk pass — the
 // operator-at-a-time materializing style whose intermediates the recycler
 // (§6.1) can cache.
+//
+// The group-id assignment rides the shared open-addressing core
+// (radix.GroupTable / radix.PairGroupTable): Fibonacci hashing, flat
+// power-of-two slots, no per-key allocations — the same hash-table
+// discipline the joins took for the build side, applied to grouping. A
+// nil key (bat.NilInt) is a legal group key: SQL GROUP BY collects all
+// NULLs into one group.
 
 // GroupResult is the output of Group/GroupCand.
 type GroupResult struct {
@@ -25,50 +33,130 @@ type GroupResult struct {
 	NGroups int
 }
 
-// Group computes dense group ids over an int tail.
+// groupHint sizes the grouping table's initial capacity: assume up to
+// n distinct keys but never pre-size beyond 1<<16 slots' worth — the
+// table grows by rehashing if the guess is low, and a cache-resident
+// start wins for the common low-cardinality grouping.
+func groupHint(n int) int {
+	if n > 1<<15 {
+		return 1 << 15
+	}
+	return n
+}
+
+// Group computes dense group ids over an int tail: one bulk pass over
+// the open-addressing table assigns the ids, a second sequential pass
+// derives extents and counts (first occurrence of gid g is its extent —
+// ids are handed out in first-seen order).
 func Group(b *bat.BAT) GroupResult {
 	tail := b.Ints()
-	ids := make([]bat.OID, len(tail))
-	var extents []bat.OID
-	var counts []int64
-	lookup := make(map[int64]int, 1024)
-	for i, v := range tail {
-		g, ok := lookup[v]
-		if !ok {
-			g = len(extents)
-			lookup[v] = g
-			extents = append(extents, b.HSeq()+bat.OID(i))
-			counts = append(counts, 0)
+	n := len(tail)
+	gids := make([]int32, n)
+	gt := radix.NewGroupTable(groupHint(n))
+	gt.AssignBulk(tail, gids)
+	ng := gt.Len()
+	ids := make([]bat.OID, n)
+	extents := make([]bat.OID, ng)
+	counts := make([]int64, ng)
+	hseq := b.HSeq()
+	for i, g := range gids {
+		if counts[g] == 0 {
+			extents[g] = hseq + bat.OID(i)
 		}
-		ids[i] = bat.OID(g)
 		counts[g]++
+		ids[i] = bat.OID(g)
 	}
 	return GroupResult{
 		IDs:     bat.FromOIDs(ids),
 		Extents: bat.FromOIDs(extents),
 		Counts:  bat.FromInts(counts),
-		NGroups: len(extents),
+		NGroups: ng,
 	}
 }
 
-// GroupStr computes dense group ids over a string tail.
+// strSlot is one slot of the string grouping table: the full 64-bit key
+// hash, a representative row (for the equality check on hash ties), and
+// the dense group id.
+type strSlot struct {
+	hash uint64
+	rep  int32
+	gid  int32 // +1; 0 = empty
+}
+
+// strHash is FNV-1a — allocation-free, good low-and-high-bit mixing for
+// the Fibonacci slotting below.
+func strHash(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// GroupStr computes dense group ids over a string tail, open-addressed
+// on the string hash with a representative-row equality check — no
+// per-key map buckets, no string re-allocation.
 func GroupStr(b *bat.BAT) GroupResult {
 	n := b.Len()
 	ids := make([]bat.OID, n)
 	var extents []bat.OID
 	var counts []int64
-	lookup := make(map[string]int, 1024)
+	nslots := 8
+	for nslots < 2*groupHint(n) {
+		nslots <<= 1
+	}
+	shift := uint(64)
+	for s := nslots; s > 1; s >>= 1 {
+		shift--
+	}
+	slots := make([]strSlot, nslots)
+	hseq := b.HSeq()
 	for i := 0; i < n; i++ {
 		v := b.StrAt(i)
-		g, ok := lookup[v]
-		if !ok {
-			g = len(extents)
-			lookup[v] = g
-			extents = append(extents, b.HSeq()+bat.OID(i))
+		h := strHash(v)
+	probe:
+		for {
+			mask := uint64(len(slots) - 1)
+			s := (h * 0x9E3779B97F4A7C15) >> shift
+			for {
+				sl := &slots[s]
+				if sl.gid == 0 {
+					break
+				}
+				if sl.hash == h && b.StrAt(int(sl.rep)) == v {
+					g := sl.gid - 1
+					ids[i] = bat.OID(g)
+					counts[g]++
+					break probe
+				}
+				s = (s + 1) & mask
+			}
+			if 2*(len(extents)+1) > len(slots) {
+				old := slots
+				slots = make([]strSlot, 2*len(old))
+				shift--
+				m := uint64(len(slots) - 1)
+				for _, sl := range old {
+					if sl.gid == 0 {
+						continue
+					}
+					ns := (sl.hash * 0x9E3779B97F4A7C15) >> shift
+					for slots[ns].gid != 0 {
+						ns = (ns + 1) & m
+					}
+					slots[ns] = sl
+				}
+				continue
+			}
+			g := int32(len(extents))
+			slots[s] = strSlot{hash: h, rep: int32(i), gid: g + 1}
+			extents = append(extents, hseq+bat.OID(i))
 			counts = append(counts, 0)
+			ids[i] = bat.OID(g)
+			counts[g]++
+			break
 		}
-		ids[i] = bat.OID(g)
-		counts[g]++
 	}
 	return GroupResult{
 		IDs:     bat.FromOIDs(ids),
@@ -80,25 +168,21 @@ func GroupStr(b *bat.BAT) GroupResult {
 
 // SubGroup refines an existing grouping by an additional int column: tuples
 // stay in the same refined group only if they agree on both the old group
-// and the new column. This is how multi-column GROUP BY chains.
+// and the new column. This is how multi-column GROUP BY chains; the
+// composite (previous gid, value) key goes through the open-addressing
+// pair table instead of a map with a struct key per tuple.
 func SubGroup(prev GroupResult, b *bat.BAT) GroupResult {
 	tail := b.Ints()
 	prevIDs := prev.IDs.OIDs()
-	type key struct {
-		g bat.OID
-		v int64
-	}
 	ids := make([]bat.OID, len(tail))
 	var extents []bat.OID
 	var counts []int64
-	lookup := make(map[key]int, prev.NGroups*2)
+	gt := radix.NewPairGroupTable(groupHint(len(tail)))
+	hseq := b.HSeq()
 	for i, v := range tail {
-		k := key{prevIDs[i], v}
-		g, ok := lookup[k]
-		if !ok {
-			g = len(extents)
-			lookup[k] = g
-			extents = append(extents, b.HSeq()+bat.OID(i))
+		g := gt.GID(int64(prevIDs[i]), v)
+		if int(g) == len(extents) {
+			extents = append(extents, hseq+bat.OID(i))
 			counts = append(counts, 0)
 		}
 		ids[i] = bat.OID(g)
@@ -420,11 +504,10 @@ func CountNonNilPerGroup(vals *bat.BAT, g GroupResult) *bat.BAT {
 // distinct int tail value, in head order.
 func Unique(b *bat.BAT) *bat.BAT {
 	tail := b.Ints()
-	seen := make(map[int64]struct{}, 1024)
+	gt := radix.NewGroupTable(groupHint(len(tail)))
 	out := make([]bat.OID, 0)
 	for i, v := range tail {
-		if _, ok := seen[v]; !ok {
-			seen[v] = struct{}{}
+		if int(gt.GID(v)) == len(out) { // first sight of this key
 			out = append(out, b.HSeq()+bat.OID(i))
 		}
 	}

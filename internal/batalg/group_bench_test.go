@@ -1,0 +1,66 @@
+package batalg
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bat"
+)
+
+// BenchmarkGroup pits the open-addressing grouping core against the old
+// map-based implementation (kept as mapGroupOracle in group_test.go)
+// across group cardinalities at 1M rows. The table variant is the live
+// Group; the map variant is the PR-3-era code.
+func BenchmarkGroup(b *testing.B) {
+	const n = 1 << 20
+	for _, card := range []int{10, 1000, 100000, 1 << 20} {
+		rng := rand.New(rand.NewSource(1))
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = rng.Int63n(int64(card))
+		}
+		bb := bat.FromInts(vals)
+		b.Run(fmt.Sprintf("table-card%d", card), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g := Group(bb)
+				if g.NGroups == 0 {
+					b.Fatal("no groups")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("map-card%d", card), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g := mapGroupOracle(bb)
+				if g.NGroups == 0 {
+					b.Fatal("no groups")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSubGroup measures the composite-key refinement (multi-column
+// GROUP BY) on the pair table.
+func BenchmarkSubGroup(b *testing.B) {
+	const n = 1 << 20
+	rng := rand.New(rand.NewSource(2))
+	a := make([]int64, n)
+	c := make([]int64, n)
+	for i := range a {
+		a[i] = rng.Int63n(100)
+		c[i] = rng.Int63n(100)
+	}
+	ab, cb := bat.FromInts(a), bat.FromInts(c)
+	prev := Group(ab)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := SubGroup(prev, cb)
+		if g.NGroups == 0 {
+			b.Fatal("no groups")
+		}
+	}
+}

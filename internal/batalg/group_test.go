@@ -288,3 +288,145 @@ func TestAppendBATTypeMismatchPanics(t *testing.T) {
 	}()
 	AppendBAT(bat.FromInts(nil), bat.FromFloats(nil))
 }
+
+// --- property tests: the open-addressing grouping core vs the old
+// map-based implementations as oracle ---
+
+// mapGroupOracle is the PR-3-era map implementation of Group, kept as
+// the semantic oracle for the open-addressing rewrite.
+func mapGroupOracle(b *bat.BAT) GroupResult {
+	tail := b.Ints()
+	ids := make([]bat.OID, len(tail))
+	var extents []bat.OID
+	var counts []int64
+	lookup := make(map[int64]int, 1024)
+	for i, v := range tail {
+		g, ok := lookup[v]
+		if !ok {
+			g = len(extents)
+			lookup[v] = g
+			extents = append(extents, b.HSeq()+bat.OID(i))
+			counts = append(counts, 0)
+		}
+		ids[i] = bat.OID(g)
+		counts[g]++
+	}
+	return GroupResult{IDs: bat.FromOIDs(ids), Extents: bat.FromOIDs(extents),
+		Counts: bat.FromInts(counts), NGroups: len(extents)}
+}
+
+func sameGrouping(t *testing.T, got, want GroupResult) bool {
+	t.Helper()
+	eqOIDs := func(a, b []bat.OID) bool {
+		return len(a) == len(b) && (len(a) == 0 || reflect.DeepEqual(a, b))
+	}
+	eqInts := func(a, b []int64) bool {
+		return len(a) == len(b) && (len(a) == 0 || reflect.DeepEqual(a, b))
+	}
+	return got.NGroups == want.NGroups &&
+		eqOIDs(got.IDs.OIDs(), want.IDs.OIDs()) &&
+		eqOIDs(got.Extents.OIDs(), want.Extents.OIDs()) &&
+		eqInts(got.Counts.Ints(), want.Counts.Ints())
+}
+
+func TestGroupMatchesMapOracle(t *testing.T) {
+	check := func(raw []int16, nilEvery uint8) bool {
+		vals := make([]int64, len(raw))
+		for i, v := range raw {
+			vals[i] = int64(v % 64)
+			if nilEvery > 0 && i%(int(nilEvery)+1) == 0 {
+				vals[i] = bat.NilInt // NULL keys form their own group
+			}
+		}
+		b := bat.FromInts(vals)
+		return sameGrouping(t, Group(b), mapGroupOracle(b))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubGroupMatchesMapOracle(t *testing.T) {
+	oracle := func(prev GroupResult, b *bat.BAT) GroupResult {
+		tail := b.Ints()
+		prevIDs := prev.IDs.OIDs()
+		type key struct {
+			g bat.OID
+			v int64
+		}
+		ids := make([]bat.OID, len(tail))
+		var extents []bat.OID
+		var counts []int64
+		lookup := make(map[key]int, prev.NGroups*2)
+		for i, v := range tail {
+			k := key{prevIDs[i], v}
+			g, ok := lookup[k]
+			if !ok {
+				g = len(extents)
+				lookup[k] = g
+				extents = append(extents, b.HSeq()+bat.OID(i))
+				counts = append(counts, 0)
+			}
+			ids[i] = bat.OID(g)
+			counts[g]++
+		}
+		return GroupResult{IDs: bat.FromOIDs(ids), Extents: bat.FromOIDs(extents),
+			Counts: bat.FromInts(counts), NGroups: len(extents)}
+	}
+	check := func(ka, kb []uint8, nilEvery uint8) bool {
+		n := len(ka)
+		if len(kb) < n {
+			n = len(kb)
+		}
+		a := make([]int64, n)
+		bvals := make([]int64, n)
+		for i := 0; i < n; i++ {
+			a[i] = int64(ka[i] % 16)
+			bvals[i] = int64(kb[i] % 16)
+			if nilEvery > 0 && i%(int(nilEvery)+1) == 0 {
+				bvals[i] = bat.NilInt
+			}
+		}
+		ab, bb := bat.FromInts(a), bat.FromInts(bvals)
+		prev := Group(ab)
+		return sameGrouping(t, SubGroup(prev, bb), oracle(prev, bb))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupStrMatchesMapOracle(t *testing.T) {
+	oracle := func(b *bat.BAT) GroupResult {
+		n := b.Len()
+		ids := make([]bat.OID, n)
+		var extents []bat.OID
+		var counts []int64
+		lookup := make(map[string]int, 1024)
+		for i := 0; i < n; i++ {
+			v := b.StrAt(i)
+			g, ok := lookup[v]
+			if !ok {
+				g = len(extents)
+				lookup[v] = g
+				extents = append(extents, b.HSeq()+bat.OID(i))
+				counts = append(counts, 0)
+			}
+			ids[i] = bat.OID(g)
+			counts[g]++
+		}
+		return GroupResult{IDs: bat.FromOIDs(ids), Extents: bat.FromOIDs(extents),
+			Counts: bat.FromInts(counts), NGroups: len(extents)}
+	}
+	check := func(raw []uint16) bool {
+		vals := make([]string, len(raw))
+		for i, v := range raw {
+			vals[i] = "k" + string(rune('a'+int(v%26))) + string(rune('a'+int(v/26%26)))
+		}
+		b := bat.FromStrings(vals)
+		return sameGrouping(t, GroupStr(b), oracle(b))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

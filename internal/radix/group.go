@@ -1,0 +1,249 @@
+package radix
+
+// GroupTable is the open-addressing grouping core: it maps int64 keys to
+// DENSE group ids (0,1,2,... in first-seen order) with the same
+// cache-conscious layout discipline as the join Table — Fibonacci
+// hashing on the high (well-mixed) bits of the multiplicative hash,
+// power-of-two flat slots, linear probing, load factor <= ½, no per-key
+// allocations. It is the hash table behind batalg.Group, the vectorized
+// engine's grouped Agg, and the per-worker partial tables of parallel
+// grouped aggregation.
+//
+// Unlike the join Table, a nil key (bat.NilInt) is a LEGAL group key:
+// SQL GROUP BY collects all NULLs into one group (grouping is "is not
+// distinct from", not "="), so NilInt hashes and matches like any other
+// value here. The dense ids double as indexes into the Keys() array and
+// into whatever per-group accumulators the caller folds, which is what
+// makes the one-pass bulk grouping allocation-free: no map buckets, no
+// boxed keys, just the slot array and one append per NEW group.
+type GroupTable struct {
+	slots []gslot
+	shift uint    // 64 - log2(len(slots)); slot = Hash(key) >> shift
+	keys  []int64 // dense gid -> key, in first-seen order
+}
+
+type gslot struct {
+	key int64
+	gid int32 // group id + 1; 0 = empty slot
+}
+
+// NewGroupTable returns a table pre-sized for `hint` distinct groups at
+// load factor <= ½. The table grows by rehashing past the hint, so the
+// hint is a performance knob, not a cap.
+func NewGroupTable(hint int) *GroupTable {
+	if hint < 4 {
+		hint = 4
+	}
+	nslots := 8
+	for nslots < 2*hint {
+		nslots <<= 1
+	}
+	shift := uint(64)
+	for s := nslots; s > 1; s >>= 1 {
+		shift--
+	}
+	return &GroupTable{
+		slots: make([]gslot, nslots),
+		shift: shift,
+		keys:  make([]int64, 0, hint),
+	}
+}
+
+// Len returns the number of distinct groups seen.
+func (t *GroupTable) Len() int { return len(t.keys) }
+
+// Keys returns the group keys indexed by dense gid, in first-seen
+// order. The slice aliases the table's storage: read-only, valid until
+// the next GID call.
+func (t *GroupTable) Keys() []int64 { return t.keys }
+
+// GID returns the dense group id of key, assigning the next free id on
+// first sight. This is the one hot entry point; the found path is a
+// slot probe resolving within one or two cache lines.
+func (t *GroupTable) GID(key int64) int32 {
+	for {
+		mask := uint64(len(t.slots) - 1)
+		s := Hash(key) >> t.shift
+		for {
+			g := t.slots[s].gid
+			if g == 0 {
+				break
+			}
+			if t.slots[s].key == key {
+				return g - 1
+			}
+			s = (s + 1) & mask
+		}
+		if 2*(len(t.keys)+1) > len(t.slots) {
+			// Keep load <= ½; the doubled table moves every slot, so
+			// re-probe from the top.
+			t.grow()
+			continue
+		}
+		gid := int32(len(t.keys))
+		t.slots[s] = gslot{key: key, gid: gid + 1}
+		t.keys = append(t.keys, key)
+		return gid
+	}
+}
+
+// AssignBulk maps keys[i] to gids[i] for the whole slice in one tight
+// loop — the bulk fast path of the grouping core. The slot mask, shift,
+// and slot slice are hoisted out of the loop (re-read only after a
+// grow), so the found path — the overwhelmingly common one at any
+// realistic cardinality — is hash, one slot load, one compare, one
+// store. gids must have len(keys) entries.
+func (t *GroupTable) AssignBulk(keys []int64, gids []int32) {
+	slots := t.slots
+	mask := uint64(len(slots) - 1)
+	shift := t.shift
+	for i, k := range keys {
+		s := Hash(k) >> shift
+		for {
+			sl := &slots[s]
+			g := sl.gid
+			if g != 0 {
+				if sl.key == k {
+					gids[i] = g - 1
+					break
+				}
+				s = (s + 1) & mask
+				continue
+			}
+			// First sight: insert (the rare path).
+			if 2*(len(t.keys)+1) > len(slots) {
+				t.grow()
+				slots = t.slots
+				mask = uint64(len(slots) - 1)
+				shift = t.shift
+				s = Hash(k) >> shift
+				continue
+			}
+			gid := int32(len(t.keys))
+			*sl = gslot{key: k, gid: gid + 1}
+			t.keys = append(t.keys, k)
+			gids[i] = gid
+			break
+		}
+	}
+}
+
+// Lookup returns the gid of key, or -1 when the key has no group yet.
+func (t *GroupTable) Lookup(key int64) int32 {
+	mask := uint64(len(t.slots) - 1)
+	s := Hash(key) >> t.shift
+	for {
+		g := t.slots[s].gid
+		if g == 0 {
+			return -1
+		}
+		if t.slots[s].key == key {
+			return g - 1
+		}
+		s = (s + 1) & mask
+	}
+}
+
+func (t *GroupTable) grow() {
+	old := t.slots
+	t.slots = make([]gslot, 2*len(old))
+	t.shift--
+	mask := uint64(len(t.slots) - 1)
+	for _, sl := range old {
+		if sl.gid == 0 {
+			continue
+		}
+		s := Hash(sl.key) >> t.shift
+		for t.slots[s].gid != 0 {
+			s = (s + 1) & mask
+		}
+		t.slots[s] = sl
+	}
+}
+
+// PairGroupTable is GroupTable over COMPOSITE (int64,int64) keys: the
+// core of batalg.SubGroup, where multi-column GROUP BY refines an
+// existing grouping — key1 is the previous group id, key2 the new
+// column's value. One 24-byte slot holds both key halves and the dense
+// id, so a probe still costs one cache line; equality compares both
+// halves, so hash collisions between distinct pairs are harmless.
+type PairGroupTable struct {
+	slots []pslot
+	shift uint
+	n     int
+}
+
+type pslot struct {
+	k1, k2 int64
+	gid    int32 // group id + 1; 0 = empty
+}
+
+// hashPair mixes both key halves through the Fibonacci multiplier. The
+// xor-then-multiply keeps the high bits (the slot bits) sensitive to
+// every bit of both halves.
+func hashPair(k1, k2 int64) uint64 {
+	return (Hash(k1) ^ uint64(k2)) * 0x9E3779B97F4A7C15
+}
+
+// NewPairGroupTable returns a table pre-sized for `hint` distinct pairs.
+func NewPairGroupTable(hint int) *PairGroupTable {
+	if hint < 4 {
+		hint = 4
+	}
+	nslots := 8
+	for nslots < 2*hint {
+		nslots <<= 1
+	}
+	shift := uint(64)
+	for s := nslots; s > 1; s >>= 1 {
+		shift--
+	}
+	return &PairGroupTable{slots: make([]pslot, nslots), shift: shift}
+}
+
+// Len returns the number of distinct pairs seen.
+func (t *PairGroupTable) Len() int { return t.n }
+
+// GID returns the dense group id of (k1,k2), assigning the next free id
+// on first sight.
+func (t *PairGroupTable) GID(k1, k2 int64) int32 {
+	for {
+		mask := uint64(len(t.slots) - 1)
+		s := hashPair(k1, k2) >> t.shift
+		for {
+			g := t.slots[s].gid
+			if g == 0 {
+				break
+			}
+			if t.slots[s].k1 == k1 && t.slots[s].k2 == k2 {
+				return g - 1
+			}
+			s = (s + 1) & mask
+		}
+		if 2*(t.n+1) > len(t.slots) {
+			t.grow()
+			continue
+		}
+		gid := int32(t.n)
+		t.slots[s] = pslot{k1: k1, k2: k2, gid: gid + 1}
+		t.n++
+		return gid
+	}
+}
+
+func (t *PairGroupTable) grow() {
+	old := t.slots
+	t.slots = make([]pslot, 2*len(old))
+	t.shift--
+	mask := uint64(len(t.slots) - 1)
+	for _, sl := range old {
+		if sl.gid == 0 {
+			continue
+		}
+		s := hashPair(sl.k1, sl.k2) >> t.shift
+		for t.slots[s].gid != 0 {
+			s = (s + 1) & mask
+		}
+		t.slots[s] = sl
+	}
+}

@@ -1,0 +1,88 @@
+package radix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bat"
+)
+
+// nilGroupKey is the NULL group key: bat.NilInt is a VALID GroupTable
+// key (unlike the join Table, which drops it).
+const nilGroupKey = bat.NilInt
+
+// Property: GroupTable assigns exactly the dense first-seen ids a Go map
+// would, for arbitrary nil-laden keys, across growth.
+func TestGroupTableMatchesMapOracle(t *testing.T) {
+	check := func(raw []int16, nilEvery uint8) bool {
+		keys := make([]int64, len(raw))
+		for i, v := range raw {
+			keys[i] = int64(v)
+			if nilEvery > 0 && i%(int(nilEvery)+1) == 0 {
+				keys[i] = bat.NilInt
+			}
+		}
+		gt := NewGroupTable(4) // tiny hint: force growth
+		oracle := map[int64]int32{}
+		for _, k := range keys {
+			want, ok := oracle[k]
+			if !ok {
+				want = int32(len(oracle))
+				oracle[k] = want
+			}
+			if got := gt.GID(k); got != want {
+				return false
+			}
+		}
+		if gt.Len() != len(oracle) {
+			return false
+		}
+		for gid, k := range gt.Keys() {
+			if oracle[k] != int32(gid) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupTableNilKeyIsItsOwnGroup(t *testing.T) {
+	gt := NewGroupTable(8)
+	a := gt.GID(nilGroupKey)
+	b := gt.GID(7)
+	c := gt.GID(nilGroupKey)
+	if a != c || a == b {
+		t.Fatalf("nil grouping: first=%d other=%d again=%d", a, b, c)
+	}
+	if gt.Lookup(nilGroupKey) != a || gt.Lookup(12345) != -1 {
+		t.Fatalf("Lookup broken")
+	}
+}
+
+func TestPairGroupTableMatchesMapOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	type pair struct{ a, b int64 }
+	gt := NewPairGroupTable(4)
+	oracle := map[pair]int32{}
+	for i := 0; i < 20000; i++ {
+		p := pair{rng.Int63n(50), rng.Int63n(40)}
+		if rng.Intn(10) == 0 {
+			p.b = bat.NilInt
+		}
+		want, ok := oracle[p]
+		if !ok {
+			want = int32(len(oracle))
+			oracle[p] = want
+		}
+		if got := gt.GID(p.a, p.b); got != want {
+			t.Fatalf("GID(%d,%d) = %d, want %d", p.a, p.b, got, want)
+		}
+	}
+	if gt.Len() != len(oracle) {
+		t.Fatalf("Len = %d, want %d", gt.Len(), len(oracle))
+	}
+}

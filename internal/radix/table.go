@@ -234,6 +234,11 @@ func BuildPartitionedTable(keys []int64, bits int) *PartitionedTable {
 		// The OID carries the build row id through the shuffle.
 		tuples[i] = Tuple{OID: bat.OID(i), Val: k}
 	}
+	// Serial clustering on purpose: join builds run on the caller's
+	// thread with no worker-count knob in this signature, and spawning
+	// GOMAXPROCS goroutines here would bypass an embedder's Workers
+	// setting. The grouped-aggregation paths, which DO carry an
+	// explicit worker count, cluster via ParallelCluster.
 	c := Cluster(tuples, SplitBits(bits, 2))
 	p := &PartitionedTable{
 		clustered: c,

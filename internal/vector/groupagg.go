@@ -1,0 +1,324 @@
+package vector
+
+// Parallel grouped aggregation. Two plans, picked by the radix cost
+// model (radix.ShouldPartitionGroup):
+//
+//   - Merge-based (ParallelGroupAgg): every Exchange worker builds its
+//     own open-addressing grouping table over the morsels it claims and
+//     emits ONE batch of (key, partial...) rows; a final Agg over the
+//     Exchange unifies worker-local group ids by re-grouping on the key
+//     column and re-aggregates the partials (sum of sums, min of mins —
+//     MergeKind gives the fold). Wins while the grouping table stays
+//     cache-resident: the merge costs workers×groups inserts, trivial
+//     against n.
+//
+//   - Shared-nothing partitioned (PartitionedGroupAgg): the (position,
+//     key) pairs are radix-clustered on the low hash bits first
+//     (radix.ParallelCluster — every pass parallel), then each worker
+//     owns whole clusters = disjoint key ranges, griding through a
+//     cache-resident per-cluster table; the "merge" is concatenation.
+//     Wins at high cardinality, where per-worker tables would each be
+//     LLC-sized and the merge another full-table build.
+//
+// Group output order is NOT deterministic across runs (merge order
+// follows worker scheduling; partitioned order follows the key hash) —
+// SQL grouped output is unordered, and callers needing order sort.
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/bat"
+	"repro/internal/radix"
+)
+
+// MergeKind maps a partial-aggregate kind to the kind that folds its
+// per-worker partials into totals: sums and counts add, min/max re-fold
+// nil-aware (a worker whose groups saw only nils emits the nil
+// sentinel, which the merge fold skips like any other nil input).
+func MergeKind(k AggKind) AggKind {
+	switch k {
+	case AggSumInt, AggSumIntNil, AggCount, AggCountNNInt, AggCountNNFloat:
+		return AggSumInt
+	case AggSumFloat, AggSumFloatNil:
+		return AggSumFloat
+	case AggMinInt:
+		return AggMinInt
+	case AggMaxInt:
+		return AggMaxInt
+	case AggMinFloat:
+		return AggMinFloat
+	case AggMaxFloat:
+		return AggMaxFloat
+	}
+	return k
+}
+
+// ParallelGroupAgg is the merge-based plan: per-worker grouped partial
+// aggregation over morsels, merged by key into one batch with columns
+// [key, aggs...]. preds (optional) filter before grouping; ctx
+// (optional) cancels at morsel boundaries.
+func ParallelGroupAgg(ctx context.Context, src *Source, keyCol int, specs []AggSpec, preds []Pred, workers, morselSize, vectorSize int) (*Batch, error) {
+	plan := func(scan Operator) Operator {
+		op := scan
+		if len(preds) > 0 {
+			op = &Filter{Child: op, Preds: preds}
+		}
+		return &Agg{Child: op, KeyCol: keyCol, Aggs: specs}
+	}
+	ex := &Exchange{
+		Source:     src,
+		Workers:    workers,
+		MorselSize: morselSize,
+		VectorSize: vectorSize,
+		Plan:       plan,
+		Ctx:        ctx,
+	}
+	merge := make([]AggSpec, len(specs))
+	for i, s := range specs {
+		// Worker batches lead with the key column, so partial column i
+		// sits at i+1.
+		merge[i] = AggSpec{Kind: MergeKind(s.Kind), Col: i + 1}
+	}
+	final := &Agg{Child: ex, KeyCol: 0, Aggs: merge}
+	if err := final.Open(); err != nil {
+		return nil, err
+	}
+	defer final.Close()
+	out, err := final.Next()
+	if err != nil {
+		return nil, err
+	}
+	if out == nil {
+		return nil, fmt.Errorf("vector: grouped merge produced no batch")
+	}
+	return out, nil
+}
+
+// PartitionedGroupAgg is the shared-nothing plan: radix-cluster
+// (position, key) pairs so workers own disjoint key ranges, aggregate
+// each cluster with a cache-resident table, concatenate. The input must
+// be unfiltered (the caller falls back to the merge plan under
+// predicates); ctx is observed throughout — during the shuffle
+// (ParallelClusterCtx checks between passes and clusters) and between
+// aggregation clusters — so cancellation latency stays bounded by one
+// pass/cluster of work, not the whole plan.
+func PartitionedGroupAgg(ctx context.Context, src *Source, keyCol int, specs []AggSpec, workers, bits int) (*Batch, error) {
+	keys := src.Cols[keyCol].Ints
+	n := len(keys)
+	tuples := make([]radix.Tuple, n)
+	for i, k := range keys {
+		tuples[i] = radix.Tuple{OID: bat.OID(i), Val: k}
+	}
+	c, err := radix.ParallelClusterCtx(ctx, tuples, radix.SplitBits(bits, 2), workers)
+	if err != nil {
+		return nil, err
+	}
+
+	nclusters := c.NumClusters()
+	parts := make([]*Batch, nclusters)
+	errs := make([]error, nclusters)
+	next := make(chan int)
+	done := make(chan struct{})
+	if workers <= 0 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		go func() {
+			for ci := range next {
+				parts[ci], errs[ci] = groupOneCluster(src, c.ClusterSlice(ci), specs)
+			}
+			done <- struct{}{}
+		}()
+	}
+	var ctxErr error
+feed:
+	for ci := 0; ci < nclusters; ci++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				ctxErr = err
+				break feed
+			}
+		}
+		next <- ci
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Concatenate: clusters hold disjoint key sets, so group ids are
+	// just offsets into the combined output.
+	total := 0
+	for _, p := range parts {
+		if p != nil {
+			total += p.N
+		}
+	}
+	cols := make([]Col, len(specs)+1)
+	cols[0] = Col{Kind: KindInt, Ints: make([]int64, 0, total)}
+	for i, s := range specs {
+		if s.Kind.Float() {
+			cols[i+1] = Col{Kind: KindFloat, Floats: make([]float64, 0, total)}
+		} else {
+			cols[i+1] = Col{Kind: KindInt, Ints: make([]int64, 0, total)}
+		}
+	}
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		for i := range cols {
+			if cols[i].Kind == KindFloat {
+				cols[i].Floats = append(cols[i].Floats, p.Cols[i].Floats...)
+			} else {
+				cols[i].Ints = append(cols[i].Ints, p.Cols[i].Ints...)
+			}
+		}
+	}
+	return &Batch{N: total, Cols: cols}, nil
+}
+
+// groupOneCluster aggregates one cluster's tuples: local group ids from
+// the open-addressing table, value gathers through the shuffled
+// positions. Returns a batch [key, aggs...] or nil for an empty cluster.
+func groupOneCluster(src *Source, cl []radix.Tuple, specs []AggSpec) (*Batch, error) {
+	if len(cl) == 0 {
+		return nil, nil
+	}
+	gt := radix.NewGroupTable(256)
+	gids := make([]int32, len(cl))
+	for i := range cl {
+		gids[i] = gt.GID(cl[i].Val)
+	}
+	ng := int32(gt.Len())
+	cols := make([]Col, len(specs)+1)
+	cols[0] = Col{Kind: KindInt, Ints: gt.Keys()}
+	for ai, spec := range specs {
+		var ints []int64
+		var flts []float64
+		switch spec.Kind {
+		case AggCount:
+			ints = growInts(nil, ng, 0)
+			for _, g := range gids {
+				ints[g]++
+			}
+		case AggSumInt, AggSumIntNil, AggCountNNInt, AggMinInt, AggMaxInt:
+			col := src.Cols[spec.Col].Ints
+			ints = growInts(nil, ng, spec.Kind.initInt())
+			for i := range cl {
+				v := col[cl[i].OID]
+				g := gids[i]
+				switch spec.Kind {
+				case AggSumInt:
+					ints[g] += v
+				case AggSumIntNil:
+					if v != bat.NilInt {
+						ints[g] += v
+					}
+				case AggCountNNInt:
+					if v != bat.NilInt {
+						ints[g]++
+					}
+				case AggMinInt:
+					if v != bat.NilInt && (ints[g] == bat.NilInt || v < ints[g]) {
+						ints[g] = v
+					}
+				case AggMaxInt:
+					if v != bat.NilInt && (ints[g] == bat.NilInt || v > ints[g]) {
+						ints[g] = v
+					}
+				}
+			}
+		case AggSumFloat, AggSumFloatNil, AggCountNNFloat, AggMinFloat, AggMaxFloat:
+			col := src.Cols[spec.Col].Floats
+			if spec.Kind == AggCountNNFloat {
+				ints = growInts(nil, ng, 0)
+			} else {
+				flts = growFloats(nil, ng, spec.Kind.initFloat())
+			}
+			for i := range cl {
+				v := col[cl[i].OID]
+				g := gids[i]
+				switch spec.Kind {
+				case AggSumFloat:
+					flts[g] += v
+				case AggSumFloatNil:
+					if v == v {
+						flts[g] += v
+					}
+				case AggCountNNFloat:
+					if v == v {
+						ints[g]++
+					}
+				case AggMinFloat:
+					if v == v && (flts[g] != flts[g] || v < flts[g]) {
+						flts[g] = v
+					}
+				case AggMaxFloat:
+					if v == v && (flts[g] != flts[g] || v > flts[g]) {
+						flts[g] = v
+					}
+				}
+			}
+		default:
+			return nil, fmt.Errorf("vector: bad aggregate kind %d", spec.Kind)
+		}
+		if flts != nil {
+			cols[ai+1] = Col{Kind: KindFloat, Floats: flts}
+		} else {
+			cols[ai+1] = Col{Kind: KindInt, Ints: ints}
+		}
+	}
+	return &Batch{N: gt.Len(), Cols: cols}, nil
+}
+
+// EstimateGroups guesses the distinct-key count of keys from a sample
+// of at most 4096 values spread across the whole column: d distinct
+// among s sampled. For G uniform groups the expected sample
+// distinctness is E[d] = G·(1-e^(-s/G)) — the Poisson/coupon-collector
+// curve — so the estimate inverts it as G ≈ -s·ln(1-d/s), which is
+// exact at G=s and within a small factor across the band (a naive
+// linear d·n/s extrapolation overestimates that band by orders of
+// magnitude once the sample is half distinct). A fully-distinct sample
+// says only "at least ~n-ish": return n. The plan choice this feeds
+// needs the order of magnitude — cache-resident vs LLC-spilling
+// grouping table — not precision.
+func EstimateGroups(keys []int64) int {
+	n := len(keys)
+	if n == 0 {
+		return 0
+	}
+	s := n
+	if s > 4096 {
+		s = 4096
+	}
+	gt := radix.NewGroupTable(s)
+	// Sample positions i*n/s so coverage spans the WHOLE column even
+	// when n is not a multiple of s — an integer stride would degrade
+	// to a prefix scan and misjudge data clustered by key.
+	for i := 0; i < s; i++ {
+		gt.GID(keys[i*n/s])
+	}
+	d := gt.Len()
+	if d >= s {
+		return n
+	}
+	est := int(-float64(s) * math.Log(1-float64(d)/float64(s)))
+	if est < d {
+		est = d
+	}
+	if est > n {
+		est = n
+	}
+	return est
+}

@@ -3,6 +3,10 @@ package vector
 import (
 	"errors"
 	"fmt"
+	"math"
+
+	"repro/internal/bat"
+	"repro/internal/radix"
 )
 
 // Filter evaluates a conjunction of simple predicates per batch, refining
@@ -281,12 +285,51 @@ func (p *Project) Close() error { return p.Child.Close() }
 // AggKind enumerates aggregate functions.
 type AggKind uint8
 
-// Aggregate kinds.
+// Aggregate kinds. The first three are the nil-blind fast paths (the
+// caller guarantees nil-free inputs); the *Nil / NN / Min / Max kinds
+// are nil-aware — bat.NilInt and NaN inputs are skipped, min/max
+// accumulators rest at the nil sentinel, so an all-NULL group reads
+// back as nil. See the per-group primitives for the merge property
+// that makes these kinds safe to re-aggregate across workers.
 const (
 	AggSumInt AggKind = iota
 	AggSumFloat
 	AggCount
+	AggSumIntNil
+	AggSumFloatNil
+	AggCountNNInt
+	AggCountNNFloat
+	AggMinInt
+	AggMaxInt
+	AggMinFloat
+	AggMaxFloat
 )
+
+// Float reports whether the aggregate emits a float column.
+func (k AggKind) Float() bool {
+	switch k {
+	case AggSumFloat, AggSumFloatNil, AggMinFloat, AggMaxFloat:
+		return true
+	}
+	return false
+}
+
+// init returns the accumulator identity element.
+func (k AggKind) initInt() int64 {
+	switch k {
+	case AggMinInt, AggMaxInt:
+		return bat.NilInt
+	}
+	return 0
+}
+
+func (k AggKind) initFloat() float64 {
+	switch k {
+	case AggMinFloat, AggMaxFloat:
+		return math.NaN()
+	}
+	return 0
+}
 
 // AggSpec is one aggregate over batch column Col.
 type AggSpec struct {
@@ -295,8 +338,13 @@ type AggSpec struct {
 }
 
 // Agg drains its child, aggregating per group of the int key column
-// (KeyCol < 0 means a single global group). It emits one final batch with
-// columns: key (if any) followed by one column per aggregate.
+// (KeyCol < 0 means a single global group). Group ids are assigned by
+// the shared open-addressing radix.GroupTable — Fibonacci hashing, flat
+// power-of-two slots, no per-key allocations — in first-seen order, the
+// same order the final batch emits. It emits one final batch with
+// columns: key (if any) followed by one column per aggregate. A keyed
+// aggregation over empty input emits an empty batch (zero groups); the
+// global form emits its identity row.
 type Agg struct {
 	Child  Operator
 	KeyCol int
@@ -315,7 +363,10 @@ func (a *Agg) Next() (*Batch, error) {
 	}
 	a.done = true
 
-	groups := make(map[int64]int32)
+	var gt *radix.GroupTable
+	if a.KeyCol >= 0 {
+		gt = radix.NewGroupTable(1024)
+	}
 	var gids []int32
 	intAccs := make([][]int64, len(a.Aggs))
 	fltAccs := make([][]float64, len(a.Aggs))
@@ -329,17 +380,13 @@ func (a *Agg) Next() (*Batch, error) {
 		if b == nil {
 			break
 		}
+		if cap(gids) < b.N {
+			gids = make([]int32, b.N)
+		}
+		gids = gids[:b.N]
 		if a.KeyCol >= 0 {
-			if cap(gids) < b.N {
-				gids = make([]int32, b.N)
-			}
-			gids = gids[:b.N]
-			ngroups = HashGroupInt(b.Cols[a.KeyCol].Ints, b.Sel, groups, gids)
+			ngroups = AssignGroups(b.Cols[a.KeyCol].Ints, b.Sel, gt, gids)
 		} else {
-			if cap(gids) < b.N {
-				gids = make([]int32, b.N)
-			}
-			gids = gids[:b.N]
 			for i := range gids {
 				gids[i] = 0
 			}
@@ -352,38 +399,41 @@ func (a *Agg) Next() (*Batch, error) {
 				fltAccs[ai] = SumFloatPerGroup(b.Cols[spec.Col].Floats, b.Sel, gids, fltAccs[ai], ngroups)
 			case AggCount:
 				intAccs[ai] = CountPerGroup(b.Sel, b.N, gids, intAccs[ai], ngroups)
+			case AggSumIntNil:
+				intAccs[ai] = SumIntNilPerGroup(b.Cols[spec.Col].Ints, b.Sel, gids, intAccs[ai], ngroups)
+			case AggSumFloatNil:
+				fltAccs[ai] = SumFloatNilPerGroup(b.Cols[spec.Col].Floats, b.Sel, gids, fltAccs[ai], ngroups)
+			case AggCountNNInt:
+				intAccs[ai] = CountNNIntPerGroup(b.Cols[spec.Col].Ints, b.Sel, gids, intAccs[ai], ngroups)
+			case AggCountNNFloat:
+				intAccs[ai] = CountNNFloatPerGroup(b.Cols[spec.Col].Floats, b.Sel, gids, intAccs[ai], ngroups)
+			case AggMinInt:
+				intAccs[ai] = MinIntNilPerGroup(b.Cols[spec.Col].Ints, b.Sel, gids, intAccs[ai], ngroups)
+			case AggMaxInt:
+				intAccs[ai] = MaxIntNilPerGroup(b.Cols[spec.Col].Ints, b.Sel, gids, intAccs[ai], ngroups)
+			case AggMinFloat:
+				fltAccs[ai] = MinFloatNilPerGroup(b.Cols[spec.Col].Floats, b.Sel, gids, fltAccs[ai], ngroups)
+			case AggMaxFloat:
+				fltAccs[ai] = MaxFloatNilPerGroup(b.Cols[spec.Col].Floats, b.Sel, gids, fltAccs[ai], ngroups)
 			default:
 				return nil, errors.New("vector: bad aggregate kind")
 			}
 		}
 	}
 
-	n := int(ngroups)
-	if a.KeyCol < 0 {
-		n = 1
-	}
+	n := 1
 	var cols []Col
 	if a.KeyCol >= 0 {
-		keys := make([]int64, n)
-		for k, g := range groups {
-			keys[g] = k
-		}
-		cols = append(cols, Col{Kind: KindInt, Ints: keys})
+		n = gt.Len()
+		// Keys() aliases the table, which dies with this call — safe to
+		// hand off directly.
+		cols = append(cols, Col{Kind: KindInt, Ints: gt.Keys()})
 	}
 	for ai, spec := range a.Aggs {
-		switch spec.Kind {
-		case AggSumFloat:
-			acc := fltAccs[ai]
-			for len(acc) < n {
-				acc = append(acc, 0)
-			}
-			cols = append(cols, Col{Kind: KindFloat, Floats: acc})
-		default:
-			acc := intAccs[ai]
-			for len(acc) < n {
-				acc = append(acc, 0)
-			}
-			cols = append(cols, Col{Kind: KindInt, Ints: acc})
+		if spec.Kind.Float() {
+			cols = append(cols, Col{Kind: KindFloat, Floats: growFloats(fltAccs[ai], int32(n), spec.Kind.initFloat())})
+		} else {
+			cols = append(cols, Col{Kind: KindInt, Ints: growInts(intAccs[ai], int32(n), spec.Kind.initInt())})
 		}
 	}
 	return &Batch{N: n, Cols: cols}, nil

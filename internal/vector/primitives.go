@@ -5,6 +5,13 @@ package vector
 // algebra's bulk operators; all per-tuple interpretation decisions are
 // hoisted out of these loops.
 
+import (
+	"math"
+
+	"repro/internal/bat"
+	"repro/internal/radix"
+)
+
 // SelGeInt appends to out the indexes i (drawn from sel, or 0..n-1) with
 // col[i] >= v, returning the filled slice.
 func SelGeInt(col []int64, sel []int32, v int64, out []int32) []int32 {
@@ -340,30 +347,19 @@ func CountSel(n int, sel []int32) int64 {
 	return int64(len(sel))
 }
 
-// HashGroupInt maps each qualifying key to a dense group id via the shared
-// groups map, writing ids into gids (full-length, indexed by row).
-func HashGroupInt(keys []int64, sel []int32, groups map[int64]int32, gids []int32) int32 {
-	next := int32(len(groups))
-	do := func(i int32) {
-		k := keys[i]
-		g, ok := groups[k]
-		if !ok {
-			g = next
-			groups[k] = g
-			next++
-		}
-		gids[i] = g
-	}
+// AssignGroups maps each qualifying key to a dense group id through the
+// shared open-addressing GroupTable (no map, no per-key allocations),
+// writing ids into gids (full-length, indexed by row) and returning the
+// total group count so far. bat.NilInt is a legal key: the NULL group.
+func AssignGroups(keys []int64, sel []int32, gt *radix.GroupTable, gids []int32) int32 {
 	if sel == nil {
-		for i := range keys {
-			do(int32(i))
-		}
+		gt.AssignBulk(keys, gids)
 	} else {
 		for _, i := range sel {
-			do(i)
+			gids[i] = gt.GID(keys[i])
 		}
 	}
-	return next
+	return int32(gt.Len())
 }
 
 // SumIntPerGroup folds col values into accs[gids[i]] for qualifying rows,
@@ -416,4 +412,207 @@ func CountPerGroup(sel []int32, n int, gids []int32, counts []int64, ngroups int
 		counts[gids[i]]++
 	}
 	return counts
+}
+
+// --- nil-aware per-group folds ---
+//
+// The nil sentinels are bat.NilInt for int vectors and NaN for float
+// vectors (matching the BAT layer). Sums and counts SKIP nils; min/max
+// accumulators START at the sentinel, so a group nothing contributed to
+// reads back as nil — exactly SQL's all-NULL-group semantics, and the
+// property that makes per-worker partials mergeable: a worker's nil
+// partial is skipped by the merge fold like any other nil input.
+
+// growInts pads accs to n entries initialized to init.
+func growInts(accs []int64, n int32, init int64) []int64 {
+	for int32(len(accs)) < n {
+		accs = append(accs, init)
+	}
+	return accs
+}
+
+// growFloats pads accs to n entries initialized to init.
+func growFloats(accs []float64, n int32, init float64) []float64 {
+	for int32(len(accs)) < n {
+		accs = append(accs, init)
+	}
+	return accs
+}
+
+// SumIntNilPerGroup folds col into accs[gids[i]], skipping nil values.
+func SumIntNilPerGroup(col []int64, sel []int32, gids []int32, accs []int64, ngroups int32) []int64 {
+	accs = growInts(accs, ngroups, 0)
+	if sel == nil {
+		for i, v := range col {
+			if v != bat.NilInt {
+				accs[gids[i]] += v
+			}
+		}
+		return accs
+	}
+	for _, i := range sel {
+		if v := col[i]; v != bat.NilInt {
+			accs[gids[i]] += v
+		}
+	}
+	return accs
+}
+
+// SumFloatNilPerGroup folds col per group, skipping NaN (the float nil).
+func SumFloatNilPerGroup(col []float64, sel []int32, gids []int32, accs []float64, ngroups int32) []float64 {
+	accs = growFloats(accs, ngroups, 0)
+	if sel == nil {
+		for i, v := range col {
+			if v == v {
+				accs[gids[i]] += v
+			}
+		}
+		return accs
+	}
+	for _, i := range sel {
+		if v := col[i]; v == v {
+			accs[gids[i]] += v
+		}
+	}
+	return accs
+}
+
+// CountNNIntPerGroup counts non-nil int values per group.
+func CountNNIntPerGroup(col []int64, sel []int32, gids []int32, accs []int64, ngroups int32) []int64 {
+	accs = growInts(accs, ngroups, 0)
+	if sel == nil {
+		for i, v := range col {
+			if v != bat.NilInt {
+				accs[gids[i]]++
+			}
+		}
+		return accs
+	}
+	for _, i := range sel {
+		if col[i] != bat.NilInt {
+			accs[gids[i]]++
+		}
+	}
+	return accs
+}
+
+// CountNNFloatPerGroup counts non-NaN float values per group.
+func CountNNFloatPerGroup(col []float64, sel []int32, gids []int32, accs []int64, ngroups int32) []int64 {
+	accs = growInts(accs, ngroups, 0)
+	if sel == nil {
+		for i, v := range col {
+			if v == v {
+				accs[gids[i]]++
+			}
+		}
+		return accs
+	}
+	for _, i := range sel {
+		if v := col[i]; v == v {
+			accs[gids[i]]++
+		}
+	}
+	return accs
+}
+
+// MinIntNilPerGroup folds the minimum per group; nil inputs are skipped
+// and an untouched group stays at the nil sentinel.
+func MinIntNilPerGroup(col []int64, sel []int32, gids []int32, accs []int64, ngroups int32) []int64 {
+	accs = growInts(accs, ngroups, bat.NilInt)
+	fold := func(i int32) {
+		v := col[i]
+		if v == bat.NilInt {
+			return
+		}
+		g := gids[i]
+		if accs[g] == bat.NilInt || v < accs[g] {
+			accs[g] = v
+		}
+	}
+	if sel == nil {
+		for i := range col {
+			fold(int32(i))
+		}
+		return accs
+	}
+	for _, i := range sel {
+		fold(i)
+	}
+	return accs
+}
+
+// MaxIntNilPerGroup folds the maximum per group (nil-aware).
+func MaxIntNilPerGroup(col []int64, sel []int32, gids []int32, accs []int64, ngroups int32) []int64 {
+	accs = growInts(accs, ngroups, bat.NilInt)
+	fold := func(i int32) {
+		v := col[i]
+		if v == bat.NilInt {
+			return
+		}
+		g := gids[i]
+		if accs[g] == bat.NilInt || v > accs[g] {
+			accs[g] = v
+		}
+	}
+	if sel == nil {
+		for i := range col {
+			fold(int32(i))
+		}
+		return accs
+	}
+	for _, i := range sel {
+		fold(i)
+	}
+	return accs
+}
+
+// MinFloatNilPerGroup folds the float minimum per group, skipping NaN;
+// an untouched group stays NaN.
+func MinFloatNilPerGroup(col []float64, sel []int32, gids []int32, accs []float64, ngroups int32) []float64 {
+	accs = growFloats(accs, ngroups, math.NaN())
+	fold := func(i int32) {
+		v := col[i]
+		if v != v {
+			return
+		}
+		g := gids[i]
+		if accs[g] != accs[g] || v < accs[g] {
+			accs[g] = v
+		}
+	}
+	if sel == nil {
+		for i := range col {
+			fold(int32(i))
+		}
+		return accs
+	}
+	for _, i := range sel {
+		fold(i)
+	}
+	return accs
+}
+
+// MaxFloatNilPerGroup folds the float maximum per group (NaN-aware).
+func MaxFloatNilPerGroup(col []float64, sel []int32, gids []int32, accs []float64, ngroups int32) []float64 {
+	accs = growFloats(accs, ngroups, math.NaN())
+	fold := func(i int32) {
+		v := col[i]
+		if v != v {
+			return
+		}
+		g := gids[i]
+		if accs[g] != accs[g] || v > accs[g] {
+			accs[g] = v
+		}
+	}
+	if sel == nil {
+		for i := range col {
+			fold(int32(i))
+		}
+		return accs
+	}
+	for _, i := range sel {
+		fold(i)
+	}
+	return accs
 }
