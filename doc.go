@@ -59,10 +59,44 @@
 //     ranges and the merge is concatenation. BENCH_pr4.json records the
 //     cardinality sweep.
 //
+// # Physical plans
+//
+// SELECTs route through internal/physical: a planner walks the parsed
+// AST and emits a tree of composable operators — Scan, Filter,
+// Project, HashJoin, GroupAgg, Sort — each instantiated on the
+// morsel-parallel vector engine, or a typed fallback decision whose
+// machine-readable reason \plan surfaces (no statement runs on MAL
+// silently). Eligibility is per operator: a text column falls back
+// with reason=text-column, a three-key grouping with
+// reason=group-by-more-than-2-keys, tombstoned rows with
+// reason=deletes-present (data-dependent, per snapshot). Lowered
+// shapes include scan/filter/project, global aggregates, GROUP BY of
+// one or two INT keys, ORDER BY (per-worker sorted runs + k-way merge,
+// LIMIT pushed into both stages, ties broken by global row id so the
+// order equals MAL's stable sort), two-table INT equi-joins (serial
+// build into the shared radix.JoinTable — the build SIDE picked per
+// execution by radix.BuildLeft — with morsel-parallel probes), and
+// IS [NOT] NULL filters via nil-sentinel primitives. \plan renders the
+// pipeline:
+//
+//	\plan SELECT x FROM t WHERE y > 1 ORDER BY x DESC LIMIT 3
+//	vectorized pipeline (physical plan, morsel-parallel exchange):
+//	    scan t -> filter[col1 > lit] -> sort-runs[col0 desc limit 3] -> exchange -> merge-runs -> project
+//
+//	\plan SELECT t.x, u.w FROM t JOIN u ON t.k = u.k
+//	vectorized pipeline (physical plan, morsel-parallel exchange):
+//	    build: scan u -> join-table[key col0]
+//	    probe: scan t -> hash-join[key col1, shared table] -> project -> exchange
+//
+//	\plan SELECT a, b, sum(v) FROM t GROUP BY a, b
+//	vectorized pipeline (physical plan, morsel-parallel exchange):
+//	    scan t -> group-by[col0,col1] partial-agg -> exchange -> merge by key
+//
 // # NULL representation
 //
 // INT columns reserve the domain minimum (bat.NilInt), FLOAT columns
 // the canonical NaN (bat.NilFloat) — stored by INSERT/UPDATE NULL,
 // skipped by aggregates, never matched by comparisons (including <>),
-// and rendered as SQL NULL by the engine API and shell.
+// selected by IS [NOT] NULL, and rendered as SQL NULL by the engine
+// API and shell.
 package repro

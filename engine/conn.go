@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/physical"
 	"repro/internal/sqlfe"
 )
 
@@ -123,8 +124,11 @@ func (c *Conn) Exec(ctx context.Context, sql string, args ...any) (Result, error
 }
 
 // Plan returns a human-readable description of how a SELECT would
-// execute on this session: the vectorized pipeline if the bridge can
-// lower it, otherwise the optimized MAL program.
+// execute on this session: the vectorized physical plan if the planner
+// can lower it, otherwise the optimized MAL program WITH the
+// machine-readable fallback reason — no statement routes to MAL
+// silently. Data-dependent disqualifications (e.g. tombstoned rows in
+// this session's snapshot) surface the same way.
 func (c *Conn) Plan(sql string) (string, error) {
 	if err := c.checkUsable(); err != nil {
 		return "", err
@@ -142,8 +146,13 @@ func (c *Conn) Plan(sql string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	if vt := lowerSelect(sel, snap); vt != nil {
-		return vt.describe() + "\nMAL fallback:\n" + prog.String(), nil
+	phys, fb := physical.Lower(sel, snap)
+	if phys != nil {
+		if dfb := phys.DataFallback(snap); dfb != nil {
+			fb = dfb
+		} else {
+			return phys.Describe() + "\nMAL fallback:\n" + prog.String(), nil
+		}
 	}
-	return prog.String(), nil
+	return "MAL program (fallback " + fb.String() + "):\n" + prog.String(), nil
 }

@@ -29,11 +29,13 @@
 //     with equal arguments hit recycled intermediates.
 //
 //   - Query streams. Rows is a cursor pulling vector-sized batches, not
-//     a materialized [][]any: simple scan/filter/project (and global
-//     sum/count/avg) SELECTs run directly on the morsel-parallel
+//     a materialized [][]any: the physical-plan layer lowers
+//     scan/filter/project, aggregates, GROUP BY (one or two INT keys),
+//     ORDER BY, and two-table INT equi-joins onto the morsel-parallel
 //     vectorized pipeline, and peak result-side allocation stays
-//     proportional to one vector, not to the result. Queries the bridge
-//     cannot lower fall back to the MAL interpreter transparently.
+//     proportional to one vector, not to the result. Queries the
+//     planner cannot lower fall back to the MAL interpreter
+//     transparently, each with a machine-readable reason in Conn.Plan.
 //
 //   - Cancellation is bounded. The context passed to Query/Exec is
 //     checked at morsel boundaries inside the parallel pipeline, so a
@@ -47,6 +49,7 @@ import (
 	"path/filepath"
 	"sync"
 
+	"repro/internal/physical"
 	"repro/internal/recycler"
 	"repro/internal/sqlfe"
 )
@@ -173,6 +176,16 @@ func (d *DB) checkOpen() error {
 		return fmt.Errorf("engine: database is closed")
 	}
 	return nil
+}
+
+// physOpts maps the engine options onto the physical planner's
+// execution knobs.
+func (d *DB) physOpts() physical.Options {
+	return physical.Options{
+		Workers:    d.opts.Workers,
+		MorselSize: d.opts.MorselSize,
+		VectorSize: d.opts.VectorSize,
+	}
 }
 
 // Conn opens a new session. Sessions are cheap (no sockets, no

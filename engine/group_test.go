@@ -244,17 +244,17 @@ func TestGroupedCancelInsidePipeline(t *testing.T) {
 	}
 	defer stmt.Close()
 	snap := conn.snapshot()
-	_, _, vt, err := stmt.currentPlan(snap)
+	_, _, phys, err := stmt.currentPlan(snap)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if vt == nil || vt.keyPos < 0 {
-		t.Fatal("statement did not lower onto the grouped bridge")
+	if phys == nil || !strings.Contains(phys.Describe(), "group-by[") {
+		t.Fatal("statement did not lower onto the grouped physical plan")
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, ok, err := vt.execute(ctx, snap, nil, &db.opts)
+	_, fb, err := phys.Execute(ctx, snap, nil, db.physOpts())
 	if !errors.Is(err, context.Canceled) {
-		t.Fatalf("execute under canceled ctx: ok=%v err=%v, want context.Canceled", ok, err)
+		t.Fatalf("execute under canceled ctx: fb=%v err=%v, want context.Canceled", fb, err)
 	}
 }

@@ -3,10 +3,10 @@ package engine
 import (
 	"context"
 	"fmt"
-	"math"
 	"sync"
 
 	"repro/internal/mal"
+	"repro/internal/physical"
 	"repro/internal/sqlfe"
 )
 
@@ -30,7 +30,7 @@ type Stmt struct {
 	mu        sync.Mutex
 	prog      *mal.Program
 	ptypes    []sqlfe.ColType
-	vt        *vecTemplate // nil when the bridge cannot lower the query
+	phys      *physical.Plan // nil when the planner fell back to MAL
 	schemaVer int64
 	closed    bool
 }
@@ -49,12 +49,12 @@ func (s *Stmt) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.closed = true
-	s.prog, s.vt = nil, nil
+	s.prog, s.phys = nil, nil
 	return nil
 }
 
-// plan (re)compiles the SELECT against snap, rebuilds the vector
-// template, caches both, and returns them. The plan is stamped with
+// plan (re)compiles the SELECT against snap, re-lowers the physical
+// plan, caches both, and returns them. The plan is stamped with
 // the SNAPSHOT's schema version — not the live one, which may have
 // moved on (or, on a frozen session, be ahead of the pinned catalog
 // the plan was actually compiled for). It RETURNS the compiled
@@ -63,27 +63,27 @@ func (s *Stmt) Close() error {
 // holds whichever compile finished last, and executing another
 // version's plan against this caller's snapshot would address the
 // wrong columns.
-func (s *Stmt) plan(snap *sqlfe.Snapshot) (*mal.Program, []sqlfe.ColType, *vecTemplate, error) {
+func (s *Stmt) plan(snap *sqlfe.Snapshot) (*mal.Program, []sqlfe.ColType, *physical.Plan, error) {
 	prog, ptypes, err := snap.CompileSelectBound(s.sel)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	vt := lowerSelect(s.sel, snap)
-	if vt != nil {
-		vt.names = prog.ResultNames
+	phys, _ := physical.Lower(s.sel, snap)
+	if phys != nil {
+		phys.Names = prog.ResultNames
 	}
 	s.mu.Lock()
 	s.prog, s.ptypes = prog, ptypes
-	s.vt = vt
+	s.phys = phys
 	s.schemaVer = snap.SchemaVersion()
 	s.mu.Unlock()
-	return prog, ptypes, vt, nil
+	return prog, ptypes, phys, nil
 }
 
 // currentPlan returns a plan valid for the executing snapshot's
 // catalog version: the cached one when it matches, a fresh compile
 // otherwise.
-func (s *Stmt) currentPlan(snap *sqlfe.Snapshot) (*mal.Program, []sqlfe.ColType, *vecTemplate, error) {
+func (s *Stmt) currentPlan(snap *sqlfe.Snapshot) (*mal.Program, []sqlfe.ColType, *physical.Plan, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -91,7 +91,7 @@ func (s *Stmt) currentPlan(snap *sqlfe.Snapshot) (*mal.Program, []sqlfe.ColType,
 	}
 	if s.prog != nil && s.schemaVer == snap.SchemaVersion() {
 		defer s.mu.Unlock()
-		return s.prog, s.ptypes, s.vt, nil
+		return s.prog, s.ptypes, s.phys, nil
 	}
 	s.mu.Unlock()
 	return s.plan(snap)
@@ -117,21 +117,21 @@ func (s *Stmt) Query(ctx context.Context, args ...any) (*Rows, error) {
 		return nil, err
 	}
 	snap := s.conn.snapshot()
-	prog, ptypes, vt, err := s.currentPlan(snap)
+	prog, ptypes, phys, err := s.currentPlan(snap)
 	if err != nil {
 		return nil, err
 	}
 
 	// Vectorized path: stream batches straight off the morsel-parallel
-	// pipeline when the bridge lowered the query and this snapshot's
-	// data qualifies.
-	if vt != nil {
-		rows, ok, err := vt.execute(ctx, snap, args, &s.conn.db.opts)
+	// pipeline when the planner lowered the query and this snapshot's
+	// data qualifies (a data-dependent Fallback routes to MAL below).
+	if phys != nil {
+		res, fb, err := phys.Execute(ctx, snap, args, s.conn.db.physOpts())
 		if err != nil {
 			return nil, err
 		}
-		if ok {
-			return rows, nil
+		if fb == nil {
+			return newVecRows(ctx, phys.Names, res.Op, res.Limit), nil
 		}
 	}
 
@@ -192,52 +192,10 @@ func (s *Stmt) Exec(ctx context.Context, args ...any) (Result, error) {
 	return Result{RowsAffected: int64(res.Affected)}, nil
 }
 
-// litFromArg converts one Go argument to a SQL literal. Supported:
-// nil (NULL), Go integers, float32/64, string.
-func litFromArg(a any) (sqlfe.Lit, error) {
-	switch v := a.(type) {
-	case nil:
-		return sqlfe.Lit{Null: true}, nil
-	case int64:
-		return sqlfe.Lit{Kind: sqlfe.TInt, I: v}, nil
-	case int:
-		return sqlfe.Lit{Kind: sqlfe.TInt, I: int64(v)}, nil
-	case int32:
-		return sqlfe.Lit{Kind: sqlfe.TInt, I: int64(v)}, nil
-	case int16:
-		return sqlfe.Lit{Kind: sqlfe.TInt, I: int64(v)}, nil
-	case int8:
-		return sqlfe.Lit{Kind: sqlfe.TInt, I: int64(v)}, nil
-	case uint8:
-		return sqlfe.Lit{Kind: sqlfe.TInt, I: int64(v)}, nil
-	case uint16:
-		return sqlfe.Lit{Kind: sqlfe.TInt, I: int64(v)}, nil
-	case uint32:
-		return sqlfe.Lit{Kind: sqlfe.TInt, I: int64(v)}, nil
-	case uint64:
-		if v > math.MaxInt64 {
-			return sqlfe.Lit{}, fmt.Errorf("engine: uint64 argument %d overflows INT", v)
-		}
-		return sqlfe.Lit{Kind: sqlfe.TInt, I: int64(v)}, nil
-	case uint:
-		if uint64(v) > math.MaxInt64 {
-			return sqlfe.Lit{}, fmt.Errorf("engine: uint argument %d overflows INT", v)
-		}
-		return sqlfe.Lit{Kind: sqlfe.TInt, I: int64(v)}, nil
-	case float64:
-		return sqlfe.Lit{Kind: sqlfe.TFloat, F: v}, nil
-	case float32:
-		return sqlfe.Lit{Kind: sqlfe.TFloat, F: float64(v)}, nil
-	case string:
-		return sqlfe.Lit{Kind: sqlfe.TText, S: v}, nil
-	}
-	return sqlfe.Lit{}, fmt.Errorf("engine: unsupported argument type %T", a)
-}
-
 func litsFromArgs(args []any) ([]sqlfe.Lit, error) {
 	out := make([]sqlfe.Lit, len(args))
 	for i, a := range args {
-		l, err := litFromArg(a)
+		l, err := sqlfe.LitFromArg(a)
 		if err != nil {
 			return nil, fmt.Errorf("argument %d: %w", i+1, err)
 		}
@@ -246,48 +204,13 @@ func litsFromArgs(args []any) ([]sqlfe.Lit, error) {
 	return out, nil
 }
 
-// coerceParam converts one bound argument to the column type its slot
-// compares against. It is the single definition of the comparison
-// binding rules — the MAL path and the vectorized bridge both go
-// through it, so the two executors of one prepared statement can never
-// drift: int columns take int arguments, float columns widen ints,
-// text columns take strings, and NULL is rejected (the comparison
-// would be unknown for every row; IS NULL is not supported yet).
-func coerceParam(a any, want sqlfe.ColType, pos int) (sqlfe.Lit, error) {
-	lit, err := litFromArg(a)
-	if err != nil {
-		return sqlfe.Lit{}, fmt.Errorf("argument %d: %w", pos, err)
-	}
-	if lit.Null {
-		return sqlfe.Lit{}, fmt.Errorf("engine: argument %d: comparison with NULL is always unknown", pos)
-	}
-	switch want {
-	case sqlfe.TInt:
-		if lit.Kind != sqlfe.TInt {
-			return sqlfe.Lit{}, fmt.Errorf("engine: argument %d: int column compared with %s", pos, lit.Kind)
-		}
-	case sqlfe.TFloat:
-		switch lit.Kind {
-		case sqlfe.TFloat:
-		case sqlfe.TInt:
-			lit = sqlfe.Lit{Kind: sqlfe.TFloat, F: float64(lit.I)}
-		default:
-			return sqlfe.Lit{}, fmt.Errorf("engine: argument %d: float column compared with %s", pos, lit.Kind)
-		}
-	default:
-		if lit.Kind != sqlfe.TText {
-			return sqlfe.Lit{}, fmt.Errorf("engine: argument %d: text column compared with %s", pos, lit.Kind)
-		}
-	}
-	return lit, nil
-}
-
 // bindMALParams coerces arguments to the column types their bind slots
-// compare against.
+// compare against. sqlfe.CoerceArg is the single definition of the
+// binding rules, shared with the physical plan's predicate binding.
 func bindMALParams(args []any, ptypes []sqlfe.ColType) ([]mal.Val, error) {
 	out := make([]mal.Val, len(args))
 	for i, a := range args {
-		lit, err := coerceParam(a, ptypes[i], i+1)
+		lit, err := sqlfe.CoerceArg(a, ptypes[i], i+1)
 		if err != nil {
 			return nil, err
 		}

@@ -254,6 +254,69 @@ func SelectStr(b *bat.BAT, op CmpOp, v string) *bat.BAT {
 	return candList(out)
 }
 
+// SelectNil returns head OIDs of tuples whose tail is the stored nil
+// sentinel (bat.NilInt for ints, the canonical NaN for floats). Text and
+// candidate tails have no stored nil, so the selection is empty — which
+// is exactly SQL's answer for IS NULL over a column that cannot hold one.
+func SelectNil(b *bat.BAT) *bat.BAT {
+	hseq := b.HSeq()
+	var out []bat.OID
+	switch b.TailType() {
+	case bat.TypeInt:
+		if b.Props().NoNil {
+			break // property says no nils: empty without touching the tail
+		}
+		for i, x := range b.Ints() {
+			if x == bat.NilInt {
+				out = append(out, hseq+bat.OID(i))
+			}
+		}
+	case bat.TypeFloat:
+		if b.Props().NoNil {
+			break
+		}
+		for i, x := range b.Floats() {
+			if x != x {
+				out = append(out, hseq+bat.OID(i))
+			}
+		}
+	}
+	return candList(out)
+}
+
+// SelectNotNil returns head OIDs of tuples whose tail is NOT nil — the
+// complement of SelectNil over the same tail-type rules (tail types
+// without a stored nil qualify whole).
+func SelectNotNil(b *bat.BAT) *bat.BAT {
+	n := b.Len()
+	hseq := b.HSeq()
+	out := make([]bat.OID, 0, n)
+	switch b.TailType() {
+	case bat.TypeInt:
+		if !b.Props().NoNil {
+			for i, x := range b.Ints() {
+				if x != bat.NilInt {
+					out = append(out, hseq+bat.OID(i))
+				}
+			}
+			return candList(out)
+		}
+	case bat.TypeFloat:
+		if !b.Props().NoNil {
+			for i, x := range b.Floats() {
+				if x == x {
+					out = append(out, hseq+bat.OID(i))
+				}
+			}
+			return candList(out)
+		}
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, hseq+bat.OID(i))
+	}
+	return candList(out)
+}
+
 // SelectBool returns head OIDs where the bool tail equals v.
 func SelectBool(b *bat.BAT, v bool) *bat.BAT {
 	tail := b.Bools()

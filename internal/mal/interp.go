@@ -11,8 +11,9 @@ import (
 )
 
 // radixCacheBytes is the cache size the partitioned hash join tunes its
-// clusters for (the paper-era L2; see internal/simhw.Default).
-const radixCacheBytes = 512 << 10
+// clusters for — the shared constant keeps the MAL and physical-plan
+// executors' join crossovers in agreement.
+const radixCacheBytes = radix.JoinCacheBytes
 
 // Catalog resolves base BAT names and their versions (bumped on update, so
 // recycled intermediates depending on stale versions never match).
@@ -190,7 +191,8 @@ func (ip *Interp) signature(in *Instr, sigs []string, deps [][]string) (string, 
 // bind is excluded (it is already O(1)); nondeterministic or scalar ops too.
 func opRecyclable(op string) bool {
 	switch op {
-	case "select", "theta_select", "range_select", "select_str", "fetch",
+	case "select", "theta_select", "range_select", "select_str",
+		"select_nil", "select_notnil", "fetch",
 		"add", "sub", "mul", "add_scalar", "mul_scalar", "mirror",
 		"sum_per_group", "min_per_group", "max_per_group",
 		"count_nn_per_group",
@@ -314,6 +316,20 @@ func (ip *Interp) exec(op string, args []Val) ([]Val, error) {
 			return nil, err
 		}
 		return one(batalg.SelectStr(b, batalg.CmpOp(code), s)), nil
+
+	case "select_nil": // select_nil(b): candidates whose tail is nil
+		b, err := wantBAT(args[0], op, 0)
+		if err != nil {
+			return nil, err
+		}
+		return one(batalg.SelectNil(b)), nil
+
+	case "select_notnil": // select_notnil(b): candidates whose tail is not nil
+		b, err := wantBAT(args[0], op, 0)
+		if err != nil {
+			return nil, err
+		}
+		return one(batalg.SelectNotNil(b)), nil
 
 	case "range_select":
 		b, err := wantBAT(args[0], op, 0)

@@ -1,0 +1,106 @@
+package physical
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Describe renders the plan tree for \plan: one line per pipeline, with
+// the Exchange marking where batches cross from the parallel workers to
+// the consumer.
+func (p *Plan) Describe() string {
+	var sb strings.Builder
+	sb.WriteString("vectorized pipeline (physical plan, morsel-parallel exchange):\n")
+	switch root := p.Root.(type) {
+	case *ProjectNode:
+		switch child := root.Child.(type) {
+		case *HashJoinNode:
+			describeJoin(&sb, root, child)
+		case *SortNode:
+			sb.WriteString("    ")
+			describePipe(&sb, child.Child)
+			fmt.Fprintf(&sb, " -> sort-runs[col%d%s%s] -> exchange -> merge-runs -> project",
+				child.Key, descSuffix(child.Desc), limitSuffix(child.Limit))
+		default:
+			sb.WriteString("    ")
+			describePipe(&sb, root.Child)
+			sb.WriteString(" -> project -> exchange")
+		}
+	case *GroupAggNode:
+		sb.WriteString("    ")
+		describePipe(&sb, root.Child)
+		if len(root.Keys) == 0 {
+			sb.WriteString(" -> partial-agg -> exchange -> re-agg")
+			break
+		}
+		cols := make([]string, len(root.Keys))
+		for i, k := range root.Keys {
+			cols[i] = fmt.Sprintf("col%d", k)
+		}
+		fmt.Fprintf(&sb, " -> group-by[%s] partial-agg -> exchange -> merge by key", strings.Join(cols, ","))
+		if len(root.Keys) == 1 && !hasFilter(root.Child) {
+			sb.WriteString("\n    (radix-partitioned shared-nothing plan at high key cardinality)")
+		}
+	default:
+		fmt.Fprintf(&sb, "    %T", root)
+	}
+	return sb.String()
+}
+
+func describeJoin(sb *strings.Builder, proj *ProjectNode, jn *HashJoinNode) {
+	sb.WriteString("    build: ")
+	describePipe(sb, jn.Right)
+	fmt.Fprintf(sb, " -> join-table[key col%d]\n", jn.RKey)
+	sb.WriteString("    probe: ")
+	describePipe(sb, jn.Left)
+	fmt.Fprintf(sb, " -> hash-join[key col%d, shared table] -> project -> exchange\n", jn.LKey)
+	sb.WriteString("    (build side chosen per execution by the radix cost model)")
+}
+
+// describePipe renders a leaf pipeline (scan, optionally filtered).
+func describePipe(sb *strings.Builder, n Node) {
+	switch x := n.(type) {
+	case *ScanNode:
+		fmt.Fprintf(sb, "scan %s", x.Table)
+	case *FilterNode:
+		describePipe(sb, x.Child)
+		sb.WriteString(" -> filter[")
+		for i, p := range x.Preds {
+			if i > 0 {
+				sb.WriteString(" AND ")
+			}
+			switch {
+			case p.Op == "isnull":
+				fmt.Fprintf(sb, "col%d is null", p.Col)
+			case p.Op == "isnotnull":
+				fmt.Fprintf(sb, "col%d is not null", p.Col)
+			case p.Param > 0:
+				fmt.Fprintf(sb, "col%d %s ?%d", p.Col, p.Op, p.Param)
+			default:
+				fmt.Fprintf(sb, "col%d %s lit", p.Col, p.Op)
+			}
+		}
+		sb.WriteString("]")
+	default:
+		fmt.Fprintf(sb, "%T", n)
+	}
+}
+
+func hasFilter(n Node) bool {
+	_, ok := n.(*FilterNode)
+	return ok
+}
+
+func descSuffix(desc bool) string {
+	if desc {
+		return " desc"
+	}
+	return ""
+}
+
+func limitSuffix(limit int) string {
+	if limit >= 0 {
+		return fmt.Sprintf(" limit %d", limit)
+	}
+	return ""
+}

@@ -1,0 +1,705 @@
+package physical
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/bat"
+	"repro/internal/radix"
+	"repro/internal/sqlfe"
+	"repro/internal/vector"
+)
+
+// Result is an instantiated plan: an OPENED operator streaming the
+// result batches (the caller owns Close) and the row budget the cursor
+// must enforce.
+type Result struct {
+	Op    vector.Operator
+	Limit int
+}
+
+// Execute instantiates the plan over a snapshot. A nil *Fallback means
+// Result is live; a non-nil one means the DATA disqualified the vector
+// path (run the MAL program instead); a non-nil error is a real
+// binding/execution error that would fail either way.
+func (p *Plan) Execute(ctx context.Context, snap *sqlfe.Snapshot, args []any, opts Options) (*Result, *Fallback, error) {
+	if fb := p.DataFallback(snap); fb != nil {
+		return nil, fb, nil
+	}
+	switch root := p.Root.(type) {
+	case *ProjectNode:
+		switch child := root.Child.(type) {
+		case *HashJoinNode:
+			return p.execJoin(ctx, snap, args, opts, root, child)
+		case *SortNode:
+			return p.execSort(ctx, snap, args, opts, root, child)
+		default:
+			return p.execPlain(ctx, snap, args, opts, root)
+		}
+	case *GroupAggNode:
+		if len(root.Keys) == 0 {
+			return p.execGlobalAgg(ctx, snap, args, opts, root)
+		}
+		return p.execGrouped(ctx, snap, args, opts, root)
+	}
+	return nil, nil, fmt.Errorf("physical: unexecutable plan root %T", p.Root)
+}
+
+// DataFallback reports the data-dependent disqualification this
+// snapshot would cause at Execute time, or nil. It is how \plan
+// surfaces execution-time routing without running the query.
+func (p *Plan) DataFallback(snap *sqlfe.Snapshot) *Fallback {
+	for _, s := range scanNodes(p.Root) {
+		t, err := snap.Table(s.Table)
+		if err != nil {
+			return fallback(ReasonUnknownTable, "%v", err)
+		}
+		if t.HasDeletes() {
+			// Tombstoned positions would need the deleted filter; the
+			// positional scan has no notion of it.
+			return fallback(ReasonDeletesPresent, "table %s has tombstoned rows", s.Table)
+		}
+	}
+	return nil
+}
+
+// scanNodes collects the scans of a plan tree.
+func scanNodes(n Node) []*ScanNode {
+	switch x := n.(type) {
+	case *ScanNode:
+		return []*ScanNode{x}
+	case *FilterNode:
+		return scanNodes(x.Child)
+	case *ProjectNode:
+		return scanNodes(x.Child)
+	case *SortNode:
+		return scanNodes(x.Child)
+	case *GroupAggNode:
+		return scanNodes(x.Child)
+	case *HashJoinNode:
+		return append(scanNodes(x.Left), scanNodes(x.Right)...)
+	}
+	return nil
+}
+
+// pipe splits a leaf pipeline (Scan or Filter-over-Scan) into its parts.
+func pipe(n Node) (*ScanNode, []Pred, error) {
+	switch x := n.(type) {
+	case *ScanNode:
+		return x, nil, nil
+	case *FilterNode:
+		s, ok := x.Child.(*ScanNode)
+		if !ok {
+			return nil, nil, fmt.Errorf("physical: filter over %T", x.Child)
+		}
+		return s, x.Preds, nil
+	}
+	return nil, nil, fmt.Errorf("physical: %T is not a scan pipeline", n)
+}
+
+// boundScan is a ScanNode bound to one snapshot: zero-copy column
+// slices plus the per-column NoNil property driving nil-aware
+// primitive selection.
+type boundScan struct {
+	src   *vector.Source
+	noNil []bool
+}
+
+// bind resolves the scan's columns against the snapshot.
+func bind(s *ScanNode, snap *sqlfe.Snapshot) (*boundScan, error) {
+	t, err := snap.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(s.Cols))
+	cols := make([]vector.Col, len(s.Cols))
+	noNil := make([]bool, len(s.Cols))
+	for i, ci := range s.Cols {
+		b := t.ColumnBAT(ci)
+		noNil[i] = b.Props().NoNil
+		names[i] = t.ColNames[ci]
+		switch s.Types[i] {
+		case sqlfe.TInt:
+			cols[i] = vector.Col{Kind: vector.KindInt, Ints: b.Ints()}
+		case sqlfe.TFloat:
+			cols[i] = vector.Col{Kind: vector.KindFloat, Floats: b.Floats()}
+		default:
+			return nil, fmt.Errorf("physical: column %s.%s is not numeric", s.Table, names[i])
+		}
+	}
+	// NumRows == total positions here (no deletes — DataFallback ran),
+	// so a column-free count(*) still scans the right number of rows.
+	src, err := vector.NewSourceWithLen(names, cols, t.NumRows())
+	if err != nil {
+		return nil, err
+	}
+	return &boundScan{src: src, noNil: noNil}, nil
+}
+
+// predOp maps a SQL comparison to the vectorized primitive, picking the
+// nil-aware variant exactly when the column may hold nils and the plain
+// loop would let the sentinel qualify (<, <=, <> on INT — bat.NilInt is
+// the domain minimum). Float comparisons are NaN-correct as-is.
+func predOp(op string, ct sqlfe.ColType, noNil bool) (vector.PredOp, bool) {
+	if ct == sqlfe.TInt {
+		switch op {
+		case "isnull":
+			return vector.PredIsNull, true
+		case "isnotnull":
+			return vector.PredIsNotNull, true
+		case "=":
+			return vector.PredEq, true
+		case "<>":
+			if noNil {
+				return vector.PredNe, true
+			}
+			return vector.PredNeNil, true
+		case "<":
+			if noNil {
+				return vector.PredLt, true
+			}
+			return vector.PredLtNil, true
+		case "<=":
+			if noNil {
+				return vector.PredLe, true
+			}
+			return vector.PredLeNil, true
+		case ">":
+			return vector.PredGt, true
+		case ">=":
+			return vector.PredGe, true
+		}
+		return 0, false
+	}
+	switch op {
+	case "isnull":
+		return vector.PredIsNullF, true
+	case "isnotnull":
+		return vector.PredIsNotNullF, true
+	case "=":
+		return vector.PredEqF, true
+	case "<>":
+		return vector.PredNeF, true
+	case "<":
+		return vector.PredLtF, true
+	case "<=":
+		return vector.PredLeF, true
+	case ">":
+		return vector.PredGtF, true
+	case ">=":
+		return vector.PredGeF, true
+	}
+	return 0, false
+}
+
+// bindPreds resolves predicate specs against bound arguments, through
+// the same sqlfe.CoerceArg rules as the MAL path. Nil tests
+// short-circuit on the column's NoNil property — the same
+// property-driven dispatch batalg.SelectNil/SelectNotNil apply: an IS
+// NOT NULL over a nil-free column is always true and drops out of the
+// predicate list; an IS NULL over one is always false, reported via
+// empty so the caller scans nothing at all.
+func bindPreds(preds []Pred, bs *boundScan, args []any) (out []vector.Pred, empty bool, err error) {
+	out = make([]vector.Pred, 0, len(preds))
+	for _, p := range preds {
+		if p.Op == "isnotnull" && bs.noNil[p.Col] {
+			continue
+		}
+		if p.Op == "isnull" && bs.noNil[p.Col] {
+			empty = true
+			continue
+		}
+		op, ok := predOp(p.Op, p.Type, bs.noNil[p.Col])
+		if !ok {
+			return nil, false, fmt.Errorf("physical: unsupported operator %q", p.Op)
+		}
+		vp := vector.Pred{ColIdx: p.Col, Op: op}
+		if p.Op != "isnull" && p.Op != "isnotnull" {
+			lit := p.Lit
+			if p.Param > 0 {
+				if lit, err = sqlfe.CoerceArg(args[p.Param-1], p.Type, p.Param); err != nil {
+					return nil, false, err
+				}
+			}
+			if p.Type == sqlfe.TInt {
+				vp.IntVal = lit.I
+			} else {
+				vp.FltVal = lit.F
+				if lit.Kind == sqlfe.TInt { // literal (unbound) int against float col
+					vp.FltVal = float64(lit.I)
+				}
+			}
+		}
+		out = append(out, vp)
+	}
+	return out, empty, nil
+}
+
+// emptyLike returns a zero-row source with src's schema, for pipelines
+// a contradiction proved empty before scanning (the aggregate shapes
+// still need the schema to emit their identity rows).
+func emptyLike(src *vector.Source) *vector.Source {
+	cols := make([]vector.Col, len(src.Cols))
+	for i := range src.Cols {
+		cols[i] = vector.Col{Kind: src.Cols[i].Kind}
+		switch src.Cols[i].Kind {
+		case vector.KindInt:
+			cols[i].Ints = []int64{}
+		case vector.KindFloat:
+			cols[i].Floats = []float64{}
+		case vector.KindBool:
+			cols[i].Bools = []bool{}
+		}
+	}
+	out, err := vector.NewSourceWithLen(src.Names, cols, 0)
+	if err != nil {
+		panic(err) // schema copied from a valid source; cannot mismatch
+	}
+	return out
+}
+
+// leafExec binds the plan's left-most leaf pipeline. A predicate
+// contradiction (IS NULL over a provably nil-free column) swaps in a
+// zero-row source, so the pipeline emits its empty/identity result
+// without scanning.
+func leafExec(n Node, snap *sqlfe.Snapshot, args []any) (*boundScan, []vector.Pred, error) {
+	scan, preds, err := pipe(n)
+	if err != nil {
+		return nil, nil, err
+	}
+	bs, err := bind(scan, snap)
+	if err != nil {
+		return nil, nil, err
+	}
+	vpreds, empty, err := bindPreds(preds, bs, args)
+	if err != nil {
+		return nil, nil, err
+	}
+	if empty {
+		bs.src = emptyLike(bs.src)
+	}
+	return bs, vpreds, nil
+}
+
+// --- plain scan/filter/project ---
+
+func (p *Plan) execPlain(ctx context.Context, snap *sqlfe.Snapshot, args []any, opts Options, proj *ProjectNode) (*Result, *Fallback, error) {
+	bs, preds, err := leafExec(proj.Child, snap, args)
+	if err != nil {
+		return nil, nil, err
+	}
+	identity := len(proj.Outs) == len(bs.src.Cols)
+	for i, o := range proj.Outs {
+		if o != i {
+			identity = false
+		}
+	}
+	plan := func(scan vector.Operator) vector.Operator {
+		op := scan
+		if len(preds) > 0 {
+			op = &vector.Filter{Child: op, Preds: preds}
+		}
+		if !identity {
+			exprs := make([]vector.Expr, len(proj.Outs))
+			for i, o := range proj.Outs {
+				exprs[i] = vector.ColRef{Idx: o}
+			}
+			op = &vector.Project{Child: op, Exprs: exprs}
+		}
+		return op
+	}
+	ex := &vector.Exchange{
+		Source:     bs.src,
+		Workers:    opts.workers(),
+		MorselSize: opts.MorselSize,
+		VectorSize: opts.VectorSize,
+		Plan:       plan,
+		Ctx:        ctx,
+	}
+	if err := ex.Open(); err != nil {
+		return nil, nil, err
+	}
+	return &Result{Op: ex, Limit: p.Limit}, nil, nil
+}
+
+// --- ORDER BY: per-worker sorted runs + k-way merge ---
+
+func (p *Plan) execSort(ctx context.Context, snap *sqlfe.Snapshot, args []any, opts Options, proj *ProjectNode, sn *SortNode) (*Result, *Fallback, error) {
+	bs, preds, err := leafExec(sn.Child, snap, args)
+	if err != nil {
+		return nil, nil, err
+	}
+	// The RowIDs scan appends the global-position tiebreak column after
+	// the source columns.
+	rowID := len(bs.src.Cols)
+	workers := opts.workers()
+	if !radix.ShouldParallelSort(bs.src.Len(), workers) {
+		// One run: the sort cost model says the merge machinery is pure
+		// overhead here (tiny or single-worker input).
+		workers = 1
+	}
+	plan := func(scan vector.Operator) vector.Operator {
+		op := scan
+		if len(preds) > 0 {
+			op = &vector.Filter{Child: op, Preds: preds}
+		}
+		return &vector.SortRun{Child: op, Key: sn.Key, RowID: rowID, Desc: sn.Desc, Limit: sn.Limit}
+	}
+	ex := &vector.Exchange{
+		Source:     bs.src,
+		Workers:    workers,
+		MorselSize: opts.MorselSize,
+		VectorSize: opts.VectorSize,
+		Plan:       plan,
+		Ctx:        ctx,
+		RowIDs:     true,
+	}
+	merge := &vector.MergeRuns{
+		Child: ex,
+		Key:   sn.Key,
+		RowID: rowID,
+		Desc:  sn.Desc,
+		Limit: sn.Limit,
+		Size:  opts.VectorSize,
+	}
+	exprs := make([]vector.Expr, len(proj.Outs))
+	for i, o := range proj.Outs {
+		exprs[i] = vector.ColRef{Idx: o}
+	}
+	out := &vector.Project{Child: merge, Exprs: exprs}
+	if err := out.Open(); err != nil {
+		return nil, nil, err
+	}
+	return &Result{Op: out, Limit: p.Limit}, nil, nil
+}
+
+// --- global aggregates ---
+
+func (p *Plan) execGlobalAgg(ctx context.Context, snap *sqlfe.Snapshot, args []any, opts Options, g *GroupAggNode) (*Result, *Fallback, error) {
+	bs, preds, err := leafExec(g.Child, snap, args)
+	if err != nil {
+		return nil, nil, err
+	}
+	specs := make([]vector.AggSpec, len(g.Accs))
+	for i, a := range g.Accs {
+		specs[i] = vector.AggSpec{Kind: a.Kind, Col: a.Col}
+	}
+	plan := func(scan vector.Operator) vector.Operator {
+		op := scan
+		if len(preds) > 0 {
+			op = &vector.Filter{Child: op, Preds: preds}
+		}
+		return &vector.Agg{Child: op, KeyCol: -1, Aggs: specs}
+	}
+	ex := &vector.Exchange{
+		Source:     bs.src,
+		Workers:    opts.workers(),
+		MorselSize: opts.MorselSize,
+		VectorSize: opts.VectorSize,
+		Plan:       plan,
+		Ctx:        ctx,
+	}
+	// Re-aggregate the workers' partials (sums and counts add, min/max
+	// re-fold nil-aware), then shape the single result row with SQL NULL
+	// semantics — sum/avg over zero non-nil inputs is NULL, as is
+	// min/max over none. The row is emitted as a one-row batch carrying
+	// the engine's nil sentinels, which the cursor renders as NULL.
+	finals := make([]vector.AggSpec, len(g.Accs))
+	for i, a := range g.Accs {
+		finals[i] = vector.AggSpec{Kind: vector.MergeKind(a.Kind), Col: i}
+	}
+	final := &vector.Agg{Child: ex, KeyCol: -1, Aggs: finals}
+	row, err := drainOne(final)
+	if err != nil {
+		return nil, nil, err
+	}
+	cols := make([]vector.Col, len(g.Outs))
+	for i, o := range g.Outs {
+		cnt := int64(0)
+		if o.CntAcc >= 0 {
+			cnt = row.Cols[o.CntAcc].Ints[0]
+		}
+		switch o.Fn {
+		case "count":
+			cols[i] = vector.Col{Kind: vector.KindInt, Ints: []int64{row.Cols[o.Acc].Ints[0]}}
+		case "sum":
+			if o.Flt {
+				v := row.Cols[o.Acc].Floats[0]
+				if cnt == 0 {
+					v = math.NaN()
+				}
+				cols[i] = vector.Col{Kind: vector.KindFloat, Floats: []float64{v}}
+			} else {
+				v := row.Cols[o.Acc].Ints[0]
+				if cnt == 0 {
+					v = bat.NilInt
+				}
+				cols[i] = vector.Col{Kind: vector.KindInt, Ints: []int64{v}}
+			}
+		case "avg":
+			v := math.NaN()
+			if cnt != 0 {
+				s := 0.0
+				if row.Cols[o.Acc].Kind == vector.KindFloat {
+					s = row.Cols[o.Acc].Floats[0]
+				} else {
+					s = float64(row.Cols[o.Acc].Ints[0])
+				}
+				v = s / float64(cnt)
+			}
+			cols[i] = vector.Col{Kind: vector.KindFloat, Floats: []float64{v}}
+		default: // min/max: the accumulators already carry nil sentinels
+			cols[i] = row.Cols[o.Acc]
+		}
+	}
+	op := &batchOp{b: &vector.Batch{N: 1, Cols: cols}}
+	if err := op.Open(); err != nil {
+		return nil, nil, err
+	}
+	return &Result{Op: op, Limit: p.Limit}, nil, nil
+}
+
+// --- grouped aggregates (1 or 2 keys) ---
+
+func (p *Plan) execGrouped(ctx context.Context, snap *sqlfe.Snapshot, args []any, opts Options, g *GroupAggNode) (*Result, *Fallback, error) {
+	bs, preds, err := leafExec(g.Child, snap, args)
+	if err != nil {
+		return nil, nil, err
+	}
+	specs := make([]vector.AggSpec, len(g.Accs))
+	for i, a := range g.Accs {
+		specs[i] = vector.AggSpec{Kind: a.Kind, Col: a.Col}
+	}
+	workers := opts.workers()
+	nk := len(g.Keys)
+
+	// Plan choice: the shared-nothing radix-partitioned plan needs raw
+	// positions (no filter) and a single int64 key; composite keys and
+	// filtered inputs take the merge-based plan.
+	var merged *vector.Batch
+	if nk == 1 && len(preds) == 0 {
+		keys := bs.src.Cols[g.Keys[0]].Ints
+		est := vector.EstimateGroups(keys)
+		if radix.ShouldPartitionGroup(len(keys), est, workers) {
+			merged, err = vector.PartitionedGroupAgg(ctx, bs.src, g.Keys[0], specs, workers, radix.GroupBits(est))
+		}
+	}
+	if merged == nil && err == nil {
+		merged, err = vector.ParallelGroupAgg(ctx, bs.src, g.Keys, specs, preds, workers, opts.MorselSize, opts.VectorSize)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Shape the merged [keys..., accs...] batch into the select-list
+	// columns with SQL NULL semantics (nil sentinels render as NULL).
+	n := merged.N
+	accCol := func(i int) *vector.Col { return &merged.Cols[i+nk] }
+	out := make([]vector.Col, len(g.Outs))
+	for i, o := range g.Outs {
+		switch {
+		case o.Key:
+			out[i] = merged.Cols[o.KeyIdx]
+		case o.Fn == "count":
+			out[i] = *accCol(o.Acc)
+		case o.Fn == "sum" && !o.Flt:
+			sums := accCol(o.Acc).Ints
+			cnts := accCol(o.CntAcc).Ints
+			vals := make([]int64, n)
+			for gi := 0; gi < n; gi++ {
+				if cnts[gi] == 0 {
+					vals[gi] = bat.NilInt // all-NULL group
+				} else {
+					vals[gi] = sums[gi]
+				}
+			}
+			out[i] = vector.Col{Kind: vector.KindInt, Ints: vals}
+		case o.Fn == "sum":
+			sums := accCol(o.Acc).Floats
+			cnts := accCol(o.CntAcc).Ints
+			vals := make([]float64, n)
+			for gi := 0; gi < n; gi++ {
+				if cnts[gi] == 0 {
+					vals[gi] = math.NaN()
+				} else {
+					vals[gi] = sums[gi]
+				}
+			}
+			out[i] = vector.Col{Kind: vector.KindFloat, Floats: vals}
+		case o.Fn == "avg":
+			cnts := accCol(o.CntAcc).Ints
+			vals := make([]float64, n)
+			sc := accCol(o.Acc)
+			for gi := 0; gi < n; gi++ {
+				if cnts[gi] == 0 {
+					vals[gi] = math.NaN()
+					continue
+				}
+				s := 0.0
+				if sc.Kind == vector.KindFloat {
+					s = sc.Floats[gi]
+				} else {
+					s = float64(sc.Ints[gi])
+				}
+				vals[gi] = s / float64(cnts[gi])
+			}
+			out[i] = vector.Col{Kind: vector.KindFloat, Floats: vals}
+		default: // min/max: the accumulators already carry nil sentinels
+			out[i] = *accCol(o.Acc)
+		}
+	}
+	op := &batchOp{b: &vector.Batch{N: n, Cols: out}}
+	if err := op.Open(); err != nil {
+		return nil, nil, err
+	}
+	return &Result{Op: op, Limit: p.Limit}, nil, nil
+}
+
+// --- hash join: serial build, parallel probe ---
+
+func (p *Plan) execJoin(ctx context.Context, snap *sqlfe.Snapshot, args []any, opts Options, proj *ProjectNode, jn *HashJoinNode) (*Result, *Fallback, error) {
+	lScan, lPreds, err := pipe(jn.Left)
+	if err != nil {
+		return nil, nil, err
+	}
+	rScan, rPreds, err := pipe(jn.Right)
+	if err != nil {
+		return nil, nil, err
+	}
+	lb, err := bind(lScan, snap)
+	if err != nil {
+		return nil, nil, err
+	}
+	rb, err := bind(rScan, snap)
+	if err != nil {
+		return nil, nil, err
+	}
+	lv, lEmpty, err := bindPreds(lPreds, lb, args)
+	if err != nil {
+		return nil, nil, err
+	}
+	rv, rEmpty, err := bindPreds(rPreds, rb, args)
+	if err != nil {
+		return nil, nil, err
+	}
+	if lEmpty {
+		lb.src = emptyLike(lb.src)
+	}
+	if rEmpty {
+		rb.src = emptyLike(rb.src)
+	}
+
+	// Build-side choice is the cost model's: price both orientations
+	// (each as the cheaper of its flat and clustered layouts) on this
+	// snapshot's table cardinalities and build the cheaper one. The
+	// counts are PRE-filter — selectivities are unknown until the
+	// pipelines run, so a highly selective filter on one side can make
+	// the model conservative, never wrong. The probe side is the one
+	// that parallelizes.
+	buildLeft := radix.BuildLeft(lb.src.Len(), rb.src.Len(), radix.JoinCacheBytes)
+	build, probe := rb, lb
+	buildPreds, probePreds := rv, lv
+	buildKey, probeKey := jn.RKey, jn.LKey
+	if buildLeft {
+		build, probe = lb, rb
+		buildPreds, probePreds = lv, rv
+		buildKey, probeKey = jn.LKey, jn.RKey
+	}
+
+	// Serial build: drain the build side's pipeline into the shared
+	// read-only JoinBuild (radix.JoinTable underneath — nil keys never
+	// match, large builds auto radix-partition).
+	var buildOp vector.Operator = vector.NewScan(build.src, opts.VectorSize)
+	if len(buildPreds) > 0 {
+		buildOp = &vector.Filter{Child: buildOp, Preds: buildPreds}
+	}
+	payload := make([]int, len(build.src.Cols))
+	for i := range payload {
+		payload[i] = i
+	}
+	jb, err := vector.BuildJoinTable(buildOp, buildKey, payload, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+
+	// The joined batch lays out probe columns then build payloads; remap
+	// the virtual (left ++ right) projection accordingly.
+	nl := len(lb.src.Cols)
+	nProbe := len(probe.src.Cols)
+	exprs := make([]vector.Expr, len(proj.Outs))
+	for i, v := range proj.Outs {
+		rt := v
+		if buildLeft {
+			if v < nl {
+				rt = nProbe + v // left columns ride as build payload
+			} else {
+				rt = v - nl // right columns are the probe side
+			}
+		}
+		exprs[i] = vector.ColRef{Idx: rt}
+	}
+
+	plan := func(scan vector.Operator) vector.Operator {
+		op := scan
+		if len(probePreds) > 0 {
+			op = &vector.Filter{Child: op, Preds: probePreds}
+		}
+		op = &vector.HashJoinOp{Probe: op, ProbeKey: probeKey, Shared: jb}
+		return &vector.Project{Child: op, Exprs: exprs}
+	}
+	ex := &vector.Exchange{
+		Source:     probe.src,
+		Workers:    opts.workers(),
+		MorselSize: opts.MorselSize,
+		VectorSize: opts.VectorSize,
+		Plan:       plan,
+		Ctx:        ctx,
+	}
+	if err := ex.Open(); err != nil {
+		return nil, nil, err
+	}
+	return &Result{Op: ex, Limit: p.Limit}, nil, nil
+}
+
+// --- small shared pieces ---
+
+// batchOp adapts one materialized batch to the Operator interface so a
+// shaped result streams through the same cursor as a pipeline.
+type batchOp struct {
+	b    *vector.Batch
+	done bool
+}
+
+func (o *batchOp) Open() error { o.done = false; return nil }
+
+func (o *batchOp) Next() (*vector.Batch, error) {
+	if o.done {
+		return nil, nil
+	}
+	o.done = true
+	return o.b, nil
+}
+
+func (o *batchOp) Close() error { return nil }
+
+// drainOne runs an operator tree expected to produce exactly one batch.
+func drainOne(op vector.Operator) (*vector.Batch, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	// The final Agg fully drains its child inside this one Next call
+	// (worker errors surface here), then emits its single batch.
+	out, err := op.Next()
+	if err != nil {
+		return nil, err
+	}
+	if out == nil {
+		return nil, fmt.Errorf("physical: aggregate pipeline produced no batch")
+	}
+	return out, nil
+}

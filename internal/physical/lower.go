@@ -1,0 +1,542 @@
+package physical
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/sqlfe"
+	"repro/internal/vector"
+)
+
+// Lower walks a parsed SELECT and emits the physical-plan tree, or a
+// typed Fallback naming why the statement must run on the MAL
+// interpreter instead. Anything MAL cannot compile never reaches
+// execution (Prepare compiles the MAL program first and surfaces its
+// errors), so the checks here only decide ROUTING — per operator, not
+// per query shape.
+func Lower(sel *sqlfe.Select, snap *sqlfe.Snapshot) (*Plan, *Fallback) {
+	p := &planner{sel: sel}
+	var err error
+	if p.left, err = snap.Table(sel.From); err != nil {
+		return nil, fallback(ReasonUnknownTable, "%v", err)
+	}
+	p.lscan = &ScanNode{Table: sel.From}
+	if sel.Join != nil {
+		if p.right, err = snap.Table(sel.Join.Table); err != nil {
+			return nil, fallback(ReasonUnknownTable, "%v", err)
+		}
+		p.rscan = &ScanNode{Table: sel.Join.Table}
+	}
+	return p.lower()
+}
+
+// planner carries one Lower invocation's state: the two table scans
+// being populated with referenced columns, and the predicate lists
+// routed to each side.
+type planner struct {
+	sel         *sqlfe.Select
+	left, right *sqlfe.Table
+	lscan       *ScanNode
+	rscan       *ScanNode
+	lpreds      []Pred
+	rpreds      []Pred
+}
+
+const (
+	sideLeft = iota
+	sideRight
+)
+
+// resolve finds which table owns a (possibly qualified) column name,
+// preferring the given side for bare ambiguous names — the same rule
+// the MAL compiler applies, so both executors read the same column.
+func (p *planner) resolve(name string, prefer int) (side, col int, ok bool) {
+	if i := strings.IndexByte(name, '.'); i >= 0 {
+		tbl, c := name[:i], name[i+1:]
+		if tbl == p.left.Name {
+			return sideLeft, colIndex(p.left, c), colIndex(p.left, c) >= 0
+		}
+		if p.right != nil && tbl == p.right.Name {
+			return sideRight, colIndex(p.right, c), colIndex(p.right, c) >= 0
+		}
+		return 0, -1, false
+	}
+	order := []int{sideLeft, sideRight}
+	if prefer == sideRight {
+		order = []int{sideRight, sideLeft}
+	}
+	for _, s := range order {
+		t := p.table(s)
+		if t == nil {
+			continue
+		}
+		if c := colIndex(t, name); c >= 0 {
+			return s, c, true
+		}
+	}
+	return 0, -1, false
+}
+
+func (p *planner) table(side int) *sqlfe.Table {
+	if side == sideRight {
+		return p.right
+	}
+	return p.left
+}
+
+func (p *planner) scan(side int) *ScanNode {
+	if side == sideRight {
+		return p.rscan
+	}
+	return p.lscan
+}
+
+func colIndex(t *sqlfe.Table, name string) int {
+	for i, c := range t.ColNames {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// source registers a table column in its side's scan, returning the
+// pipeline position; a text column cannot cross into the vector engine.
+func (p *planner) source(side, tableCol int) (int, *Fallback) {
+	t := p.table(side)
+	pos, ok := p.scan(side).col(tableCol, t.ColTypes[tableCol], t.ColNames[tableCol])
+	if !ok {
+		return -1, fallback(ReasonTextColumn, "column %s.%s is TEXT", t.Name, t.ColNames[tableCol])
+	}
+	return pos, nil
+}
+
+// sourceRef resolves one column reference and registers it.
+func (p *planner) sourceRef(name string, prefer int) (side, pos int, fb *Fallback) {
+	side, col, ok := p.resolve(name, prefer)
+	if !ok {
+		return 0, -1, fallback(ReasonUnknownColumn, "cannot resolve column %q", name)
+	}
+	pos, fb = p.source(side, col)
+	return side, pos, fb
+}
+
+func (p *planner) lower() (*Plan, *Fallback) {
+	sel := p.sel
+
+	// WHERE conjuncts route to the side owning their column.
+	for _, wp := range sel.Where {
+		if fb := p.lowerPred(wp); fb != nil {
+			return nil, fb
+		}
+	}
+
+	switch {
+	case sel.Grouped():
+		return p.lowerGrouped()
+	case p.right != nil:
+		return p.lowerJoin()
+	default:
+		return p.lowerSingle()
+	}
+}
+
+// lowerPred compiles one WHERE conjunct into a Pred on its owning side.
+func (p *planner) lowerPred(wp sqlfe.Pred) *Fallback {
+	side, pos, fb := p.sourceRef(wp.Col, sideLeft)
+	if fb != nil {
+		return fb
+	}
+	scan := p.scan(side)
+	ct := scan.Types[pos]
+	pred := Pred{Col: pos, Op: wp.Op, Type: ct, Lit: wp.Val, Param: wp.Val.Param}
+	if !wp.IsNilTest() {
+		if wp.Val.Null {
+			// col = NULL: the MAL compile rejects it with the proper
+			// error; routing there surfaces it.
+			return fallback(ReasonNullComparison, "%s %s NULL", wp.Col, wp.Op)
+		}
+		if wp.Val.Param == 0 {
+			// Literal type check mirrors the MAL compiler's rules; on
+			// mismatch fall back so the error surfaces there.
+			if ct == sqlfe.TInt && wp.Val.Kind != sqlfe.TInt {
+				return fallback(ReasonFilterLitType, "int column %s", wp.Col)
+			}
+			if ct == sqlfe.TFloat && wp.Val.Kind == sqlfe.TText {
+				return fallback(ReasonFilterLitType, "float column %s", wp.Col)
+			}
+		}
+	}
+	if side == sideRight {
+		p.rpreds = append(p.rpreds, pred)
+	} else {
+		p.lpreds = append(p.lpreds, pred)
+	}
+	return nil
+}
+
+// wrap stacks the side's filter (if any) on its scan.
+func (p *planner) wrap(side int) Node {
+	var n Node = p.scan(side)
+	preds := p.lpreds
+	if side == sideRight {
+		preds = p.rpreds
+	}
+	if len(preds) > 0 {
+		n = &FilterNode{Child: n, Preds: preds}
+	}
+	return n
+}
+
+// itemName mirrors the MAL compiler's output labels, so ORDER BY
+// resolution against aliases picks the same item on both paths.
+func itemName(it sqlfe.SelItem, idx int) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if cr, ok := it.Expr.(sqlfe.ColRef); ok {
+		if it.Agg != "" {
+			return it.Agg + "(" + cr.Name + ")"
+		}
+		return cr.Name
+	}
+	if it.Agg == "count" && it.Expr == nil {
+		return "count(*)"
+	}
+	return "col" + strconv.Itoa(idx)
+}
+
+// expandStar replaces * items with explicit column refs, in the MAL
+// compiler's order: FROM-table columns, then JOIN-table columns.
+func (p *planner) expandStar() ([]sqlfe.SelItem, *Fallback) {
+	var out []sqlfe.SelItem
+	for _, it := range p.sel.Items {
+		if !it.Star {
+			out = append(out, it)
+			continue
+		}
+		if p.sel.Grouped() {
+			return nil, fallback(ReasonGroupStar, "")
+		}
+		for _, t := range []*sqlfe.Table{p.left, p.right} {
+			if t == nil {
+				continue
+			}
+			for _, cn := range t.ColNames {
+				out = append(out, sqlfe.SelItem{Expr: sqlfe.ColRef{Name: t.Name + "." + cn}, Alias: cn})
+			}
+		}
+	}
+	return out, nil
+}
+
+// --- single-table plain / global-aggregate / sorted plans ---
+
+func (p *planner) lowerSingle() (*Plan, *Fallback) {
+	sel := p.sel
+	items, fb := p.expandStar()
+	if fb != nil {
+		return nil, fb
+	}
+	hasAgg, hasPlain := false, false
+	for _, it := range items {
+		if it.Agg != "" {
+			hasAgg = true
+		} else {
+			hasPlain = true
+		}
+	}
+	if hasAgg && hasPlain {
+		return nil, fallback(ReasonMixedAggPlain, "")
+	}
+
+	if hasAgg {
+		if sel.OrderBy != "" {
+			// A one-row result has nothing to order; MAL handles the
+			// (pathological) labeled-order case.
+			return nil, fallback(ReasonOrderKeyType, "ORDER BY over a global aggregate")
+		}
+		agg := newAggBuilder(p)
+		for _, it := range items {
+			if fb := agg.item(it); fb != nil {
+				return nil, fb
+			}
+		}
+		root := &GroupAggNode{Child: p.wrap(sideLeft), Accs: agg.accs, Outs: agg.outs}
+		return &Plan{Root: root, Limit: sel.Limit}, nil
+	}
+
+	// Plain projection, optionally sorted.
+	outs := make([]int, len(items))
+	for i, it := range items {
+		cr, ok := it.Expr.(sqlfe.ColRef)
+		if !ok {
+			return nil, fallback(ReasonExprInSelect, "item %d", i+1)
+		}
+		_, pos, fb := p.sourceRef(cr.Name, sideLeft)
+		if fb != nil {
+			return nil, fb
+		}
+		outs[i] = pos
+	}
+
+	var root Node = p.wrap(sideLeft)
+	if sel.OrderBy != "" {
+		keyPos, fb := p.orderKey(items, outs)
+		if fb != nil {
+			return nil, fb
+		}
+		root = &SortNode{Child: root, Key: keyPos, Desc: sel.Desc, Limit: sel.Limit}
+	}
+	return &Plan{Root: &ProjectNode{Child: root, Outs: outs}, Limit: sel.Limit}, nil
+}
+
+// orderKey resolves the ORDER BY key to a pipeline column, mirroring
+// the MAL compiler's resolution order: output labels first, then bare
+// column refs among the items, then a fresh (unprojected) column — the
+// FIRST match in each pass.
+func (p *planner) orderKey(items []sqlfe.SelItem, outs []int) (int, *Fallback) {
+	name := p.sel.OrderBy
+	for i, it := range items {
+		if itemName(it, i) == name {
+			if _, ok := it.Expr.(sqlfe.ColRef); !ok {
+				return -1, fallback(ReasonOrderKeyType, "item %q is not a plain column", name)
+			}
+			return outs[i], nil
+		}
+	}
+	for i, it := range items {
+		if cr, ok := it.Expr.(sqlfe.ColRef); ok && cr.Name == name {
+			return outs[i], nil
+		}
+	}
+	_, pos, fb := p.sourceRef(name, sideLeft)
+	if fb != nil {
+		if fb.Code == ReasonTextColumn {
+			return -1, fallback(ReasonOrderKeyType, "key %q is TEXT", name)
+		}
+		return -1, fb
+	}
+	return pos, nil
+}
+
+// --- grouped plans ---
+
+func (p *planner) lowerGrouped() (*Plan, *Fallback) {
+	sel := p.sel
+	if p.right != nil {
+		return nil, fallback(ReasonJoinWithGroupBy, "")
+	}
+	if sel.OrderBy != "" {
+		return nil, fallback(ReasonGroupOrderBy, "")
+	}
+	if len(sel.GroupBy) > 2 {
+		return nil, fallback(ReasonGroupKeyCount, "%d keys", len(sel.GroupBy))
+	}
+	items, fb := p.expandStar()
+	if fb != nil {
+		return nil, fb
+	}
+
+	// The grouping cores assign dense ids over int64 keys (and int64
+	// pairs); text keys fall back to MAL's string grouping. NULL keys
+	// are fine: the tables treat bat.NilInt as an ordinary key, so all
+	// NULLs form one group per SQL.
+	keys := make([]int, len(sel.GroupBy))
+	keyCols := make([]int, len(sel.GroupBy))
+	for ki, name := range sel.GroupBy {
+		side, col, ok := p.resolve(name, sideLeft)
+		if !ok || side != sideLeft {
+			return nil, fallback(ReasonUnknownColumn, "cannot resolve group key %q", name)
+		}
+		if p.left.ColTypes[col] != sqlfe.TInt {
+			return nil, fallback(ReasonGroupKeyType, "key %q is %s", name, p.left.ColTypes[col])
+		}
+		pos, fb := p.source(sideLeft, col)
+		if fb != nil {
+			return nil, fb
+		}
+		keys[ki] = pos
+		keyCols[ki] = col
+	}
+
+	agg := newAggBuilder(p)
+	for _, it := range items {
+		if it.Agg != "" {
+			if fb := agg.item(it); fb != nil {
+				return nil, fb
+			}
+			continue
+		}
+		// A plain item must be one of the group keys (MAL enforces it).
+		cr, ok := it.Expr.(sqlfe.ColRef)
+		if !ok {
+			return nil, fallback(ReasonExprInSelect, "non-aggregate expression in GROUP BY query")
+		}
+		side, col, okR := p.resolve(cr.Name, sideLeft)
+		ki := -1
+		if okR && side == sideLeft {
+			for k, kc := range keyCols {
+				if kc == col {
+					ki = k
+					break
+				}
+			}
+		}
+		if ki < 0 {
+			return nil, fallback(ReasonAggUnsupported, "plain item %q is not a group key", cr.Name)
+		}
+		agg.outs = append(agg.outs, AggOut{Key: true, KeyIdx: ki, Acc: -1, CntAcc: -1})
+	}
+	root := &GroupAggNode{Child: p.wrap(sideLeft), Keys: keys, Accs: agg.accs, Outs: agg.outs}
+	return &Plan{Root: root, Limit: sel.Limit}, nil
+}
+
+// aggBuilder accumulates the accumulator columns and per-item mappings
+// shared by the global and grouped forms.
+type aggBuilder struct {
+	p    *planner
+	accs []AccSpec
+	outs []AggOut
+}
+
+func newAggBuilder(p *planner) *aggBuilder { return &aggBuilder{p: p} }
+
+// need registers an accumulator column once per (kind, source).
+func (a *aggBuilder) need(kind vector.AggKind, src int) int {
+	for i, s := range a.accs {
+		if s.Kind == kind && s.Col == src {
+			return i
+		}
+	}
+	a.accs = append(a.accs, AccSpec{Kind: kind, Col: src})
+	return len(a.accs) - 1
+}
+
+// item lowers one aggregate select item.
+func (a *aggBuilder) item(it sqlfe.SelItem) *Fallback {
+	if it.Agg == "count" && it.Expr == nil { // count(*)
+		a.outs = append(a.outs, AggOut{Fn: "count", Acc: a.need(vector.AggCount, -1), CntAcc: -1})
+		return nil
+	}
+	cr, ok := it.Expr.(sqlfe.ColRef)
+	if !ok {
+		return fallback(ReasonExprInSelect, "%s over an expression", it.Agg)
+	}
+	_, pos, fb := a.p.sourceRef(cr.Name, sideLeft)
+	if fb != nil {
+		return fb
+	}
+	isFlt := a.p.lscan.Types[pos] == sqlfe.TFloat
+	cntKind := vector.AggCountNNInt
+	if isFlt {
+		cntKind = vector.AggCountNNFloat
+	}
+	switch it.Agg {
+	case "count": // count(col): non-nil count
+		a.outs = append(a.outs, AggOut{Fn: "count", Acc: a.need(cntKind, pos), CntAcc: -1})
+	case "sum", "avg":
+		sumKind := vector.AggSumIntNil
+		if isFlt {
+			sumKind = vector.AggSumFloatNil
+		}
+		o := AggOut{Fn: it.Agg, Acc: a.need(sumKind, pos), CntAcc: a.need(cntKind, pos), Flt: isFlt}
+		if it.Agg == "avg" {
+			o.Flt = true
+		}
+		a.outs = append(a.outs, o)
+	case "min", "max":
+		var kind vector.AggKind
+		switch {
+		case it.Agg == "min" && isFlt:
+			kind = vector.AggMinFloat
+		case it.Agg == "min":
+			kind = vector.AggMinInt
+		case isFlt:
+			kind = vector.AggMaxFloat
+		default:
+			kind = vector.AggMaxInt
+		}
+		a.outs = append(a.outs, AggOut{Fn: it.Agg, Acc: a.need(kind, pos), CntAcc: -1, Flt: isFlt})
+	default:
+		return fallback(ReasonAggUnsupported, "%s", it.Agg)
+	}
+	return nil
+}
+
+// --- join plans ---
+
+func (p *planner) lowerJoin() (*Plan, *Fallback) {
+	sel := p.sel
+	if sel.OrderBy != "" {
+		return nil, fallback(ReasonJoinWithOrderBy, "")
+	}
+	items, fb := p.expandStar()
+	if fb != nil {
+		return nil, fb
+	}
+	for _, it := range items {
+		if it.Agg != "" {
+			return nil, fallback(ReasonJoinWithAggs, "")
+		}
+	}
+
+	// Resolve the ON columns with the MAL compiler's preference rules
+	// and normalize so the left key belongs to the FROM table.
+	lSide, lCol, okL := p.resolve(sel.Join.LCol, sideLeft)
+	rSide, rCol, okR := p.resolve(sel.Join.RCol, sideRight)
+	if !okL || !okR {
+		return nil, fallback(ReasonUnknownColumn, "cannot resolve join keys")
+	}
+	if lSide != sideLeft {
+		lSide, lCol, rSide, rCol = rSide, rCol, lSide, lCol
+	}
+	if lSide != sideLeft || rSide != sideRight {
+		return nil, fallback(ReasonUnknownColumn, "join ON must reference both tables")
+	}
+	if p.left.ColTypes[lCol] != sqlfe.TInt || p.right.ColTypes[rCol] != sqlfe.TInt {
+		// The shared open-addressing table keys int64; text joins stay
+		// on MAL's join_str (float joins are a compile error).
+		return nil, fallback(ReasonJoinKeyType, "ON compares %s with %s",
+			p.left.ColTypes[lCol], p.right.ColTypes[rCol])
+	}
+	lKey, fb := p.source(sideLeft, lCol)
+	if fb != nil {
+		return nil, fb
+	}
+	rKey, fb := p.source(sideRight, rCol)
+	if fb != nil {
+		return nil, fb
+	}
+
+	// Output items map into the VIRTUAL layout: left pipeline columns,
+	// then right pipeline columns (the executor remaps per the build
+	// orientation it picks).
+	outs := make([]int, len(items))
+	for i, it := range items {
+		cr, ok := it.Expr.(sqlfe.ColRef)
+		if !ok {
+			return nil, fallback(ReasonExprInSelect, "item %d", i+1)
+		}
+		side, pos, fb := p.sourceRef(cr.Name, sideLeft)
+		if fb != nil {
+			return nil, fb
+		}
+		if side == sideRight {
+			// Right positions shift by the FINAL left column count; the
+			// planner records table-relative positions and fixes the
+			// offsets below, after every column is registered.
+			outs[i] = -(pos + 1)
+		} else {
+			outs[i] = pos
+		}
+	}
+	for i, o := range outs {
+		if o < 0 {
+			outs[i] = len(p.lscan.Cols) + (-o - 1)
+		}
+	}
+
+	join := &HashJoinNode{Left: p.wrap(sideLeft), Right: p.wrap(sideRight), LKey: lKey, RKey: rKey}
+	return &Plan{Root: &ProjectNode{Child: join, Outs: outs}, Limit: sel.Limit}, nil
+}

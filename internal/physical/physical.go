@@ -1,0 +1,232 @@
+// Package physical is the composable physical-plan layer between the
+// SQL front-end and the vectorized execution engine. It replaces the
+// monolithic per-query-shape bridge with a small TREE of physical
+// operators — Scan, Filter, Project, HashJoin, GroupAgg, Sort — each
+// lowered onto the morsel-parallel vector engine (every instantiated
+// operator implements vector.Operator's Open/Next/Close contract, with
+// ctx cancellation observed at morsel boundaries), so eligibility for
+// the vectorized path is decided per OPERATOR, not per query shape.
+//
+// Lowering has two stages with different lifetimes, mirroring the
+// prepared-statement model:
+//
+//   - Lower runs at Prepare time and is purely structural: it walks the
+//     sqlfe.Select AST and either emits a plan tree (unresolved ? slots
+//     left in the predicate specs) or a typed Fallback carrying a
+//     machine-readable reason code — there is no silent "return nil".
+//
+//   - Plan.Execute runs per Query and is data-dependent: it checks the
+//     snapshot qualifies (no tombstoned positions — the positional scan
+//     has no deleted filter), binds the ? slots through the same
+//     sqlfe.CoerceArg rules as the MAL interpreter, picks nil-aware
+//     filter primitives per the columns' NoNil property, consults the
+//     radix cost models (join build side, merge-vs-partitioned
+//     grouping, serial-vs-run sort), and instantiates Exchange
+//     pipelines over zero-copy snapshot column slices. A data
+//     disqualification is again a typed Fallback, and the caller runs
+//     the compiled MAL program instead — same results, different
+//     engine.
+package physical
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/sqlfe"
+	"repro/internal/vector"
+)
+
+// Fallback is a typed "run this on MAL instead" decision. Code is the
+// stable machine-readable reason (surfaced by \plan); Detail narrows it
+// for humans.
+type Fallback struct {
+	Code   string
+	Detail string
+}
+
+// Fallback reason codes. Structural codes come out of Lower; the
+// data-dependent codes out of Execute/DataFallback.
+const (
+	ReasonUnknownTable    = "unknown-table"        // snapshot has no such table (MAL reports the error)
+	ReasonUnknownColumn   = "unknown-column"       // a column reference does not resolve (MAL reports the error)
+	ReasonTextColumn      = "text-column"          // a referenced column is TEXT; the pipeline moves int/float vectors
+	ReasonExprInSelect    = "expression-in-select" // arithmetic select items are not lowered yet
+	ReasonMixedAggPlain   = "mixed-agg-and-plain"  // aggregates beside plain columns without GROUP BY (MAL rejects)
+	ReasonAggUnsupported  = "aggregate-unsupported"
+	ReasonGroupKeyCount   = "group-by-more-than-2-keys" // PairGroupTable holds composite pairs; wider keys fall back
+	ReasonGroupKeyType    = "group-key-not-int"
+	ReasonGroupStar       = "group-by-star"
+	ReasonGroupOrderBy    = "order-by-over-group-by" // grouped output ordering is not lowered yet
+	ReasonOrderKeyType    = "order-key-not-sortable" // ORDER BY key is not a plain int/float column
+	ReasonJoinKeyType     = "join-key-not-int"       // the shared open-addressing table keys int64
+	ReasonJoinWithGroupBy = "group-by-over-join"
+	ReasonJoinWithOrderBy = "order-by-over-join" // parallel probe order is nondeterministic; a stable sort needs row ids the join does not carry
+	ReasonJoinWithAggs    = "aggregates-over-join"
+	ReasonNullComparison  = "null-comparison" // col = NULL (MAL rejects; IS NULL lowers)
+	ReasonFilterLitType   = "filter-literal-type-mismatch"
+	ReasonDeletesPresent  = "deletes-present" // data-dependent: tombstoned positions need the deleted filter
+)
+
+func (f *Fallback) String() string {
+	if f.Detail == "" {
+		return "reason=" + f.Code
+	}
+	return "reason=" + f.Code + " (" + f.Detail + ")"
+}
+
+func fallback(code, detail string, args ...any) *Fallback {
+	if len(args) > 0 {
+		detail = fmt.Sprintf(detail, args...)
+	}
+	return &Fallback{Code: code, Detail: detail}
+}
+
+// Options carry the execution knobs of the engine into plan
+// instantiation. Zero values mean the engine defaults.
+type Options struct {
+	Workers    int // <= 0: GOMAXPROCS
+	MorselSize int // <= 0: vector.DefaultMorselSize
+	VectorSize int // <= 0: vector.DefaultSize
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// --- the plan tree ---
+
+// Node is one operator of the physical plan tree. Nodes are pure
+// descriptions — Execute instantiates them against a snapshot.
+type Node interface{ node() }
+
+// ScanNode reads one table's referenced columns through a
+// morsel-parallel exchange of zero-copy snapshot slices.
+type ScanNode struct {
+	Table string
+	// Cols are the referenced table column indexes, in pipeline order;
+	// Types/Names are per pipeline column.
+	Cols  []int
+	Types []sqlfe.ColType
+	Names []string
+}
+
+func (*ScanNode) node() {}
+
+// col registers a table column in the scan on first use, returning its
+// pipeline position; text columns cannot cross into the vector engine.
+func (s *ScanNode) col(tableCol int, t sqlfe.ColType, name string) (int, bool) {
+	if t != sqlfe.TInt && t != sqlfe.TFloat {
+		return -1, false
+	}
+	for i, c := range s.Cols {
+		if c == tableCol {
+			return i, true
+		}
+	}
+	s.Cols = append(s.Cols, tableCol)
+	s.Types = append(s.Types, t)
+	s.Names = append(s.Names, name)
+	return len(s.Cols) - 1, true
+}
+
+// Pred is one WHERE conjunct over a pipeline column; the comparison
+// value is a literal or a ? slot resolved at execution time. The nil
+// tests carry no value.
+type Pred struct {
+	Col   int    // pipeline column position
+	Op    string // "=", "<>", "<", "<=", ">", ">=", "isnull", "isnotnull"
+	Type  sqlfe.ColType
+	Lit   sqlfe.Lit
+	Param int
+}
+
+// FilterNode refines its child's selection vectors with pre-compiled
+// predicate primitives.
+type FilterNode struct {
+	Child Node
+	Preds []Pred
+}
+
+func (*FilterNode) node() {}
+
+// ProjectNode picks output columns, by position into the child's
+// pipeline columns (for a HashJoinNode child: left columns then right
+// columns, regardless of which side the executor builds on).
+type ProjectNode struct {
+	Child Node
+	Outs  []int
+}
+
+func (*ProjectNode) node() {}
+
+// HashJoinNode is a two-table INT equi-join: the build side is drained
+// serially into the shared open-addressing radix.JoinTable (radix
+// auto-partitions large builds), the probe side streams through
+// morsel-parallel worker pipelines sharing the read-only table. WHICH
+// side builds is a cost-model decision (radix.BuildLeft) made per
+// execution from the snapshot's table cardinalities — pre-filter, since
+// filter selectivities are unknown until the pipelines run. Nil keys
+// never match — SQL three-valued logic, enforced once inside the table.
+type HashJoinNode struct {
+	Left, Right Node // Scan or Filter-over-Scan subtree per table
+	LKey, RKey  int  // key pipeline position within each side
+}
+
+func (*HashJoinNode) node() {}
+
+// AccSpec is one per-worker accumulator (a partial-aggregate column).
+type AccSpec struct {
+	Kind vector.AggKind
+	Col  int // pipeline column; -1 for AggCount
+}
+
+// AggOut maps one select-list item onto accumulators.
+type AggOut struct {
+	Key    bool   // grouped mode: this item IS group key KeyIdx
+	KeyIdx int    // which group key (0-based) when Key
+	Fn     string // "sum", "count", "avg", "min", "max"
+	Acc    int    // main accumulator; -1 for key items
+	CntAcc int    // non-nil count shaping sum/avg NULL; -1 when unused
+	Flt    bool   // float-typed result
+}
+
+// GroupAggNode aggregates its child per group of 0 (global), 1, or 2
+// INT key columns. Grouped instantiation picks between the merge-based
+// and the shared-nothing radix-partitioned parallel plans by cost model
+// (single-key, unfiltered input only — the composite-key and filtered
+// paths always merge).
+type GroupAggNode struct {
+	Child Node
+	Keys  []int // pipeline positions of the group keys; empty = global
+	Accs  []AccSpec
+	Outs  []AggOut
+}
+
+func (*GroupAggNode) node() {}
+
+// SortNode orders its child by one key column: per-worker sorted runs
+// (vector.SortRun over the morsels each worker claimed) k-way merged by
+// vector.MergeRuns, with LIMIT pushed into both stages. Ties break on
+// the global row id, so the order is exactly the MAL interpreter's
+// stable sort (descending = its exact reverse); nil keys sort first
+// ascending.
+type SortNode struct {
+	Child Node
+	Key   int // pipeline position of the sort key
+	Desc  bool
+	Limit int // -1 = none
+}
+
+func (*SortNode) node() {}
+
+// Plan is a lowered SELECT: the operator tree plus the row budget and
+// the output labels (the caller sets Names from the compiled MAL
+// program, so both executors label identically).
+type Plan struct {
+	Root  Node
+	Limit int // -1 = none
+	Names []string
+}

@@ -109,6 +109,108 @@ func ShouldCluster(nl, nr, cacheBytes int) bool {
 	return clustered*1.2 < flat
 }
 
+// --- join build-side planning ---
+
+// JoinCacheBytes is the cache size the join cost model tunes cluster
+// plans for (the paper-era L2; see internal/simhw.Default). Both
+// executors — the MAL join op and the physical plan's HashJoin — hand
+// it to ShouldCluster/BuildLeft, so their plan crossovers agree.
+const JoinCacheBytes = 512 << 10
+
+// BuildLeft reports whether an equi-join over an nl-row left and nr-row
+// right input should build its hash table on the LEFT side: each
+// orientation is priced as the cheaper of its flat and clustered plans
+// (JoinCost), and the cheaper orientation wins. With the table layout
+// symmetric in the key this almost always picks the smaller build — the
+// classic rule — but it is the model, not a magic comparison, that says
+// so, and a future asymmetric layout inherits the decision for free.
+// Ties report false, keeping the conventional orientation: build on the
+// joined (right) table, probe the FROM table.
+func BuildLeft(nl, nr, cacheBytes int) bool {
+	lFlat, lClu := JoinCost(nl, nr, cacheBytes)
+	rFlat, rClu := JoinCost(nr, nl, cacheBytes)
+	left := lFlat
+	if lClu < left {
+		left = lClu
+	}
+	right := rFlat
+	if rClu < right {
+		right = rClu
+	}
+	return left < right
+}
+
+// --- sort planning ---
+
+// sortCacheLine approximates one sorted row in flight: the 8-byte key
+// plus the gathered payload touch about one line per comparison-miss.
+const sortRowBytes = 16
+
+// serialSortPattern is one stable sort of n rows: ~n·log2(n) key
+// comparisons random over the whole key region, then one sequential
+// gather of the payload.
+func serialSortPattern(n int) costmodel.Pattern {
+	return costmodel.Sequence{
+		costmodel.RandTraverse{Bytes: n * sortRowBytes, N: n * log2ceil(n)},
+		costmodel.SeqTraverse{Bytes: n * sortRowBytes, N: n},
+	}
+}
+
+// parallelSortPattern is the run-sort + k-way-merge plan: every row is
+// sorted inside a runs/workers-sized region (cache-resident once runs
+// fit), then the merge reads all runs sequentially with a log2(workers)
+// heap comparison per row.
+func parallelSortPattern(n, workers int) costmodel.Pattern {
+	if workers < 1 {
+		workers = 1
+	}
+	run := n / workers
+	if run < 1 {
+		run = 1
+	}
+	return costmodel.Sequence{
+		costmodel.RandTraverse{Bytes: run * sortRowBytes, N: n * log2ceil(run)},
+		costmodel.Concurrent{
+			costmodel.SeqTraverse{Bytes: n * sortRowBytes, N: n},
+			costmodel.RandTraverse{Bytes: workers * sortRowBytes, N: n * log2ceil(workers)},
+		},
+	}
+}
+
+// SortCost predicts the memory cost (ns) of one serial stable sort vs
+// the per-worker-runs + merge plan over n rows. As with JoinCost and
+// GroupCost only MEMORY cost is compared — the CPU-parallel speedup of
+// the run phase comes on top for the parallel plan, so the comparison
+// is conservative in its favor.
+func SortCost(n, workers int) (serialNS, parallelNS float64) {
+	h := joinHierarchy()
+	serialNS = costmodel.Predict(h, serialSortPattern(n)).TimeNS
+	parallelNS = costmodel.Predict(h, parallelSortPattern(n, workers)).TimeNS
+	return serialNS, parallelNS
+}
+
+// ShouldParallelSort reports whether the run+merge sort plan is
+// predicted cheaper than one serial sort. Tiny inputs keep the serial
+// plan (the merge heap and the extra materialization pass are pure
+// overhead when the whole input is L2-resident); past that the
+// cache-resident runs win even before the CPU-parallel speedup.
+func ShouldParallelSort(n, workers int) bool {
+	if workers <= 1 {
+		return false
+	}
+	serial, parallel := SortCost(n, workers)
+	return parallel < serial
+}
+
+// log2ceil returns ceil(log2(n)), at least 1.
+func log2ceil(n int) int {
+	b := 1
+	for (1 << uint(b)) < n {
+		b++
+	}
+	return b
+}
+
 // --- grouped-aggregation planning ---
 
 // groupTableBytes is the footprint of a GroupTable over g groups: the

@@ -71,11 +71,14 @@ type Select struct {
 	From    string
 	Join    *JoinClause
 	Where   []Pred
-	GroupBy string // column name, "" if none
-	OrderBy string // column or alias, "" if none
+	GroupBy []string // group key column names, nil if none
+	OrderBy string   // column or alias, "" if none
 	Desc    bool
 	Limit   int // -1 if none
 }
+
+// Grouped reports whether the statement has a GROUP BY clause.
+func (s *Select) Grouped() bool { return len(s.GroupBy) > 0 }
 
 func (*Select) stmt() {}
 
@@ -126,9 +129,13 @@ type BinExpr struct {
 
 func (BinExpr) expr() {}
 
-// Pred is one conjunct of the WHERE clause: col op lit.
+// Pred is one conjunct of the WHERE clause: col op lit, or a nil test.
+// The nil tests ("isnull", "isnotnull") carry no comparison value.
 type Pred struct {
 	Col string
-	Op  string // "=", "<>", "<", "<=", ">", ">="
+	Op  string // "=", "<>", "<", "<=", ">", ">=", "isnull", "isnotnull"
 	Val Lit
 }
+
+// IsNilTest reports whether the predicate is IS NULL / IS NOT NULL.
+func (p Pred) IsNilTest() bool { return p.Op == "isnull" || p.Op == "isnotnull" }

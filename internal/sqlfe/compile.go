@@ -139,6 +139,21 @@ func cmpCode(op string) (batalg.CmpOp, error) {
 
 // predCand emits the candidate list for one predicate over a full column.
 func (c *compiler) predCand(t *Table, p Pred) (int, error) {
+	if p.IsNilTest() {
+		// IS [NOT] NULL selects on the stored nil sentinel (bat.NilInt /
+		// the canonical NaN); text columns have no stored nil, so IS NULL
+		// over text is empty and IS NOT NULL is everything — the MAL op
+		// handles all tail types uniformly.
+		ci, err := t.colIndex(p.Col)
+		if err != nil {
+			return 0, err
+		}
+		col := c.bindCol(t, ci)
+		if p.Op == "isnull" {
+			return c.b.Emit("select_nil", mal.V(col)), nil
+		}
+		return c.b.Emit("select_notnil", mal.V(col)), nil
+	}
 	if p.Val.Param > 0 {
 		// A placeholder compiles to a typed bind slot: the comparison op
 		// is chosen by the column's type now, the value arrives at
@@ -166,9 +181,8 @@ func (c *compiler) predCand(t *Table, p Pred) (int, error) {
 	}
 	if p.Val.Null {
 		// col = NULL is three-valued-logic unknown for every row; refuse
-		// it loudly rather than comparing against a zero value (IS NULL
-		// is not supported yet).
-		return 0, fmt.Errorf("sql: comparison with NULL is always unknown; cannot filter %q with %s NULL", p.Col, p.Op)
+		// it loudly and point at the predicate that does ask for nils.
+		return 0, fmt.Errorf("sql: comparison with NULL is always unknown; use %q IS [NOT] NULL", p.Col)
 	}
 	ci, err := t.colIndex(p.Col)
 	if err != nil {
@@ -445,7 +459,7 @@ func (c *compiler) buildOutput() error {
 	}
 
 	switch {
-	case c.sel.GroupBy != "":
+	case c.sel.Grouped():
 		return c.buildGrouped(items, names)
 	case hasAgg:
 		return c.buildGlobalAggs(items, names)
@@ -556,12 +570,46 @@ func (c *compiler) buildGlobalAggs(items []SelItem, names []string) error {
 }
 
 func (c *compiler) buildGrouped(items []SelItem, names []string) error {
-	keyT, keyI, err := c.resolve(c.sel.GroupBy)
-	if err != nil {
-		return err
+	// Multi-key GROUP BY refines the grouping one key at a time: group on
+	// the first key, then subgroup on each further key column (the MAL
+	// subgroup op pairs the previous group ids with the new values in the
+	// shared PairGroupTable). The final ids/ext/cnt describe the composite
+	// groups; every key column's representative values are fetched
+	// through the final extents.
+	type groupKey struct {
+		t    *Table
+		i    int
+		vals int // var: key values aligned with the candidate list
 	}
-	keyVals := c.b.Emit("fetch", mal.V(c.candFor(keyT)), mal.V(c.bindCol(keyT, keyI)))
-	ids, ext, cnt := c.b.Emit3("group", mal.V(keyVals))
+	keys := make([]groupKey, len(c.sel.GroupBy))
+	var ids, ext, cnt int
+	for ki, name := range c.sel.GroupBy {
+		keyT, keyI, err := c.resolve(name)
+		if err != nil {
+			return err
+		}
+		if ki > 0 && keyT.ColTypes[keyI] != TInt {
+			// The subgroup refinement pairs (previous gid, value) in the
+			// composite-key table, which holds int64 halves.
+			return fmt.Errorf("sql: GROUP BY key %q must be INT when grouping by multiple columns", name)
+		}
+		vals := c.b.Emit("fetch", mal.V(c.candFor(keyT)), mal.V(c.bindCol(keyT, keyI)))
+		keys[ki] = groupKey{t: keyT, i: keyI, vals: vals}
+		if ki == 0 {
+			ids, ext, cnt = c.b.Emit3("group", mal.V(vals))
+		} else {
+			ids, ext, cnt = c.b.Emit3("subgroup", mal.V(ids), mal.V(ext), mal.V(cnt), mal.V(vals))
+		}
+	}
+	// keyFor returns which group key a column reference names, or -1.
+	keyFor := func(t *Table, i int) int {
+		for ki, k := range keys {
+			if k.t == t && k.i == i {
+				return ki
+			}
+		}
+		return -1
+	}
 
 	vars := make([]int, len(items))
 	for i, it := range items {
@@ -599,7 +647,8 @@ func (c *compiler) buildGrouped(items []SelItem, names []string) error {
 			}
 			vars[i] = c.b.Emit(it.Agg+"_per_group", mal.V(v), mal.V(ids), mal.V(ext))
 		default:
-			// A plain column in a grouped query must be the group key.
+			// A plain column in a grouped query must be one of the group
+			// keys; its per-group value is the representative row's.
 			cr, ok := it.Expr.(ColRef)
 			if !ok {
 				return fmt.Errorf("sql: non-aggregate expression in GROUP BY query")
@@ -608,10 +657,11 @@ func (c *compiler) buildGrouped(items []SelItem, names []string) error {
 			if err != nil {
 				return err
 			}
-			if t != keyT || i2 != keyI {
+			ki := keyFor(t, i2)
+			if ki < 0 {
 				return fmt.Errorf("sql: column %q not in GROUP BY", cr.Name)
 			}
-			vars[i] = c.b.Emit("fetch", mal.V(ext), mal.V(keyVals))
+			vars[i] = c.b.Emit("fetch", mal.V(ext), mal.V(keys[ki].vals))
 		}
 	}
 	if c.sel.OrderBy != "" {
@@ -622,12 +672,18 @@ func (c *compiler) buildGrouped(items []SelItem, names []string) error {
 				break
 			}
 		}
-		if keyIdx < 0 && c.sel.OrderBy == c.sel.GroupBy {
-			for i, it := range items {
-				if cr, ok := it.Expr.(ColRef); ok && it.Agg == "" && cr.Name == c.sel.GroupBy {
-					keyIdx = i
-					break
+		if keyIdx < 0 {
+			for _, g := range c.sel.GroupBy {
+				if c.sel.OrderBy != g {
+					continue
 				}
+				for i, it := range items {
+					if cr, ok := it.Expr.(ColRef); ok && it.Agg == "" && cr.Name == g {
+						keyIdx = i
+						break
+					}
+				}
+				break
 			}
 		}
 		if keyIdx < 0 {

@@ -36,7 +36,7 @@ var keywords = map[string]bool{
 	"DELETE": true, "UPDATE": true, "SET": true, "INT": true, "FLOAT": true,
 	"TEXT": true, "JOIN": true, "ON": true, "AS": true, "SUM": true,
 	"COUNT": true, "MIN": true, "MAX": true, "AVG": true, "DISTINCT": true,
-	"DROP": true, "NULL": true,
+	"DROP": true, "NULL": true, "IS": true, "NOT": true,
 }
 
 type lexer struct {

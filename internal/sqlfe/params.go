@@ -1,6 +1,9 @@
 package sqlfe
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Placeholder support: a parsed statement may contain ? bind slots
 // (Lit.Param > 0, ordinals assigned in lexical order). NumParams counts
@@ -147,4 +150,82 @@ func BindParams(st Stmt, args []Lit) (Stmt, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// LitFromArg converts one Go argument to a SQL literal. Supported: nil
+// (NULL), Go integers, float32/64, string.
+func LitFromArg(a any) (Lit, error) {
+	switch v := a.(type) {
+	case nil:
+		return Lit{Null: true}, nil
+	case int64:
+		return Lit{Kind: TInt, I: v}, nil
+	case int:
+		return Lit{Kind: TInt, I: int64(v)}, nil
+	case int32:
+		return Lit{Kind: TInt, I: int64(v)}, nil
+	case int16:
+		return Lit{Kind: TInt, I: int64(v)}, nil
+	case int8:
+		return Lit{Kind: TInt, I: int64(v)}, nil
+	case uint8:
+		return Lit{Kind: TInt, I: int64(v)}, nil
+	case uint16:
+		return Lit{Kind: TInt, I: int64(v)}, nil
+	case uint32:
+		return Lit{Kind: TInt, I: int64(v)}, nil
+	case uint64:
+		if v > math.MaxInt64 {
+			return Lit{}, fmt.Errorf("sql: uint64 argument %d overflows INT", v)
+		}
+		return Lit{Kind: TInt, I: int64(v)}, nil
+	case uint:
+		if uint64(v) > math.MaxInt64 {
+			return Lit{}, fmt.Errorf("sql: uint argument %d overflows INT", v)
+		}
+		return Lit{Kind: TInt, I: int64(v)}, nil
+	case float64:
+		return Lit{Kind: TFloat, F: v}, nil
+	case float32:
+		return Lit{Kind: TFloat, F: float64(v)}, nil
+	case string:
+		return Lit{Kind: TText, S: v}, nil
+	}
+	return Lit{}, fmt.Errorf("sql: unsupported argument type %T", a)
+}
+
+// CoerceArg converts one bound argument to the column type its slot
+// compares against. It is the single definition of the comparison
+// binding rules — the MAL interpreter and the vectorized physical plan
+// both go through it, so the two executors of one prepared statement
+// can never drift: int columns take int arguments, float columns widen
+// ints, text columns take strings, and NULL is rejected (the comparison
+// would be unknown for every row; IS NULL asks for nils instead).
+func CoerceArg(a any, want ColType, pos int) (Lit, error) {
+	lit, err := LitFromArg(a)
+	if err != nil {
+		return Lit{}, fmt.Errorf("argument %d: %w", pos, err)
+	}
+	if lit.Null {
+		return Lit{}, fmt.Errorf("sql: argument %d: comparison with NULL is always unknown", pos)
+	}
+	switch want {
+	case TInt:
+		if lit.Kind != TInt {
+			return Lit{}, fmt.Errorf("sql: argument %d: int column compared with %s", pos, lit.Kind)
+		}
+	case TFloat:
+		switch lit.Kind {
+		case TFloat:
+		case TInt:
+			lit = Lit{Kind: TFloat, F: float64(lit.I)}
+		default:
+			return Lit{}, fmt.Errorf("sql: argument %d: float column compared with %s", pos, lit.Kind)
+		}
+	default:
+		if lit.Kind != TText {
+			return Lit{}, fmt.Errorf("sql: argument %d: text column compared with %s", pos, lit.Kind)
+		}
+	}
+	return lit, nil
 }

@@ -267,11 +267,16 @@ func (p *parser) parseSelect() (Stmt, error) {
 		if _, err := p.expect(tokKeyword, "BY"); err != nil {
 			return nil, err
 		}
-		g, err := p.expect(tokIdent, "")
-		if err != nil {
-			return nil, err
+		for {
+			g, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, g.text)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
 		}
-		s.GroupBy = g.text
 	}
 	if p.accept(tokKeyword, "ORDER") {
 		if _, err := p.expect(tokKeyword, "BY"); err != nil {
@@ -462,6 +467,22 @@ func (p *parser) parsePreds() ([]Pred, error) {
 		col, err := p.expect(tokIdent, "")
 		if err != nil {
 			return nil, err
+		}
+		if p.accept(tokKeyword, "IS") {
+			// col IS [NOT] NULL: the only way to select on missing values
+			// (col = NULL is three-valued-logic unknown and rejected).
+			op := "isnull"
+			if p.accept(tokKeyword, "NOT") {
+				op = "isnotnull"
+			}
+			if _, err := p.expect(tokKeyword, "NULL"); err != nil {
+				return nil, err
+			}
+			out = append(out, Pred{Col: col.text, Op: op})
+			if !p.accept(tokKeyword, "AND") {
+				return out, nil
+			}
+			continue
 		}
 		opTok := p.cur()
 		if opTok.kind != tokSymbol {

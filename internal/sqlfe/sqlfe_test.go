@@ -1,6 +1,7 @@
 package sqlfe
 
 import (
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -333,5 +334,86 @@ func TestTablesListing(t *testing.T) {
 	mustExec(t, db, "CREATE TABLE aaa (x INT)")
 	if got := db.Tables(); !reflect.DeepEqual(got, []string{"aaa", "people"}) {
 		t.Fatalf("tables = %v", got)
+	}
+}
+
+func TestGroupByMultiKey(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE s (dept INT, grade INT, pay INT)")
+	mustExec(t, db, `INSERT INTO s VALUES
+		(1, 1, 100), (1, 2, 200), (1, 1, 300), (2, 1, 50), (2, 2, 60), (2, 2, 40)`)
+	r := mustExec(t, db, "SELECT dept, grade, sum(pay) AS total, count(*) AS n FROM s GROUP BY dept, grade")
+	want := map[string][2]int64{
+		"1/1": {400, 2}, "1/2": {200, 1}, "2/1": {50, 1}, "2/2": {100, 2},
+	}
+	if len(r.Rows) != len(want) {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	for _, row := range r.Rows {
+		k := fmt.Sprintf("%d/%d", row[0], row[1])
+		w, ok := want[k]
+		if !ok || row[2] != w[0] || row[3] != w[1] {
+			t.Fatalf("group %s: row = %v, want %v", k, row, w)
+		}
+	}
+}
+
+func TestGroupByMultiKeyTextFirst(t *testing.T) {
+	// A TEXT first key groups via GroupStr; the refinement keys must be
+	// INT (they ride the composite int64 pair table).
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE s (team TEXT, grade INT, pay INT)")
+	mustExec(t, db, "INSERT INTO s VALUES ('a', 1, 10), ('a', 2, 20), ('a', 1, 30), ('b', 1, 5)")
+	r := mustExec(t, db, "SELECT team, grade, sum(pay) AS total FROM s GROUP BY team, grade")
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	if _, err := db.Query("SELECT grade, sum(pay) FROM s GROUP BY grade, team"); err == nil {
+		t.Fatal("TEXT refinement key should be rejected")
+	}
+}
+
+func TestGroupByMultiKeyNulls(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE s (a INT, b INT, v INT)")
+	mustExec(t, db, "INSERT INTO s VALUES (1, NULL, 10), (1, NULL, 20), (NULL, NULL, 5), (NULL, 2, 7)")
+	r := mustExec(t, db, "SELECT a, b, count(*) AS n FROM s GROUP BY a, b")
+	if len(r.Rows) != 3 {
+		t.Fatalf("NULL pairs must group together: %v", r.Rows)
+	}
+}
+
+func TestIsNullPredicates(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE s (k INT, v INT, f FLOAT, s TEXT)")
+	mustExec(t, db, `INSERT INTO s VALUES
+		(1, 10, 1.5, 'x'), (2, NULL, NULL, 'y'), (3, 30, NULL, 'z'), (4, NULL, 4.5, 'w')`)
+	r := mustExec(t, db, "SELECT k FROM s WHERE v IS NULL")
+	if len(r.Rows) != 2 || r.Rows[0][0] != int64(2) || r.Rows[1][0] != int64(4) {
+		t.Fatalf("IS NULL rows = %v", r.Rows)
+	}
+	r = mustExec(t, db, "SELECT k FROM s WHERE f IS NOT NULL AND v IS NOT NULL")
+	if len(r.Rows) != 1 || r.Rows[0][0] != int64(1) {
+		t.Fatalf("IS NOT NULL rows = %v", r.Rows)
+	}
+	// Text columns have no stored nil: IS NULL selects nothing, IS NOT
+	// NULL everything.
+	if r := mustExec(t, db, "SELECT k FROM s WHERE s IS NULL"); len(r.Rows) != 0 {
+		t.Fatalf("text IS NULL rows = %v", r.Rows)
+	}
+	if r := mustExec(t, db, "SELECT k FROM s WHERE s IS NOT NULL"); len(r.Rows) != 4 {
+		t.Fatalf("text IS NOT NULL rows = %v", r.Rows)
+	}
+	// DML routes through the same candidate machinery.
+	res := mustExec(t, db, "UPDATE s SET v = 0 WHERE v IS NULL")
+	if res.Affected != 2 {
+		t.Fatalf("update affected %d", res.Affected)
+	}
+	res = mustExec(t, db, "DELETE FROM s WHERE f IS NULL")
+	if res.Affected != 2 {
+		t.Fatalf("delete affected %d", res.Affected)
+	}
+	if r := mustExec(t, db, "SELECT count(*) FROM s"); r.Rows[0][0] != int64(2) {
+		t.Fatalf("rows left = %v", r.Rows)
 	}
 }

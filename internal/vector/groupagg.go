@@ -57,15 +57,17 @@ func MergeKind(k AggKind) AggKind {
 
 // ParallelGroupAgg is the merge-based plan: per-worker grouped partial
 // aggregation over morsels, merged by key into one batch with columns
-// [key, aggs...]. preds (optional) filter before grouping; ctx
-// (optional) cancels at morsel boundaries.
-func ParallelGroupAgg(ctx context.Context, src *Source, keyCol int, specs []AggSpec, preds []Pred, workers, morselSize, vectorSize int) (*Batch, error) {
+// [keys..., aggs...]. keyCols may name one or two int key columns
+// (multi-column GROUP BY rides the composite-key PairGroupTable). preds
+// (optional) filter before grouping; ctx (optional) cancels at morsel
+// boundaries.
+func ParallelGroupAgg(ctx context.Context, src *Source, keyCols []int, specs []AggSpec, preds []Pred, workers, morselSize, vectorSize int) (*Batch, error) {
 	plan := func(scan Operator) Operator {
 		op := scan
 		if len(preds) > 0 {
 			op = &Filter{Child: op, Preds: preds}
 		}
-		return &Agg{Child: op, KeyCol: keyCol, Aggs: specs}
+		return &Agg{Child: op, KeyCol: -1, Keys: keyCols, Aggs: specs}
 	}
 	ex := &Exchange{
 		Source:     src,
@@ -75,13 +77,18 @@ func ParallelGroupAgg(ctx context.Context, src *Source, keyCol int, specs []AggS
 		Plan:       plan,
 		Ctx:        ctx,
 	}
+	// Worker batches lead with the key column(s), so partial column i
+	// sits at i+len(keyCols); the merge re-groups on those leading keys.
+	nk := len(keyCols)
+	mergeKeys := make([]int, nk)
+	for i := range mergeKeys {
+		mergeKeys[i] = i
+	}
 	merge := make([]AggSpec, len(specs))
 	for i, s := range specs {
-		// Worker batches lead with the key column, so partial column i
-		// sits at i+1.
-		merge[i] = AggSpec{Kind: MergeKind(s.Kind), Col: i + 1}
+		merge[i] = AggSpec{Kind: MergeKind(s.Kind), Col: i + nk}
 	}
-	final := &Agg{Child: ex, KeyCol: 0, Aggs: merge}
+	final := &Agg{Child: ex, KeyCol: -1, Keys: mergeKeys, Aggs: merge}
 	if err := final.Open(); err != nil {
 		return nil, err
 	}

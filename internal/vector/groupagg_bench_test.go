@@ -66,7 +66,7 @@ func BenchmarkGroupedAgg(b *testing.B) {
 		b.Run(fmt.Sprintf("parallel-card%d", card), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				out, err := ParallelGroupAgg(context.Background(), src, 0, specs, nil, workers, DefaultMorselSize, DefaultSize)
+				out, err := ParallelGroupAgg(context.Background(), src, []int{0}, specs, nil, workers, DefaultMorselSize, DefaultSize)
 				if err != nil || out.N == 0 {
 					b.Fatalf("groups=%d err=%v", out.N, err)
 				}

@@ -161,7 +161,7 @@ func TestParallelGroupAggMatchesOracle(t *testing.T) {
 		src, keys, ivals, fvals := randGroupSource(rng, n, card)
 		want := serialGroupOracle(keys, ivals, fvals)
 		for _, workers := range []int{1, 2, 4, 8} {
-			got, err := ParallelGroupAgg(context.Background(), src, 0, fullSpecs, nil, workers, 256, 64)
+			got, err := ParallelGroupAgg(context.Background(), src, []int{0}, fullSpecs, nil, workers, 256, 64)
 			if err != nil {
 				t.Fatalf("workers=%d: %v", workers, err)
 			}
@@ -222,7 +222,7 @@ func TestParallelGroupAggWithPreds(t *testing.T) {
 	}
 	want := serialGroupOracle(fk, fi, ff)
 	for _, workers := range []int{1, 3} {
-		got, err := ParallelGroupAgg(context.Background(), src, 0, fullSpecs, preds, workers, 512, 128)
+		got, err := ParallelGroupAgg(context.Background(), src, []int{0}, fullSpecs, preds, workers, 512, 128)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -238,7 +238,7 @@ func TestGroupAggCancel(t *testing.T) {
 	src, _, _, _ := randGroupSource(rng, 100000, 1000)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := ParallelGroupAgg(ctx, src, 0, fullSpecs, nil, 4, 1024, 128); !errors.Is(err, context.Canceled) {
+	if _, err := ParallelGroupAgg(ctx, src, []int{0}, fullSpecs, nil, 4, 1024, 128); !errors.Is(err, context.Canceled) {
 		t.Fatalf("merge plan: err = %v, want Canceled", err)
 	}
 	if _, err := PartitionedGroupAgg(ctx, src, 0, fullSpecs, 4, 4); !errors.Is(err, context.Canceled) {
@@ -280,5 +280,82 @@ func TestEstimateGroups(t *testing.T) {
 	}
 	if !radix.ShouldPartitionGroup(1<<20, EstimateGroups(high), 4) {
 		t.Fatal("high cardinality must pick the partitioned plan")
+	}
+}
+
+// Composite-key grouping: ParallelGroupAgg over TWO int key columns
+// (the PairGroupTable path) agrees with a map oracle keyed on the pair,
+// across worker counts, on nil-laden keys and values.
+func TestParallelGroupAggPairKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 3000
+	k1 := make([]int64, n)
+	k2 := make([]int64, n)
+	vals := make([]int64, n)
+	for i := range k1 {
+		k1[i] = rng.Int63n(7)
+		k2[i] = rng.Int63n(5)
+		if rng.Intn(9) == 0 {
+			k1[i] = bat.NilInt
+		}
+		if rng.Intn(9) == 0 {
+			k2[i] = bat.NilInt
+		}
+		vals[i] = rng.Int63n(100)
+		if rng.Intn(4) == 0 {
+			vals[i] = bat.NilInt
+		}
+	}
+	type pair struct{ a, b int64 }
+	type acc struct {
+		sum, cntStar, cntNN int64
+	}
+	oracle := map[pair]*acc{}
+	for i := range k1 {
+		p := pair{k1[i], k2[i]}
+		a := oracle[p]
+		if a == nil {
+			a = &acc{}
+			oracle[p] = a
+		}
+		a.cntStar++
+		if vals[i] != bat.NilInt {
+			a.sum += vals[i]
+			a.cntNN++
+		}
+	}
+
+	src, err := NewSource([]string{"k1", "k2", "v"}, []Col{
+		{Kind: KindInt, Ints: k1},
+		{Kind: KindInt, Ints: k2},
+		{Kind: KindInt, Ints: vals},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []AggSpec{
+		{Kind: AggSumIntNil, Col: 2},
+		{Kind: AggCount},
+		{Kind: AggCountNNInt, Col: 2},
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		got, err := ParallelGroupAgg(context.Background(), src, []int{0, 1}, specs, nil, workers, 256, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.N != len(oracle) {
+			t.Fatalf("workers=%d: %d groups, oracle %d", workers, got.N, len(oracle))
+		}
+		for g := 0; g < got.N; g++ {
+			p := pair{got.Cols[0].Ints[g], got.Cols[1].Ints[g]}
+			a := oracle[p]
+			if a == nil {
+				t.Fatalf("workers=%d: unexpected group %v", workers, p)
+			}
+			if got.Cols[2].Ints[g] != a.sum || got.Cols[3].Ints[g] != a.cntStar || got.Cols[4].Ints[g] != a.cntNN {
+				t.Fatalf("workers=%d group %v: got (%d,%d,%d) want (%d,%d,%d)", workers, p,
+					got.Cols[2].Ints[g], got.Cols[3].Ints[g], got.Cols[4].Ints[g], a.sum, a.cntStar, a.cntNN)
+			}
+		}
 	}
 }

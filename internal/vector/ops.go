@@ -22,7 +22,9 @@ type Filter struct {
 // PredOp is a comparison code for vectorized predicates.
 type PredOp uint8
 
-// Predicate operator codes.
+// Predicate operator codes. The *Nil int variants skip the nil sentinel
+// (bat.NilInt sorts below every value, so plain <, <=, <> would let
+// stored NULLs qualify); PredIsNull/PredIsNotNull select ON nil-ness.
 const (
 	PredGe PredOp = iota
 	PredLt
@@ -36,6 +38,13 @@ const (
 	PredGtF
 	PredEqF
 	PredNeF
+	PredLtNil
+	PredLeNil
+	PredNeNil
+	PredIsNull
+	PredIsNotNull
+	PredIsNullF
+	PredIsNotNullF
 )
 
 // Pred is one predicate: column ColIdx compared against a constant.
@@ -91,6 +100,20 @@ func (f *Filter) Next() (*Batch, error) {
 				out = SelEqFloat(c.Floats, sel, p.FltVal, out)
 			case PredNeF:
 				out = SelNeFloat(c.Floats, sel, p.FltVal, out)
+			case PredLtNil:
+				out = SelLtIntNil(c.Ints, sel, p.IntVal, out)
+			case PredLeNil:
+				out = SelLeIntNil(c.Ints, sel, p.IntVal, out)
+			case PredNeNil:
+				out = SelNeIntNil(c.Ints, sel, p.IntVal, out)
+			case PredIsNull:
+				out = SelNilInt(c.Ints, sel, out)
+			case PredIsNotNull:
+				out = SelNotNilInt(c.Ints, sel, out)
+			case PredIsNullF:
+				out = SelNilFloat(c.Floats, sel, out)
+			case PredIsNotNullF:
+				out = SelNotNilFloat(c.Floats, sel, out)
 			default:
 				return nil, fmt.Errorf("vector: bad predicate op %d", p.Op)
 			}
@@ -337,20 +360,35 @@ type AggSpec struct {
 	Col  int
 }
 
-// Agg drains its child, aggregating per group of the int key column
-// (KeyCol < 0 means a single global group). Group ids are assigned by
-// the shared open-addressing radix.GroupTable — Fibonacci hashing, flat
-// power-of-two slots, no per-key allocations — in first-seen order, the
-// same order the final batch emits. It emits one final batch with
-// columns: key (if any) followed by one column per aggregate. A keyed
-// aggregation over empty input emits an empty batch (zero groups); the
-// global form emits its identity row.
+// Agg drains its child, aggregating per group of the int key column(s).
+// Keys lists the key columns — zero, one, or two of them; the legacy
+// KeyCol field is honored when Keys is nil (KeyCol < 0 means a single
+// global group). Single-key group ids are assigned by the shared
+// open-addressing radix.GroupTable, composite two-key ids by the
+// radix.PairGroupTable (24-byte slots holding both halves) — Fibonacci
+// hashing, flat power-of-two slots, no per-key allocations — in
+// first-seen order, the same order the final batch emits. It emits one
+// final batch with columns: the key(s), then one column per aggregate.
+// A keyed aggregation over empty input emits an empty batch (zero
+// groups); the global form emits its identity row.
 type Agg struct {
 	Child  Operator
 	KeyCol int
+	Keys   []int // overrides KeyCol when non-nil; at most 2 columns
 	Aggs   []AggSpec
 
 	done bool
+}
+
+// keyCols resolves the effective key columns.
+func (a *Agg) keyCols() []int {
+	if a.Keys != nil {
+		return a.Keys
+	}
+	if a.KeyCol >= 0 {
+		return []int{a.KeyCol}
+	}
+	return nil
 }
 
 // Open implements Operator.
@@ -363,9 +401,17 @@ func (a *Agg) Next() (*Batch, error) {
 	}
 	a.done = true
 
+	keys := a.keyCols()
+	if len(keys) > 2 {
+		return nil, fmt.Errorf("vector: Agg supports at most 2 key columns, got %d", len(keys))
+	}
 	var gt *radix.GroupTable
-	if a.KeyCol >= 0 {
+	var pg *PairGrouper
+	switch len(keys) {
+	case 1:
 		gt = radix.NewGroupTable(1024)
+	case 2:
+		pg = NewPairGrouper(1024)
 	}
 	var gids []int32
 	intAccs := make([][]int64, len(a.Aggs))
@@ -384,9 +430,12 @@ func (a *Agg) Next() (*Batch, error) {
 			gids = make([]int32, b.N)
 		}
 		gids = gids[:b.N]
-		if a.KeyCol >= 0 {
-			ngroups = AssignGroups(b.Cols[a.KeyCol].Ints, b.Sel, gt, gids)
-		} else {
+		switch {
+		case gt != nil:
+			ngroups = AssignGroups(b.Cols[keys[0]].Ints, b.Sel, gt, gids)
+		case pg != nil:
+			ngroups = pg.Assign(b.Cols[keys[0]].Ints, b.Cols[keys[1]].Ints, b.Sel, gids)
+		default:
 			for i := range gids {
 				gids[i] = 0
 			}
@@ -423,11 +472,17 @@ func (a *Agg) Next() (*Batch, error) {
 
 	n := 1
 	var cols []Col
-	if a.KeyCol >= 0 {
+	switch {
+	case gt != nil:
 		n = gt.Len()
 		// Keys() aliases the table, which dies with this call — safe to
 		// hand off directly.
 		cols = append(cols, Col{Kind: KindInt, Ints: gt.Keys()})
+	case pg != nil:
+		n = pg.T.Len()
+		cols = append(cols,
+			Col{Kind: KindInt, Ints: pg.K1},
+			Col{Kind: KindInt, Ints: pg.K2})
 	}
 	for ai, spec := range a.Aggs {
 		if spec.Kind.Float() {

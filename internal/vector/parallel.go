@@ -76,13 +76,17 @@ func (m *MorselCursor) claim() (lo, hi int, ok bool) {
 // MorselScan is the per-worker scan: an Operator that claims morsels
 // from a shared cursor and emits zero-copy vectors of at most Size rows
 // from within each, exactly like Scan but over dynamically assigned
-// ranges.
+// ranges. With RowIDs set, each batch carries one extra trailing
+// KindInt column of GLOBAL source row positions — the stable tiebreak
+// the parallel Sort needs to reproduce a serial stable sort's order.
 type MorselScan struct {
-	Cur  *MorselCursor
-	Size int // vector size (DefaultSize if <= 0)
+	Cur    *MorselCursor
+	Size   int // vector size (DefaultSize if <= 0)
+	RowIDs bool
 
 	pos, hi int
 	b       Batch
+	rowids  []int64
 }
 
 // Open implements Operator.
@@ -108,7 +112,11 @@ func (s *MorselScan) Next() (*Batch, error) {
 		end = s.hi
 	}
 	src := s.Cur.src
-	cols := make([]Col, len(src.Cols))
+	n := len(src.Cols)
+	if s.RowIDs {
+		n++
+	}
+	cols := make([]Col, n)
 	for i := range src.Cols {
 		c := &src.Cols[i]
 		cols[i] = Col{Kind: c.Kind}
@@ -120,6 +128,16 @@ func (s *MorselScan) Next() (*Batch, error) {
 		case KindBool:
 			cols[i].Bools = c.Bools[s.pos:end]
 		}
+	}
+	if s.RowIDs {
+		if cap(s.rowids) < end-s.pos {
+			s.rowids = make([]int64, s.Size)
+		}
+		ids := s.rowids[:end-s.pos]
+		for i := range ids {
+			ids[i] = int64(s.pos + i)
+		}
+		cols[n-1] = Col{Kind: KindInt, Ints: ids}
 	}
 	s.b = Batch{N: end - s.pos, Cols: cols}
 	s.pos = end
@@ -148,6 +166,9 @@ type Exchange struct {
 	// morsel boundaries (see MorselCursor) and Next reports ctx.Err()
 	// once the workers have wound down.
 	Ctx context.Context
+	// RowIDs makes every worker's MorselScan append a trailing column of
+	// global source row positions (see MorselScan.RowIDs).
+	RowIDs bool
 
 	ch      chan *Batch
 	errs    chan error
@@ -187,7 +208,7 @@ func (e *Exchange) Open() error {
 
 func (e *Exchange) worker(cursor *MorselCursor) {
 	defer e.wg.Done()
-	op := e.Plan(&MorselScan{Cur: cursor, Size: e.VectorSize})
+	op := e.Plan(&MorselScan{Cur: cursor, Size: e.VectorSize, RowIDs: e.RowIDs})
 	if err := op.Open(); err != nil {
 		e.errs <- err
 		return

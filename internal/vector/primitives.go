@@ -231,6 +231,145 @@ func SelNeFloat(col []float64, sel []int32, v float64, out []int32) []int32 {
 	return out
 }
 
+// --- nil-aware selections ---
+//
+// bat.NilInt is the domain MINIMUM, so the plain <, <=, <> loops would
+// let stored NULLs qualify. These variants skip the sentinel first; the
+// remaining int comparisons (=, >, >=) and all float comparisons are
+// already nil-correct (NilInt can only satisfy them when compared
+// against the sentinel value itself, mirroring the BAT algebra's
+// ThetaSelect; NaN, the float nil, fails every float comparison). The
+// physical plan picks the nil-aware variant exactly when the column's
+// NoNil property is unset — the same property-driven dispatch §3.1
+// describes — so nil-free columns keep the tight three-instruction loop.
+
+// SelLtIntNil appends indexes with col[i] < v, skipping nils.
+func SelLtIntNil(col []int64, sel []int32, v int64, out []int32) []int32 {
+	if sel == nil {
+		for i, x := range col {
+			if x < v && x != bat.NilInt {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for _, i := range sel {
+		if x := col[i]; x < v && x != bat.NilInt {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SelLeIntNil appends indexes with col[i] <= v, skipping nils.
+func SelLeIntNil(col []int64, sel []int32, v int64, out []int32) []int32 {
+	if sel == nil {
+		for i, x := range col {
+			if x <= v && x != bat.NilInt {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for _, i := range sel {
+		if x := col[i]; x <= v && x != bat.NilInt {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SelNeIntNil appends indexes with col[i] != v, skipping nils (NULL <> v
+// is unknown, not true).
+func SelNeIntNil(col []int64, sel []int32, v int64, out []int32) []int32 {
+	if sel == nil {
+		for i, x := range col {
+			if x != v && x != bat.NilInt {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for _, i := range sel {
+		if x := col[i]; x != v && x != bat.NilInt {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SelNilInt appends indexes whose int value IS the nil sentinel.
+func SelNilInt(col []int64, sel []int32, out []int32) []int32 {
+	if sel == nil {
+		for i, x := range col {
+			if x == bat.NilInt {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for _, i := range sel {
+		if col[i] == bat.NilInt {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SelNotNilInt appends indexes whose int value is NOT nil.
+func SelNotNilInt(col []int64, sel []int32, out []int32) []int32 {
+	if sel == nil {
+		for i, x := range col {
+			if x != bat.NilInt {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for _, i := range sel {
+		if col[i] != bat.NilInt {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SelNilFloat appends indexes whose float value is NaN (the float nil).
+func SelNilFloat(col []float64, sel []int32, out []int32) []int32 {
+	if sel == nil {
+		for i, x := range col {
+			if x != x {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for _, i := range sel {
+		if x := col[i]; x != x {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SelNotNilFloat appends indexes whose float value is not NaN.
+func SelNotNilFloat(col []float64, sel []int32, out []int32) []int32 {
+	if sel == nil {
+		for i, x := range col {
+			if x == x {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for _, i := range sel {
+		if x := col[i]; x == x {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
 // MapAddInt computes out[i] = a[i] + b[i] for qualifying i.
 func MapAddInt(a, b []int64, sel []int32, out []int64) {
 	if sel == nil {
@@ -360,6 +499,45 @@ func AssignGroups(keys []int64, sel []int32, gt *radix.GroupTable, gids []int32)
 		}
 	}
 	return int32(gt.Len())
+}
+
+// PairGrouper assigns dense group ids over COMPOSITE (int64, int64)
+// keys through the shared radix.PairGroupTable, tracking the dense
+// key-half arrays the table itself does not store (its 24-byte slots
+// hold only key+gid). bat.NilInt is a legal key half: SQL multi-column
+// GROUP BY groups NULLs together per column ("is not distinct from").
+type PairGrouper struct {
+	T      *radix.PairGroupTable
+	K1, K2 []int64 // dense gid -> key halves, in first-seen order
+}
+
+// NewPairGrouper returns a grouper pre-sized for hint distinct pairs.
+func NewPairGrouper(hint int) *PairGrouper {
+	return &PairGrouper{T: radix.NewPairGroupTable(hint)}
+}
+
+// Assign maps each qualifying (k1[i], k2[i]) pair to a dense group id,
+// writing ids into gids (full-length, indexed by row) and returning the
+// total group count so far.
+func (g *PairGrouper) Assign(k1, k2 []int64, sel []int32, gids []int32) int32 {
+	one := func(i int32) {
+		gid := g.T.GID(k1[i], k2[i])
+		if int(gid) == len(g.K1) { // first sight of this pair
+			g.K1 = append(g.K1, k1[i])
+			g.K2 = append(g.K2, k2[i])
+		}
+		gids[i] = gid
+	}
+	if sel == nil {
+		for i := range k1 {
+			one(int32(i))
+		}
+	} else {
+		for _, i := range sel {
+			one(i)
+		}
+	}
+	return int32(g.T.Len())
 }
 
 // SumIntPerGroup folds col values into accs[gids[i]] for qualifying rows,

@@ -1,0 +1,436 @@
+package vector
+
+// ORDER BY for the vectorized engine, in two composable operators:
+//
+//   - SortRun is the per-worker fragment tail: it drains its child (the
+//     morsels this worker claimed, post-filter), materializes the
+//     qualifying rows, and emits them as ONE sorted run. Workers sort
+//     disjoint cache-resident-ish slices in parallel — the expensive
+//     O(n log n) comparisons parallelize, and each run is produced with
+//     zero coordination.
+//
+//   - MergeRuns sits on the consumer side of the Exchange: it collects
+//     the workers' runs and k-way merges them through a binary heap,
+//     emitting vector-sized batches. k equals the worker count, so the
+//     merge is a cheap sequential pass.
+//
+// Total order is DETERMINISTIC and matches the MAL interpreter's sort
+// exactly: ties break on a global row id (the trailing column a
+// RowIDs-enabled MorselScan emits), so ascending order equals a stable
+// sort by key over the original row order, and descending order is its
+// exact reverse — the same contract batalg.Sort/SortDesc implement. Nil
+// keys (bat.NilInt for ints, NaN for floats) sort FIRST ascending and
+// therefore last descending.
+//
+// LIMIT pushes down twice: each run truncates to the first Limit rows
+// (no worker ships more than the query can return), and the merge stops
+// once Limit rows have been emitted.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SortRun drains Child and emits its rows as one sorted batch (a "run").
+// Key and RowID index Child's output columns; RowID is the global-row-id
+// tiebreak column (use Exchange.RowIDs to produce it) and may be -1 for
+// an unstable run. Limit >= 0 truncates the run.
+type SortRun struct {
+	Child Operator
+	Key   int
+	RowID int // tiebreak column; -1 = none
+	Desc  bool
+	Limit int // -1 = unlimited
+
+	out  Batch
+	done bool
+}
+
+// Open implements Operator.
+func (s *SortRun) Open() error {
+	s.done = false
+	return s.Child.Open()
+}
+
+// Next implements Operator: the single sorted run, then end of stream.
+func (s *SortRun) Next() (*Batch, error) {
+	if s.done {
+		return nil, nil
+	}
+	s.done = true
+
+	// Materialize the qualifying rows column-wise (selection vectors
+	// applied — a sort output has no use for them).
+	var cols []Col
+	n := 0
+	for {
+		b, err := s.Child.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		if cols == nil {
+			cols = make([]Col, len(b.Cols))
+			for i := range b.Cols {
+				cols[i].Kind = b.Cols[i].Kind
+			}
+		}
+		// The kind dispatch is hoisted out of the per-row loop: one typed
+		// copy loop per column, as in the primitives.
+		for i := range b.Cols {
+			c := &b.Cols[i]
+			oc := &cols[i]
+			switch c.Kind {
+			case KindInt:
+				if b.Sel == nil {
+					oc.Ints = append(oc.Ints, c.Ints...)
+				} else {
+					for _, r := range b.Sel {
+						oc.Ints = append(oc.Ints, c.Ints[r])
+					}
+				}
+			case KindFloat:
+				if b.Sel == nil {
+					oc.Floats = append(oc.Floats, c.Floats...)
+				} else {
+					for _, r := range b.Sel {
+						oc.Floats = append(oc.Floats, c.Floats[r])
+					}
+				}
+			case KindBool:
+				if b.Sel == nil {
+					oc.Bools = append(oc.Bools, c.Bools...)
+				} else {
+					for _, r := range b.Sel {
+						oc.Bools = append(oc.Bools, c.Bools[r])
+					}
+				}
+			}
+		}
+		n += b.Rows()
+	}
+	if n == 0 {
+		return nil, nil
+	}
+
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	less, err := rowLess(cols, s.Key, s.RowID, s.Desc)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(perm, func(i, j int) bool { return less(perm[i], perm[j]) })
+	if s.Limit >= 0 && s.Limit < n {
+		// Rows past the limit cannot survive the merge: every run
+		// contributes at most Limit rows to the first Limit of the total.
+		perm = perm[:s.Limit]
+		n = s.Limit
+	}
+
+	out := make([]Col, len(cols))
+	for i := range cols {
+		c := &cols[i]
+		out[i] = Col{Kind: c.Kind}
+		switch c.Kind {
+		case KindInt:
+			g := make([]int64, n)
+			for k, p := range perm {
+				g[k] = c.Ints[p]
+			}
+			out[i].Ints = g
+		case KindFloat:
+			g := make([]float64, n)
+			for k, p := range perm {
+				g[k] = c.Floats[p]
+			}
+			out[i].Floats = g
+		case KindBool:
+			g := make([]bool, n)
+			for k, p := range perm {
+				g[k] = c.Bools[p]
+			}
+			out[i].Bools = g
+		}
+	}
+	s.out = Batch{N: n, Cols: out}
+	return &s.out, nil
+}
+
+// Close implements Operator.
+func (s *SortRun) Close() error { return s.Child.Close() }
+
+// rowLess builds the (key, rowid) comparator over a column set. The
+// descending order is the exact REVERSE of the ascending one (key
+// descending, tiebreak descending) — reproducing batalg.SortDesc, which
+// reverses a stable ascending sort.
+func rowLess(cols []Col, key, rowID int, desc bool) (func(a, b int32) bool, error) {
+	var cmp func(a, b int32) int
+	switch cols[key].Kind {
+	case KindInt:
+		k := cols[key].Ints
+		cmp = func(a, b int32) int {
+			x, y := k[a], k[b]
+			switch {
+			case x < y:
+				return -1
+			case x > y:
+				return 1
+			}
+			return 0
+		}
+	case KindFloat:
+		k := cols[key].Floats
+		// NaN is the float nil: order it below every real value (matching
+		// int tails, where the nil sentinel is the domain minimum).
+		cmp = func(a, b int32) int {
+			x, y := k[a], k[b]
+			if x != x {
+				if y != y {
+					return 0
+				}
+				return -1
+			}
+			if y != y {
+				return 1
+			}
+			switch {
+			case x < y:
+				return -1
+			case x > y:
+				return 1
+			}
+			return 0
+		}
+	default:
+		return nil, fmt.Errorf("vector: sort key column %d has unsortable kind", key)
+	}
+	var tie []int64
+	if rowID >= 0 {
+		tie = cols[rowID].Ints
+	}
+	if desc {
+		return func(a, b int32) bool {
+			c := cmp(a, b)
+			if c != 0 {
+				return c > 0
+			}
+			return tie != nil && tie[a] > tie[b]
+		}, nil
+	}
+	return func(a, b int32) bool {
+		c := cmp(a, b)
+		if c != 0 {
+			return c < 0
+		}
+		return tie != nil && tie[a] < tie[b]
+	}, nil
+}
+
+// MergeRuns k-way merges the sorted runs its child produces (one batch
+// per run, typically an Exchange over SortRun fragments) into globally
+// ordered vector-sized batches. Key/RowID/Desc must match the runs'
+// sort order; Limit >= 0 stops the merge after that many rows.
+type MergeRuns struct {
+	Child Operator
+	Key   int
+	RowID int
+	Desc  bool
+	Limit int // -1 = unlimited
+	Size  int // output vector size (DefaultSize if <= 0)
+
+	runs    []*Batch
+	heap    []runCursor
+	less    func(a, b runCursor) bool
+	emitted int
+	started bool
+	out     Batch
+}
+
+// runCursor points at the next unconsumed row of one run.
+type runCursor struct {
+	run int32
+	pos int32
+}
+
+// Open implements Operator.
+func (m *MergeRuns) Open() error {
+	m.runs, m.heap, m.less = nil, nil, nil
+	m.emitted = 0
+	m.started = false
+	if m.Size <= 0 {
+		m.Size = DefaultSize
+	}
+	return m.Child.Open()
+}
+
+// start drains the child, collecting runs and seeding the heap.
+func (m *MergeRuns) start() error {
+	m.started = true
+	for {
+		b, err := m.Child.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		if b.Rows() == 0 {
+			continue
+		}
+		if b.Sel != nil {
+			return fmt.Errorf("vector: merge input runs must be compacted")
+		}
+		m.runs = append(m.runs, b)
+	}
+	if len(m.runs) == 0 {
+		return nil
+	}
+	if k := m.runs[0].Cols[m.Key].Kind; k != KindInt && k != KindFloat {
+		return fmt.Errorf("vector: sort key column %d has unsortable kind", m.Key)
+	}
+	// Rows live in different runs, so the comparator gathers through the
+	// (run, pos) cursors.
+	m.less = func(a, b runCursor) bool {
+		return mergeLess(m.runs[a.run].Cols, m.runs[b.run].Cols, a.pos, b.pos, m.Key, m.RowID, m.Desc)
+	}
+	for ri := range m.runs {
+		m.push(runCursor{run: int32(ri), pos: 0})
+	}
+	return nil
+}
+
+// mergeLess compares row ap of column set ac against row bp of bc.
+func mergeLess(ac, bc []Col, ap, bp int32, key, rowID int, desc bool) bool {
+	var c int
+	switch ac[key].Kind {
+	case KindInt:
+		x, y := ac[key].Ints[ap], bc[key].Ints[bp]
+		switch {
+		case x < y:
+			c = -1
+		case x > y:
+			c = 1
+		}
+	default: // KindFloat, validated at run production
+		x, y := ac[key].Floats[ap], bc[key].Floats[bp]
+		switch {
+		case x != x && y != y:
+			c = 0
+		case x != x:
+			c = -1
+		case y != y:
+			c = 1
+		case x < y:
+			c = -1
+		case x > y:
+			c = 1
+		}
+	}
+	if desc {
+		if c != 0 {
+			return c > 0
+		}
+		return rowID >= 0 && ac[rowID].Ints[ap] > bc[rowID].Ints[bp]
+	}
+	if c != 0 {
+		return c < 0
+	}
+	return rowID >= 0 && ac[rowID].Ints[ap] < bc[rowID].Ints[bp]
+}
+
+func (m *MergeRuns) push(c runCursor) {
+	m.heap = append(m.heap, c)
+	i := len(m.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !m.less(m.heap[i], m.heap[p]) {
+			break
+		}
+		m.heap[i], m.heap[p] = m.heap[p], m.heap[i]
+		i = p
+	}
+}
+
+func (m *MergeRuns) pop() runCursor {
+	top := m.heap[0]
+	last := len(m.heap) - 1
+	m.heap[0] = m.heap[last]
+	m.heap = m.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(m.heap) && m.less(m.heap[l], m.heap[small]) {
+			small = l
+		}
+		if r < len(m.heap) && m.less(m.heap[r], m.heap[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		m.heap[i], m.heap[small] = m.heap[small], m.heap[i]
+		i = small
+	}
+	return top
+}
+
+// Next implements Operator: the next vector-sized slice of the merged
+// order.
+func (m *MergeRuns) Next() (*Batch, error) {
+	if !m.started {
+		if err := m.start(); err != nil {
+			return nil, err
+		}
+	}
+	if len(m.heap) == 0 {
+		return nil, nil
+	}
+	want := m.Size
+	if m.Limit >= 0 {
+		if left := m.Limit - m.emitted; left < want {
+			want = left
+		}
+	}
+	if want <= 0 {
+		m.heap = m.heap[:0]
+		return nil, nil
+	}
+
+	tmpl := m.runs[0].Cols
+	cols := make([]Col, len(tmpl))
+	for i := range tmpl {
+		cols[i] = Col{Kind: tmpl[i].Kind}
+	}
+	n := 0
+	for n < want && len(m.heap) > 0 {
+		cur := m.pop()
+		rb := m.runs[cur.run]
+		for ci := range rb.Cols {
+			c := &rb.Cols[ci]
+			oc := &cols[ci]
+			switch c.Kind {
+			case KindInt:
+				oc.Ints = append(oc.Ints, c.Ints[cur.pos])
+			case KindFloat:
+				oc.Floats = append(oc.Floats, c.Floats[cur.pos])
+			case KindBool:
+				oc.Bools = append(oc.Bools, c.Bools[cur.pos])
+			}
+		}
+		n++
+		if int(cur.pos)+1 < rb.N {
+			m.push(runCursor{run: cur.run, pos: cur.pos + 1})
+		}
+	}
+	m.emitted += n
+	m.out = Batch{N: n, Cols: cols}
+	return &m.out, nil
+}
+
+// Close implements Operator.
+func (m *MergeRuns) Close() error { return m.Child.Close() }

@@ -1,0 +1,192 @@
+package vector
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/bat"
+)
+
+// sortedPipeline builds the full ORDER BY plan the physical layer
+// instantiates: RowIDs exchange over filter+SortRun fragments, merged
+// by MergeRuns. Returns the merged rows as (key, payload) pairs.
+func sortedPipeline(t *testing.T, keys []int64, desc bool, limit, workers int) [][2]int64 {
+	t.Helper()
+	payload := make([]int64, len(keys))
+	for i := range payload {
+		payload[i] = int64(i) * 7
+	}
+	src, err := NewSource([]string{"k", "p"}, []Col{
+		{Kind: KindInt, Ints: keys},
+		{Kind: KindInt, Ints: payload},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowID := 2 // appended by the RowIDs scan
+	ex := &Exchange{
+		Source:     src,
+		Workers:    workers,
+		MorselSize: 16,
+		VectorSize: 8,
+		RowIDs:     true,
+		Plan: func(scan Operator) Operator {
+			return &SortRun{Child: scan, Key: 0, RowID: rowID, Desc: desc, Limit: limit}
+		},
+	}
+	merge := &MergeRuns{Child: ex, Key: 0, RowID: rowID, Desc: desc, Limit: limit, Size: 8}
+	rows, err := Drain(merge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][2]int64, len(rows))
+	for i, r := range rows {
+		out[i] = [2]int64{r[0].(int64), r[1].(int64)}
+	}
+	return out
+}
+
+// serialOrder is the oracle: a stable ascending sort by key over the
+// original row order; descending is its exact reverse (the batalg
+// Sort/SortDesc contract).
+func serialOrder(keys []int64, desc bool, limit int) [][2]int64 {
+	idx := make([]int, len(keys))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	if desc {
+		for a, b := 0, len(idx)-1; a < b; a, b = a+1, b-1 {
+			idx[a], idx[b] = idx[b], idx[a]
+		}
+	}
+	if limit >= 0 && limit < len(idx) {
+		idx = idx[:limit]
+	}
+	out := make([][2]int64, len(idx))
+	for i, r := range idx {
+		out[i] = [2]int64{keys[r], int64(r) * 7}
+	}
+	return out
+}
+
+func TestSortRunMergeVsSerialOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 5, 100, 500} {
+		for _, desc := range []bool{false, true} {
+			for _, limit := range []int{-1, 0, 3, 250} {
+				for _, workers := range []int{1, 2, 4, 8} {
+					keys := make([]int64, n)
+					for i := range keys {
+						keys[i] = rng.Int63n(17) // heavy duplication
+						if rng.Intn(6) == 0 {
+							keys[i] = bat.NilInt
+						}
+					}
+					got := sortedPipeline(t, keys, desc, limit, workers)
+					want := serialOrder(keys, desc, limit)
+					if len(got) != len(want) {
+						t.Fatalf("n=%d desc=%v limit=%d w=%d: %d rows, want %d",
+							n, desc, limit, workers, len(got), len(want))
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("n=%d desc=%v limit=%d w=%d row %d: got %v want %v",
+								n, desc, limit, workers, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Float keys: NaN (the float nil) orders first ascending, last
+// descending — exactly like nil ints.
+func TestSortFloatNaNOrder(t *testing.T) {
+	keys := []float64{2.5, math.NaN(), 1.5, math.NaN(), 3.5}
+	src, err := NewSource([]string{"k"}, []Col{{Kind: KindFloat, Floats: keys}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, desc := range []bool{false, true} {
+		ex := &Exchange{
+			Source: src, Workers: 2, MorselSize: 2, VectorSize: 2, RowIDs: true,
+			Plan: func(scan Operator) Operator {
+				return &SortRun{Child: scan, Key: 0, RowID: 1, Desc: desc, Limit: -1}
+			},
+		}
+		merge := &MergeRuns{Child: ex, Key: 0, RowID: 1, Desc: desc, Limit: -1, Size: 4}
+		rows, err := Drain(merge)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 5 {
+			t.Fatalf("desc=%v: %d rows", desc, len(rows))
+		}
+		vals := make([]float64, 5)
+		for i, r := range rows {
+			vals[i] = r[0].(float64)
+		}
+		nanAt := []int{0, 1}
+		realAsc := []float64{1.5, 2.5, 3.5}
+		realFrom := 2
+		if desc {
+			nanAt = []int{3, 4}
+			realAsc = []float64{3.5, 2.5, 1.5}
+			realFrom = 0
+		}
+		for _, i := range nanAt {
+			if !math.IsNaN(vals[i]) {
+				t.Fatalf("desc=%v: expected NaN at %d, got %v", desc, i, vals)
+			}
+		}
+		for i, want := range realAsc {
+			if vals[realFrom+i] != want {
+				t.Fatalf("desc=%v: got %v", desc, vals)
+			}
+		}
+	}
+}
+
+// The run-level LIMIT pushdown truncates each worker's run: with limit
+// k, no run the merge sees is longer than k.
+func TestSortRunLimitPushdown(t *testing.T) {
+	keys := make([]int64, 1000)
+	for i := range keys {
+		keys[i] = int64(1000 - i)
+	}
+	src, err := NewSource([]string{"k"}, []Col{{Kind: KindInt, Ints: keys}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := &Exchange{
+		Source: src, Workers: 4, MorselSize: 64, VectorSize: 32, RowIDs: true,
+		Plan: func(scan Operator) Operator {
+			return &SortRun{Child: scan, Key: 0, RowID: 1, Desc: false, Limit: 5}
+		},
+	}
+	if err := ex.Open(); err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Close()
+	runs := 0
+	for {
+		b, err := ex.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		runs++
+		if b.Rows() > 5 {
+			t.Fatalf("run of %d rows escaped the limit pushdown", b.Rows())
+		}
+	}
+	if runs == 0 {
+		t.Fatal("no runs produced")
+	}
+}
