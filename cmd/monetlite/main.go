@@ -7,11 +7,17 @@
 //	monetlite            # interactive shell on stdin
 //	monetlite -e 'SQL'   # run one statement and exit
 //	monetlite -f file    # run a script of semicolon-separated statements
-//	monetlite -d dir     # persist the database in dir (load + save)
+//	monetlite -d dir     # persist the database in dir (WAL + recovery)
 //	monetlite -recycle   # enable the intermediate-result recycler
 //
 // Shell extras: \q quits, \t lists tables, \plan SQL shows how a SELECT
-// would execute (vectorized pipeline or MAL program).
+// would execute (vectorized pipeline or MAL program), \checkpoint
+// forces a checkpoint (atomic save + WAL truncate) of a -d database,
+// and \vacuum merges delete tombstones so tables re-qualify for the
+// vectorized path.
+//
+// SIGTERM is handled like a clean \q: the deferred Close runs, so a -d
+// database checkpoints instead of relying on crash recovery.
 package main
 
 import (
@@ -22,14 +28,16 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/engine"
 )
 
 func main() {
 	// All exits funnel through realMain's return so the deferred
-	// db.Close() (which SAVES a -d database) always runs — os.Exit in
-	// the middle of main would silently drop the session's writes.
+	// db.Close() (which CHECKPOINTS a -d database) always runs — os.Exit
+	// in the middle of main would skip the checkpoint and leave the
+	// session's tail in the WAL for recovery to replay.
 	os.Exit(realMain())
 }
 
@@ -55,15 +63,34 @@ func realMain() int {
 	defer db.Close()
 	conn := db.Conn()
 
-	if *exec != "" {
-		if err := run(conn, *exec); err != nil {
+	// SIGTERM (kill, systemd stop, container shutdown) must exit like a
+	// clean \q — through the deferred Close, which checkpoints a -d
+	// database — not by dying mid-write and leaning on WAL recovery.
+	// The session body runs in a goroutine so this select can win.
+	sigterm := make(chan os.Signal, 1)
+	signal.Notify(sigterm, syscall.SIGTERM)
+	done := make(chan int, 1)
+	go func() { done <- session(db, conn, *exec, *file) }()
+	select {
+	case code := <-done:
+		return code
+	case <-sigterm:
+		fmt.Fprintln(os.Stderr, "terminated; closing database")
+		return 0
+	}
+}
+
+// session runs the -e / -f / interactive body and returns the exit code.
+func session(db *engine.DB, conn *engine.Conn, exec, file string) int {
+	if exec != "" {
+		if err := run(conn, exec); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			return 1
 		}
 		return 0
 	}
-	if *file != "" {
-		data, err := os.ReadFile(*file)
+	if file != "" {
+		data, err := os.ReadFile(file)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			return 1
@@ -81,7 +108,7 @@ func realMain() int {
 	// must not kill the shell before the deferred Close saves a -d
 	// database); run() re-arms it per statement to cancel the query.
 	signal.Ignore(os.Interrupt)
-	fmt.Println("monetlite shell — \\q to quit, \\t for tables, \\plan SQL for plans; Ctrl-C cancels the running query")
+	fmt.Println("monetlite shell — \\q to quit, \\t for tables, \\plan SQL for plans, \\checkpoint, \\vacuum; Ctrl-C cancels the running query")
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -94,6 +121,23 @@ func realMain() int {
 		case strings.TrimSpace(line) == `\t`:
 			for _, t := range db.Tables() {
 				fmt.Println(" ", t)
+			}
+			fmt.Print("sql> ")
+			continue
+		case strings.TrimSpace(line) == `\checkpoint`:
+			if err := db.Checkpoint(); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+			} else {
+				fmt.Println("ok")
+			}
+			fmt.Print("sql> ")
+			continue
+		case strings.TrimSpace(line) == `\vacuum`:
+			n, err := db.Vacuum()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+			} else {
+				fmt.Printf("ok, %d tables vacuumed\n", n)
 			}
 			fmt.Print("sql> ")
 			continue

@@ -92,6 +92,28 @@
 //	vectorized pipeline (physical plan, morsel-parallel exchange):
 //	    scan t -> group-by[col0,col1] partial-agg -> exchange -> merge by key
 //
+// # Durability
+//
+// A database opened with engine.WithDir is crash-safe. internal/wal
+// keeps an append-only log of length-prefixed, CRC32-checksummed
+// records with sequential LSNs; a committed statement is one
+// begin/ops/commit transaction of physical effects (coerced values,
+// physical positions), group-committed: concurrent commits share one
+// fsync (a flush window plus a batch cap), and Exec returns only after
+// the covering fsync. Recovery loads the last checkpoint — an atomic
+// snapshot directory committed by renaming a CURRENT pointer — and
+// replays exactly the transactions whose commit record survived
+// intact, truncating the log at the first torn or corrupt record. A
+// failed fsync is never retried: the log poisons itself, writes fail,
+// and the Close-time checkpoint is refused, keeping the on-disk state
+// at the last point known durable. Delete tombstones are merged back
+// into clean main columns by a WAL-logged vacuum (background, or
+// DB.Vacuum), which re-qualifies the table for the vectorized scan
+// path. The log writes through a small filesystem interface whose
+// in-memory test double injects torn writes, short writes, fsync
+// failures, and kill-at-any-byte crashes; engine/recovery_test.go
+// sweeps every record boundary against an in-memory oracle.
+//
 // # NULL representation
 //
 // INT columns reserve the domain minimum (bat.NilInt), FLOAT columns

@@ -48,16 +48,21 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"repro/internal/physical"
 	"repro/internal/recycler"
 	"repro/internal/sqlfe"
+	"repro/internal/wal"
 )
 
 // Options configure Open. The zero value is a fresh in-memory database.
 type Options struct {
-	// Dir, when non-empty, makes the database persistent: Open loads the
-	// catalog from Dir if one exists, and Close vacuums and saves back.
+	// Dir, when non-empty, makes the database persistent AND durable:
+	// Open loads the last checkpoint from Dir, replays the write-ahead
+	// log at Dir/wal.log past it, and every subsequent committed write
+	// is fsynced (group-committed) to the log before Exec returns.
+	// Close checkpoints and truncates the log.
 	Dir string
 	// RecyclerBytes enables the intermediate-result recycler (§6.1 of
 	// the paper) with the given capacity. 0 disables recycling.
@@ -72,6 +77,23 @@ type Options struct {
 	// VectorSize is the batch length of the vectorized pipeline
 	// (<= 0 means the engine default of 1024).
 	VectorSize int
+	// GroupCommitEvery is the WAL group-commit window: the first commit
+	// to arrive waits this long for company before one fsync covers the
+	// whole batch (0 means the 2ms default; < 0 fsyncs each batch
+	// immediately, i.e. no window).
+	GroupCommitEvery time.Duration
+	// GroupCommitBatch flushes without waiting for the window once this
+	// many transactions are pending (<= 0 means the default of 128).
+	GroupCommitBatch int
+	// VacuumEvery is the period of the background delta vacuum, which
+	// merges insert deltas and delete tombstones back into clean main
+	// columns so tables with deletes re-qualify for the vectorized scan
+	// path (0 means the 1s default; < 0 disables background vacuuming —
+	// DB.Vacuum still works).
+	VacuumEvery time.Duration
+	// WALFS substitutes the filesystem the WAL writes through; nil means
+	// the OS filesystem. Tests inject fault-simulating filesystems here.
+	WALFS wal.FS
 }
 
 // Option mutates Options.
@@ -93,6 +115,21 @@ func WithMorselSize(rows int) Option { return func(o *Options) { o.MorselSize = 
 // WithVectorSize sets the vectorized batch length.
 func WithVectorSize(rows int) Option { return func(o *Options) { o.VectorSize = rows } }
 
+// WithGroupCommit sets the WAL group-commit window and batch limit
+// (see Options.GroupCommitEvery and Options.GroupCommitBatch).
+func WithGroupCommit(every time.Duration, maxBatch int) Option {
+	return func(o *Options) { o.GroupCommitEvery = every; o.GroupCommitBatch = maxBatch }
+}
+
+// WithVacuumEvery sets the background delta-vacuum period; a negative
+// period disables the background vacuum.
+func WithVacuumEvery(every time.Duration) Option {
+	return func(o *Options) { o.VacuumEvery = every }
+}
+
+// WithWALFS substitutes the WAL's filesystem (fault injection in tests).
+func WithWALFS(fs wal.FS) Option { return func(o *Options) { o.WALFS = fs } }
+
 // DB is an embedded database handle, safe for concurrent use. All
 // sessions (Conn) share its storage; reads run against snapshots, so
 // writers never block readers mid-query.
@@ -101,44 +138,112 @@ type DB struct {
 
 	mu     sync.Mutex
 	sdb    *sqlfe.DB
+	wal    *wal.Log // nil for in-memory databases
 	closed bool
+
+	vacQuit chan struct{} // closed to stop the background vacuum
+	vacDone sync.WaitGroup
 
 	defConn *Conn // lazily created backing for the DB-level helpers
 }
 
-// Open creates (or, with WithDir, loads) a database.
+// Open creates (or, with WithDir, recovers) a database. Recovery loads
+// the last checkpoint, then replays the WAL: every transaction whose
+// commit record is intact and checksums clean is reapplied, in order;
+// the log is truncated at the first torn or corrupt record. A write
+// acknowledged before a crash is recovered; a write never acknowledged
+// may be recovered if its commit record happened to reach disk, but
+// never partially.
 func Open(opts ...Option) (*DB, error) {
 	var o Options
 	for _, f := range opts {
 		f(&o)
 	}
 	var sdb *sqlfe.DB
+	var lg *wal.Log
 	if o.Dir != "" {
-		switch _, err := os.Stat(filepath.Join(o.Dir, "catalog.json")); {
-		case err == nil:
-			loaded, err := sqlfe.Load(o.Dir)
-			if err != nil {
-				return nil, fmt.Errorf("engine: load %s: %w", o.Dir, err)
-			}
-			sdb = loaded
-		case !os.IsNotExist(err):
+		has, err := sqlfe.DirHasDB(o.Dir)
+		if err != nil {
 			// A stat failure that is NOT "no such file" (permissions, IO)
 			// must not be read as "fresh database": opening empty and
 			// saving on Close would overwrite the real one.
 			return nil, fmt.Errorf("engine: open %s: %w", o.Dir, err)
 		}
-	}
-	if sdb == nil {
+		if has {
+			sdb, err = sqlfe.Load(o.Dir)
+			if err != nil {
+				return nil, fmt.Errorf("engine: load %s: %w", o.Dir, err)
+			}
+		} else {
+			if err := os.MkdirAll(o.Dir, 0o755); err != nil {
+				return nil, fmt.Errorf("engine: open %s: %w", o.Dir, err)
+			}
+			sdb = sqlfe.NewDB()
+		}
+		fs := o.WALFS
+		if fs == nil {
+			fs = wal.OSFS{}
+		}
+		flushEvery := o.GroupCommitEvery
+		if flushEvery == 0 {
+			flushEvery = 2 * time.Millisecond
+		} else if flushEvery < 0 {
+			flushEvery = 0
+		}
+		var txs []wal.Tx
+		lg, txs, err = wal.Open(fs, filepath.Join(o.Dir, "wal.log"),
+			wal.Params{FlushEvery: flushEvery, MaxBatch: o.GroupCommitBatch})
+		if err != nil {
+			return nil, fmt.Errorf("engine: open wal: %w", err)
+		}
+		for _, tx := range txs {
+			if err := sdb.ApplyTx(tx); err != nil {
+				lg.Close()
+				return nil, fmt.Errorf("engine: wal replay: %w", err)
+			}
+		}
+		sdb.WAL = lg
+	} else {
 		sdb = sqlfe.NewDB()
 	}
 	if o.RecyclerBytes > 0 {
 		sdb.Recycle = recycler.New(o.RecyclerBytes, recycler.PolicyBenefit)
 	}
-	return &DB{opts: o, sdb: sdb}, nil
+	d := &DB{opts: o, sdb: sdb, wal: lg}
+	if o.VacuumEvery >= 0 {
+		every := o.VacuumEvery
+		if every == 0 {
+			every = time.Second
+		}
+		d.vacQuit = make(chan struct{})
+		d.vacDone.Add(1)
+		go d.vacuumLoop(every)
+	}
+	return d, nil
 }
 
-// Close releases the handle; with WithDir it first vacuums and saves
-// the database to disk. Close is idempotent.
+// vacuumLoop periodically merges deltas and tombstones back into main
+// columns. Errors are ignored here on purpose: a poisoned WAL already
+// fails every write loudly, and vacuuming is an optimization.
+func (d *DB) vacuumLoop(every time.Duration) {
+	defer d.vacDone.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.vacQuit:
+			return
+		case <-t.C:
+			d.sdb.Vacuum()
+		}
+	}
+}
+
+// Close releases the handle; with WithDir it first checkpoints (vacuum,
+// atomic save, WAL truncate) and closes the log. Close is idempotent.
+// After a WAL poisoning (failed fsync), Close does NOT checkpoint —
+// the on-disk state stays at the last durable point — and returns the
+// poisoning error.
 func (d *DB) Close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -146,12 +251,74 @@ func (d *DB) Close() error {
 		return nil
 	}
 	d.closed = true
+	if d.vacQuit != nil {
+		close(d.vacQuit)
+		d.vacDone.Wait()
+	}
+	var first error
 	if d.opts.Dir != "" {
-		if err := d.sdb.Save(d.opts.Dir); err != nil {
-			return fmt.Errorf("engine: save %s: %w", d.opts.Dir, err)
+		if err := d.sdb.Checkpoint(d.opts.Dir); err != nil {
+			first = fmt.Errorf("engine: checkpoint %s: %w", d.opts.Dir, err)
 		}
 	}
-	return nil
+	if d.wal != nil {
+		if err := d.wal.Close(); err != nil && first == nil {
+			first = fmt.Errorf("engine: close wal: %w", err)
+		}
+	}
+	return first
+}
+
+// Checkpoint vacuums every table, atomically saves the database to the
+// configured directory, and truncates the WAL. It bounds recovery time
+// without closing the database.
+func (d *DB) Checkpoint() error {
+	if d.opts.Dir == "" {
+		return fmt.Errorf("engine: Checkpoint needs a persistent database (WithDir)")
+	}
+	if err := d.checkOpen(); err != nil {
+		return err
+	}
+	return d.sdb.Checkpoint(d.opts.Dir)
+}
+
+// Vacuum merges insert deltas and delete tombstones into clean main
+// columns now, returning how many tables were rewritten. Vacuumed
+// tables re-qualify for the vectorized scan path.
+func (d *DB) Vacuum() (int, error) {
+	if err := d.checkOpen(); err != nil {
+		return 0, err
+	}
+	return d.sdb.Vacuum()
+}
+
+// WALStats reports write-ahead-log counters (zero for in-memory
+// databases). Fsyncs < Txs means group commit is batching.
+type WALStats struct {
+	Fsyncs  uint64 // physical fsync calls
+	Txs     uint64 // committed transactions
+	Records uint64 // log records appended
+	Flushes uint64 // batch flushes (a flush may cover many txs)
+}
+
+// Err reports the database's sticky fatal state: non-nil once the WAL
+// has been poisoned by a failed fsync. A poisoned database keeps
+// serving reads; every write and the Close-time checkpoint are refused,
+// so the on-disk state stays at the last point known durable.
+func (d *DB) Err() error {
+	if d.wal == nil {
+		return nil
+	}
+	return d.wal.Err()
+}
+
+// WALStats returns the current WAL counters.
+func (d *DB) WALStats() WALStats {
+	if d.wal == nil {
+		return WALStats{}
+	}
+	s := d.wal.Stats()
+	return WALStats{Fsyncs: s.Fsyncs, Txs: s.Txs, Records: s.Records, Flushes: s.Flushes}
 }
 
 // Save persists the database to dir without closing it. With WithDir

@@ -43,7 +43,9 @@ func loadJoinPair(t *testing.T, db *DB, nl, nr int, seed int64) {
 // Every fallback carries a machine-readable reason in \plan — no
 // statement routes to MAL silently.
 func TestFallbackReasonsSurfaced(t *testing.T) {
-	db, _ := Open()
+	// Background vacuum off: the deletes-present case below asserts the
+	// fallback BEFORE any vacuum clears it.
+	db, _ := Open(WithVacuumEvery(-1))
 	defer db.Close()
 	mustExec(t, db, "CREATE TABLE t (a INT, b INT, c INT, f FLOAT, s TEXT)")
 	mustExec(t, db, "INSERT INTO t VALUES (1, 2, 3, 1.5, 'x')")

@@ -1,0 +1,426 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// These tests exercise the durability chain end to end: group-committed
+// WAL writes, kill-at-any-byte crash recovery against an in-memory
+// oracle, fsync-failure poisoning, checkpointing, and the delta vacuum
+// that re-qualifies deleted-from tables for the vector path.
+
+// durableOpts opens a crash-simulated persistent engine: checkpoints go
+// to dir on the real filesystem, the WAL goes through mfs.
+func durableOpts(dir string, mfs *wal.MemFS) []Option {
+	return []Option{WithDir(dir), WithWALFS(mfs), WithVacuumEvery(-1),
+		WithGroupCommit(time.Millisecond, 0)}
+}
+
+func tableRows(t *testing.T, db *DB, table string) [][]any {
+	t.Helper()
+	return collect(t)(db.Query(bg, "SELECT * FROM "+table))
+}
+
+func TestCleanCloseReopen(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(WithDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, "CREATE TABLE t (a INT, s TEXT)")
+	mustExec(t, db, "INSERT INTO t VALUES (1, 'one'), (2, 'two')")
+	mustExec(t, db, "DELETE FROM t WHERE a = 1")
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close checkpointed: the WAL must be empty and the snapshot current.
+	db2, err := Open(WithDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if got := tableRows(t, db2, "t"); !reflect.DeepEqual(got, [][]any{{int64(2), "two"}}) {
+		t.Fatalf("rows = %v", got)
+	}
+	if s := db2.WALStats(); s.Txs != 0 {
+		t.Fatalf("reopened log replayed %d txs, want 0 after checkpoint", s.Txs)
+	}
+}
+
+// crashWorkload is a statement sequence covering every WAL op kind.
+// Statement 5 is a 0-row DELETE: it acknowledges without logging a
+// transaction, which the oracle mapping below has to handle.
+var crashWorkload = []string{
+	"CREATE TABLE t (a INT, f FLOAT, s TEXT)",
+	"INSERT INTO t VALUES (1, 1.5, 'a'), (2, NULL, 'b'), (NULL, 3.5, 'c')",
+	"CREATE TABLE u (x INT)",
+	"INSERT INTO u VALUES (10), (20)",
+	"DELETE FROM t WHERE a = 1",
+	"DELETE FROM t WHERE a = 99",
+	"UPDATE t SET f = 9.5 WHERE s = 'c'",
+	"INSERT INTO t VALUES (4, 4.5, 'd')",
+	"DROP TABLE u",
+	"INSERT INTO t VALUES (5, NULL, 'e')",
+}
+
+// TestCrashPointSweep kills the database at every record boundary (and
+// at points inside records) of the WAL a workload produced, recovers,
+// and compares against an in-memory oracle that ran the statement
+// prefix covered by the surviving transactions. The guarantee checked
+// is exactly-once, all-or-nothing replay: a transaction is either fully
+// recovered or fully absent, and acknowledged-then-crashed writes are
+// recovered whenever their commit record survived.
+func TestCrashPointSweep(t *testing.T) {
+	mfs := wal.NewMemFS()
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "wal.log")
+	db, err := Open(durableOpts(dir, mfs)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// txsAfter[i] = committed tx count once statement i returned; the
+	// recovery oracle for R surviving txs is the longest statement
+	// prefix whose final count is <= R.
+	txsAfter := make([]uint64, len(crashWorkload))
+	for i, s := range crashWorkload {
+		mustExec(t, db, s)
+		txsAfter[i] = db.WALStats().Txs
+	}
+	blob := mfs.Durable(walPath)
+	recs := wal.Dump(blob)
+	if len(recs) < 3*9 { // 9 logging statements, >= begin+op+commit each
+		t.Fatalf("workload produced only %d records", len(recs))
+	}
+
+	cuts := []int64{0}
+	for _, r := range recs {
+		cuts = append(cuts, r.End)      // clean kill at a record boundary
+		if r.End-cuts[len(cuts)-2] > 5 {
+			cuts = append(cuts, r.End-3) // torn tail inside this record
+		}
+	}
+	for _, cut := range cuts {
+		cut := cut
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			// A fresh filesystem holding exactly the bytes that were
+			// durable at the kill point. The checkpoint dir is fresh
+			// too: this subtest's Close checkpoints into it, which must
+			// not leak into other cuts.
+			subdir := t.TempDir()
+			cfs := wal.NewMemFS()
+			cfs.Seed(filepath.Join(subdir, "wal.log"), blob[:cut])
+			rec, err := Open(durableOpts(subdir, cfs)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rec.Close()
+			replayed := rec.WALStats().Txs
+
+			oracle, err := Open(WithVacuumEvery(-1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer oracle.Close()
+			for i, s := range crashWorkload {
+				if txsAfter[i] > replayed {
+					break
+				}
+				mustExec(t, oracle, s)
+			}
+			for _, table := range oracle.Tables() {
+				want := tableRows(t, oracle, table)
+				got := tableRows(t, rec, table)
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("table %s after %d replayed txs:\n oracle %v\n got    %v",
+						table, replayed, want, got)
+				}
+			}
+			if !reflect.DeepEqual(oracle.Tables(), rec.Tables()) {
+				t.Fatalf("tables: oracle %v, recovered %v", oracle.Tables(), rec.Tables())
+			}
+			// The truncated log must accept new writes, including a
+			// 0-row DML that logs nothing.
+			if len(rec.Tables()) > 0 && rec.Tables()[0] == "t" {
+				before := len(tableRows(t, rec, "t"))
+				mustExec(t, rec, "DELETE FROM t WHERE a = 123456")
+				mustExec(t, rec, "CREATE TABLE postcrash (z INT)")
+				mustExec(t, rec, "INSERT INTO postcrash VALUES (1)")
+				if got := len(tableRows(t, rec, "t")); got != before {
+					t.Fatalf("no-op delete changed row count %d -> %d", before, got)
+				}
+			}
+		})
+	}
+}
+
+// TestCrashSweepWithVacuum reruns the sweep over a workload whose
+// middle is a logged vacuum: deletes after it address the compacted
+// layout, so replay must vacuum at the same point to land them right.
+func TestCrashSweepWithVacuum(t *testing.T) {
+	mfs := wal.NewMemFS()
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "wal.log")
+	db, err := Open(durableOpts(dir, mfs)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Actions, not SQL strings: one step is a vacuum. Each action logs
+	// at most one transaction (one table carries deletes).
+	actions := []func(t *testing.T, db *DB){
+		func(t *testing.T, db *DB) { mustExec(t, db, "CREATE TABLE t (a INT, s TEXT)") },
+		func(t *testing.T, db *DB) {
+			mustExec(t, db, "INSERT INTO t VALUES (1,'a'), (2,'b'), (3,'c'), (4,'d'), (5,'e')")
+		},
+		func(t *testing.T, db *DB) { mustExec(t, db, "DELETE FROM t WHERE a = 2") },
+		func(t *testing.T, db *DB) {
+			if _, err := db.Vacuum(); err != nil {
+				t.Fatal(err)
+			}
+		},
+		func(t *testing.T, db *DB) { mustExec(t, db, "DELETE FROM t WHERE a = 4") },
+		func(t *testing.T, db *DB) { mustExec(t, db, "UPDATE t SET s = 'z' WHERE a = 5") },
+		func(t *testing.T, db *DB) { mustExec(t, db, "INSERT INTO t VALUES (6, 'f')") },
+	}
+	txsAfter := make([]uint64, len(actions))
+	for i, act := range actions {
+		act(t, db)
+		txsAfter[i] = db.WALStats().Txs
+	}
+	blob := mfs.Durable(walPath)
+	for _, r := range wal.Dump(blob) {
+		cut := r.End
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			subdir := t.TempDir()
+			cfs := wal.NewMemFS()
+			cfs.Seed(filepath.Join(subdir, "wal.log"), blob[:cut])
+			rec, err := Open(durableOpts(subdir, cfs)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rec.Close()
+			replayed := rec.WALStats().Txs
+			oracle, err := Open(WithVacuumEvery(-1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer oracle.Close()
+			for i, act := range actions {
+				if txsAfter[i] > replayed {
+					break
+				}
+				act(t, oracle)
+			}
+			if !reflect.DeepEqual(oracle.Tables(), rec.Tables()) {
+				t.Fatalf("tables: oracle %v, recovered %v", oracle.Tables(), rec.Tables())
+			}
+			if len(oracle.Tables()) == 0 {
+				return // cut before the CREATE committed
+			}
+			want := tableRows(t, oracle, "t")
+			got := tableRows(t, rec, "t")
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("after %d replayed txs:\n oracle %v\n got    %v", replayed, want, got)
+			}
+		})
+	}
+}
+
+// TestFsyncFailurePoisonsEngine drives concurrent writers into an
+// injected fsync failure and checks the engine-level contract: the
+// failed fsync is never retried, every write after it errors, Close
+// refuses to checkpoint, and recovery yields exactly the acknowledged
+// writes — no more, no fewer.
+func TestFsyncFailurePoisonsEngine(t *testing.T) {
+	mfs := wal.NewMemFS()
+	dir := t.TempDir()
+	db, err := Open(durableOpts(dir, mfs)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, "CREATE TABLE t (w INT, i INT)")
+	mfs.FailSyncsAfter(6, nil)
+
+	const writers, per = 4, 40
+	acked := make([]map[int]bool, writers)
+	var sawErr [writers]bool
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		acked[w] = map[int]bool{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				_, err := db.Exec(bg, "INSERT INTO t VALUES (?, ?)", int64(w), int64(i))
+				if err != nil {
+					// Poisoned: every later write on this session must
+					// keep failing (no silent retry can succeed).
+					sawErr[w] = true
+					continue
+				}
+				if sawErr[w] {
+					t.Errorf("writer %d: write acknowledged after poisoning", w)
+				}
+				acked[w][i] = true
+			}
+		}()
+	}
+	wg.Wait()
+	if err := db.Err(); !errors.Is(err, wal.ErrPoisoned) {
+		t.Fatalf("db.Err() = %v, want ErrPoisoned", err)
+	}
+	if err := db.Close(); err == nil || !errors.Is(err, wal.ErrPoisoned) {
+		t.Fatalf("Close on poisoned db = %v, want checkpoint refusal", err)
+	}
+
+	// Power-cycle: only fsynced bytes survive; the replayed set must be
+	// exactly the acknowledged set.
+	mfs.Crash()
+	mfs.FailSyncsAfter(-1, nil)
+	rec, err := Open(durableOpts(dir, mfs)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	got := make([]map[int]bool, writers)
+	for w := range got {
+		got[w] = map[int]bool{}
+	}
+	for _, row := range tableRows(t, rec, "t") {
+		got[row[0].(int64)][int(row[1].(int64))] = true
+	}
+	for w := 0; w < writers; w++ {
+		if !reflect.DeepEqual(acked[w], got[w]) {
+			t.Fatalf("writer %d: acked %v, recovered %v", w, acked[w], got[w])
+		}
+	}
+}
+
+// TestVacuumRequalifiesVectorPath: a table with tombstones falls back
+// to MAL with reason=deletes-present; vacuuming clears the tombstones
+// and the same query routes back through the vectorized path with
+// identical results.
+func TestVacuumRequalifiesVectorPath(t *testing.T) {
+	db, err := Open(WithVacuumEvery(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	loadInts(t, db, "t", 5000)
+	mustExec(t, db, "DELETE FROM t WHERE x < 100")
+	conn := db.Conn()
+
+	const q = "SELECT x, y FROM t WHERE x < 1000"
+	plan, err := conn.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "reason=deletes-present") {
+		t.Fatalf("expected deletes-present fallback, got:\n%s", plan)
+	}
+	before := collect(t)(db.Query(bg, q))
+
+	n, err := db.Vacuum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("vacuumed %d tables, want 1", n)
+	}
+	plan, err = conn.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plan, "deletes-present") || !strings.Contains(plan, "vectorized") {
+		t.Fatalf("expected vectorized plan after vacuum, got:\n%s", plan)
+	}
+	after := collect(t)(db.Query(bg, q))
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("vacuum changed results:\n before %v\n after  %v", before, after)
+	}
+}
+
+// TestBackgroundVacuum: with a short period, the deletes-present
+// fallback disappears on its own.
+func TestBackgroundVacuum(t *testing.T) {
+	db, err := Open(WithVacuumEvery(5 * time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	mustExec(t, db, "CREATE TABLE t (a INT, b INT)")
+	mustExec(t, db, "INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)")
+	mustExec(t, db, "DELETE FROM t WHERE a = 2")
+	conn := db.Conn()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		plan, err := conn.Plan("SELECT a, b FROM t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(plan, "deletes-present") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("background vacuum never cleared the fallback:\n%s", plan)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	got := collect(t)(db.Query(bg, "SELECT a, b FROM t"))
+	want := [][]any{{int64(1), int64(10)}, {int64(3), int64(30)}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("rows = %v", got)
+	}
+}
+
+// BenchmarkGroupCommit measures commits and fsyncs under concurrent
+// single-row inserts; the fsyncs/commit metric is the group-commit
+// payoff (1.0 would be one fsync per transaction).
+func BenchmarkGroupCommit(b *testing.B) {
+	for _, writers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("writers=%d", writers), func(b *testing.B) {
+			dir := b.TempDir()
+			db, err := Open(WithDir(dir), WithVacuumEvery(-1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			if _, err := db.Exec(bg, "CREATE TABLE t (w INT, i INT)"); err != nil {
+				b.Fatal(err)
+			}
+			start := db.WALStats()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			per := b.N/writers + 1
+			for w := 0; w < writers; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						if _, err := db.Exec(bg, "INSERT INTO t VALUES (?, ?)", int64(w), int64(i)); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			s := db.WALStats()
+			txs := s.Txs - start.Txs
+			if txs > 0 {
+				b.ReportMetric(float64(s.Fsyncs-start.Fsyncs)/float64(txs), "fsyncs/commit")
+			}
+		})
+	}
+}

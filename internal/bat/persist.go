@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 	"math"
 )
@@ -20,15 +22,19 @@ const persistMagic = uint32(0xBA7BA700)
 // WriteTo serializes the BAT. The format is:
 //
 //	magic u32 | version u8 | type u8 | hseq u64 | tseq u64 | n u64 |
-//	props u8 | name len+bytes | tail blob | (str only) heap len+bytes
+//	props u8 | name len+bytes | tail blob | (str only) heap len+bytes |
+//	crc32 u32
+//
+// The trailing CRC-32 (IEEE, over every preceding byte) is version 2;
+// version-1 files, which end at the tail/heap, are still readable.
 func (b *BAT) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
-	cw := &countWriter{w: bw}
+	cw := &countWriter{w: bw, h: crc32.NewIEEE()}
 	le := binary.LittleEndian
 	var hdr [8]byte
 
 	le.PutUint32(hdr[:4], persistMagic)
-	hdr[4] = 1 // version
+	hdr[4] = 2 // version
 	hdr[5] = byte(b.ttyp)
 	if _, err := cw.Write(hdr[:6]); err != nil {
 		return cw.n, err
@@ -104,15 +110,23 @@ func (b *BAT) WriteTo(w io.Writer) (int64, error) {
 			return cw.n, err
 		}
 	}
+	le.PutUint32(hdr[:4], cw.h.Sum32())
+	cw.h = nil // the checksum itself is not checksummed
+	if _, err := cw.Write(hdr[:4]); err != nil {
+		return cw.n, err
+	}
 	if err := bw.Flush(); err != nil {
 		return cw.n, err
 	}
 	return cw.n, nil
 }
 
-// ReadFrom deserializes a BAT previously written with WriteTo.
+// ReadFrom deserializes a BAT previously written with WriteTo. For
+// version-2 files the trailing CRC-32 is verified; a mismatch (silent
+// corruption the length fields cannot catch) is an error.
 func ReadFrom(r io.Reader) (*BAT, error) {
-	br := bufio.NewReader(r)
+	hr := &hashReader{r: bufio.NewReader(r), h: crc32.NewIEEE()}
+	br := io.Reader(hr)
 	le := binary.LittleEndian
 	var hdr [8]byte
 	if _, err := io.ReadFull(br, hdr[:6]); err != nil {
@@ -121,8 +135,9 @@ func ReadFrom(r io.Reader) (*BAT, error) {
 	if le.Uint32(hdr[:4]) != persistMagic {
 		return nil, fmt.Errorf("bat: bad magic %#x", le.Uint32(hdr[:4]))
 	}
-	if hdr[4] != 1 {
-		return nil, fmt.Errorf("bat: unsupported version %d", hdr[4])
+	version := hdr[4]
+	if version != 1 && version != 2 {
+		return nil, fmt.Errorf("bat: unsupported version %d", version)
 	}
 	b := &BAT{ttyp: Type(hdr[5])}
 	var nums [3]uint64
@@ -196,6 +211,15 @@ func ReadFrom(r io.Reader) (*BAT, error) {
 	default:
 		return nil, fmt.Errorf("bat: unknown tail type %d", hdr[5])
 	}
+	if version >= 2 {
+		want := hr.h.Sum32()
+		if _, err := io.ReadFull(hr.r, hdr[:4]); err != nil {
+			return nil, fmt.Errorf("bat: read checksum: %w", err)
+		}
+		if got := le.Uint32(hdr[:4]); got != want {
+			return nil, fmt.Errorf("bat: checksum mismatch (file %#08x, computed %#08x)", got, want)
+		}
+	}
 	return b, nil
 }
 
@@ -225,10 +249,28 @@ func readBytes(r io.Reader) ([]byte, error) {
 type countWriter struct {
 	w io.Writer
 	n int64
+	h hash.Hash32 // nil once the checksum trailer is being written
 }
 
 func (c *countWriter) Write(p []byte) (int, error) {
 	n, err := c.w.Write(p)
 	c.n += int64(n)
+	if c.h != nil {
+		c.h.Write(p[:n])
+	}
+	return n, err
+}
+
+// hashReader folds every byte read into h, so the checksum trailer can
+// be verified against exactly the bytes that were parsed. The trailer
+// itself is read from the underlying reader, bypassing the hash.
+type hashReader struct {
+	r io.Reader
+	h hash.Hash32
+}
+
+func (c *hashReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.h.Write(p[:n])
 	return n, err
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/bat"
 	"repro/internal/mal"
 	"repro/internal/recycler"
+	"repro/internal/wal"
 )
 
 // DB is a tiny MonetDB-shaped SQL database: tables decomposed into BATs,
@@ -20,6 +21,14 @@ type DB struct {
 	tables  map[string]*Table
 	schema  int64           // bumped on CREATE/DROP; snapshots carry it (SchemaVersion)
 	Recycle *recycler.Cache // optional intermediate-result recycling (§6.1)
+
+	// WAL, when set (by the engine, after recovery replay), makes every
+	// write statement durable: its physical effects are appended as one
+	// transaction under db.mu — so log order equals apply order — and
+	// ExecStmt returns only after the group committer's fsync covers
+	// the commit record. A poisoned log (failed fsync) makes every
+	// subsequent write error until the process reopens and recovers.
+	WAL *wal.Log
 }
 
 // NewDB returns an empty database.
@@ -78,31 +87,99 @@ func (db *DB) Exec(sql string) (*Result, error) {
 	return db.ExecStmt(st)
 }
 
-// ExecStmt executes a parsed statement.
+// ExecStmt executes a parsed statement. With a WAL attached, a write
+// statement returns only once its commit record is durable (covered by
+// a group-commit fsync); a durability failure is returned as an error —
+// the statement must then be considered not committed.
 func (db *DB) ExecStmt(st Stmt) (*Result, error) {
+	res, lsn, err := db.execStmt(st)
+	if err != nil {
+		return nil, err
+	}
+	if lsn > 0 {
+		if werr := db.WAL.WaitDurable(lsn); werr != nil {
+			return nil, fmt.Errorf("sql: commit not durable: %w", werr)
+		}
+	}
+	return res, nil
+}
+
+// execStmt applies the statement under db.mu and, for logged writes,
+// returns the WAL commit LSN to wait on (0 when nothing was logged).
+func (db *DB) execStmt(st Stmt) (*Result, uint64, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	var (
+		res *Result
+		ops []wal.Op
+		err error
+	)
 	switch s := st.(type) {
 	case *CreateTable:
-		return db.execCreate(s)
+		res, ops, err = db.execCreate(s)
 	case *DropTable:
-		if _, ok := db.tables[s.Name]; !ok {
-			return nil, fmt.Errorf("sql: unknown table %q", s.Name)
-		}
-		db.invalidate(s.Name)
-		delete(db.tables, s.Name)
-		db.schema++
-		return &Result{}, nil
+		res, ops, err = db.execDrop(s)
 	case *Insert:
-		return db.execInsert(s)
+		res, ops, err = db.execInsert(s)
 	case *Delete:
-		return db.execDelete(s)
+		res, ops, err = db.execDelete(s)
 	case *Update:
-		return db.execUpdate(s)
+		res, ops, err = db.execUpdate(s)
 	case *Select:
-		return db.runSelect(s, db.snapshotLocked())
+		res, err = db.runSelect(s, db.snapshotLocked())
+		return res, 0, err
+	default:
+		return nil, 0, fmt.Errorf("sql: unhandled statement %T", st)
 	}
-	return nil, fmt.Errorf("sql: unhandled statement %T", st)
+	if err != nil {
+		return nil, 0, err
+	}
+	lsn, err := db.logTx(ops)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, lsn, nil
+}
+
+// walUsable refuses new writes on a poisoned log BEFORE any state
+// changes, keeping memory and log consistent.
+func (db *DB) walUsable() error {
+	if db.WAL == nil {
+		return nil
+	}
+	if err := db.WAL.Err(); err != nil {
+		return fmt.Errorf("sql: write refused: %w", err)
+	}
+	return nil
+}
+
+// logTx appends one committed statement's physical effects to the WAL
+// (no-op without one) and returns the commit LSN to wait on.
+func (db *DB) logTx(ops []wal.Op) (uint64, error) {
+	if db.WAL == nil || len(ops) == 0 {
+		return 0, nil
+	}
+	lsn, err := db.WAL.AppendTx(ops)
+	if err != nil {
+		return 0, fmt.Errorf("sql: wal append: %w", err)
+	}
+	return lsn, nil
+}
+
+// walColTypes maps column types onto the WAL's type bytes.
+func walColTypes(types []ColType) []byte {
+	out := make([]byte, len(types))
+	for i, t := range types {
+		switch t {
+		case TInt:
+			out[i] = wal.ColInt
+		case TFloat:
+			out[i] = wal.ColFloat
+		default:
+			out[i] = wal.ColText
+		}
+	}
+	return out
 }
 
 // Query is Exec restricted to SELECT.
@@ -150,26 +227,42 @@ func (db *DB) QuerySnapshot(snap *Snapshot, sql string) (*Result, error) {
 	return db.runSelect(sel, snap)
 }
 
-func (db *DB) execCreate(s *CreateTable) (*Result, error) {
+func (db *DB) execCreate(s *CreateTable) (*Result, []wal.Op, error) {
 	if _, dup := db.tables[s.Name]; dup {
-		return nil, fmt.Errorf("sql: table %q exists", s.Name)
+		return nil, nil, fmt.Errorf("sql: table %q exists", s.Name)
 	}
 	for i, c := range s.Cols {
 		for j := 0; j < i; j++ {
 			if s.Cols[j] == c {
-				return nil, fmt.Errorf("sql: duplicate column %q", c)
+				return nil, nil, fmt.Errorf("sql: duplicate column %q", c)
 			}
 		}
 	}
+	if err := db.walUsable(); err != nil {
+		return nil, nil, err
+	}
 	db.tables[s.Name] = newTable(s.Name, s.Cols, s.Types)
 	db.schema++
-	return &Result{}, nil
+	return &Result{}, []wal.Op{&wal.OpCreate{Table: s.Name, Cols: s.Cols, Types: walColTypes(s.Types)}}, nil
 }
 
-func (db *DB) execInsert(s *Insert) (*Result, error) {
+func (db *DB) execDrop(s *DropTable) (*Result, []wal.Op, error) {
+	if _, ok := db.tables[s.Name]; !ok {
+		return nil, nil, fmt.Errorf("sql: unknown table %q", s.Name)
+	}
+	if err := db.walUsable(); err != nil {
+		return nil, nil, err
+	}
+	db.invalidate(s.Name)
+	delete(db.tables, s.Name)
+	db.schema++
+	return &Result{}, []wal.Op{&wal.OpDrop{Table: s.Name}}, nil
+}
+
+func (db *DB) execInsert(s *Insert) (*Result, []wal.Op, error) {
 	t, ok := db.tables[s.Table]
 	if !ok {
-		return nil, fmt.Errorf("sql: unknown table %q", s.Table)
+		return nil, nil, fmt.Errorf("sql: unknown table %q", s.Table)
 	}
 	// Coerce the whole statement before appending anything: a bad
 	// literal in row k must not leave rows 0..k-1 half-committed.
@@ -177,15 +270,19 @@ func (db *DB) execInsert(s *Insert) (*Result, error) {
 	for _, row := range s.Rows {
 		vals, err := t.coerceRow(row)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		rows = append(rows, vals)
+	}
+	if err := db.walUsable(); err != nil {
+		return nil, nil, err
 	}
 	for _, vals := range rows {
 		t.appendVals(vals)
 	}
 	db.invalidate(s.Table)
-	return &Result{Affected: len(s.Rows)}, nil
+	ops := []wal.Op{&wal.OpInsert{Table: s.Table, Types: walColTypes(t.ColTypes), Rows: rows}}
+	return &Result{Affected: len(s.Rows)}, ops, nil
 }
 
 // matchPositions evaluates WHERE conjuncts on the current table state and
@@ -206,31 +303,45 @@ func (db *DB) matchPositions(t *Table, where []Pred) ([]bat.OID, error) {
 	return out[0].B.OIDs(), nil
 }
 
-func (db *DB) execDelete(s *Delete) (*Result, error) {
+func (db *DB) execDelete(s *Delete) (*Result, []wal.Op, error) {
 	t, ok := db.tables[s.Table]
 	if !ok {
-		return nil, fmt.Errorf("sql: unknown table %q", s.Table)
+		return nil, nil, fmt.Errorf("sql: unknown table %q", s.Table)
 	}
 	pos, err := db.matchPositions(t, s.Where)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	if len(pos) == 0 {
+		return &Result{}, nil, nil
+	}
+	if err := db.walUsable(); err != nil {
+		return nil, nil, err
 	}
 	t.deletePositions(pos)
 	db.invalidate(s.Table)
-	return &Result{Affected: len(pos)}, nil
+	return &Result{Affected: len(pos)}, []wal.Op{&wal.OpDelete{Table: s.Table, Pos: oidsToU64(pos)}}, nil
 }
 
-func (db *DB) execUpdate(s *Update) (*Result, error) {
+func oidsToU64(pos []bat.OID) []uint64 {
+	out := make([]uint64, len(pos))
+	for i, p := range pos {
+		out[i] = uint64(p)
+	}
+	return out
+}
+
+func (db *DB) execUpdate(s *Update) (*Result, []wal.Op, error) {
 	t, ok := db.tables[s.Table]
 	if !ok {
-		return nil, fmt.Errorf("sql: unknown table %q", s.Table)
+		return nil, nil, fmt.Errorf("sql: unknown table %q", s.Table)
 	}
 	pos, err := db.matchPositions(t, s.Where)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if len(pos) == 0 {
-		return &Result{}, nil
+		return &Result{}, nil, nil
 	}
 	// Updates are delete + re-insert with modified values: read the old
 	// rows first (through the effective columns) and coerce every
@@ -256,16 +367,25 @@ func (db *DB) execUpdate(s *Update) (*Result, error) {
 		}
 		vals, err := t.coerceRow(row)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		newRows = append(newRows, vals)
+	}
+	if err := db.walUsable(); err != nil {
+		return nil, nil, err
 	}
 	t.deletePositions(pos)
 	for _, vals := range newRows {
 		t.appendVals(vals)
 	}
 	db.invalidate(s.Table)
-	return &Result{Affected: len(pos)}, nil
+	// UPDATE is delete + re-insert through the deltas; its WAL image is
+	// the same two physical ops inside ONE transaction.
+	ops := []wal.Op{
+		&wal.OpDelete{Table: s.Table, Pos: oidsToU64(pos)},
+		&wal.OpInsert{Table: s.Table, Types: walColTypes(t.ColTypes), Rows: newRows},
+	}
+	return &Result{Affected: len(pos)}, ops, nil
 }
 
 // invalidate drops recycled intermediates depending on a table.

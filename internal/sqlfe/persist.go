@@ -5,16 +5,29 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/bat"
 	"repro/internal/batalg"
 )
 
-// On-disk layout: <dir>/catalog.json lists tables and schemas;
-// <dir>/<table>.<col>.bat holds each column in the BAT binary format.
-// Saving vacuums: deltas are merged and deleted positions dropped, so the
-// persisted form is a clean set of main columns — the same state MonetDB
-// reaches after delta propagation.
+// On-disk layout: <dir>/CURRENT names the active snapshot directory
+// <dir>/snap-NNNNNN/, which holds catalog.json (tables and schemas) and
+// one <table>.<col>.bat file per column in the BAT binary format.
+//
+// Save is ATOMIC and never writes in place: a full new snapshot
+// directory is written and fsynced first, then CURRENT is renamed over
+// — the single commit point — and the parent directory fsynced. A
+// crash at any byte leaves CURRENT pointing at a complete snapshot
+// (the new one or the previous one), never a half-written mix. Old
+// snapshot directories are garbage-collected after the commit.
+//
+// Load also accepts the pre-WAL legacy layout (catalog.json directly
+// in dir, no CURRENT).
+//
+// Saving vacuums: deltas are merged and deleted positions dropped, so
+// the persisted form is a clean set of main columns — the same state
+// MonetDB reaches after delta propagation.
 
 type diskCatalog struct {
 	Tables []diskTable `json:"tables"`
@@ -27,11 +40,25 @@ type diskTable struct {
 	Rows  int      `json:"rows"`
 }
 
-// Save persists the database into dir (created if needed).
+// Save persists the database into dir (created if needed), atomically.
 func (db *DB) Save(dir string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	return db.saveLocked(dir)
+}
+
+func (db *DB) saveLocked(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	snap := fmt.Sprintf("snap-%06d", currentGen(dir)+1)
+	tmp := filepath.Join(dir, snap)
+	// A leftover directory with this name is debris from a crashed Save
+	// that never committed; replace it.
+	if err := os.RemoveAll(tmp); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
 		return err
 	}
 	var cat diskCatalog
@@ -43,7 +70,7 @@ func (db *DB) Save(dir string) error {
 			dt.Cols = append(dt.Cols, cn)
 			dt.Types = append(dt.Types, t.ColTypes[i].String())
 			col := batalg.LeftFetchJoin(live, t.effectiveCol(i))
-			if err := writeBATFile(filepath.Join(dir, t.Name+"."+cn+".bat"), col); err != nil {
+			if err := writeBATFile(filepath.Join(tmp, t.Name+"."+cn+".bat"), col); err != nil {
 				return err
 			}
 		}
@@ -53,7 +80,81 @@ func (db *DB) Save(dir string) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(dir, "catalog.json"), blob, 0o644)
+	if err := writeFileSync(filepath.Join(tmp, "catalog.json"), blob); err != nil {
+		return err
+	}
+	if err := syncDir(tmp); err != nil {
+		return err
+	}
+	// Commit point: CURRENT now names the complete, durable snapshot.
+	curTmp := filepath.Join(dir, "CURRENT.tmp")
+	if err := writeFileSync(curTmp, []byte(snap+"\n")); err != nil {
+		return err
+	}
+	if err := os.Rename(curTmp, filepath.Join(dir, "CURRENT")); err != nil {
+		return err
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	// GC superseded snapshots and the legacy flat catalog (best-effort:
+	// failing to clean up must not fail a committed save).
+	if entries, err := os.ReadDir(dir); err == nil {
+		for _, e := range entries {
+			if e.IsDir() && strings.HasPrefix(e.Name(), "snap-") && e.Name() != snap {
+				os.RemoveAll(filepath.Join(dir, e.Name()))
+			}
+		}
+	}
+	os.Remove(filepath.Join(dir, "catalog.json"))
+	return nil
+}
+
+// currentGen parses the generation number out of CURRENT; 0 when the
+// pointer is absent or unparseable (the next save then writes snap 1).
+func currentGen(dir string) int {
+	b, err := os.ReadFile(filepath.Join(dir, "CURRENT"))
+	if err != nil {
+		return 0
+	}
+	var n int
+	if _, err := fmt.Sscanf(strings.TrimSpace(string(b)), "snap-%06d", &n); err != nil {
+		return 0
+	}
+	return n
+}
+
+// DataDir resolves the directory the active snapshot lives in: the one
+// CURRENT names, or dir itself for the legacy flat layout.
+func DataDir(dir string) (string, error) {
+	b, err := os.ReadFile(filepath.Join(dir, "CURRENT"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return dir, nil
+		}
+		return "", err
+	}
+	name := strings.TrimSpace(string(b))
+	if name == "" || name != filepath.Base(name) || name == "." || name == ".." {
+		return "", fmt.Errorf("sql: corrupt CURRENT pointer %q", name)
+	}
+	return filepath.Join(dir, name), nil
+}
+
+// DirHasDB reports whether dir holds a saved database (CURRENT pointer
+// or legacy flat catalog.json). Stat failures other than "not exist"
+// are returned: treating an unreadable database as absent would let a
+// later save overwrite it.
+func DirHasDB(dir string) (bool, error) {
+	for _, f := range []string{"CURRENT", "catalog.json"} {
+		switch _, err := os.Stat(filepath.Join(dir, f)); {
+		case err == nil:
+			return true, nil
+		case !os.IsNotExist(err):
+			return false, err
+		}
+	}
+	return false, nil
 }
 
 // liveCand returns the candidate list of live positions of t.
@@ -62,6 +163,8 @@ func liveCand(t *Table) *bat.BAT {
 	return batalg.Diff(all, t.deletedBAT())
 }
 
+// writeBATFile persists one column, fsynced: a snapshot directory must
+// be fully durable before CURRENT commits to it.
 func writeBATFile(path string, b *bat.BAT) error {
 	f, err := os.Create(path)
 	if err != nil {
@@ -71,12 +174,48 @@ func writeBATFile(path string, b *bat.BAT) error {
 		f.Close()
 		return err
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
 	return f.Close()
+}
+
+func writeFileSync(path string, blob []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(blob); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Load reads a database previously written by Save.
 func Load(dir string) (*DB, error) {
-	blob, err := os.ReadFile(filepath.Join(dir, "catalog.json"))
+	base, err := DataDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	blob, err := os.ReadFile(filepath.Join(base, "catalog.json"))
 	if err != nil {
 		return nil, err
 	}
@@ -101,7 +240,7 @@ func Load(dir string) (*DB, error) {
 		}
 		t := newTable(dt.Name, dt.Cols, types)
 		for i, cn := range dt.Cols {
-			col, err := readBATFile(filepath.Join(dir, dt.Name+"."+cn+".bat"))
+			col, err := readBATFile(filepath.Join(base, dt.Name+"."+cn+".bat"))
 			if err != nil {
 				return nil, err
 			}
@@ -126,7 +265,11 @@ func readBATFile(path string) (*bat.BAT, error) {
 		return nil, err
 	}
 	defer f.Close()
-	return bat.ReadFrom(f)
+	b, err := bat.ReadFrom(f)
+	if err != nil {
+		return nil, fmt.Errorf("sql: corrupt column file %s: %w", filepath.Base(path), err)
+	}
+	return b, nil
 }
 
 func (db *DB) tablesSortedLocked() []string {

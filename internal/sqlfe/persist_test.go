@@ -97,13 +97,23 @@ func TestLoadCorruptCatalog(t *testing.T) {
 	}
 }
 
+// colPath resolves a column file inside the active snapshot directory.
+func colPath(t *testing.T, dir, file string) string {
+	t.Helper()
+	base, err := DataDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(base, file)
+}
+
 func TestLoadMissingColumnFile(t *testing.T) {
 	db := peopleDB(t)
 	dir := t.TempDir()
 	if err := db.Save(dir); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.Remove(filepath.Join(dir, "people.age.bat")); err != nil {
+	if err := os.Remove(colPath(t, dir, "people.age.bat")); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Load(dir); err == nil {
@@ -117,7 +127,7 @@ func TestLoadTruncatedColumnFile(t *testing.T) {
 	if err := db.Save(dir); err != nil {
 		t.Fatal(err)
 	}
-	path := filepath.Join(dir, "people.age.bat")
+	path := colPath(t, dir, "people.age.bat")
 	blob, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -148,11 +158,11 @@ func TestLoadRowCountMismatch(t *testing.T) {
 	if err := other.Save(dir2); err != nil {
 		t.Fatal(err)
 	}
-	blob, err := os.ReadFile(filepath.Join(dir2, "people.age.bat"))
+	blob, err := os.ReadFile(colPath(t, dir2, "people.age.bat"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, "people.age.bat"), blob, 0o644); err != nil {
+	if err := os.WriteFile(colPath(t, dir, "people.age.bat"), blob, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Load(dir); err == nil {

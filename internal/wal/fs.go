@@ -1,0 +1,75 @@
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// FS is the filesystem the log writes through. The indirection exists
+// so that every durability failure mode — torn writes, short writes,
+// fsync errors, kill-at-any-byte crashes — can be injected by MemFS in
+// tests; production code uses OSFS.
+type FS interface {
+	// ReadFile returns the file's current content, or nil (no error)
+	// when the file does not exist.
+	ReadFile(path string) ([]byte, error)
+	// OpenAppend opens the file for appending, creating it (and making
+	// the creation durable) if needed.
+	OpenAppend(path string) (File, error)
+}
+
+// File is an append-only log file handle.
+type File interface {
+	io.Writer
+	// Sync makes everything written so far durable, or fails. A failed
+	// Sync gives NO guarantee about what reached disk — the caller must
+	// not retry it (the PostgreSQL fsyncgate lesson); the Log reacts by
+	// poisoning itself.
+	Sync() error
+	// Truncate cuts the file to size bytes; subsequent writes append at
+	// the new end.
+	Truncate(size int64) error
+	Close() error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(path string) ([]byte, error) {
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	return b, err
+}
+
+// OpenAppend implements FS. Creation is followed by an fsync of the
+// parent directory so the log file itself survives a crash.
+func (OSFS) OpenAppend(path string) (File, error) {
+	_, statErr := os.Stat(path)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if os.IsNotExist(statErr) {
+		if err := syncDir(filepath.Dir(path)); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

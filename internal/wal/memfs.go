@@ -1,0 +1,162 @@
+package wal
+
+import (
+	"fmt"
+	"sync"
+)
+
+// MemFS is an in-memory FS with fault injection. Each file tracks two
+// byte states: content (what the process observes) and durable (what
+// survives a crash); Sync promotes content to durable unless a failure
+// is injected. Tests simulate a kill at any byte by seeding a fresh
+// MemFS with a prefix of a previous run's durable bytes.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+
+	syncs         int // successful syncs so far
+	failSyncAfter int // >= 0: syncs beyond this many fail; < 0: disabled
+	syncErr       error
+	shortWrite    int // >= 0: next write stores only this many bytes, then errors; < 0: disabled
+}
+
+type memFile struct {
+	content []byte
+	durable []byte
+}
+
+// NewMemFS returns an empty in-memory filesystem with no faults armed.
+func NewMemFS() *MemFS {
+	return &MemFS{files: map[string]*memFile{}, failSyncAfter: -1, shortWrite: -1}
+}
+
+// ReadFile implements FS; it returns the process view (content). To
+// model a restart after a crash, call Crash first.
+func (m *MemFS) ReadFile(path string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path]
+	if !ok {
+		return nil, nil
+	}
+	return append([]byte(nil), f.content...), nil
+}
+
+// OpenAppend implements FS.
+func (m *MemFS) OpenAppend(path string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path]
+	if !ok {
+		f = &memFile{}
+		m.files[path] = f
+	}
+	return &memHandle{fs: m, f: f}, nil
+}
+
+// Seed sets a file's content AND durable bytes — the state a process
+// would find after a crash that preserved exactly these bytes.
+func (m *MemFS) Seed(path string, data []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.files[path] = &memFile{
+		content: append([]byte(nil), data...),
+		durable: append([]byte(nil), data...),
+	}
+}
+
+// Durable returns a copy of the bytes that would survive a crash now.
+func (m *MemFS) Durable(path string) []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path]
+	if !ok {
+		return nil
+	}
+	return append([]byte(nil), f.durable...)
+}
+
+// Crash discards every unsynced byte, as a power loss would.
+func (m *MemFS) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, f := range m.files {
+		f.content = append([]byte(nil), f.durable...)
+	}
+}
+
+// FailSyncsAfter makes every Sync after the next n successful calls
+// fail with err (n = 0 fails the very next Sync; n < 0 disarms).
+// Failed syncs promote nothing to durable.
+func (m *MemFS) FailSyncsAfter(n int, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n < 0 {
+		m.failSyncAfter = -1
+		m.syncErr = nil
+		return
+	}
+	m.failSyncAfter = m.syncs + n
+	m.syncErr = err
+}
+
+// ShortWriteNext makes the next Write store only n bytes of its
+// argument and then return an error — a torn write.
+func (m *MemFS) ShortWriteNext(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.shortWrite = n
+}
+
+// Syncs returns the number of successful syncs.
+func (m *MemFS) Syncs() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.syncs
+}
+
+type memHandle struct {
+	fs *MemFS
+	f  *memFile
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.shortWrite >= 0 {
+		n := h.fs.shortWrite
+		if n > len(p) {
+			n = len(p)
+		}
+		h.fs.shortWrite = -1
+		h.f.content = append(h.f.content, p[:n]...)
+		return n, fmt.Errorf("wal: injected short write (%d of %d bytes)", n, len(p))
+	}
+	h.f.content = append(h.f.content, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.failSyncAfter >= 0 && h.fs.syncs >= h.fs.failSyncAfter {
+		if h.fs.syncErr != nil {
+			return h.fs.syncErr
+		}
+		return fmt.Errorf("wal: injected fsync failure")
+	}
+	h.fs.syncs++
+	h.f.durable = append(h.f.durable[:0], h.f.content...)
+	return nil
+}
+
+func (h *memHandle) Truncate(size int64) error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if int(size) < len(h.f.content) {
+		h.f.content = h.f.content[:size]
+	}
+	return nil
+}
+
+func (h *memHandle) Close() error { return nil }

@@ -1,0 +1,448 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func sampleOps() []Op {
+	return []Op{
+		&OpCreate{Table: "t", Cols: []string{"x", "f", "s"}, Types: []byte{ColInt, ColFloat, ColText}},
+		&OpInsert{
+			Table: "t",
+			Types: []byte{ColInt, ColFloat, ColText},
+			Rows: [][]any{
+				{int64(1), 2.5, "hello"},
+				{int64(math.MinInt64), math.NaN(), ""}, // the nil sentinels round-trip raw
+			},
+		},
+		&OpDelete{Table: "t", Pos: []uint64{0, 3, 7}},
+		&OpVacuum{Table: "t"},
+		&OpDrop{Table: "t"},
+	}
+}
+
+// opsEqual compares ops, treating NaN float values as equal.
+func opsEqual(a, b []Op) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, okX := a[i].(*OpInsert)
+		y, okY := b[i].(*OpInsert)
+		if okX && okY {
+			if x.Table != y.Table || !reflect.DeepEqual(x.Types, y.Types) || len(x.Rows) != len(y.Rows) {
+				return false
+			}
+			for r := range x.Rows {
+				for c := range x.Rows[r] {
+					fx, isF := x.Rows[r][c].(float64)
+					if isF {
+						fy, ok := y.Rows[r][c].(float64)
+						if !ok || (fx != fy && !(math.IsNaN(fx) && math.IsNaN(fy))) {
+							return false
+						}
+						continue
+					}
+					if !reflect.DeepEqual(x.Rows[r][c], y.Rows[r][c]) {
+						return false
+					}
+				}
+			}
+			continue
+		}
+		if !reflect.DeepEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRoundTrip(t *testing.T) {
+	fs := NewMemFS()
+	l, txs, err := Open(fs, "wal.log", Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txs) != 0 {
+		t.Fatalf("fresh log has %d txs", len(txs))
+	}
+	want := sampleOps()
+	lsn, err := l.AppendTx(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WaitDurable(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendTx([]Op{&OpVacuum{Table: "u"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fs.Crash()
+	l2, txs, err := Open(fs, "wal.log", Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(txs) != 2 {
+		t.Fatalf("recovered %d txs, want 2", len(txs))
+	}
+	if !opsEqual(txs[0], want) {
+		t.Fatalf("tx 0 mismatch:\ngot  %#v\nwant %#v", txs[0], want)
+	}
+}
+
+func TestEmptyTxRejected(t *testing.T) {
+	fs := NewMemFS()
+	l, _, err := Open(fs, "wal.log", Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.AppendTx(nil); err == nil {
+		t.Fatal("expected error for empty transaction")
+	}
+}
+
+// TestTornTailTruncated corrupts/cuts the log tail in several ways and
+// checks recovery keeps exactly the committed prefix and physically
+// truncates the garbage, so the log is appendable again.
+func TestTornTailTruncated(t *testing.T) {
+	fs := NewMemFS()
+	l, _, err := Open(fs, "wal.log", Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := l.AppendTx([]Op{&OpVacuum{Table: "a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WaitDurable(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if lsn, err = l.AppendTx([]Op{&OpVacuum{Table: "b"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WaitDurable(lsn); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	clean := fs.Durable("wal.log")
+	recs := Dump(clean)
+	if len(recs) != 6 { // 2 x (begin, vacuum, commit)
+		t.Fatalf("dump found %d records, want 6", len(recs))
+	}
+	tx1End := recs[2].End
+
+	cases := map[string][]byte{
+		"cut-mid-record":   clean[:tx1End+3],
+		"cut-mid-header":   clean[:tx1End+1],
+		"bitflip-tail":     append(append([]byte(nil), clean[:len(clean)-1]...), clean[len(clean)-1]^0x40),
+		"garbage-appended": append(append([]byte(nil), clean...), 0xde, 0xad, 0xbe, 0xef),
+	}
+	for name, img := range cases {
+		t.Run(name, func(t *testing.T) {
+			fs := NewMemFS()
+			fs.Seed("wal.log", img)
+			l, txs, err := Open(fs, "wal.log", Params{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantTxs := 2
+			if name == "cut-mid-record" || name == "cut-mid-header" || name == "bitflip-tail" {
+				wantTxs = 1
+			}
+			if len(txs) != wantTxs {
+				t.Fatalf("recovered %d txs, want %d", len(txs), wantTxs)
+			}
+			// The log must be appendable after truncation: add a tx,
+			// close, reopen, and the whole sequence must parse.
+			lsn, err := l.AppendTx([]Op{&OpVacuum{Table: "c"}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := l.WaitDurable(lsn); err != nil {
+				t.Fatal(err)
+			}
+			l.Close()
+			fs.Crash()
+			l2, txs2, err := Open(fs, "wal.log", Params{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l2.Close()
+			if len(txs2) != wantTxs+1 {
+				t.Fatalf("after append: recovered %d txs, want %d", len(txs2), wantTxs+1)
+			}
+			last := txs2[len(txs2)-1]
+			if v, ok := last[0].(*OpVacuum); !ok || v.Table != "c" {
+				t.Fatalf("last tx = %#v", last)
+			}
+		})
+	}
+}
+
+// TestUncommittedTailDropped writes a committed tx followed by a
+// begin+op with no commit; recovery must drop the open transaction.
+func TestUncommittedTailDropped(t *testing.T) {
+	fs := NewMemFS()
+	l, _, err := Open(fs, "wal.log", Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := l.AppendTx([]Op{&OpVacuum{Table: "committed"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WaitDurable(lsn); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	img := fs.Durable("wal.log")
+
+	// Hand-append an uncommitted transaction: begin + one op, no commit.
+	p := encodeMarker(RecBegin, lsn+1)
+	img = appendRecord(img, p)
+	p, err = encodeOp(&OpVacuum{Table: "open"}, lsn+2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img = appendRecord(img, p)
+
+	fs2 := NewMemFS()
+	fs2.Seed("wal.log", img)
+	l2, txs, err := Open(fs2, "wal.log", Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(txs) != 1 {
+		t.Fatalf("recovered %d txs, want 1", len(txs))
+	}
+	if v := txs[0][0].(*OpVacuum); v.Table != "committed" {
+		t.Fatalf("tx 0 = %#v", txs[0])
+	}
+}
+
+// TestGroupCommitBatches has concurrent writers share fsyncs: with a
+// batch window and N parallel committers, the fsync count must come in
+// well under the transaction count.
+func TestGroupCommitBatches(t *testing.T) {
+	fs := NewMemFS()
+	l, _, err := Open(fs, "wal.log", Params{FlushEvery: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, each = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				lsn, err := l.AppendTx([]Op{&OpDelete{Table: "t", Pos: []uint64{uint64(w*each + i)}}})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := l.WaitDurable(lsn); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Txs != writers*each {
+		t.Fatalf("txs = %d, want %d", st.Txs, writers*each)
+	}
+	if st.Fsyncs >= st.Txs {
+		t.Fatalf("no group commit: %d fsyncs for %d txs", st.Fsyncs, st.Txs)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+	_, txs, err := Open(fs, "wal.log", Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txs) != writers*each {
+		t.Fatalf("recovered %d txs, want %d", len(txs), writers*each)
+	}
+}
+
+// TestFsyncFailurePoisons checks the fsyncgate rule: after one failed
+// fsync the log accepts nothing more, waiters error out, and recovery
+// sees only what was durable before the failure.
+func TestFsyncFailurePoisons(t *testing.T) {
+	fs := NewMemFS()
+	l, _, err := Open(fs, "wal.log", Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := l.AppendTx([]Op{&OpVacuum{Table: "good"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WaitDurable(lsn); err != nil {
+		t.Fatal(err)
+	}
+
+	fs.FailSyncsAfter(0, fmt.Errorf("disk on fire"))
+	lsn, err = l.AppendTx([]Op{&OpVacuum{Table: "lost"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WaitDurable(lsn); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("WaitDurable after failed fsync = %v, want ErrPoisoned", err)
+	}
+	if _, err := l.AppendTx([]Op{&OpVacuum{Table: "refused"}}); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("AppendTx on poisoned log = %v, want ErrPoisoned", err)
+	}
+	if err := l.Err(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("Err() = %v", err)
+	}
+	if err := l.Truncate(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("Truncate on poisoned log = %v", err)
+	}
+	if err := l.Close(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("Close = %v, want ErrPoisoned", err)
+	}
+
+	fs.Crash()
+	fs.FailSyncsAfter(-1, nil) // disk recovered after "reboot"
+	_, txs, err := Open(fs, "wal.log", Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txs) != 1 || txs[0][0].(*OpVacuum).Table != "good" {
+		t.Fatalf("recovered %#v, want only the pre-failure tx", txs)
+	}
+}
+
+// TestShortWritePoisons injects a torn write: the flush errors, the log
+// poisons, and recovery drops the torn record.
+func TestShortWritePoisons(t *testing.T) {
+	fs := NewMemFS()
+	l, _, err := Open(fs, "wal.log", Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := l.AppendTx([]Op{&OpVacuum{Table: "good"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WaitDurable(lsn); err != nil {
+		t.Fatal(err)
+	}
+	fs.ShortWriteNext(5)
+	lsn, err = l.AppendTx([]Op{&OpVacuum{Table: "torn"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WaitDurable(lsn); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("WaitDurable after short write = %v", err)
+	}
+	l.Close()
+	fs.Crash()
+	_, txs, err := Open(fs, "wal.log", Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txs) != 1 {
+		t.Fatalf("recovered %d txs, want 1", len(txs))
+	}
+}
+
+// TestTruncateResets checks the checkpoint cut: pending and durable
+// records vanish, waiters are released, and LSNs keep counting so a
+// reopened log continues cleanly.
+func TestTruncateResets(t *testing.T) {
+	fs := NewMemFS()
+	l, _, err := Open(fs, "wal.log", Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.AppendTx([]Op{&OpDelete{Table: "t", Pos: []uint64{uint64(i)}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	// All pre-truncate LSNs count as durable (covered by the checkpoint).
+	if err := l.WaitDurable(9); err != nil { // 3 txs x 3 records
+		t.Fatal(err)
+	}
+	lsn, err := l.AppendTx([]Op{&OpVacuum{Table: "after"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WaitDurable(lsn); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	fs.Crash()
+	l2, txs, err := Open(fs, "wal.log", Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(txs) != 1 {
+		t.Fatalf("recovered %d txs, want 1 (post-truncate only)", len(txs))
+	}
+	if v := txs[0][0].(*OpVacuum); v.Table != "after" {
+		t.Fatalf("tx = %#v", txs[0])
+	}
+}
+
+// TestDumpOffsets sanity-checks the record iterator the crash-point
+// tests sweep over.
+func TestDumpOffsets(t *testing.T) {
+	fs := NewMemFS()
+	l, _, err := Open(fs, "wal.log", Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := l.AppendTx(sampleOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WaitDurable(lsn); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	img := fs.Durable("wal.log")
+	recs := Dump(img)
+	if len(recs) != len(sampleOps())+2 {
+		t.Fatalf("dump found %d records", len(recs))
+	}
+	if recs[0].Type != RecBegin || recs[len(recs)-1].Type != RecCommit {
+		t.Fatalf("record types: first %d last %d", recs[0].Type, recs[len(recs)-1].Type)
+	}
+	if recs[len(recs)-1].End != int64(len(img)) {
+		t.Fatalf("last record ends at %d, file is %d bytes", recs[len(recs)-1].End, len(img))
+	}
+	for i, r := range recs {
+		if r.LSN != uint64(i+1) {
+			t.Fatalf("record %d has LSN %d", i, r.LSN)
+		}
+	}
+}
