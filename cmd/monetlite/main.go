@@ -16,8 +16,10 @@
 // and \vacuum merges delete tombstones so tables re-qualify for the
 // vectorized path.
 //
-// SIGTERM is handled like a clean \q: the deferred Close runs, so a -d
-// database checkpoints instead of relying on crash recovery.
+// SIGTERM cancels the in-flight statement, waits briefly for the
+// session to unwind, then runs the deferred Close — so a -d database
+// checkpoints instead of relying on crash recovery — and exits with the
+// conventional 143 (128+SIGTERM).
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/engine"
 )
@@ -66,24 +69,40 @@ func realMain() int {
 	// SIGTERM (kill, systemd stop, container shutdown) must exit like a
 	// clean \q — through the deferred Close, which checkpoints a -d
 	// database — not by dying mid-write and leaning on WAL recovery.
-	// The session body runs in a goroutine so this select can win.
+	// The session body runs in a goroutine so this select can win; its
+	// statements run under ctx, so the signal first CANCELS any in-flight
+	// statement (observed at morsel boundaries) and gives the session a
+	// moment to unwind before Close checkpoints underneath it. A session
+	// stuck past the grace period (e.g. blocked reading stdin) is
+	// abandoned — Close still runs, and exec-path statements are already
+	// canceled. Exit code is the conventional 128+15 for a SIGTERM run.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	sigterm := make(chan os.Signal, 1)
 	signal.Notify(sigterm, syscall.SIGTERM)
 	done := make(chan int, 1)
-	go func() { done <- session(db, conn, *exec, *file) }()
+	go func() { done <- session(ctx, db, conn, *exec, *file) }()
 	select {
 	case code := <-done:
 		return code
 	case <-sigterm:
 		fmt.Fprintln(os.Stderr, "terminated; closing database")
-		return 0
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(3 * time.Second):
+			fmt.Fprintln(os.Stderr, "session did not unwind; closing anyway")
+		}
+		return 143
 	}
 }
 
-// session runs the -e / -f / interactive body and returns the exit code.
-func session(db *engine.DB, conn *engine.Conn, exec, file string) int {
+// session runs the -e / -f / interactive body and returns the exit
+// code. ctx is the process-lifetime context: SIGTERM cancels it, which
+// aborts the running statement at morsel granularity.
+func session(ctx context.Context, db *engine.DB, conn *engine.Conn, exec, file string) int {
 	if exec != "" {
-		if err := run(conn, exec); err != nil {
+		if err := run(ctx, conn, exec); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			return 1
 		}
@@ -96,7 +115,7 @@ func session(db *engine.DB, conn *engine.Conn, exec, file string) int {
 			return 1
 		}
 		for _, stmt := range splitStatements(string(data)) {
-			if err := run(conn, stmt); err != nil {
+			if err := run(ctx, conn, stmt); err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
 				return 1
 			}
@@ -156,7 +175,7 @@ func session(db *engine.DB, conn *engine.Conn, exec, file string) int {
 		buf.WriteByte('\n')
 		if strings.Contains(line, ";") {
 			for _, stmt := range splitStatements(buf.String()) {
-				if err := run(conn, stmt); err != nil {
+				if err := run(ctx, conn, stmt); err != nil {
 					fmt.Fprintln(os.Stderr, "error:", err)
 				}
 			}
@@ -180,9 +199,9 @@ func splitStatements(src string) []string {
 // run prepares and executes one statement; SELECT results stream
 // through the cursor row by row. Ctrl-C cancels the statement (checked
 // at morsel boundaries in the parallel pipeline) without killing the
-// shell.
-func run(conn *engine.Conn, sql string) error {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+// shell; SIGTERM cancels it through the parent context.
+func run(parent context.Context, conn *engine.Conn, sql string) error {
+	ctx, stop := signal.NotifyContext(parent, os.Interrupt)
 	defer stop()
 
 	stmt, err := conn.Prepare(sql)

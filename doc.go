@@ -103,10 +103,17 @@
 // the covering fsync. Recovery loads the last checkpoint — an atomic
 // snapshot directory committed by renaming a CURRENT pointer — and
 // replays exactly the transactions whose commit record survived
-// intact, truncating the log at the first torn or corrupt record. A
-// failed fsync is never retried: the log poisons itself, writes fail,
-// and the Close-time checkpoint is refused, keeping the on-disk state
-// at the last point known durable. Delete tombstones are merged back
+// intact, truncating the log at the first torn or corrupt record. The
+// snapshot carries a wal_lsn watermark (the highest commit LSN it
+// contains), so the checkpoint's two durable steps — snapshot commit,
+// then log truncation — tolerate a crash between them: transactions
+// the snapshot already holds are skipped, never replayed twice, and
+// LSN numbering resumes above the watermark. A failed fsync is never
+// retried: the log poisons itself, writes fail, and the Close-time
+// checkpoint is refused, keeping the on-disk state at the last point
+// known durable; if the failure caught a statement already applied in
+// memory, the database is tainted and refuses reads too (DB.Err).
+// Delete tombstones are merged back
 // into clean main columns by a WAL-logged vacuum (background, or
 // DB.Vacuum), which re-qualifies the table for the vectorized scan
 // path. The log writes through a small filesystem interface whose

@@ -190,13 +190,23 @@ func Open(opts ...Option) (*DB, error) {
 		} else if flushEvery < 0 {
 			flushEvery = 0
 		}
+		// The snapshot's watermark guards the checkpoint's non-atomic
+		// save-then-truncate: a crash (or poisoned truncate) between the
+		// two leaves the new snapshot AND the full old WAL, so replay
+		// must skip every transaction the snapshot already contains.
+		// The same watermark floors the log's LSN numbering (BaseLSN) so
+		// post-checkpoint records can never reuse a skipped LSN.
+		watermark := sdb.AppliedLSN()
 		var txs []wal.Tx
 		lg, txs, err = wal.Open(fs, filepath.Join(o.Dir, "wal.log"),
-			wal.Params{FlushEvery: flushEvery, MaxBatch: o.GroupCommitBatch})
+			wal.Params{FlushEvery: flushEvery, MaxBatch: o.GroupCommitBatch, BaseLSN: watermark})
 		if err != nil {
 			return nil, fmt.Errorf("engine: open wal: %w", err)
 		}
 		for _, tx := range txs {
+			if tx.CommitLSN <= watermark {
+				continue // already in the checkpoint snapshot
+			}
 			if err := sdb.ApplyTx(tx); err != nil {
 				lg.Close()
 				return nil, fmt.Errorf("engine: wal replay: %w", err)
@@ -224,7 +234,10 @@ func Open(opts ...Option) (*DB, error) {
 
 // vacuumLoop periodically merges deltas and tombstones back into main
 // columns. Errors are ignored here on purpose: a poisoned WAL already
-// fails every write loudly, and vacuuming is an optimization.
+// fails every write loudly, and vacuuming is an optimization. A tick
+// with no tombstones anywhere costs one atomic load (Vacuum's fast
+// path) — no lock, no table scan — so running the loop for ephemeral
+// in-memory databases is effectively free.
 func (d *DB) vacuumLoop(every time.Duration) {
 	defer d.vacDone.Done()
 	t := time.NewTicker(every)
@@ -302,10 +315,17 @@ type WALStats struct {
 }
 
 // Err reports the database's sticky fatal state: non-nil once the WAL
-// has been poisoned by a failed fsync. A poisoned database keeps
-// serving reads; every write and the Close-time checkpoint are refused,
-// so the on-disk state stays at the last point known durable.
+// has been poisoned by a failed fsync, or once a statement's effects
+// were applied in memory but could not be made durable (the database is
+// then tainted: its memory holds writes their callers were told
+// failed). A poisoned-or-tainted database refuses every subsequent
+// statement — writes, reads, and the Close-time checkpoint — so neither
+// the on-disk state nor any reader can observe effects beyond the last
+// point known durable. Reopen to recover the durable prefix.
 func (d *DB) Err() error {
+	if err := d.sdb.Fatal(); err != nil {
+		return err
+	}
 	if d.wal == nil {
 		return nil
 	}
@@ -341,6 +361,12 @@ func (d *DB) checkOpen() error {
 	defer d.mu.Unlock()
 	if d.closed {
 		return fmt.Errorf("engine: database is closed")
+	}
+	// A tainted store (effects applied in memory, durability failed)
+	// refuses reads as well as writes: serving them would expose writes
+	// their callers were told did not commit.
+	if err := d.sdb.Fatal(); err != nil {
+		return fmt.Errorf("engine: %w", err)
 	}
 	return nil
 }

@@ -424,3 +424,245 @@ func BenchmarkGroupCommit(b *testing.B) {
 		})
 	}
 }
+
+// checkpointWindowWorkload makes duplicate replay detectable in every
+// way it can corrupt: a replayed CREATE errors Open, replayed INSERTs
+// duplicate rows, and replayed DELETEs (positions addressing the
+// pre-checkpoint layout) tombstone the wrong rows after the checkpoint
+// vacuum compacts positions.
+var checkpointWindowWorkload = []string{
+	"CREATE TABLE t (a INT, s TEXT)",
+	"INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'c'), (4, 'd')",
+	"DELETE FROM t WHERE a = 2",
+	"CREATE TABLE u (x INT)",
+	"INSERT INTO u VALUES (10), (20)",
+	"UPDATE t SET s = 'z' WHERE a = 4",
+}
+
+// TestCheckpointCrashBeforeTruncate exercises the window between a
+// checkpoint's two durable steps: the snapshot save commits (CURRENT
+// renamed) but the WAL truncation fails and the process dies. Recovery
+// then finds the NEW snapshot plus the FULL old log; the snapshot's
+// wal_lsn watermark must make it skip every logged transaction the
+// snapshot already contains instead of replaying it twice.
+func TestCheckpointCrashBeforeTruncate(t *testing.T) {
+	mfs := wal.NewMemFS()
+	dir := t.TempDir()
+	db, err := Open(durableOpts(dir, mfs)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range checkpointWindowWorkload {
+		mustExec(t, db, s)
+	}
+	// Every workload commit is durable; the NEXT sync — the checkpoint's
+	// log truncation (or the flush of its vacuum record, depending on
+	// committer timing; either lands inside the save-committed/
+	// truncate-pending window) — fails and poisons the log.
+	mfs.FailSyncsAfter(0, nil)
+	if err := db.Checkpoint(); err == nil {
+		t.Fatal("checkpoint with failing truncate sync returned nil")
+	}
+	db.Close() // poisoned: checkpoint refused; on-disk state stays put
+
+	// Power-cycle. The durable state is the committed snapshot plus the
+	// old WAL in full.
+	mfs.Crash()
+	mfs.FailSyncsAfter(-1, nil)
+	rec, err := Open(durableOpts(dir, mfs)...)
+	if err != nil {
+		t.Fatalf("recovery after checkpoint crash window: %v", err)
+	}
+	oracle, err := Open(WithVacuumEvery(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer oracle.Close()
+	for _, s := range checkpointWindowWorkload {
+		mustExec(t, oracle, s)
+	}
+	for _, table := range oracle.Tables() {
+		want := tableRows(t, oracle, table)
+		got := tableRows(t, rec, table)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("table %s after recovery:\n oracle %v\n got    %v", table, want, got)
+		}
+	}
+	if !reflect.DeepEqual(oracle.Tables(), rec.Tables()) {
+		t.Fatalf("tables: oracle %v, recovered %v", oracle.Tables(), rec.Tables())
+	}
+
+	// The recovered database must write, checkpoint, and survive another
+	// full cycle: post-recovery LSNs sit above the watermark, so nothing
+	// new is ever mistaken for already-checkpointed.
+	mustExec(t, rec, "INSERT INTO t VALUES (5, 'e')")
+	if err := rec.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, rec, "INSERT INTO t VALUES (6, 'f')")
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mfs.Crash()
+	rec2, err := Open(durableOpts(dir, mfs)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec2.Close()
+	mustExec(t, oracle, "INSERT INTO t VALUES (5, 'e')")
+	mustExec(t, oracle, "INSERT INTO t VALUES (6, 'f')")
+	if want, got := tableRows(t, oracle, "t"), tableRows(t, rec2, "t"); !reflect.DeepEqual(want, got) {
+		t.Fatalf("after second cycle:\n oracle %v\n got    %v", want, got)
+	}
+}
+
+// TestCheckpointWindowSweep kills the database at every record boundary
+// of the OLD log inside the checkpoint's crash window: the snapshot
+// save has committed (CURRENT renamed) but the WAL truncation never
+// reached disk, so recovery sees the new snapshot plus some durable
+// prefix of a log whose every transaction the snapshot already
+// contains. For every cut — torn tails included — the recovered state
+// must be exactly the checkpoint state: the watermark skips each
+// surviving transaction rather than replaying it onto its own effects.
+func TestCheckpointWindowSweep(t *testing.T) {
+	mfs := wal.NewMemFS()
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "wal.log")
+	db, err := Open(durableOpts(dir, mfs)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range checkpointWindowWorkload {
+		mustExec(t, db, s)
+	}
+	// The full old-log image, captured before the checkpoint truncates
+	// it: the bytes a crash inside the window would leave behind.
+	oldImage := mfs.Durable(walPath)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	want := func() [][]any {
+		oracle, err := Open(WithVacuumEvery(-1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer oracle.Close()
+		for _, s := range checkpointWindowWorkload {
+			mustExec(t, oracle, s)
+		}
+		return tableRows(t, oracle, "t")
+	}()
+
+	recs := wal.Dump(oldImage)
+	if len(recs) == 0 {
+		t.Fatal("old log image parsed to zero records")
+	}
+	cuts := []int64{0}
+	for _, r := range recs {
+		cuts = append(cuts, r.End)
+		if r.End-r.Off > 5 {
+			cuts = append(cuts, r.End-3) // torn tail inside this record
+		}
+	}
+	for _, cut := range cuts {
+		cut := cut
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			cfs := wal.NewMemFS()
+			cfs.Seed(walPath, oldImage[:cut])
+			rec, err := Open(durableOpts(dir, cfs)...)
+			if err != nil {
+				t.Fatalf("recovery at cut %d: %v", cut, err)
+			}
+			defer func() {
+				// This subtest's Close would checkpoint into the SHARED
+				// dir and perturb later cuts; poison it out instead.
+				cfs.FailSyncsAfter(0, nil)
+				rec.Close()
+			}()
+			if got := tableRows(t, rec, "t"); !reflect.DeepEqual(got, want) {
+				t.Fatalf("cut %d: recovered %v, want checkpoint state %v", cut, got, want)
+			}
+			if got := tableRows(t, rec, "u"); len(got) != 2 {
+				t.Fatalf("cut %d: table u has %d rows, want 2", cut, len(got))
+			}
+		})
+	}
+}
+
+// TestSaveMidRunThenCrash: an explicit Save (no WAL truncation at all)
+// moves the snapshot forward while the log keeps every record. A crash
+// after it must not replay the saved transactions onto the saved state.
+func TestSaveMidRunThenCrash(t *testing.T) {
+	mfs := wal.NewMemFS()
+	dir := t.TempDir()
+	db, err := Open(durableOpts(dir, mfs)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, "CREATE TABLE t (a INT)")
+	mustExec(t, db, "INSERT INTO t VALUES (1), (2)")
+	mustExec(t, db, "DELETE FROM t WHERE a = 1")
+	if err := db.Save(""); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, "INSERT INTO t VALUES (3)")
+	// Crash without Close: the first handle is abandoned mid-flight.
+	mfs.Crash()
+	rec, err := Open(durableOpts(dir, mfs)...)
+	if err != nil {
+		t.Fatalf("recovery after mid-run save: %v", err)
+	}
+	defer rec.Close()
+	want := [][]any{{int64(2)}, {int64(3)}}
+	if got := tableRows(t, rec, "t"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("rows = %v, want %v (saved txs must not replay twice)", got, want)
+	}
+}
+
+// TestDurabilityFailureTaintsDB: once a statement's effects are applied
+// in memory but its commit cannot be made durable, the database must
+// refuse READS too — serving them would expose a write the caller was
+// told failed.
+func TestDurabilityFailureTaintsDB(t *testing.T) {
+	mfs := wal.NewMemFS()
+	dir := t.TempDir()
+	db, err := Open(durableOpts(dir, mfs)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, "CREATE TABLE t (a INT)")
+	mustExec(t, db, "INSERT INTO t VALUES (1)")
+	mfs.FailSyncsAfter(0, nil)
+	if _, err := db.Exec(bg, "INSERT INTO t VALUES (2)"); err == nil {
+		t.Fatal("write with failing fsync returned nil")
+	}
+	// The failed write's row is in memory; reads must error rather than
+	// serve it.
+	if _, err := db.Query(bg, "SELECT * FROM t"); err == nil {
+		t.Fatal("read on tainted database returned nil")
+	}
+	if _, err := db.Conn().Prepare("SELECT a FROM t"); err == nil {
+		t.Fatal("prepare on tainted database returned nil")
+	}
+	if err := db.Err(); err == nil {
+		t.Fatal("Err() on tainted database = nil")
+	}
+	if err := db.Close(); err == nil {
+		t.Fatal("Close on tainted database checkpointed")
+	}
+
+	// Recovery serves exactly the acknowledged prefix, reads included.
+	mfs.Crash()
+	mfs.FailSyncsAfter(-1, nil)
+	rec, err := Open(durableOpts(dir, mfs)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if got := tableRows(t, rec, "t"); !reflect.DeepEqual(got, [][]any{{int64(1)}}) {
+		t.Fatalf("recovered rows = %v, want only the acknowledged insert", got)
+	}
+	mustExec(t, rec, "INSERT INTO t VALUES (5)")
+}

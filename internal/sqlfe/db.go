@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bat"
 	"repro/internal/mal"
@@ -29,6 +30,24 @@ type DB struct {
 	// the commit record. A poisoned log (failed fsync) makes every
 	// subsequent write error until the process reopens and recovers.
 	WAL *wal.Log
+
+	// appliedLSN is the highest WAL commit LSN whose effects are in the
+	// in-memory state: advanced by logTx and replay, persisted by Save as
+	// the snapshot's watermark, so recovery never replays a transaction
+	// the checkpoint already contains.
+	appliedLSN uint64
+
+	// fatal is the sticky taint: set when a statement's effects were
+	// applied in memory but its WAL append or durability wait failed —
+	// memory then holds writes the caller was told failed, so EVERY
+	// subsequent statement (reads included) errors until the process
+	// reopens and recovers from the durable prefix.
+	fatal error
+
+	// hasDeletes is a lock-free hint that some table carries delete
+	// tombstones, so the periodic background Vacuum can return without
+	// taking db.mu when there is nothing to merge.
+	hasDeletes atomic.Bool
 }
 
 // NewDB returns an empty database.
@@ -98,10 +117,36 @@ func (db *DB) ExecStmt(st Stmt) (*Result, error) {
 	}
 	if lsn > 0 {
 		if werr := db.WAL.WaitDurable(lsn); werr != nil {
+			// The statement's effects are already applied in memory but
+			// were never made durable: memory has diverged from what
+			// recovery will produce. Taint the database so no later
+			// statement (read or write) can observe the divergence.
+			db.taint(fmt.Errorf("commit at LSN %d not durable: %w", lsn, werr))
 			return nil, fmt.Errorf("sql: commit not durable: %w", werr)
 		}
 	}
 	return res, nil
+}
+
+// taint records a fatal in-memory/log divergence (see DB.fatal).
+func (db *DB) taint(err error) {
+	db.mu.Lock()
+	db.taintLocked(err)
+	db.mu.Unlock()
+}
+
+func (db *DB) taintLocked(err error) {
+	if db.fatal == nil {
+		db.fatal = err
+	}
+}
+
+// Fatal returns the sticky taint error, or nil while the in-memory
+// state is trustworthy.
+func (db *DB) Fatal() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.fatal
 }
 
 // execStmt applies the statement under db.mu and, for logged writes,
@@ -109,6 +154,9 @@ func (db *DB) ExecStmt(st Stmt) (*Result, error) {
 func (db *DB) execStmt(st Stmt) (*Result, uint64, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.fatal != nil {
+		return nil, 0, fmt.Errorf("sql: database tainted by durability failure: %w", db.fatal)
+	}
 	var (
 		res *Result
 		ops []wal.Op
@@ -141,9 +189,12 @@ func (db *DB) execStmt(st Stmt) (*Result, uint64, error) {
 	return res, lsn, nil
 }
 
-// walUsable refuses new writes on a poisoned log BEFORE any state
-// changes, keeping memory and log consistent.
+// walUsable refuses new writes on a tainted database or poisoned log
+// BEFORE any state changes, keeping memory and log consistent.
 func (db *DB) walUsable() error {
+	if db.fatal != nil {
+		return fmt.Errorf("sql: database tainted by durability failure: %w", db.fatal)
+	}
 	if db.WAL == nil {
 		return nil
 	}
@@ -154,16 +205,30 @@ func (db *DB) walUsable() error {
 }
 
 // logTx appends one committed statement's physical effects to the WAL
-// (no-op without one) and returns the commit LSN to wait on.
+// (no-op without one) and returns the commit LSN to wait on. Callers
+// apply the ops to memory BEFORE logging (under the same db.mu hold),
+// so an append failure means memory holds effects the log never will:
+// the database is tainted, not just this statement failed.
 func (db *DB) logTx(ops []wal.Op) (uint64, error) {
 	if db.WAL == nil || len(ops) == 0 {
 		return 0, nil
 	}
 	lsn, err := db.WAL.AppendTx(ops)
 	if err != nil {
+		db.taintLocked(fmt.Errorf("wal append failed after effects were applied: %w", err))
 		return 0, fmt.Errorf("sql: wal append: %w", err)
 	}
+	db.appliedLSN = lsn
 	return lsn, nil
+}
+
+// AppliedLSN returns the snapshot watermark: the highest WAL commit LSN
+// whose effects are in the in-memory state (persisted by Save, restored
+// by Load).
+func (db *DB) AppliedLSN() uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.appliedLSN
 }
 
 // walColTypes maps column types onto the WAL's type bytes.
@@ -193,6 +258,11 @@ func (db *DB) Query(sql string) (*Result, error) {
 		return nil, fmt.Errorf("sql: Query requires SELECT")
 	}
 	db.mu.Lock()
+	if db.fatal != nil {
+		err := db.fatal
+		db.mu.Unlock()
+		return nil, fmt.Errorf("sql: database tainted by durability failure: %w", err)
+	}
 	snap := db.snapshotLocked()
 	db.mu.Unlock()
 	return db.runSelect(sel, snap)
@@ -319,6 +389,7 @@ func (db *DB) execDelete(s *Delete) (*Result, []wal.Op, error) {
 		return nil, nil, err
 	}
 	t.deletePositions(pos)
+	db.hasDeletes.Store(true)
 	db.invalidate(s.Table)
 	return &Result{Affected: len(pos)}, []wal.Op{&wal.OpDelete{Table: s.Table, Pos: oidsToU64(pos)}}, nil
 }
@@ -375,6 +446,7 @@ func (db *DB) execUpdate(s *Update) (*Result, []wal.Op, error) {
 		return nil, nil, err
 	}
 	t.deletePositions(pos)
+	db.hasDeletes.Store(true)
 	for _, vals := range newRows {
 		t.appendVals(vals)
 	}

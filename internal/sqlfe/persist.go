@@ -31,6 +31,13 @@ import (
 
 type diskCatalog struct {
 	Tables []diskTable `json:"tables"`
+	// WalLSN is the checkpoint watermark: the highest WAL commit LSN
+	// whose effects this snapshot contains. Recovery skips replaying
+	// transactions at or below it — the crash window between a committed
+	// save and the WAL truncation would otherwise replay them twice.
+	// Absent (0) in pre-watermark snapshots, which never coexisted with
+	// a retained WAL.
+	WalLSN uint64 `json:"wal_lsn,omitempty"`
 }
 
 type diskTable struct {
@@ -61,7 +68,7 @@ func (db *DB) saveLocked(dir string) error {
 	if err := os.MkdirAll(tmp, 0o755); err != nil {
 		return err
 	}
-	var cat diskCatalog
+	cat := diskCatalog{WalLSN: db.appliedLSN}
 	for _, name := range db.tablesSortedLocked() {
 		t := db.tables[name]
 		dt := diskTable{Name: t.Name, Rows: t.NumRows()}
@@ -224,6 +231,7 @@ func Load(dir string) (*DB, error) {
 		return nil, fmt.Errorf("sql: corrupt catalog: %w", err)
 	}
 	db := NewDB()
+	db.appliedLSN = cat.WalLSN
 	for _, dt := range cat.Tables {
 		types := make([]ColType, len(dt.Types))
 		for i, ts := range dt.Types {

@@ -19,13 +19,18 @@ import (
 // state is byte-identical to the pre-crash state, independent of query
 // evaluation. Errors mean the log disagrees with the checkpoint (or is
 // corrupt in a way the checksums cannot see) and recovery must stop.
-func (db *DB) ApplyTx(ops []wal.Op) error {
+// The caller is responsible for skipping transactions the checkpoint
+// snapshot already contains (tx.CommitLSN <= the snapshot watermark).
+func (db *DB) ApplyTx(tx wal.Tx) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	for _, op := range ops {
+	for _, op := range tx.Ops {
 		if err := db.applyOpLocked(op); err != nil {
 			return err
 		}
+	}
+	if tx.CommitLSN > db.appliedLSN {
+		db.appliedLSN = tx.CommitLSN
 	}
 	return nil
 }
@@ -77,6 +82,7 @@ func (db *DB) applyOpLocked(op wal.Op) error {
 			pos[i] = bat.OID(p)
 		}
 		t.deletePositions(pos)
+		db.hasDeletes.Store(true)
 		db.invalidate(o.Table)
 	case *wal.OpVacuum:
 		t, ok := db.tables[o.Table]
@@ -113,9 +119,19 @@ func colTypesFromWAL(types []byte) ([]ColType, error) {
 // is WAL-logged as its own transaction: vacuuming shifts physical
 // positions, and later delete records address the post-vacuum layout.
 // It returns the number of tables vacuumed.
+//
+// The hasDeletes fast path makes the no-work case (the common one for
+// the periodic background vacuum) a single atomic load — no db.mu, no
+// table scan — so an idle database pays nothing for the ticker.
 func (db *DB) Vacuum() (int, error) {
+	if !db.hasDeletes.Load() {
+		return 0, nil
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	// Clear before scanning: deletes cannot arrive while db.mu is held,
+	// and any that arrive after the unlock re-set the flag themselves.
+	db.hasDeletes.Store(false)
 	n := 0
 	for _, name := range db.tablesSortedLocked() {
 		t := db.tables[name]
@@ -123,10 +139,12 @@ func (db *DB) Vacuum() (int, error) {
 			continue
 		}
 		if err := db.walUsable(); err != nil {
+			db.hasDeletes.Store(true) // tombstones remain unmerged
 			return n, err
 		}
 		db.vacuumTableLocked(t)
 		if _, err := db.logTx([]wal.Op{&wal.OpVacuum{Table: name}}); err != nil {
+			db.hasDeletes.Store(true)
 			return n, err
 		}
 		n++
@@ -158,6 +176,14 @@ func (db *DB) vacuumTableLocked(t *Table) {
 // in-memory vacuum first is what keeps WAL positions consistent: the
 // saved form has tombstoned positions dropped, so memory must drop
 // them too before post-checkpoint deletes are logged against it.
+//
+// Save and truncate are two separate durable steps; the snapshot's
+// wal_lsn watermark (written by saveLocked) is what makes the window
+// between them crash-safe: if the process dies — or the truncate fails
+// and poisons the log — after the CURRENT rename but before the log is
+// cut, recovery finds the new snapshot plus the full old WAL, and skips
+// every transaction with CommitLSN <= watermark instead of replaying it
+// onto a state that already contains its effects.
 func (db *DB) Checkpoint(dir string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -177,6 +203,7 @@ func (db *DB) Checkpoint(dir string) error {
 			return err
 		}
 	}
+	db.hasDeletes.Store(false) // every table was just merged clean
 	if err := db.saveLocked(dir); err != nil {
 		return err
 	}

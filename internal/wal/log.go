@@ -33,6 +33,13 @@ type Params struct {
 	// MaxBatch flushes without waiting for the window once this many
 	// records are pending. <= 0 means 128.
 	MaxBatch int
+	// BaseLSN is the checkpoint watermark of the snapshot this log
+	// accompanies: the highest LSN whose effects the snapshot already
+	// contains. LSN numbering resumes above max(BaseLSN, last record in
+	// the file), so a record appended after a checkpoint can never reuse
+	// an LSN the snapshot covers — recovery skips LSNs <= watermark, and
+	// a collision would silently drop a committed write.
+	BaseLSN uint64
 }
 
 // Stats count the log's committed work: transactions replayed at Open
@@ -101,6 +108,9 @@ func Open(fs FS, path string, p Params) (*Log, []Tx, error) {
 	if p.MaxBatch <= 0 {
 		p.MaxBatch = 128
 	}
+	if p.BaseLSN > lastLSN {
+		lastLSN = p.BaseLSN
+	}
 	l := &Log{
 		fs:         fs,
 		path:       path,
@@ -118,7 +128,7 @@ func Open(fs FS, path string, p Params) (*Log, []Tx, error) {
 	// "committed transactions in the log" whether appended or replayed.
 	l.stats.Txs = uint64(len(txs))
 	for _, tx := range txs {
-		l.stats.Records += uint64(len(tx)) + 2 // begin + ops + commit
+		l.stats.Records += uint64(len(tx.Ops)) + 2 // begin + ops + commit
 	}
 	l.cond = sync.NewCond(&l.mu)
 	go l.committer()

@@ -86,8 +86,13 @@ type OpVacuum struct{ Table string }
 
 func (*OpVacuum) op() {}
 
-// Tx is one committed transaction's ops, in order.
-type Tx []Op
+// Tx is one committed transaction: its ops, in order, and the LSN of
+// its commit record. Recovery uses the LSN to skip transactions already
+// covered by a checkpoint snapshot (the snapshot's watermark).
+type Tx struct {
+	CommitLSN uint64
+	Ops       []Op
+}
 
 // --- encoding ---
 
@@ -364,7 +369,7 @@ func Dump(data []byte) []RecInfo {
 // and the LSN of the last record inside that prefix.
 func parseLog(data []byte) (txs []Tx, goodEnd int64, lastLSN uint64) {
 	recs := Dump(data)
-	var cur Tx
+	var cur []Op
 	inTx := false
 	for _, r := range recs {
 		payload := data[r.Off+8 : r.End]
@@ -377,7 +382,7 @@ func parseLog(data []byte) (txs []Tx, goodEnd int64, lastLSN uint64) {
 				// A commit outside a transaction is corruption; stop here.
 				return txs, goodEnd, lastLSN
 			}
-			txs = append(txs, cur)
+			txs = append(txs, Tx{CommitLSN: r.LSN, Ops: cur})
 			cur, inTx = nil, false
 			goodEnd, lastLSN = r.End, r.LSN
 		default:

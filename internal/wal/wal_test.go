@@ -96,7 +96,7 @@ func TestRoundTrip(t *testing.T) {
 	if len(txs) != 2 {
 		t.Fatalf("recovered %d txs, want 2", len(txs))
 	}
-	if !opsEqual(txs[0], want) {
+	if !opsEqual(txs[0].Ops, want) {
 		t.Fatalf("tx 0 mismatch:\ngot  %#v\nwant %#v", txs[0], want)
 	}
 }
@@ -184,7 +184,7 @@ func TestTornTailTruncated(t *testing.T) {
 				t.Fatalf("after append: recovered %d txs, want %d", len(txs2), wantTxs+1)
 			}
 			last := txs2[len(txs2)-1]
-			if v, ok := last[0].(*OpVacuum); !ok || v.Table != "c" {
+			if v, ok := last.Ops[0].(*OpVacuum); !ok || v.Table != "c" {
 				t.Fatalf("last tx = %#v", last)
 			}
 		})
@@ -228,7 +228,7 @@ func TestUncommittedTailDropped(t *testing.T) {
 	if len(txs) != 1 {
 		t.Fatalf("recovered %d txs, want 1", len(txs))
 	}
-	if v := txs[0][0].(*OpVacuum); v.Table != "committed" {
+	if v := txs[0].Ops[0].(*OpVacuum); v.Table != "committed" {
 		t.Fatalf("tx 0 = %#v", txs[0])
 	}
 }
@@ -331,7 +331,7 @@ func TestFsyncFailurePoisons(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(txs) != 1 || txs[0][0].(*OpVacuum).Table != "good" {
+	if len(txs) != 1 || txs[0].Ops[0].(*OpVacuum).Table != "good" {
 		t.Fatalf("recovered %#v, want only the pre-failure tx", txs)
 	}
 }
@@ -408,7 +408,7 @@ func TestTruncateResets(t *testing.T) {
 	if len(txs) != 1 {
 		t.Fatalf("recovered %d txs, want 1 (post-truncate only)", len(txs))
 	}
-	if v := txs[0][0].(*OpVacuum); v.Table != "after" {
+	if v := txs[0].Ops[0].(*OpVacuum); v.Table != "after" {
 		t.Fatalf("tx = %#v", txs[0])
 	}
 }
@@ -444,5 +444,45 @@ func TestDumpOffsets(t *testing.T) {
 		if r.LSN != uint64(i+1) {
 			t.Fatalf("record %d has LSN %d", i, r.LSN)
 		}
+	}
+}
+
+// TestBaseLSNFloorsNumbering: opening an empty (checkpoint-truncated)
+// log with a snapshot watermark must resume LSN numbering above it —
+// otherwise a record appended after reopen would reuse an LSN the
+// snapshot covers and be skipped by the next recovery.
+func TestBaseLSNFloorsNumbering(t *testing.T) {
+	fs := NewMemFS()
+	l, txs, err := Open(fs, "wal.log", Params{BaseLSN: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txs) != 0 {
+		t.Fatalf("fresh log has %d txs", len(txs))
+	}
+	lsn, err := l.AppendTx([]Op{&OpVacuum{Table: "t"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 43 { // begin=41, op=42, commit=43
+		t.Fatalf("first commit LSN = %d, want 43", lsn)
+	}
+	if err := l.WaitDurable(lsn); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// A log whose records are already above the watermark keeps its own
+	// numbering (max of the two).
+	l2, txs, err := Open(fs, "wal.log", Params{BaseLSN: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(txs) != 1 || txs[0].CommitLSN != 43 {
+		t.Fatalf("recovered txs = %#v, want one with CommitLSN 43", txs)
+	}
+	if lsn, err = l2.AppendTx([]Op{&OpVacuum{Table: "u"}}); err != nil || lsn != 46 {
+		t.Fatalf("post-reopen commit LSN = %d (%v), want 46", lsn, err)
 	}
 }
