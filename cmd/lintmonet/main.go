@@ -1,0 +1,175 @@
+// Command lintmonet runs the engine's custom static-analysis suite
+// (internal/lint): nilsentinel, lockedcall, walcheck, hotpathmap and
+// ctxmorsel — the invariants PRs 1–6 introduced, machine-checked.
+//
+// Two modes:
+//
+//	lintmonet ./...                       # standalone, like staticcheck
+//	go vet -vettool=$(which lintmonet) ./...   # unitchecker protocol
+//
+// The vettool mode speaks the `go vet` driver protocol without
+// depending on golang.org/x/tools: go vet invokes the tool once with
+// -V=full (version fingerprint for result caching), once with -flags
+// (supported-flag discovery), and then once per package with a
+// JSON .cfg file naming the source files and the export data of every
+// dependency. Diagnostics go to stderr as file:line:col messages; a
+// non-zero exit fails the vet run, which is how CI gates on the suite.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	var cfgPath string
+	var patterns []string
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			return printVersion()
+		case a == "-flags" || a == "--flags":
+			// No tool-specific flags: report an empty flag set so the go
+			// command passes none through.
+			fmt.Println("[]")
+			return 0
+		case strings.HasSuffix(a, ".cfg"):
+			cfgPath = a
+		case strings.HasPrefix(a, "-"):
+			// Unknown driver flag (e.g. -json from a future go version):
+			// ignore rather than die, the .cfg argument carries the work.
+		default:
+			patterns = append(patterns, a)
+		}
+	}
+	if cfgPath != "" {
+		return runVetTool(cfgPath)
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	return runStandalone(patterns)
+}
+
+// printVersion implements `lintmonet -V=full`: the go command caches
+// vet results keyed by this line, so it must change whenever the tool
+// binary changes — hash the executable, the way cmd/compile's
+// objabi.AddVersionFlag does.
+func printVersion() int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lintmonet:", err)
+		return 1
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lintmonet:", err)
+		return 1
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintln(os.Stderr, "lintmonet:", err)
+		return 1
+	}
+	fmt.Printf("lintmonet version devel buildID=%x\n", h.Sum(nil)[:16])
+	return 0
+}
+
+// vetConfig is the subset of the go vet driver's per-package config
+// file that the suite needs.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+func runVetTool(cfgPath string) int {
+	blob, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lintmonet:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(blob, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "lintmonet: %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The driver expects the facts file regardless of outcome. The suite
+	// exports no cross-package facts, so it is always empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "lintmonet:", err)
+			return 1
+		}
+	}
+	// Dependencies are handed over for fact propagation only; with no
+	// facts there is nothing to do. Test-variant packages (ImportPath
+	// "pkg [pkg.test]") re-list the non-test files the base package run
+	// already covers — skip them rather than reporting everything twice.
+	if cfg.VetxOnly || strings.HasSuffix(cfg.ImportPath, "]") {
+		return 0
+	}
+	exports := make(map[string]string, len(cfg.PackageFile))
+	for path, file := range cfg.PackageFile {
+		exports[path] = file
+	}
+	// Source import paths may be aliases (vendoring); canonicalize.
+	for from, to := range cfg.ImportMap {
+		if from != to {
+			if file, ok := cfg.PackageFile[to]; ok {
+				exports[from] = file
+			}
+		}
+	}
+	pkg, err := lint.TypeCheck(cfg.ImportPath, cfg.GoFiles, exports)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "lintmonet:", err)
+		return 1
+	}
+	return report(lint.Run(pkg, lint.All()))
+}
+
+func runStandalone(patterns []string) int {
+	pkgs, err := lint.LoadPackages(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lintmonet:", err)
+		return 1
+	}
+	var all []lint.Diagnostic
+	for _, pkg := range pkgs {
+		all = append(all, lint.Run(pkg, lint.All())...)
+	}
+	return report(all)
+}
+
+func report(diags []lint.Diagnostic) int {
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	return 2
+}

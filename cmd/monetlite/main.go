@@ -44,7 +44,7 @@ func main() {
 	os.Exit(realMain())
 }
 
-func realMain() int {
+func realMain() (code int) {
 	exec := flag.String("e", "", "execute one statement and exit")
 	file := flag.String("f", "", "execute a script file")
 	dir := flag.String("d", "", "persist the database in this directory")
@@ -63,7 +63,16 @@ func realMain() int {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		return 1
 	}
-	defer db.Close()
+	// Close CHECKPOINTS a -d database; if that fails (e.g. a poisoned
+	// WAL after a failed fsync) the on-disk state is behind what the
+	// session acknowledged, and the shell must say so in its exit code —
+	// silently discarding the error would report durability we don't
+	// have. The session's own exit code wins when it is already nonzero.
+	defer func() {
+		if closeDB(db) != nil && code == 0 {
+			code = 1
+		}
+	}()
 	conn := db.Conn()
 
 	// SIGTERM (kill, systemd stop, container shutdown) must exit like a
@@ -83,8 +92,8 @@ func realMain() int {
 	done := make(chan int, 1)
 	go func() { done <- session(ctx, db, conn, *exec, *file) }()
 	select {
-	case code := <-done:
-		return code
+	case c := <-done:
+		return c
 	case <-sigterm:
 		fmt.Fprintln(os.Stderr, "terminated; closing database")
 		cancel()
@@ -184,6 +193,17 @@ func session(ctx context.Context, db *engine.DB, conn *engine.Conn, exec, file s
 		}
 	}
 	return 0
+}
+
+// closeDB closes db, reporting a failed close — a failed checkpoint on
+// a -d database — to stderr and returning the error so realMain can
+// turn it into a nonzero exit.
+func closeDB(db *engine.DB) error {
+	if err := db.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "error: close:", err)
+		return err
+	}
+	return nil
 }
 
 func splitStatements(src string) []string {

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/engine"
+	"repro/internal/wal"
+)
+
+// A failed Close on a -d database is a failed checkpoint: the on-disk
+// state is behind what the session acknowledged. closeDB must surface
+// that (realMain turns it into exit code 1) instead of discarding it
+// the way a bare `defer db.Close()` did.
+func TestCloseDBReportsCheckpointFailure(t *testing.T) {
+	fs := wal.NewMemFS()
+	db, err := engine.Open(engine.WithDir(t.TempDir()), engine.WithWALFS(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := db.Exec(ctx, `CREATE TABLE t (x INT)`); err != nil {
+		t.Fatal(err)
+	}
+	// Poison the log: the next fsync fails, every later durability
+	// operation — including Close's checkpoint — reports the poisoning.
+	injected := errors.New("injected disk failure")
+	fs.FailSyncsAfter(0, injected)
+	if _, err := db.Exec(ctx, `INSERT INTO t VALUES (1)`); err == nil {
+		t.Fatal("write after failed fsync should error")
+	}
+	err = closeDB(db)
+	if err == nil {
+		t.Fatal("closeDB after a poisoned WAL should report the failed checkpoint")
+	}
+	if !strings.Contains(err.Error(), "durability") {
+		t.Fatalf("closeDB = %v, want a durability-failure error", err)
+	}
+}
+
+func TestCloseDBCleanClose(t *testing.T) {
+	db, err := engine.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := closeDB(db); err != nil {
+		t.Fatalf("clean close = %v, want nil", err)
+	}
+}

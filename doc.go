@@ -128,4 +128,34 @@
 // skipped by aggregates, never matched by comparisons (including <>),
 // selected by IS [NOT] NULL, and rendered as SQL NULL by the engine
 // API and shell.
+//
+// # Invariants and static checks
+//
+// The conventions the layers above rely on are machine-checked by a
+// custom analyzer suite (internal/lint, driven by cmd/lintmonet),
+// which CI runs over the whole repository as `go vet -vettool`:
+//
+//   - nilsentinel — float nil is the canonical NaN, so `x == x` tricks
+//     and comparisons against bat.NilFloat()/math.NaN() are silently
+//     wrong; they must spell bat.IsNilFloat, and raw
+//     -9223372036854775808 / math.MinInt64 literals must spell
+//     bat.NilInt (NULL representation, PRs 2–3).
+//   - lockedcall — functions named *Locked document "caller holds the
+//     owning mutex"; calling one without a lexical Lock() or a *Locked
+//     enclosing function breaks the log-order-equals-apply-order
+//     guarantee (durability, PR 6).
+//   - walcheck — errors from fsync-bearing and checkpoint-owning calls
+//     (AppendTx, WaitDurable, Sync, Close/Truncate/Checkpoint/Vacuum/
+//     Save on WAL-owning types, os file mutations in the persistence
+//     layer) must be checked, never discarded (durability, PR 6).
+//   - hotpathmap — no Go maps or range-over-map in internal/radix,
+//     internal/vector, internal/batalg: the open-addressing tables
+//     replaced them for measured wins (joins PR 1, grouping PR 4).
+//   - ctxmorsel — every vector.Exchange carries a Ctx so cancellation
+//     reaches morsel boundaries (parallelism, PR 3).
+//
+// Run it locally with `go run ./cmd/lintmonet ./...` (or build once
+// and use `go vet -vettool=`). Intentional violations carry a
+// `//lint:ignore <analyzer> <justification>` comment; the
+// justification is mandatory.
 package repro

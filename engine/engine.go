@@ -44,6 +44,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -208,8 +209,11 @@ func Open(opts ...Option) (*DB, error) {
 				continue // already in the checkpoint snapshot
 			}
 			if err := sdb.ApplyTx(tx); err != nil {
-				lg.Close()
-				return nil, fmt.Errorf("engine: wal replay: %w", err)
+				err = fmt.Errorf("engine: wal replay: %w", err)
+				if cerr := lg.Close(); cerr != nil {
+					err = errors.Join(err, fmt.Errorf("engine: close wal after failed replay: %w", cerr))
+				}
+				return nil, err
 			}
 		}
 		sdb.WAL = lg
@@ -247,6 +251,7 @@ func (d *DB) vacuumLoop(every time.Duration) {
 		case <-d.vacQuit:
 			return
 		case <-t.C:
+			//lint:ignore walcheck vacuuming is an optimization: a failed tick leaves tombstones for the next one, and a poisoned WAL already fails every write loudly
 			d.sdb.Vacuum()
 		}
 	}

@@ -103,7 +103,7 @@ func TestCrashPointSweep(t *testing.T) {
 
 	cuts := []int64{0}
 	for _, r := range recs {
-		cuts = append(cuts, r.End)      // clean kill at a record boundary
+		cuts = append(cuts, r.End) // clean kill at a record boundary
 		if r.End-cuts[len(cuts)-2] > 5 {
 			cuts = append(cuts, r.End-3) // torn tail inside this record
 		}

@@ -22,7 +22,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer db.Close()
+	defer func() {
+		if err := db.Close(); err != nil {
+			log.Printf("close: %v", err)
+		}
+	}()
 
 	// DDL, database/sql-style.
 	if _, err := db.Exec(ctx, `CREATE TABLE orders (id INT, qty INT, price FLOAT)`); err != nil {

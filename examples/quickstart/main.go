@@ -65,7 +65,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer db.Close()
+	defer func() {
+		if err := db.Close(); err != nil {
+			log.Printf("close: %v", err)
+		}
+	}()
 	mustExec(ctx, db, "CREATE TABLE people (name TEXT, age INT)")
 	mustExec(ctx, db, "INSERT INTO people VALUES ('John Wayne', 1907), ('Roger Moore', 1927), ('Bob Fosse', 1927), ('Will Smith', 1968)")
 

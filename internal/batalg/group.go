@@ -229,7 +229,7 @@ func SumFloatCount(b *bat.BAT) (float64, int64) {
 	var s float64
 	var n int64
 	for _, v := range b.Floats() {
-		if v == v {
+		if !bat.IsNilFloat(v) {
 			s += v
 			n++
 		}
@@ -255,7 +255,7 @@ func CountNonNil(b *bat.BAT) int64 {
 		}
 	case b.TailType() == bat.TypeFloat:
 		for _, v := range b.Floats() {
-			if v == v {
+			if !bat.IsNilFloat(v) {
 				n++
 			}
 		}
@@ -328,7 +328,7 @@ func SumFloatPerGroup(vals *bat.BAT, g GroupResult) *bat.BAT {
 	ids := g.IDs.OIDs()
 	tail := vals.Floats()
 	for i, v := range tail {
-		if v == v {
+		if !bat.IsNilFloat(v) {
 			out[ids[i]] += v
 			seen[ids[i]] = true
 		}
@@ -393,7 +393,7 @@ func MinFloat(b *bat.BAT) (float64, bool) {
 	first := true
 	var m float64
 	for _, v := range b.Floats() {
-		if v != v {
+		if bat.IsNilFloat(v) {
 			continue
 		}
 		if first || v < m {
@@ -410,7 +410,7 @@ func MaxFloat(b *bat.BAT) (float64, bool) {
 	first := true
 	var m float64
 	for _, v := range b.Floats() {
-		if v != v {
+		if bat.IsNilFloat(v) {
 			continue
 		}
 		if first || v > m {
@@ -428,7 +428,7 @@ func MinFloatPerGroup(vals *bat.BAT, g GroupResult) *bat.BAT {
 	seen := make([]bool, g.NGroups)
 	ids := g.IDs.OIDs()
 	for i, v := range vals.Floats() {
-		if v != v {
+		if bat.IsNilFloat(v) {
 			continue
 		}
 		gid := ids[i]
@@ -452,7 +452,7 @@ func MaxFloatPerGroup(vals *bat.BAT, g GroupResult) *bat.BAT {
 	seen := make([]bool, g.NGroups)
 	ids := g.IDs.OIDs()
 	for i, v := range vals.Floats() {
-		if v != v {
+		if bat.IsNilFloat(v) {
 			continue
 		}
 		gid := ids[i]
@@ -488,7 +488,7 @@ func CountNonNilPerGroup(vals *bat.BAT, g GroupResult) *bat.BAT {
 		}
 	case vals.TailType() == bat.TypeFloat:
 		for i, v := range vals.Floats() {
-			if v == v {
+			if !bat.IsNilFloat(v) {
 				out[ids[i]]++
 			}
 		}
@@ -535,8 +535,8 @@ func Sort(b *bat.BAT) (*bat.BAT, *bat.BAT) {
 		// (NilInt = MinInt64) also sorts first.
 		sort.SliceStable(perm, func(i, j int) bool {
 			x, y := tail[perm[i]], tail[perm[j]]
-			if x != x {
-				return y == y
+			if bat.IsNilFloat(x) {
+				return !bat.IsNilFloat(y)
 			}
 			return x < y
 		})

@@ -90,21 +90,23 @@ func hashJoin(build, probe *bat.BAT) (*bat.BAT, *bat.BAT) {
 	return bat.FromOIDs(bout), bat.FromOIDs(pout)
 }
 
-// JoinStr equi-joins two string-tailed BATs via a dictionary map (strings
-// are rare in inner loops; MonetDB routes them through hash heaps).
+// JoinStr equi-joins two string-tailed BATs through an open-addressing
+// string table (radix.StrTable) built on the right side — the same
+// slot-array-plus-chain layout the int64 joins use, probed with a
+// cached hash compare before any string compare. Strings are rare in
+// inner loops (MonetDB routes them through hash heaps), but the index
+// still must not be a Go map: hotpathmap bans maps from this package.
 func JoinStr(l, r *bat.BAT) (*bat.BAT, *bat.BAT) {
-	idx := make(map[string][]int, r.Len())
-	for j := 0; j < r.Len(); j++ {
-		s := r.StrAt(j)
-		idx[s] = append(idx[s], j)
+	keys := make([]string, r.Len())
+	for j := range keys {
+		keys[j] = r.StrAt(j)
 	}
+	st := radix.BuildStrTable(keys)
 	var lout, rout []bat.OID
 	for i := 0; i < l.Len(); i++ {
-		if js, ok := idx[l.StrAt(i)]; ok {
-			for _, j := range js {
-				lout = append(lout, l.HSeq()+bat.OID(i))
-				rout = append(rout, r.HSeq()+bat.OID(j))
-			}
+		for j := st.First(l.StrAt(i)); j >= 0; j = st.Next(j) {
+			lout = append(lout, l.HSeq()+bat.OID(i))
+			rout = append(rout, r.HSeq()+bat.OID(j))
 		}
 	}
 	return bat.FromOIDs(lout), bat.FromOIDs(rout)

@@ -208,7 +208,7 @@ func ThetaSelectFloat(b *bat.BAT, op CmpOp, v float64) *bat.BAT {
 			// NaN is the float nil; x != v would keep it, but NULL <> v
 			// is unknown, not true. The other comparisons exclude NaN
 			// naturally (IEEE 754 orders nothing against it).
-			keep = x != v && x == x
+			keep = x != v && !bat.IsNilFloat(x)
 		case CmpLT:
 			keep = x < v
 		case CmpLE:
@@ -276,7 +276,7 @@ func SelectNil(b *bat.BAT) *bat.BAT {
 			break
 		}
 		for i, x := range b.Floats() {
-			if x != x {
+			if bat.IsNilFloat(x) {
 				out = append(out, hseq+bat.OID(i))
 			}
 		}
@@ -304,7 +304,7 @@ func SelectNotNil(b *bat.BAT) *bat.BAT {
 	case bat.TypeFloat:
 		if !b.Props().NoNil {
 			for i, x := range b.Floats() {
-				if x == x {
+				if !bat.IsNilFloat(x) {
 					out = append(out, hseq+bat.OID(i))
 				}
 			}

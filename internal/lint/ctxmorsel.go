@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxMorsel enforces the PR 3 cancellation contract: queries are
+// canceled at MORSEL boundaries — the MorselCursor stops handing out
+// morsels once its context is done, and every worker loop that
+// iterates MorselScan/MorselCursor winds down at its next claim. That
+// only works if the Exchange driving the cursor carries the context:
+// an Exchange built without Ctx produces a query that cannot be
+// canceled at all (Ctrl-C in monetlite, ctx in Conn.Query — both dead).
+//
+// Flags every vector.Exchange composite literal whose element list
+// does not set Ctx, unless the enclosing function later assigns
+// `<x>.Ctx = ...`. Bounded helpers that genuinely never need
+// cancellation (benchmark entry points) carry a //lint:ignore
+// ctxmorsel justification.
+var CtxMorsel = &Analyzer{
+	Name: "ctxmorsel",
+	Doc:  "every vector.Exchange must carry a Ctx so cancellation reaches morsel boundaries",
+	Run:  runCtxMorsel,
+}
+
+func runCtxMorsel(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			if !isExchangeType(p, lit) {
+				return true
+			}
+			for _, elt := range lit.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Ctx" {
+						return true
+					}
+				}
+			}
+			if ctxAssignedLater(f, lit) {
+				return true
+			}
+			p.Reportf(lit.Pos(), "vector.Exchange built without Ctx: cancellation cannot reach morsel boundaries; set Ctx (or justify with //lint:ignore ctxmorsel)")
+			return true
+		})
+	}
+}
+
+// isExchangeType reports whether lit constructs the morsel-parallel
+// Exchange type from internal/vector (matched by type name and
+// package name, so in-package uses and importers both qualify).
+func isExchangeType(p *Pass, lit *ast.CompositeLit) bool {
+	t := p.TypeOf(lit)
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Exchange" {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Name() == "vector"
+}
+
+// ctxAssignedLater reports whether the function enclosing lit assigns
+// to some `.Ctx` field after the literal — the two-step construction
+// `ex := &Exchange{...}; ex.Ctx = ctx`.
+func ctxAssignedLater(f *ast.File, lit *ast.CompositeLit) bool {
+	funcs := enclosingFuncs(f, lit.Pos())
+	if len(funcs) == 0 {
+		return false
+	}
+	assigned := false
+	ast.Inspect(funcs[len(funcs)-1], func(n ast.Node) bool {
+		if assigned {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Pos() < lit.End() {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if sel, ok := lhs.(*ast.SelectorExpr); ok && sel.Sel.Name == "Ctx" {
+				assigned = true
+			}
+		}
+		return !assigned
+	})
+	return assigned
+}

@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotPathMap guards the PR 1/4 performance wins: the Go map in the
+// join hash table (PR 1) and in grouping (PR 4) was deliberately
+// replaced by cache-conscious open-addressing tables in internal/radix
+// (7.3x join build, 3.0x grouping, 575→16 allocs). A map creeping back
+// into internal/radix, internal/vector, or internal/batalg regresses
+// those numbers silently — no test fails, the benchmarks just drift.
+//
+// Flags every map[...]... composite type (declarations, make calls,
+// literals, struct fields, signatures) and every range over a
+// map-typed value in those packages' non-test files.
+var HotPathMap = &Analyzer{
+	Name: "hotpathmap",
+	Doc:  "no Go maps on the radix/vector/batalg hot paths (open-addressing tables replaced them)",
+	Run:  runHotPathMap,
+}
+
+var hotPathPkgs = []string{
+	"internal/radix",
+	"internal/vector",
+	"internal/batalg",
+}
+
+func runHotPathMap(p *Pass) {
+	hot := false
+	for _, suffix := range hotPathPkgs {
+		if pathHasSuffix(p.Pkg.Path(), suffix) {
+			hot = true
+			break
+		}
+	}
+	if !hot {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.MapType:
+				p.Reportf(n.Pos(), "map type on a hot path: use the open-addressing tables in internal/radix (GroupTable/Table) instead")
+			case *ast.RangeStmt:
+				if t := p.TypeOf(n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						p.Reportf(n.Pos(), "range over a map on a hot path: iteration order is random and the map itself regresses the open-addressing design")
+					}
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,226 @@
+// Package lint is the engine's custom static-analysis suite: the
+// hand-rolled invariants that six PRs of review comments used to guard
+// ("never compare a float to the NaN sentinel directly", "*Locked
+// helpers run under db.mu", "durability errors are never discarded",
+// "no Go maps on the radix/vector/batalg hot paths", "every Exchange
+// carries a context") encoded as machine-checked analyzers.
+//
+// The framework is a deliberately small, dependency-free subset of
+// golang.org/x/tools/go/analysis (which this module cannot vendor):
+// an Analyzer inspects one type-checked package through a Pass and
+// reports Diagnostics. cmd/lintmonet drives the suite either
+// standalone (lintmonet ./...) or as a `go vet -vettool` unitchecker,
+// which is how CI runs it over the whole repository.
+//
+// Suppressions: a comment of the form
+//
+//	//lint:ignore <analyzer> <justification>
+//
+// on the offending line, or on the line directly above it, silences
+// that analyzer for that line. The justification is mandatory — an
+// ignore directive without one is itself reported, so every
+// intentional violation carries its reason in the source.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	Name string // short lower-case identifier, used in //lint:ignore
+	Doc  string // one-line description of the invariant it encodes
+	Run  func(*Pass)
+}
+
+// Pass carries one type-checked package through an Analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File // test files (_test.go) are excluded
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags       *[]Diagnostic
+	suppression map[suppressKey]*suppressDirective
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a violation at pos unless a justified
+// //lint:ignore directive covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if dir := p.suppressed(position); dir != nil {
+		dir.used = true
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf is a nil-safe p.Info.Types lookup.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+type suppressKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+type suppressDirective struct {
+	pos    token.Position
+	reason string
+	used   bool
+}
+
+var ignoreRe = regexp.MustCompile(`^//\s*lint:ignore\s+(\S+)\s*(.*)$`)
+
+// scanSuppressions indexes every //lint:ignore directive in the files.
+// A directive on line L covers diagnostics on L and L+1 (the usual
+// placement is the line above the violation).
+func scanSuppressions(fset *token.FileSet, files []*ast.File, diags *[]Diagnostic) map[suppressKey]*suppressDirective {
+	out := make(map[suppressKey]*suppressDirective)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				reason := strings.TrimSpace(m[2])
+				if reason == "" {
+					*diags = append(*diags, Diagnostic{
+						Pos:      pos,
+						Analyzer: "lint",
+						Message:  fmt.Sprintf("//lint:ignore %s directive without a justification", m[1]),
+					})
+					continue
+				}
+				for _, name := range strings.Split(m[1], ",") {
+					d := &suppressDirective{pos: pos, reason: reason}
+					out[suppressKey{pos.Filename, pos.Line, name}] = d
+					out[suppressKey{pos.Filename, pos.Line + 1, name}] = d
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (p *Pass) suppressed(pos token.Position) *suppressDirective {
+	if d, ok := p.suppression[suppressKey{pos.Filename, pos.Line, p.Analyzer.Name}]; ok {
+		return d
+	}
+	return nil
+}
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Run executes the analyzers over pkg and returns the surviving
+// diagnostics, sorted by position. Files ending in _test.go and files
+// under a testdata directory never produce diagnostics: the invariants
+// guard production code, and tests legitimately poke at internals.
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	files := make([]*ast.File, 0, len(pkg.Files))
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Package).Filename
+		if strings.HasSuffix(name, "_test.go") || strings.Contains(name, "/testdata/") {
+			continue
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil
+	}
+	supp := scanSuppressions(pkg.Fset, files, &diags)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:    a,
+			Fset:        pkg.Fset,
+			Files:       files,
+			Pkg:         pkg.Pkg,
+			Info:        pkg.Info,
+			diags:       &diags,
+			suppression: supp,
+		}
+		a.Run(pass)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		NilSentinel,
+		LockedCall,
+		WALCheck,
+		HotPathMap,
+		CtxMorsel,
+	}
+}
+
+// pathHasSuffix reports whether an import path ends in suffix at a
+// path-segment boundary ("repro/internal/bat" has suffix
+// "internal/bat" but "internal/combat" does not).
+func pathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// enclosingFuncs returns the stack of enclosing function nodes
+// (FuncDecl or FuncLit), innermost last, for the node at pos.
+func enclosingFuncs(f *ast.File, pos token.Pos) []ast.Node {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || pos < n.Pos() || pos >= n.End() {
+			return n == nil
+		}
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			stack = append(stack, n)
+		}
+		return true
+	})
+	return stack
+}

@@ -1,0 +1,221 @@
+package lint
+
+// The analysistest-style harness: each analyzer has a fixture package
+// under testdata/src/<name> whose lines carry `// want "regexp"`
+// comments naming the diagnostics they must produce; lines without a
+// want comment must stay silent. Fixtures import the real repro
+// packages (bat, vector) — the analyzers match them by name — and get
+// their hot-path/persistence scoping from the synthetic import path
+// each test passes ("lintfixture/internal/radix" and friends).
+//
+// lint.Run deliberately skips files under a testdata directory, so the
+// harness copies each fixture into a temp dir before type-checking it;
+// want-comment line numbers are unaffected (the copy is byte-
+// identical).
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var fixtureExports struct {
+	once sync.Once
+	m    map[string]string
+	err  error
+}
+
+// exportsForFixtures builds the importPath→exportData map fixtures
+// type-check against: the whole repo plus the std packages fixtures
+// import, straight out of `go list -export` (once per test binary).
+func exportsForFixtures(t *testing.T) map[string]string {
+	t.Helper()
+	fixtureExports.once.Do(func() {
+		listed, err := goList("../..", []string{"./...", "math", "os", "sync", "context"})
+		if err != nil {
+			fixtureExports.err = err
+			return
+		}
+		m := make(map[string]string, len(listed))
+		for _, p := range listed {
+			if p.Export != "" {
+				m[p.ImportPath] = p.Export
+			}
+		}
+		fixtureExports.m = m
+	})
+	if fixtureExports.err != nil {
+		t.Fatalf("loading export data: %v", fixtureExports.err)
+	}
+	return fixtureExports.m
+}
+
+// loadFixture copies testdata/src/<dir> into a temp dir and
+// type-checks it under pkgPath.
+func loadFixture(t *testing.T, dir, pkgPath string) *Package {
+	t.Helper()
+	src := filepath.Join("testdata", "src", dir)
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := t.TempDir()
+	var files []string
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := filepath.Join(tmp, e.Name())
+		if err := os.WriteFile(dst, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, dst)
+	}
+	pkg, err := TypeCheck(pkgPath, files, exportsForFixtures(t))
+	if err != nil {
+		t.Fatalf("typecheck fixture %s: %v", dir, err)
+	}
+	return pkg
+}
+
+type wantKey struct {
+	file string // base name
+	line int
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+var (
+	wantLineRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+	wantStrRe  = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+)
+
+// parseWants indexes every `// want "re" ["re" ...]` comment in the
+// fixture sources by (file, line).
+func parseWants(t *testing.T, dir string) map[wantKey][]*want {
+	t.Helper()
+	src := filepath.Join("testdata", "src", dir)
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[wantKey][]*want)
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantLineRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			key := wantKey{e.Name(), i + 1}
+			for _, q := range wantStrRe.FindAllString(m[1], -1) {
+				s, err := strconv.Unquote(q)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want string %s: %v", e.Name(), i+1, q, err)
+				}
+				out[key] = append(out[key], &want{re: regexp.MustCompile(s)})
+			}
+		}
+	}
+	return out
+}
+
+// runFixture runs analyzers over the fixture and checks the
+// diagnostics against its want comments, both directions.
+func runFixture(t *testing.T, analyzers []*Analyzer, dir, pkgPath string) {
+	t.Helper()
+	pkg := loadFixture(t, dir, pkgPath)
+	wants := parseWants(t, dir)
+	for _, d := range Run(pkg, analyzers) {
+		key := wantKey{filepath.Base(d.Pos.Filename), d.Pos.Line}
+		text := fmt.Sprintf("%s: %s", d.Analyzer, d.Message)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(text) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", key.file, key.line, text)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matched want %q", key.file, key.line, w.re)
+			}
+		}
+	}
+}
+
+func TestNilSentinelFixture(t *testing.T) {
+	runFixture(t, []*Analyzer{NilSentinel}, "nilsentinel", "lintfixture/nil")
+}
+
+func TestLockedCallFixture(t *testing.T) {
+	runFixture(t, []*Analyzer{LockedCall}, "lockedcall", "lintfixture/locked")
+}
+
+func TestWALCheckFixture(t *testing.T) {
+	runFixture(t, []*Analyzer{WALCheck}, "walcheck", "lintfixture/internal/sqlfe")
+}
+
+func TestHotPathMapFixture(t *testing.T) {
+	runFixture(t, []*Analyzer{HotPathMap}, "hotpathmap", "lintfixture/internal/radix")
+}
+
+func TestCtxMorselFixture(t *testing.T) {
+	runFixture(t, []*Analyzer{CtxMorsel}, "ctxmorsel", "lintfixture/ctx")
+}
+
+// A package off the hot paths and outside the persistence layer may
+// use maps and best-effort os calls freely.
+func TestPathScopedAnalyzersStaySilentElsewhere(t *testing.T) {
+	runFixture(t, []*Analyzer{HotPathMap, WALCheck}, "otherpkg", "lintfixture/other")
+}
+
+// The bat package defines the sentinels; nilsentinel must exempt it.
+// Reuse the nilsentinel fixture under a bat-suffixed import path: the
+// same sources that produce diagnostics above must produce none here.
+func TestNilSentinelExemptsBatPackage(t *testing.T) {
+	pkg := loadFixture(t, "nilsentinel", "lintfixture/internal/bat")
+	if diags := Run(pkg, []*Analyzer{NilSentinel}); len(diags) != 0 {
+		t.Fatalf("nilsentinel inside internal/bat reported %d diagnostics, want 0: %v", len(diags), diags)
+	}
+}
+
+// An ignore directive without a justification is itself reported, and
+// silences nothing.
+func TestSuppressionRequiresJustification(t *testing.T) {
+	pkg := loadFixture(t, "unjustified", "lintfixture/unjustified")
+	diags := Run(pkg, []*Analyzer{NilSentinel})
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (bare directive + unsuppressed violation): %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "without a justification") {
+		t.Errorf("first diagnostic = %v, want the bare-directive report", diags[0])
+	}
+	if diags[1].Analyzer != "nilsentinel" {
+		t.Errorf("second diagnostic = %v, want the still-live nilsentinel report", diags[1])
+	}
+}

@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// LockedCall enforces the db.mu protocol from PR 6: functions whose
+// name ends in "Locked" (snapshotLocked, taintLocked, saveLocked,
+// applyOpLocked, vacuumTableLocked, ...) document that the caller
+// holds the owning mutex. Log order equals apply order only while that
+// holds, so a *Locked call from an unlocked context is a silent
+// corruption path, not a crash.
+//
+// The check is lexical dataflow within one function: a call to
+// fooLocked is legal when the enclosing function (a) itself ends in
+// "Locked" — its own caller holds the lock — or (b) contains a
+// `<expr>.Lock()` call textually before the *Locked call. Function
+// literals do not inherit their enclosing function's lock: a closure
+// typically outlives the critical section (goroutines, defers), so a
+// FuncLit must take the lock itself or carry a justified suppression.
+var LockedCall = &Analyzer{
+	Name: "lockedcall",
+	Doc:  "*Locked functions may only be called while the owning mutex is held",
+	Run:  runLockedCall,
+}
+
+func runLockedCall(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := calleeName(call)
+			if !strings.HasSuffix(name, "Locked") {
+				return true
+			}
+			funcs := enclosingFuncs(f, call.Pos())
+			if len(funcs) == 0 {
+				return true // package-level var initializer; no lock to hold
+			}
+			innermost := funcs[len(funcs)-1]
+			if decl, ok := innermost.(*ast.FuncDecl); ok {
+				if strings.HasSuffix(decl.Name.Name, "Locked") {
+					return true
+				}
+			}
+			if locksBefore(innermost, call) {
+				return true
+			}
+			p.Reportf(call.Pos(), "%s called without holding the mutex: take <mu>.Lock() first or call from a *Locked function", name)
+			return true
+		})
+	}
+}
+
+// calleeName extracts the called function's bare name.
+func calleeName(call *ast.CallExpr) string {
+	switch fn := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// locksBefore reports whether fn's body contains a `<expr>.Lock()`
+// call positioned before target. An intervening Unlock() before the
+// target does NOT reset the check — the common shape here is
+// Lock + defer Unlock, and finer lifetimes are what suppressions with
+// justification are for.
+func locksBefore(fn ast.Node, target *ast.CallExpr) bool {
+	var body *ast.BlockStmt
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		body = fn.Body
+	case *ast.FuncLit:
+		body = fn.Body
+	}
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found || (n != nil && n.Pos() >= target.Pos()) {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Lock" && len(call.Args) == 0 {
+			// Don't credit a Lock inside a nested FuncLit that merely
+			// appears earlier in the source: it runs on its own schedule.
+			if !insideNestedFuncLit(body, call, target) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// insideNestedFuncLit reports whether call sits in a FuncLit nested in
+// body that does not also contain the target.
+func insideNestedFuncLit(body *ast.BlockStmt, call, target *ast.CallExpr) bool {
+	nested := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil || nested {
+			return false
+		}
+		if lit, ok := n.(*ast.FuncLit); ok {
+			containsCall := call.Pos() >= lit.Pos() && call.End() <= lit.End()
+			containsTarget := target.Pos() >= lit.Pos() && target.End() <= lit.End()
+			if containsCall && !containsTarget {
+				nested = true
+				return false
+			}
+		}
+		return true
+	})
+	return nested
+}

@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NilSentinel enforces the nil-sentinel discipline from PRs 2–3: the
+// float NULL is the canonical NaN, which compares unequal to
+// everything — so `x == bat.NilFloat()` is ALWAYS false and `x != x`
+// is an unreadable raw NaN test. Both must go through bat.IsNilFloat.
+// Likewise the int NULL is bat.NilInt; a raw -9223372036854775808 (or
+// math.MinInt64) literal standing in for it hides the sentinel from
+// readers and from this checker.
+//
+// The bat package itself is exempt: it defines the sentinels.
+var NilSentinel = &Analyzer{
+	Name: "nilsentinel",
+	Doc:  "NaN/float-nil comparisons must use bat.IsNilFloat; int nils must spell bat.NilInt",
+	Run:  runNilSentinel,
+}
+
+func runNilSentinel(p *Pass) {
+	if pathHasSuffix(p.Pkg.Path(), "internal/bat") {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				p.checkNilCompare(n)
+			case *ast.UnaryExpr:
+				if n.Op == token.SUB {
+					if lit, ok := n.X.(*ast.BasicLit); ok && lit.Kind == token.INT && lit.Value == "9223372036854775808" {
+						p.Reportf(n.Pos(), "raw -9223372036854775808 literal: spell the int nil sentinel as bat.NilInt")
+					}
+				}
+			case *ast.SelectorExpr:
+				if isPkgSel(p, n, "math", "MinInt64") {
+					p.Reportf(n.Pos(), "math.MinInt64 used outside internal/bat: if this means the int nil sentinel, spell it bat.NilInt")
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (p *Pass) checkNilCompare(e *ast.BinaryExpr) {
+	if e.Op != token.EQL && e.Op != token.NEQ {
+		return
+	}
+	// x == x / x != x on a float operand is a raw NaN (float nil) test.
+	if isFloat(p.TypeOf(e.X)) && sameExpr(e.X, e.Y) {
+		p.Reportf(e.Pos(), "float self-comparison is a raw NaN test: use bat.IsNilFloat(%s)", types.ExprString(e.X))
+		return
+	}
+	// Comparing against bat.NilFloat() or math.NaN() is silently wrong:
+	// NaN compares unequal to everything, including itself.
+	for _, side := range []ast.Expr{e.X, e.Y} {
+		if call, ok := unparen(side).(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if isPkgSel(p, sel, "bat", "NilFloat") || isPkgSel(p, sel, "math", "NaN") {
+					p.Reportf(e.Pos(), "comparison with %s is always %v (NaN never compares equal): use bat.IsNilFloat", types.ExprString(side), e.Op == token.NEQ)
+					return
+				}
+			}
+		}
+	}
+}
+
+// isPkgSel reports whether sel is a reference to <pkgName>.<name>,
+// where pkgName is the package's short name (matching by name, not
+// path, so testdata stubs and the real package both match).
+func isPkgSel(p *Pass, sel *ast.SelectorExpr, pkgName, name string) bool {
+	if sel.Sel.Name != name {
+		return false
+	}
+	obj := p.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Name() == pkgName
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// sameExpr reports whether two expressions are syntactically
+// identical simple expressions (idents, selectors, index expressions)
+// — the shapes the raw-NaN-test idiom takes.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func sameExpr(a, b ast.Expr) bool {
+	a, b = unparen(a), unparen(b)
+	switch x := a.(type) {
+	case *ast.Ident:
+		y, ok := b.(*ast.Ident)
+		return ok && x.Name == y.Name
+	case *ast.SelectorExpr:
+		y, ok := b.(*ast.SelectorExpr)
+		return ok && x.Sel.Name == y.Sel.Name && sameExpr(x.X, y.X)
+	case *ast.IndexExpr:
+		y, ok := b.(*ast.IndexExpr)
+		return ok && sameExpr(x.X, y.X) && sameExpr(x.Index, y.Index)
+	case *ast.BasicLit:
+		y, ok := b.(*ast.BasicLit)
+		return ok && x.Kind == y.Kind && x.Value == y.Value
+	}
+	return false
+}

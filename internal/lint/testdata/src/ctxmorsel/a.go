@@ -1,0 +1,28 @@
+// Fixture for the ctxmorsel analyzer: every vector.Exchange must carry
+// a Ctx, set in the literal or assigned before use.
+package fixture
+
+import (
+	"context"
+
+	"repro/internal/vector"
+)
+
+func bad(src *vector.Source) *vector.Exchange {
+	return &vector.Exchange{Source: src, Workers: 2} // want "built without Ctx"
+}
+
+func good(ctx context.Context, src *vector.Source) *vector.Exchange {
+	return &vector.Exchange{Source: src, Workers: 2, Ctx: ctx} // ok: Ctx in the literal
+}
+
+func twoStep(ctx context.Context, src *vector.Source) *vector.Exchange {
+	ex := &vector.Exchange{Source: src} // ok: Ctx assigned below
+	ex.Ctx = ctx
+	return ex
+}
+
+func justified(src *vector.Source) *vector.Exchange {
+	//lint:ignore ctxmorsel bounded fixture plan with no cancellation surface
+	return &vector.Exchange{Source: src}
+}

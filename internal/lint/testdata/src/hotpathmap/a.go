@@ -1,0 +1,27 @@
+// Fixture for the hotpathmap analyzer: the package path ends in
+// internal/radix, so Go maps and range-over-map are banned.
+package radix
+
+type cache struct {
+	m map[string]int // want "map type on a hot path"
+}
+
+func build(keys []int64) int {
+	idx := make(map[int64]int, len(keys)) // want "map type on a hot path"
+	for i, k := range keys {              // ok: range over a slice
+		idx[k] = i
+	}
+	n := 0
+	for range idx { // want "range over a map on a hot path"
+		n++
+	}
+	return n
+}
+
+func ok(keys []int64) int {
+	n := 0
+	for range keys { // ok: slice iteration
+		n++
+	}
+	return n
+}

@@ -1,0 +1,50 @@
+// Fixture for the lockedcall analyzer: *Locked helpers require the
+// owning mutex, established lexically or by a *Locked enclosing
+// function; function literals never inherit the lock.
+package fixture
+
+import "sync"
+
+type store struct {
+	mu   sync.Mutex
+	vals []int
+}
+
+func (s *store) appendLocked(v int) { s.vals = append(s.vals, v) }
+
+func (s *store) Add(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.appendLocked(v) // ok: lock taken above
+}
+
+func (s *store) AddBroken(v int) {
+	s.appendLocked(v) // want "appendLocked called without holding the mutex"
+}
+
+func (s *store) drainLocked() []int {
+	s.appendLocked(0) // ok: the enclosing function is itself *Locked
+	return s.vals
+}
+
+func (s *store) AddAsync(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.appendLocked(v) // want "appendLocked called without holding the mutex"
+	}()
+}
+
+func (s *store) AddOwnLock(v int) {
+	f := func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.appendLocked(v) // ok: the literal takes the lock itself
+	}
+	f()
+}
+
+func (s *store) AddJustified(v int) {
+	//lint:ignore lockedcall single-threaded construction, no concurrent access yet
+	s.appendLocked(v)
+}

@@ -1,0 +1,43 @@
+// Fixture for the nilsentinel analyzer: raw NaN tests and raw int-nil
+// literals must go through the bat sentinels.
+package fixture
+
+import (
+	"math"
+
+	"repro/internal/bat"
+)
+
+func floats(x, y float64, col []float64) bool {
+	if x != x { // want "float self-comparison is a raw NaN test"
+		return true
+	}
+	if col[0] == col[0] { // want "float self-comparison is a raw NaN test"
+		return false
+	}
+	if x == bat.NilFloat() { // want "NaN never compares equal"
+		return true
+	}
+	if x != math.NaN() { // want "NaN never compares equal"
+		return true
+	}
+	if bat.IsNilFloat(x) { // ok: the blessed spelling
+		return true
+	}
+	return x == y // ok: different operands
+}
+
+func ints(i int64) bool {
+	if i == i { // ok: int self-comparison is not a NaN test
+		_ = i
+	}
+	bad := int64(-9223372036854775808) // want "spell the int nil sentinel as bat.NilInt"
+	worse := int64(math.MinInt64)      // want "math.MinInt64 used outside internal/bat"
+	good := bat.NilInt                 // ok: the blessed spelling
+	return bad == worse && good == i
+}
+
+func suppressed(x float64) bool {
+	//lint:ignore nilsentinel exercising the suppression machinery
+	return x != x
+}

@@ -1,0 +1,18 @@
+// Negative fixture: a package that is neither on a hot path nor in
+// the persistence layer. Maps and unchecked os calls are fine here —
+// hotpathmap and walcheck's os rule must stay silent.
+package fixture
+
+import "os"
+
+func untracked(keys []string) map[string]int {
+	idx := make(map[string]int, len(keys)) // ok: not a hot-path package
+	for i, k := range keys {
+		idx[k] = i
+	}
+	for range idx { // ok: not a hot-path package
+		break
+	}
+	os.Remove("scratch") // ok: not the persistence layer
+	return idx
+}

@@ -1,0 +1,8 @@
+// Fixture for the suppression machinery: an ignore directive without a
+// justification is itself a violation, and does not silence anything.
+package fixture
+
+func raw(x float64) bool {
+	//lint:ignore nilsentinel
+	return x != x
+}

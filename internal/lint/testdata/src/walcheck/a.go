@@ -1,0 +1,52 @@
+// Fixture for the walcheck analyzer: durability-path errors must be
+// checked. The package is named sqlfe and sits under a path ending in
+// internal/sqlfe, so both the DB-receiver rule and the persistence-
+// layer os rule are active.
+package sqlfe
+
+import "os"
+
+type DB struct{}
+
+func (*DB) Close() error      { return nil }
+func (*DB) Checkpoint() error { return nil }
+
+type flusher struct{}
+
+func (flusher) Sync() error                      { return nil }
+func (flusher) AppendTx(x []int) (uint64, error) { return 0, nil }
+
+func bad(db *DB, f flusher) {
+	db.Close()             // want "Close error discarded"
+	defer db.Checkpoint()  // want "Checkpoint error discarded"
+	f.Sync()               // want "Sync error discarded"
+	_, _ = f.AppendTx(nil) // want "AppendTx error assigned to _"
+	_ = db.Close()         // want "Close error assigned to _"
+	os.Remove("x")         // want "os.Remove error discarded"
+	os.RemoveAll("x")      // want "os.RemoveAll error discarded"
+}
+
+func good(db *DB, f flusher) error {
+	if err := db.Close(); err != nil { // ok: checked
+		return err
+	}
+	if err := os.Rename("a", "b"); err != nil { // ok: checked
+		return err
+	}
+	lsn, err := f.AppendTx(nil) // ok: error captured
+	_ = lsn
+	return err
+}
+
+type other struct{}
+
+func (other) Close() error { return nil }
+
+func okNonOwner(o other) {
+	o.Close() // ok: not a durability-owning type
+}
+
+func justified() {
+	//lint:ignore walcheck best-effort cleanup, a failure here cannot lose committed state
+	os.Remove("tmp")
+}

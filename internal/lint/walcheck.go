@@ -1,0 +1,191 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WALCheck enforces the durability-error discipline from PR 6: an
+// error from the WAL/checkpoint path is a broken durability promise
+// and must be routed to the taint/poison path — never discarded. The
+// fsyncgate lesson (and the PR 6 review's durability-taint fix) is
+// that a dropped fsync error silently acknowledges commits the disk
+// never saw.
+//
+// Flagged calls, when their error result is discarded (expression
+// statement, defer/go statement, or assigned to the blank
+// identifier):
+//
+//   - AppendTx, WaitDurable, Sync, Fsync — on any receiver: these are
+//     the fsync-bearing operations wherever they appear.
+//   - Close, Truncate, Checkpoint, Vacuum, Save — when the receiver is
+//     a durability-owning type: wal.Log, the engine DB, or the sqlfe
+//     DB (Close checkpoints; Truncate discards the log).
+//   - os.Remove / os.RemoveAll / os.Rename — inside internal/sqlfe and
+//     internal/wal only (the persistence layer, where a failed rename
+//     is a failed commit point). Best-effort cleanup sites carry a
+//     //lint:ignore walcheck justification.
+var WALCheck = &Analyzer{
+	Name: "walcheck",
+	Doc:  "durability-path errors (WAL append/fsync/checkpoint) must be checked, never discarded",
+	Run:  runWALCheck,
+}
+
+// fsyncBearing methods are flagged on any receiver type.
+var fsyncBearing = map[string]bool{
+	"AppendTx":    true,
+	"WaitDurable": true,
+	"Sync":        true,
+	"Fsync":       true,
+}
+
+// durabilityOwner methods are flagged only on the durability-owning
+// named types.
+var durabilityOwner = map[string]bool{
+	"Close":      true,
+	"Truncate":   true,
+	"Checkpoint": true,
+	"Vacuum":     true,
+	"Save":       true,
+}
+
+func runWALCheck(p *Pass) {
+	inPersistLayer := pathHasSuffix(p.Pkg.Path(), "internal/sqlfe") || pathHasSuffix(p.Pkg.Path(), "internal/wal")
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = unparen(n.X).(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = n.Call
+			case *ast.GoStmt:
+				call = n.Call
+			case *ast.AssignStmt:
+				p.checkBlankAssign(n, inPersistLayer)
+				return true
+			}
+			if call == nil {
+				return true
+			}
+			if name, why := p.durabilityCall(call, inPersistLayer); name != "" {
+				p.Reportf(call.Pos(), "%s error discarded: %s", name, why)
+			}
+			return true
+		})
+	}
+}
+
+// checkBlankAssign flags `_ = call()` and `x, _ := call()` shapes
+// where the blank identifier swallows a durability call's error.
+func (p *Pass) checkBlankAssign(n *ast.AssignStmt, inPersistLayer bool) {
+	if len(n.Rhs) == 0 {
+		return
+	}
+	// Single call on the RHS: the error is the call's last result; it
+	// lands in the last LHS position.
+	if len(n.Rhs) == 1 {
+		call, ok := unparen(n.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if name, why := p.durabilityCall(call, inPersistLayer); name != "" {
+			if id, ok := n.Lhs[len(n.Lhs)-1].(*ast.Ident); ok && id.Name == "_" {
+				p.Reportf(n.Pos(), "%s error assigned to _: %s", name, why)
+			}
+		}
+		return
+	}
+	// Parallel assignment: position i maps RHS to LHS directly.
+	for i, rhs := range n.Rhs {
+		call, ok := unparen(rhs).(*ast.CallExpr)
+		if !ok || i >= len(n.Lhs) {
+			continue
+		}
+		if name, why := p.durabilityCall(call, inPersistLayer); name != "" {
+			if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+				p.Reportf(n.Pos(), "%s error assigned to _: %s", name, why)
+			}
+		}
+	}
+}
+
+// durabilityCall classifies call; it returns the display name and the
+// reason it matters, or "" when the call is not durability-bearing or
+// returns no error.
+func (p *Pass) durabilityCall(call *ast.CallExpr, inPersistLayer bool) (string, string) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	name := sel.Sel.Name
+	if !p.returnsError(call) {
+		return "", ""
+	}
+	// Package-qualified function call (sel.X names an imported package)?
+	if id, ok := unparen(sel.X).(*ast.Ident); ok {
+		if pkg, isPkg := p.Info.Uses[id].(*types.PkgName); isPkg {
+			if pkg.Imported().Path() == "os" && inPersistLayer &&
+				(name == "Remove" || name == "RemoveAll" || name == "Rename") {
+				return "os." + name, "a failed file mutation in the persistence layer can lose the commit point"
+			}
+			if fsyncBearing[name] {
+				return pkg.Name() + "." + name, "fsync-bearing call; route the error to the taint/poison path"
+			}
+			return "", ""
+		}
+	}
+	if fsyncBearing[name] {
+		return name, "fsync-bearing call; route the error to the taint/poison path"
+	}
+	if durabilityOwner[name] && p.recvIsDurabilityOwner(sel) {
+		return name, "the receiver owns durability state (checkpoint/WAL); its error means a broken durability promise"
+	}
+	return "", ""
+}
+
+// recvIsDurabilityOwner reports whether the method receiver is one of
+// the durability-owning named types: wal.Log, or a type named DB in a
+// package named engine or sqlfe (matched by name so testdata stubs and
+// the real packages both qualify).
+func (p *Pass) recvIsDurabilityOwner(sel *ast.SelectorExpr) bool {
+	t := p.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkgName := named.Obj().Pkg().Name()
+	typeName := named.Obj().Name()
+	switch {
+	case pkgName == "wal" && typeName == "Log":
+		return true
+	case (pkgName == "engine" || pkgName == "sqlfe") && typeName == "DB":
+		return true
+	}
+	return false
+}
+
+// returnsError reports whether call's last result is of type error.
+func (p *Pass) returnsError(call *ast.CallExpr) bool {
+	t := p.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	switch t := t.(type) {
+	case *types.Tuple:
+		return t.Len() > 0 && isErrorType(t.At(t.Len()-1).Type())
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

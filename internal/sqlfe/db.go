@@ -32,7 +32,7 @@ type DB struct {
 	WAL *wal.Log
 
 	// appliedLSN is the highest WAL commit LSN whose effects are in the
-	// in-memory state: advanced by logTx and replay, persisted by Save as
+	// in-memory state: advanced by logTxLocked and replay, persisted by Save as
 	// the snapshot's watermark, so recovery never replays a transaction
 	// the checkpoint already contains.
 	appliedLSN uint64
@@ -182,7 +182,7 @@ func (db *DB) execStmt(st Stmt) (*Result, uint64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	lsn, err := db.logTx(ops)
+	lsn, err := db.logTxLocked(ops)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -204,12 +204,12 @@ func (db *DB) walUsable() error {
 	return nil
 }
 
-// logTx appends one committed statement's physical effects to the WAL
+// logTxLocked appends one committed statement's physical effects to the WAL
 // (no-op without one) and returns the commit LSN to wait on. Callers
 // apply the ops to memory BEFORE logging (under the same db.mu hold),
 // so an append failure means memory holds effects the log never will:
 // the database is tainted, not just this statement failed.
-func (db *DB) logTx(ops []wal.Op) (uint64, error) {
+func (db *DB) logTxLocked(ops []wal.Op) (uint64, error) {
 	if db.WAL == nil || len(ops) == 0 {
 		return 0, nil
 	}

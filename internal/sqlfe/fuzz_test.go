@@ -1,0 +1,35 @@
+package sqlfe
+
+import (
+	"testing"
+)
+
+// FuzzParseSQL throws arbitrary statement text at the parser: it must
+// return a statement or an error, never panic, on any input — the
+// shell and the engine API feed it user text verbatim.
+func FuzzParseSQL(f *testing.F) {
+	for _, seed := range []string{
+		`CREATE TABLE t (x INT, f FLOAT, s TEXT)`,
+		`INSERT INTO t VALUES (1, 2.5, 'a'), (-1, 0.0, '')`,
+		`SELECT x, f FROM t WHERE x >= 10 AND f < 3.5`,
+		`SELECT s, COUNT(*), SUM(f) FROM t GROUP BY s ORDER BY s LIMIT 5`,
+		`SELECT * FROM a JOIN b ON a.x = b.y`,
+		`DELETE FROM t WHERE x = ?`,
+		`DROP TABLE t`,
+		`SELECT MIN(f), MAX(f), AVG(f) FROM t WHERE s <> 'x' OR NOT (x IN (1, 2))`,
+		`select null, 'it''s', 1e10, .5 from t`,
+		`SELECT ((((((1))))))`,
+		"SELECT x -- comment\nFROM t",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := Parse(src)
+		if err == nil && stmt == nil {
+			t.Fatalf("Parse(%q) returned neither a statement nor an error", src)
+		}
+		if err != nil && err.Error() == "" {
+			t.Fatalf("Parse(%q): error with empty message", src)
+		}
+	})
+}

@@ -109,10 +109,12 @@ func (db *DB) saveLocked(dir string) error {
 	if entries, err := os.ReadDir(dir); err == nil {
 		for _, e := range entries {
 			if e.IsDir() && strings.HasPrefix(e.Name(), "snap-") && e.Name() != snap {
+				//lint:ignore walcheck best-effort GC of superseded snapshots; the new snapshot is already durable and CURRENT points at it
 				os.RemoveAll(filepath.Join(dir, e.Name()))
 			}
 		}
 	}
+	//lint:ignore walcheck best-effort removal of the legacy flat catalog; recovery ignores it once CURRENT exists
 	os.Remove(filepath.Join(dir, "catalog.json"))
 	return nil
 }

@@ -143,7 +143,7 @@ func (db *DB) Vacuum() (int, error) {
 			return n, err
 		}
 		db.vacuumTableLocked(t)
-		if _, err := db.logTx([]wal.Op{&wal.OpVacuum{Table: name}}); err != nil {
+		if _, err := db.logTxLocked([]wal.Op{&wal.OpVacuum{Table: name}}); err != nil {
 			db.hasDeletes.Store(true)
 			return n, err
 		}
@@ -199,7 +199,7 @@ func (db *DB) Checkpoint(dir string) error {
 		// Logged even though the log is truncated just below: if the
 		// save fails midway, the retained WAL must still replay onto
 		// the OLD checkpoint, which needs the vacuum in sequence.
-		if _, err := db.logTx([]wal.Op{&wal.OpVacuum{Table: name}}); err != nil {
+		if _, err := db.logTxLocked([]wal.Op{&wal.OpVacuum{Table: name}}); err != nil {
 			return err
 		}
 	}

@@ -260,19 +260,19 @@ func groupOneCluster(src *Source, cl []radix.Tuple, specs []AggSpec) (*Batch, er
 				case AggSumFloat:
 					flts[g] += v
 				case AggSumFloatNil:
-					if v == v {
+					if !bat.IsNilFloat(v) {
 						flts[g] += v
 					}
 				case AggCountNNFloat:
-					if v == v {
+					if !bat.IsNilFloat(v) {
 						ints[g]++
 					}
 				case AggMinFloat:
-					if v == v && (flts[g] != flts[g] || v < flts[g]) {
+					if !bat.IsNilFloat(v) && (bat.IsNilFloat(flts[g]) || v < flts[g]) {
 						flts[g] = v
 					}
 				case AggMaxFloat:
-					if v == v && (flts[g] != flts[g] || v > flts[g]) {
+					if !bat.IsNilFloat(v) && (bat.IsNilFloat(flts[g]) || v > flts[g]) {
 						flts[g] = v
 					}
 				}

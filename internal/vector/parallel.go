@@ -180,6 +180,7 @@ type Exchange struct {
 // NewParallelScan returns an Exchange that just scans src in parallel:
 // the identity Plan. Useful as a building block and in tests.
 func NewParallelScan(src *Source, workers int) *Exchange {
+	//lint:ignore ctxmorsel bounded building block for tests and benchmarks; callers that need cancellation set Ctx on the returned Exchange
 	return &Exchange{Source: src, Workers: workers, Plan: func(scan Operator) Operator { return scan }}
 }
 
@@ -292,6 +293,7 @@ func q6WorkerPlan(scan Operator) Operator {
 // and experiment E15.
 func ParallelQ6(src *Source, workers, morselSize int) (float64, error) {
 	final := &Agg{
+		//lint:ignore ctxmorsel canned benchmark/experiment plan over an in-memory source; bounded work with no cancellation surface
 		Child:  &Exchange{Source: src, Workers: workers, MorselSize: morselSize, Plan: q6WorkerPlan},
 		KeyCol: -1, Aggs: []AggSpec{{Kind: AggSumFloat, Col: 0}},
 	}
@@ -313,6 +315,7 @@ func ParallelJoinCount(jb *JoinBuild, probe *Source, probeKey, workers, morselSi
 		}
 	}
 	final := &Agg{
+		//lint:ignore ctxmorsel canned benchmark/experiment plan over an in-memory source; bounded work with no cancellation surface
 		Child:  &Exchange{Source: probe, Workers: workers, MorselSize: morselSize, Plan: plan},
 		KeyCol: -1, Aggs: []AggSpec{{Kind: AggSumInt, Col: 0}},
 	}

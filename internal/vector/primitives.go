@@ -216,7 +216,7 @@ func SelEqFloat(col []float64, sel []int32, v float64, out []int32) []int32 {
 func SelNeFloat(col []float64, sel []int32, v float64, out []int32) []int32 {
 	if sel == nil {
 		for i, x := range col {
-			if x != v && x == x {
+			if x != v && !bat.IsNilFloat(x) {
 				out = append(out, int32(i))
 			}
 		}
@@ -224,7 +224,7 @@ func SelNeFloat(col []float64, sel []int32, v float64, out []int32) []int32 {
 	}
 	for _, i := range sel {
 		x := col[i]
-		if x != v && x == x {
+		if x != v && !bat.IsNilFloat(x) {
 			out = append(out, i)
 		}
 	}
@@ -338,14 +338,14 @@ func SelNotNilInt(col []int64, sel []int32, out []int32) []int32 {
 func SelNilFloat(col []float64, sel []int32, out []int32) []int32 {
 	if sel == nil {
 		for i, x := range col {
-			if x != x {
+			if bat.IsNilFloat(x) {
 				out = append(out, int32(i))
 			}
 		}
 		return out
 	}
 	for _, i := range sel {
-		if x := col[i]; x != x {
+		if x := col[i]; bat.IsNilFloat(x) {
 			out = append(out, i)
 		}
 	}
@@ -356,14 +356,14 @@ func SelNilFloat(col []float64, sel []int32, out []int32) []int32 {
 func SelNotNilFloat(col []float64, sel []int32, out []int32) []int32 {
 	if sel == nil {
 		for i, x := range col {
-			if x == x {
+			if !bat.IsNilFloat(x) {
 				out = append(out, int32(i))
 			}
 		}
 		return out
 	}
 	for _, i := range sel {
-		if x := col[i]; x == x {
+		if x := col[i]; !bat.IsNilFloat(x) {
 			out = append(out, i)
 		}
 	}
@@ -641,14 +641,14 @@ func SumFloatNilPerGroup(col []float64, sel []int32, gids []int32, accs []float6
 	accs = growFloats(accs, ngroups, 0)
 	if sel == nil {
 		for i, v := range col {
-			if v == v {
+			if !bat.IsNilFloat(v) {
 				accs[gids[i]] += v
 			}
 		}
 		return accs
 	}
 	for _, i := range sel {
-		if v := col[i]; v == v {
+		if v := col[i]; !bat.IsNilFloat(v) {
 			accs[gids[i]] += v
 		}
 	}
@@ -679,14 +679,14 @@ func CountNNFloatPerGroup(col []float64, sel []int32, gids []int32, accs []int64
 	accs = growInts(accs, ngroups, 0)
 	if sel == nil {
 		for i, v := range col {
-			if v == v {
+			if !bat.IsNilFloat(v) {
 				accs[gids[i]]++
 			}
 		}
 		return accs
 	}
 	for _, i := range sel {
-		if v := col[i]; v == v {
+		if v := col[i]; !bat.IsNilFloat(v) {
 			accs[gids[i]]++
 		}
 	}
@@ -750,11 +750,11 @@ func MinFloatNilPerGroup(col []float64, sel []int32, gids []int32, accs []float6
 	accs = growFloats(accs, ngroups, math.NaN())
 	fold := func(i int32) {
 		v := col[i]
-		if v != v {
+		if bat.IsNilFloat(v) {
 			return
 		}
 		g := gids[i]
-		if accs[g] != accs[g] || v < accs[g] {
+		if bat.IsNilFloat(accs[g]) || v < accs[g] {
 			accs[g] = v
 		}
 	}
@@ -775,11 +775,11 @@ func MaxFloatNilPerGroup(col []float64, sel []int32, gids []int32, accs []float6
 	accs = growFloats(accs, ngroups, math.NaN())
 	fold := func(i int32) {
 		v := col[i]
-		if v != v {
+		if bat.IsNilFloat(v) {
 			return
 		}
 		g := gids[i]
-		if accs[g] != accs[g] || v > accs[g] {
+		if bat.IsNilFloat(accs[g]) || v > accs[g] {
 			accs[g] = v
 		}
 	}

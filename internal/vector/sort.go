@@ -27,6 +27,8 @@ package vector
 // once Limit rows have been emitted.
 
 import (
+	"repro/internal/bat"
+
 	"fmt"
 	"sort"
 )
@@ -188,13 +190,13 @@ func rowLess(cols []Col, key, rowID int, desc bool) (func(a, b int32) bool, erro
 		// int tails, where the nil sentinel is the domain minimum).
 		cmp = func(a, b int32) int {
 			x, y := k[a], k[b]
-			if x != x {
-				if y != y {
+			if bat.IsNilFloat(x) {
+				if bat.IsNilFloat(y) {
 					return 0
 				}
 				return -1
 			}
-			if y != y {
+			if bat.IsNilFloat(y) {
 				return 1
 			}
 			switch {
@@ -318,11 +320,11 @@ func mergeLess(ac, bc []Col, ap, bp int32, key, rowID int, desc bool) bool {
 	default: // KindFloat, validated at run production
 		x, y := ac[key].Floats[ap], bc[key].Floats[bp]
 		switch {
-		case x != x && y != y:
+		case bat.IsNilFloat(x) && bat.IsNilFloat(y):
 			c = 0
-		case x != x:
+		case bat.IsNilFloat(x):
 			c = -1
-		case y != y:
+		case bat.IsNilFloat(y):
 			c = 1
 		case x < y:
 			c = -1
