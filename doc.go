@@ -129,6 +129,30 @@
 // selected by IS [NOT] NULL, and rendered as SQL NULL by the engine
 // API and shell.
 //
+// # Serving
+//
+// cmd/monetlited serves one database over a length-prefixed binary
+// wire protocol (internal/server/wire: CRC-checked frames, version
+// handshake, typed error codes — docs/PROTOCOL.md has the byte-level
+// spec). The serving layer exists because the paper's architecture
+// pays off across connections, not within one: every session is an
+// engine.Conn onto the SAME engine, so prepared plans land in one
+// shared plan cache (keyed by SQL text and schema version — a second
+// connection preparing a hot statement gets the compiled MAL plan for
+// free, observable via the Stats frame), and total query concurrency
+// is bounded by one admission controller. Admission is two-level: at
+// most Workers queries execute, at most QueueDepth more wait, and the
+// excess is rejected immediately with a typed queue-full error rather
+// than queueing without bound; a per-query memory budget rejects
+// statements whose referenced tables exceed it before they run.
+// repro/client is the Go client (Dial/Query/Prepare/Exec, streaming
+// Rows, context cancellation forwarded as an out-of-band Cancel frame
+// that stops the server-side scan at the next morsel boundary), and
+// monetlite -connect is the same REPL speaking the wire protocol.
+// SIGTERM drains: the listener closes, in-flight commands finish,
+// and the database closes — checkpointing a -d database — before the
+// process exits.
+//
 // # Invariants and static checks
 //
 // The conventions the layers above rely on are machine-checked by a
@@ -153,6 +177,11 @@
 //     replaced them for measured wins (joins PR 1, grouping PR 4).
 //   - ctxmorsel — every vector.Exchange carries a Ctx so cancellation
 //     reaches morsel boundaries (parallelism, PR 3).
+//   - netcheck — in the server and client packages, connection
+//     write/close/deadline errors and wire.Send/WriteFrame errors must
+//     be checked (a dropped write desynchronizes the single-writer
+//     frame stream), and every server goroutine launch passes a
+//     context.Context so SIGTERM drain can reach it (serving, PR 8).
 //
 // Run it locally with `go run ./cmd/lintmonet ./...` (or build once
 // and use `go vet -vettool=`). Intentional violations carry a

@@ -95,6 +95,12 @@ type Options struct {
 	// WALFS substitutes the filesystem the WAL writes through; nil means
 	// the OS filesystem. Tests inject fault-simulating filesystems here.
 	WALFS wal.FS
+	// PlanCacheEntries bounds the shared prepared-plan cache: compiled
+	// SELECT plans keyed by (SQL, schema version), shared across all
+	// sessions so a statement prepared on one connection is a
+	// compile-free hit on every other (0 means the default of 256
+	// entries; < 0 disables the cache).
+	PlanCacheEntries int
 }
 
 // Option mutates Options.
@@ -131,6 +137,10 @@ func WithVacuumEvery(every time.Duration) Option {
 // WithWALFS substitutes the WAL's filesystem (fault injection in tests).
 func WithWALFS(fs wal.FS) Option { return func(o *Options) { o.WALFS = fs } }
 
+// WithPlanCache bounds the shared prepared-plan cache to n entries; a
+// negative n disables it (see Options.PlanCacheEntries).
+func WithPlanCache(n int) Option { return func(o *Options) { o.PlanCacheEntries = n } }
+
 // DB is an embedded database handle, safe for concurrent use. All
 // sessions (Conn) share its storage; reads run against snapshots, so
 // writers never block readers mid-query.
@@ -141,6 +151,8 @@ type DB struct {
 	sdb    *sqlfe.DB
 	wal    *wal.Log // nil for in-memory databases
 	closed bool
+
+	plans *planCache // shared prepared-plan cache; nil when disabled
 
 	vacQuit chan struct{} // closed to stop the background vacuum
 	vacDone sync.WaitGroup
@@ -223,7 +235,11 @@ func Open(opts ...Option) (*DB, error) {
 	if o.RecyclerBytes > 0 {
 		sdb.Recycle = recycler.New(o.RecyclerBytes, recycler.PolicyBenefit)
 	}
-	d := &DB{opts: o, sdb: sdb, wal: lg}
+	planEntries := o.PlanCacheEntries
+	if planEntries == 0 {
+		planEntries = 256
+	}
+	d := &DB{opts: o, sdb: sdb, wal: lg, plans: newPlanCache(planEntries)}
 	if o.VacuumEvery >= 0 {
 		every := o.VacuumEvery
 		if every == 0 {

@@ -1,0 +1,123 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/mal"
+	"repro/internal/physical"
+	"repro/internal/sqlfe"
+)
+
+// planKey identifies one compiled SELECT: the exact statement text plus
+// the catalog version it was compiled against. A schema change moves
+// the version, so stale plans are simply never hit again and age out of
+// the LRU list.
+type planKey struct {
+	sql       string
+	schemaVer int64
+}
+
+// planEntry holds the shareable compilation artifacts of a SELECT. All
+// three are immutable after compilation (execution instantiates
+// per-query state), so one entry can serve concurrent executions on
+// different sessions — this is the amortization point for X100-style
+// plan construction cost across connections.
+type planEntry struct {
+	prog   *mal.Program
+	ptypes []sqlfe.ColType
+	phys   *physical.Plan // nil when the planner fell back to MAL
+}
+
+// planCache is the DB-wide shared prepared-plan cache. Sessions
+// (Conns) consult it in Stmt.plan: a SELECT prepared on one connection
+// is a compile-free cache hit on every other connection until the
+// schema moves. Bounded LRU; hit/miss counters feed the server's stats
+// frame.
+type planCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[planKey]*list.Element
+	order   *list.List // front = most recently used; values are *planNode
+	hits    uint64
+	misses  uint64
+}
+
+type planNode struct {
+	key planKey
+	e   *planEntry
+}
+
+func newPlanCache(capacity int) *planCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &planCache{
+		cap:     capacity,
+		entries: make(map[planKey]*list.Element, capacity),
+		order:   list.New(),
+	}
+}
+
+// get returns the cached artifacts for (sql, ver), counting a hit or a
+// miss. Safe on a nil cache (always a miss, uncounted).
+func (c *planCache) get(sql string, ver int64) (*planEntry, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[planKey{sql, ver}]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*planNode).e, true
+}
+
+// put stores freshly compiled artifacts, evicting the least recently
+// used entry past capacity. Safe on a nil cache (no-op).
+func (c *planCache) put(sql string, ver int64, e *planEntry) {
+	if c == nil {
+		return
+	}
+	key := planKey{sql, ver}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		// A racing session compiled the same statement; keep the winner.
+		el.Value.(*planNode).e = e
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&planNode{key: key, e: e})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*planNode).key)
+	}
+}
+
+// PlanCacheStats reports the shared plan cache's counters. Hits count
+// Stmt (re)compilations avoided because another statement — typically
+// on another connection — already compiled the same SQL at the same
+// schema version.
+type PlanCacheStats struct {
+	Hits    uint64
+	Misses  uint64
+	Entries int
+}
+
+// PlanCacheStats returns the current shared-plan-cache counters (zero
+// when the cache is disabled via WithPlanCache(0)).
+func (d *DB) PlanCacheStats() PlanCacheStats {
+	c := d.plans
+	if c == nil {
+		return PlanCacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return PlanCacheStats{Hits: c.hits, Misses: c.misses, Entries: c.order.Len()}
+}

@@ -1,0 +1,232 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// TestPlanCacheCrossConnection is the acceptance check for the shared
+// plan cache: a statement prepared on one connection is a compile-free
+// cache hit when another connection prepares (and runs) the same SQL.
+func TestPlanCacheCrossConnection(t *testing.T) {
+	ctx := context.Background()
+	db, err := Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(ctx, `CREATE TABLE t (a INT, b INT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(ctx, `INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)`); err != nil {
+		t.Fatal(err)
+	}
+
+	c1 := db.Conn()
+	defer c1.Close()
+	c2 := db.Conn()
+	defer c2.Close()
+
+	const q = `SELECT a, b FROM t WHERE a >= ? ORDER BY a`
+	run := func(c *Conn) {
+		t.Helper()
+		st, err := c.Prepare(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		rows, err := st.Query(ctx, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rows.Close()
+		n := 0
+		for rows.Next() {
+			n++
+		}
+		if err := rows.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if n != 2 {
+			t.Fatalf("got %d rows, want 2", n)
+		}
+	}
+
+	before := db.PlanCacheStats()
+	run(c1)
+	mid := db.PlanCacheStats()
+	if mid.Misses <= before.Misses {
+		t.Fatalf("first prepare should miss: before %+v, after %+v", before, mid)
+	}
+	run(c2)
+	after := db.PlanCacheStats()
+	if after.Hits <= mid.Hits {
+		t.Fatalf("second connection should hit: mid %+v, after %+v", mid, after)
+	}
+	if after.Misses != mid.Misses {
+		t.Fatalf("second connection should not miss: mid %+v, after %+v", mid, after)
+	}
+}
+
+// TestPlanCacheSchemaChangeInvalidates: a DDL bumps the schema version,
+// so the old plan is never served against the new catalog.
+func TestPlanCacheSchemaChangeInvalidates(t *testing.T) {
+	ctx := context.Background()
+	db, err := Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(ctx, `CREATE TABLE t (a INT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(ctx, `INSERT INTO t VALUES (1)`); err != nil {
+		t.Fatal(err)
+	}
+	query := func(want int) {
+		t.Helper()
+		rows, err := db.Query(ctx, `SELECT a FROM t`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rows.Close()
+		n := 0
+		for rows.Next() {
+			n++
+		}
+		if err := rows.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if n != want {
+			t.Fatalf("got %d rows, want %d", n, want)
+		}
+	}
+	query(1)
+	s1 := db.PlanCacheStats()
+
+	// DROP + recreate under the same name: same SQL text, new schema
+	// version. Serving the stale plan would scan freed columns.
+	if _, err := db.Exec(ctx, `DROP TABLE t`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(ctx, `CREATE TABLE t (a INT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(ctx, `INSERT INTO t VALUES (1), (2)`); err != nil {
+		t.Fatal(err)
+	}
+	query(2)
+	s2 := db.PlanCacheStats()
+	if s2.Misses <= s1.Misses {
+		t.Fatalf("post-DDL query must recompile (miss): before %+v, after %+v", s1, s2)
+	}
+}
+
+// TestPlanCacheDisabled: WithPlanCache(-1) turns the cache off without
+// breaking statement execution.
+func TestPlanCacheDisabled(t *testing.T) {
+	ctx := context.Background()
+	db, err := Open(WithPlanCache(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(ctx, `CREATE TABLE t (a INT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(ctx, `INSERT INTO t VALUES (7)`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		rows, err := db.Query(ctx, `SELECT a FROM t`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rows.Next() {
+			t.Fatal("no row")
+		}
+		if err := rows.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := db.PlanCacheStats(); s != (PlanCacheStats{}) {
+		t.Fatalf("disabled cache must report zero stats, got %+v", s)
+	}
+}
+
+// TestPlanCacheEviction: the LRU stays within its bound.
+func TestPlanCacheEviction(t *testing.T) {
+	ctx := context.Background()
+	db, err := Open(WithPlanCache(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(ctx, `CREATE TABLE t (a INT)`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		rows, err := db.Query(ctx, fmt.Sprintf(`SELECT a FROM t WHERE a = %d`, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rows.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := db.PlanCacheStats()
+	if s.Entries > 2 {
+		t.Fatalf("cache exceeded its bound: %+v", s)
+	}
+	if s.Misses < 5 {
+		t.Fatalf("5 distinct statements should all miss, got %+v", s)
+	}
+}
+
+// TestStmtEstimateBytes: the admission-control sizing hook tracks the
+// referenced tables' stored bytes.
+func TestStmtEstimateBytes(t *testing.T) {
+	ctx := context.Background()
+	db, err := Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(ctx, `CREATE TABLE big (a INT, s TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(ctx, `CREATE TABLE small (a INT)`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := db.Exec(ctx, `INSERT INTO big VALUES (?, ?)`, i, "some-longish-text-value"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := db.Conn()
+	defer c.Close()
+
+	stBig, err := c.Prepare(`SELECT a FROM big`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stBig.Close()
+	stSmall, err := c.Prepare(`SELECT a FROM small`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stSmall.Close()
+
+	big, small := stBig.EstimateBytes(), stSmall.EstimateBytes()
+	if big <= small {
+		t.Fatalf("big table estimate %d should exceed empty table estimate %d", big, small)
+	}
+	// 100 rows * (8-byte int + offsets + text) — at minimum the int column.
+	if big < 800 {
+		t.Fatalf("big estimate %d implausibly small", big)
+	}
+	if small != 0 {
+		t.Fatalf("empty table estimate = %d, want 0", small)
+	}
+}

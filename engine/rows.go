@@ -196,6 +196,11 @@ func (r *Rows) cell(c int) any {
 			return nil
 		}
 		return x
+	case string:
+		if bat.IsNilStr(x) {
+			return nil
+		}
+		return x
 	default:
 		return x
 	}
@@ -286,7 +291,11 @@ func (r *Rows) scanCol(c int, dest any) error {
 				}
 			case bat.TypeStr:
 				if p, ok := dest.(*string); ok {
-					*p = v.B.StrAt(i)
+					s := v.B.StrAt(i)
+					if bat.IsNilStr(s) {
+						return fmt.Errorf("NULL value; scan into *any to accept NULLs")
+					}
+					*p = s
 					return nil
 				}
 			}

@@ -40,6 +40,15 @@ func NilFloat() float64 { return math.NaN() }
 // arbitrary payload bits), so the payload is not significant.
 func IsNilFloat(f float64) bool { return f != f }
 
+// NilStr is the missing string tail value: a single NUL byte. Real
+// string values are NUL-free (the front-end rejects NUL-bearing text),
+// so the sentinel is unforgeable — the same reserved-domain-value
+// convention MonetDB uses for str nil.
+const NilStr = "\x00"
+
+// IsNilStr reports whether s is the string nil.
+func IsNilStr(s string) bool { return s == NilStr }
+
 // Type enumerates tail column types.
 type Type uint8
 
@@ -95,7 +104,7 @@ type BAT struct {
 	floats []float64
 	bools  []bool
 	offs   []uint32 // string offsets into heap; len(offs) == count
-	heap   []byte   // concatenated NUL-free string bytes
+	heap   []byte   // concatenated string bytes; NUL appears only as the one-byte NilStr sentinel
 
 	// tseq is the tail sequence base for TypeVoid tails.
 	tseq OID
@@ -455,12 +464,17 @@ func (b *BAT) AppendBool(v bool) {
 	}
 }
 
-// AppendStr appends a string tail value to the offset/heap pair.
+// AppendStr appends a string tail value to the offset/heap pair. NilStr
+// (the string nil) clears NoNil; ordering/uniqueness flags degrade
+// conservatively past the first value.
 func (b *BAT) AppendStr(v string) {
 	b.offs = append(b.offs, uint32(len(b.heap)))
 	b.heap = append(b.heap, v...)
 	if len(b.offs) > 1 {
-		b.props = Props{NoNil: true}
+		b.props = Props{NoNil: b.props.NoNil}
+	}
+	if v == NilStr {
+		b.props.NoNil = false
 	}
 }
 

@@ -241,9 +241,9 @@ func SumFloatCount(b *bat.BAT) (float64, int64) {
 func Count(b *bat.BAT) int64 { return int64(b.Len()) }
 
 // CountNonNil returns the number of non-nil tuples — SQL count(col).
-// The nil representations are bat.NilInt for int tails and NaN for
-// float tails (produced by IntToFloat/DivFloatNil over nil inputs);
-// other tail types count fully.
+// The nil representations are bat.NilInt for int tails, NaN for float
+// tails (produced by IntToFloat/DivFloatNil over nil inputs), and
+// bat.NilStr for string tails; other tail types count fully.
 func CountNonNil(b *bat.BAT) int64 {
 	var n int64
 	switch {
@@ -256,6 +256,12 @@ func CountNonNil(b *bat.BAT) int64 {
 	case b.TailType() == bat.TypeFloat:
 		for _, v := range b.Floats() {
 			if !bat.IsNilFloat(v) {
+				n++
+			}
+		}
+	case b.TailType() == bat.TypeStr && !b.Props().NoNil:
+		for i, ln := 0, b.Len(); i < ln; i++ {
+			if !bat.IsNilStr(b.StrAt(i)) {
 				n++
 			}
 		}
@@ -492,6 +498,12 @@ func CountNonNilPerGroup(vals *bat.BAT, g GroupResult) *bat.BAT {
 				out[ids[i]]++
 			}
 		}
+	case vals.TailType() == bat.TypeStr && !vals.Props().NoNil:
+		for i := range ids {
+			if !bat.IsNilStr(vals.StrAt(i)) {
+				out[ids[i]]++
+			}
+		}
 	default:
 		for _, id := range ids {
 			out[id]++
@@ -541,7 +553,19 @@ func Sort(b *bat.BAT) (*bat.BAT, *bat.BAT) {
 			return x < y
 		})
 	case bat.TypeStr:
-		sort.SliceStable(perm, func(i, j int) bool { return b.StrAt(perm[i]) < b.StrAt(perm[j]) })
+		// The one-byte NUL sentinel (bat.NilStr) is the string nil; order
+		// NULLs explicitly first to match int tails, where nil (MinInt64)
+		// sorts first naturally — byte order would put it after "".
+		sort.SliceStable(perm, func(i, j int) bool {
+			x, y := b.StrAt(perm[i]), b.StrAt(perm[j])
+			if bat.IsNilStr(x) {
+				return !bat.IsNilStr(y)
+			}
+			if bat.IsNilStr(y) {
+				return false
+			}
+			return x < y
+		})
 	case bat.TypeOID:
 		tail := b.OIDs()
 		sort.SliceStable(perm, func(i, j int) bool { return tail[perm[i]] < tail[perm[j]] })

@@ -104,7 +104,11 @@ func JoinStr(l, r *bat.BAT) (*bat.BAT, *bat.BAT) {
 	st := radix.BuildStrTable(keys)
 	var lout, rout []bat.OID
 	for i := 0; i < l.Len(); i++ {
-		for j := st.First(l.StrAt(i)); j >= 0; j = st.Next(j) {
+		k := l.StrAt(i)
+		if bat.IsNilStr(k) {
+			continue // NULL never equals NULL: nil keys produce no matches
+		}
+		for j := st.First(k); j >= 0; j = st.Next(j) {
 			lout = append(lout, l.HSeq()+bat.OID(i))
 			rout = append(rout, r.HSeq()+bat.OID(j))
 		}

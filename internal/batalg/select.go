@@ -225,13 +225,19 @@ func ThetaSelectFloat(b *bat.BAT, op CmpOp, v float64) *bat.BAT {
 	return candList(out)
 }
 
-// SelectStr returns head OIDs of tuples whose string tail op-compares to v.
+// SelectStr returns head OIDs of tuples whose string tail op-compares to
+// v. The string nil (bat.NilStr) never qualifies: every comparison with
+// NULL is unknown, including <> — mirroring the int/float selects.
 func SelectStr(b *bat.BAT, op CmpOp, v string) *bat.BAT {
 	n := b.Len()
 	hseq := b.HSeq()
 	out := make([]bat.OID, 0, selCap(b))
+	noNil := b.Props().NoNil
 	for i := 0; i < n; i++ {
 		x := b.StrAt(i)
+		if !noNil && bat.IsNilStr(x) {
+			continue
+		}
 		keep := false
 		switch op {
 		case CmpEQ:
@@ -255,9 +261,10 @@ func SelectStr(b *bat.BAT, op CmpOp, v string) *bat.BAT {
 }
 
 // SelectNil returns head OIDs of tuples whose tail is the stored nil
-// sentinel (bat.NilInt for ints, the canonical NaN for floats). Text and
-// candidate tails have no stored nil, so the selection is empty — which
-// is exactly SQL's answer for IS NULL over a column that cannot hold one.
+// sentinel (bat.NilInt for ints, the canonical NaN for floats, the
+// one-byte bat.NilStr for strings). Candidate tails have no stored nil,
+// so the selection is empty — which is exactly SQL's answer for IS NULL
+// over a column that cannot hold one.
 func SelectNil(b *bat.BAT) *bat.BAT {
 	hseq := b.HSeq()
 	var out []bat.OID
@@ -277,6 +284,15 @@ func SelectNil(b *bat.BAT) *bat.BAT {
 		}
 		for i, x := range b.Floats() {
 			if bat.IsNilFloat(x) {
+				out = append(out, hseq+bat.OID(i))
+			}
+		}
+	case bat.TypeStr:
+		if b.Props().NoNil {
+			break
+		}
+		for i, n := 0, b.Len(); i < n; i++ {
+			if bat.IsNilStr(b.StrAt(i)) {
 				out = append(out, hseq+bat.OID(i))
 			}
 		}
@@ -305,6 +321,15 @@ func SelectNotNil(b *bat.BAT) *bat.BAT {
 		if !b.Props().NoNil {
 			for i, x := range b.Floats() {
 				if !bat.IsNilFloat(x) {
+					out = append(out, hseq+bat.OID(i))
+				}
+			}
+			return candList(out)
+		}
+	case bat.TypeStr:
+		if !b.Props().NoNil {
+			for i := 0; i < n; i++ {
+				if !bat.IsNilStr(b.StrAt(i)) {
 					out = append(out, hseq+bat.OID(i))
 				}
 			}

@@ -198,6 +198,7 @@ func All() []*Analyzer {
 		WALCheck,
 		HotPathMap,
 		CtxMorsel,
+		NetCheck,
 	}
 }
 

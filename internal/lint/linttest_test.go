@@ -36,7 +36,7 @@ var fixtureExports struct {
 func exportsForFixtures(t *testing.T) map[string]string {
 	t.Helper()
 	fixtureExports.once.Do(func() {
-		listed, err := goList("../..", []string{"./...", "math", "os", "sync", "context"})
+		listed, err := goList("../..", []string{"./...", "math", "os", "sync", "context", "net", "time"})
 		if err != nil {
 			fixtureExports.err = err
 			return
@@ -186,6 +186,19 @@ func TestHotPathMapFixture(t *testing.T) {
 
 func TestCtxMorselFixture(t *testing.T) {
 	runFixture(t, []*Analyzer{CtxMorsel}, "ctxmorsel", "lintfixture/ctx")
+}
+
+func TestNetCheckFixture(t *testing.T) {
+	runFixture(t, []*Analyzer{NetCheck}, "netcheck", "lintfixture/internal/server")
+}
+
+// netcheck is scoped to the server and client packages; the same
+// sources under an unrelated import path must produce nothing.
+func TestNetCheckStaysSilentElsewhere(t *testing.T) {
+	pkg := loadFixture(t, "netcheck", "lintfixture/other")
+	if diags := Run(pkg, []*Analyzer{NetCheck}); len(diags) != 0 {
+		t.Fatalf("netcheck outside server/client reported %d diagnostics, want 0: %v", len(diags), diags)
+	}
 }
 
 // A package off the hot paths and outside the persistence layer may

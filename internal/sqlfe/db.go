@@ -522,7 +522,8 @@ func (db *DB) runSelect(sel *Select, snap *Snapshot) (*Result, error) {
 // cellValue maps the stored nil sentinels to SQL NULL (a Go nil cell):
 // bat.NilInt for int columns, NaN (bat.NilFloat) for floats — stored by
 // INSERT/UPDATE NULL or produced in flight (int_to_flt over nil,
-// div_flt_nil, e.g. avg over an all-nil group).
+// div_flt_nil, e.g. avg over an all-nil group) — and bat.NilStr for
+// text.
 func cellValue(v any) any {
 	switch x := v.(type) {
 	case int64:
@@ -531,6 +532,10 @@ func cellValue(v any) any {
 		}
 	case float64:
 		if math.IsNaN(x) {
+			return nil
+		}
+	case string:
+		if bat.IsNilStr(x) {
 			return nil
 		}
 	}

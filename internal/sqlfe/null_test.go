@@ -120,10 +120,10 @@ func TestNullPropagatesThroughArithmetic(t *testing.T) {
 func TestInsertAtomicOnBadRow(t *testing.T) {
 	db := NewDB()
 	mustExec(t, db, "CREATE TABLE t (x INT, f TEXT)")
-	// Row 2 is invalid (NULL into TEXT): the whole statement must be
+	// Row 2 is invalid (INT into TEXT): the whole statement must be
 	// rejected with no partial append.
-	if _, err := db.Exec("INSERT INTO t VALUES (1, 'a'), (2, NULL)"); err == nil {
-		t.Fatal("NULL into TEXT column should error")
+	if _, err := db.Exec("INSERT INTO t VALUES (1, 'a'), (2, 7)"); err == nil {
+		t.Fatal("INT into TEXT column should error")
 	}
 	r := mustExec(t, db, "SELECT count(*) AS n FROM t")
 	if !reflect.DeepEqual(r.Rows, [][]any{{int64(0)}}) {
@@ -131,11 +131,94 @@ func TestInsertAtomicOnBadRow(t *testing.T) {
 	}
 }
 
-func TestNullOnlyInIntColumns(t *testing.T) {
+func TestTextStoredNull(t *testing.T) {
 	db := NewDB()
-	mustExec(t, db, "CREATE TABLE s (name TEXT)")
-	if _, err := db.Exec("INSERT INTO s VALUES (NULL)"); err == nil {
-		t.Fatal("NULL into TEXT column should error")
+	mustExec(t, db, "CREATE TABLE s (k INT, name TEXT)")
+	mustExec(t, db, "INSERT INTO s VALUES (1, 'a'), (2, NULL), (3, ''), (4, 'b')")
+	mustExec(t, db, "UPDATE s SET name = NULL WHERE k = 4")
+	// Stored text NULLs render as nil cells; the empty string stays a
+	// real (non-NULL) value.
+	r := mustExec(t, db, "SELECT k, name FROM s ORDER BY k")
+	want := [][]any{{int64(1), "a"}, {int64(2), nil}, {int64(3), ""}, {int64(4), nil}}
+	if !reflect.DeepEqual(r.Rows, want) {
+		t.Fatalf("rows = %v, want %v", r.Rows, want)
+	}
+	// IS NULL / IS NOT NULL see exactly the stored nils.
+	r = mustExec(t, db, "SELECT k FROM s WHERE name IS NULL ORDER BY k")
+	if !reflect.DeepEqual(r.Rows, [][]any{{int64(2)}, {int64(4)}}) {
+		t.Fatalf("text IS NULL rows = %v", r.Rows)
+	}
+	r = mustExec(t, db, "SELECT k FROM s WHERE name IS NOT NULL ORDER BY k")
+	if !reflect.DeepEqual(r.Rows, [][]any{{int64(1)}, {int64(3)}}) {
+		t.Fatalf("text IS NOT NULL rows = %v", r.Rows)
+	}
+	// Comparisons never match the text nil, including <> and ranges
+	// (byte order would otherwise rank the NUL sentinel below 'a').
+	r = mustExec(t, db, "SELECT count(*) AS n FROM s WHERE name <> 'a'")
+	if !reflect.DeepEqual(r.Rows, [][]any{{int64(1)}}) {
+		t.Fatalf("name <> 'a' = %v", r.Rows)
+	}
+	r = mustExec(t, db, "SELECT count(*) AS n FROM s WHERE name < 'a'")
+	if !reflect.DeepEqual(r.Rows, [][]any{{int64(1)}}) {
+		t.Fatalf("name < 'a' = %v", r.Rows)
+	}
+	// count(col) skips text nils; count(*) does not.
+	r = mustExec(t, db, "SELECT count(name) AS n, count(*) AS m FROM s")
+	if !reflect.DeepEqual(r.Rows, [][]any{{int64(2), int64(4)}}) {
+		t.Fatalf("count over text nils = %v", r.Rows)
+	}
+	// ORDER BY a text column sorts NULLs first, like int/float nils.
+	r = mustExec(t, db, "SELECT k FROM s ORDER BY name")
+	if !reflect.DeepEqual(r.Rows, [][]any{{int64(2)}, {int64(4)}, {int64(3)}, {int64(1)}}) {
+		t.Fatalf("ORDER BY text with nils = %v", r.Rows)
+	}
+	// DML predicates ride the same machinery.
+	res := mustExec(t, db, "DELETE FROM s WHERE name IS NULL")
+	if res.Affected != 2 {
+		t.Fatalf("delete affected %d", res.Affected)
+	}
+	// NUL bytes cannot forge the sentinel: a bound argument carrying one
+	// is rejected before anything is stored.
+	st, err := Parse("INSERT INTO s VALUES (5, ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := BindParams(st, []Lit{{Kind: TText, S: "\x00"}})
+	if err == nil {
+		if _, err = db.ExecStmt(bound); err == nil {
+			t.Fatal("NUL-bearing text must be rejected")
+		}
+	}
+}
+
+func TestTextNullGroupAndJoin(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE l (k INT, name TEXT)")
+	mustExec(t, db, "INSERT INTO l VALUES (1, 'a'), (2, NULL), (3, 'a'), (4, NULL)")
+	// NULL text keys form one group (SQL GROUP BY treats NULLs as equal)
+	// and render as a nil key cell.
+	r := mustExec(t, db, "SELECT name, count(*) AS n FROM l GROUP BY name")
+	if len(r.Rows) != 2 {
+		t.Fatalf("NULL text keys must group together: %v", r.Rows)
+	}
+	seenNil := false
+	for _, row := range r.Rows {
+		if row[0] == nil {
+			seenNil = true
+			if row[1] != int64(2) {
+				t.Fatalf("NULL group count = %v", row[1])
+			}
+		}
+	}
+	if !seenNil {
+		t.Fatalf("no nil group key in %v", r.Rows)
+	}
+	// NULL never equals NULL in a join.
+	mustExec(t, db, "CREATE TABLE r (name TEXT, v INT)")
+	mustExec(t, db, "INSERT INTO r VALUES ('a', 10), (NULL, 20)")
+	res := mustExec(t, db, "SELECT l.k AS k, r.v AS v FROM l JOIN r ON l.name = r.name ORDER BY k")
+	if !reflect.DeepEqual(res.Rows, [][]any{{int64(1), int64(10)}, {int64(3), int64(10)}}) {
+		t.Fatalf("text join over nils = %v", res.Rows)
 	}
 }
 
@@ -225,11 +308,11 @@ func TestUpdateAtomicOnBadSetLiteral(t *testing.T) {
 	db := NewDB()
 	mustExec(t, db, "CREATE TABLE t (x INT, s TEXT)")
 	mustExec(t, db, "INSERT INTO t VALUES (1, 'a'), (2, 'b')")
-	// NULL into a TEXT column is still invalid: the whole UPDATE must be
+	// An INT into a TEXT column is invalid: the whole UPDATE must be
 	// rejected before any row is tombstoned or re-appended, or the
 	// delete+insert rewrite would lose rows / desync the column deltas.
-	if _, err := db.Exec("UPDATE t SET s = NULL WHERE x = 1"); err == nil {
-		t.Fatal("NULL into TEXT column should error")
+	if _, err := db.Exec("UPDATE t SET s = 9 WHERE x = 1"); err == nil {
+		t.Fatal("INT into TEXT column should error")
 	}
 	r := mustExec(t, db, "SELECT x, s FROM t ORDER BY x")
 	want := [][]any{{int64(1), "a"}, {int64(2), "b"}}

@@ -3,6 +3,7 @@ package sqlfe
 import (
 	"fmt"
 	"math"
+	"strings"
 )
 
 // Placeholder support: a parsed statement may contain ? bind slots
@@ -11,6 +12,28 @@ import (
 // the ordinary executor can run. SELECTs executed through a prepared
 // plan do NOT go through BindParams — their placeholders compile into
 // mal.P bind slots and are bound per execution by the interpreter.
+
+// StmtTables returns the names of the tables a statement READS (FROM
+// and JOIN tables for SELECT, the scanned table for DELETE/UPDATE
+// predicates). Callers use it to size a statement's working set before
+// running it — the server's admission control sums the referenced
+// tables' column bytes against its per-query memory budget. INSERT and
+// DDL read nothing, so they contribute no tables.
+func StmtTables(st Stmt) []string {
+	switch s := st.(type) {
+	case *Delete:
+		return []string{s.Table}
+	case *Update:
+		return []string{s.Table}
+	case *Select:
+		out := []string{s.From}
+		if s.Join != nil {
+			out = append(out, s.Join.Table)
+		}
+		return out
+	}
+	return nil
+}
 
 // NumParams returns the number of ? placeholders in a statement.
 func NumParams(st Stmt) int {
@@ -225,6 +248,11 @@ func CoerceArg(a any, want ColType, pos int) (Lit, error) {
 	default:
 		if lit.Kind != TText {
 			return Lit{}, fmt.Errorf("sql: argument %d: text column compared with %s", pos, lit.Kind)
+		}
+		// NUL-bearing strings are unstorable (they would forge the stored
+		// text nil sentinel), so a comparison with one can never match.
+		if strings.ContainsRune(lit.S, 0) {
+			return Lit{}, fmt.Errorf("sql: argument %d: text values may not contain NUL bytes", pos)
 		}
 	}
 	return lit, nil

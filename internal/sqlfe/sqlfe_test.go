@@ -396,8 +396,8 @@ func TestIsNullPredicates(t *testing.T) {
 	if len(r.Rows) != 1 || r.Rows[0][0] != int64(1) {
 		t.Fatalf("IS NOT NULL rows = %v", r.Rows)
 	}
-	// Text columns have no stored nil: IS NULL selects nothing, IS NOT
-	// NULL everything.
+	// No stored text nils here: IS NULL selects nothing, IS NOT NULL
+	// everything (stored text NULLs are covered by TestTextStoredNull).
 	if r := mustExec(t, db, "SELECT k FROM s WHERE s IS NULL"); len(r.Rows) != 0 {
 		t.Fatalf("text IS NULL rows = %v", r.Rows)
 	}

@@ -3,6 +3,7 @@ package sqlfe
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/bat"
 	"repro/internal/batalg"
@@ -122,17 +123,17 @@ func coerce(lit Lit, ct ColType) (any, error) {
 		return nil, fmt.Errorf("parameter ?%d not bound", lit.Param)
 	}
 	if lit.Null {
-		// Int and float columns have stored nil representations, following
-		// the MonetDB convention of reserving a domain sentinel: the
-		// minimum for ints (bat.NilInt), the canonical NaN for floats
-		// (bat.NilFloat). Text columns still have none.
+		// Every column type has a stored nil representation, following the
+		// MonetDB convention of reserving a domain sentinel: the minimum
+		// for ints (bat.NilInt), the canonical NaN for floats
+		// (bat.NilFloat), the one-byte NUL string for text (bat.NilStr).
 		switch ct {
 		case TInt:
 			return bat.NilInt, nil
 		case TFloat:
 			return bat.NilFloat(), nil
 		}
-		return nil, fmt.Errorf("NULL is not supported in %s columns", ct)
+		return bat.NilStr, nil
 	}
 	switch ct {
 	case TInt:
@@ -148,6 +149,12 @@ func coerce(lit Lit, ct ColType) (any, error) {
 		}
 	case TText:
 		if lit.Kind == TText {
+			// A NUL-bearing value would forge the stored nil sentinel, so
+			// text is NUL-free by construction (as the BAT string heap
+			// always promised).
+			if strings.ContainsRune(lit.S, 0) {
+				return nil, fmt.Errorf("text values may not contain NUL bytes")
+			}
 			return lit.S, nil
 		}
 	}
@@ -198,6 +205,20 @@ func (t *Table) effectiveCol(i int) *bat.BAT {
 // mutate the returned BAT. This is the bridge the vectorized engine
 // scans through.
 func (t *Table) ColumnBAT(i int) *bat.BAT { return t.effectiveCol(i) }
+
+// ApproxBytes reports the tail-storage bytes of every column,
+// main plus insert delta. It deliberately bypasses the lazy
+// effective-column merge (which is unsynchronized and would double the
+// memory it is trying to predict), so it is safe to call on a shared
+// snapshot and cheap enough for per-query admission control.
+func (t *Table) ApproxBytes() int64 {
+	var n int64
+	for i := range t.main {
+		n += int64(t.main[i].HeapBytes())
+		n += int64(t.ins[i].HeapBytes())
+	}
+	return n
+}
 
 // HasDeletes reports whether any position is tombstoned. A table with
 // deletes cannot be scanned positionally without the deleted filter.
