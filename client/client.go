@@ -17,8 +17,10 @@ import (
 	"crypto/tls"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/server/wire"
 )
@@ -33,6 +35,9 @@ var (
 	ErrBudget = errors.New("client: query exceeds server memory budget")
 	// ErrCanceled: the command was canceled (usually via ctx).
 	ErrCanceled = errors.New("client: query canceled")
+	// ErrTimeout: the server's statement timeout (or this session's
+	// SetTimeout override) elapsed before the query finished.
+	ErrTimeout = errors.New("client: statement timeout exceeded")
 	// ErrShutdown: the server is draining.
 	ErrShutdown = errors.New("client: server shutting down")
 	// ErrBusy: a previous result set is still streaming on this client.
@@ -56,6 +61,8 @@ func (e *ServerError) Is(target error) bool {
 		return e.Code == wire.CodeBudget
 	case ErrCanceled:
 		return e.Code == wire.CodeCanceled
+	case ErrTimeout:
+		return e.Code == wire.CodeTimeout
 	case ErrShutdown:
 		return e.Code == wire.CodeShutdown
 	}
@@ -68,12 +75,16 @@ type Stats struct {
 	PlanHits    uint64
 	PlanMisses  uint64
 	PlanEntries int
+	PlanBytes   int64 // estimated resident footprint of cached plans
 	Sessions    int
 	Active      int
 	Queued      int
 	Admitted    uint64
 	RejectedQ   uint64
 	RejectedMem uint64
+	Spills      uint64 // spill files the engine created since Open
+	SpillBytes  uint64 // payload bytes written to spill files
+	SpillLive   uint64 // spill files currently on disk
 }
 
 // Client is one protocol connection.
@@ -521,6 +532,45 @@ func (s *Stmt) Close() error {
 	return fmt.Errorf("client: unexpected %T frame", m)
 }
 
+// SetTimeout overrides the server's default statement timeout for this
+// connection: subsequent queries that run longer than d are canceled
+// server-side and fail with ErrTimeout. d = 0 clears the override
+// (reverting to the server's default); sub-millisecond durations round
+// up to 1ms so a non-zero d never silently becomes "clear".
+func (c *Client) SetTimeout(d time.Duration) error {
+	if d < 0 {
+		return fmt.Errorf("client: negative timeout %v", d)
+	}
+	millis := uint64(d / time.Millisecond)
+	if d > 0 && millis == 0 {
+		millis = 1
+	}
+	if millis > math.MaxUint32 {
+		return fmt.Errorf("client: timeout %v exceeds the wire limit (~49 days)", d)
+	}
+	if err := c.begin(); err != nil {
+		return err
+	}
+	defer c.endCommand()
+	if err := c.send(wire.SetTimeout{Millis: uint32(millis)}); err != nil {
+		c.closeConn()
+		return err
+	}
+	m, err := wire.Recv(c.nc)
+	if err != nil {
+		c.closeConn()
+		return err
+	}
+	switch r := m.(type) {
+	case wire.Done:
+		return nil
+	case wire.Err:
+		return errFrom(r)
+	}
+	c.closeConn()
+	return fmt.Errorf("client: unexpected %T frame", m)
+}
+
 // Plan returns the server's plan rendering for a SELECT.
 func (c *Client) Plan(sql string) (string, error) {
 	if err := c.begin(); err != nil {
@@ -592,12 +642,16 @@ func (c *Client) Stats() (Stats, error) {
 			PlanHits:    r.PlanHits,
 			PlanMisses:  r.PlanMisses,
 			PlanEntries: int(r.PlanEntries),
+			PlanBytes:   int64(r.PlanBytes),
 			Sessions:    int(r.Sessions),
 			Active:      int(r.Active),
 			Queued:      int(r.Queued),
 			Admitted:    r.Admitted,
 			RejectedQ:   r.RejectedQ,
 			RejectedMem: r.RejectedMem,
+			Spills:      r.Spills,
+			SpillBytes:  r.SpillBytes,
+			SpillLive:   r.SpillLive,
 		}, nil
 	case wire.Err:
 		return Stats{}, errFrom(r)

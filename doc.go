@@ -121,6 +121,30 @@
 // failures, and kill-at-any-byte crashes; engine/recovery_test.go
 // sweeps every record boundary against an in-memory oracle.
 //
+// # Out-of-core execution
+//
+// engine.WithMemBudget places every query's working memory — sort
+// buffers, grouping tables, join builds — under a per-query ledger
+// (internal/memgov.Reservation) threaded through the physical
+// operators. Denial is a policy: without a spill directory the query
+// fails with the typed engine.ErrOverBudget (per-query, database
+// untouched); with engine.WithSpill it degrades to disk and completes
+// under the budget. ORDER BY becomes an external sort — over-grant
+// buffers spill as sorted runs (vector.SortRun), k-way merged with the
+// in-memory runs by vector.MergeRuns, holding one vector-sized chunk
+// per spilled run. Grouping and joins re-plan mid-query to grace hash
+// (internal/physical/grace.go): inputs radix-partition into spill
+// files by key hash, and each partition's table is built and drained
+// one at a time. Spilled plans are bit-exact against the in-memory
+// plans (engine/spill_test.go compares both to an unbudgeted oracle
+// across worker counts, race detector on). Spill files live in
+// internal/spill — CRC-checked chunked runs under a per-query scope
+// that dies with the query's cursor, swept at Open if a crash orphaned
+// any — and all spill I/O goes through the same wal.FS seam as the
+// log, so fault injection covers this layer: an injected spill failure
+// fails only the owning query with engine.ErrSpillFailed and never
+// taints the database. DB.SpillStats exposes the traffic.
+//
 // # NULL representation
 //
 // INT columns reserve the domain minimum (bat.NilInt), FLOAT columns
@@ -144,7 +168,11 @@
 // most Workers queries execute, at most QueueDepth more wait, and the
 // excess is rejected immediately with a typed queue-full error rather
 // than queueing without bound; a per-query memory budget rejects
-// statements whose referenced tables exceed it before they run.
+// statements whose referenced tables exceed it before they run — or,
+// under -mem-policy spill, admits them and lets the engine's runtime
+// ledger degrade them to disk. A statement timeout (-stmt-timeout, or
+// the session's SetTimeout override) cancels overlong statements at
+// the next morsel boundary with a typed timeout error.
 // repro/client is the Go client (Dial/Query/Prepare/Exec, streaming
 // Rows, context cancellation forwarded as an out-of-band Cancel frame
 // that stops the server-side scan at the next morsel boundary), and
@@ -171,7 +199,10 @@
 //   - walcheck — errors from fsync-bearing and checkpoint-owning calls
 //     (AppendTx, WaitDurable, Sync, Close/Truncate/Checkpoint/Vacuum/
 //     Save on WAL-owning types, os file mutations in the persistence
-//     layer) must be checked, never discarded (durability, PR 6).
+//     layer) must be checked, never discarded (durability, PR 6); the
+//     same discipline covers the spill path (WriteBatch/Finish/Cleanup
+//     on spill types, spill.Sweep), where a dropped error means wrong
+//     query results or leaked disk (out-of-core, PR 9).
 //   - hotpathmap — no Go maps or range-over-map in internal/radix,
 //     internal/vector, internal/batalg: the open-addressing tables
 //     replaced them for measured wins (joins PR 1, grouping PR 4).

@@ -51,11 +51,25 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/memgov"
 	"repro/internal/physical"
 	"repro/internal/recycler"
+	"repro/internal/spill"
 	"repro/internal/sqlfe"
 	"repro/internal/wal"
 )
+
+// ErrOverBudget is the typed error a governed query fails with when its
+// working memory would exceed the per-query budget and spilling is
+// unavailable (no spill directory, or a partition still too big). Test
+// with errors.Is; the failure is per-query — the database stays healthy.
+var ErrOverBudget = memgov.ErrExceeded
+
+// ErrSpillFailed is the typed error a spilling query fails with when
+// its spill-file I/O fails (full or faulty disk). Like ErrOverBudget it
+// fails only the query: the database is NOT tainted — no durable state
+// is involved — and a retry after the condition clears succeeds.
+var ErrSpillFailed = spill.ErrIO
 
 // Options configure Open. The zero value is a fresh in-memory database.
 type Options struct {
@@ -101,6 +115,24 @@ type Options struct {
 	// compile-free hit on every other (0 means the default of 256
 	// entries; < 0 disables the cache).
 	PlanCacheEntries int
+	// PlanCacheBytes additionally bounds the plan cache by the summed
+	// estimated footprint of its entries, so many large compiled plans
+	// cannot pin unbounded memory even under the entry cap (0 means the
+	// default of 8 MiB; < 0 means no byte bound).
+	PlanCacheBytes int64
+	// MemBudget is the per-query working-memory budget in bytes for the
+	// vectorized path's materializing operators (sort runs, grouping
+	// tables, join builds). 0 means unlimited. An over-budget query
+	// fails with ErrOverBudget — unless SpillDir makes it degrade to
+	// disk instead.
+	MemBudget int64
+	// SpillDir, when non-empty alongside MemBudget, switches the budget
+	// policy from reject to spill: over-budget sorts write sorted runs
+	// to temp files there and over-budget grouping/join builds re-plan
+	// to grace-hash partitioning. Spill files go through WALFS (fault
+	// injection covers them); orphans from crashed processes are swept
+	// at Open.
+	SpillDir string
 }
 
 // Option mutates Options.
@@ -141,6 +173,19 @@ func WithWALFS(fs wal.FS) Option { return func(o *Options) { o.WALFS = fs } }
 // negative n disables it (see Options.PlanCacheEntries).
 func WithPlanCache(n int) Option { return func(o *Options) { o.PlanCacheEntries = n } }
 
+// WithPlanCacheBytes bounds the shared prepared-plan cache by summed
+// entry footprint; a negative n removes the byte bound (see
+// Options.PlanCacheBytes).
+func WithPlanCacheBytes(n int64) Option { return func(o *Options) { o.PlanCacheBytes = n } }
+
+// WithMemBudget sets the per-query working-memory budget in bytes
+// (see Options.MemBudget).
+func WithMemBudget(n int64) Option { return func(o *Options) { o.MemBudget = n } }
+
+// WithSpill lets over-budget queries degrade to disk in dir instead of
+// failing (see Options.SpillDir).
+func WithSpill(dir string) Option { return func(o *Options) { o.SpillDir = dir } }
+
 // DB is an embedded database handle, safe for concurrent use. All
 // sessions (Conn) share its storage; reads run against snapshots, so
 // writers never block readers mid-query.
@@ -153,6 +198,8 @@ type DB struct {
 	closed bool
 
 	plans *planCache // shared prepared-plan cache; nil when disabled
+
+	spillMgr *spill.Manager // nil unless WithSpill
 
 	vacQuit chan struct{} // closed to stop the background vacuum
 	vacDone sync.WaitGroup
@@ -239,7 +286,29 @@ func Open(opts ...Option) (*DB, error) {
 	if planEntries == 0 {
 		planEntries = 256
 	}
-	d := &DB{opts: o, sdb: sdb, wal: lg, plans: newPlanCache(planEntries)}
+	planBytes := o.PlanCacheBytes
+	if planBytes == 0 {
+		planBytes = 8 << 20
+	} else if planBytes < 0 {
+		planBytes = 0 // no byte bound
+	}
+	var mgr *spill.Manager
+	if o.SpillDir != "" {
+		fs := o.WALFS
+		if fs == nil {
+			fs = wal.OSFS{}
+			if err := os.MkdirAll(o.SpillDir, 0o755); err != nil {
+				return nil, failOpen(fmt.Errorf("engine: spill dir %s: %w", o.SpillDir, err), lg)
+			}
+		}
+		// Sweep spill files orphaned by a crashed process: their owning
+		// queries are gone, so every surviving spill-* file is garbage.
+		if _, err := spill.Sweep(fs, o.SpillDir); err != nil {
+			return nil, failOpen(fmt.Errorf("engine: sweep spill dir: %w", err), lg)
+		}
+		mgr = spill.NewManager(fs, o.SpillDir)
+	}
+	d := &DB{opts: o, sdb: sdb, wal: lg, plans: newPlanCache(planEntries, planBytes), spillMgr: mgr}
 	if o.VacuumEvery >= 0 {
 		every := o.VacuumEvery
 		if every == 0 {
@@ -250,6 +319,18 @@ func Open(opts ...Option) (*DB, error) {
 		go d.vacuumLoop(every)
 	}
 	return d, nil
+}
+
+// failOpen closes a just-opened WAL when Open fails after it, keeping
+// the primary error first.
+func failOpen(err error, lg *wal.Log) error {
+	if lg == nil {
+		return err
+	}
+	if cerr := lg.Close(); cerr != nil {
+		err = errors.Join(err, fmt.Errorf("engine: close wal after failed open: %w", cerr))
+	}
+	return err
 }
 
 // vacuumLoop periodically merges deltas and tombstones back into main
@@ -400,6 +481,40 @@ func (d *DB) physOpts() physical.Options {
 		MorselSize: d.opts.MorselSize,
 		VectorSize: d.opts.VectorSize,
 	}
+}
+
+// queryGov mints one query's memory governance: a fresh reservation
+// against the configured budget, plus a spill-file scope when the
+// database can degrade to disk. Both nil means the query runs
+// ungoverned.
+func (d *DB) queryGov() (*memgov.Reservation, *spill.Scope) {
+	if d.opts.MemBudget <= 0 {
+		return nil, nil
+	}
+	pol := memgov.Reject
+	var sc *spill.Scope
+	if d.spillMgr != nil {
+		pol = memgov.Spill
+		sc = d.spillMgr.Scope()
+	}
+	return memgov.New(d.opts.MemBudget, pol), sc
+}
+
+// SpillStats reports spill-file counters (all zero without WithSpill).
+// LiveFiles returning to 0 after queries finish is the leak check.
+type SpillStats struct {
+	Spills       int64 // spill files ever created
+	LiveFiles    int64 // spill files currently on disk
+	BytesWritten int64 // cumulative bytes written to spill files
+}
+
+// SpillStats returns the current spill counters.
+func (d *DB) SpillStats() SpillStats {
+	if d.spillMgr == nil {
+		return SpillStats{}
+	}
+	s := d.spillMgr.Stats()
+	return SpillStats{Spills: s.Spills, LiveFiles: s.LiveFiles, BytesWritten: s.BytesWritten}
 }
 
 // Conn opens a new session. Sessions are cheap (no sockets, no

@@ -35,28 +35,48 @@ type planEntry struct {
 // schema moves. Bounded LRU; hit/miss counters feed the server's stats
 // frame.
 type planCache struct {
-	mu      sync.Mutex
-	cap     int
-	entries map[planKey]*list.Element
-	order   *list.List // front = most recently used; values are *planNode
-	hits    uint64
-	misses  uint64
+	mu       sync.Mutex
+	cap      int
+	capBytes int64 // 0 = no byte bound
+	entries  map[planKey]*list.Element
+	order    *list.List // front = most recently used; values are *planNode
+	bytes    int64      // summed estimated footprint of resident entries
+	hits     uint64
+	misses   uint64
 }
 
 type planNode struct {
-	key planKey
-	e   *planEntry
+	key   planKey
+	e     *planEntry
+	bytes int64
 }
 
-func newPlanCache(capacity int) *planCache {
+func newPlanCache(capacity int, capBytes int64) *planCache {
 	if capacity <= 0 {
 		return nil
 	}
 	return &planCache{
-		cap:     capacity,
-		entries: make(map[planKey]*list.Element, capacity),
-		order:   list.New(),
+		cap:      capacity,
+		capBytes: capBytes,
+		entries:  make(map[planKey]*list.Element, capacity),
+		order:    list.New(),
 	}
+}
+
+// planEntryBytes approximates one entry's resident footprint: the keyed
+// SQL text plus the compiled MAL program and the lowered physical tree.
+// It is an eviction weight, not an exact accounting — what matters is
+// that big programs weigh proportionally more than small ones.
+func planEntryBytes(sql string, e *planEntry) int64 {
+	b := int64(len(sql)) + 256
+	if e.prog != nil {
+		b += int64(len(e.prog.Instrs))*96 + int64(len(e.prog.ResultNames))*24
+	}
+	b += int64(len(e.ptypes))
+	if e.phys != nil {
+		b += 512
+	}
+	return b
 }
 
 // get returns the cached artifacts for (sql, ver), counting a hit or a
@@ -84,19 +104,29 @@ func (c *planCache) put(sql string, ver int64, e *planEntry) {
 		return
 	}
 	key := planKey{sql, ver}
+	sz := planEntryBytes(sql, e)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
 		// A racing session compiled the same statement; keep the winner.
-		el.Value.(*planNode).e = e
+		n := el.Value.(*planNode)
+		c.bytes += sz - n.bytes
+		n.e, n.bytes = e, sz
 		c.order.MoveToFront(el)
 		return
 	}
-	c.entries[key] = c.order.PushFront(&planNode{key: key, e: e})
-	for c.order.Len() > c.cap {
+	c.entries[key] = c.order.PushFront(&planNode{key: key, e: e, bytes: sz})
+	c.bytes += sz
+	// Evict past either bound — but never the entry just inserted, so a
+	// single plan bigger than the byte bound still caches (and is the
+	// lone resident until something else pushes it out).
+	for c.order.Len() > 1 &&
+		(c.order.Len() > c.cap || (c.capBytes > 0 && c.bytes > c.capBytes)) {
 		last := c.order.Back()
 		c.order.Remove(last)
-		delete(c.entries, last.Value.(*planNode).key)
+		n := last.Value.(*planNode)
+		c.bytes -= n.bytes
+		delete(c.entries, n.key)
 	}
 }
 
@@ -108,6 +138,7 @@ type PlanCacheStats struct {
 	Hits    uint64
 	Misses  uint64
 	Entries int
+	Bytes   int64 // summed estimated footprint of resident entries
 }
 
 // PlanCacheStats returns the current shared-plan-cache counters (zero
@@ -119,5 +150,5 @@ func (d *DB) PlanCacheStats() PlanCacheStats {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return PlanCacheStats{Hits: c.hits, Misses: c.misses, Entries: c.order.Len()}
+	return PlanCacheStats{Hits: c.hits, Misses: c.misses, Entries: c.order.Len(), Bytes: c.bytes}
 }

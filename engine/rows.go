@@ -43,6 +43,9 @@ type Rows struct {
 	b   *vector.Batch
 	bi  int
 	cur int32
+	// cleanup, when set, runs once at Close after the pipeline stops
+	// (releasing the query's spill files).
+	cleanup func() error
 
 	// Materialized-path state (MAL fallback): result columns, or the
 	// single all-scalar row.
@@ -366,6 +369,13 @@ func (r *Rows) Close() error {
 	r.seen = false
 	if r.op != nil {
 		if err := r.op.Close(); err != nil && r.err == nil {
+			r.err = err
+		}
+	}
+	if r.cleanup != nil {
+		cl := r.cleanup
+		r.cleanup = nil
+		if err := cl(); err != nil && r.err == nil {
 			r.err = err
 		}
 	}

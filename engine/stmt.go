@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -156,12 +157,37 @@ func (s *Stmt) Query(ctx context.Context, args ...any) (*Rows, error) {
 	// pipeline when the planner lowered the query and this snapshot's
 	// data qualifies (a data-dependent Fallback routes to MAL below).
 	if phys != nil {
-		res, fb, err := phys.Execute(ctx, snap, args, s.conn.db.physOpts())
+		popts := s.conn.db.physOpts()
+		gov, scope := s.conn.db.queryGov()
+		popts.Gov, popts.Spill = gov, scope
+		res, fb, err := phys.Execute(ctx, snap, args, popts)
 		if err != nil {
+			// Over-budget and spill-I/O failures are per-query: release
+			// this query's spill files and surface the typed error — the
+			// database itself stays healthy and keeps serving.
+			if scope != nil {
+				if cerr := scope.Cleanup(); cerr != nil {
+					err = errors.Join(err, cerr)
+				}
+			}
 			return nil, err
 		}
 		if fb == nil {
-			return newVecRows(ctx, phys.Names, res.Op, res.Limit), nil
+			r := newVecRows(ctx, phys.Names, res.Op, res.Limit)
+			if scope != nil {
+				// The pipeline streams spilled runs/partitions back while
+				// the cursor iterates; the files die with the cursor.
+				r.cleanup = scope.Cleanup
+			}
+			return r, nil
+		}
+		if scope != nil {
+			// MAL fallback: the vectorized pipeline never ran, but the
+			// scope exists — scrub it in case Execute partitioned before
+			// falling back.
+			if err := scope.Cleanup(); err != nil {
+				return nil, err
+			}
 		}
 	}
 

@@ -180,6 +180,22 @@ func TestWALCheckFixture(t *testing.T) {
 	runFixture(t, []*Analyzer{WALCheck}, "walcheck", "lintfixture/internal/sqlfe")
 }
 
+func TestWALCheckSpillFixture(t *testing.T) {
+	runFixture(t, []*Analyzer{WALCheck}, "walcheckspill", "lintfixture/internal/spill")
+}
+
+// The spill receiver rules are type-scoped and fire anywhere, but the
+// os rule is path-scoped: the same sources outside the persistence
+// layer must not report the os.Remove calls.
+func TestWALCheckSpillOSRuleScoped(t *testing.T) {
+	pkg := loadFixture(t, "walcheckspill", "lintfixture/other")
+	for _, d := range Run(pkg, []*Analyzer{WALCheck}) {
+		if strings.Contains(d.Message, "os.Remove") {
+			t.Fatalf("os rule fired outside the persistence layer: %v", d)
+		}
+	}
+}
+
 func TestHotPathMapFixture(t *testing.T) {
 	runFixture(t, []*Analyzer{HotPathMap}, "hotpathmap", "lintfixture/internal/radix")
 }

@@ -1,0 +1,61 @@
+// Fixture for the walcheck analyzer's spill rules (PR 9): spill-path
+// errors decide the owning query's outcome — a dropped write error
+// decodes into wrong results, a dropped cleanup error leaks disk — so
+// they must be checked. The fixture imports the real spill package
+// (the receiver rules match the defining package's name) and sits
+// under a path ending in internal/spill so the persistence-layer os
+// rule is active too.
+package consumer
+
+import (
+	"os"
+
+	"repro/internal/spill"
+	"repro/internal/vector"
+	"repro/internal/wal"
+)
+
+func bad(sc *spill.Scope, w *spill.Writer, b *vector.Batch, fs wal.FS) {
+	w.WriteBatch(b)        // want "WriteBatch error discarded"
+	defer sc.Cleanup()     // want "Cleanup error discarded"
+	w.Finish()             // want "Finish error discarded"
+	_ = w.WriteBatch(b)    // want "WriteBatch error assigned to _"
+	_, _ = w.Finish()      // want "Finish error assigned to _"
+	_ = sc.Cleanup()       // want "Cleanup error assigned to _"
+	spill.Sweep(fs, "dir") // want "spill.Sweep error discarded"
+	os.Remove("orphan")    // want "os.Remove error discarded"
+}
+
+func good(sc *spill.Scope, w *spill.Writer, b *vector.Batch, fs wal.FS) error {
+	if err := w.WriteBatch(b); err != nil { // ok: checked
+		return err
+	}
+	f, err := w.Finish() // ok: error captured
+	if err != nil {
+		return err
+	}
+	_ = f
+	if _, err := spill.Sweep(fs, "dir"); err != nil { // ok: checked
+		return err
+	}
+	return sc.Cleanup() // ok: returned
+}
+
+// Same-named methods on a non-spill type stay silent: the rule matches
+// the defining package, not the method name alone.
+type other struct{}
+
+func (other) WriteBatch(*vector.Batch) error { return nil }
+func (other) Finish() error                  { return nil }
+func (other) Cleanup() error                 { return nil }
+
+func okNonSpill(o other, b *vector.Batch) {
+	o.WriteBatch(b) // ok: not a spill type
+	o.Finish()      // ok
+	o.Cleanup()     // ok
+}
+
+func justified() {
+	//lint:ignore walcheck best-effort cleanup of a temp probe file; committed state is elsewhere
+	os.Remove("tmp")
+}

@@ -21,10 +21,15 @@ import (
 //   - Close, Truncate, Checkpoint, Vacuum, Save — when the receiver is
 //     a durability-owning type: wal.Log, the engine DB, or the sqlfe
 //     DB (Close checkpoints; Truncate discards the log).
-//   - os.Remove / os.RemoveAll / os.Rename — inside internal/sqlfe and
-//     internal/wal only (the persistence layer, where a failed rename
-//     is a failed commit point). Best-effort cleanup sites carry a
-//     //lint:ignore walcheck justification.
+//   - os.Remove / os.RemoveAll / os.Rename — inside internal/sqlfe,
+//     internal/wal, and internal/spill only (the persistence layer,
+//     where a failed rename is a failed commit point). Best-effort
+//     cleanup sites carry a //lint:ignore walcheck justification.
+//   - WriteBatch, Finish, Cleanup — when the receiver is a type from
+//     the spill package, plus the package-level spill.Sweep: a dropped
+//     spill-write error decodes into wrong query results, and a
+//     dropped Cleanup/Sweep error leaks disk (PR 9's out-of-core
+//     layer).
 var WALCheck = &Analyzer{
 	Name: "walcheck",
 	Doc:  "durability-path errors (WAL append/fsync/checkpoint) must be checked, never discarded",
@@ -49,8 +54,18 @@ var durabilityOwner = map[string]bool{
 	"Save":       true,
 }
 
+// spillBearing methods are flagged when the receiver is a type from
+// the spill package (any import path whose package is named spill).
+var spillBearing = map[string]bool{
+	"WriteBatch": true,
+	"Finish":     true,
+	"Cleanup":    true,
+}
+
 func runWALCheck(p *Pass) {
-	inPersistLayer := pathHasSuffix(p.Pkg.Path(), "internal/sqlfe") || pathHasSuffix(p.Pkg.Path(), "internal/wal")
+	inPersistLayer := pathHasSuffix(p.Pkg.Path(), "internal/sqlfe") ||
+		pathHasSuffix(p.Pkg.Path(), "internal/wal") ||
+		pathHasSuffix(p.Pkg.Path(), "internal/spill")
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			var call *ast.CallExpr
@@ -132,6 +147,9 @@ func (p *Pass) durabilityCall(call *ast.CallExpr, inPersistLayer bool) (string, 
 			if fsyncBearing[name] {
 				return pkg.Name() + "." + name, "fsync-bearing call; route the error to the taint/poison path"
 			}
+			if pkg.Name() == "spill" && name == "Sweep" {
+				return "spill.Sweep", "an unreported sweep failure leaks orphaned spill files onto the disk"
+			}
 			return "", ""
 		}
 	}
@@ -141,7 +159,28 @@ func (p *Pass) durabilityCall(call *ast.CallExpr, inPersistLayer bool) (string, 
 	if durabilityOwner[name] && p.recvIsDurabilityOwner(sel) {
 		return name, "the receiver owns durability state (checkpoint/WAL); its error means a broken durability promise"
 	}
+	if spillBearing[name] && p.recvIsSpillType(sel) {
+		return name, "a spill-path error decides the owning query's outcome (wrong results or leaked files if dropped)"
+	}
 	return "", ""
+}
+
+// recvIsSpillType reports whether the method receiver is a named type
+// defined in a package named spill (matched by name so testdata stubs
+// and the real internal/spill both qualify).
+func (p *Pass) recvIsSpillType(sel *ast.SelectorExpr) bool {
+	t := p.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Name() == "spill"
 }
 
 // recvIsDurabilityOwner reports whether the method receiver is one of

@@ -1,0 +1,125 @@
+// Package memgov is the per-query memory governor: a Reservation is a
+// ledger of execution-memory grants shared by every memory-hungry
+// operator of one query (sort run buffers, grouping tables, join
+// builds). Operators Acquire bytes before materializing them and
+// Release when the memory is dropped mid-query; the query's total
+// footprint therefore never exceeds the limit, replacing the server's
+// old static referenced-table estimate with live accounting.
+//
+// The ledger is deliberately approximate — it charges the dominant
+// allocations (row buffers, hash-table slot arrays, accumulator
+// columns), not every transient — but it is conservative where it
+// matters: a denied Acquire fires BEFORE the allocation it guards.
+//
+// What a denial means is the Policy's call: under Reject the operator
+// propagates ErrExceeded and the query fails with a typed error; under
+// Spill the operator degrades to its out-of-core strategy (external
+// sort runs, grace-hash partitioning) and keeps going.
+//
+// A nil *Reservation is the ungoverned ledger: every method is
+// nil-safe and Acquire always succeeds, so operators thread the
+// pointer unconditionally and only governed queries pay.
+package memgov
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// ErrExceeded is the typed denial: the query's live execution memory
+// would exceed its budget. Wrapped errors carry the attempted size and
+// the limit; match with errors.Is.
+var ErrExceeded = errors.New("memgov: query memory budget exceeded")
+
+// Policy says what a denied Acquire should turn into.
+type Policy int
+
+const (
+	// Reject fails the query with ErrExceeded.
+	Reject Policy = iota
+	// Spill lets operators degrade to disk instead of failing.
+	Spill
+)
+
+// Reservation is one query's memory ledger. Workers of a parallel
+// query share a single Reservation, so the cap bounds the QUERY, not
+// each worker; all methods are safe for concurrent use and nil-safe.
+type Reservation struct {
+	limit  int64
+	policy Policy
+	used   atomic.Int64
+	high   atomic.Int64 // high-water mark of used
+}
+
+// New returns a ledger capped at limit bytes (limit <= 0 means
+// unlimited) with the given denial policy.
+func New(limit int64, policy Policy) *Reservation {
+	return &Reservation{limit: limit, policy: policy}
+}
+
+// Acquire reserves n bytes, or reports ErrExceeded (wrapped) if that
+// would push the ledger past its limit. n <= 0 is a no-op.
+func (r *Reservation) Acquire(n int64) error {
+	if r == nil || n <= 0 {
+		return nil
+	}
+	for {
+		cur := r.used.Load()
+		next := cur + n
+		if r.limit > 0 && next > r.limit {
+			return fmt.Errorf("%w: %d in use + %d requested > limit %d", ErrExceeded, cur, n, r.limit)
+		}
+		if r.used.CompareAndSwap(cur, next) {
+			for {
+				h := r.high.Load()
+				if next <= h || r.high.CompareAndSwap(h, next) {
+					return nil
+				}
+			}
+		}
+	}
+}
+
+// Release returns n bytes to the ledger. Releasing more than was
+// acquired is a caller bug; the ledger clamps at zero rather than
+// going negative so one bad release cannot mint budget.
+func (r *Reservation) Release(n int64) {
+	if r == nil || n <= 0 {
+		return
+	}
+	if cur := r.used.Add(-n); cur < 0 {
+		r.used.CompareAndSwap(cur, 0)
+	}
+}
+
+// CanSpill reports whether a denied Acquire should degrade to disk
+// (Policy Spill) rather than fail the query. Nil and ungoverned
+// ledgers never ask for spilling.
+func (r *Reservation) CanSpill() bool {
+	return r != nil && r.policy == Spill
+}
+
+// Used returns the bytes currently reserved.
+func (r *Reservation) Used() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.used.Load()
+}
+
+// HighWater returns the maximum bytes ever simultaneously reserved.
+func (r *Reservation) HighWater() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.high.Load()
+}
+
+// Limit returns the byte cap (0 = unlimited).
+func (r *Reservation) Limit() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.limit
+}

@@ -1,0 +1,94 @@
+package memgov
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestAcquireRelease(t *testing.T) {
+	r := New(100, Reject)
+	if err := r.Acquire(60); err != nil {
+		t.Fatalf("acquire 60: %v", err)
+	}
+	if err := r.Acquire(50); !errors.Is(err, ErrExceeded) {
+		t.Fatalf("acquire past limit: got %v, want ErrExceeded", err)
+	}
+	if err := r.Acquire(40); err != nil {
+		t.Fatalf("acquire to exactly the limit: %v", err)
+	}
+	if got := r.Used(); got != 100 {
+		t.Fatalf("Used = %d, want 100", got)
+	}
+	r.Release(100)
+	if got := r.Used(); got != 0 {
+		t.Fatalf("Used after release = %d, want 0", got)
+	}
+	if got := r.HighWater(); got != 100 {
+		t.Fatalf("HighWater = %d, want 100", got)
+	}
+}
+
+func TestNilReservation(t *testing.T) {
+	var r *Reservation
+	if err := r.Acquire(1 << 40); err != nil {
+		t.Fatalf("nil reservation must grant everything: %v", err)
+	}
+	r.Release(1 << 40)
+	if r.CanSpill() {
+		t.Fatal("nil reservation must not ask for spilling")
+	}
+	if r.Used() != 0 || r.HighWater() != 0 || r.Limit() != 0 {
+		t.Fatal("nil reservation accessors must be zero")
+	}
+}
+
+func TestUnlimited(t *testing.T) {
+	r := New(0, Reject)
+	if err := r.Acquire(1 << 50); err != nil {
+		t.Fatalf("unlimited reservation denied: %v", err)
+	}
+}
+
+func TestPolicy(t *testing.T) {
+	if New(10, Reject).CanSpill() {
+		t.Fatal("Reject policy must not spill")
+	}
+	if !New(10, Spill).CanSpill() {
+		t.Fatal("Spill policy must spill")
+	}
+}
+
+func TestReleaseClampsAtZero(t *testing.T) {
+	r := New(100, Reject)
+	r.Release(50) // caller bug: nothing acquired
+	if err := r.Acquire(100); err != nil {
+		t.Fatalf("over-release minted budget: %v", err)
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	r := New(1000, Spill)
+	var wg sync.WaitGroup
+	var denied sync.Map
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if err := r.Acquire(10); err != nil {
+					denied.Store(w, true)
+					continue
+				}
+				r.Release(10)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Used(); got != 0 {
+		t.Fatalf("Used after balanced acquire/release = %d, want 0", got)
+	}
+	if hw := r.HighWater(); hw > 1000 {
+		t.Fatalf("HighWater %d exceeded the limit", hw)
+	}
+}

@@ -2,10 +2,12 @@ package physical
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/bat"
+	"repro/internal/memgov"
 	"repro/internal/radix"
 	"repro/internal/sqlfe"
 	"repro/internal/vector"
@@ -339,12 +341,20 @@ func (p *Plan) execSort(ctx context.Context, snap *sqlfe.Snapshot, args []any, o
 		// overhead here (tiny or single-worker input).
 		workers = 1
 	}
+	// Sort degrades out of core incrementally: each worker's SortRun
+	// encodes over-grant runs to spill files (releasing their memory),
+	// and MergeRuns streams those external runs back through the same
+	// k-way heap as the in-memory ones. With a nil sink (no scope, or
+	// the reject policy) a denied charge fails the query instead.
+	runs := &vector.RunSet{}
+	sink := opts.sink()
 	plan := func(scan vector.Operator) vector.Operator {
 		op := scan
 		if len(preds) > 0 {
 			op = &vector.Filter{Child: op, Preds: preds}
 		}
-		return &vector.SortRun{Child: op, Key: sn.Key, RowID: rowID, Desc: sn.Desc, Limit: sn.Limit}
+		return &vector.SortRun{Child: op, Key: sn.Key, RowID: rowID, Desc: sn.Desc, Limit: sn.Limit,
+			Res: opts.Gov, Spill: sink, Runs: runs, Size: opts.VectorSize}
 	}
 	ex := &vector.Exchange{
 		Source:     bs.src,
@@ -362,6 +372,7 @@ func (p *Plan) execSort(ctx context.Context, snap *sqlfe.Snapshot, args []any, o
 		Desc:  sn.Desc,
 		Limit: sn.Limit,
 		Size:  opts.VectorSize,
+		Ext:   runs,
 	}
 	exprs := make([]vector.Expr, len(proj.Outs))
 	for i, o := range proj.Outs {
@@ -482,18 +493,38 @@ func (p *Plan) execGrouped(ctx context.Context, snap *sqlfe.Snapshot, args []any
 		keys := bs.src.Cols[g.Keys[0]].Ints
 		est := vector.EstimateGroups(keys)
 		if radix.ShouldPartitionGroup(len(keys), est, workers) {
-			merged, err = vector.PartitionedGroupAgg(ctx, bs.src, g.Keys[0], specs, workers, radix.GroupBits(est))
+			merged, err = vector.PartitionedGroupAggGov(ctx, bs.src, g.Keys[0], specs, workers, radix.GroupBits(est), opts.Gov)
+			if err != nil && errors.Is(err, memgov.ErrExceeded) {
+				// The shuffle's upfront charge was denied; the merge-based
+				// plan builds smaller state and can still grace-spill.
+				merged, err = nil, nil
+			}
 		}
 	}
 	if merged == nil && err == nil {
-		merged, err = vector.ParallelGroupAgg(ctx, bs.src, g.Keys, specs, preds, workers, opts.MorselSize, opts.VectorSize)
+		merged, err = vector.ParallelGroupAggGov(ctx, bs.src, g.Keys, specs, preds, workers, opts.MorselSize, opts.VectorSize, opts.Gov)
+		if err != nil && errors.Is(err, memgov.ErrExceeded) && opts.canSpill() {
+			// The grouping table outgrew the grant mid-build: re-plan to
+			// grace-hash partitioning (the failed attempt already handed
+			// its memory back on the way out).
+			return p.graceGroup(ctx, opts, bs, preds, g, specs)
+		}
 	}
 	if err != nil {
 		return nil, nil, err
 	}
+	op := &batchOp{b: &vector.Batch{N: merged.N, Cols: shapeGrouped(merged, g)}}
+	if err := op.Open(); err != nil {
+		return nil, nil, err
+	}
+	return &Result{Op: op, Limit: p.Limit}, nil, nil
+}
 
-	// Shape the merged [keys..., accs...] batch into the select-list
-	// columns with SQL NULL semantics (nil sentinels render as NULL).
+// shapeGrouped shapes a merged [keys..., accs...] grouped-aggregate
+// batch into the select-list columns with SQL NULL semantics (nil
+// sentinels render as NULL).
+func shapeGrouped(merged *vector.Batch, g *GroupAggNode) []vector.Col {
+	nk := len(g.Keys)
 	n := merged.N
 	accCol := func(i int) *vector.Col { return &merged.Cols[i+nk] }
 	out := make([]vector.Col, len(g.Outs))
@@ -549,11 +580,7 @@ func (p *Plan) execGrouped(ctx context.Context, snap *sqlfe.Snapshot, args []any
 			out[i] = *accCol(o.Acc)
 		}
 	}
-	op := &batchOp{b: &vector.Batch{N: n, Cols: out}}
-	if err := op.Open(); err != nil {
-		return nil, nil, err
-	}
-	return &Result{Op: op, Limit: p.Limit}, nil, nil
+	return out
 }
 
 // --- hash join: serial build, parallel probe ---
@@ -607,25 +634,6 @@ func (p *Plan) execJoin(ctx context.Context, snap *sqlfe.Snapshot, args []any, o
 		buildKey, probeKey = jn.LKey, jn.RKey
 	}
 
-	// Serial build: drain the build side's pipeline into the shared
-	// read-only JoinBuild (radix.JoinTable underneath — nil keys never
-	// match, large builds auto radix-partition).
-	var buildOp vector.Operator = vector.NewScan(build.src, opts.VectorSize)
-	if len(buildPreds) > 0 {
-		buildOp = &vector.Filter{Child: buildOp, Preds: buildPreds}
-	}
-	payload := make([]int, len(build.src.Cols))
-	for i := range payload {
-		payload[i] = i
-	}
-	jb, err := vector.BuildJoinTable(buildOp, buildKey, payload, false)
-	if err != nil {
-		return nil, nil, err
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, nil, err
-	}
-
 	// The joined batch lays out probe columns then build payloads; remap
 	// the virtual (left ++ right) projection accordingly.
 	nl := len(lb.src.Cols)
@@ -641,6 +649,31 @@ func (p *Plan) execJoin(ctx context.Context, snap *sqlfe.Snapshot, args []any, o
 			}
 		}
 		exprs[i] = vector.ColRef{Idx: rt}
+	}
+
+	// Serial build: drain the build side's pipeline into the shared
+	// read-only JoinBuild (radix.JoinTable underneath — nil keys never
+	// match, large builds auto radix-partition).
+	var buildOp vector.Operator = vector.NewScan(build.src, opts.VectorSize)
+	if len(buildPreds) > 0 {
+		buildOp = &vector.Filter{Child: buildOp, Preds: buildPreds}
+	}
+	payload := make([]int, len(build.src.Cols))
+	for i := range payload {
+		payload[i] = i
+	}
+	jb, err := vector.BuildJoinTableGov(buildOp, buildKey, payload, false, opts.Gov)
+	if err != nil {
+		if errors.Is(err, memgov.ErrExceeded) && opts.canSpill() {
+			// The build side outgrew the grant mid-drain (its partial
+			// charge is already handed back): re-plan to a grace-hash
+			// join over matching partition pairs of both sides.
+			return p.graceJoin(ctx, opts, build, probe, buildPreds, probePreds, buildKey, probeKey, payload, exprs)
+		}
+		return nil, nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
 	}
 
 	plan := func(scan vector.Operator) vector.Operator {

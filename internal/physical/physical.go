@@ -32,6 +32,8 @@ import (
 	"fmt"
 	"runtime"
 
+	"repro/internal/memgov"
+	"repro/internal/spill"
 	"repro/internal/sqlfe"
 	"repro/internal/vector"
 )
@@ -87,6 +89,15 @@ type Options struct {
 	Workers    int // <= 0: GOMAXPROCS
 	MorselSize int // <= 0: vector.DefaultMorselSize
 	VectorSize int // <= 0: vector.DefaultSize
+
+	// Gov is the query's live memory ledger; nil runs ungoverned. The
+	// memory-hungry operators (sort runs, grouping tables, join builds)
+	// charge it as they materialize and a denied charge either fails the
+	// query (memgov.Reject) or degrades it out of core (memgov.Spill).
+	Gov *memgov.Reservation
+	// Spill is the query's spill-file scope; nil means spilling is
+	// unavailable and a denied charge always fails the query.
+	Spill *spill.Scope
 }
 
 func (o Options) workers() int {
@@ -94,6 +105,11 @@ func (o Options) workers() int {
 		return o.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// canSpill reports whether over-grant operators may degrade to disk.
+func (o Options) canSpill() bool {
+	return o.Gov.CanSpill() && o.Spill != nil
 }
 
 // --- the plan tree ---

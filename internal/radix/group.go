@@ -128,6 +128,12 @@ func (t *GroupTable) AssignBulk(keys []int64, gids []int32) {
 	}
 }
 
+// MemBytes returns the table's live heap footprint — the slot array
+// plus the dense key array — for the query memory governor's ledger.
+func (t *GroupTable) MemBytes() int64 {
+	return int64(len(t.slots))*16 + int64(cap(t.keys))*8
+}
+
 // Lookup returns the gid of key, or -1 when the key has no group yet.
 func (t *GroupTable) Lookup(key int64) int32 {
 	mask := uint64(len(t.slots) - 1)
@@ -203,6 +209,12 @@ func NewPairGroupTable(hint int) *PairGroupTable {
 
 // Len returns the number of distinct pairs seen.
 func (t *PairGroupTable) Len() int { return t.n }
+
+// MemBytes returns the slot array's heap footprint for the query
+// memory governor's ledger.
+func (t *PairGroupTable) MemBytes() int64 {
+	return int64(len(t.slots)) * 24
+}
 
 // GID returns the dense group id of (k1,k2), assigning the next free id
 // on first sight.

@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/engine"
 	"repro/internal/server/wire"
@@ -53,6 +54,18 @@ type Config struct {
 	// MemBudget, when positive, rejects (ErrBudget) any query whose
 	// referenced tables' stored bytes exceed it. 0 disables the check.
 	MemBudget int64
+	// MemPolicy selects what an over-budget query gets: "reject" (the
+	// default) refuses it at the door with ErrBudget; "spill" admits it
+	// and lets the engine's governed operators degrade to disk, so the
+	// static estimate check above is skipped (the runtime ledger and
+	// grace-hash re-planning take over). Any other value is a config
+	// error.
+	MemPolicy string
+	// StmtTimeout, when positive, bounds every statement's wall-clock
+	// execution (admission wait included); an overrun cancels the query
+	// at its next morsel boundary with CodeTimeout. Sessions may
+	// override it per-connection with a SetTimeout frame. 0 disables.
+	StmtTimeout time.Duration
 	// Banner is sent in the Welcome frame.
 	Banner string
 	// Logf receives diagnostics (connection teardown errors and the
@@ -107,6 +120,11 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	switch cfg.MemPolicy {
+	case "", "reject", "spill":
+	default:
+		return nil, fmt.Errorf("server: Config.MemPolicy %q (want \"reject\" or \"spill\")", cfg.MemPolicy)
 	}
 	logf := cfg.Logf
 	if logf == nil {
@@ -246,6 +264,7 @@ func (s *Server) release() {
 // stats assembles the counters for a StatsReply.
 func (s *Server) stats() wire.StatsReply {
 	pcs := s.cfg.DB.PlanCacheStats()
+	scs := s.cfg.DB.SpillStats()
 	s.mu.Lock()
 	nsess := len(s.sessions)
 	s.mu.Unlock()
@@ -259,6 +278,10 @@ func (s *Server) stats() wire.StatsReply {
 		Admitted:    s.admitted.Load(),
 		RejectedQ:   s.rejectedQueue.Load(),
 		RejectedMem: s.rejectedMem.Load(),
+		PlanBytes:   uint64(pcs.Bytes),
+		Spills:      uint64(scs.Spills),
+		SpillBytes:  uint64(scs.BytesWritten),
+		SpillLive:   uint64(scs.LiveFiles),
 	}
 }
 

@@ -28,6 +28,13 @@ func startServer(t *testing.T, dir string, mutate func(*Config)) (addr string, s
 	if dir != "" {
 		opts = append(opts, engine.WithDir(dir))
 	}
+	return startServerWith(t, opts, mutate)
+}
+
+// startServerWith is startServer with explicit engine options (memory
+// budgets, spill directories, and the like).
+func startServerWith(t *testing.T, opts []engine.Option, mutate func(*Config)) (addr string, srv *Server, db *engine.DB, stop func(ctx context.Context) error) {
+	t.Helper()
 	db, err := engine.Open(opts...)
 	if err != nil {
 		t.Fatal(err)

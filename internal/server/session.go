@@ -32,6 +32,12 @@ type session struct {
 	stmts  map[uint32]*engine.Stmt // executor-only
 	nextID uint32                  // executor-only
 
+	// stmtTimeout is this session's statement-timeout override, set by
+	// a SetTimeout frame; 0 means "no override, use the server's
+	// default". Executor-only: SetTimeout flows through the command
+	// channel, so no lock is needed.
+	stmtTimeout time.Duration
+
 	// guarded by srv.mu is too coarse for per-command state; the
 	// session has its own tiny critical sections.
 	cancelCur context.CancelFunc // set while a command runs
@@ -199,6 +205,16 @@ func (se *session) setCancel(c context.CancelFunc) {
 	se.srv.mu.Unlock()
 }
 
+// effectiveTimeout returns the statement timeout to apply: the
+// session's SetTimeout override when one is set, the server default
+// otherwise.
+func (se *session) effectiveTimeout() time.Duration {
+	if se.stmtTimeout > 0 {
+		return se.stmtTimeout
+	}
+	return se.srv.cfg.StmtTimeout
+}
+
 // closeConn closes the network connection, tolerating double-close
 // (teardown races drain by design).
 func (se *session) closeConn() {
@@ -237,14 +253,21 @@ func (se *session) rejectConn(code wire.ErrCode, msg string) {
 	}
 }
 
-// codeFor maps an execution error to its wire code.
+// codeFor maps an execution error to its wire code. DeadlineExceeded
+// is the statement timeout firing (the only deadline on a query
+// context), so it gets its own code; a Cancel frame or client
+// disconnect surfaces as context.Canceled. The engine's runtime
+// over-budget rejection maps to the same CodeBudget as the static
+// admission check — the client sees one "too big" error either way.
 func codeFor(err error) wire.ErrCode {
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		return wire.CodeQueueFull
-	case errors.Is(err, ErrBudget):
+	case errors.Is(err, ErrBudget), errors.Is(err, engine.ErrOverBudget):
 		return wire.CodeBudget
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+	case errors.Is(err, context.DeadlineExceeded):
+		return wire.CodeTimeout
+	case errors.Is(err, context.Canceled):
 		return wire.CodeCanceled
 	case errors.Is(err, errShutdown):
 		return wire.CodeShutdown
@@ -292,6 +315,9 @@ func (se *session) dispatch(ctx context.Context, m any) error {
 			return se.sendErr(wire.CodeGeneric, err.Error())
 		}
 		return wire.Send(se.nc, wire.PlanReply{Text: text})
+	case wire.SetTimeout:
+		se.stmtTimeout = time.Duration(c.Millis) * time.Millisecond
+		return wire.Send(se.nc, wire.Done{})
 	case wire.Tables:
 		return wire.Send(se.nc, wire.TablesReply{Names: se.srv.cfg.DB.Tables()})
 	case wire.Stats:
@@ -304,7 +330,16 @@ func (se *session) dispatch(ctx context.Context, m any) error {
 // statement) or prepared (st) — through admission control, streaming
 // results. The command terminates with exactly one Done or Err frame.
 func (se *session) runStmt(ctx context.Context, sql string, st *engine.Stmt, args []any) error {
-	qctx, cancel := context.WithCancel(ctx)
+	var qctx context.Context
+	var cancel context.CancelFunc
+	if d := se.effectiveTimeout(); d > 0 {
+		// The deadline covers the whole statement — admission wait,
+		// execution, and result streaming. An overrun cancels the query
+		// at its next morsel boundary and reports CodeTimeout.
+		qctx, cancel = context.WithTimeout(ctx, d)
+	} else {
+		qctx, cancel = context.WithCancel(ctx)
+	}
 	defer func() {
 		se.setCancel(nil)
 		cancel()
@@ -324,7 +359,10 @@ func (se *session) runStmt(ctx context.Context, sql string, st *engine.Stmt, arg
 		}()
 	}
 
-	if b := se.srv.cfg.MemBudget; b > 0 {
+	// Under the "spill" policy the static estimate check is skipped:
+	// the engine's runtime ledger governs the query and over-grants
+	// degrade to disk instead of being refused at the door.
+	if b := se.srv.cfg.MemBudget; b > 0 && se.srv.cfg.MemPolicy != "spill" {
 		if est := st.EstimateBytes(); est > b {
 			se.srv.rejectedMem.Add(1)
 			return se.sendErr(wire.CodeBudget,

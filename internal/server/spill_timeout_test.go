@@ -1,0 +1,267 @@
+package server
+
+// Serving-layer tests for PR 9's out-of-core and timeout features:
+// statement timeouts (server default and per-session SetTimeout
+// override), the reject-vs-spill memory policy, and the stats frame's
+// plan-cache and spill counters. Queries are held deterministically
+// with the config's test gate where timing matters.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/client"
+	"repro/engine"
+)
+
+// seedScrambled loads n int rows in a scrambled order so ORDER BY has
+// real work to do. Seeding goes through the engine directly — loading
+// over the wire would fight the armed test gate and the tiny budgets.
+func seedScrambled(t *testing.T, db *engine.DB, table string, n int) {
+	t.Helper()
+	ctx := context.Background()
+	if _, err := db.Exec(ctx, fmt.Sprintf(`CREATE TABLE %s (a INT)`, table)); err != nil {
+		t.Fatal(err)
+	}
+	const chunk = 1000
+	for base := 0; base < n; base += chunk {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, `INSERT INTO %s VALUES `, table)
+		for j := 0; j < chunk && base+j < n; j++ {
+			if j > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d)", (base+j)*7919%n)
+		}
+		if _, err := db.Exec(ctx, sb.String()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestStmtTimeoutDefault: with a server-wide statement timeout, a query
+// stuck past it fails with ErrTimeout (not ErrCanceled), and the
+// session keeps serving afterwards.
+func TestStmtTimeoutDefault(t *testing.T) {
+	ctx := context.Background()
+	gate := make(chan struct{})
+	addr, _, db, _ := startServer(t, "", func(c *Config) {
+		c.StmtTimeout = 500 * time.Millisecond
+		c.testGate = gate
+	})
+	if _, err := db.Exec(ctx, `CREATE TABLE t (a INT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(ctx, `INSERT INTO t VALUES (1), (2), (3)`); err != nil {
+		t.Fatal(err)
+	}
+	c := dial(t, addr)
+
+	// The gate holds the admitted query until its deadline fires.
+	_, err := c.Query(ctx, `SELECT sum(a) AS s FROM t`)
+	if !errors.Is(err, client.ErrTimeout) {
+		t.Fatalf("stuck query err = %v, want ErrTimeout", err)
+	}
+	if errors.Is(err, client.ErrCanceled) {
+		t.Fatalf("timeout must not read as plain cancellation: %v", err)
+	}
+
+	// Released, the same session's next query completes inside the
+	// timeout.
+	close(gate)
+	rows, err := c.Query(ctx, `SELECT sum(a) AS s FROM t`)
+	if err != nil {
+		t.Fatalf("post-timeout query: %v", err)
+	}
+	var s int64
+	if !rows.Next() {
+		t.Fatalf("no row: %v", rows.Err())
+	}
+	if err := rows.Scan(&s); err != nil {
+		t.Fatal(err)
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s != 6 {
+		t.Fatalf("sum = %d, want 6", s)
+	}
+}
+
+// TestSetTimeoutOverride: a session's SetTimeout takes precedence over
+// the server default, and SetTimeout(0) reverts to it.
+func TestSetTimeoutOverride(t *testing.T) {
+	ctx := context.Background()
+	gate := make(chan struct{})
+	addr, _, db, _ := startServer(t, "", func(c *Config) {
+		c.StmtTimeout = time.Hour // far beyond the test's patience
+		c.testGate = gate
+	})
+	if _, err := db.Exec(ctx, `CREATE TABLE t (a INT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(ctx, `INSERT INTO t VALUES (7)`); err != nil {
+		t.Fatal(err)
+	}
+	c := dial(t, addr)
+
+	// Only the 300ms override can explain a timeout here — the server
+	// default is an hour.
+	if err := c.SetTimeout(300 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Query(ctx, `SELECT a FROM t`)
+	if !errors.Is(err, client.ErrTimeout) {
+		t.Fatalf("overridden query err = %v, want ErrTimeout", err)
+	}
+
+	close(gate)
+	if err := c.SetTimeout(0); err != nil { // back to the 1h default
+		t.Fatal(err)
+	}
+	rows, err := c.Query(ctx, `SELECT a FROM t`)
+	if err != nil {
+		t.Fatalf("query after clearing override: %v", err)
+	}
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("rows = %d, want 1", n)
+	}
+}
+
+// TestMemPolicySpill: the same over-budget ORDER BY that the reject
+// policy refuses at the door completes under the spill policy by
+// degrading to disk, and the stats frame shows the spill activity.
+func TestMemPolicySpill(t *testing.T) {
+	ctx := context.Background()
+	const budget = 128 << 10
+	const rows = 30000 // ~240 KB of sort state, well past the budget
+
+	// Spill side: the static admission check is skipped; the engine's
+	// ledger over-grants and the sort goes external.
+	spillOpts := []engine.Option{engine.WithMemBudget(budget), engine.WithSpill(t.TempDir())}
+	addr, srv, db, _ := startServerWith(t, spillOpts, func(c *Config) {
+		c.MemBudget = budget
+		c.MemPolicy = "spill"
+	})
+	seedScrambled(t, db, "big", rows)
+	c := dial(t, addr)
+
+	rs, err := c.Query(ctx, `SELECT a FROM big ORDER BY a`)
+	if err != nil {
+		t.Fatalf("spill-policy query: %v", err)
+	}
+	var prev int64 = -1
+	n := 0
+	for rs.Next() {
+		var a int64
+		if err := rs.Scan(&a); err != nil {
+			t.Fatal(err)
+		}
+		if a < prev {
+			t.Fatalf("row %d: %d after %d — not sorted", n, a, prev)
+		}
+		prev = a
+		n++
+	}
+	if err := rs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n != rows {
+		t.Fatalf("spilled sort returned %d rows, want %d", n, rows)
+	}
+	if got := srv.rejectedMem.Load(); got != 0 {
+		t.Fatalf("spill policy bumped rejectedMem %d times", got)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Spills == 0 || st.SpillBytes == 0 {
+		t.Fatalf("stats show no spill activity: %+v", st)
+	}
+	if st.SpillLive != 0 {
+		t.Fatalf("%d spill files leaked past query end", st.SpillLive)
+	}
+	if st.PlanBytes == 0 {
+		t.Fatal("stats show an empty plan cache after queries ran")
+	}
+
+	// Reject side: the identical workload is refused by the static
+	// admission check before it runs.
+	rejOpts := []engine.Option{engine.WithMemBudget(budget)}
+	addrR, srvR, dbR, _ := startServerWith(t, rejOpts, func(c *Config) {
+		c.MemBudget = budget // MemPolicy defaults to reject
+	})
+	seedScrambled(t, dbR, "big", rows)
+	cR := dial(t, addrR)
+	if _, err := cR.Query(ctx, `SELECT a FROM big ORDER BY a`); !errors.Is(err, client.ErrBudget) {
+		t.Fatalf("reject-policy query err = %v, want ErrBudget", err)
+	}
+	if srvR.rejectedMem.Load() == 0 {
+		t.Fatal("reject policy did not bump rejectedMem")
+	}
+}
+
+// TestSpillPolicyWithoutSpillDir: "spill" as a server policy with no
+// engine spill directory falls back to the engine's runtime rejection —
+// the client still sees a typed ErrBudget, after admission rather than
+// at the door.
+func TestSpillPolicyWithoutSpillDir(t *testing.T) {
+	ctx := context.Background()
+	const budget = 128 << 10
+	addr, srv, db, _ := startServerWith(t,
+		[]engine.Option{engine.WithMemBudget(budget)}, // budget but nowhere to spill
+		func(c *Config) {
+			c.MemBudget = budget
+			c.MemPolicy = "spill"
+		})
+	seedScrambled(t, db, "big", 30000)
+	c := dial(t, addr)
+
+	// The ledger denies the sort's grant mid-stream (the pipeline is
+	// lazy), so the typed error arrives while draining the cursor.
+	rs, err := c.Query(ctx, `SELECT a FROM big ORDER BY a`)
+	if err == nil {
+		for rs.Next() {
+		}
+		err = rs.Close()
+	}
+	if !errors.Is(err, client.ErrBudget) {
+		t.Fatalf("runtime over-budget err = %v, want ErrBudget", err)
+	}
+	// The rejection came from the engine's ledger, not the static check.
+	if got := srv.rejectedMem.Load(); got != 0 {
+		t.Fatalf("static check ran under spill policy (rejectedMem=%d)", got)
+	}
+	// The session is still healthy.
+	rows, err := c.Query(ctx, `SELECT count(*) AS n FROM big`)
+	if err != nil {
+		t.Fatalf("follow-up query: %v", err)
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBadMemPolicyRejected: config validation catches a typo'd policy.
+func TestBadMemPolicyRejected(t *testing.T) {
+	db, err := engine.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := New(Config{DB: db, MemPolicy: "panic"}); err == nil {
+		t.Fatal("New accepted MemPolicy \"panic\"")
+	}
+}

@@ -28,8 +28,10 @@ import (
 	"math"
 )
 
-// Version is the protocol version this package implements.
-const Version = 1
+// Version is the protocol version this package implements. Version 2
+// added SetTimeout, CodeTimeout, and the plan-cache/spill fields of
+// StatsReply.
+const Version = 2
 
 // MaxPayload bounds a single frame. Result sets stream as many Row
 // frames, so nothing legitimate approaches it; anything larger is a
@@ -45,24 +47,25 @@ type Type uint8
 // Frame types. Client→server and server→client types share one space
 // so a trace is unambiguous.
 const (
-	THello     Type = 1  // client: version negotiation opener
-	TWelcome   Type = 2  // server: negotiated version + banner
-	TQuery     Type = 3  // client: one-shot SQL with inline args
-	TPrepare   Type = 4  // client: compile SQL into a server-side stmt
-	TPrepareOK Type = 5  // server: stmt handle
-	TExecute   Type = 6  // client: run a prepared stmt with args
-	TCloseStmt Type = 7  // client: release a stmt handle
-	TRowDesc   Type = 8  // server: result column names
-	TRow       Type = 9  // server: one result row
-	TDone      Type = 10 // server: command finished OK
-	TErr       Type = 11 // server: command failed
-	TCancel    Type = 12 // client: cancel the in-flight command
-	TStats     Type = 13 // client: request server counters
-	TStatsRep  Type = 14 // server: counters
-	TPlan      Type = 15 // client: explain a SELECT
-	TPlanRep   Type = 16 // server: plan text
-	TTables    Type = 17 // client: list tables
-	TTablesRep Type = 18 // server: table names
+	THello      Type = 1  // client: version negotiation opener
+	TWelcome    Type = 2  // server: negotiated version + banner
+	TQuery      Type = 3  // client: one-shot SQL with inline args
+	TPrepare    Type = 4  // client: compile SQL into a server-side stmt
+	TPrepareOK  Type = 5  // server: stmt handle
+	TExecute    Type = 6  // client: run a prepared stmt with args
+	TCloseStmt  Type = 7  // client: release a stmt handle
+	TRowDesc    Type = 8  // server: result column names
+	TRow        Type = 9  // server: one result row
+	TDone       Type = 10 // server: command finished OK
+	TErr        Type = 11 // server: command failed
+	TCancel     Type = 12 // client: cancel the in-flight command
+	TStats      Type = 13 // client: request server counters
+	TStatsRep   Type = 14 // server: counters
+	TPlan       Type = 15 // client: explain a SELECT
+	TPlanRep    Type = 16 // server: plan text
+	TTables     Type = 17 // client: list tables
+	TTablesRep  Type = 18 // server: table names
+	TSetTimeout Type = 19 // client: set this session's statement timeout
 )
 
 func (t Type) String() string {
@@ -103,6 +106,8 @@ func (t Type) String() string {
 		return "Tables"
 	case TTablesRep:
 		return "TablesReply"
+	case TSetTimeout:
+		return "SetTimeout"
 	}
 	return fmt.Sprintf("Type(%d)", uint8(t))
 }
@@ -119,6 +124,7 @@ const (
 	CodeProtocol  ErrCode = 4 // malformed frame or out-of-order command
 	CodeUnknown   ErrCode = 5 // unknown statement handle
 	CodeShutdown  ErrCode = 6 // server draining; no new commands
+	CodeTimeout   ErrCode = 7 // statement timeout elapsed mid-execution
 )
 
 // Frame is one decoded frame: its type plus raw payload bytes.
@@ -472,9 +478,10 @@ type Cancel struct{}
 // Stats requests server counters.
 type Stats struct{}
 
-// StatsReply carries them. PlanHits/PlanMisses/PlanEntries expose the
-// shared plan cache, which is how a client observes that its statement
-// was compiled on another connection.
+// StatsReply carries them. PlanHits/PlanMisses/PlanEntries/PlanBytes
+// expose the shared plan cache, which is how a client observes that its
+// statement was compiled on another connection; Spills/SpillBytes/
+// SpillLive expose the engine's out-of-core activity.
 type StatsReply struct {
 	PlanHits    uint64
 	PlanMisses  uint64
@@ -485,6 +492,10 @@ type StatsReply struct {
 	Admitted    uint64
 	RejectedQ   uint64
 	RejectedMem uint64
+	PlanBytes   uint64 // summed estimated footprint of cached plans
+	Spills      uint64 // spill files created since Open
+	SpillBytes  uint64 // payload bytes written to spill files since Open
+	SpillLive   uint64 // spill files currently on disk
 }
 
 // Plan asks for a SELECT's physical plan rendering.
@@ -495,6 +506,14 @@ type Plan struct {
 // PlanReply carries the plan text.
 type PlanReply struct {
 	Text string
+}
+
+// SetTimeout overrides the server's default statement timeout for this
+// session: every subsequent Query/Execute is canceled (CodeTimeout)
+// once Millis milliseconds elapse. Millis 0 clears the override,
+// reverting to the server's default. Acknowledged with Done.
+type SetTimeout struct {
+	Millis uint32
 }
 
 // Tables asks for the table list.
@@ -571,7 +590,15 @@ func (m StatsReply) Encode() ([]byte, error) {
 	b = binary.BigEndian.AppendUint32(b, m.Queued)
 	b = binary.BigEndian.AppendUint64(b, m.Admitted)
 	b = binary.BigEndian.AppendUint64(b, m.RejectedQ)
-	return binary.BigEndian.AppendUint64(b, m.RejectedMem), nil
+	b = binary.BigEndian.AppendUint64(b, m.RejectedMem)
+	b = binary.BigEndian.AppendUint64(b, m.PlanBytes)
+	b = binary.BigEndian.AppendUint64(b, m.Spills)
+	b = binary.BigEndian.AppendUint64(b, m.SpillBytes)
+	return binary.BigEndian.AppendUint64(b, m.SpillLive), nil
+}
+
+func (m SetTimeout) Encode() ([]byte, error) {
+	return binary.BigEndian.AppendUint32(nil, m.Millis), nil
 }
 
 func (m Plan) Encode() ([]byte, error) {
@@ -627,6 +654,8 @@ func typeOf(m any) (Type, bool) {
 		return TTables, true
 	case TablesReply:
 		return TTablesRep, true
+	case SetTimeout:
+		return TSetTimeout, true
 	}
 	return 0, false
 }
@@ -688,6 +717,10 @@ func DecodePayload(t Type, payload []byte) (any, error) {
 			Admitted:    r.u64(),
 			RejectedQ:   r.u64(),
 			RejectedMem: r.u64(),
+			PlanBytes:   r.u64(),
+			Spills:      r.u64(),
+			SpillBytes:  r.u64(),
+			SpillLive:   r.u64(),
 		}
 	case TPlan:
 		m = Plan{SQL: r.str()}
@@ -697,6 +730,8 @@ func DecodePayload(t Type, payload []byte) (any, error) {
 		m = Tables{}
 	case TTablesRep:
 		m = TablesReply{Names: r.strs()}
+	case TSetTimeout:
+		m = SetTimeout{Millis: r.u32()}
 	default:
 		return nil, fmt.Errorf("wire: unknown frame type %d", uint8(t))
 	}

@@ -26,11 +26,12 @@ func allMessages() []interface{ Encode() ([]byte, error) } {
 		Err{Code: CodeQueueFull, Msg: "queue full"},
 		Cancel{},
 		Stats{},
-		StatsReply{PlanHits: 1, PlanMisses: 2, PlanEntries: 3, Sessions: 4, Active: 5, Queued: 6, Admitted: 7, RejectedQ: 8, RejectedMem: 9},
+		StatsReply{PlanHits: 1, PlanMisses: 2, PlanEntries: 3, Sessions: 4, Active: 5, Queued: 6, Admitted: 7, RejectedQ: 8, RejectedMem: 9, PlanBytes: 10, Spills: 11, SpillBytes: 12, SpillLive: 13},
 		Plan{SQL: "SELECT a FROM t"},
 		PlanReply{Text: "scan(t.a)\nselect(>)"},
 		Tables{},
 		TablesReply{Names: []string{"t", "u"}},
+		SetTimeout{Millis: 1500},
 	}
 }
 

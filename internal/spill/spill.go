@@ -1,0 +1,433 @@
+// Package spill is the disk tier of out-of-core execution: when a
+// query's memgov.Reservation denies an operator more memory under the
+// Spill policy, the operator encodes its state (sort runs, grace-hash
+// partitions) into temp files through this package and streams it back
+// later. Files carry length-prefixed CRC-checked chunks of vector
+// batches — the same framing discipline as the WAL and the wire
+// protocol — so a torn or bit-flipped spill file is detected, not
+// silently decoded into wrong query results.
+//
+// All I/O goes through wal.FS, so MemFS drives fault injection: an
+// injected fsync failure or short write during a spill must fail ONLY
+// the owning query with a typed ErrIO — the database is not involved
+// and is never tainted — and the same query must succeed once the
+// fault clears.
+//
+// Lifecycle: every file belongs to exactly one query's Scope, which
+// registers the path BEFORE creation and removes all its files at
+// query end (success or failure). A crash mid-spill can still orphan
+// files; Sweep, called from engine.Open, removes anything matching the
+// Prefix.
+package spill
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/vector"
+	"repro/internal/wal"
+)
+
+// ErrIO is the typed spill failure: creating, writing, syncing,
+// reading, or removing a spill file failed. It wraps the underlying
+// cause; match with errors.Is. A query that dies with ErrIO leaves the
+// engine fully serviceable — spill files hold derived data only.
+var ErrIO = errors.New("spill: spill-file I/O failed")
+
+// Prefix marks every spill file name; Sweep removes files bearing it.
+const Prefix = "spill-"
+
+// maxChunk bounds a decoded chunk payload so a corrupt length prefix
+// cannot provoke a giant allocation.
+const maxChunk = 1 << 30
+
+// Stats is a point-in-time snapshot of a Manager's counters.
+type Stats struct {
+	Spills       int64 // spill files ever created
+	LiveFiles    int64 // spill files currently on disk
+	BytesWritten int64 // cumulative bytes written to spill files
+}
+
+// Manager owns one engine's spill directory: it names files uniquely,
+// counts them, and hands out per-query Scopes. Safe for concurrent use.
+type Manager struct {
+	fs  wal.FS
+	dir string
+
+	seq    atomic.Uint64
+	spills atomic.Int64
+	live   atomic.Int64
+	bytes  atomic.Int64
+}
+
+// NewManager returns a manager writing Prefix-named files under dir on
+// fs. The directory must exist (engine.Open makes it).
+func NewManager(fs wal.FS, dir string) *Manager {
+	return &Manager{fs: fs, dir: dir}
+}
+
+// Stats returns the manager's counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Spills:       m.spills.Load(),
+		LiveFiles:    m.live.Load(),
+		BytesWritten: m.bytes.Load(),
+	}
+}
+
+// Scope returns a fresh per-query scope.
+func (m *Manager) Scope() *Scope {
+	return &Scope{mgr: m}
+}
+
+// remove deletes one spill file, maintaining the live count.
+func (m *Manager) remove(path string) error {
+	if err := m.fs.Remove(path); err != nil {
+		return fmt.Errorf("%w: remove %s: %w", ErrIO, filepath.Base(path), err)
+	}
+	m.live.Add(-1)
+	return nil
+}
+
+// Scope tracks every spill file one query creates, so they can all be
+// removed when the query ends — on success, error, or cancellation
+// alike. Safe for concurrent use (parallel sort workers spill
+// concurrently).
+type Scope struct {
+	mgr   *Manager
+	mu    sync.Mutex
+	paths []string
+	done  bool
+}
+
+// Create opens a new spill file for writing. The label lands in the
+// file name for debuggability; it must be short and path-safe.
+func (s *Scope) Create(label string) (*Writer, error) {
+	m := s.mgr
+	name := fmt.Sprintf("%s%s-%d.run", Prefix, sanitize(label), m.seq.Add(1))
+	path := filepath.Join(m.dir, name)
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: create %s: scope already cleaned up", ErrIO, name)
+	}
+	s.paths = append(s.paths, path)
+	s.mu.Unlock()
+	f, err := m.fs.OpenAppend(path)
+	if err != nil {
+		return nil, fmt.Errorf("%w: create %s: %w", ErrIO, name, err)
+	}
+	m.spills.Add(1)
+	m.live.Add(1)
+	return &Writer{mgr: m, path: path, f: f}, nil
+}
+
+// Cleanup removes every file the scope created. Idempotent; the first
+// call wins. Removal failures are joined and reported (never ignored —
+// leaked spill files eat the disk), but files already gone are fine.
+func (s *Scope) Cleanup() error {
+	s.mu.Lock()
+	paths := s.paths
+	s.paths, s.done = nil, true
+	s.mu.Unlock()
+	var errs []error
+	for _, p := range paths {
+		if err := s.mgr.remove(p); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// sanitize keeps labels path- and log-safe.
+func sanitize(label string) string {
+	if label == "" {
+		return "x"
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-':
+			return r
+		}
+		return '_'
+	}, label)
+}
+
+// Writer encodes batches into one spill file. Not safe for concurrent
+// use; each spilled run/partition has its own Writer. Any method that
+// returns an error leaves the file handle closed — the path itself is
+// removed later by the owning Scope.
+type Writer struct {
+	mgr  *Manager
+	path string
+	f    wal.File
+	buf  []byte
+	done bool
+}
+
+// WriteBatch appends one chunk holding b's qualifying rows (the
+// selection vector is applied during encoding, so chunks are always
+// dense).
+func (w *Writer) WriteBatch(b *vector.Batch) error {
+	if w.done {
+		return fmt.Errorf("%w: write after Finish on %s", ErrIO, filepath.Base(w.path))
+	}
+	w.buf = encodeChunk(w.buf[:0], b)
+	if _, err := w.f.Write(w.buf); err != nil {
+		w.done = true
+		// The write already failed the spill; the close error cannot
+		// change the outcome but must not vanish — join it.
+		return fmt.Errorf("%w: write %s: %w", ErrIO, filepath.Base(w.path), errors.Join(err, w.f.Close()))
+	}
+	w.mgr.bytes.Add(int64(len(w.buf)))
+	return nil
+}
+
+// Finish syncs and closes the file and returns a handle the merge
+// phase can re-open for streaming reads. The sync is what gives fault
+// injection (MemFS.FailSyncsAfter) its hook, and it bounds how much
+// dirty page cache a big spill can pin.
+func (w *Writer) Finish() (*File, error) {
+	if w.done {
+		return nil, fmt.Errorf("%w: double Finish on %s", ErrIO, filepath.Base(w.path))
+	}
+	w.done = true
+	if err := w.f.Sync(); err != nil {
+		return nil, fmt.Errorf("%w: sync %s: %w", ErrIO, filepath.Base(w.path), errors.Join(err, w.f.Close()))
+	}
+	if err := w.f.Close(); err != nil {
+		return nil, fmt.Errorf("%w: close %s: %w", ErrIO, filepath.Base(w.path), err)
+	}
+	return &File{mgr: w.mgr, path: w.path}, nil
+}
+
+// File is a finished, readable spill file.
+type File struct {
+	mgr  *Manager
+	path string
+}
+
+// Path returns the file's full path (tests and logs).
+func (f *File) Path() string { return f.path }
+
+// Open returns a streaming reader over the file's chunks.
+func (f *File) Open() (*Reader, error) {
+	rc, err := f.mgr.fs.Open(f.path)
+	if err != nil {
+		return nil, fmt.Errorf("%w: open %s: %w", ErrIO, filepath.Base(f.path), err)
+	}
+	return &Reader{path: f.path, rc: rc}, nil
+}
+
+// Reader streams the batches of one spill file back in write order.
+type Reader struct {
+	path string
+	rc   io.ReadCloser
+	buf  []byte
+	b    vector.Batch
+}
+
+// Next decodes the next chunk into a batch, or returns (nil, nil) at
+// end of file. The batch is valid until the following Next call.
+func (r *Reader) Next() (*vector.Batch, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r.rc, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("%w: read %s: torn chunk header: %w", ErrIO, filepath.Base(r.path), err)
+	}
+	size := binary.BigEndian.Uint32(hdr[0:4])
+	crc := binary.BigEndian.Uint32(hdr[4:8])
+	if size > maxChunk {
+		return nil, fmt.Errorf("%w: read %s: chunk size %d exceeds limit", ErrIO, filepath.Base(r.path), size)
+	}
+	if cap(r.buf) < int(size) {
+		r.buf = make([]byte, size)
+	}
+	r.buf = r.buf[:size]
+	if _, err := io.ReadFull(r.rc, r.buf); err != nil {
+		return nil, fmt.Errorf("%w: read %s: torn chunk payload: %w", ErrIO, filepath.Base(r.path), err)
+	}
+	if got := crc32.ChecksumIEEE(r.buf); got != crc {
+		return nil, fmt.Errorf("%w: read %s: chunk CRC mismatch (stored %08x, computed %08x)", ErrIO, filepath.Base(r.path), crc, got)
+	}
+	if err := decodeChunk(r.buf, &r.b); err != nil {
+		return nil, fmt.Errorf("%w: read %s: %w", ErrIO, filepath.Base(r.path), err)
+	}
+	return &r.b, nil
+}
+
+// Close releases the underlying file handle.
+func (r *Reader) Close() error {
+	if err := r.rc.Close(); err != nil {
+		return fmt.Errorf("%w: close %s: %w", ErrIO, filepath.Base(r.path), err)
+	}
+	return nil
+}
+
+// Sweep removes every Prefix-named file under dir — the orphans a
+// crash mid-spill leaves behind. Called from engine.Open before any
+// query can spill; returns how many files it removed.
+func Sweep(fs wal.FS, dir string) (int, error) {
+	names, err := fs.List(dir)
+	if err != nil {
+		return 0, fmt.Errorf("%w: sweep %s: %w", ErrIO, dir, err)
+	}
+	removed := 0
+	var errs []error
+	for _, name := range names {
+		if !strings.HasPrefix(name, Prefix) {
+			continue
+		}
+		if err := fs.Remove(filepath.Join(dir, name)); err != nil {
+			errs = append(errs, fmt.Errorf("%w: sweep %s: %w", ErrIO, name, err))
+			continue
+		}
+		removed++
+	}
+	return removed, errors.Join(errs...)
+}
+
+// --- chunk codec ---
+//
+// chunk   = u32 payloadLen | u32 crc32(payload) | payload
+// payload = u32 nrows | u16 ncols | ncols × u8 kind | ncols × coldata
+// coldata = nrows × u64 (ints: two's complement; floats: IEEE bits)
+//         | nrows × u8  (bools)
+//
+// Big-endian throughout, matching the repo's WAL and wire framing.
+
+func encodeChunk(dst []byte, b *vector.Batch) []byte {
+	rows := b.Rows()
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // header backfilled below
+	dst = binary.BigEndian.AppendUint32(dst, uint32(rows))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(b.Cols)))
+	for i := range b.Cols {
+		dst = append(dst, byte(b.Cols[i].Kind))
+	}
+	for i := range b.Cols {
+		c := &b.Cols[i]
+		switch c.Kind {
+		case vector.KindInt:
+			if b.Sel == nil {
+				for _, v := range c.Ints[:b.N] {
+					dst = binary.BigEndian.AppendUint64(dst, uint64(v))
+				}
+			} else {
+				for _, idx := range b.Sel {
+					dst = binary.BigEndian.AppendUint64(dst, uint64(c.Ints[idx]))
+				}
+			}
+		case vector.KindFloat:
+			if b.Sel == nil {
+				for _, v := range c.Floats[:b.N] {
+					dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(v))
+				}
+			} else {
+				for _, idx := range b.Sel {
+					dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(c.Floats[idx]))
+				}
+			}
+		case vector.KindBool:
+			if b.Sel == nil {
+				for _, v := range c.Bools[:b.N] {
+					if v {
+						dst = append(dst, 1)
+					} else {
+						dst = append(dst, 0)
+					}
+				}
+			} else {
+				for _, idx := range b.Sel {
+					if c.Bools[idx] {
+						dst = append(dst, 1)
+					} else {
+						dst = append(dst, 0)
+					}
+				}
+			}
+		}
+	}
+	payload := dst[8:]
+	binary.BigEndian.PutUint32(dst[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(dst[4:8], crc32.ChecksumIEEE(payload))
+	return dst
+}
+
+// decodeChunk decodes a CRC-verified payload into b, reusing its
+// column storage across calls.
+func decodeChunk(p []byte, b *vector.Batch) error {
+	if len(p) < 6 {
+		return fmt.Errorf("chunk payload truncated (%d bytes)", len(p))
+	}
+	rows := int(binary.BigEndian.Uint32(p[0:4]))
+	ncols := int(binary.BigEndian.Uint16(p[4:6]))
+	p = p[6:]
+	if len(p) < ncols {
+		return fmt.Errorf("chunk kinds truncated")
+	}
+	if cap(b.Cols) < ncols {
+		b.Cols = make([]vector.Col, ncols)
+	}
+	b.Cols = b.Cols[:ncols]
+	b.N, b.Sel = rows, nil
+	kinds := p[:ncols]
+	p = p[ncols:]
+	for i := 0; i < ncols; i++ {
+		c := &b.Cols[i]
+		c.Kind = vector.Kind(kinds[i])
+		switch c.Kind {
+		case vector.KindInt:
+			if len(p) < 8*rows {
+				return fmt.Errorf("chunk column %d truncated", i)
+			}
+			if cap(c.Ints) < rows {
+				c.Ints = make([]int64, rows)
+			}
+			c.Ints, c.Floats, c.Bools = c.Ints[:rows], nil, nil
+			for r := 0; r < rows; r++ {
+				c.Ints[r] = int64(binary.BigEndian.Uint64(p[8*r:]))
+			}
+			p = p[8*rows:]
+		case vector.KindFloat:
+			if len(p) < 8*rows {
+				return fmt.Errorf("chunk column %d truncated", i)
+			}
+			if cap(c.Floats) < rows {
+				c.Floats = make([]float64, rows)
+			}
+			c.Floats, c.Ints, c.Bools = c.Floats[:rows], nil, nil
+			for r := 0; r < rows; r++ {
+				c.Floats[r] = math.Float64frombits(binary.BigEndian.Uint64(p[8*r:]))
+			}
+			p = p[8*rows:]
+		case vector.KindBool:
+			if len(p) < rows {
+				return fmt.Errorf("chunk column %d truncated", i)
+			}
+			if cap(c.Bools) < rows {
+				c.Bools = make([]bool, rows)
+			}
+			c.Bools, c.Ints, c.Floats = c.Bools[:rows], nil, nil
+			for r := 0; r < rows; r++ {
+				c.Bools[r] = p[r] != 0
+			}
+			p = p[rows:]
+		default:
+			return fmt.Errorf("chunk column %d has unknown kind %d", i, kinds[i])
+		}
+	}
+	if len(p) != 0 {
+		return fmt.Errorf("chunk has %d trailing bytes", len(p))
+	}
+	return nil
+}

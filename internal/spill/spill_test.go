@@ -1,0 +1,239 @@
+package spill
+
+import (
+	"errors"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bat"
+	"repro/internal/vector"
+	"repro/internal/wal"
+)
+
+func testBatch() *vector.Batch {
+	return &vector.Batch{
+		N: 4,
+		Cols: []vector.Col{
+			{Kind: vector.KindInt, Ints: []int64{1, bat.NilInt, -7, 1 << 60}},
+			{Kind: vector.KindFloat, Floats: []float64{1.5, math.NaN(), -0.0, 3.25}},
+			{Kind: vector.KindBool, Bools: []bool{true, false, true, false}},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	fs := wal.NewMemFS()
+	m := NewManager(fs, "d")
+	sc := m.Scope()
+	w, err := sc.Create("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := testBatch()
+	if err := w.WriteBatch(in); err != nil {
+		t.Fatal(err)
+	}
+	// Second chunk with a selection vector: must compact.
+	sel := &vector.Batch{N: in.N, Sel: []int32{3, 0}, Cols: in.Cols}
+	if err := w.WriteBatch(sel); err != nil {
+		t.Fatal(err)
+	}
+	f, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := f.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.N != 4 || b.Sel != nil || len(b.Cols) != 3 {
+		t.Fatalf("chunk 1 shape: N=%d Sel=%v cols=%d", b.N, b.Sel, len(b.Cols))
+	}
+	for i, want := range []int64{1, bat.NilInt, -7, 1 << 60} {
+		if b.Cols[0].Ints[i] != want {
+			t.Fatalf("int[%d] = %d, want %d", i, b.Cols[0].Ints[i], want)
+		}
+	}
+	if !math.IsNaN(b.Cols[1].Floats[1]) {
+		t.Fatalf("NaN sentinel not preserved: %v", b.Cols[1].Floats[1])
+	}
+	if b.Cols[1].Floats[0] != 1.5 || b.Cols[1].Floats[3] != 3.25 {
+		t.Fatalf("floats: %v", b.Cols[1].Floats)
+	}
+	if !b.Cols[2].Bools[0] || b.Cols[2].Bools[1] {
+		t.Fatalf("bools: %v", b.Cols[2].Bools)
+	}
+	b, err = r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.N != 2 || b.Cols[0].Ints[0] != 1<<60 || b.Cols[0].Ints[1] != 1 {
+		t.Fatalf("selected chunk: N=%d ints=%v", b.N, b.Cols[0].Ints)
+	}
+	if b, err = r.Next(); b != nil || err != nil {
+		t.Fatalf("EOF: %v %v", b, err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Spills != 1 || st.LiveFiles != 1 || st.BytesWritten == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if err := sc.Cleanup(); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := fs.List("d")
+	if len(names) != 0 {
+		t.Fatalf("cleanup left files: %v", names)
+	}
+	if st := m.Stats(); st.LiveFiles != 0 {
+		t.Fatalf("live after cleanup = %d", st.LiveFiles)
+	}
+}
+
+func TestInjectedSyncFailure(t *testing.T) {
+	fs := wal.NewMemFS()
+	boom := errors.New("disk on fire")
+	fs.FailSyncsAfter(0, boom)
+	m := NewManager(fs, "d")
+	sc := m.Scope()
+	w, err := sc.Create("sync")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBatch(testBatch()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Finish(); !errors.Is(err, ErrIO) || !errors.Is(err, boom) {
+		t.Fatalf("Finish under injected fsync failure: %v", err)
+	}
+	if err := sc.Cleanup(); err != nil {
+		t.Fatalf("cleanup after failed spill: %v", err)
+	}
+	fs.FailSyncsAfter(-1, nil)
+	sc2 := m.Scope()
+	w2, err := sc2.Create("retry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.WriteBatch(testBatch()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w2.Finish(); err != nil {
+		t.Fatalf("retry after fault cleared: %v", err)
+	}
+	if err := sc2.Cleanup(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectedShortWrite(t *testing.T) {
+	fs := wal.NewMemFS()
+	m := NewManager(fs, "d")
+	sc := m.Scope()
+	w, err := sc.Create("short")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.ShortWriteNext(3)
+	if err := w.WriteBatch(testBatch()); !errors.Is(err, ErrIO) {
+		t.Fatalf("WriteBatch under short write: %v", err)
+	}
+	if err := w.WriteBatch(testBatch()); !errors.Is(err, ErrIO) {
+		t.Fatalf("write after failed write must fail: %v", err)
+	}
+	if err := sc.Cleanup(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTornFileDetected(t *testing.T) {
+	fs := wal.NewMemFS()
+	m := NewManager(fs, "d")
+	sc := m.Scope()
+	w, _ := sc.Create("torn")
+	if err := w.WriteBatch(testBatch()); err != nil {
+		t.Fatal(err)
+	}
+	f, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte on disk: the CRC must catch it.
+	data, _ := fs.ReadFile(f.Path())
+	data[len(data)-1] ^= 0xFF
+	fs.Seed(f.Path(), data)
+	r, err := f.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.Next(); !errors.Is(err, ErrIO) {
+		t.Fatalf("corrupt chunk: %v", err)
+	}
+	// Truncated mid-payload: torn, not decoded.
+	fs.Seed(f.Path(), data[:len(data)/2])
+	r2, _ := f.Open()
+	defer r2.Close()
+	if _, err := r2.Next(); !errors.Is(err, ErrIO) {
+		t.Fatalf("torn chunk: %v", err)
+	}
+}
+
+func TestSweep(t *testing.T) {
+	fs := wal.NewMemFS()
+	fs.Seed(filepath.Join("d", Prefix+"orphan-1.run"), []byte{1, 2, 3})
+	fs.Seed(filepath.Join("d", Prefix+"orphan-2.run"), []byte{4})
+	fs.Seed(filepath.Join("d", "wal.log"), []byte{9})
+	fs.Seed(filepath.Join("other", Prefix+"elsewhere.run"), []byte{5})
+	n, err := Sweep(fs, "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("swept %d, want 2", n)
+	}
+	names, _ := fs.List("d")
+	if len(names) != 1 || names[0] != "wal.log" {
+		t.Fatalf("sweep must spare non-spill files: %v", names)
+	}
+	if names, _ := fs.List("other"); len(names) != 1 {
+		t.Fatalf("sweep must stay in its dir: %v", names)
+	}
+}
+
+func TestScopeCreateAfterCleanup(t *testing.T) {
+	m := NewManager(wal.NewMemFS(), "d")
+	sc := m.Scope()
+	if err := sc.Cleanup(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Create("late"); !errors.Is(err, ErrIO) {
+		t.Fatalf("create after cleanup: %v", err)
+	}
+}
+
+func TestEmptyBatchChunk(t *testing.T) {
+	m := NewManager(wal.NewMemFS(), "d")
+	sc := m.Scope()
+	w, _ := sc.Create("empty")
+	if err := w.WriteBatch(&vector.Batch{N: 0, Cols: []vector.Col{{Kind: vector.KindInt, Ints: nil}}}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := f.Open()
+	defer r.Close()
+	b, err := r.Next()
+	if err != nil || b == nil || b.N != 0 || len(b.Cols) != 1 {
+		t.Fatalf("empty chunk: %v %v", b, err)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"math"
 
 	"repro/internal/bat"
+	"repro/internal/memgov"
 	"repro/internal/radix"
 )
 
@@ -62,12 +63,22 @@ func MergeKind(k AggKind) AggKind {
 // (optional) filter before grouping; ctx (optional) cancels at morsel
 // boundaries.
 func ParallelGroupAgg(ctx context.Context, src *Source, keyCols []int, specs []AggSpec, preds []Pred, workers, morselSize, vectorSize int) (*Batch, error) {
+	return ParallelGroupAggGov(ctx, src, keyCols, specs, preds, workers, morselSize, vectorSize, nil)
+}
+
+// ParallelGroupAggGov is ParallelGroupAgg with every worker's grouping
+// table — and the final merge's — charged against res. The shared
+// ledger is what triggers mid-query re-planning: a worker whose table
+// outgrows the query's grant surfaces memgov.ErrExceeded through the
+// Exchange, each worker Agg hands its charge back on Close, and the
+// physical layer re-plans to grace-hash partitioning.
+func ParallelGroupAggGov(ctx context.Context, src *Source, keyCols []int, specs []AggSpec, preds []Pred, workers, morselSize, vectorSize int, res *memgov.Reservation) (*Batch, error) {
 	plan := func(scan Operator) Operator {
 		op := scan
 		if len(preds) > 0 {
 			op = &Filter{Child: op, Preds: preds}
 		}
-		return &Agg{Child: op, KeyCol: -1, Keys: keyCols, Aggs: specs}
+		return &Agg{Child: op, KeyCol: -1, Keys: keyCols, Aggs: specs, Res: res}
 	}
 	ex := &Exchange{
 		Source:     src,
@@ -88,7 +99,7 @@ func ParallelGroupAgg(ctx context.Context, src *Source, keyCols []int, specs []A
 	for i, s := range specs {
 		merge[i] = AggSpec{Kind: MergeKind(s.Kind), Col: i + nk}
 	}
-	final := &Agg{Child: ex, KeyCol: -1, Keys: mergeKeys, Aggs: merge}
+	final := &Agg{Child: ex, KeyCol: -1, Keys: mergeKeys, Aggs: merge, Res: res}
 	if err := final.Open(); err != nil {
 		return nil, err
 	}
@@ -112,8 +123,25 @@ func ParallelGroupAgg(ctx context.Context, src *Source, keyCols []int, specs []A
 // aggregation clusters — so cancellation latency stays bounded by one
 // pass/cluster of work, not the whole plan.
 func PartitionedGroupAgg(ctx context.Context, src *Source, keyCol int, specs []AggSpec, workers, bits int) (*Batch, error) {
+	return PartitionedGroupAggGov(ctx, src, keyCol, specs, workers, bits, nil)
+}
+
+// PartitionedGroupAggGov is PartitionedGroupAgg charging the tuple
+// shuffle — its dominant allocation: the (position, key) array plus
+// the clustered copy, 16 bytes per row each — against res up front.
+// The per-cluster tables stay cache-resident by construction and are
+// not charged. The whole charge is released on return: the shuffle
+// dies with this call.
+func PartitionedGroupAggGov(ctx context.Context, src *Source, keyCol int, specs []AggSpec, workers, bits int, res *memgov.Reservation) (*Batch, error) {
 	keys := src.Cols[keyCol].Ints
 	n := len(keys)
+	if res != nil {
+		charge := int64(n) * 32
+		if err := res.Acquire(charge); err != nil {
+			return nil, err
+		}
+		defer res.Release(charge)
+	}
 	tuples := make([]radix.Tuple, n)
 	for i, k := range keys {
 		tuples[i] = radix.Tuple{OID: bat.OID(i), Val: k}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/memgov"
 	"repro/internal/radix"
 )
 
@@ -27,15 +28,43 @@ type JoinBuild struct {
 	np        int
 	rowLayout bool
 	nrows     int
+
+	res     *memgov.Reservation
+	charged int64
 }
 
 // Rows returns the number of build rows.
 func (jb *JoinBuild) Rows() int { return jb.nrows }
 
+// ReleaseMem hands the build's reservation charge back. Grace-hash
+// joins call it after each per-partition build is probed out; for the
+// usual one-build-per-query case the charge simply dies with the
+// query's reservation.
+func (jb *JoinBuild) ReleaseMem() {
+	if jb.charged != 0 {
+		jb.res.Release(jb.charged)
+		jb.charged = 0
+	}
+}
+
+// joinTableBytesPerRow approximates radix.NewJoinTable's per-row
+// footprint (slot array at load <= ½ plus the next-chain), charged
+// BEFORE the table is built.
+const joinTableBytesPerRow = 48
+
 // BuildJoinTable drains op (opening and closing it) into a JoinBuild:
 // key column key, payload columns carried into join output, laid out
 // row-wise when rowLayout is set.
 func BuildJoinTable(op Operator, key int, payload []int, rowLayout bool) (*JoinBuild, error) {
+	return BuildJoinTableGov(op, key, payload, rowLayout, nil)
+}
+
+// BuildJoinTableGov is BuildJoinTable charging the materialized build
+// side (keys, payload cells, then the hash table itself) against res.
+// A denied charge returns the query's memgov.ErrExceeded with the
+// partial build's memory already handed back; the physical layer may
+// answer by re-planning to a grace-hash join.
+func BuildJoinTableGov(op Operator, key int, payload []int, rowLayout bool, res *memgov.Reservation) (*JoinBuild, error) {
 	if err := op.Open(); err != nil {
 		return nil, err
 	}
@@ -46,15 +75,26 @@ func BuildJoinTable(op Operator, key int, payload []int, rowLayout bool) (*JoinB
 		kinds:     make([]Kind, len(payload)),
 		np:        len(payload),
 		rowLayout: rowLayout,
+		res:       res,
 	}
 	var keys []int64
 	for {
 		b, err := op.Next()
 		if err != nil {
+			jb.ReleaseMem()
 			return nil, err
 		}
 		if b == nil {
 			break
+		}
+		if res != nil {
+			// 8 bytes of key plus 8 per payload cell for every row.
+			add := int64(b.Rows()) * int64(8+8*len(payload))
+			if err := res.Acquire(add); err != nil {
+				jb.ReleaseMem()
+				return nil, err
+			}
+			jb.charged += add
 		}
 		if key >= len(b.Cols) {
 			return nil, fmt.Errorf("vector: build key column %d out of range", key)
@@ -98,8 +138,17 @@ func BuildJoinTable(op Operator, key int, payload []int, rowLayout bool) (*JoinB
 			}
 		})
 		if innerErr != nil {
+			jb.ReleaseMem()
 			return nil, innerErr
 		}
+	}
+	if res != nil {
+		add := int64(len(keys)) * joinTableBytesPerRow
+		if err := res.Acquire(add); err != nil {
+			jb.ReleaseMem()
+			return nil, err
+		}
+		jb.charged += add
 	}
 	jb.nrows = len(keys)
 	jb.table = radix.NewJoinTable(keys)

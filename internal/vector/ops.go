@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/bat"
+	"repro/internal/memgov"
 	"repro/internal/radix"
 )
 
@@ -377,7 +378,14 @@ type Agg struct {
 	Keys   []int // overrides KeyCol when non-nil; at most 2 columns
 	Aggs   []AggSpec
 
-	done bool
+	// Res, when set, is charged for the grouping state (table slots,
+	// key arrays, accumulator columns) as it grows; a denied charge
+	// surfaces as the query's memgov.ErrExceeded, which the physical
+	// layer may answer by re-planning to grace-hash partitioning.
+	Res *memgov.Reservation
+
+	done    bool
+	charged int64
 }
 
 // keyCols resolves the effective key columns.
@@ -468,6 +476,15 @@ func (a *Agg) Next() (*Batch, error) {
 				return nil, errors.New("vector: bad aggregate kind")
 			}
 		}
+		if a.Res != nil {
+			foot := aggFootprint(gt, pg, intAccs, fltAccs)
+			if d := foot - a.charged; d > 0 {
+				if err := a.Res.Acquire(d); err != nil {
+					return nil, err
+				}
+				a.charged = foot
+			}
+		}
 	}
 
 	n := 1
@@ -494,8 +511,35 @@ func (a *Agg) Next() (*Batch, error) {
 	return &Batch{N: n, Cols: cols}, nil
 }
 
-// Close implements Operator.
-func (a *Agg) Close() error { return a.Child.Close() }
+// Close implements Operator: the grouping state dies with the
+// operator, so its reservation charge is handed back here — which is
+// also what lets a failed merged-plan attempt return its memory before
+// the grace-hash re-plan starts over.
+func (a *Agg) Close() error {
+	if a.charged != 0 {
+		a.Res.Release(a.charged)
+		a.charged = 0
+	}
+	return a.Child.Close()
+}
+
+// aggFootprint is the live heap held by one Agg's grouping state.
+func aggFootprint(gt *radix.GroupTable, pg *PairGrouper, intAccs [][]int64, fltAccs [][]float64) int64 {
+	var f int64
+	if gt != nil {
+		f += gt.MemBytes()
+	}
+	if pg != nil {
+		f += pg.T.MemBytes() + int64(cap(pg.K1))*8 + int64(cap(pg.K2))*8
+	}
+	for _, s := range intAccs {
+		f += int64(cap(s)) * 8
+	}
+	for _, s := range fltAccs {
+		f += int64(cap(s)) * 8
+	}
+	return f
+}
 
 // Drain pulls an operator tree to completion, returning all batches fully
 // materialized (selection vectors applied). Intended for tests and result

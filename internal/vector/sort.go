@@ -25,10 +25,22 @@ package vector
 // LIMIT pushes down twice: each run truncates to the first Limit rows
 // (no worker ships more than the query can return), and the merge stops
 // once Limit rows have been emitted.
+//
+// EXTERNAL sort rides the same two operators: a SortRun given a memory
+// Reservation charges each buffered batch against it, and when a grant
+// is denied under the Spill policy it sorts what it holds, writes it to
+// a spill file (sorted and Limit-truncated, so the on-disk run obeys
+// the same invariants as an in-memory one), releases the memory, and
+// keeps draining. MergeRuns then merges in-memory runs and streaming
+// readers over the spilled ones through the one k-way heap — the
+// textbook run-and-merge external sort, degraded to incrementally from
+// the in-memory plan.
 
 import (
 	"repro/internal/bat"
+	"repro/internal/memgov"
 
+	"errors"
 	"fmt"
 	"sort"
 )
@@ -37,6 +49,14 @@ import (
 // Key and RowID index Child's output columns; RowID is the global-row-id
 // tiebreak column (use Exchange.RowIDs to produce it) and may be -1 for
 // an unstable run. Limit >= 0 truncates the run.
+//
+// With Res set, every buffered batch is charged to the reservation;
+// when a charge is denied and Res.CanSpill() with Spill/Runs wired,
+// the buffer — including the denied batch, which is folded in
+// uncharged so progress never waits on a sibling worker's release —
+// is sorted and spilled as one run (registered in Runs for MergeRuns
+// to pick up) and buffering starts over. Without spill wiring a
+// denied charge fails the query with memgov.ErrExceeded.
 type SortRun struct {
 	Child Operator
 	Key   int
@@ -44,14 +64,24 @@ type SortRun struct {
 	Desc  bool
 	Limit int // -1 = unlimited
 
-	out  Batch
-	done bool
+	Res   *memgov.Reservation // nil = ungoverned
+	Spill SpillSink           // nil = spilling unavailable
+	Runs  *RunSet             // registry the merge side reads
+	Size  int                 // spill chunk rows (DefaultSize if <= 0)
+
+	out     Batch
+	done    bool
+	charged int64
 }
 
 // Open implements Operator.
 func (s *SortRun) Open() error {
 	s.done = false
 	return s.Child.Open()
+}
+
+func (s *SortRun) canSpill() bool {
+	return s.Res.CanSpill() && s.Spill != nil && s.Runs != nil
 }
 
 // Next implements Operator: the single sorted run, then end of stream.
@@ -77,6 +107,24 @@ func (s *SortRun) Next() (*Batch, error) {
 			cols = make([]Col, len(b.Cols))
 			for i := range b.Cols {
 				cols[i].Kind = b.Cols[i].Kind
+			}
+		}
+		spillAfter := false
+		if add := batchBytes(b); s.Res != nil {
+			if err := s.Res.Acquire(add); err != nil {
+				if !s.canSpill() {
+					return nil, err
+				}
+				// Over grant: fold this batch into the buffer UNCHARGED,
+				// spill the whole thing as one sorted run below, and start
+				// fresh. Progress must never wait on a sibling worker's
+				// release — the workers share one reservation, so a worker
+				// that buffered nothing yet can be denied while the others
+				// hold the entire grant, and failing here would turn that
+				// scheduling accident into a spurious query error.
+				spillAfter = true
+			} else {
+				s.charged += add
 			}
 		}
 		// The kind dispatch is hoisted out of the per-row loop: one typed
@@ -112,58 +160,133 @@ func (s *SortRun) Next() (*Batch, error) {
 			}
 		}
 		n += b.Rows()
+		if spillAfter {
+			if err := s.spillRun(cols, n); err != nil {
+				return nil, err
+			}
+			for i := range cols {
+				cols[i] = Col{Kind: cols[i].Kind}
+			}
+			n = 0
+		}
 	}
 	if n == 0 {
 		return nil, nil
 	}
 
+	perm, err := sortPerm(cols, n, s.Key, s.RowID, s.Desc, s.Limit)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Col, len(cols))
+	gatherPerm(cols, perm, out)
+	s.out = Batch{N: len(perm), Cols: out}
+	return &s.out, nil
+}
+
+// spillRun sorts the buffered n rows, writes them (Limit-truncated) to
+// one spill file in Size-row chunks, registers the sealed run, and
+// releases the buffer's reservation.
+func (s *SortRun) spillRun(cols []Col, n int) error {
+	perm, err := sortPerm(cols, n, s.Key, s.RowID, s.Desc, s.Limit)
+	if err != nil {
+		return err
+	}
+	w, err := s.Spill("sortrun")
+	if err != nil {
+		return err
+	}
+	size := s.Size
+	if size <= 0 {
+		size = DefaultSize
+	}
+	chunk := make([]Col, len(cols))
+	for off := 0; off < len(perm); off += size {
+		end := off + size
+		if end > len(perm) {
+			end = len(perm)
+		}
+		gatherPerm(cols, perm[off:end], chunk)
+		if err := w.WriteBatch(&Batch{N: end - off, Cols: chunk}); err != nil {
+			return err
+		}
+	}
+	run, err := w.Finish()
+	if err != nil {
+		return err
+	}
+	s.Runs.Add(run)
+	s.Res.Release(s.charged)
+	s.charged = 0
+	return nil
+}
+
+// sortPerm builds the sorted (and Limit-truncated) row permutation of
+// the first n rows of cols.
+func sortPerm(cols []Col, n, key, rowID int, desc bool, limit int) ([]int32, error) {
 	perm := make([]int32, n)
 	for i := range perm {
 		perm[i] = int32(i)
 	}
-	less, err := rowLess(cols, s.Key, s.RowID, s.Desc)
+	less, err := rowLess(cols, key, rowID, desc)
 	if err != nil {
 		return nil, err
 	}
 	sort.Slice(perm, func(i, j int) bool { return less(perm[i], perm[j]) })
-	if s.Limit >= 0 && s.Limit < n {
+	if limit >= 0 && limit < n {
 		// Rows past the limit cannot survive the merge: every run
 		// contributes at most Limit rows to the first Limit of the total.
-		perm = perm[:s.Limit]
-		n = s.Limit
+		perm = perm[:limit]
 	}
-
-	out := make([]Col, len(cols))
-	for i := range cols {
-		c := &cols[i]
-		out[i] = Col{Kind: c.Kind}
-		switch c.Kind {
-		case KindInt:
-			g := make([]int64, n)
-			for k, p := range perm {
-				g[k] = c.Ints[p]
-			}
-			out[i].Ints = g
-		case KindFloat:
-			g := make([]float64, n)
-			for k, p := range perm {
-				g[k] = c.Floats[p]
-			}
-			out[i].Floats = g
-		case KindBool:
-			g := make([]bool, n)
-			for k, p := range perm {
-				g[k] = c.Bools[p]
-			}
-			out[i].Bools = g
-		}
-	}
-	s.out = Batch{N: n, Cols: out}
-	return &s.out, nil
+	return perm, nil
 }
 
-// Close implements Operator.
-func (s *SortRun) Close() error { return s.Child.Close() }
+// gatherPerm gathers the rows perm of cols into out (same arity),
+// reusing out's storage where capacity allows.
+func gatherPerm(cols []Col, perm []int32, out []Col) {
+	n := len(perm)
+	for i := range cols {
+		c := &cols[i]
+		oc := &out[i]
+		oc.Kind = c.Kind
+		switch c.Kind {
+		case KindInt:
+			if cap(oc.Ints) < n {
+				oc.Ints = make([]int64, n)
+			}
+			oc.Ints = oc.Ints[:n]
+			for k, p := range perm {
+				oc.Ints[k] = c.Ints[p]
+			}
+		case KindFloat:
+			if cap(oc.Floats) < n {
+				oc.Floats = make([]float64, n)
+			}
+			oc.Floats = oc.Floats[:n]
+			for k, p := range perm {
+				oc.Floats[k] = c.Floats[p]
+			}
+		case KindBool:
+			if cap(oc.Bools) < n {
+				oc.Bools = make([]bool, n)
+			}
+			oc.Bools = oc.Bools[:n]
+			for k, p := range perm {
+				oc.Bools[k] = c.Bools[p]
+			}
+		}
+	}
+}
+
+// Close implements Operator: hands any still-charged buffer memory
+// back to the reservation.
+func (s *SortRun) Close() error {
+	if s.charged != 0 {
+		s.Res.Release(s.charged)
+		s.charged = 0
+	}
+	return s.Child.Close()
+}
 
 // rowLess builds the (key, rowid) comparator over a column set. The
 // descending order is the exact REVERSE of the ascending one (key
@@ -236,15 +359,24 @@ func rowLess(cols []Col, key, rowID int, desc bool) (func(a, b int32) bool, erro
 // per run, typically an Exchange over SortRun fragments) into globally
 // ordered vector-sized batches. Key/RowID/Desc must match the runs'
 // sort order; Limit >= 0 stops the merge after that many rows.
+//
+// Ext, when set, contributes SPILLED runs to the same heap: each is
+// streamed chunk-by-chunk through its SpillReader, so the merge holds
+// one vector-sized batch per spilled run, not the run itself — the
+// memory floor of the external sort's merge phase is k chunks. Ext is
+// read AFTER the child is fully drained; with an Exchange child that
+// barrier guarantees every worker has registered its spilled runs.
 type MergeRuns struct {
 	Child Operator
 	Key   int
 	RowID int
 	Desc  bool
-	Limit int // -1 = unlimited
-	Size  int // output vector size (DefaultSize if <= 0)
+	Limit int     // -1 = unlimited
+	Size  int     // output vector size (DefaultSize if <= 0)
+	Ext   *RunSet // spilled runs joining the merge; may be nil
 
-	runs    []*Batch
+	cur     []*Batch      // current batch per run
+	srcs    []SpillReader // streaming source per run; nil = in-memory
 	heap    []runCursor
 	less    func(a, b runCursor) bool
 	emitted int
@@ -252,7 +384,8 @@ type MergeRuns struct {
 	out     Batch
 }
 
-// runCursor points at the next unconsumed row of one run.
+// runCursor points at the next unconsumed row of one run's current
+// batch.
 type runCursor struct {
 	run int32
 	pos int32
@@ -260,7 +393,7 @@ type runCursor struct {
 
 // Open implements Operator.
 func (m *MergeRuns) Open() error {
-	m.runs, m.heap, m.less = nil, nil, nil
+	m.cur, m.srcs, m.heap, m.less = nil, nil, nil, nil
 	m.emitted = 0
 	m.started = false
 	if m.Size <= 0 {
@@ -269,7 +402,7 @@ func (m *MergeRuns) Open() error {
 	return m.Child.Open()
 }
 
-// start drains the child, collecting runs and seeding the heap.
+// start drains the child, opens the spilled runs, and seeds the heap.
 func (m *MergeRuns) start() error {
 	m.started = true
 	for {
@@ -286,23 +419,59 @@ func (m *MergeRuns) start() error {
 		if b.Sel != nil {
 			return fmt.Errorf("vector: merge input runs must be compacted")
 		}
-		m.runs = append(m.runs, b)
+		m.cur = append(m.cur, b)
+		m.srcs = append(m.srcs, nil)
 	}
-	if len(m.runs) == 0 {
+	if m.Ext != nil {
+		for _, run := range m.Ext.Take() {
+			rd, err := run.Open()
+			if err != nil {
+				return err
+			}
+			b, err := m.fill(rd)
+			if err != nil {
+				return errors.Join(err, rd.Close())
+			}
+			if b == nil {
+				if err := rd.Close(); err != nil {
+					return err
+				}
+				continue
+			}
+			m.cur = append(m.cur, b)
+			m.srcs = append(m.srcs, rd)
+		}
+	}
+	if len(m.cur) == 0 {
 		return nil
 	}
-	if k := m.runs[0].Cols[m.Key].Kind; k != KindInt && k != KindFloat {
+	if k := m.cur[0].Cols[m.Key].Kind; k != KindInt && k != KindFloat {
 		return fmt.Errorf("vector: sort key column %d has unsortable kind", m.Key)
 	}
 	// Rows live in different runs, so the comparator gathers through the
-	// (run, pos) cursors.
+	// (run, pos) cursors. It indexes the runs' CURRENT batches, which
+	// refilling swaps under the heap — but only after every row of the
+	// previous batch has left it.
 	m.less = func(a, b runCursor) bool {
-		return mergeLess(m.runs[a.run].Cols, m.runs[b.run].Cols, a.pos, b.pos, m.Key, m.RowID, m.Desc)
+		return mergeLess(m.cur[a.run].Cols, m.cur[b.run].Cols, a.pos, b.pos, m.Key, m.RowID, m.Desc)
 	}
-	for ri := range m.runs {
+	for ri := range m.cur {
 		m.push(runCursor{run: int32(ri), pos: 0})
 	}
 	return nil
+}
+
+// fill pulls the next non-empty batch from a spill reader.
+func (m *MergeRuns) fill(rd SpillReader) (*Batch, error) {
+	for {
+		b, err := rd.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		if b.N > 0 {
+			return b, nil
+		}
+	}
 }
 
 // mergeLess compares row ap of column set ac against row bp of bc.
@@ -403,7 +572,7 @@ func (m *MergeRuns) Next() (*Batch, error) {
 		return nil, nil
 	}
 
-	tmpl := m.runs[0].Cols
+	tmpl := m.cur[0].Cols
 	cols := make([]Col, len(tmpl))
 	for i := range tmpl {
 		cols[i] = Col{Kind: tmpl[i].Kind}
@@ -411,7 +580,7 @@ func (m *MergeRuns) Next() (*Batch, error) {
 	n := 0
 	for n < want && len(m.heap) > 0 {
 		cur := m.pop()
-		rb := m.runs[cur.run]
+		rb := m.cur[cur.run]
 		for ci := range rb.Cols {
 			c := &rb.Cols[ci]
 			oc := &cols[ci]
@@ -427,6 +596,23 @@ func (m *MergeRuns) Next() (*Batch, error) {
 		n++
 		if int(cur.pos)+1 < rb.N {
 			m.push(runCursor{run: cur.run, pos: cur.pos + 1})
+		} else if rd := m.srcs[cur.run]; rd != nil {
+			// This run streams from disk: refill its current batch. Every
+			// row of the old batch has been copied out, so the reader may
+			// reuse its storage.
+			nb, err := m.fill(rd)
+			if err != nil {
+				return nil, err
+			}
+			if nb == nil {
+				if err := rd.Close(); err != nil {
+					return nil, err
+				}
+				m.srcs[cur.run] = nil
+			} else {
+				m.cur[cur.run] = nb
+				m.push(runCursor{run: cur.run, pos: 0})
+			}
 		}
 	}
 	m.emitted += n
@@ -434,5 +620,21 @@ func (m *MergeRuns) Next() (*Batch, error) {
 	return &m.out, nil
 }
 
-// Close implements Operator.
-func (m *MergeRuns) Close() error { return m.Child.Close() }
+// Close implements Operator: any spill readers still open (a LIMIT can
+// end the merge early) are closed here.
+func (m *MergeRuns) Close() error {
+	var errs []error
+	for i, rd := range m.srcs {
+		if rd == nil {
+			continue
+		}
+		if err := rd.Close(); err != nil {
+			errs = append(errs, err)
+		}
+		m.srcs[i] = nil
+	}
+	if err := m.Child.Close(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,78 @@
+package vector
+
+// The vector operators spill through these small interfaces rather
+// than importing the spill package directly: spill imports vector (it
+// encodes Batches), so the dependency must point downward. The
+// physical planner bridges a query's spill.Scope into a SpillSink and
+// threads it — together with the query's memgov.Reservation — into the
+// operators that can exceed their grant (SortRun, Agg, join builds).
+
+import "sync"
+
+// SpillWriter receives the chunks of ONE spilled run or partition.
+// Implementations must apply the batch's selection vector (writes are
+// dense) and must leave the underlying file closed after any error.
+type SpillWriter interface {
+	WriteBatch(b *Batch) error
+	// Finish seals the file (sync + close) and returns the readable run.
+	Finish() (SpillRun, error)
+}
+
+// SpillRun is a sealed spill file, openable for streaming re-reads.
+type SpillRun interface {
+	Open() (SpillReader, error)
+}
+
+// SpillReader streams a run's batches back in write order. The batch
+// returned by Next is valid until the following Next call; Next
+// returns (nil, nil) at end of run.
+type SpillReader interface {
+	Next() (*Batch, error)
+	Close() error
+}
+
+// SpillSink opens a new spill file under the owning query's scope. A
+// nil sink means spilling is unavailable and over-grant operators must
+// fail instead.
+type SpillSink func(label string) (SpillWriter, error)
+
+// RunSet collects the spilled runs of one sort across its parallel
+// workers: each SortRun registers the runs it spilled, and MergeRuns
+// takes them all once the Exchange barrier guarantees every worker is
+// done. Safe for concurrent Add.
+type RunSet struct {
+	mu   sync.Mutex
+	runs []SpillRun
+}
+
+// Add registers one sealed run.
+func (rs *RunSet) Add(r SpillRun) {
+	rs.mu.Lock()
+	rs.runs = append(rs.runs, r)
+	rs.mu.Unlock()
+}
+
+// Take returns every registered run and empties the set.
+func (rs *RunSet) Take() []SpillRun {
+	rs.mu.Lock()
+	runs := rs.runs
+	rs.runs = nil
+	rs.mu.Unlock()
+	return runs
+}
+
+// batchBytes estimates the buffered footprint of b's qualifying rows —
+// what a materializing operator charges its reservation before copying
+// them in.
+func batchBytes(b *Batch) int64 {
+	rows := int64(b.Rows())
+	var width int64
+	for i := range b.Cols {
+		if b.Cols[i].Kind == KindBool {
+			width++
+		} else {
+			width += 8
+		}
+	}
+	return rows * width
+}

@@ -6,10 +6,11 @@ import (
 	"path/filepath"
 )
 
-// FS is the filesystem the log writes through. The indirection exists
-// so that every durability failure mode — torn writes, short writes,
-// fsync errors, kill-at-any-byte crashes — can be injected by MemFS in
-// tests; production code uses OSFS.
+// FS is the filesystem the log — and the spill tier of out-of-core
+// execution — writes through. The indirection exists so that every
+// durability failure mode — torn writes, short writes, fsync errors,
+// kill-at-any-byte crashes — can be injected by MemFS in tests;
+// production code uses OSFS.
 type FS interface {
 	// ReadFile returns the file's current content, or nil (no error)
 	// when the file does not exist.
@@ -17,6 +18,15 @@ type FS interface {
 	// OpenAppend opens the file for appending, creating it (and making
 	// the creation durable) if needed.
 	OpenAppend(path string) (File, error)
+	// Open opens the file for streaming reads — the spill-run reader's
+	// path, where files are far larger than a ReadFile slurp should be.
+	Open(path string) (io.ReadCloser, error)
+	// Remove deletes the file. Removing a file that does not exist is
+	// not an error (spill GC races are benign).
+	Remove(path string) error
+	// List returns the base names of the files in dir, in sorted order;
+	// a missing directory lists as empty, not as an error.
+	List(dir string) ([]string, error)
 }
 
 // File is an append-only log file handle.
@@ -60,6 +70,37 @@ func (OSFS) OpenAppend(path string) (File, error) {
 		}
 	}
 	return f, nil
+}
+
+// Open implements FS.
+func (OSFS) Open(path string) (io.ReadCloser, error) {
+	return os.Open(path)
+}
+
+// Remove implements FS.
+func (OSFS) Remove(path string) error {
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// List implements FS.
+func (OSFS) List(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
 }
 
 func syncDir(dir string) error {

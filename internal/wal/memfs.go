@@ -1,7 +1,11 @@
 package wal
 
 import (
+	"bytes"
 	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
 	"sync"
 )
 
@@ -52,6 +56,42 @@ func (m *MemFS) OpenAppend(path string) (File, error) {
 		m.files[path] = f
 	}
 	return &memHandle{fs: m, f: f}, nil
+}
+
+// Open implements FS; it streams a snapshot of the file's content
+// taken at Open time. A missing file is an error here (unlike
+// ReadFile): the spill reader only opens files it just wrote.
+func (m *MemFS) Open(path string) (io.ReadCloser, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path]
+	if !ok {
+		return nil, fmt.Errorf("wal: open %s: file does not exist", path)
+	}
+	return io.NopCloser(bytes.NewReader(append([]byte(nil), f.content...))), nil
+}
+
+// Remove implements FS; removing a missing file is not an error.
+func (m *MemFS) Remove(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.files, path)
+	return nil
+}
+
+// List implements FS.
+func (m *MemFS) List(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	clean := filepath.Clean(dir)
+	var names []string
+	for path := range m.files {
+		if filepath.Dir(path) == clean {
+			names = append(names, filepath.Base(path))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
 }
 
 // Seed sets a file's content AND durable bytes — the state a process
