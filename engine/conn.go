@@ -151,8 +151,48 @@ func (c *Conn) Plan(sql string) (string, error) {
 		if dfb := phys.DataFallback(snap); dfb != nil {
 			fb = dfb
 		} else {
-			return phys.Describe() + "\nMAL fallback:\n" + prog.String(), nil
+			out := phys.Describe()
+			if js := c.observedJoinOrder(sel, phys, prog.ResultNames, snap); js != "" {
+				out += "\n" + js
+			}
+			return out + "\nMAL fallback:\n" + prog.String(), nil
 		}
 	}
 	return "MAL program (fallback " + fb.String() + "):\n" + prog.String(), nil
+}
+
+// observedJoinOrder runs ONE instrumented execution of a lowered join
+// query and renders the join order the sampled greedy orderer chose for
+// it — per step, the estimated intermediate cardinality against the
+// measured one. The order is a per-execution decision (the estimates
+// come from strided samples of the live snapshot), so \plan reports an
+// observation, not a promise. Parameterized statements have no argument
+// values to execute with and report structure only.
+func (c *Conn) observedJoinOrder(sel *sqlfe.Select, phys *physical.Plan, names []string, snap *sqlfe.Snapshot) string {
+	if len(sel.Joins) == 0 {
+		return ""
+	}
+	if sqlfe.NumParams(sel) > 0 {
+		return "join order: sampled per execution (parameterized; run the statement to observe it)"
+	}
+	stats := &physical.ExecStats{}
+	popts := c.db.physOpts()
+	gov, scope := c.db.queryGov()
+	popts.Gov, popts.Spill = gov, scope
+	popts.Stats = stats
+	res, fb, err := phys.Execute(context.Background(), snap, nil, popts)
+	out := ""
+	if err == nil && fb == nil {
+		r := newVecRows(context.Background(), names, res.Op, res.Limit)
+		for r.Next() {
+		}
+		_ = r.Close()
+		out = stats.Describe()
+	}
+	if scope != nil {
+		if cerr := scope.Cleanup(); cerr != nil && out != "" {
+			out += "\n    (spill scope cleanup failed: " + cerr.Error() + ")"
+		}
+	}
+	return out
 }

@@ -190,8 +190,8 @@ func TestGlobalMinMaxOnVectorPath(t *testing.T) {
 	}
 }
 
-// GROUP BY shapes that must NOT lower: text keys, ORDER BY, joins, and
-// tables with deletes at execution time.
+// GROUP BY routing edges: text keys must NOT lower; grouped ORDER BY
+// now lowers and matches MAL; deletes disqualify at execution time.
 func TestGroupByFallbacks(t *testing.T) {
 	db, _ := Open()
 	defer db.Close()
@@ -207,8 +207,28 @@ func TestGroupByFallbacks(t *testing.T) {
 	}
 
 	loadGrouped(t, db, "g", 500, 10, 3)
-	if plan, _ := conn.Plan("SELECT k, sum(v) FROM g GROUP BY k ORDER BY k"); strings.Contains(plan, "vectorized") {
-		t.Fatalf("grouped ORDER BY must fall back:\n%s", plan)
+	// Grouped ORDER BY now lowers (PR 10): the merged groups sort by the
+	// ordered item with canonical group-key tiebreaks, matching MAL's
+	// stable-sort chain exactly.
+	for _, q := range []string{
+		"SELECT k, sum(v) FROM g GROUP BY k ORDER BY k",
+		"SELECT k, sum(v) FROM g GROUP BY k ORDER BY k DESC LIMIT 4",
+	} {
+		plan, err := conn.Plan(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(plan, "order-by[item") {
+			t.Fatalf("%s: expected grouped order routing, got:\n%s", q, plan)
+		}
+		got := collect(t)(conn.Query(bg, q))
+		oracle, err := db.sdb.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(oracle.Rows) {
+			t.Fatalf("%s: vec %v, MAL %v", q, got, oracle.Rows)
+		}
 	}
 	// Deletes disqualify at execution time; results still correct.
 	mustExec(t, db, "DELETE FROM g WHERE k = 3")

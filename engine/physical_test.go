@@ -51,19 +51,25 @@ func TestFallbackReasonsSurfaced(t *testing.T) {
 	mustExec(t, db, "INSERT INTO t VALUES (1, 2, 3, 1.5, 'x')")
 	mustExec(t, db, "CREATE TABLE u (a INT, s TEXT)")
 	mustExec(t, db, "INSERT INTO u VALUES (1, 'y')")
+	mustExec(t, db, "CREATE TABLE x2 (a INT, s TEXT)")
+	mustExec(t, db, "INSERT INTO x2 VALUES (1, 'z')")
+	mustExec(t, db, "CREATE TABLE w1 (a INT)")
+	mustExec(t, db, "INSERT INTO w1 VALUES (1)")
 	conn := db.Conn()
 
 	cases := []struct{ q, reason string }{
 		{"SELECT s FROM t", "text-column"},
 		{"SELECT a + 1 FROM t", "expression-in-select"},
-		{"SELECT a, b, c, sum(f) FROM t GROUP BY a, b, c", "group-by-more-than-2-keys"},
 		{"SELECT s, sum(a) FROM t GROUP BY s", "group-key-not-int"},
-		{"SELECT a, sum(b) FROM t GROUP BY a ORDER BY a", "order-by-over-group-by"},
+		{"SELECT f, count(*) FROM t GROUP BY f", "group-key-not-int"},
+		{"SELECT * FROM w1 GROUP BY a", "group-by-star"},
 		{"SELECT a FROM t ORDER BY s", "order-key-not-sortable"},
+		{"SELECT sum(a) AS total FROM t ORDER BY total", "order-key-not-sortable"},
 		{"SELECT t.a FROM t JOIN u ON t.s = u.s", "join-key-not-int"},
-		{"SELECT t.a, sum(t.b) FROM t JOIN u ON t.a = u.a GROUP BY t.a", "group-by-over-join"},
-		{"SELECT t.a FROM t JOIN u ON t.a = u.a ORDER BY t.a", "order-by-over-join"},
-		{"SELECT sum(t.b) FROM t JOIN u ON t.a = u.a", "aggregates-over-join"},
+		// N-way: the disqualifying edge is the SECOND join, not the first.
+		{"SELECT t.a FROM t JOIN u ON t.a = u.a JOIN x2 ON u.s = x2.s", "join-key-not-int"},
+		// ORDER BY over a join on an unprojected TEXT key.
+		{"SELECT t.a FROM t JOIN u ON t.a = u.a ORDER BY s", "order-key-not-sortable"},
 	}
 	for _, tc := range cases {
 		plan, err := conn.Plan(tc.q)
@@ -93,10 +99,12 @@ func TestFallbackReasonsSurfaced(t *testing.T) {
 func TestNewShapesRoute(t *testing.T) {
 	db, _ := Open()
 	defer db.Close()
-	mustExec(t, db, "CREATE TABLE t (a INT, b INT, f FLOAT)")
-	mustExec(t, db, "INSERT INTO t VALUES (1, 2, 1.5)")
+	mustExec(t, db, "CREATE TABLE t (a INT, b INT, c INT, f FLOAT)")
+	mustExec(t, db, "INSERT INTO t VALUES (1, 2, 3, 1.5)")
 	mustExec(t, db, "CREATE TABLE u (a INT, w INT)")
 	mustExec(t, db, "INSERT INTO u VALUES (1, 9)")
+	mustExec(t, db, "CREATE TABLE z (a INT, y INT)")
+	mustExec(t, db, "INSERT INTO z VALUES (1, 4)")
 	conn := db.Conn()
 
 	cases := []struct{ q, marker string }{
@@ -107,6 +115,18 @@ func TestNewShapesRoute(t *testing.T) {
 		{"SELECT * FROM t JOIN u ON t.a = u.a", "join-table[key"},
 		{"SELECT a, b, sum(f), count(*) FROM t GROUP BY a, b", "group-by[col0,col1]"},
 		{"SELECT a FROM t WHERE b IS NOT NULL AND f IS NULL", "is not null"},
+		// PR 10 shapes: N-way joins, joins feeding aggregation/sort, >2
+		// group keys, grouped ORDER BY, aggregates over expressions.
+		{"SELECT t.b, u.w, z.y FROM t JOIN u ON t.a = u.a JOIN z ON u.a = z.a", "greedy orderer"},
+		{"SELECT t.b, u.w, z.y FROM t JOIN u ON t.a = u.a JOIN z ON u.a = z.a", "join order (greedy"},
+		{"SELECT sum(t.b) FROM t JOIN u ON t.a = u.a", "hash-join["},
+		{"SELECT t.a, sum(u.w) FROM t JOIN u ON t.a = u.a GROUP BY t.a", "group-by["},
+		{"SELECT t.b, u.w FROM t JOIN u ON t.a = u.a ORDER BY w", "canonical value ties"},
+		{"SELECT a, b, c, count(*) FROM t GROUP BY a, b, c", "group-by[col0,col1,col2]"},
+		{"SELECT a, sum(b) FROM t GROUP BY a ORDER BY a", "order-by[item 0]"},
+		{"SELECT a, count(*) FROM t GROUP BY a ORDER BY a DESC LIMIT 2", "order-by[item 0 desc]"},
+		{"SELECT sum(a + b) FROM t", "expr-project["},
+		{"SELECT a, avg(b * 2) FROM t GROUP BY a", "expr-project["},
 	}
 	for _, tc := range cases {
 		plan, err := conn.Plan(tc.q)

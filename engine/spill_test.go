@@ -172,6 +172,44 @@ func TestGraceJoinEngineOracle(t *testing.T) {
 	}
 }
 
+// Deep join trees degrade per step: when a build table exceeds the
+// grant mid-chain, that step grace-partitions both sides to disk and
+// the rest of the chain continues serially — including with GROUP BY,
+// aggregate expressions, and canonical ORDER BY over the join output.
+func TestGraceNWayJoinEngineOracle(t *testing.T) {
+	queries := []struct {
+		sql     string
+		ordered bool
+	}{
+		{"SELECT jl.v, jm.v, jr.f FROM jl JOIN jm ON jl.k = jm.k JOIN jr ON jm.k = jr.k", false},
+		{"SELECT jl.k, count(*), sum(jm.v), sum(jm.v + jl.v) FROM jl JOIN jm ON jl.k = jm.k JOIN jr ON jm.k = jr.k GROUP BY jl.k", false},
+		{"SELECT jl.v AS a, jm.v AS b FROM jl JOIN jm ON jl.k = jm.k JOIN jr ON jm.k = jr.k ORDER BY a LIMIT 100", true},
+		{"SELECT jl.k AS kk, sum(jr.v) FROM jl JOIN jm ON jl.k = jm.k JOIN jr ON jm.k = jr.k GROUP BY jl.k ORDER BY kk DESC LIMIT 20", true},
+	}
+	for _, workers := range []int{1, 4} {
+		oracle := newOracleDB(t, workers)
+		db, _ := newGovDB(t, 256<<10, workers)
+		for _, d := range []*DB{oracle, db} {
+			loadGrouped(t, d, "jl", 12000, 3000, 21)
+			loadGrouped(t, d, "jm", 6000, 3000, 22)
+			loadGrouped(t, d, "jr", 6000, 3000, 23)
+		}
+		for _, q := range queries {
+			label := fmt.Sprintf("%s (workers=%d)", q.sql, workers)
+			before := db.SpillStats().Spills
+			got := collect(t)(db.Query(bg, q.sql))
+			want := collect(t)(oracle.Query(bg, q.sql))
+			diffRows(t, label, got, want, q.ordered)
+			if db.SpillStats().Spills == before {
+				t.Fatalf("%s: budget never forced a spill", label)
+			}
+			checkNoLeak(t, db, label)
+		}
+		db.Close()
+		oracle.Close()
+	}
+}
+
 // Without a spill directory the budget is a hard rejection — typed,
 // per-query, database untouched.
 func TestBudgetRejectWithoutSpill(t *testing.T) {

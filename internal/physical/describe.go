@@ -3,32 +3,50 @@ package physical
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 )
 
 // Describe renders the plan tree for \plan: one line per pipeline, with
 // the Exchange marking where batches cross from the parallel workers to
-// the consumer.
+// the consumer. The rendering is STRUCTURAL (leaves in textual FROM
+// order): which leaf streams and in what order the others build is
+// decided per execution by the sampled greedy orderer, which \plan
+// reports separately from its instrumented execution.
 func (p *Plan) Describe() string {
 	var sb strings.Builder
 	sb.WriteString("vectorized pipeline (physical plan, morsel-parallel exchange):\n")
 	switch root := p.Root.(type) {
 	case *ProjectNode:
 		switch child := root.Child.(type) {
-		case *HashJoinNode:
-			describeJoin(&sb, root, child)
 		case *SortNode:
+			if jt, ok := child.Child.(*JoinTreeNode); ok {
+				describeJoinTree(&sb, jt)
+				fmt.Fprintf(&sb, " -> sort-runs[col%d%s%s, canonical value ties] -> exchange -> merge-runs -> project",
+					child.Key, descSuffix(child.Desc), limitSuffix(child.Limit))
+				break
+			}
 			sb.WriteString("    ")
 			describePipe(&sb, child.Child)
 			fmt.Fprintf(&sb, " -> sort-runs[col%d%s%s] -> exchange -> merge-runs -> project",
 				child.Key, descSuffix(child.Desc), limitSuffix(child.Limit))
+		case *JoinTreeNode:
+			describeJoinTree(&sb, child)
+			sb.WriteString(" -> project -> exchange")
 		default:
 			sb.WriteString("    ")
 			describePipe(&sb, root.Child)
 			sb.WriteString(" -> project -> exchange")
 		}
 	case *GroupAggNode:
-		sb.WriteString("    ")
-		describePipe(&sb, root.Child)
+		if jt, ok := root.Child.(*JoinTreeNode); ok {
+			describeJoinTree(&sb, jt)
+		} else {
+			sb.WriteString("    ")
+			describePipe(&sb, root.Child)
+		}
+		if root.Pre != nil {
+			fmt.Fprintf(&sb, " -> expr-project[%d exprs]", len(root.Pre))
+		}
 		if len(root.Keys) == 0 {
 			sb.WriteString(" -> partial-agg -> exchange -> re-agg")
 			break
@@ -38,7 +56,10 @@ func (p *Plan) Describe() string {
 			cols[i] = fmt.Sprintf("col%d", k)
 		}
 		fmt.Fprintf(&sb, " -> group-by[%s] partial-agg -> exchange -> merge by key", strings.Join(cols, ","))
-		if len(root.Keys) == 1 && !hasFilter(root.Child) {
+		if root.OrderBy >= 0 {
+			fmt.Fprintf(&sb, " -> order-by[item %d%s]", root.OrderBy, descSuffix(root.OrderDesc))
+		}
+		if len(root.Keys) == 1 && root.Pre == nil && !hasFilter(root.Child) {
 			sb.WriteString("\n    (radix-partitioned shared-nothing plan at high key cardinality)")
 		}
 	default:
@@ -47,14 +68,51 @@ func (p *Plan) Describe() string {
 	return sb.String()
 }
 
-func describeJoin(sb *strings.Builder, proj *ProjectNode, jn *HashJoinNode) {
-	sb.WriteString("    build: ")
-	describePipe(sb, jn.Right)
-	fmt.Fprintf(sb, " -> join-table[key col%d]\n", jn.RKey)
+// Describe renders the join order one instrumented execution observed:
+// which leaf the greedy orderer streamed, and per join step the build
+// side with its sampled estimate against the measured output
+// cardinality. Empty when the plan had no joins.
+func (s *ExecStats) Describe() string {
+	if len(s.Joins) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteString("join order (greedy, sampled at execution):\n")
+	fmt.Fprintf(&sb, "    stream: scan %s\n", s.Stream)
+	for i := range s.Joins {
+		j := &s.Joins[i]
+		fmt.Fprintf(&sb, "    join %d: build %s (%d rows), est %d rows -> actual %d rows",
+			i+1, j.Build, j.BuildRows, j.EstRows, atomic.LoadInt64(&j.Actual))
+		if j.Grace {
+			sb.WriteString(" [grace: partitioned to disk]")
+		}
+		sb.WriteString("\n")
+	}
+	return strings.TrimRight(sb.String(), "\n")
+}
+
+// describeJoinTree renders an N-way join tree: one build line per edge
+// in textual order, then the probe chain. Ends mid-line so the caller
+// appends the post-stage.
+func describeJoinTree(sb *strings.Builder, jt *JoinTreeNode) {
+	for _, e := range jt.Edges {
+		sb.WriteString("    build: ")
+		describeLeaf(sb, &jt.Leaves[e.B])
+		fmt.Fprintf(sb, " -> join-table[key col%d]\n", e.BKey)
+	}
 	sb.WriteString("    probe: ")
-	describePipe(sb, jn.Left)
-	fmt.Fprintf(sb, " -> hash-join[key col%d, shared table] -> project -> exchange\n", jn.LKey)
-	sb.WriteString("    (build side chosen per execution by the radix cost model)")
+	describeLeaf(sb, &jt.Leaves[0])
+	for _, e := range jt.Edges {
+		fmt.Fprintf(sb, " -> hash-join[key col%d, shared table]", e.AKey)
+	}
+	sb.WriteString("\n    (stream leaf and join order chosen per execution by the sampled greedy orderer)")
+	sb.WriteString("\n   ")
+}
+
+// describeLeaf renders one join leaf (scan, optionally filtered).
+func describeLeaf(sb *strings.Builder, lf *JoinLeaf) {
+	fmt.Fprintf(sb, "scan %s", lf.Scan.Table)
+	describePreds(sb, lf.Preds)
 }
 
 // describePipe renders a leaf pipeline (scan, optionally filtered).
@@ -64,26 +122,33 @@ func describePipe(sb *strings.Builder, n Node) {
 		fmt.Fprintf(sb, "scan %s", x.Table)
 	case *FilterNode:
 		describePipe(sb, x.Child)
-		sb.WriteString(" -> filter[")
-		for i, p := range x.Preds {
-			if i > 0 {
-				sb.WriteString(" AND ")
-			}
-			switch {
-			case p.Op == "isnull":
-				fmt.Fprintf(sb, "col%d is null", p.Col)
-			case p.Op == "isnotnull":
-				fmt.Fprintf(sb, "col%d is not null", p.Col)
-			case p.Param > 0:
-				fmt.Fprintf(sb, "col%d %s ?%d", p.Col, p.Op, p.Param)
-			default:
-				fmt.Fprintf(sb, "col%d %s lit", p.Col, p.Op)
-			}
-		}
-		sb.WriteString("]")
+		describePreds(sb, x.Preds)
 	default:
 		fmt.Fprintf(sb, "%T", n)
 	}
+}
+
+func describePreds(sb *strings.Builder, preds []Pred) {
+	if len(preds) == 0 {
+		return
+	}
+	sb.WriteString(" -> filter[")
+	for i, p := range preds {
+		if i > 0 {
+			sb.WriteString(" AND ")
+		}
+		switch {
+		case p.Op == "isnull":
+			fmt.Fprintf(sb, "col%d is null", p.Col)
+		case p.Op == "isnotnull":
+			fmt.Fprintf(sb, "col%d is not null", p.Col)
+		case p.Param > 0:
+			fmt.Fprintf(sb, "col%d %s ?%d", p.Col, p.Op, p.Param)
+		default:
+			fmt.Fprintf(sb, "col%d %s lit", p.Col, p.Op)
+		}
+	}
+	sb.WriteString("]")
 }
 
 func hasFilter(n Node) bool {

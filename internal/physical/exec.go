@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/bat"
 	"repro/internal/memgov"
@@ -31,14 +32,10 @@ func (p *Plan) Execute(ctx context.Context, snap *sqlfe.Snapshot, args []any, op
 	}
 	switch root := p.Root.(type) {
 	case *ProjectNode:
-		switch child := root.Child.(type) {
-		case *HashJoinNode:
-			return p.execJoin(ctx, snap, args, opts, root, child)
-		case *SortNode:
-			return p.execSort(ctx, snap, args, opts, root, child)
-		default:
-			return p.execPlain(ctx, snap, args, opts, root)
+		if sn, ok := root.Child.(*SortNode); ok {
+			return p.execSort(ctx, snap, args, opts, root, sn)
 		}
+		return p.execPlain(ctx, snap, args, opts, root)
 	case *GroupAggNode:
 		if len(root.Keys) == 0 {
 			return p.execGlobalAgg(ctx, snap, args, opts, root)
@@ -79,8 +76,12 @@ func scanNodes(n Node) []*ScanNode {
 		return scanNodes(x.Child)
 	case *GroupAggNode:
 		return scanNodes(x.Child)
-	case *HashJoinNode:
-		return append(scanNodes(x.Left), scanNodes(x.Right)...)
+	case *JoinTreeNode:
+		out := make([]*ScanNode, 0, len(x.Leaves))
+		for i := range x.Leaves {
+			out = append(out, x.Leaves[i].Scan)
+		}
+		return out
 	}
 	return nil
 }
@@ -261,15 +262,10 @@ func emptyLike(src *vector.Source) *vector.Source {
 	return out
 }
 
-// leafExec binds the plan's left-most leaf pipeline. A predicate
-// contradiction (IS NULL over a provably nil-free column) swaps in a
-// zero-row source, so the pipeline emits its empty/identity result
-// without scanning.
-func leafExec(n Node, snap *sqlfe.Snapshot, args []any) (*boundScan, []vector.Pred, error) {
-	scan, preds, err := pipe(n)
-	if err != nil {
-		return nil, nil, err
-	}
+// bindLeaf binds one scan+preds leaf. A predicate contradiction (IS
+// NULL over a provably nil-free column) swaps in a zero-row source, so
+// the pipeline emits its empty/identity result without scanning.
+func bindLeaf(scan *ScanNode, preds []Pred, snap *sqlfe.Snapshot, args []any) (*boundScan, []vector.Pred, error) {
 	bs, err := bind(scan, snap)
 	if err != nil {
 		return nil, nil, err
@@ -284,35 +280,523 @@ func leafExec(n Node, snap *sqlfe.Snapshot, args []any) (*boundScan, []vector.Pr
 	return bs, vpreds, nil
 }
 
-// --- plain scan/filter/project ---
+// countOp counts the rows flowing through it into an atomic counter —
+// the per-join-step Actual observation \plan reports. One counter is
+// shared by every worker's instance of the pipeline, hence atomics.
+type countOp struct {
+	child vector.Operator
+	ctr   *int64
+}
+
+func (o *countOp) Open() error { return o.child.Open() }
+
+func (o *countOp) Next() (*vector.Batch, error) {
+	b, err := o.child.Next()
+	if b != nil {
+		atomic.AddInt64(o.ctr, int64(b.Rows()))
+	}
+	return b, err
+}
+
+func (o *countOp) Close() error { return o.child.Close() }
+
+// resetActuals zeroes the observed row counters before a grace re-plan
+// re-runs the probe chain, so the counts reflect the run that actually
+// produced the result.
+func resetActuals(s *ExecStats) {
+	if s == nil {
+		return
+	}
+	for i := range s.Joins {
+		atomic.StoreInt64(&s.Joins[i].Actual, 0)
+	}
+}
+
+// --- the instantiated pipeline ---
+
+// pipeline is a plan child (leaf or join tree) bound to a snapshot, in
+// one of two modes. Parallel (mkSerial == nil): src streams through an
+// Exchange and par builds each worker's fragment on top of its morsel
+// scan. Serial (mkSerial != nil): a join build degraded to grace-hash
+// partitioning mid-instantiation, and the whole stream now issues from
+// spill partitions — mkSerial constructs a fresh single-threaded chain
+// (replayable: spill files and shared join tables persist).
+//
+// remap translates the plan's VIRTUAL column positions (FROM-order
+// concatenation of the leaves) to the chain's intermediate layout
+// (stream leaf's columns, then each build's payload in execution
+// order). For a single-table child it is the identity.
+type pipeline struct {
+	src      *vector.Source
+	par      func(vector.Operator) vector.Operator
+	mkSerial func() vector.Operator
+	remap    []int
+	width    int
+
+	// Single-table children only (the partitioned-grouping fast path
+	// needs the raw source and predicate list).
+	leaf      *boundScan
+	leafPreds []vector.Pred
+}
+
+// serialChain returns a factory for a fresh single-threaded instance of
+// the full chain, whatever mode the pipeline is in.
+func (pl *pipeline) serialChain(opts Options) func() vector.Operator {
+	if pl.mkSerial != nil {
+		return pl.mkSerial
+	}
+	return func() vector.Operator {
+		return pl.par(vector.NewScan(pl.src, opts.VectorSize))
+	}
+}
+
+// pipelineFor instantiates the plan child feeding a projection, sort,
+// or aggregation.
+func (p *Plan) pipelineFor(ctx context.Context, snap *sqlfe.Snapshot, args []any, opts Options, n Node) (*pipeline, error) {
+	if jt, ok := n.(*JoinTreeNode); ok {
+		return p.joinPipeline(ctx, snap, args, opts, jt)
+	}
+	scan, preds, err := pipe(n)
+	if err != nil {
+		return nil, err
+	}
+	bs, vpreds, err := bindLeaf(scan, preds, snap, args)
+	if err != nil {
+		return nil, err
+	}
+	width := len(bs.src.Cols)
+	remap := make([]int, width)
+	for i := range remap {
+		remap[i] = i
+	}
+	return &pipeline{
+		src: bs.src,
+		par: func(scan vector.Operator) vector.Operator {
+			if len(vpreds) > 0 {
+				return &vector.Filter{Child: scan, Preds: vpreds}
+			}
+			return scan
+		},
+		remap: remap, width: width,
+		leaf: bs, leafPreds: vpreds,
+	}, nil
+}
+
+// --- join ordering: statistics-free greedy over strided samples ---
+
+// estimateLeaf estimates a leaf's post-filter cardinality by running
+// its predicates over a strided sample of at most 1024 rows — the
+// engine keeps no table statistics, so selectivities are measured at
+// plan-instantiation time from the data itself (add-half smoothing
+// keeps an all-rejected sample from estimating an impossible zero).
+func estimateLeaf(bs *boundScan, preds []vector.Pred, vectorSize int) float64 {
+	n := bs.src.Len()
+	if n == 0 {
+		return 0
+	}
+	if len(preds) == 0 {
+		return float64(n)
+	}
+	const maxSample = 1024
+	step := 1
+	if n > maxSample {
+		step = n / maxSample
+	}
+	cols := make([]vector.Col, len(bs.src.Cols))
+	for i := range cols {
+		cols[i].Kind = bs.src.Cols[i].Kind
+	}
+	sn := 0
+	for pos := 0; pos < n; pos += step {
+		for i := range cols {
+			c := &bs.src.Cols[i]
+			switch c.Kind {
+			case vector.KindInt:
+				cols[i].Ints = append(cols[i].Ints, c.Ints[pos])
+			case vector.KindFloat:
+				cols[i].Floats = append(cols[i].Floats, c.Floats[pos])
+			}
+		}
+		sn++
+	}
+	src, err := vector.NewSourceWithLen(bs.src.Names, cols, sn)
+	if err != nil {
+		return float64(n)
+	}
+	var op vector.Operator = vector.NewScan(src, vectorSize)
+	op = &vector.Filter{Child: op, Preds: preds}
+	if err := op.Open(); err != nil {
+		return float64(n)
+	}
+	defer op.Close()
+	q := 0
+	for {
+		b, err := op.Next()
+		if err != nil || b == nil {
+			break
+		}
+		q += b.Rows()
+	}
+	sel := (float64(q) + 0.5) / (float64(sn) + 1)
+	if q == sn {
+		sel = 1
+	}
+	return sel * float64(n)
+}
+
+// joinStep is one ordered step of the left-deep chain: fold leaf
+// `build` into the joined set by probing with the `probe` leaf's key.
+type joinStep struct {
+	edge        JoinEdge
+	build       int // leaf hashed into a table at this step
+	probe       int // already-joined leaf owning the probe key
+	probeKeyPos int // key position within the probe leaf's columns
+	buildKeyPos int
+	est         float64 // estimated output rows of this step
+}
+
+// orderJoins picks the stream leaf and the join order. Greedy mode
+// starts from the edge with the smallest estimated output (streaming
+// its larger endpoint, building the smaller) and repeatedly folds in
+// the adjacent leaf minimizing the next intermediate's estimate
+// |S ⋈ L| ≈ |S|·|L| / max(d_S-key, d_L-key). Naive mode executes the
+// textual order (stream = first FROM table, edges in JOIN order) — the
+// benchmark baseline greedy is measured against.
+func orderJoins(jt *JoinTreeNode, ests []float64, dist func(leaf, pos int) float64, naive bool) (int, []joinStep) {
+	edges := jt.Edges
+	steps := make([]joinStep, 0, len(edges))
+
+	if naive {
+		cur := ests[0]
+		for _, e := range edges {
+			dA := dist(e.A, e.AKey)
+			dB := dist(e.B, e.BKey)
+			cur = cur * ests[e.B] / math.Max(1, math.Max(dA, dB))
+			steps = append(steps, joinStep{edge: e, build: e.B, probe: e.A,
+				probeKeyPos: e.AKey, buildKeyPos: e.BKey, est: cur})
+		}
+		return 0, steps
+	}
+
+	// Seed: the globally cheapest edge.
+	best, bestEst := -1, math.Inf(1)
+	for ei, e := range edges {
+		dA := math.Min(dist(e.A, e.AKey), math.Max(ests[e.A], 1))
+		dB := math.Min(dist(e.B, e.BKey), math.Max(ests[e.B], 1))
+		est := ests[e.A] * ests[e.B] / math.Max(1, math.Max(dA, dB))
+		if est < bestEst {
+			best, bestEst = ei, est
+		}
+	}
+	e0 := edges[best]
+	stream, build0 := e0.A, e0.B
+	pk, bk := e0.AKey, e0.BKey
+	if ests[e0.B] > ests[e0.A] {
+		// Stream the larger endpoint; hash the smaller.
+		stream, build0 = e0.B, e0.A
+		pk, bk = e0.BKey, e0.AKey
+	}
+	inS := make([]bool, len(jt.Leaves))
+	inS[stream], inS[build0] = true, true
+	used := make([]bool, len(edges))
+	used[best] = true
+	steps = append(steps, joinStep{edge: e0, build: build0, probe: stream,
+		probeKeyPos: pk, buildKeyPos: bk, est: bestEst})
+	cur := bestEst
+
+	for len(steps) < len(edges) {
+		best, bestEst = -1, math.Inf(1)
+		var bestStep joinStep
+		for ei, e := range edges {
+			if used[ei] {
+				continue
+			}
+			var sLeaf, nLeaf, sKey, nKey int
+			switch {
+			case inS[e.A] && !inS[e.B]:
+				sLeaf, nLeaf, sKey, nKey = e.A, e.B, e.AKey, e.BKey
+			case inS[e.B] && !inS[e.A]:
+				sLeaf, nLeaf, sKey, nKey = e.B, e.A, e.BKey, e.AKey
+			default:
+				continue // not adjacent to the joined set yet
+			}
+			dS := math.Min(dist(sLeaf, sKey), math.Max(ests[sLeaf], 1))
+			dN := math.Min(dist(nLeaf, nKey), math.Max(ests[nLeaf], 1))
+			est := cur * ests[nLeaf] / math.Max(1, math.Max(dS, dN))
+			if est < bestEst {
+				best, bestEst = ei, est
+				bestStep = joinStep{edge: e, build: nLeaf, probe: sLeaf,
+					probeKeyPos: sKey, buildKeyPos: nKey, est: est}
+			}
+		}
+		if best < 0 {
+			break // disconnected — cannot happen for a tree, guarded by caller
+		}
+		used[best] = true
+		inS[bestStep.build] = true
+		steps = append(steps, bestStep)
+		cur = bestEst
+	}
+	return stream, steps
+}
+
+// joinPipeline instantiates an N-way join tree: estimates, orders,
+// builds the non-stream leaves into shared hash tables (serially,
+// memory charged to the governor — an over-grant build degrades that
+// step to grace-hash partitioning and the chain continues serially),
+// and returns the pipeline the post-stages compose over.
+func (p *Plan) joinPipeline(ctx context.Context, snap *sqlfe.Snapshot, args []any, opts Options, jt *JoinTreeNode) (*pipeline, error) {
+	n := len(jt.Leaves)
+	bss := make([]*boundScan, n)
+	vpreds := make([][]vector.Pred, n)
+	anyEmpty := false
+	for i := range jt.Leaves {
+		bs, vp, err := bindLeaf(jt.Leaves[i].Scan, jt.Leaves[i].Preds, snap, args)
+		if err != nil {
+			return nil, err
+		}
+		bss[i], vpreds[i] = bs, vp
+		if bs.src.Len() == 0 {
+			anyEmpty = true
+		}
+	}
+	if anyEmpty {
+		// An inner join with one empty input is empty: swap EVERY leaf to
+		// a zero-row source and run the normal shape (builds are empty,
+		// aggregates still emit their identity rows).
+		for i := range bss {
+			bss[i].src = emptyLike(bss[i].src)
+		}
+	}
+
+	ests := make([]float64, n)
+	for i := range bss {
+		ests[i] = estimateLeaf(bss[i], vpreds[i], opts.VectorSize)
+	}
+	distCache := map[[2]int]float64{}
+	dist := func(leaf, pos int) float64 {
+		k := [2]int{leaf, pos}
+		if d, ok := distCache[k]; ok {
+			return d
+		}
+		d := float64(vector.EstimateGroups(bss[leaf].src.Cols[pos].Ints))
+		if d < 1 {
+			d = 1
+		}
+		distCache[k] = d
+		return d
+	}
+	stream, steps := orderJoins(jt, ests, dist, opts.NaiveJoinOrder)
+	if len(steps) != n-1 {
+		return nil, fmt.Errorf("physical: join graph is not a tree (%d steps for %d leaves)", len(steps), n)
+	}
+	if opts.Stats != nil {
+		opts.Stats.Stream = jt.Leaves[stream].Scan.Table
+		opts.Stats.Joins = make([]JoinStat, len(steps))
+		for k, st := range steps {
+			opts.Stats.Joins[k] = JoinStat{
+				Build:   jt.Leaves[st.build].Scan.Table,
+				EstRows: int64(st.est + 0.5),
+			}
+		}
+	}
+
+	mkLeafOp := func(li int) vector.Operator {
+		var op vector.Operator = vector.NewScan(bss[li].src, opts.VectorSize)
+		if len(vpreds[li]) > 0 {
+			op = &vector.Filter{Child: op, Preds: vpreds[li]}
+		}
+		return op
+	}
+
+	// Intermediate layout: the stream leaf's columns first, then each
+	// build's payload (all its pipeline columns) in execution order.
+	ipos := make([]int, n)
+	width := len(bss[stream].src.Cols)
+	type builtStep struct {
+		jb       *vector.JoinBuild
+		probeKey int
+		stat     *JoinStat
+	}
+	var chain []builtStep
+	var mkSerial func() vector.Operator
+
+	for k := range steps {
+		st := steps[k]
+		probeKey := ipos[st.probe] + st.probeKeyPos
+		var stat *JoinStat
+		if opts.Stats != nil {
+			stat = &opts.Stats.Joins[k]
+		}
+		payload := make([]int, len(bss[st.build].src.Cols))
+		for i := range payload {
+			payload[i] = i
+		}
+		var jb *vector.JoinBuild
+		err := memgov.ErrExceeded
+		if mkSerial == nil || !opts.canSpill() {
+			jb, err = vector.BuildJoinTableGov(mkLeafOp(st.build), st.buildKeyPos, payload, false, opts.Gov)
+		}
+		// Once a step has degraded, later builds degrade too (err stays
+		// ErrExceeded above): the chain is already serial-on-disk, and an
+		// in-memory build here would hold budget the degraded step's
+		// partition-pair joins need at drain time.
+		switch {
+		case err == nil:
+			if stat != nil {
+				stat.BuildRows = int64(jb.Rows())
+			}
+			if mkSerial == nil {
+				chain = append(chain, builtStep{jb: jb, probeKey: probeKey, stat: stat})
+			} else {
+				prev, cjb := mkSerial, jb
+				mkSerial = func() vector.Operator {
+					var op vector.Operator = &vector.HashJoinOp{Probe: prev(), ProbeKey: probeKey, Shared: cjb}
+					if stat != nil {
+						op = &countOp{child: op, ctr: &stat.Actual}
+					}
+					return op
+				}
+			}
+		case errors.Is(err, memgov.ErrExceeded) && opts.canSpill():
+			// This step's build outgrew the grant (its partial charge is
+			// already handed back): degrade the STEP to grace-hash — both
+			// sides partition to disk by key hash, partition pairs join
+			// one at a time — and continue the chain serially on top.
+			if stat != nil {
+				stat.Grace = true
+			}
+			if mkSerial == nil {
+				pref := append([]builtStep{}, chain...)
+				mkSerial = func() vector.Operator {
+					op := mkLeafOp(stream)
+					for _, c := range pref {
+						op = &vector.HashJoinOp{Probe: op, ProbeKey: c.probeKey, Shared: c.jb}
+						if c.stat != nil {
+							op = &countOp{child: op, ctr: &c.stat.Actual}
+						}
+					}
+					return op
+				}
+			}
+			ncolsB := len(bss[st.build].src.Cols)
+			stateBytes := int64(bss[st.build].src.Len()) * int64(8+8*ncolsB+48)
+			bits := graceBits(stateBytes, graceHeadroom(opts.Gov))
+			bParts, bRows, err := partitionOp(ctx, opts, mkLeafOp(st.build), ncolsB, []int{st.buildKeyPos}, bits, "jb")
+			if err != nil {
+				return nil, err
+			}
+			pParts, _, err := partitionOp(ctx, opts, mkSerial(), width, []int{probeKey}, bits, "jp")
+			if err != nil {
+				return nil, err
+			}
+			if stat != nil {
+				stat.BuildRows = bRows
+			}
+			exprs := make([]vector.Expr, width+ncolsB)
+			for i := range exprs {
+				exprs[i] = vector.ColRef{Idx: i}
+			}
+			mkSerial = func() vector.Operator {
+				var op vector.Operator = &graceJoinOp{
+					ctx: ctx, bParts: bParts, pParts: pParts,
+					buildKey: st.buildKeyPos, probeKey: probeKey,
+					payload: payload, exprs: exprs, res: opts.Gov,
+				}
+				if stat != nil {
+					op = &countOp{child: op, ctr: &stat.Actual}
+				}
+				return op
+			}
+		default:
+			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ipos[st.build] = width
+		width += len(bss[st.build].src.Cols)
+	}
+
+	remap := make([]int, 0, width)
+	for li := 0; li < n; li++ {
+		for j := 0; j < len(bss[li].src.Cols); j++ {
+			remap = append(remap, ipos[li]+j)
+		}
+	}
+	fixedChain := chain
+	return &pipeline{
+		src: bss[stream].src,
+		par: func(scan vector.Operator) vector.Operator {
+			op := scan
+			if len(vpreds[stream]) > 0 {
+				op = &vector.Filter{Child: op, Preds: vpreds[stream]}
+			}
+			for _, c := range fixedChain {
+				op = &vector.HashJoinOp{Probe: op, ProbeKey: c.probeKey, Shared: c.jb}
+				if c.stat != nil {
+					op = &countOp{child: op, ctr: &c.stat.Actual}
+				}
+			}
+			return op
+		},
+		mkSerial: mkSerial,
+		remap:    remap, width: width,
+	}, nil
+}
+
+// remapExpr rebuilds an expression tree with its ColRef leaves
+// translated through remap. It NEVER mutates the input: plan trees are
+// cached and shared, so the virtual-position originals must survive.
+func remapExpr(e vector.Expr, remap []int) vector.Expr {
+	switch x := e.(type) {
+	case vector.ColRef:
+		return vector.ColRef{Idx: remap[x.Idx]}
+	case vector.Bin:
+		out := x
+		if x.L != nil {
+			out.L = remapExpr(x.L, remap)
+		}
+		if x.R != nil {
+			out.R = remapExpr(x.R, remap)
+		}
+		return out
+	}
+	return e
+}
+
+// --- plain projection ---
 
 func (p *Plan) execPlain(ctx context.Context, snap *sqlfe.Snapshot, args []any, opts Options, proj *ProjectNode) (*Result, *Fallback, error) {
-	bs, preds, err := leafExec(proj.Child, snap, args)
+	pl, err := p.pipelineFor(ctx, snap, args, opts, proj.Child)
 	if err != nil {
 		return nil, nil, err
 	}
-	identity := len(proj.Outs) == len(bs.src.Cols)
+	exprs := make([]vector.Expr, len(proj.Outs))
+	identity := pl.mkSerial == nil && len(proj.Outs) == pl.width
 	for i, o := range proj.Outs {
-		if o != i {
+		ri := pl.remap[o]
+		if ri != i {
 			identity = false
 		}
+		exprs[i] = vector.ColRef{Idx: ri}
+	}
+	if pl.mkSerial != nil {
+		op := &vector.Project{Child: pl.mkSerial(), Exprs: exprs}
+		if err := op.Open(); err != nil {
+			return nil, nil, err
+		}
+		return &Result{Op: op, Limit: p.Limit}, nil, nil
 	}
 	plan := func(scan vector.Operator) vector.Operator {
-		op := scan
-		if len(preds) > 0 {
-			op = &vector.Filter{Child: op, Preds: preds}
-		}
+		op := pl.par(scan)
 		if !identity {
-			exprs := make([]vector.Expr, len(proj.Outs))
-			for i, o := range proj.Outs {
-				exprs[i] = vector.ColRef{Idx: o}
-			}
 			op = &vector.Project{Child: op, Exprs: exprs}
 		}
 		return op
 	}
 	ex := &vector.Exchange{
-		Source:     bs.src,
+		Source:     pl.src,
 		Workers:    opts.workers(),
 		MorselSize: opts.MorselSize,
 		VectorSize: opts.VectorSize,
@@ -328,15 +812,46 @@ func (p *Plan) execPlain(ctx context.Context, snap *sqlfe.Snapshot, args []any, 
 // --- ORDER BY: per-worker sorted runs + k-way merge ---
 
 func (p *Plan) execSort(ctx context.Context, snap *sqlfe.Snapshot, args []any, opts Options, proj *ProjectNode, sn *SortNode) (*Result, *Fallback, error) {
-	bs, preds, err := leafExec(sn.Child, snap, args)
+	pl, err := p.pipelineFor(ctx, snap, args, opts, sn.Child)
 	if err != nil {
 		return nil, nil, err
 	}
-	// The RowIDs scan appends the global-position tiebreak column after
-	// the source columns.
-	rowID := len(bs.src.Cols)
+	key := pl.remap[sn.Key]
+	var ties []int
+	for _, t := range sn.Ties {
+		ties = append(ties, pl.remap[t])
+	}
+	exprs := make([]vector.Expr, len(proj.Outs))
+	for i, o := range proj.Outs {
+		exprs[i] = vector.ColRef{Idx: pl.remap[o]}
+	}
+	// Single-table sorts tie-break on the global row id (stable, exactly
+	// the MAL order); join outputs have no meaningful row order, so they
+	// carry value ties (the output columns) and no row-id column.
+	rowID := -1
+	useRowIDs := len(ties) == 0
+	runs := &vector.RunSet{}
+	sink := opts.sink()
+
+	if pl.mkSerial != nil {
+		sr := &vector.SortRun{Child: pl.mkSerial(), Key: key, RowID: -1, Ties: ties, Desc: sn.Desc, Limit: sn.Limit,
+			Res: opts.Gov, Spill: sink, Runs: runs, Size: opts.VectorSize}
+		merge := &vector.MergeRuns{Child: sr, Key: key, RowID: -1, Ties: ties, Desc: sn.Desc, Limit: sn.Limit,
+			Size: opts.VectorSize, Ext: runs}
+		out := &vector.Project{Child: merge, Exprs: exprs}
+		if err := out.Open(); err != nil {
+			return nil, nil, err
+		}
+		return &Result{Op: out, Limit: p.Limit}, nil, nil
+	}
+
+	if useRowIDs {
+		// The RowIDs scan appends the global-position tiebreak column
+		// after the (single) leaf's columns.
+		rowID = pl.width
+	}
 	workers := opts.workers()
-	if !radix.ShouldParallelSort(bs.src.Len(), workers) {
+	if !radix.ShouldParallelSort(pl.src.Len(), workers) {
 		// One run: the sort cost model says the merge machinery is pure
 		// overhead here (tiny or single-worker input).
 		workers = 1
@@ -346,37 +861,29 @@ func (p *Plan) execSort(ctx context.Context, snap *sqlfe.Snapshot, args []any, o
 	// and MergeRuns streams those external runs back through the same
 	// k-way heap as the in-memory ones. With a nil sink (no scope, or
 	// the reject policy) a denied charge fails the query instead.
-	runs := &vector.RunSet{}
-	sink := opts.sink()
 	plan := func(scan vector.Operator) vector.Operator {
-		op := scan
-		if len(preds) > 0 {
-			op = &vector.Filter{Child: op, Preds: preds}
-		}
-		return &vector.SortRun{Child: op, Key: sn.Key, RowID: rowID, Desc: sn.Desc, Limit: sn.Limit,
+		op := pl.par(scan)
+		return &vector.SortRun{Child: op, Key: key, RowID: rowID, Ties: ties, Desc: sn.Desc, Limit: sn.Limit,
 			Res: opts.Gov, Spill: sink, Runs: runs, Size: opts.VectorSize}
 	}
 	ex := &vector.Exchange{
-		Source:     bs.src,
+		Source:     pl.src,
 		Workers:    workers,
 		MorselSize: opts.MorselSize,
 		VectorSize: opts.VectorSize,
 		Plan:       plan,
 		Ctx:        ctx,
-		RowIDs:     true,
+		RowIDs:     useRowIDs,
 	}
 	merge := &vector.MergeRuns{
 		Child: ex,
-		Key:   sn.Key,
+		Key:   key,
 		RowID: rowID,
+		Ties:  ties,
 		Desc:  sn.Desc,
 		Limit: sn.Limit,
 		Size:  opts.VectorSize,
 		Ext:   runs,
-	}
-	exprs := make([]vector.Expr, len(proj.Outs))
-	for i, o := range proj.Outs {
-		exprs[i] = vector.ColRef{Idx: o}
 	}
 	out := &vector.Project{Child: merge, Exprs: exprs}
 	if err := out.Open(); err != nil {
@@ -385,46 +892,86 @@ func (p *Plan) execSort(ctx context.Context, snap *sqlfe.Snapshot, args []any, o
 	return &Result{Op: out, Limit: p.Limit}, nil, nil
 }
 
+// --- aggregate plumbing shared by the global and grouped forms ---
+
+// aggSetup resolves a GroupAggNode's accumulators and optional Pre
+// expression projection against the pipeline's intermediate layout.
+func aggSetup(g *GroupAggNode, pl *pipeline) (specs []vector.AggSpec, wrap func(vector.Operator) vector.Operator, keyIdx []int) {
+	var pre []vector.Expr
+	if g.Pre != nil {
+		pre = make([]vector.Expr, len(g.Pre))
+		for i, e := range g.Pre {
+			pre[i] = remapExpr(e, pl.remap)
+		}
+	}
+	specs = make([]vector.AggSpec, len(g.Accs))
+	for i, a := range g.Accs {
+		col := a.Col
+		if col >= 0 && pre == nil {
+			col = pl.remap[col]
+		}
+		specs[i] = vector.AggSpec{Kind: a.Kind, Col: col}
+	}
+	keyIdx = make([]int, len(g.Keys))
+	for i, k := range g.Keys {
+		if pre != nil {
+			keyIdx[i] = k // keys lead the Pre projection already
+		} else {
+			keyIdx[i] = pl.remap[k]
+		}
+	}
+	wrap = func(op vector.Operator) vector.Operator {
+		if pre != nil {
+			return &vector.Project{Child: op, Exprs: pre}
+		}
+		return op
+	}
+	return specs, wrap, keyIdx
+}
+
 // --- global aggregates ---
 
 func (p *Plan) execGlobalAgg(ctx context.Context, snap *sqlfe.Snapshot, args []any, opts Options, g *GroupAggNode) (*Result, *Fallback, error) {
-	bs, preds, err := leafExec(g.Child, snap, args)
+	pl, err := p.pipelineFor(ctx, snap, args, opts, g.Child)
 	if err != nil {
 		return nil, nil, err
 	}
-	specs := make([]vector.AggSpec, len(g.Accs))
-	for i, a := range g.Accs {
-		specs[i] = vector.AggSpec{Kind: a.Kind, Col: a.Col}
-	}
-	plan := func(scan vector.Operator) vector.Operator {
-		op := scan
-		if len(preds) > 0 {
-			op = &vector.Filter{Child: op, Preds: preds}
+	specs, wrap, _ := aggSetup(g, pl)
+	var row *vector.Batch
+	if pl.mkSerial != nil {
+		// One serial pass IS the final aggregation: a single Agg instance's
+		// accumulators over the whole stream equal the merged partials.
+		row, err = drainOne(&vector.Agg{Child: wrap(pl.mkSerial()), KeyCol: -1, Aggs: specs})
+		if err != nil {
+			return nil, nil, err
 		}
-		return &vector.Agg{Child: op, KeyCol: -1, Aggs: specs}
+	} else {
+		plan := func(scan vector.Operator) vector.Operator {
+			return &vector.Agg{Child: wrap(pl.par(scan)), KeyCol: -1, Aggs: specs}
+		}
+		ex := &vector.Exchange{
+			Source:     pl.src,
+			Workers:    opts.workers(),
+			MorselSize: opts.MorselSize,
+			VectorSize: opts.VectorSize,
+			Plan:       plan,
+			Ctx:        ctx,
+		}
+		// Re-aggregate the workers' partials (sums and counts add, min/max
+		// re-fold nil-aware).
+		finals := make([]vector.AggSpec, len(g.Accs))
+		for i, a := range g.Accs {
+			finals[i] = vector.AggSpec{Kind: vector.MergeKind(a.Kind), Col: i}
+		}
+		row, err = drainOne(&vector.Agg{Child: ex, KeyCol: -1, Aggs: finals})
+		if err != nil {
+			return nil, nil, err
+		}
 	}
-	ex := &vector.Exchange{
-		Source:     bs.src,
-		Workers:    opts.workers(),
-		MorselSize: opts.MorselSize,
-		VectorSize: opts.VectorSize,
-		Plan:       plan,
-		Ctx:        ctx,
-	}
-	// Re-aggregate the workers' partials (sums and counts add, min/max
-	// re-fold nil-aware), then shape the single result row with SQL NULL
-	// semantics — sum/avg over zero non-nil inputs is NULL, as is
-	// min/max over none. The row is emitted as a one-row batch carrying
-	// the engine's nil sentinels, which the cursor renders as NULL.
-	finals := make([]vector.AggSpec, len(g.Accs))
-	for i, a := range g.Accs {
-		finals[i] = vector.AggSpec{Kind: vector.MergeKind(a.Kind), Col: i}
-	}
-	final := &vector.Agg{Child: ex, KeyCol: -1, Aggs: finals}
-	row, err := drainOne(final)
-	if err != nil {
-		return nil, nil, err
-	}
+	// Shape the single result row with SQL NULL semantics — sum/avg over
+	// zero non-nil inputs is NULL, as is min/max over none. The row is
+	// emitted as a one-row batch carrying the engine's nil sentinels,
+	// which the cursor renders as NULL.
 	cols := make([]vector.Col, len(g.Outs))
 	for i, o := range g.Outs {
 		cnt := int64(0)
@@ -471,29 +1018,47 @@ func (p *Plan) execGlobalAgg(ctx context.Context, snap *sqlfe.Snapshot, args []a
 	return &Result{Op: op, Limit: p.Limit}, nil, nil
 }
 
-// --- grouped aggregates (1 or 2 keys) ---
+// --- grouped aggregates (any key count, optional ORDER BY) ---
 
 func (p *Plan) execGrouped(ctx context.Context, snap *sqlfe.Snapshot, args []any, opts Options, g *GroupAggNode) (*Result, *Fallback, error) {
-	bs, preds, err := leafExec(g.Child, snap, args)
+	pl, err := p.pipelineFor(ctx, snap, args, opts, g.Child)
 	if err != nil {
 		return nil, nil, err
 	}
-	specs := make([]vector.AggSpec, len(g.Accs))
-	for i, a := range g.Accs {
-		specs[i] = vector.AggSpec{Kind: a.Kind, Col: a.Col}
-	}
+	specs, wrap, keyIdx := aggSetup(g, pl)
 	workers := opts.workers()
-	nk := len(g.Keys)
+	preCols := 0
+	if g.Pre != nil {
+		preCols = len(g.Pre)
+	}
+	chainCols := pl.width
+	if preCols > 0 {
+		chainCols = preCols
+	}
+
+	if pl.mkSerial != nil {
+		agg := &vector.Agg{Child: wrap(pl.mkSerial()), KeyCol: -1, Keys: keyIdx, Aggs: specs, Res: opts.Gov}
+		merged, err := drainOne(agg)
+		if err != nil {
+			if errors.Is(err, memgov.ErrExceeded) && opts.canSpill() {
+				resetActuals(opts.Stats)
+				mk := func() vector.Operator { return wrap(pl.mkSerial()) }
+				return p.graceGrouped(ctx, opts, mk, chainCols, pl.src.Len(), keyIdx, g, specs)
+			}
+			return nil, nil, err
+		}
+		return p.finishGrouped(merged, g)
+	}
 
 	// Plan choice: the shared-nothing radix-partitioned plan needs raw
-	// positions (no filter) and a single int64 key; composite keys and
-	// filtered inputs take the merge-based plan.
+	// positions (no filter, no joins, no expressions) and a single int64
+	// key; every other shape takes the merge-based plan.
 	var merged *vector.Batch
-	if nk == 1 && len(preds) == 0 {
-		keys := bs.src.Cols[g.Keys[0]].Ints
+	if pl.leaf != nil && len(keyIdx) == 1 && len(pl.leafPreds) == 0 && g.Pre == nil {
+		keys := pl.src.Cols[keyIdx[0]].Ints
 		est := vector.EstimateGroups(keys)
 		if radix.ShouldPartitionGroup(len(keys), est, workers) {
-			merged, err = vector.PartitionedGroupAggGov(ctx, bs.src, g.Keys[0], specs, workers, radix.GroupBits(est), opts.Gov)
+			merged, err = vector.PartitionedGroupAggGov(ctx, pl.src, keyIdx[0], specs, workers, radix.GroupBits(est), opts.Gov)
 			if err != nil && errors.Is(err, memgov.ErrExceeded) {
 				// The shuffle's upfront charge was denied; the merge-based
 				// plan builds smaller state and can still grace-spill.
@@ -502,18 +1067,51 @@ func (p *Plan) execGrouped(ctx context.Context, snap *sqlfe.Snapshot, args []any
 		}
 	}
 	if merged == nil && err == nil {
-		merged, err = vector.ParallelGroupAggGov(ctx, bs.src, g.Keys, specs, preds, workers, opts.MorselSize, opts.VectorSize, opts.Gov)
+		merged, err = vector.GroupAggOverPlan(ctx, pl.src,
+			func(scan vector.Operator) vector.Operator { return wrap(pl.par(scan)) },
+			keyIdx, specs, workers, opts.MorselSize, opts.VectorSize, opts.Gov)
 		if err != nil && errors.Is(err, memgov.ErrExceeded) && opts.canSpill() {
 			// The grouping table outgrew the grant mid-build: re-plan to
 			// grace-hash partitioning (the failed attempt already handed
 			// its memory back on the way out).
-			return p.graceGroup(ctx, opts, bs, preds, g, specs)
+			resetActuals(opts.Stats)
+			mk := func() vector.Operator {
+				return wrap(pl.par(vector.NewScan(pl.src, opts.VectorSize)))
+			}
+			return p.graceGrouped(ctx, opts, mk, chainCols, pl.src.Len(), keyIdx, g, specs)
 		}
 	}
 	if err != nil {
 		return nil, nil, err
 	}
-	op := &batchOp{b: &vector.Batch{N: merged.N, Cols: shapeGrouped(merged, g)}}
+	return p.finishGrouped(merged, g)
+}
+
+// finishGrouped shapes a merged [keys..., accs...] batch into the
+// select-list columns and applies the grouped ORDER BY, emitting the
+// whole result as one batch.
+func (p *Plan) finishGrouped(merged *vector.Batch, g *GroupAggNode) (*Result, *Fallback, error) {
+	shaped := shapeGrouped(merged, g)
+	if g.OrderBy >= 0 && merged.N > 1 {
+		// Sort by the chosen output item; ties break on the full group-key
+		// tuple (group rows are unique on it, so the order is total) —
+		// the same canonical order the MAL program's stable-sort chain
+		// produces.
+		nk := len(g.Keys)
+		comb := make([]vector.Col, 0, len(shaped)+nk)
+		comb = append(comb, shaped...)
+		ties := make([]int, 0, nk)
+		for ki := 0; ki < nk; ki++ {
+			comb = append(comb, merged.Cols[ki])
+			ties = append(ties, len(shaped)+ki)
+		}
+		perm, err := vector.SortedPerm(comb, merged.N, g.OrderBy, ties, g.OrderDesc)
+		if err != nil {
+			return nil, nil, err
+		}
+		shaped = vector.ApplyPerm(shaped, perm)
+	}
+	op := &batchOp{b: &vector.Batch{N: merged.N, Cols: shaped}}
 	if err := op.Open(); err != nil {
 		return nil, nil, err
 	}
@@ -581,121 +1179,6 @@ func shapeGrouped(merged *vector.Batch, g *GroupAggNode) []vector.Col {
 		}
 	}
 	return out
-}
-
-// --- hash join: serial build, parallel probe ---
-
-func (p *Plan) execJoin(ctx context.Context, snap *sqlfe.Snapshot, args []any, opts Options, proj *ProjectNode, jn *HashJoinNode) (*Result, *Fallback, error) {
-	lScan, lPreds, err := pipe(jn.Left)
-	if err != nil {
-		return nil, nil, err
-	}
-	rScan, rPreds, err := pipe(jn.Right)
-	if err != nil {
-		return nil, nil, err
-	}
-	lb, err := bind(lScan, snap)
-	if err != nil {
-		return nil, nil, err
-	}
-	rb, err := bind(rScan, snap)
-	if err != nil {
-		return nil, nil, err
-	}
-	lv, lEmpty, err := bindPreds(lPreds, lb, args)
-	if err != nil {
-		return nil, nil, err
-	}
-	rv, rEmpty, err := bindPreds(rPreds, rb, args)
-	if err != nil {
-		return nil, nil, err
-	}
-	if lEmpty {
-		lb.src = emptyLike(lb.src)
-	}
-	if rEmpty {
-		rb.src = emptyLike(rb.src)
-	}
-
-	// Build-side choice is the cost model's: price both orientations
-	// (each as the cheaper of its flat and clustered layouts) on this
-	// snapshot's table cardinalities and build the cheaper one. The
-	// counts are PRE-filter — selectivities are unknown until the
-	// pipelines run, so a highly selective filter on one side can make
-	// the model conservative, never wrong. The probe side is the one
-	// that parallelizes.
-	buildLeft := radix.BuildLeft(lb.src.Len(), rb.src.Len(), radix.JoinCacheBytes)
-	build, probe := rb, lb
-	buildPreds, probePreds := rv, lv
-	buildKey, probeKey := jn.RKey, jn.LKey
-	if buildLeft {
-		build, probe = lb, rb
-		buildPreds, probePreds = lv, rv
-		buildKey, probeKey = jn.LKey, jn.RKey
-	}
-
-	// The joined batch lays out probe columns then build payloads; remap
-	// the virtual (left ++ right) projection accordingly.
-	nl := len(lb.src.Cols)
-	nProbe := len(probe.src.Cols)
-	exprs := make([]vector.Expr, len(proj.Outs))
-	for i, v := range proj.Outs {
-		rt := v
-		if buildLeft {
-			if v < nl {
-				rt = nProbe + v // left columns ride as build payload
-			} else {
-				rt = v - nl // right columns are the probe side
-			}
-		}
-		exprs[i] = vector.ColRef{Idx: rt}
-	}
-
-	// Serial build: drain the build side's pipeline into the shared
-	// read-only JoinBuild (radix.JoinTable underneath — nil keys never
-	// match, large builds auto radix-partition).
-	var buildOp vector.Operator = vector.NewScan(build.src, opts.VectorSize)
-	if len(buildPreds) > 0 {
-		buildOp = &vector.Filter{Child: buildOp, Preds: buildPreds}
-	}
-	payload := make([]int, len(build.src.Cols))
-	for i := range payload {
-		payload[i] = i
-	}
-	jb, err := vector.BuildJoinTableGov(buildOp, buildKey, payload, false, opts.Gov)
-	if err != nil {
-		if errors.Is(err, memgov.ErrExceeded) && opts.canSpill() {
-			// The build side outgrew the grant mid-drain (its partial
-			// charge is already handed back): re-plan to a grace-hash
-			// join over matching partition pairs of both sides.
-			return p.graceJoin(ctx, opts, build, probe, buildPreds, probePreds, buildKey, probeKey, payload, exprs)
-		}
-		return nil, nil, err
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, nil, err
-	}
-
-	plan := func(scan vector.Operator) vector.Operator {
-		op := scan
-		if len(probePreds) > 0 {
-			op = &vector.Filter{Child: op, Preds: probePreds}
-		}
-		op = &vector.HashJoinOp{Probe: op, ProbeKey: probeKey, Shared: jb}
-		return &vector.Project{Child: op, Exprs: exprs}
-	}
-	ex := &vector.Exchange{
-		Source:     probe.src,
-		Workers:    opts.workers(),
-		MorselSize: opts.MorselSize,
-		VectorSize: opts.VectorSize,
-		Plan:       plan,
-		Ctx:        ctx,
-	}
-	if err := ex.Open(); err != nil {
-		return nil, nil, err
-	}
-	return &Result{Op: ex, Limit: p.Limit}, nil, nil
 }
 
 // --- small shared pieces ---

@@ -4,14 +4,15 @@ package physical
 // governed query's grouping table or join build outgrows its
 // memgov.Reservation and the policy allows spilling, the physical layer
 // RE-PLANS mid-query to the classic grace-hash shape: one serial
-// partition pass scatters the leaf pipeline's qualifying rows into
-// 1<<bits spill files by the radix hash of the key column(s), then each
-// partition — now a budget-sized fraction of the input holding a
-// disjoint key range — is processed with the ordinary in-memory
-// operator. Sort needs no re-plan: vector.SortRun spills its sorted
-// runs incrementally and vector.MergeRuns streams them back, so this
-// file only supplies the adapters wiring the spill package's concrete
-// files into the vector layer's interfaces.
+// partition pass runs the producing chain (a leaf pipeline, or a join
+// chain's intermediate stream) and scatters its rows into 1<<bits spill
+// files by the radix hash of the key column(s), then each partition —
+// now a budget-sized fraction of the input holding a disjoint key range
+// — is processed with the ordinary in-memory operator. Sort needs no
+// re-plan: vector.SortRun spills its sorted runs incrementally and
+// vector.MergeRuns streams them back, so this file only supplies the
+// adapters wiring the spill package's concrete files into the vector
+// layer's interfaces.
 
 import (
 	"context"
@@ -91,6 +92,20 @@ func (o *spillScanOp) Close() error {
 
 // --- the partition pass ---
 
+// graceHeadroom is the budget the partition fan-out should target: what
+// the governor has LEFT, not its full limit — in a deep join tree an
+// already-built in-memory join table keeps its charge while the
+// degraded step's partition pairs are consumed next to it. Floored at
+// an eighth of the limit so pathological residues don't explode the
+// fan-out.
+func graceHeadroom(gov *memgov.Reservation) int64 {
+	head := gov.Limit() - gov.Used()
+	if min := gov.Limit() / 8; head < min {
+		head = min
+	}
+	return head
+}
+
 // graceBits picks the partition fan-out: enough partitions that each
 // holds a small fraction of the budget — headroom for hash skew and for
 // the operator state living NEXT to the partition being consumed —
@@ -109,13 +124,15 @@ func graceBits(totalBytes, limit int64) int {
 	return bits
 }
 
-// hashRow hashes row i's key column(s) for partition routing. The same
-// function runs over both join sides, so equal keys always land in the
-// partition pair with the same index.
+// hashRow hashes row i's key column(s) for partition routing, folding
+// every extra key word through the Fibonacci multiplier (the
+// radix.MultiGroupTable recipe). The same function runs over both join
+// sides, so equal keys always land in the partition pair with the same
+// index.
 func hashRow(b *vector.Batch, keyCols []int, i int32) uint64 {
 	h := radix.Hash(b.Cols[keyCols[0]].Ints[i])
-	if len(keyCols) > 1 {
-		h = radix.Hash(int64(h) ^ b.Cols[keyCols[1]].Ints[i])
+	for _, kc := range keyCols[1:] {
+		h = (h ^ uint64(b.Cols[kc].Ints[i])) * 0x9E3779B97F4A7C15
 	}
 	return h
 }
@@ -131,18 +148,18 @@ func appendRowCell(dst, src *vector.Col, i int32) {
 	}
 }
 
-// partitionLeaf runs the leaf pipeline (scan + filter) serially,
-// scattering qualifying rows into 1<<bits spill partitions by the
-// radix hash of their key column(s). Partition files carry every
-// pipeline column in pipeline order, so downstream key/accumulator
-// positions stay valid unchanged; a partition that receives no rows
-// stays nil (no file is ever created for it). The bounded per-partition
-// staging buffers are charged to the reservation for the duration of
-// the pass — a budget too small even for those fails the query with
-// the usual typed error.
-func partitionLeaf(ctx context.Context, opts Options, bs *boundScan, preds []vector.Pred, keyCols []int, bits int, label string) ([]*spill.File, error) {
+// partitionOp runs op (any ncols-wide chain — a leaf pipeline, a join
+// chain's serial intermediate, a Pre expression projection) to
+// completion, scattering its rows into 1<<bits spill partitions by the
+// radix hash of the key column(s); the second result is the total rows
+// written. Partition files carry every chain column in chain order, so
+// downstream key/accumulator positions stay valid unchanged; a
+// partition that receives no rows stays nil (no file is ever created
+// for it). The bounded per-partition staging buffers are charged to the
+// reservation for the duration of the pass — a budget too small even
+// for those fails the query with the usual typed error.
+func partitionOp(ctx context.Context, opts Options, op vector.Operator, ncols int, keyCols []int, bits int, label string) ([]*spill.File, int64, error) {
 	nparts := 1 << bits
-	ncols := len(bs.src.Cols)
 	// Stage enough rows per partition to amortize the chunk header, but
 	// never let the staging total eat more than half the budget.
 	stageRows := 256
@@ -156,7 +173,7 @@ func partitionLeaf(ctx context.Context, opts Options, bs *boundScan, preds []vec
 	}
 	charge := int64(nparts) * int64(stageRows) * int64(8*ncols)
 	if err := opts.Gov.Acquire(charge); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer opts.Gov.Release(charge)
 
@@ -164,13 +181,10 @@ func partitionLeaf(ctx context.Context, opts Options, bs *boundScan, preds []vec
 	files := make([]*spill.File, nparts)
 	bufs := make([][]vector.Col, nparts)
 	lens := make([]int, nparts)
+	var rows int64
 
-	var op vector.Operator = vector.NewScan(bs.src, opts.VectorSize)
-	if len(preds) > 0 {
-		op = &vector.Filter{Child: op, Preds: preds}
-	}
 	if err := op.Open(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer op.Close()
 
@@ -199,11 +213,11 @@ func partitionLeaf(ctx context.Context, opts Options, bs *boundScan, preds []vec
 
 	for {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		b, err := op.Next()
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		if b == nil {
 			break
@@ -221,64 +235,132 @@ func partitionLeaf(ctx context.Context, opts Options, bs *boundScan, preds []vec
 				}
 				bufs[pi] = cols
 			}
-			for c := range b.Cols {
+			for c := 0; c < ncols; c++ {
 				appendRowCell(&bufs[pi][c], &b.Cols[c], i)
 			}
 			lens[pi]++
+			rows++
 			if lens[pi] >= stageRows {
 				innerErr = flush(pi)
 			}
 		})
 		if innerErr != nil {
-			return nil, innerErr
+			return nil, 0, innerErr
 		}
 	}
 	for pi := range writers {
 		if err := flush(pi); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		if writers[pi] == nil {
 			continue
 		}
 		f, err := writers[pi].Finish()
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		files[pi] = f
 	}
-	return files, nil
+	return files, rows, nil
 }
 
 // --- grace-hash grouped aggregation ---
 
-// graceGroup is the out-of-core re-plan of execGrouped: partition the
-// input by group-key hash, then aggregate each partition independently
-// with the ordinary in-memory Agg — the partitions hold disjoint key
-// sets, so their shaped outputs concatenate into the full result.
-func (p *Plan) graceGroup(ctx context.Context, opts Options, bs *boundScan, preds []vector.Pred, g *GroupAggNode, specs []vector.AggSpec) (*Result, *Fallback, error) {
+// graceGrouped is the out-of-core re-plan of execGrouped: run the
+// producing chain once (mk constructs it fresh), partition its output
+// by group-key hash, then aggregate each partition independently with
+// the ordinary in-memory Agg — the partitions hold disjoint key sets,
+// so their shaped outputs concatenate into the full result. With a
+// grouped ORDER BY the partition results are collected and sorted as
+// one batch (an ordered result materializes either way).
+func (p *Plan) graceGrouped(ctx context.Context, opts Options, mk func() vector.Operator, ncols, estRows int, keyIdx []int, g *GroupAggNode, specs []vector.AggSpec) (*Result, *Fallback, error) {
 	// Worst-case grouping state scales with the input rows (every row
 	// its own group): 8 bytes a cell plus table overhead per row.
-	stateBytes := int64(bs.src.Len()) * int64(8*len(bs.src.Cols)+16)
-	bits := graceBits(stateBytes, opts.Gov.Limit())
-	parts, err := partitionLeaf(ctx, opts, bs, preds, g.Keys, bits, "grp")
+	stateBytes := int64(estRows) * int64(8*ncols+16)
+	bits := graceBits(stateBytes, graceHeadroom(opts.Gov))
+	parts, _, err := partitionOp(ctx, opts, mk(), ncols, keyIdx, bits, "grp")
 	if err != nil {
 		return nil, nil, err
 	}
-	op := &graceGroupOp{ctx: ctx, parts: parts, g: g, specs: specs, res: opts.Gov}
-	if err := op.Open(); err != nil {
+	op := &graceGroupOp{ctx: ctx, parts: parts, g: g, keys: keyIdx, specs: specs, res: opts.Gov}
+	if g.OrderBy < 0 {
+		if err := op.Open(); err != nil {
+			return nil, nil, err
+		}
+		return &Result{Op: op, Limit: p.Limit}, nil, nil
+	}
+	op.raw = true
+	merged, err := collectMerged(op, len(keyIdx), specs)
+	if err != nil {
 		return nil, nil, err
 	}
-	return &Result{Op: op, Limit: p.Limit}, nil, nil
+	return p.finishGrouped(merged, g)
 }
 
-// graceGroupOp streams one shaped batch per non-empty partition. At
-// most one partition's grouping state is live (and charged) at a time.
+// collectMerged drains a raw-mode graceGroupOp, concatenating the
+// per-partition [keys..., accs...] batches into one.
+func collectMerged(op *graceGroupOp, nk int, specs []vector.AggSpec) (*vector.Batch, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var out *vector.Batch
+	for {
+		b, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		if out == nil {
+			// Copy: the next partition's batch reuses the operator's state.
+			cols := make([]vector.Col, len(b.Cols))
+			for i := range b.Cols {
+				cols[i].Kind = b.Cols[i].Kind
+				cols[i].Ints = append([]int64{}, b.Cols[i].Ints...)
+				cols[i].Floats = append([]float64{}, b.Cols[i].Floats...)
+			}
+			out = &vector.Batch{N: b.N, Cols: cols}
+			continue
+		}
+		for i := range b.Cols {
+			out.Cols[i].Ints = append(out.Cols[i].Ints, b.Cols[i].Ints...)
+			out.Cols[i].Floats = append(out.Cols[i].Floats, b.Cols[i].Floats...)
+		}
+		out.N += b.N
+	}
+	if out == nil {
+		// Every partition was empty: an empty grouped result with the
+		// merged layout's kinds.
+		cols := make([]vector.Col, 0, nk+len(specs))
+		for i := 0; i < nk; i++ {
+			cols = append(cols, vector.Col{Kind: vector.KindInt, Ints: []int64{}})
+		}
+		for _, s := range specs {
+			if s.Kind.Float() {
+				cols = append(cols, vector.Col{Kind: vector.KindFloat, Floats: []float64{}})
+			} else {
+				cols = append(cols, vector.Col{Kind: vector.KindInt, Ints: []int64{}})
+			}
+		}
+		out = &vector.Batch{N: 0, Cols: cols}
+	}
+	return out, nil
+}
+
+// graceGroupOp streams one batch per non-empty partition — shaped
+// select-list columns normally, the raw merged [keys..., accs...]
+// layout in raw mode. At most one partition's grouping state is live
+// (and charged) at a time.
 type graceGroupOp struct {
 	ctx   context.Context
 	parts []*spill.File
 	g     *GroupAggNode
+	keys  []int // key positions in the partition files' chain layout
 	specs []vector.AggSpec
 	res   *memgov.Reservation
+	raw   bool
 
 	pi  int
 	out vector.Batch
@@ -296,7 +378,7 @@ func (o *graceGroupOp) Next() (*vector.Batch, error) {
 		if f == nil {
 			continue
 		}
-		agg := &vector.Agg{Child: &spillScanOp{f: f}, KeyCol: -1, Keys: o.g.Keys, Aggs: o.specs, Res: o.res}
+		agg := &vector.Agg{Child: &spillScanOp{f: f}, KeyCol: -1, Keys: o.keys, Aggs: o.specs, Res: o.res}
 		if err := agg.Open(); err != nil {
 			return nil, err
 		}
@@ -310,7 +392,11 @@ func (o *graceGroupOp) Next() (*vector.Batch, error) {
 		if merged == nil || merged.N == 0 {
 			continue
 		}
-		o.out = vector.Batch{N: merged.N, Cols: shapeGrouped(merged, o.g)}
+		if o.raw {
+			o.out = *merged
+		} else {
+			o.out = vector.Batch{N: merged.N, Cols: shapeGrouped(merged, o.g)}
+		}
 		return &o.out, nil
 	}
 	return nil, nil
@@ -318,40 +404,16 @@ func (o *graceGroupOp) Next() (*vector.Batch, error) {
 
 func (o *graceGroupOp) Close() error { return nil }
 
-// --- grace-hash join ---
+// --- grace-hash join (one degraded step of a join chain) ---
 
-// graceJoin is the out-of-core re-plan of execJoin: partition BOTH
-// sides by key hash with the same fan-out (matching keys land in the
-// same partition index), then run an ordinary build+probe join per
-// partition pair. Predicates were applied during the partition pass,
-// so the per-partition pipelines are bare scans of the spill files.
-func (p *Plan) graceJoin(ctx context.Context, opts Options, build, probe *boundScan, buildPreds, probePreds []vector.Pred, buildKey, probeKey int, payload []int, exprs []vector.Expr) (*Result, *Fallback, error) {
-	// A partition's build state costs what BuildJoinTableGov charges:
-	// key + payload cells plus the hash table's per-row overhead.
-	stateBytes := int64(build.src.Len()) * int64(8+8*len(payload)+48)
-	bits := graceBits(stateBytes, opts.Gov.Limit())
-	bParts, err := partitionLeaf(ctx, opts, build, buildPreds, []int{buildKey}, bits, "jb")
-	if err != nil {
-		return nil, nil, err
-	}
-	pParts, err := partitionLeaf(ctx, opts, probe, probePreds, []int{probeKey}, bits, "jp")
-	if err != nil {
-		return nil, nil, err
-	}
-	op := &graceJoinOp{
-		ctx: ctx, bParts: bParts, pParts: pParts,
-		buildKey: buildKey, probeKey: probeKey,
-		payload: payload, exprs: exprs, res: opts.Gov,
-	}
-	if err := op.Open(); err != nil {
-		return nil, nil, err
-	}
-	return &Result{Op: op, Limit: p.Limit}, nil, nil
-}
-
-// graceJoinOp joins partition pairs one at a time. At most one
-// partition's build table is live (and charged) at a time; each is
-// released as soon as its probe side is drained.
+// graceJoinOp joins partition pairs one at a time: the probe side's
+// partitions hold the chain's intermediate stream, the build side's one
+// leaf's qualifying rows, both scattered by the same key hash so
+// matching keys share a partition index. At most one partition's build
+// table is live (and charged) at a time; each is released as soon as
+// its probe side is drained. The operator is REPLAYABLE — Open resets
+// to the first partition and the spill files persist — which is what
+// lets a downstream grace re-plan re-run the whole serial chain.
 type graceJoinOp struct {
 	ctx                context.Context
 	bParts, pParts     []*spill.File

@@ -14,81 +14,112 @@ import (
 // execution (Prepare compiles the MAL program first and surfaces its
 // errors), so the checks here only decide ROUTING — per operator, not
 // per query shape.
+//
+// FROM/JOIN clauses of any length lower into one JoinTreeNode; GROUP
+// BY, global aggregates, ORDER BY and LIMIT all compose over it, so
+// N-way joins, grouped joins and ordered joins run vectorized. The
+// remaining structural fallbacks are per-column/per-operator: TEXT
+// anywhere in the pipeline, non-INT join or group keys, plain
+// (non-aggregated) arithmetic items, unsupported aggregate functions.
 func Lower(sel *sqlfe.Select, snap *sqlfe.Snapshot) (*Plan, *Fallback) {
 	p := &planner{sel: sel}
-	var err error
-	if p.left, err = snap.Table(sel.From); err != nil {
+	from, err := snap.Table(sel.From)
+	if err != nil {
 		return nil, fallback(ReasonUnknownTable, "%v", err)
 	}
-	p.lscan = &ScanNode{Table: sel.From}
-	if sel.Join != nil {
-		if p.right, err = snap.Table(sel.Join.Table); err != nil {
+	p.tables = append(p.tables, from)
+	for _, j := range sel.Joins {
+		t, err := snap.Table(j.Table)
+		if err != nil {
 			return nil, fallback(ReasonUnknownTable, "%v", err)
 		}
-		p.rscan = &ScanNode{Table: sel.Join.Table}
+		for _, prev := range p.tables {
+			if prev.Name == t.Name {
+				// Self-joins are a MAL compile error; Prepare surfaces it.
+				return nil, fallback(ReasonUnknownTable, "table %q appears twice", t.Name)
+			}
+		}
+		p.tables = append(p.tables, t)
 	}
+	p.scans = make([]*ScanNode, len(p.tables))
+	for i, t := range p.tables {
+		p.scans[i] = &ScanNode{Table: t.Name}
+	}
+	p.preds = make([][]Pred, len(p.tables))
 	return p.lower()
 }
 
-// planner carries one Lower invocation's state: the two table scans
-// being populated with referenced columns, and the predicate lists
-// routed to each side.
+// ref names one registered pipeline column as (leaf index, position
+// within that leaf's scan). Virtual positions — offsets into the
+// FROM-order concatenation of all leaves' columns — are only assigned
+// once lowering has registered EVERY column (late registrations grow
+// earlier leaves' layouts), so the planner carries refs and the final
+// node assembly converts them through virt().
+type ref struct{ ti, pos int }
+
+// planner carries one Lower invocation's state: the per-table scans
+// being populated with referenced columns, the predicate lists routed
+// to each, and the join edges in textual order.
 type planner struct {
-	sel         *sqlfe.Select
-	left, right *sqlfe.Table
-	lscan       *ScanNode
-	rscan       *ScanNode
-	lpreds      []Pred
-	rpreds      []Pred
+	sel    *sqlfe.Select
+	tables []*sqlfe.Table
+	scans  []*ScanNode
+	preds  [][]Pred
+	edges  []JoinEdge
 }
 
-const (
-	sideLeft = iota
-	sideRight
-)
-
-// resolve finds which table owns a (possibly qualified) column name,
-// preferring the given side for bare ambiguous names — the same rule
-// the MAL compiler applies, so both executors read the same column.
-func (p *planner) resolve(name string, prefer int) (side, col int, ok bool) {
+// resolve finds which table owns a (possibly qualified) column name —
+// unqualified names take the FIRST match in FROM/JOIN order, the same
+// rule the MAL compiler applies, so both executors read the same
+// column.
+func (p *planner) resolve(name string) (ti, col int, ok bool) {
 	if i := strings.IndexByte(name, '.'); i >= 0 {
 		tbl, c := name[:i], name[i+1:]
-		if tbl == p.left.Name {
-			return sideLeft, colIndex(p.left, c), colIndex(p.left, c) >= 0
-		}
-		if p.right != nil && tbl == p.right.Name {
-			return sideRight, colIndex(p.right, c), colIndex(p.right, c) >= 0
+		for ti, t := range p.tables {
+			if t.Name == tbl {
+				c := colIndex(t, c)
+				return ti, c, c >= 0
+			}
 		}
 		return 0, -1, false
 	}
-	order := []int{sideLeft, sideRight}
-	if prefer == sideRight {
-		order = []int{sideRight, sideLeft}
-	}
-	for _, s := range order {
-		t := p.table(s)
-		if t == nil {
-			continue
-		}
+	for ti, t := range p.tables {
 		if c := colIndex(t, name); c >= 0 {
-			return s, c, true
+			return ti, c, true
 		}
 	}
 	return 0, -1, false
 }
 
-func (p *planner) table(side int) *sqlfe.Table {
-	if side == sideRight {
-		return p.right
+// resolveJoinCol resolves one ON column for the join step bringing in
+// tables[k], mirroring the MAL compiler: only tables[0..k] are in
+// scope; unqualified names prefer the new table when preferNew is set,
+// prior tables in FROM order otherwise.
+func (p *planner) resolveJoinCol(name string, k int, preferNew bool) (ti, col int, ok bool) {
+	if i := strings.IndexByte(name, '.'); i >= 0 {
+		tbl, c := name[:i], name[i+1:]
+		for idx := 0; idx <= k; idx++ {
+			if p.tables[idx].Name == tbl {
+				ci := colIndex(p.tables[idx], c)
+				return idx, ci, ci >= 0
+			}
+		}
+		return 0, -1, false
 	}
-	return p.left
-}
-
-func (p *planner) scan(side int) *ScanNode {
-	if side == sideRight {
-		return p.rscan
+	if preferNew {
+		if ci := colIndex(p.tables[k], name); ci >= 0 {
+			return k, ci, true
+		}
 	}
-	return p.lscan
+	for idx := 0; idx < k; idx++ {
+		if ci := colIndex(p.tables[idx], name); ci >= 0 {
+			return idx, ci, true
+		}
+	}
+	if ci := colIndex(p.tables[k], name); ci >= 0 {
+		return k, ci, true
+	}
+	return 0, -1, false
 }
 
 func colIndex(t *sqlfe.Table, name string) int {
@@ -100,56 +131,106 @@ func colIndex(t *sqlfe.Table, name string) int {
 	return -1
 }
 
-// source registers a table column in its side's scan, returning the
-// pipeline position; a text column cannot cross into the vector engine.
-func (p *planner) source(side, tableCol int) (int, *Fallback) {
-	t := p.table(side)
-	pos, ok := p.scan(side).col(tableCol, t.ColTypes[tableCol], t.ColNames[tableCol])
+// source registers a table column in its leaf's scan, returning the
+// leaf-relative ref; a text column cannot cross into the vector engine.
+func (p *planner) source(ti, tableCol int) (ref, *Fallback) {
+	t := p.tables[ti]
+	pos, ok := p.scans[ti].col(tableCol, t.ColTypes[tableCol], t.ColNames[tableCol])
 	if !ok {
-		return -1, fallback(ReasonTextColumn, "column %s.%s is TEXT", t.Name, t.ColNames[tableCol])
+		return ref{}, fallback(ReasonTextColumn, "column %s.%s is TEXT", t.Name, t.ColNames[tableCol])
 	}
-	return pos, nil
+	return ref{ti: ti, pos: pos}, nil
 }
 
 // sourceRef resolves one column reference and registers it.
-func (p *planner) sourceRef(name string, prefer int) (side, pos int, fb *Fallback) {
-	side, col, ok := p.resolve(name, prefer)
+func (p *planner) sourceRef(name string) (ref, *Fallback) {
+	ti, col, ok := p.resolve(name)
 	if !ok {
-		return 0, -1, fallback(ReasonUnknownColumn, "cannot resolve column %q", name)
+		return ref{}, fallback(ReasonUnknownColumn, "cannot resolve column %q", name)
 	}
-	pos, fb = p.source(side, col)
-	return side, pos, fb
+	return p.source(ti, col)
+}
+
+// refType is the SQL type of a registered ref.
+func (p *planner) refType(r ref) sqlfe.ColType { return p.scans[r.ti].Types[r.pos] }
+
+// virt converts a ref to its virtual position — the FROM-order
+// concatenation of the leaves' (final) pipeline columns. For a
+// single-table plan virtual == pipeline position.
+func (p *planner) virt(r ref) int {
+	off := 0
+	for ti := 0; ti < r.ti; ti++ {
+		off += len(p.scans[ti].Cols)
+	}
+	return off + r.pos
+}
+
+// child assembles the plan subtree producing the (virtual) pipeline:
+// a Filter-over-Scan for one table, a JoinTreeNode for many.
+func (p *planner) child() Node {
+	if len(p.tables) == 1 {
+		var n Node = p.scans[0]
+		if len(p.preds[0]) > 0 {
+			n = &FilterNode{Child: n, Preds: p.preds[0]}
+		}
+		return n
+	}
+	leaves := make([]JoinLeaf, len(p.tables))
+	for i := range p.tables {
+		leaves[i] = JoinLeaf{Scan: p.scans[i], Preds: p.preds[i]}
+	}
+	return &JoinTreeNode{Leaves: leaves, Edges: p.edges}
 }
 
 func (p *planner) lower() (*Plan, *Fallback) {
 	sel := p.sel
 
-	// WHERE conjuncts route to the side owning their column.
+	// WHERE conjuncts route to the leaf owning their column.
 	for _, wp := range sel.Where {
 		if fb := p.lowerPred(wp); fb != nil {
 			return nil, fb
 		}
 	}
-
-	switch {
-	case sel.Grouped():
-		return p.lowerGrouped()
-	case p.right != nil:
-		return p.lowerJoin()
-	default:
-		return p.lowerSingle()
+	// JOIN edges, in textual order (tables[k+1] joins the prefix).
+	for k, j := range sel.Joins {
+		if fb := p.lowerEdge(j, k+1); fb != nil {
+			return nil, fb
+		}
 	}
+
+	if sel.Grouped() {
+		return p.lowerGrouped()
+	}
+
+	items, fb := p.expandStar()
+	if fb != nil {
+		return nil, fb
+	}
+	hasAgg, hasPlain := false, false
+	for _, it := range items {
+		if it.Agg != "" {
+			hasAgg = true
+		} else {
+			hasPlain = true
+		}
+	}
+	if hasAgg && hasPlain {
+		return nil, fallback(ReasonMixedAggPlain, "")
+	}
+	if hasAgg {
+		return p.lowerGlobalAggs(items)
+	}
+	return p.lowerPlain(items)
 }
 
-// lowerPred compiles one WHERE conjunct into a Pred on its owning side.
+// lowerPred compiles one WHERE conjunct into a Pred on its owning leaf.
 func (p *planner) lowerPred(wp sqlfe.Pred) *Fallback {
-	side, pos, fb := p.sourceRef(wp.Col, sideLeft)
+	r, fb := p.sourceRef(wp.Col)
 	if fb != nil {
 		return fb
 	}
-	scan := p.scan(side)
-	ct := scan.Types[pos]
-	pred := Pred{Col: pos, Op: wp.Op, Type: ct, Lit: wp.Val, Param: wp.Val.Param}
+	ct := p.refType(r)
+	pred := Pred{Col: r.pos, Op: wp.Op, Type: ct, Lit: wp.Val, Param: wp.Val.Param}
 	if !wp.IsNilTest() {
 		if wp.Val.Null {
 			// col = NULL: the MAL compile rejects it with the proper
@@ -167,25 +248,41 @@ func (p *planner) lowerPred(wp sqlfe.Pred) *Fallback {
 			}
 		}
 	}
-	if side == sideRight {
-		p.rpreds = append(p.rpreds, pred)
-	} else {
-		p.lpreds = append(p.lpreds, pred)
-	}
+	p.preds[r.ti] = append(p.preds[r.ti], pred)
 	return nil
 }
 
-// wrap stacks the side's filter (if any) on its scan.
-func (p *planner) wrap(side int) Node {
-	var n Node = p.scan(side)
-	preds := p.lpreds
-	if side == sideRight {
-		preds = p.rpreds
+// lowerEdge compiles the JOIN clause folding tables[k] into the prefix,
+// with the MAL compiler's resolution and normalization rules.
+func (p *planner) lowerEdge(j *sqlfe.JoinClause, k int) *Fallback {
+	lIdx, li, okL := p.resolveJoinCol(j.LCol, k, false)
+	rIdx, ri, okR := p.resolveJoinCol(j.RCol, k, true)
+	if !okL || !okR {
+		return fallback(ReasonUnknownColumn, "cannot resolve join keys")
 	}
-	if len(preds) > 0 {
-		n = &FilterNode{Child: n, Preds: preds}
+	if rIdx != k {
+		lIdx, li, rIdx, ri = rIdx, ri, lIdx, li
 	}
-	return n
+	if rIdx != k || lIdx >= k {
+		return fallback(ReasonUnknownColumn, "join ON must pair %q with a prior table", p.tables[k].Name)
+	}
+	lt, rt := p.tables[lIdx], p.tables[rIdx]
+	if lt.ColTypes[li] != sqlfe.TInt || rt.ColTypes[ri] != sqlfe.TInt {
+		// The shared open-addressing table keys int64; text joins stay
+		// on MAL's join_str (float and mixed-type joins are compile
+		// errors there).
+		return fallback(ReasonJoinKeyType, "ON compares %s with %s", lt.ColTypes[li], rt.ColTypes[ri])
+	}
+	lr, fb := p.source(lIdx, li)
+	if fb != nil {
+		return fb
+	}
+	rr, fb := p.source(rIdx, ri)
+	if fb != nil {
+		return fb
+	}
+	p.edges = append(p.edges, JoinEdge{A: lIdx, B: k, AKey: lr.pos, BKey: rr.pos})
+	return nil
 }
 
 // itemName mirrors the MAL compiler's output labels, so ORDER BY
@@ -218,10 +315,7 @@ func (p *planner) expandStar() ([]sqlfe.SelItem, *Fallback) {
 		if p.sel.Grouped() {
 			return nil, fallback(ReasonGroupStar, "")
 		}
-		for _, t := range []*sqlfe.Table{p.left, p.right} {
-			if t == nil {
-				continue
-			}
+		for _, t := range p.tables {
 			for _, cn := range t.ColNames {
 				out = append(out, sqlfe.SelItem{Expr: sqlfe.ColRef{Name: t.Name + "." + cn}, Alias: cn})
 			}
@@ -230,77 +324,60 @@ func (p *planner) expandStar() ([]sqlfe.SelItem, *Fallback) {
 	return out, nil
 }
 
-// --- single-table plain / global-aggregate / sorted plans ---
+// --- plain projection, optionally sorted ---
 
-func (p *planner) lowerSingle() (*Plan, *Fallback) {
+func (p *planner) lowerPlain(items []sqlfe.SelItem) (*Plan, *Fallback) {
 	sel := p.sel
-	items, fb := p.expandStar()
-	if fb != nil {
-		return nil, fb
-	}
-	hasAgg, hasPlain := false, false
-	for _, it := range items {
-		if it.Agg != "" {
-			hasAgg = true
-		} else {
-			hasPlain = true
-		}
-	}
-	if hasAgg && hasPlain {
-		return nil, fallback(ReasonMixedAggPlain, "")
-	}
-
-	if hasAgg {
-		if sel.OrderBy != "" {
-			// A one-row result has nothing to order; MAL handles the
-			// (pathological) labeled-order case.
-			return nil, fallback(ReasonOrderKeyType, "ORDER BY over a global aggregate")
-		}
-		agg := newAggBuilder(p)
-		for _, it := range items {
-			if fb := agg.item(it); fb != nil {
-				return nil, fb
-			}
-		}
-		root := &GroupAggNode{Child: p.wrap(sideLeft), Accs: agg.accs, Outs: agg.outs}
-		return &Plan{Root: root, Limit: sel.Limit}, nil
-	}
-
-	// Plain projection, optionally sorted.
-	outs := make([]int, len(items))
+	outs := make([]ref, len(items))
 	for i, it := range items {
 		cr, ok := it.Expr.(sqlfe.ColRef)
 		if !ok {
 			return nil, fallback(ReasonExprInSelect, "item %d", i+1)
 		}
-		_, pos, fb := p.sourceRef(cr.Name, sideLeft)
+		r, fb := p.sourceRef(cr.Name)
 		if fb != nil {
 			return nil, fb
 		}
-		outs[i] = pos
+		outs[i] = r
+	}
+	var key ref
+	ordered := sel.OrderBy != ""
+	if ordered {
+		k, fb := p.orderKey(items, outs)
+		if fb != nil {
+			return nil, fb
+		}
+		key = k
 	}
 
-	var root Node = p.wrap(sideLeft)
-	if sel.OrderBy != "" {
-		keyPos, fb := p.orderKey(items, outs)
-		if fb != nil {
-			return nil, fb
-		}
-		root = &SortNode{Child: root, Key: keyPos, Desc: sel.Desc, Limit: sel.Limit}
+	// Every column is registered now; materialize virtual positions.
+	vouts := make([]int, len(outs))
+	for i, r := range outs {
+		vouts[i] = p.virt(r)
 	}
-	return &Plan{Root: &ProjectNode{Child: root, Outs: outs}, Limit: sel.Limit}, nil
+	root := p.child()
+	if ordered {
+		sn := &SortNode{Child: root, Key: p.virt(key), Desc: sel.Desc, Limit: sel.Limit}
+		if len(p.tables) > 1 {
+			// Canonical join-output order: ties on the key break by every
+			// output column left to right (both engines sort this way — a
+			// join has no meaningful row-id order to be stable against).
+			sn.Ties = append([]int{}, vouts...)
+		}
+		root = sn
+	}
+	return &Plan{Root: &ProjectNode{Child: root, Outs: vouts}, Limit: sel.Limit}, nil
 }
 
-// orderKey resolves the ORDER BY key to a pipeline column, mirroring
-// the MAL compiler's resolution order: output labels first, then bare
-// column refs among the items, then a fresh (unprojected) column — the
-// FIRST match in each pass.
-func (p *planner) orderKey(items []sqlfe.SelItem, outs []int) (int, *Fallback) {
+// orderKey resolves the ORDER BY key, mirroring the MAL compiler's
+// resolution order: output labels first, then bare column refs among
+// the items, then a fresh (unprojected) column — FIRST match each pass.
+func (p *planner) orderKey(items []sqlfe.SelItem, outs []ref) (ref, *Fallback) {
 	name := p.sel.OrderBy
 	for i, it := range items {
 		if itemName(it, i) == name {
 			if _, ok := it.Expr.(sqlfe.ColRef); !ok {
-				return -1, fallback(ReasonOrderKeyType, "item %q is not a plain column", name)
+				return ref{}, fallback(ReasonOrderKeyType, "item %q is not a plain column", name)
 			}
 			return outs[i], nil
 		}
@@ -310,54 +387,67 @@ func (p *planner) orderKey(items []sqlfe.SelItem, outs []int) (int, *Fallback) {
 			return outs[i], nil
 		}
 	}
-	_, pos, fb := p.sourceRef(name, sideLeft)
+	r, fb := p.sourceRef(name)
 	if fb != nil {
 		if fb.Code == ReasonTextColumn {
-			return -1, fallback(ReasonOrderKeyType, "key %q is TEXT", name)
+			return ref{}, fallback(ReasonOrderKeyType, "key %q is TEXT", name)
 		}
-		return -1, fb
+		return ref{}, fb
 	}
-	return pos, nil
+	return r, nil
 }
 
-// --- grouped plans ---
+// --- aggregate plans (global and grouped) ---
+
+func (p *planner) lowerGlobalAggs(items []sqlfe.SelItem) (*Plan, *Fallback) {
+	sel := p.sel
+	if sel.OrderBy != "" {
+		// A one-row result has nothing to order; MAL handles the
+		// (pathological) labeled-order case.
+		return nil, fallback(ReasonOrderKeyType, "ORDER BY over a global aggregate")
+	}
+	agg := newAggBuilder(p)
+	for _, it := range items {
+		if fb := agg.item(it); fb != nil {
+			return nil, fb
+		}
+	}
+	accs, pre, fb := agg.materialize(nil)
+	if fb != nil {
+		return nil, fb
+	}
+	root := &GroupAggNode{Child: p.child(), Accs: accs, Outs: agg.outs, Pre: pre, OrderBy: -1}
+	return &Plan{Root: root, Limit: sel.Limit}, nil
+}
 
 func (p *planner) lowerGrouped() (*Plan, *Fallback) {
 	sel := p.sel
-	if p.right != nil {
-		return nil, fallback(ReasonJoinWithGroupBy, "")
-	}
-	if sel.OrderBy != "" {
-		return nil, fallback(ReasonGroupOrderBy, "")
-	}
-	if len(sel.GroupBy) > 2 {
-		return nil, fallback(ReasonGroupKeyCount, "%d keys", len(sel.GroupBy))
-	}
 	items, fb := p.expandStar()
 	if fb != nil {
 		return nil, fb
 	}
 
-	// The grouping cores assign dense ids over int64 keys (and int64
-	// pairs); text keys fall back to MAL's string grouping. NULL keys
-	// are fine: the tables treat bat.NilInt as an ordinary key, so all
-	// NULLs form one group per SQL.
-	keys := make([]int, len(sel.GroupBy))
-	keyCols := make([]int, len(sel.GroupBy))
+	// The grouping cores assign dense ids over int64 keys (composite
+	// tuples of any width ride the pair/multi tables). Text keys fall
+	// back to MAL's string grouping. NULL keys are fine: the tables
+	// treat bat.NilInt as an ordinary key, so all NULLs form one group
+	// per SQL.
+	keys := make([]ref, len(sel.GroupBy))
+	keyCols := make([][2]int, len(sel.GroupBy)) // (table idx, table col)
 	for ki, name := range sel.GroupBy {
-		side, col, ok := p.resolve(name, sideLeft)
-		if !ok || side != sideLeft {
+		ti, col, ok := p.resolve(name)
+		if !ok {
 			return nil, fallback(ReasonUnknownColumn, "cannot resolve group key %q", name)
 		}
-		if p.left.ColTypes[col] != sqlfe.TInt {
-			return nil, fallback(ReasonGroupKeyType, "key %q is %s", name, p.left.ColTypes[col])
+		if p.tables[ti].ColTypes[col] != sqlfe.TInt {
+			return nil, fallback(ReasonGroupKeyType, "key %q is %s", name, p.tables[ti].ColTypes[col])
 		}
-		pos, fb := p.source(sideLeft, col)
+		r, fb := p.source(ti, col)
 		if fb != nil {
 			return nil, fb
 		}
-		keys[ki] = pos
-		keyCols[ki] = col
+		keys[ki] = r
+		keyCols[ki] = [2]int{ti, col}
 	}
 
 	agg := newAggBuilder(p)
@@ -373,11 +463,11 @@ func (p *planner) lowerGrouped() (*Plan, *Fallback) {
 		if !ok {
 			return nil, fallback(ReasonExprInSelect, "non-aggregate expression in GROUP BY query")
 		}
-		side, col, okR := p.resolve(cr.Name, sideLeft)
+		ti, col, okR := p.resolve(cr.Name)
 		ki := -1
-		if okR && side == sideLeft {
+		if okR {
 			for k, kc := range keyCols {
-				if kc == col {
+				if kc == [2]int{ti, col} {
 					ki = k
 					break
 				}
@@ -388,19 +478,229 @@ func (p *planner) lowerGrouped() (*Plan, *Fallback) {
 		}
 		agg.outs = append(agg.outs, AggOut{Key: true, KeyIdx: ki, Acc: -1, CntAcc: -1})
 	}
-	root := &GroupAggNode{Child: p.wrap(sideLeft), Keys: keys, Accs: agg.accs, Outs: agg.outs}
+
+	// Grouped ORDER BY names an output item (MAL enforces it); ties
+	// break on the full group-key tuple, which group rows are unique
+	// on, so the order is total on both engines.
+	orderBy := -1
+	if sel.OrderBy != "" {
+		for i := range items {
+			if itemName(items[i], i) == sel.OrderBy {
+				orderBy = i
+				break
+			}
+		}
+		if orderBy < 0 {
+			for _, g := range sel.GroupBy {
+				if sel.OrderBy != g {
+					continue
+				}
+				for i, it := range items {
+					if cr, ok := it.Expr.(sqlfe.ColRef); ok && it.Agg == "" && cr.Name == g {
+						orderBy = i
+						break
+					}
+				}
+				break
+			}
+		}
+		if orderBy < 0 {
+			// MAL rejects this at compile; unreachable through the engine.
+			return nil, fallback(ReasonOrderKeyType, "ORDER BY %q is not an output column", sel.OrderBy)
+		}
+	}
+
+	accs, pre, fb := agg.materialize(keys)
+	if fb != nil {
+		return nil, fb
+	}
+	vkeys := make([]int, len(keys))
+	for i, r := range keys {
+		if pre != nil {
+			vkeys[i] = i // keys lead the Pre projection
+		} else {
+			vkeys[i] = p.virt(r)
+		}
+	}
+	root := &GroupAggNode{
+		Child: p.child(), Keys: vkeys, Accs: accs, Outs: agg.outs,
+		Pre: pre, OrderBy: orderBy, OrderDesc: sel.Desc,
+	}
 	return &Plan{Root: root, Limit: sel.Limit}, nil
 }
 
+// --- aggregate sources (plain columns and arithmetic expressions) ---
+
+// lexpr is the planner's expression IR: either a leaf column ref or an
+// operator over children. It materializes to vector.Expr only after
+// every column is registered (virtual positions are final then).
+type lexpr struct {
+	isCol bool
+	col   ref
+	op    vector.ExprOp
+	l, r  *lexpr
+	icst  int64
+	fcst  float64
+}
+
+func (p *planner) materializeExpr(e *lexpr) vector.Expr {
+	if e.isCol {
+		return vector.ColRef{Idx: p.virt(e.col)}
+	}
+	b := vector.Bin{Op: e.op, IntConst: e.icst, FltConst: e.fcst}
+	if e.l != nil {
+		b.L = p.materializeExpr(e.l)
+	}
+	if e.r != nil {
+		b.R = p.materializeExpr(e.r)
+	}
+	return b
+}
+
+// lowerExpr compiles a scalar expression to the IR, mirroring the MAL
+// compiler's evalExpr: the SAME operator tree, so the nil-propagating
+// kernels produce bit-identical columns (including int wraparound and
+// the exact nil/NaN promotions).
+func (p *planner) lowerExpr(e sqlfe.Expr) (*lexpr, sqlfe.ColType, *Fallback) {
+	switch x := e.(type) {
+	case sqlfe.ColRef:
+		r, fb := p.sourceRef(x.Name)
+		if fb != nil {
+			return nil, 0, fb
+		}
+		return &lexpr{isCol: true, col: r}, p.refType(r), nil
+	case sqlfe.Lit:
+		// Bare literals and placeholders in the select list are MAL
+		// compile errors; Prepare surfaces them first.
+		return nil, 0, fallback(ReasonExprInSelect, "bare literal select item")
+	case sqlfe.BinExpr:
+		if lit, ok := x.R.(sqlfe.Lit); ok {
+			if _, also := x.L.(sqlfe.Lit); !also {
+				return p.lowerScalarArith(x.L, x.Op, lit, false)
+			}
+		}
+		if lit, ok := x.L.(sqlfe.Lit); ok {
+			return p.lowerScalarArith(x.R, x.Op, lit, true)
+		}
+		lv, lt, fb := p.lowerExpr(x.L)
+		if fb != nil {
+			return nil, 0, fb
+		}
+		rv, rt, fb := p.lowerExpr(x.R)
+		if fb != nil {
+			return nil, 0, fb
+		}
+		if lt == sqlfe.TFloat || rt == sqlfe.TFloat {
+			if lt == sqlfe.TInt {
+				lv = &lexpr{op: vector.EIntToFloat, l: lv}
+			}
+			if rt == sqlfe.TInt {
+				rv = &lexpr{op: vector.EIntToFloat, l: rv}
+			}
+			op := map[byte]vector.ExprOp{'+': vector.EAddFloat, '-': vector.ESubFloat, '*': vector.EMulFloat}[x.Op]
+			return &lexpr{op: op, l: lv, r: rv}, sqlfe.TFloat, nil
+		}
+		op := map[byte]vector.ExprOp{'+': vector.EAddIntNil, '-': vector.ESubIntNil, '*': vector.EMulIntNil}[x.Op]
+		return &lexpr{op: op, l: lv, r: rv}, sqlfe.TInt, nil
+	}
+	return nil, 0, fallback(ReasonExprInSelect, "unsupported expression")
+}
+
+// lowerScalarArith compiles col-vs-literal arithmetic, mirroring the
+// MAL compiler's evalScalarArith op for op.
+func (p *planner) lowerScalarArith(other sqlfe.Expr, op byte, lit sqlfe.Lit, litOnLeft bool) (*lexpr, sqlfe.ColType, *Fallback) {
+	if lit.Param > 0 || lit.Null || lit.Kind == sqlfe.TText {
+		// Placeholder / NULL / text literals in arithmetic are MAL
+		// compile errors; Prepare surfaces them first.
+		return nil, 0, fallback(ReasonExprInSelect, "unsupported literal in arithmetic")
+	}
+	ov, ot, fb := p.lowerExpr(other)
+	if fb != nil {
+		return nil, 0, fb
+	}
+	if ot == sqlfe.TInt && lit.Kind == sqlfe.TInt {
+		switch op {
+		case '+':
+			return &lexpr{op: vector.EAddIntConstNil, l: ov, icst: lit.I}, sqlfe.TInt, nil
+		case '*':
+			return &lexpr{op: vector.EMulIntConstNil, l: ov, icst: lit.I}, sqlfe.TInt, nil
+		case '-':
+			if !litOnLeft {
+				return &lexpr{op: vector.EAddIntConstNil, l: ov, icst: -lit.I}, sqlfe.TInt, nil
+			}
+			neg := &lexpr{op: vector.EMulIntConstNil, l: ov, icst: -1}
+			return &lexpr{op: vector.EAddIntConstNil, l: neg, icst: lit.I}, sqlfe.TInt, nil
+		}
+		return nil, 0, fallback(ReasonExprInSelect, "bad operator %q", op)
+	}
+	// Float path: promote the column, fold the literal to float64 —
+	// exactly the MAL int_to_flt + *_flt scalar chain.
+	f := lit.F
+	if lit.Kind == sqlfe.TInt {
+		f = float64(lit.I)
+	}
+	if ot == sqlfe.TInt {
+		ov = &lexpr{op: vector.EIntToFloat, l: ov}
+	}
+	switch op {
+	case '+':
+		return &lexpr{op: vector.EAddFloatConst, l: ov, fcst: f}, sqlfe.TFloat, nil
+	case '*':
+		return &lexpr{op: vector.EMulFloatConst, l: ov, fcst: f}, sqlfe.TFloat, nil
+	case '-':
+		if litOnLeft {
+			return &lexpr{op: vector.ESubConstFloat, l: ov, fcst: f}, sqlfe.TFloat, nil
+		}
+		return &lexpr{op: vector.EAddFloatConst, l: ov, fcst: -f}, sqlfe.TFloat, nil
+	}
+	return nil, 0, fallback(ReasonExprInSelect, "bad operator %q", op)
+}
+
+// aggSrc is one aggregate argument: a plain column ref or a computed
+// expression.
+type aggSrc struct {
+	col  *ref // plain column; nil for expressions
+	expr *lexpr
+	flt  bool
+}
+
 // aggBuilder accumulates the accumulator columns and per-item mappings
-// shared by the global and grouped forms.
+// shared by the global and grouped forms. Accumulator sources are
+// symbolic (aggSrc indexes) until materialize resolves them against
+// the final layout — directly to virtual positions when every source
+// is a plain column, through a Pre expression projection otherwise.
 type aggBuilder struct {
 	p    *planner
-	accs []AccSpec
+	srcs []aggSrc
+	accs []AccSpec // Col = index into srcs; -1 for count(*)
 	outs []AggOut
 }
 
 func newAggBuilder(p *planner) *aggBuilder { return &aggBuilder{p: p} }
+
+// src registers an aggregate argument, deduplicating plain columns (so
+// sum(x)+avg(x) share one source, keeping accumulator layouts stable).
+func (a *aggBuilder) src(it sqlfe.SelItem) (int, *Fallback) {
+	if cr, ok := it.Expr.(sqlfe.ColRef); ok {
+		r, fb := a.p.sourceRef(cr.Name)
+		if fb != nil {
+			return -1, fb
+		}
+		for i, s := range a.srcs {
+			if s.col != nil && *s.col == r {
+				return i, nil
+			}
+		}
+		a.srcs = append(a.srcs, aggSrc{col: &r, flt: a.p.refType(r) == sqlfe.TFloat})
+		return len(a.srcs) - 1, nil
+	}
+	e, t, fb := a.p.lowerExpr(it.Expr)
+	if fb != nil {
+		return -1, fb
+	}
+	a.srcs = append(a.srcs, aggSrc{expr: e, flt: t == sqlfe.TFloat})
+	return len(a.srcs) - 1, nil
+}
 
 // need registers an accumulator column once per (kind, source).
 func (a *aggBuilder) need(kind vector.AggKind, src int) int {
@@ -419,28 +719,24 @@ func (a *aggBuilder) item(it sqlfe.SelItem) *Fallback {
 		a.outs = append(a.outs, AggOut{Fn: "count", Acc: a.need(vector.AggCount, -1), CntAcc: -1})
 		return nil
 	}
-	cr, ok := it.Expr.(sqlfe.ColRef)
-	if !ok {
-		return fallback(ReasonExprInSelect, "%s over an expression", it.Agg)
-	}
-	_, pos, fb := a.p.sourceRef(cr.Name, sideLeft)
+	si, fb := a.src(it)
 	if fb != nil {
 		return fb
 	}
-	isFlt := a.p.lscan.Types[pos] == sqlfe.TFloat
+	isFlt := a.srcs[si].flt
 	cntKind := vector.AggCountNNInt
 	if isFlt {
 		cntKind = vector.AggCountNNFloat
 	}
 	switch it.Agg {
-	case "count": // count(col): non-nil count
-		a.outs = append(a.outs, AggOut{Fn: "count", Acc: a.need(cntKind, pos), CntAcc: -1})
+	case "count": // count(col/expr): non-nil count
+		a.outs = append(a.outs, AggOut{Fn: "count", Acc: a.need(cntKind, si), CntAcc: -1})
 	case "sum", "avg":
 		sumKind := vector.AggSumIntNil
 		if isFlt {
 			sumKind = vector.AggSumFloatNil
 		}
-		o := AggOut{Fn: it.Agg, Acc: a.need(sumKind, pos), CntAcc: a.need(cntKind, pos), Flt: isFlt}
+		o := AggOut{Fn: it.Agg, Acc: a.need(sumKind, si), CntAcc: a.need(cntKind, si), Flt: isFlt}
 		if it.Agg == "avg" {
 			o.Flt = true
 		}
@@ -457,86 +753,52 @@ func (a *aggBuilder) item(it sqlfe.SelItem) *Fallback {
 		default:
 			kind = vector.AggMaxInt
 		}
-		a.outs = append(a.outs, AggOut{Fn: it.Agg, Acc: a.need(kind, pos), CntAcc: -1, Flt: isFlt})
+		a.outs = append(a.outs, AggOut{Fn: it.Agg, Acc: a.need(kind, si), CntAcc: -1, Flt: isFlt})
 	default:
 		return fallback(ReasonAggUnsupported, "%s", it.Agg)
 	}
 	return nil
 }
 
-// --- join plans ---
-
-func (p *planner) lowerJoin() (*Plan, *Fallback) {
-	sel := p.sel
-	if sel.OrderBy != "" {
-		return nil, fallback(ReasonJoinWithOrderBy, "")
-	}
-	items, fb := p.expandStar()
-	if fb != nil {
-		return nil, fb
-	}
-	for _, it := range items {
-		if it.Agg != "" {
-			return nil, fallback(ReasonJoinWithAggs, "")
+// materialize resolves accumulator sources against the final column
+// layout. When every source is a plain column the accumulators index
+// the child pipeline directly (virtual positions) and Pre is nil —
+// the layout every pre-existing plan shape uses. With any expression
+// source, a Pre projection [keys..., sources...] is emitted and the
+// accumulators index its outputs.
+func (a *aggBuilder) materialize(keys []ref) ([]AccSpec, []vector.Expr, *Fallback) {
+	hasExpr := false
+	for _, s := range a.srcs {
+		if s.expr != nil {
+			hasExpr = true
+			break
 		}
 	}
-
-	// Resolve the ON columns with the MAL compiler's preference rules
-	// and normalize so the left key belongs to the FROM table.
-	lSide, lCol, okL := p.resolve(sel.Join.LCol, sideLeft)
-	rSide, rCol, okR := p.resolve(sel.Join.RCol, sideRight)
-	if !okL || !okR {
-		return nil, fallback(ReasonUnknownColumn, "cannot resolve join keys")
-	}
-	if lSide != sideLeft {
-		lSide, lCol, rSide, rCol = rSide, rCol, lSide, lCol
-	}
-	if lSide != sideLeft || rSide != sideRight {
-		return nil, fallback(ReasonUnknownColumn, "join ON must reference both tables")
-	}
-	if p.left.ColTypes[lCol] != sqlfe.TInt || p.right.ColTypes[rCol] != sqlfe.TInt {
-		// The shared open-addressing table keys int64; text joins stay
-		// on MAL's join_str (float joins are a compile error).
-		return nil, fallback(ReasonJoinKeyType, "ON compares %s with %s",
-			p.left.ColTypes[lCol], p.right.ColTypes[rCol])
-	}
-	lKey, fb := p.source(sideLeft, lCol)
-	if fb != nil {
-		return nil, fb
-	}
-	rKey, fb := p.source(sideRight, rCol)
-	if fb != nil {
-		return nil, fb
-	}
-
-	// Output items map into the VIRTUAL layout: left pipeline columns,
-	// then right pipeline columns (the executor remaps per the build
-	// orientation it picks).
-	outs := make([]int, len(items))
-	for i, it := range items {
-		cr, ok := it.Expr.(sqlfe.ColRef)
-		if !ok {
-			return nil, fallback(ReasonExprInSelect, "item %d", i+1)
+	accs := make([]AccSpec, len(a.accs))
+	copy(accs, a.accs)
+	if !hasExpr {
+		for i := range accs {
+			if accs[i].Col >= 0 {
+				accs[i].Col = a.p.virt(*a.srcs[accs[i].Col].col)
+			}
 		}
-		side, pos, fb := p.sourceRef(cr.Name, sideLeft)
-		if fb != nil {
-			return nil, fb
-		}
-		if side == sideRight {
-			// Right positions shift by the FINAL left column count; the
-			// planner records table-relative positions and fixes the
-			// offsets below, after every column is registered.
-			outs[i] = -(pos + 1)
+		return accs, nil, nil
+	}
+	pre := make([]vector.Expr, 0, len(keys)+len(a.srcs))
+	for _, k := range keys {
+		pre = append(pre, vector.ColRef{Idx: a.p.virt(k)})
+	}
+	for _, s := range a.srcs {
+		if s.expr != nil {
+			pre = append(pre, a.p.materializeExpr(s.expr))
 		} else {
-			outs[i] = pos
+			pre = append(pre, vector.ColRef{Idx: a.p.virt(*s.col)})
 		}
 	}
-	for i, o := range outs {
-		if o < 0 {
-			outs[i] = len(p.lscan.Cols) + (-o - 1)
+	for i := range accs {
+		if accs[i].Col >= 0 {
+			accs[i].Col += len(keys)
 		}
 	}
-
-	join := &HashJoinNode{Left: p.wrap(sideLeft), Right: p.wrap(sideRight), LKey: lKey, RKey: rKey}
-	return &Plan{Root: &ProjectNode{Child: join, Outs: outs}, Limit: sel.Limit}, nil
+	return accs, pre, nil
 }

@@ -49,24 +49,19 @@ type Fallback struct {
 // Fallback reason codes. Structural codes come out of Lower; the
 // data-dependent codes out of Execute/DataFallback.
 const (
-	ReasonUnknownTable    = "unknown-table"        // snapshot has no such table (MAL reports the error)
-	ReasonUnknownColumn   = "unknown-column"       // a column reference does not resolve (MAL reports the error)
-	ReasonTextColumn      = "text-column"          // a referenced column is TEXT; the pipeline moves int/float vectors
-	ReasonExprInSelect    = "expression-in-select" // arithmetic select items are not lowered yet
-	ReasonMixedAggPlain   = "mixed-agg-and-plain"  // aggregates beside plain columns without GROUP BY (MAL rejects)
-	ReasonAggUnsupported  = "aggregate-unsupported"
-	ReasonGroupKeyCount   = "group-by-more-than-2-keys" // PairGroupTable holds composite pairs; wider keys fall back
-	ReasonGroupKeyType    = "group-key-not-int"
-	ReasonGroupStar       = "group-by-star"
-	ReasonGroupOrderBy    = "order-by-over-group-by" // grouped output ordering is not lowered yet
-	ReasonOrderKeyType    = "order-key-not-sortable" // ORDER BY key is not a plain int/float column
-	ReasonJoinKeyType     = "join-key-not-int"       // the shared open-addressing table keys int64
-	ReasonJoinWithGroupBy = "group-by-over-join"
-	ReasonJoinWithOrderBy = "order-by-over-join" // parallel probe order is nondeterministic; a stable sort needs row ids the join does not carry
-	ReasonJoinWithAggs    = "aggregates-over-join"
-	ReasonNullComparison  = "null-comparison" // col = NULL (MAL rejects; IS NULL lowers)
-	ReasonFilterLitType   = "filter-literal-type-mismatch"
-	ReasonDeletesPresent  = "deletes-present" // data-dependent: tombstoned positions need the deleted filter
+	ReasonUnknownTable   = "unknown-table"        // snapshot has no such table (MAL reports the error)
+	ReasonUnknownColumn  = "unknown-column"       // a column reference does not resolve (MAL reports the error)
+	ReasonTextColumn     = "text-column"          // a referenced column is TEXT; the pipeline moves int/float vectors
+	ReasonExprInSelect   = "expression-in-select" // PLAIN (non-aggregated) arithmetic select items are not lowered; expressions inside aggregates are
+	ReasonMixedAggPlain  = "mixed-agg-and-plain"  // aggregates beside plain columns without GROUP BY (MAL rejects)
+	ReasonAggUnsupported = "aggregate-unsupported"
+	ReasonGroupKeyType   = "group-key-not-int"
+	ReasonGroupStar      = "group-by-star"
+	ReasonOrderKeyType   = "order-key-not-sortable" // ORDER BY key is not a plain int/float column
+	ReasonJoinKeyType    = "join-key-not-int"       // the shared open-addressing table keys int64
+	ReasonNullComparison = "null-comparison"        // col = NULL (MAL rejects; IS NULL lowers)
+	ReasonFilterLitType  = "filter-literal-type-mismatch"
+	ReasonDeletesPresent = "deletes-present" // data-dependent: tombstoned positions need the deleted filter
 )
 
 func (f *Fallback) String() string {
@@ -98,6 +93,34 @@ type Options struct {
 	// Spill is the query's spill-file scope; nil means spilling is
 	// unavailable and a denied charge always fails the query.
 	Spill *spill.Scope
+
+	// Stats, when set, collects per-execution join-ordering observations
+	// (chosen order, estimated and actual intermediate cardinalities) for
+	// EXPLAIN-style reporting. It MUST be per-call state: plan trees are
+	// cached and shared across sessions, so runtime counters never live
+	// on the nodes themselves.
+	Stats *ExecStats
+
+	// NaiveJoinOrder disables the greedy join orderer and executes the
+	// join tree in textual FROM order (stream = first table, joins in
+	// JOIN-clause order). A benchmarking and testing knob: the greedy-vs-
+	// naive comparison is what demonstrates the ordering pays.
+	NaiveJoinOrder bool
+}
+
+// ExecStats is the per-execution observation collector \plan renders.
+type ExecStats struct {
+	Stream string     // name of the streamed (probe) leaf table
+	Joins  []JoinStat // one per executed join step, in execution order
+}
+
+// JoinStat is one executed join step of an N-way tree.
+type JoinStat struct {
+	Build     string // the table drained into the hash table at this step
+	BuildRows int64  // rows it hashed (post-filter)
+	EstRows   int64  // planner's sampled estimate of the step's output
+	Actual    int64  // observed output rows (updated atomically during execution)
+	Grace     bool   // step degraded to grace-hash partitioning
 }
 
 func (o Options) workers() int {
@@ -169,8 +192,9 @@ type FilterNode struct {
 func (*FilterNode) node() {}
 
 // ProjectNode picks output columns, by position into the child's
-// pipeline columns (for a HashJoinNode child: left columns then right
-// columns, regardless of which side the executor builds on).
+// pipeline columns (for a JoinTreeNode child: VIRTUAL positions — the
+// FROM-order concatenation of the leaves' pipeline columns, regardless
+// of the join order the executor later picks).
 type ProjectNode struct {
 	Child Node
 	Outs  []int
@@ -178,20 +202,60 @@ type ProjectNode struct {
 
 func (*ProjectNode) node() {}
 
-// HashJoinNode is a two-table INT equi-join: the build side is drained
-// serially into the shared open-addressing radix.JoinTable (radix
-// auto-partitions large builds), the probe side streams through
-// morsel-parallel worker pipelines sharing the read-only table. WHICH
-// side builds is a cost-model decision (radix.BuildLeft) made per
-// execution from the snapshot's table cardinalities — pre-filter, since
-// filter selectivities are unknown until the pipelines run. Nil keys
-// never match — SQL three-valued logic, enforced once inside the table.
-type HashJoinNode struct {
-	Left, Right Node // Scan or Filter-over-Scan subtree per table
-	LKey, RKey  int  // key pipeline position within each side
+// JoinLeaf is one base-table input of an N-way join tree: its scan and
+// the WHERE conjuncts that filter it before any join sees it.
+type JoinLeaf struct {
+	Scan  *ScanNode
+	Preds []Pred
 }
 
-func (*HashJoinNode) node() {}
+// JoinEdge is one INT equi-join edge between two leaves. Keys are
+// pipeline positions WITHIN each leaf's scan columns.
+type JoinEdge struct {
+	A, B       int // leaf indexes; B is the leaf the edge's JOIN clause introduced
+	AKey, BKey int
+}
+
+// JoinTreeNode is an N-way INT equi-join over a TREE of leaves (the
+// grammar admits exactly one edge per joined table, so the graph is a
+// tree by construction — no cycles, no cross products). The node is
+// pure structure: WHICH leaf streams and in WHAT order the others build
+// is decided per execution by a statistics-free greedy orderer working
+// from strided samples — post-filter leaf cardinalities and per-key
+// distinct estimates (vector.EstimateGroups) give each edge an expected
+// output size |A⋈B| ≈ |A|·|B|/max(d_A,d_B); the orderer starts at the
+// cheapest edge and grows the joined set along tree edges, always
+// taking the adjacent edge with the smallest estimated intermediate.
+// All non-stream leaves become serial hash-table builds (memory charged
+// to the query governor; an over-grant build degrades to grace-hash
+// partitioning instead of failing); the stream flows through the chain
+// of probes in morsel-parallel worker pipelines. Nil keys never match —
+// SQL three-valued logic, enforced once inside the table.
+type JoinTreeNode struct {
+	Leaves []JoinLeaf
+	Edges  []JoinEdge // Edges[k] joins leaf k+1 into the prefix (textual order)
+}
+
+func (*JoinTreeNode) node() {}
+
+// VirtualPos maps (leaf, pipeline position) to the virtual output
+// layout — FROM-order concatenation of the leaves' pipeline columns.
+func (j *JoinTreeNode) VirtualPos(leaf, pos int) int {
+	off := 0
+	for l := 0; l < leaf; l++ {
+		off += len(j.Leaves[l].Scan.Cols)
+	}
+	return off + pos
+}
+
+// Width is the virtual layout's total column count.
+func (j *JoinTreeNode) Width() int {
+	w := 0
+	for i := range j.Leaves {
+		w += len(j.Leaves[i].Scan.Cols)
+	}
+	return w
+}
 
 // AccSpec is one per-worker accumulator (a partial-aggregate column).
 type AccSpec struct {
@@ -209,29 +273,55 @@ type AggOut struct {
 	Flt    bool   // float-typed result
 }
 
-// GroupAggNode aggregates its child per group of 0 (global), 1, or 2
-// INT key columns. Grouped instantiation picks between the merge-based
-// and the shared-nothing radix-partitioned parallel plans by cost model
-// (single-key, unfiltered input only — the composite-key and filtered
-// paths always merge).
+// GroupAggNode aggregates its child per group of any number of INT key
+// columns (empty = global). Single-key groups ride radix.GroupTable,
+// two-key the PairGroupTable, wider tuples the MultiGroupTable.
+// Grouped instantiation picks between the merge-based and the
+// shared-nothing radix-partitioned parallel plans by cost model
+// (single-key, unfiltered, expression-free input only — every other
+// shape merges).
+//
+// Pre, when non-nil, is a per-worker expression projection inserted
+// between the child pipeline and the aggregation: Keys and Accs then
+// index Pre's OUTPUT columns, which is how aggregates over arithmetic
+// (sum(a+b), avg(a*2)) lower — the nil-propagating expression kernels
+// compute the argument column morsel-by-morsel, and the aggregation
+// never knows it consumed an expression. Pre's ColRef leaves index the
+// child's pipeline columns (virtual positions for a JoinTreeNode
+// child; the executor remaps them to the chosen join order's
+// intermediate layout without mutating the shared plan).
+//
+// OrderBy >= 0 orders the grouped OUTPUT by that select-list item,
+// ties broken by the full group-key tuple — group rows are unique on
+// it, so the order is total and deterministic, matching the MAL
+// program's canonical least-significant-first stable-sort chain.
 type GroupAggNode struct {
-	Child Node
-	Keys  []int // pipeline positions of the group keys; empty = global
-	Accs  []AccSpec
-	Outs  []AggOut
+	Child     Node
+	Keys      []int // key positions (child pipeline, or Pre outputs when Pre != nil); empty = global
+	Accs      []AccSpec
+	Outs      []AggOut
+	Pre       []vector.Expr // optional expression projection feeding Keys/Accs
+	OrderBy   int           // output item index to order by; -1 = none
+	OrderDesc bool
 }
 
 func (*GroupAggNode) node() {}
 
 // SortNode orders its child by one key column: per-worker sorted runs
 // (vector.SortRun over the morsels each worker claimed) k-way merged by
-// vector.MergeRuns, with LIMIT pushed into both stages. Ties break on
-// the global row id, so the order is exactly the MAL interpreter's
-// stable sort (descending = its exact reverse); nil keys sort first
-// ascending.
+// vector.MergeRuns, with LIMIT pushed into both stages.
+//
+// Over a single table, ties break on the global row id, so the order
+// is exactly the MAL interpreter's stable sort (descending = its exact
+// reverse); nil keys sort first ascending. Over a JOIN TREE there is
+// no meaningful "original order" — match order is nondeterministic on
+// both engines — so Ties lists the output columns (virtual positions)
+// instead and both executors produce the canonical lexicographic
+// (key, outputs...) order; rows equal on all of them are identical.
 type SortNode struct {
 	Child Node
-	Key   int // pipeline position of the sort key
+	Key   int   // pipeline position of the sort key (virtual over a join tree)
+	Ties  []int // canonical value tiebreaks (virtual positions); nil = row-id ties
 	Desc  bool
 	Limit int // -1 = none
 }

@@ -1,0 +1,130 @@
+package radix
+
+// MultiGroupTable generalizes GroupTable/PairGroupTable to composite
+// keys of ANY width K >= 1: the grouping core behind GROUP BY with more
+// than two key columns. The layout discipline is the same — Fibonacci
+// hashing, power-of-two flat slots, linear probing, load factor <= ½ —
+// but a slot stores only (hash, gid) while the key tuples live in one
+// flat row-major array (dense gid*K..gid*K+K-1), so the slot array
+// stays a constant 12 bytes per slot regardless of K. A probe compares
+// the full 64-bit hash first and touches the tuple array only on a
+// hash match, so distinct tuples colliding on a slot are almost always
+// rejected without a K-word compare.
+//
+// As in the other grouping tables, nil (bat.NilInt) is a LEGAL key
+// value in any position: GROUP BY is "is not distinct from".
+type MultiGroupTable struct {
+	slots []mslot
+	shift uint
+	k     int     // tuple width
+	keys  []int64 // dense gid -> K-wide tuple, row-major, first-seen order
+}
+
+type mslot struct {
+	hash uint64
+	gid  int32 // group id + 1; 0 = empty
+}
+
+// hashTuple folds every key half through the Fibonacci multiplier,
+// extending the hashPair recipe to K words: each step xors the next
+// word in and remultiplies, keeping the high (slot) bits sensitive to
+// every bit of every word.
+func hashTuple(tup []int64) uint64 {
+	h := Hash(tup[0])
+	for _, k := range tup[1:] {
+		h = (h ^ uint64(k)) * 0x9E3779B97F4A7C15
+	}
+	return h
+}
+
+// NewMultiGroupTable returns a table for K-wide tuples pre-sized for
+// `hint` distinct groups.
+func NewMultiGroupTable(k, hint int) *MultiGroupTable {
+	if hint < 4 {
+		hint = 4
+	}
+	nslots := 8
+	for nslots < 2*hint {
+		nslots <<= 1
+	}
+	shift := uint(64)
+	for s := nslots; s > 1; s >>= 1 {
+		shift--
+	}
+	return &MultiGroupTable{
+		slots: make([]mslot, nslots),
+		shift: shift,
+		k:     k,
+		keys:  make([]int64, 0, hint*k),
+	}
+}
+
+// Len returns the number of distinct tuples seen.
+func (t *MultiGroupTable) Len() int { return len(t.keys) / t.k }
+
+// Key returns the i-th component of group gid's tuple.
+func (t *MultiGroupTable) Key(gid int32, i int) int64 {
+	return t.keys[int(gid)*t.k+i]
+}
+
+// MemBytes returns the live heap footprint (slot array + tuple array)
+// for the query memory governor's ledger.
+func (t *MultiGroupTable) MemBytes() int64 {
+	return int64(len(t.slots))*12 + int64(cap(t.keys))*8
+}
+
+// GID returns the dense group id of tuple tup (len == K), assigning
+// the next free id on first sight. tup is copied on insert; the caller
+// may reuse the slice.
+func (t *MultiGroupTable) GID(tup []int64) int32 {
+	h := hashTuple(tup)
+	for {
+		mask := uint64(len(t.slots) - 1)
+		s := h >> t.shift
+		for {
+			g := t.slots[s].gid
+			if g == 0 {
+				break
+			}
+			if t.slots[s].hash == h && t.equal(g-1, tup) {
+				return g - 1
+			}
+			s = (s + 1) & mask
+		}
+		if 2*(t.Len()+1) > len(t.slots) {
+			t.grow()
+			continue
+		}
+		gid := int32(t.Len())
+		t.slots[s] = mslot{hash: h, gid: gid + 1}
+		t.keys = append(t.keys, tup...)
+		return gid
+	}
+}
+
+func (t *MultiGroupTable) equal(gid int32, tup []int64) bool {
+	base := int(gid) * t.k
+	for i, k := range tup {
+		if t.keys[base+i] != k {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *MultiGroupTable) grow() {
+	old := t.slots
+	t.slots = make([]mslot, 2*len(old))
+	t.shift--
+	mask := uint64(len(t.slots) - 1)
+	for _, sl := range old {
+		if sl.gid == 0 {
+			continue
+		}
+		s := sl.hash >> t.shift
+		for t.slots[s].gid != 0 {
+			s = (s + 1) & mask
+		}
+		t.slots[s] = sl
+	}
+}

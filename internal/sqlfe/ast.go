@@ -69,7 +69,7 @@ func (*Update) stmt() {}
 type Select struct {
 	Items   []SelItem
 	From    string
-	Join    *JoinClause
+	Joins   []*JoinClause // one per JOIN clause, in textual order
 	Where   []Pred
 	GroupBy []string // group key column names, nil if none
 	OrderBy string   // column or alias, "" if none
@@ -82,10 +82,13 @@ func (s *Select) Grouped() bool { return len(s.GroupBy) > 0 }
 
 func (*Select) stmt() {}
 
-// JoinClause is JOIN table ON left = right.
+// JoinClause is one JOIN table ON left = right step. LCol must resolve
+// to a table already in scope (FROM or an earlier JOIN); RCol to any
+// table in scope once this one joins — the compiler normalizes the
+// orientation, so `ON a.x = c.y` and `ON c.y = a.x` are equivalent.
 type JoinClause struct {
 	Table string
-	LCol  string // column of the FROM table
+	LCol  string // column of a prior table
 	RCol  string // column of the joined table
 }
 

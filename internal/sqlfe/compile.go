@@ -17,11 +17,17 @@ type compiler struct {
 	snap *Snapshot
 	sel  *Select
 
-	left  *Table // FROM table
-	right *Table // JOIN table, nil if none
-
-	leftCand  int // var: candidate list into left's positions
-	rightCand int // var: candidate list into right's positions (join only)
+	// tables holds the FROM table followed by every JOIN table in
+	// textual order; cands holds the candidate-list variable for each,
+	// index-aligned. Before a table's join step its candidate list is
+	// per-table (live rows minus its WHERE conjuncts); after, all
+	// already-joined lists are row-aligned with each other — one entry
+	// per intermediate row — so joins compile as a strict left-to-right
+	// fold. That textual fold is deliberately order-naive: it is the
+	// baseline the vectorized planner's greedy join ordering is
+	// benchmarked against.
+	tables []*Table
+	cands  []int
 
 	// params maps ? placeholder ordinals to the column type each slot
 	// compares against; a prepared statement coerces its arguments to
@@ -42,14 +48,25 @@ func (s *Snapshot) CompileSelect(sel *Select) (*mal.Program, error) {
 // of each slot, in ordinal order.
 func (s *Snapshot) CompileSelectBound(sel *Select) (*mal.Program, []ColType, error) {
 	c := &compiler{b: mal.NewBuilder(), snap: s, sel: sel}
-	var err error
-	if c.left, err = s.Table(sel.From); err != nil {
+	from, err := s.Table(sel.From)
+	if err != nil {
 		return nil, nil, err
 	}
-	if sel.Join != nil {
-		if c.right, err = s.Table(sel.Join.Table); err != nil {
+	c.tables = append(c.tables, from)
+	for _, j := range sel.Joins {
+		t, err := s.Table(j.Table)
+		if err != nil {
 			return nil, nil, err
 		}
+		for _, prev := range c.tables {
+			if prev.Name == t.Name {
+				// Candidate lists are keyed by table, so the same table
+				// twice would alias one list; self-joins need aliases,
+				// which the surface language does not have.
+				return nil, nil, fmt.Errorf("sql: table %q appears twice in FROM/JOIN (self-joins are not supported)", t.Name)
+			}
+		}
+		c.tables = append(c.tables, t)
 	}
 	if err := c.buildCandidates(); err != nil {
 		return nil, nil, err
@@ -81,29 +98,34 @@ func (c *compiler) noteParam(ord int, t ColType) error {
 	return nil
 }
 
-// resolve finds which table owns a column; returns the table and its index.
+// resolve finds which table owns a column; returns the table and its
+// index. Unqualified names take the first match in FROM/JOIN order.
 func (c *compiler) resolve(name string) (*Table, int, error) {
 	if tbl, col, ok := splitQualified(name); ok {
-		switch {
-		case tbl == c.left.Name:
-			i, err := c.left.colIndex(col)
-			return c.left, i, err
-		case c.right != nil && tbl == c.right.Name:
-			i, err := c.right.colIndex(col)
-			return c.right, i, err
-		default:
-			return nil, 0, fmt.Errorf("sql: unknown table %q in %q", tbl, name)
+		for _, t := range c.tables {
+			if t.Name == tbl {
+				i, err := t.colIndex(col)
+				return t, i, err
+			}
 		}
+		return nil, 0, fmt.Errorf("sql: unknown table %q in %q", tbl, name)
 	}
-	if i, err := c.left.colIndex(name); err == nil {
-		return c.left, i, nil
-	}
-	if c.right != nil {
-		if i, err := c.right.colIndex(name); err == nil {
-			return c.right, i, nil
+	for _, t := range c.tables {
+		if i, err := t.colIndex(name); err == nil {
+			return t, i, nil
 		}
 	}
 	return nil, 0, fmt.Errorf("sql: unknown column %q", name)
+}
+
+// tableIndex returns a table's position in FROM/JOIN order.
+func (c *compiler) tableIndex(t *Table) int {
+	for i, x := range c.tables {
+		if x == t {
+			return i
+		}
+	}
+	return -1
 }
 
 // bindCol emits bind of a table column.
@@ -215,56 +237,62 @@ func (c *compiler) predCand(t *Table, p Pred) (int, error) {
 	}
 }
 
-// buildCandidates computes leftCand (and rightCand with a join), applying
-// WHERE conjuncts and the deleted filter, then the join itself.
+// buildCandidates computes every table's candidate list, applying WHERE
+// conjuncts and the deleted filter per table, then folds the join chain
+// left to right: each join step maps all already-joined candidate lists
+// through the join's left output (keeping them row-aligned) and the new
+// table's list through the right output.
 func (c *compiler) buildCandidates() error {
-	ownerOf := func(p Pred) (*Table, error) {
-		t, _, err := c.resolve(p.Col)
-		return t, err
-	}
-	cand := map[*Table]int{c.left: c.liveCand(c.left)}
-	if c.right != nil {
-		cand[c.right] = c.liveCand(c.right)
+	c.cands = make([]int, len(c.tables))
+	for i, t := range c.tables {
+		c.cands[i] = c.liveCand(t)
 	}
 	for _, p := range c.sel.Where {
-		t, err := ownerOf(p)
+		t, _, err := c.resolve(p.Col)
 		if err != nil {
 			return err
 		}
+		ti := c.tableIndex(t)
 		pc, err := c.predCand(t, p)
 		if err != nil {
 			return err
 		}
-		cand[t] = c.b.Emit("intersect", mal.V(cand[t]), mal.V(pc))
+		c.cands[ti] = c.b.Emit("intersect", mal.V(c.cands[ti]), mal.V(pc))
 	}
-	c.leftCand = cand[c.left]
-	if c.right == nil {
-		return nil
+	for k, j := range c.sel.Joins {
+		if err := c.buildJoin(j, k+1); err != nil {
+			return err
+		}
 	}
-	// Join: fetch the join columns through the candidates, join, and map
-	// positions back to original TIDs.
-	lt, li, err := c.resolve(qualify(c.sel.Join.LCol, c.left, c.right))
+	return nil
+}
+
+// buildJoin folds tables[k] into the intermediate built from
+// tables[0..k-1]. ON columns may appear in either order; one must
+// belong to tables[k], the other to a prior table.
+func (c *compiler) buildJoin(j *JoinClause, k int) error {
+	lIdx, li, err := c.resolveJoinCol(j.LCol, k, false)
 	if err != nil {
 		return err
 	}
-	rt, ri, err := c.resolve(qualify(c.sel.Join.RCol, c.right, c.left))
+	rIdx, ri, err := c.resolveJoinCol(j.RCol, k, true)
 	if err != nil {
 		return err
 	}
-	// Normalize: lt must be the FROM table.
-	if lt != c.left {
-		lt, li, rt, ri = rt, ri, lt, li
+	if rIdx != k {
+		lIdx, li, rIdx, ri = rIdx, ri, lIdx, li
 	}
-	if lt != c.left || rt != c.right {
-		return fmt.Errorf("sql: join ON must reference both tables")
+	if rIdx != k || lIdx >= k {
+		return fmt.Errorf("sql: JOIN %s ON must compare a column of %q with a column of a prior table", c.tables[k].Name, c.tables[k].Name)
 	}
-	if c.left.ColTypes[li] != c.right.ColTypes[ri] {
-		return fmt.Errorf("sql: join ON compares %s with %s", c.left.ColTypes[li], c.right.ColTypes[ri])
+	lt, rt := c.tables[lIdx], c.tables[rIdx]
+	if lt.ColTypes[li] != rt.ColTypes[ri] {
+		return fmt.Errorf("sql: join ON compares %s with %s", lt.ColTypes[li], rt.ColTypes[ri])
 	}
-	lvals := c.b.Emit("fetch", mal.V(cand[c.left]), mal.V(c.bindCol(c.left, li)))
-	rvals := c.b.Emit("fetch", mal.V(cand[c.right]), mal.V(c.bindCol(c.right, ri)))
+	lvals := c.b.Emit("fetch", mal.V(c.cands[lIdx]), mal.V(c.bindCol(lt, li)))
+	rvals := c.b.Emit("fetch", mal.V(c.cands[rIdx]), mal.V(c.bindCol(rt, ri)))
 	var lo, ro int
-	switch c.left.ColTypes[li] {
+	switch lt.ColTypes[li] {
 	case TText:
 		lo, ro = c.b.Emit2("join_str", mal.V(lvals), mal.V(rvals))
 	case TInt:
@@ -273,31 +301,50 @@ func (c *compiler) buildCandidates() error {
 		// The MAL join op is int/text only; a float key would panic the
 		// interpreter's bulk path (equality joins on floats are a
 		// modeling smell anyway).
-		return fmt.Errorf("sql: JOIN on %s keys is not supported", c.left.ColTypes[li])
+		return fmt.Errorf("sql: JOIN on %s keys is not supported", lt.ColTypes[li])
 	}
-	c.leftCand = c.b.Emit("fetch", mal.V(lo), mal.V(cand[c.left]))
-	c.rightCand = c.b.Emit("fetch", mal.V(ro), mal.V(cand[c.right]))
+	// lvals is row-aligned with EVERY already-joined candidate list, so
+	// the join's left positions remap all of them at once.
+	for i := 0; i < k; i++ {
+		c.cands[i] = c.b.Emit("fetch", mal.V(lo), mal.V(c.cands[i]))
+	}
+	c.cands[k] = c.b.Emit("fetch", mal.V(ro), mal.V(c.cands[k]))
 	return nil
 }
 
-// qualify prefers interpreting name against preferred's schema when
-// unqualified and ambiguous.
-func qualify(name string, preferred, other *Table) string {
-	if _, _, ok := splitQualified(name); ok {
-		return name
+// resolveJoinCol resolves one ON column for the join step bringing in
+// tables[k]: only tables[0..k] are in scope. Unqualified names prefer
+// the new table when preferNew is set (the `ON prior = new` convention),
+// prior tables in FROM order otherwise.
+func (c *compiler) resolveJoinCol(name string, k int, preferNew bool) (int, int, error) {
+	if tbl, col, ok := splitQualified(name); ok {
+		for idx := 0; idx <= k; idx++ {
+			if c.tables[idx].Name == tbl {
+				ci, err := c.tables[idx].colIndex(col)
+				return idx, ci, err
+			}
+		}
+		return 0, 0, fmt.Errorf("sql: unknown table %q in join condition %q", tbl, name)
 	}
-	if _, err := preferred.colIndex(name); err == nil {
-		return preferred.Name + "." + name
+	if preferNew {
+		if ci, err := c.tables[k].colIndex(name); err == nil {
+			return k, ci, nil
+		}
 	}
-	return name
+	for idx := 0; idx < k; idx++ {
+		if ci, err := c.tables[idx].colIndex(name); err == nil {
+			return idx, ci, nil
+		}
+	}
+	if ci, err := c.tables[k].colIndex(name); err == nil {
+		return k, ci, nil
+	}
+	return 0, 0, fmt.Errorf("sql: unknown column %q in join condition", name)
 }
 
 // candFor returns the candidate variable for the table owning a column.
 func (c *compiler) candFor(t *Table) int {
-	if c.right != nil && t == c.right {
-		return c.rightCand
-	}
-	return c.leftCand
+	return c.cands[c.tableIndex(t)]
 }
 
 // evalExpr emits MAL computing expr as a column aligned with the candidate
@@ -414,10 +461,7 @@ func (c *compiler) expandStar() []SelItem {
 			out = append(out, it)
 			continue
 		}
-		for _, t := range []*Table{c.left, c.right} {
-			if t == nil {
-				continue
-			}
+		for _, t := range c.tables {
 			for _, cn := range t.ColNames {
 				out = append(out, SelItem{Expr: ColRef{Name: t.Name + "." + cn}, Alias: cn})
 			}
@@ -469,20 +513,22 @@ func (c *compiler) buildOutput() error {
 }
 
 func (c *compiler) buildPlain(items []SelItem, names []string) error {
-	// Early LIMIT without ORDER BY: cut the candidate list first.
+	// Early LIMIT without ORDER BY: cut the (row-aligned) candidate
+	// lists first.
 	if c.sel.Limit >= 0 && c.sel.OrderBy == "" {
-		c.leftCand = c.b.Emit("head", mal.V(c.leftCand), mal.CI(int64(c.sel.Limit)))
-		if c.right != nil {
-			c.rightCand = c.b.Emit("head", mal.V(c.rightCand), mal.CI(int64(c.sel.Limit)))
+		for i := range c.cands {
+			c.cands[i] = c.b.Emit("head", mal.V(c.cands[i]), mal.CI(int64(c.sel.Limit)))
 		}
 	}
 	vars := make([]int, len(items))
+	types := make([]ColType, len(items))
 	for i, it := range items {
-		v, _, err := c.evalExpr(it.Expr)
+		v, vt, err := c.evalExpr(it.Expr)
 		if err != nil {
 			return err
 		}
 		vars[i] = v
+		types[i] = vt
 	}
 	if c.sel.OrderBy != "" {
 		// Resolve the sort key against output labels first, then bare
@@ -517,7 +563,38 @@ func (c *compiler) buildPlain(items []SelItem, names []string) error {
 		if c.sel.Desc {
 			op = "sort_desc"
 		}
-		_, order := c.b.Emit2(op, mal.V(keyVar))
+		order := -1
+		if len(c.sel.Joins) > 0 {
+			// Canonical join-output order: a join has no meaningful
+			// row order to be stable against, so ties on the sort key
+			// break by every output column left to right. The chain of
+			// stable ascending sorts runs least-significant column
+			// first; the key sort comes last (sort_desc fully reverses
+			// a stable ascending sort, so a descending query reverses
+			// the whole lexicographic order — ties included — exactly
+			// as the vectorized sort does). TEXT items are skipped:
+			// they never reach the vectorized path, so their relative
+			// order is MAL's alone to define.
+			for i := len(items) - 1; i >= 0; i-- {
+				if types[i] == TText {
+					continue
+				}
+				if order < 0 {
+					_, order = c.b.Emit2("sort", mal.V(vars[i]))
+					continue
+				}
+				v := c.b.Emit("fetch", mal.V(order), mal.V(vars[i]))
+				_, o2 := c.b.Emit2("sort", mal.V(v))
+				order = c.b.Emit("fetch", mal.V(o2), mal.V(order))
+			}
+		}
+		if order < 0 {
+			_, order = c.b.Emit2(op, mal.V(keyVar))
+		} else {
+			kv := c.b.Emit("fetch", mal.V(order), mal.V(keyVar))
+			_, o2 := c.b.Emit2(op, mal.V(kv))
+			order = c.b.Emit("fetch", mal.V(o2), mal.V(order))
+		}
 		if c.sel.Limit >= 0 {
 			order = c.b.Emit("head", mal.V(order), mal.CI(int64(c.sel.Limit)))
 		}
@@ -539,7 +616,7 @@ func (c *compiler) buildGlobalAggs(items []SelItem, names []string) error {
 		case "count":
 			// count(*) counts candidate rows; count(col) skips nils.
 			if it.Expr == nil {
-				vars[i] = c.b.Emit("count", mal.V(c.leftCand))
+				vars[i] = c.b.Emit("count", mal.V(c.cands[0]))
 				break
 			}
 			v, _, err := c.evalExpr(it.Expr)
@@ -693,7 +770,35 @@ func (c *compiler) buildGrouped(items []SelItem, names []string) error {
 		if c.sel.Desc {
 			op = "sort_desc"
 		}
-		_, order := c.b.Emit2(op, mal.V(vars[keyIdx]))
+		// Canonical grouped order: groups tying on the ordered item
+		// break by the full group-key tuple (each key's representative
+		// value), so both engines emit one well-defined row order. The
+		// chain of stable ascending sorts runs least-significant key
+		// first; the ordered item sorts last (sort_desc fully reverses
+		// the stable ascending order, ties included, matching the
+		// vectorized sort's descending semantics). TEXT keys are
+		// skipped: they never reach the vectorized path.
+		order := -1
+		for ki := len(keys) - 1; ki >= 0; ki-- {
+			if keys[ki].t.ColTypes[keys[ki].i] == TText {
+				continue
+			}
+			rep := c.b.Emit("fetch", mal.V(ext), mal.V(keys[ki].vals))
+			if order < 0 {
+				_, order = c.b.Emit2("sort", mal.V(rep))
+				continue
+			}
+			rep = c.b.Emit("fetch", mal.V(order), mal.V(rep))
+			_, o2 := c.b.Emit2("sort", mal.V(rep))
+			order = c.b.Emit("fetch", mal.V(o2), mal.V(order))
+		}
+		if order < 0 {
+			_, order = c.b.Emit2(op, mal.V(vars[keyIdx]))
+		} else {
+			kv := c.b.Emit("fetch", mal.V(order), mal.V(vars[keyIdx]))
+			_, o2 := c.b.Emit2(op, mal.V(kv))
+			order = c.b.Emit("fetch", mal.V(o2), mal.V(order))
+		}
 		if c.sel.Limit >= 0 {
 			order = c.b.Emit("head", mal.V(order), mal.CI(int64(c.sel.Limit)))
 		}

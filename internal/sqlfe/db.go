@@ -360,11 +360,11 @@ func (db *DB) execInsert(s *Insert) (*Result, []wal.Op, error) {
 func (db *DB) matchPositions(t *Table, where []Pred) ([]bat.OID, error) {
 	snap := &Snapshot{tables: map[string]*Table{t.Name: t}}
 	sel := &Select{Items: []SelItem{{Star: true}}, From: t.Name, Where: where, Limit: -1}
-	c := &compiler{b: mal.NewBuilder(), snap: snap, sel: sel, left: t}
+	c := &compiler{b: mal.NewBuilder(), snap: snap, sel: sel, tables: []*Table{t}}
 	if err := c.buildCandidates(); err != nil {
 		return nil, err
 	}
-	c.b.Return([]string{"cand"}, c.leftCand)
+	c.b.Return([]string{"cand"}, c.cands[0])
 	ip := &mal.Interp{Cat: snap}
 	out, err := ip.Run(c.b.Program())
 	if err != nil {

@@ -27,8 +27,8 @@ func StmtTables(st Stmt) []string {
 		return []string{s.Table}
 	case *Select:
 		out := []string{s.From}
-		if s.Join != nil {
-			out = append(out, s.Join.Table)
+		for _, j := range s.Joins {
+			out = append(out, j.Table)
 		}
 		return out
 	}

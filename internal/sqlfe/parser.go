@@ -237,7 +237,7 @@ func (p *parser) parseSelect() (Stmt, error) {
 		return nil, err
 	}
 	s.From = from.text
-	if p.accept(tokKeyword, "JOIN") {
+	for p.accept(tokKeyword, "JOIN") {
 		jt, err := p.expect(tokIdent, "")
 		if err != nil {
 			return nil, err
@@ -256,7 +256,7 @@ func (p *parser) parseSelect() (Stmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.Join = &JoinClause{Table: jt.text, LCol: lc.text, RCol: rc.text}
+		s.Joins = append(s.Joins, &JoinClause{Table: jt.text, LCol: lc.text, RCol: rc.text})
 	}
 	if p.accept(tokKeyword, "WHERE") {
 		if s.Where, err = p.parsePreds(); err != nil {

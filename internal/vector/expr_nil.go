@@ -1,0 +1,183 @@
+package vector
+
+import (
+	"math"
+
+	"repro/internal/bat"
+)
+
+// Nil-aware arithmetic map primitives. These mirror the MAL calc
+// kernels (batalg.Add/Sub/Mul and the *Scalar forms) bit for bit so an
+// expression evaluated on the vector path is indistinguishable from
+// the interpreted program: INT arithmetic propagates the nil sentinel
+// (any nil input -> nil output, everything else plain two's-complement
+// wraparound), INT->FLOAT conversion turns nil into NaN, and FLOAT
+// arithmetic is plain IEEE math — NaN (the float nil) propagates by
+// itself, exactly as in batalg's unguarded float loops.
+
+// MapAddIntNil writes a[i]+b[i] with nil propagation into out.
+func MapAddIntNil(a, b []int64, sel []int32, out []int64) {
+	if sel == nil {
+		for i := range a {
+			if a[i] == bat.NilInt || b[i] == bat.NilInt {
+				out[i] = bat.NilInt
+			} else {
+				out[i] = a[i] + b[i]
+			}
+		}
+		return
+	}
+	for _, i := range sel {
+		if a[i] == bat.NilInt || b[i] == bat.NilInt {
+			out[i] = bat.NilInt
+		} else {
+			out[i] = a[i] + b[i]
+		}
+	}
+}
+
+// MapSubIntNil writes a[i]-b[i] with nil propagation into out.
+func MapSubIntNil(a, b []int64, sel []int32, out []int64) {
+	if sel == nil {
+		for i := range a {
+			if a[i] == bat.NilInt || b[i] == bat.NilInt {
+				out[i] = bat.NilInt
+			} else {
+				out[i] = a[i] - b[i]
+			}
+		}
+		return
+	}
+	for _, i := range sel {
+		if a[i] == bat.NilInt || b[i] == bat.NilInt {
+			out[i] = bat.NilInt
+		} else {
+			out[i] = a[i] - b[i]
+		}
+	}
+}
+
+// MapMulIntNil writes a[i]*b[i] with nil propagation into out.
+func MapMulIntNil(a, b []int64, sel []int32, out []int64) {
+	if sel == nil {
+		for i := range a {
+			if a[i] == bat.NilInt || b[i] == bat.NilInt {
+				out[i] = bat.NilInt
+			} else {
+				out[i] = a[i] * b[i]
+			}
+		}
+		return
+	}
+	for _, i := range sel {
+		if a[i] == bat.NilInt || b[i] == bat.NilInt {
+			out[i] = bat.NilInt
+		} else {
+			out[i] = a[i] * b[i]
+		}
+	}
+}
+
+// MapAddIntConstNil writes a[i]+v with nil propagation into out
+// (batalg.AddScalar).
+func MapAddIntConstNil(a []int64, v int64, sel []int32, out []int64) {
+	if sel == nil {
+		for i, x := range a {
+			if x == bat.NilInt {
+				out[i] = bat.NilInt
+			} else {
+				out[i] = x + v
+			}
+		}
+		return
+	}
+	for _, i := range sel {
+		if a[i] == bat.NilInt {
+			out[i] = bat.NilInt
+		} else {
+			out[i] = a[i] + v
+		}
+	}
+}
+
+// MapMulIntConstNil writes a[i]*v with nil propagation into out
+// (batalg.MulScalar).
+func MapMulIntConstNil(a []int64, v int64, sel []int32, out []int64) {
+	if sel == nil {
+		for i, x := range a {
+			if x == bat.NilInt {
+				out[i] = bat.NilInt
+			} else {
+				out[i] = x * v
+			}
+		}
+		return
+	}
+	for _, i := range sel {
+		if a[i] == bat.NilInt {
+			out[i] = bat.NilInt
+		} else {
+			out[i] = a[i] * v
+		}
+	}
+}
+
+// MapIntToFloat widens ints to floats, nil -> NaN (batalg.IntToFloat).
+func MapIntToFloat(a []int64, sel []int32, out []float64) {
+	if sel == nil {
+		for i, x := range a {
+			if x == bat.NilInt {
+				out[i] = math.NaN()
+			} else {
+				out[i] = float64(x)
+			}
+		}
+		return
+	}
+	for _, i := range sel {
+		if a[i] == bat.NilInt {
+			out[i] = math.NaN()
+		} else {
+			out[i] = float64(a[i])
+		}
+	}
+}
+
+// MapSubFloat writes a[i]-b[i] into out (plain IEEE; NaN propagates).
+func MapSubFloat(a, b []float64, sel []int32, out []float64) {
+	if sel == nil {
+		for i := range a {
+			out[i] = a[i] - b[i]
+		}
+		return
+	}
+	for _, i := range sel {
+		out[i] = a[i] - b[i]
+	}
+}
+
+// MapAddFloatConst writes a[i]+v into out (batalg.AddFloatScalar).
+func MapAddFloatConst(a []float64, v float64, sel []int32, out []float64) {
+	if sel == nil {
+		for i, x := range a {
+			out[i] = x + v
+		}
+		return
+	}
+	for _, i := range sel {
+		out[i] = a[i] + v
+	}
+}
+
+// MapMulFloatConst writes a[i]*v into out (batalg.MulFloatScalar).
+func MapMulFloatConst(a []float64, v float64, sel []int32, out []float64) {
+	if sel == nil {
+		for i, x := range a {
+			out[i] = x * v
+		}
+		return
+	}
+	for _, i := range sel {
+		out[i] = a[i] * v
+	}
+}

@@ -73,12 +73,26 @@ func ParallelGroupAgg(ctx context.Context, src *Source, keyCols []int, specs []A
 // Exchange, each worker Agg hands its charge back on Close, and the
 // physical layer re-plans to grace-hash partitioning.
 func ParallelGroupAggGov(ctx context.Context, src *Source, keyCols []int, specs []AggSpec, preds []Pred, workers, morselSize, vectorSize int, res *memgov.Reservation) (*Batch, error) {
-	plan := func(scan Operator) Operator {
-		op := scan
+	wrap := func(scan Operator) Operator {
 		if len(preds) > 0 {
-			op = &Filter{Child: op, Preds: preds}
+			return &Filter{Child: scan, Preds: preds}
 		}
-		return &Agg{Child: op, KeyCol: -1, Keys: keyCols, Aggs: specs, Res: res}
+		return scan
+	}
+	return GroupAggOverPlan(ctx, src, wrap, keyCols, specs, workers, morselSize, vectorSize, res)
+}
+
+// GroupAggOverPlan is the merge-based grouped aggregation over an
+// ARBITRARY per-worker pipeline: wrap builds each worker's operator
+// chain over its morsel scan (filters, hash-join probes, expression
+// projections — whatever feeds the grouping), this function appends the
+// per-worker partial Agg and runs the key-merge. keyCols/specs index
+// the columns of wrap's OUTPUT batches. This is how grouped aggregation
+// composes over N-way join pipelines without re-materializing the join
+// result.
+func GroupAggOverPlan(ctx context.Context, src *Source, wrap func(Operator) Operator, keyCols []int, specs []AggSpec, workers, morselSize, vectorSize int, res *memgov.Reservation) (*Batch, error) {
+	plan := func(scan Operator) Operator {
+		return &Agg{Child: wrap(scan), KeyCol: -1, Keys: keyCols, Aggs: specs, Res: res}
 	}
 	ex := &Exchange{
 		Source:     src,

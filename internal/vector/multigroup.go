@@ -1,0 +1,63 @@
+package vector
+
+import "repro/internal/radix"
+
+// MultiGrouper assigns dense group ids over composite keys of ANY
+// width K through radix.MultiGroupTable — the grouping engine behind
+// GROUP BY with more than two key columns. It gathers each row's key
+// tuple into a reused scratch slice (no per-row allocation) and keeps
+// the dense per-column key arrays callers shape output from, same as
+// PairGrouper. bat.NilInt is a legal key in every position.
+type MultiGrouper struct {
+	T    *radix.MultiGroupTable
+	Keys [][]int64 // Keys[c][gid] -> key column c of group gid
+	tup  []int64
+}
+
+// NewMultiGrouper returns a grouper for K key columns pre-sized for
+// hint distinct tuples.
+func NewMultiGrouper(k, hint int) *MultiGrouper {
+	return &MultiGrouper{
+		T:    radix.NewMultiGroupTable(k, hint),
+		Keys: make([][]int64, k),
+		tup:  make([]int64, k),
+	}
+}
+
+// Assign maps each qualifying row of the key columns to a dense group
+// id, writing ids into gids (full-length, indexed by row) and returning
+// the total group count so far. cols must all have the batch's length.
+func (g *MultiGrouper) Assign(cols [][]int64, sel []int32, gids []int32) int32 {
+	one := func(i int32) {
+		for c, col := range cols {
+			g.tup[c] = col[i]
+		}
+		gid := g.T.GID(g.tup)
+		if int(gid) == len(g.Keys[0]) { // first sight of this tuple
+			for c := range g.Keys {
+				g.Keys[c] = append(g.Keys[c], g.tup[c])
+			}
+		}
+		gids[i] = gid
+	}
+	if sel == nil {
+		for i := range cols[0] {
+			one(int32(i))
+		}
+	} else {
+		for _, i := range sel {
+			one(i)
+		}
+	}
+	return int32(g.T.Len())
+}
+
+// MemBytes returns the grouper's live footprint (table + dense key
+// arrays) for the memory governor's ledger.
+func (g *MultiGrouper) MemBytes() int64 {
+	n := g.T.MemBytes()
+	for _, ks := range g.Keys {
+		n += int64(cap(ks)) * 8
+	}
+	return n
+}

@@ -193,6 +193,19 @@ const (
 	EMulFloat
 	EAddFloat
 	ESubConstFloat // const - expr
+	// Nil-aware variants mirroring the MAL calc kernels bit for bit
+	// (INT nil sentinel propagates; INT->FLOAT widens nil to NaN).
+	// Query expressions lowered from SQL use these, so the vector path
+	// and the interpreter agree on every nil-laden row.
+	EAddIntNil
+	ESubIntNil
+	EMulIntNil
+	EAddIntConstNil
+	EMulIntConstNil
+	ESubFloat
+	EAddFloatConst
+	EMulFloatConst
+	EIntToFloat // unary: widen L to float, nil -> NaN
 )
 
 // Bin is a binary vectorized expression.
@@ -205,7 +218,7 @@ type Bin struct {
 
 func (e Bin) kind(cols []Col) Kind {
 	switch e.Op {
-	case EMulFloat, EAddFloat, ESubConstFloat:
+	case EMulFloat, EAddFloat, ESubConstFloat, ESubFloat, EAddFloatConst, EMulFloatConst, EIntToFloat:
 		return KindFloat
 	}
 	return KindInt
@@ -228,6 +241,46 @@ func (e Bin) eval(b *Batch, s *scratch) (Col, error) {
 		}
 		out := s.fltBuf(b.N)
 		MapSubConstFloat(e.FltConst, l.Floats, b.Sel, out)
+		return Col{Kind: KindFloat, Floats: out}, nil
+	case EAddIntConstNil:
+		l, err := e.L.eval(b, s)
+		if err != nil {
+			return Col{}, err
+		}
+		out := s.intBuf(b.N)
+		MapAddIntConstNil(l.Ints, e.IntConst, b.Sel, out)
+		return Col{Kind: KindInt, Ints: out}, nil
+	case EMulIntConstNil:
+		l, err := e.L.eval(b, s)
+		if err != nil {
+			return Col{}, err
+		}
+		out := s.intBuf(b.N)
+		MapMulIntConstNil(l.Ints, e.IntConst, b.Sel, out)
+		return Col{Kind: KindInt, Ints: out}, nil
+	case EAddFloatConst:
+		l, err := e.L.eval(b, s)
+		if err != nil {
+			return Col{}, err
+		}
+		out := s.fltBuf(b.N)
+		MapAddFloatConst(l.Floats, e.FltConst, b.Sel, out)
+		return Col{Kind: KindFloat, Floats: out}, nil
+	case EMulFloatConst:
+		l, err := e.L.eval(b, s)
+		if err != nil {
+			return Col{}, err
+		}
+		out := s.fltBuf(b.N)
+		MapMulFloatConst(l.Floats, e.FltConst, b.Sel, out)
+		return Col{Kind: KindFloat, Floats: out}, nil
+	case EIntToFloat:
+		l, err := e.L.eval(b, s)
+		if err != nil {
+			return Col{}, err
+		}
+		out := s.fltBuf(b.N)
+		MapIntToFloat(l.Ints, b.Sel, out)
 		return Col{Kind: KindFloat, Floats: out}, nil
 	}
 	l, err := e.L.eval(b, s)
@@ -255,6 +308,22 @@ func (e Bin) eval(b *Batch, s *scratch) (Col, error) {
 		out := s.fltBuf(b.N)
 		MapAddFloat(l.Floats, r.Floats, b.Sel, out)
 		return Col{Kind: KindFloat, Floats: out}, nil
+	case EAddIntNil:
+		out := s.intBuf(b.N)
+		MapAddIntNil(l.Ints, r.Ints, b.Sel, out)
+		return Col{Kind: KindInt, Ints: out}, nil
+	case ESubIntNil:
+		out := s.intBuf(b.N)
+		MapSubIntNil(l.Ints, r.Ints, b.Sel, out)
+		return Col{Kind: KindInt, Ints: out}, nil
+	case EMulIntNil:
+		out := s.intBuf(b.N)
+		MapMulIntNil(l.Ints, r.Ints, b.Sel, out)
+		return Col{Kind: KindInt, Ints: out}, nil
+	case ESubFloat:
+		out := s.fltBuf(b.N)
+		MapSubFloat(l.Floats, r.Floats, b.Sel, out)
+		return Col{Kind: KindFloat, Floats: out}, nil
 	}
 	return Col{}, fmt.Errorf("vector: bad expression op %d", e.Op)
 }
@@ -277,8 +346,14 @@ func (p *Project) Next() (*Batch, error) {
 	if err != nil || b == nil {
 		return nil, err
 	}
-	// Recycle previous output columns as scratch.
-	for _, c := range p.out.Cols {
+	// Recycle previous output columns as scratch. ColRef outputs ALIAS
+	// the child's columns (possibly shared source storage) — handing
+	// those out as writable scratch would corrupt the source, so only
+	// computed (expression-owned) columns are recycled.
+	for i, c := range p.out.Cols {
+		if _, isRef := p.Exprs[i].(ColRef); isRef {
+			continue
+		}
 		switch c.Kind {
 		case KindInt:
 			if c.Ints != nil {
@@ -362,20 +437,22 @@ type AggSpec struct {
 }
 
 // Agg drains its child, aggregating per group of the int key column(s).
-// Keys lists the key columns — zero, one, or two of them; the legacy
-// KeyCol field is honored when Keys is nil (KeyCol < 0 means a single
-// global group). Single-key group ids are assigned by the shared
+// Keys lists the key columns — any number of them; the legacy KeyCol
+// field is honored when Keys is nil (KeyCol < 0 means a single global
+// group). Single-key group ids are assigned by the shared
 // open-addressing radix.GroupTable, composite two-key ids by the
-// radix.PairGroupTable (24-byte slots holding both halves) — Fibonacci
-// hashing, flat power-of-two slots, no per-key allocations — in
-// first-seen order, the same order the final batch emits. It emits one
-// final batch with columns: the key(s), then one column per aggregate.
-// A keyed aggregation over empty input emits an empty batch (zero
-// groups); the global form emits its identity row.
+// radix.PairGroupTable (24-byte slots holding both halves), and wider
+// tuples by the radix.MultiGroupTable (hash-first slots over a flat
+// row-major tuple array) — Fibonacci hashing, flat power-of-two slots,
+// no per-key allocations — in first-seen order, the same order the
+// final batch emits. It emits one final batch with columns: the
+// key(s), then one column per aggregate. A keyed aggregation over
+// empty input emits an empty batch (zero groups); the global form
+// emits its identity row.
 type Agg struct {
 	Child  Operator
 	KeyCol int
-	Keys   []int // overrides KeyCol when non-nil; at most 2 columns
+	Keys   []int // overrides KeyCol when non-nil
 	Aggs   []AggSpec
 
 	// Res, when set, is charged for the grouping state (table slots,
@@ -410,18 +487,22 @@ func (a *Agg) Next() (*Batch, error) {
 	a.done = true
 
 	keys := a.keyCols()
-	if len(keys) > 2 {
-		return nil, fmt.Errorf("vector: Agg supports at most 2 key columns, got %d", len(keys))
-	}
 	var gt *radix.GroupTable
 	var pg *PairGrouper
-	switch len(keys) {
-	case 1:
+	var mg *MultiGrouper
+	switch {
+	case len(keys) == 1:
 		gt = radix.NewGroupTable(1024)
-	case 2:
+	case len(keys) == 2:
 		pg = NewPairGrouper(1024)
+	case len(keys) > 2:
+		mg = NewMultiGrouper(len(keys), 1024)
 	}
 	var gids []int32
+	var keyBufs [][]int64
+	if mg != nil {
+		keyBufs = make([][]int64, len(keys))
+	}
 	intAccs := make([][]int64, len(a.Aggs))
 	fltAccs := make([][]float64, len(a.Aggs))
 	ngroups := int32(1)
@@ -443,6 +524,11 @@ func (a *Agg) Next() (*Batch, error) {
 			ngroups = AssignGroups(b.Cols[keys[0]].Ints, b.Sel, gt, gids)
 		case pg != nil:
 			ngroups = pg.Assign(b.Cols[keys[0]].Ints, b.Cols[keys[1]].Ints, b.Sel, gids)
+		case mg != nil:
+			for ki, k := range keys {
+				keyBufs[ki] = b.Cols[k].Ints
+			}
+			ngroups = mg.Assign(keyBufs, b.Sel, gids)
 		default:
 			for i := range gids {
 				gids[i] = 0
@@ -477,7 +563,7 @@ func (a *Agg) Next() (*Batch, error) {
 			}
 		}
 		if a.Res != nil {
-			foot := aggFootprint(gt, pg, intAccs, fltAccs)
+			foot := aggFootprint(gt, pg, mg, intAccs, fltAccs)
 			if d := foot - a.charged; d > 0 {
 				if err := a.Res.Acquire(d); err != nil {
 					return nil, err
@@ -500,6 +586,11 @@ func (a *Agg) Next() (*Batch, error) {
 		cols = append(cols,
 			Col{Kind: KindInt, Ints: pg.K1},
 			Col{Kind: KindInt, Ints: pg.K2})
+	case mg != nil:
+		n = mg.T.Len()
+		for _, ks := range mg.Keys {
+			cols = append(cols, Col{Kind: KindInt, Ints: ks})
+		}
 	}
 	for ai, spec := range a.Aggs {
 		if spec.Kind.Float() {
@@ -524,13 +615,16 @@ func (a *Agg) Close() error {
 }
 
 // aggFootprint is the live heap held by one Agg's grouping state.
-func aggFootprint(gt *radix.GroupTable, pg *PairGrouper, intAccs [][]int64, fltAccs [][]float64) int64 {
+func aggFootprint(gt *radix.GroupTable, pg *PairGrouper, mg *MultiGrouper, intAccs [][]int64, fltAccs [][]float64) int64 {
 	var f int64
 	if gt != nil {
 		f += gt.MemBytes()
 	}
 	if pg != nil {
 		f += pg.T.MemBytes() + int64(cap(pg.K1))*8 + int64(cap(pg.K2))*8
+	}
+	if mg != nil {
+		f += mg.MemBytes()
 	}
 	for _, s := range intAccs {
 		f += int64(cap(s)) * 8

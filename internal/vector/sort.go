@@ -50,6 +50,15 @@ import (
 // tiebreak column (use Exchange.RowIDs to produce it) and may be -1 for
 // an unstable run. Limit >= 0 truncates the run.
 //
+// Ties, when non-empty, lists VALUE tiebreak columns compared (in
+// order, nil-first like the key) between the key and the row id. Join
+// results need them: both executors of one query sort the join output
+// by (key, every output column) — a canonical lexicographic order that
+// does not depend on the nondeterministic order either engine produced
+// the matches in. Desc reverses the ENTIRE comparator, ties included;
+// rows equal on key and all tie columns are identical rows, so the
+// order within such a run is immaterial.
+//
 // With Res set, every buffered batch is charged to the reservation;
 // when a charge is denied and Res.CanSpill() with Spill/Runs wired,
 // the buffer — including the denied batch, which is folded in
@@ -60,7 +69,8 @@ import (
 type SortRun struct {
 	Child Operator
 	Key   int
-	RowID int // tiebreak column; -1 = none
+	RowID int   // tiebreak column; -1 = none
+	Ties  []int // value tiebreak columns, compared before RowID
 	Desc  bool
 	Limit int // -1 = unlimited
 
@@ -111,7 +121,15 @@ func (s *SortRun) Next() (*Batch, error) {
 		}
 		spillAfter := false
 		if add := batchBytes(b); s.Res != nil {
-			if err := s.Res.Acquire(add); err != nil {
+			if s.canSpill() && s.charged+add > s.Res.Limit()/2 {
+				// Soft cap at half the budget: the producer feeding this
+				// sort may itself need a grant to make the NEXT batch (a
+				// grace join's per-partition build table, for one), and a
+				// buffer grown right up to the limit starves it at exactly
+				// the moment it re-acquires. Fold the batch in uncharged
+				// and spill the run now while headroom still exists.
+				spillAfter = true
+			} else if err := s.Res.Acquire(add); err != nil {
 				if !s.canSpill() {
 					return nil, err
 				}
@@ -174,7 +192,7 @@ func (s *SortRun) Next() (*Batch, error) {
 		return nil, nil
 	}
 
-	perm, err := sortPerm(cols, n, s.Key, s.RowID, s.Desc, s.Limit)
+	perm, err := sortPerm(cols, n, s.Key, s.RowID, s.Ties, s.Desc, s.Limit)
 	if err != nil {
 		return nil, err
 	}
@@ -188,7 +206,7 @@ func (s *SortRun) Next() (*Batch, error) {
 // one spill file in Size-row chunks, registers the sealed run, and
 // releases the buffer's reservation.
 func (s *SortRun) spillRun(cols []Col, n int) error {
-	perm, err := sortPerm(cols, n, s.Key, s.RowID, s.Desc, s.Limit)
+	perm, err := sortPerm(cols, n, s.Key, s.RowID, s.Ties, s.Desc, s.Limit)
 	if err != nil {
 		return err
 	}
@@ -223,12 +241,12 @@ func (s *SortRun) spillRun(cols []Col, n int) error {
 
 // sortPerm builds the sorted (and Limit-truncated) row permutation of
 // the first n rows of cols.
-func sortPerm(cols []Col, n, key, rowID int, desc bool, limit int) ([]int32, error) {
+func sortPerm(cols []Col, n, key, rowID int, ties []int, desc bool, limit int) ([]int32, error) {
 	perm := make([]int32, n)
 	for i := range perm {
 		perm[i] = int32(i)
 	}
-	less, err := rowLess(cols, key, rowID, desc)
+	less, err := rowLess(cols, key, rowID, ties, desc)
 	if err != nil {
 		return nil, err
 	}
@@ -288,11 +306,88 @@ func (s *SortRun) Close() error {
 	return s.Child.Close()
 }
 
-// rowLess builds the (key, rowid) comparator over a column set. The
-// descending order is the exact REVERSE of the ascending one (key
-// descending, tiebreak descending) — reproducing batalg.SortDesc, which
-// reverses a stable ascending sort.
-func rowLess(cols []Col, key, rowID int, desc bool) (func(a, b int32) bool, error) {
+// SortedPerm builds the row permutation ordering the first n rows of
+// cols by (key, ties...) — the materialized-batch entry point the
+// physical layer's grouped ORDER BY uses (no row-id column, no limit).
+func SortedPerm(cols []Col, n, key int, ties []int, desc bool) ([]int32, error) {
+	return sortPerm(cols, n, key, -1, ties, desc, -1)
+}
+
+// ApplyPerm gathers the rows perm of cols into freshly built columns.
+func ApplyPerm(cols []Col, perm []int32) []Col {
+	out := make([]Col, len(cols))
+	gatherPerm(cols, perm, out)
+	return out
+}
+
+// cmpCell compares row ap of column a against row bp of column b (same
+// kind, int or float; float nils — NaN — order first).
+func cmpCell(a, b *Col, ap, bp int32) int {
+	if a.Kind == KindInt {
+		x, y := a.Ints[ap], b.Ints[bp]
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	}
+	x, y := a.Floats[ap], b.Floats[bp]
+	switch {
+	case bat.IsNilFloat(x) && bat.IsNilFloat(y):
+		return 0
+	case bat.IsNilFloat(x):
+		return -1
+	case bat.IsNilFloat(y):
+		return 1
+	case x < y:
+		return -1
+	case x > y:
+		return 1
+	}
+	return 0
+}
+
+// rowLess builds the (key, ties..., rowid) comparator over a column
+// set. The descending order is the exact REVERSE of the ascending one
+// (key descending, every tiebreak descending) — reproducing
+// batalg.SortDesc, which reverses a stable ascending sort.
+func rowLess(cols []Col, key, rowID int, ties []int, desc bool) (func(a, b int32) bool, error) {
+	if len(ties) > 0 {
+		chain := append([]int{key}, ties...)
+		for _, ci := range chain {
+			if k := cols[ci].Kind; k != KindInt && k != KindFloat {
+				return nil, fmt.Errorf("vector: sort key column %d has unsortable kind", ci)
+			}
+		}
+		var rid []int64
+		if rowID >= 0 {
+			rid = cols[rowID].Ints
+		}
+		cmp := func(a, b int32) int {
+			for _, ci := range chain {
+				if c := cmpCell(&cols[ci], &cols[ci], a, b); c != 0 {
+					return c
+				}
+			}
+			return 0
+		}
+		if desc {
+			return func(a, b int32) bool {
+				if c := cmp(a, b); c != 0 {
+					return c > 0
+				}
+				return rid != nil && rid[a] > rid[b]
+			}, nil
+		}
+		return func(a, b int32) bool {
+			if c := cmp(a, b); c != 0 {
+				return c < 0
+			}
+			return rid != nil && rid[a] < rid[b]
+		}, nil
+	}
 	var cmp func(a, b int32) int
 	switch cols[key].Kind {
 	case KindInt:
@@ -370,6 +465,7 @@ type MergeRuns struct {
 	Child Operator
 	Key   int
 	RowID int
+	Ties  []int // value tiebreak columns, matching the runs' order
 	Desc  bool
 	Limit int     // -1 = unlimited
 	Size  int     // output vector size (DefaultSize if <= 0)
@@ -445,15 +541,17 @@ func (m *MergeRuns) start() error {
 	if len(m.cur) == 0 {
 		return nil
 	}
-	if k := m.cur[0].Cols[m.Key].Kind; k != KindInt && k != KindFloat {
-		return fmt.Errorf("vector: sort key column %d has unsortable kind", m.Key)
+	for _, ci := range append([]int{m.Key}, m.Ties...) {
+		if k := m.cur[0].Cols[ci].Kind; k != KindInt && k != KindFloat {
+			return fmt.Errorf("vector: sort key column %d has unsortable kind", ci)
+		}
 	}
 	// Rows live in different runs, so the comparator gathers through the
 	// (run, pos) cursors. It indexes the runs' CURRENT batches, which
 	// refilling swaps under the heap — but only after every row of the
 	// previous batch has left it.
 	m.less = func(a, b runCursor) bool {
-		return mergeLess(m.cur[a.run].Cols, m.cur[b.run].Cols, a.pos, b.pos, m.Key, m.RowID, m.Desc)
+		return mergeLess(m.cur[a.run].Cols, m.cur[b.run].Cols, a.pos, b.pos, m.Key, m.RowID, m.Ties, m.Desc)
 	}
 	for ri := range m.cur {
 		m.push(runCursor{run: int32(ri), pos: 0})
@@ -475,31 +573,13 @@ func (m *MergeRuns) fill(rd SpillReader) (*Batch, error) {
 }
 
 // mergeLess compares row ap of column set ac against row bp of bc.
-func mergeLess(ac, bc []Col, ap, bp int32, key, rowID int, desc bool) bool {
-	var c int
-	switch ac[key].Kind {
-	case KindInt:
-		x, y := ac[key].Ints[ap], bc[key].Ints[bp]
-		switch {
-		case x < y:
-			c = -1
-		case x > y:
-			c = 1
+func mergeLess(ac, bc []Col, ap, bp int32, key, rowID int, ties []int, desc bool) bool {
+	c := cmpCell(&ac[key], &bc[key], ap, bp)
+	for _, ti := range ties {
+		if c != 0 {
+			break
 		}
-	default: // KindFloat, validated at run production
-		x, y := ac[key].Floats[ap], bc[key].Floats[bp]
-		switch {
-		case bat.IsNilFloat(x) && bat.IsNilFloat(y):
-			c = 0
-		case bat.IsNilFloat(x):
-			c = -1
-		case bat.IsNilFloat(y):
-			c = 1
-		case x < y:
-			c = -1
-		case x > y:
-			c = 1
-		}
+		c = cmpCell(&ac[ti], &bc[ti], ap, bp)
 	}
 	if desc {
 		if c != 0 {
